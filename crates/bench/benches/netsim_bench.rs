@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the network simulator substrate:
+//! cloud boot + allocation, network construction, probe sampling, and
+//! event-engine throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudia_netsim::{Cloud, InstanceId, MessageSpec, NicParams, Provider};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn bench_boot_allocate(c: &mut Criterion) {
+    c.bench_function("boot_and_allocate_100", |b| {
+        b.iter(|| {
+            let mut cloud = Cloud::boot(Provider::ec2_like(), black_box(7));
+            cloud.allocate(100)
+        })
+    });
+}
+
+fn bench_network_build(c: &mut Criterion) {
+    let mut cloud = Cloud::boot(Provider::ec2_like(), 7);
+    let alloc = cloud.allocate(100);
+    c.bench_function("network_build_100", |b| b.iter(|| cloud.network(black_box(&alloc))));
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut cloud = Cloud::boot(Provider::ec2_like(), 7);
+    let alloc = cloud.allocate(50);
+    let net = cloud.network(&alloc);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("sample_rtt_1k", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..50u32 {
+                for j in 0..20u32 {
+                    if i != j {
+                        acc += net.sample_rtt(InstanceId(i), InstanceId(j), &mut rng);
+                    }
+                }
+            }
+            acc
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut cloud = Cloud::boot(Provider::ec2_like(), 7);
+    let alloc = cloud.allocate(50);
+    let net = cloud.network(&alloc);
+    c.bench_function("engine_10k_messages", |b| {
+        b.iter(|| {
+            let mut e = net.engine(NicParams::default(), 1);
+            for k in 0..10_000u32 {
+                e.send(MessageSpec {
+                    src: InstanceId(k % 50),
+                    dst: InstanceId((k + 1) % 50),
+                    size_kb: 1.0,
+                    kind: 0,
+                    token: k as u64,
+                });
+                if k % 8 == 7 {
+                    while e.next_delivery().is_some() {}
+                }
+            }
+            while e.next_delivery().is_some() {}
+            e.now()
+        })
+    });
+}
+
+criterion_group!(benches, bench_boot_allocate, bench_network_build, bench_sampling, bench_engine);
+criterion_main!(benches);

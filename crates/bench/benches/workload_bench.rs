@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for workload evaluation throughput —
+//! how fast the three applications can be "executed" over the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudia_netsim::{Cloud, Provider};
+use cloudia_workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
+
+fn network(n: usize) -> cloudia_netsim::Network {
+    let mut cloud = Cloud::boot(Provider::ec2_like(), 7);
+    let alloc = cloud.allocate(n);
+    cloud.network(&alloc)
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+
+    let sim = BehavioralSim { sample_ticks: 200, ..BehavioralSim::new(6, 6) };
+    let net = network(36);
+    let d: Vec<u32> = (0..36).collect();
+    group.bench_function("behavioral_6x6_200_ticks", |b| {
+        b.iter(|| sim.run(black_box(&net), &d, 1))
+    });
+
+    let agg = AggregationQuery { queries: 200, ..AggregationQuery::new(6, 2) };
+    let net_a = network(43);
+    let d_a: Vec<u32> = (0..43).collect();
+    group.bench_function("aggregation_43_200_queries", |b| {
+        b.iter(|| agg.run(black_box(&net_a), &d_a, 1))
+    });
+
+    let kv = KvStore { queries: 500, ..KvStore::new(8, 28) };
+    let net_k = network(36);
+    group.bench_function("kvstore_36_500_queries", |b| {
+        b.iter(|| kv.run(black_box(&net_k), &d, 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation study of the CP solver's design choices (DESIGN.md §5):
+//! degree-compatibility domain filtering and cost clustering, crossed.
+//!
+//! Not a paper figure — this quantifies which parts of our CP
+//! implementation carry the weight, the way the paper's §6.3 motivates
+//! clustering. Expected: clustering dominates wall-clock convergence;
+//! degree filtering trims search nodes, most visibly without clustering.
+
+use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_core::{CommGraph, LatencyMetric};
+use cloudia_netsim::Provider;
+use cloudia_solver::{solve_llndp_cp, Budget, CpConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Ablation", "CP design choices: degree filter x clustering", scale);
+    let (rows, cols, m) = scale.pick((6, 6, 40), (9, 10, 100));
+    let budget_s = scale.pick(8.0, 60.0);
+    let repeats = scale.pick(3, 10);
+
+    println!("# mesh {rows}x{cols} on {m} instances, {budget_s}s budget, {repeats} seeds");
+    println!("config\tavg_cost_ms\tavg_nodes\tavg_converge_s\toptimal_proven");
+    for (label, clusters, degree_filter) in [
+        ("k20+degree", Some(20), true),
+        ("k20-no-degree", Some(20), false),
+        ("raw+degree", None, true),
+        ("raw-no-degree", None, false),
+    ] {
+        let mut cost = 0.0;
+        let mut nodes = 0u64;
+        let mut conv = 0.0;
+        let mut proven = 0usize;
+        for s in 0..repeats {
+            let net = standard_network(Provider::ec2_like(), m, 500 + s as u64);
+            let costs = measured_costs(&net, LatencyMetric::Mean, 5, 2, s as u64);
+            let problem = CommGraph::mesh_2d(rows, cols).problem(costs);
+            let out = solve_llndp_cp(
+                &problem,
+                &CpConfig {
+                    budget: Budget::seconds(budget_s),
+                    clusters,
+                    degree_filter,
+                    seed: s as u64,
+                    ..CpConfig::default()
+                },
+            );
+            cost += out.cost;
+            nodes += out.explored;
+            conv += out.curve.last().map(|&(t, _)| t).unwrap_or(0.0);
+            proven += out.proven_optimal as usize;
+        }
+        let r = repeats as f64;
+        row(&[
+            label.into(),
+            format!("{:.3}", cost / r),
+            format!("{}", nodes / repeats as u64),
+            format!("{:.2}", conv / r),
+            format!("{proven}/{repeats}"),
+        ]);
+    }
+}

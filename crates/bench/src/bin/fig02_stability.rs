@@ -1,0 +1,57 @@
+//! Figure 2: mean latency of four representative links over a 10-day
+//! (200 h) experiment, averaged every 2 h, EC2-like region.
+//!
+//! Paper shape: flat, well-separated lines — mean latency is stable.
+
+use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_netsim::{InstanceId, Provider};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 2", "mean latency stability over 200 h (2 h buckets), EC2-like", scale);
+    let net = standard_network(Provider::ec2_like(), 100, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Four representative links spanning the latency range: pick pairs at
+    // different quantiles of the mean distribution.
+    let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+    for i in 0..net.len() as u32 {
+        for j in 0..net.len() as u32 {
+            if i != j {
+                pairs.push((i, j, net.mean_rtt(InstanceId(i), InstanceId(j))));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    let picks = [
+        pairs[pairs.len() / 10],
+        pairs[pairs.len() * 4 / 10],
+        pairs[pairs.len() * 7 / 10],
+        pairs[pairs.len() * 95 / 100],
+    ];
+
+    let buckets = 100; // 200 h / 2 h
+    let traces: Vec<_> = picks
+        .iter()
+        .map(|&(a, b, _)| net.link_trace(InstanceId(a), InstanceId(b), 2.0, buckets, 2000, &mut rng))
+        .collect();
+
+    row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);
+    for t in 0..buckets {
+        let mut cells = vec![format!("{:.0}", traces[0].hours[t])];
+        for trace in &traces {
+            cells.push(format!("{:.3}", trace.mean_rtt[t]));
+        }
+        row(&cells);
+    }
+
+    println!();
+    println!("# stability: coefficient of variation per link (paper: small)");
+    for (k, trace) in traces.iter().enumerate() {
+        row(&[
+            format!("link{} (mean {:.3} ms)", k + 1, picks[k].2),
+            format!("cv {:.1} %", trace.coefficient_of_variation() * 100.0),
+        ]);
+    }
+}

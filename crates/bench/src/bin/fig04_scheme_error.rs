@@ -1,0 +1,54 @@
+//! Figure 4: CDF of the normalized relative error of the staged and
+//! uncoordinated measurement schemes against the token-passing baseline,
+//! 50 instances.
+//!
+//! Paper shape: staged — 90 % of links under 10 % error, max < 30 %;
+//! uncoordinated — 10 % of links above 50 % error.
+
+use cloudia_bench::{header, print_cdf, row, standard_network, Scale};
+use cloudia_measure::error::{cdf_at, normalized_relative_errors, quantile};
+use cloudia_measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
+use cloudia_netsim::Provider;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 4", "normalized relative error vs token passing, 50 instances", scale);
+    let n = 50;
+    let net = standard_network(Provider::ec2_like(), n, 42);
+    let cfg = MeasureConfig::default();
+
+    let samples_per_pair = scale.pick(24, 60);
+    let token = TokenPassing::new(samples_per_pair).run(&net, &cfg);
+    // Match total probe counts across schemes.
+    let staged = Staged::new(samples_per_pair / 2, 4).run(&net, &cfg);
+    let probes_per_instance = samples_per_pair * (n - 1);
+    let uncoord = Uncoordinated::new(probes_per_instance).run(&net, &cfg);
+
+    let baseline = token.mean_vector();
+    let err_staged = normalized_relative_errors(&staged.mean_vector(), &baseline);
+    let err_uncoord = normalized_relative_errors(&uncoord.mean_vector(), &baseline);
+
+    // The paper plots error in percent.
+    let pct = |v: &[f64]| v.iter().map(|e| e * 100.0).collect::<Vec<_>>();
+    print_cdf("staged", &pct(&err_staged), 40);
+    println!();
+    print_cdf("uncoordinated", &pct(&err_uncoord), 40);
+
+    println!();
+    println!("# summary (paper: staged p90 < 10 %, staged max < 30 %; uncoordinated p90 > 50 %)");
+    for (name, errs) in [("staged", &err_staged), ("uncoordinated", &err_uncoord)] {
+        row(&[
+            name.into(),
+            format!("p50 {:.1} %", quantile(errs, 0.5) * 100.0),
+            format!("p90 {:.1} %", quantile(errs, 0.9) * 100.0),
+            format!("max {:.1} %", quantile(errs, 1.0) * 100.0),
+            format!("frac<10% {:.2}", cdf_at(errs, 0.10)),
+        ]);
+    }
+    row(&[
+        "elapsed_ms".into(),
+        format!("token {:.0}", token.elapsed_ms),
+        format!("staged {:.0}", staged.elapsed_ms),
+        format!("uncoordinated {:.0}", uncoord.elapsed_ms),
+    ]);
+}

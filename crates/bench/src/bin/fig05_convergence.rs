@@ -1,0 +1,48 @@
+//! Figure 5: convergence of the staged measurement over time — RMSE of
+//! partial mean estimates against the final estimate (Ks = 10).
+//!
+//! Paper shape: RMSE drops quickly within the first ~5 minutes and
+//! smooths out afterwards (100 instances over 30 min in the paper; the
+//! quick scale uses a smaller fleet and horizon, same shape).
+
+use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_measure::error::rmse;
+use cloudia_measure::{MeasureConfig, Scheme, Staged};
+use cloudia_netsim::Provider;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 5", "staged measurement convergence (RMSE vs final estimate)", scale);
+    let n = scale.pick(40, 100);
+    let horizon_min = scale.pick(8.0, 30.0);
+    let net = standard_network(Provider::ec2_like(), n, 42);
+
+    let snapshot_every_ms = 30_000.0; // every simulated half-minute
+    let cfg = MeasureConfig {
+        snapshot_every_ms: Some(snapshot_every_ms),
+        max_duration_ms: Some(horizon_min * 60_000.0),
+        ..MeasureConfig::default()
+    };
+    // Enough sweeps to fill the horizon; the duration limit cuts it off.
+    let report = Staged::new(10, 1_000_000).run(&net, &cfg);
+    let ground_truth = report.mean_vector();
+
+    println!("# instances: {n}, horizon: {horizon_min} min, Ks = 10");
+    row(&["minutes".into(), "rmse".into()]);
+    for snap in &report.snapshots {
+        // Skip snapshots with unmeasured links (mean 0 would skew RMSE).
+        if snap.mean_vector.iter().any(|&m| m == 0.0) {
+            continue;
+        }
+        row(&[
+            format!("{:.1}", snap.at_ms / 60_000.0),
+            format!("{:.4}", rmse(&snap.mean_vector, &ground_truth)),
+        ]);
+    }
+    println!();
+    println!(
+        "# total round trips: {} over {:.1} simulated minutes",
+        report.round_trips,
+        report.elapsed_ms / 60_000.0
+    );
+}

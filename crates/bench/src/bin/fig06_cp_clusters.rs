@@ -1,0 +1,45 @@
+//! Figure 6: convergence of the CP solver on LLNDP with different numbers
+//! of cost clusters (k = 5, k = 20, no clustering).
+//!
+//! Paper shape: k = 20 converges fastest; k = 5 converges quickly but to a
+//! worse cost (clusters too coarse to discriminate); no clustering reaches
+//! the same quality as k = 20 but takes much longer.
+
+use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_core::{CommGraph, LatencyMetric};
+use cloudia_netsim::Provider;
+use cloudia_solver::{solve_llndp_cp, Budget, CpConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 6", "CP convergence on LLNDP by cost clusters (2D mesh)", scale);
+    // 90 % of instances carry application nodes (paper §6.3.1).
+    let (rows, cols, m) = scale.pick((6, 6, 40), (9, 10, 100));
+    let budget_s = scale.pick(10.0, 120.0);
+    let net = standard_network(Provider::ec2_like(), m, 42);
+    let graph = CommGraph::mesh_2d(rows, cols);
+    let costs = measured_costs(&net, LatencyMetric::Mean, 5, 2, 0);
+    let problem = graph.problem(costs);
+
+    println!("# mesh {rows}x{cols} on {m} instances, budget {budget_s}s per config");
+    println!("config\telapsed_s\tlongest_link_ms");
+    for (label, clusters) in [("k=5", Some(5)), ("k=20", Some(20)), ("no-clustering", None)] {
+        let out = solve_llndp_cp(
+            &problem,
+            &CpConfig {
+                budget: Budget::seconds(budget_s),
+                clusters,
+                seed: 1,
+                ..CpConfig::default()
+            },
+        );
+        for &(t, c) in &out.curve {
+            row(&[label.into(), format!("{t:.2}"), format!("{c:.3}")]);
+        }
+        row(&[
+            label.into(),
+            "final".into(),
+            format!("{:.3} (optimal_proven={}, nodes={})", out.cost, out.proven_optimal, out.explored),
+        ]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Figure 8: CP solver scalability — average convergence time vs number
+//! of instances, over random instance subsets.
+//!
+//! Paper methodology: 50 random subsets per size out of a 100-instance
+//! allocation; convergence time = time after which the solver cannot
+//! improve the best solution within the search budget. Paper shape:
+//! convergence time increases acceptably with problem size.
+
+use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_core::{CommGraph, CostMatrix, LatencyMetric};
+use cloudia_netsim::Provider;
+use cloudia_solver::{solve_llndp_cp, Budget, CpConfig};
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 8", "CP convergence time vs number of instances", scale);
+    let full = 100;
+    let subsets_per_size = scale.pick(5, 50);
+    let budget_s = scale.pick(5.0, 60.0);
+    let net = standard_network(Provider::ec2_like(), full, 42);
+    let all_costs = measured_costs(&net, LatencyMetric::Mean, 5, 2, 0);
+    let mut rng = StdRng::seed_from_u64(9);
+
+    println!("# subsets/size: {subsets_per_size}, per-run budget {budget_s}s");
+    println!("instances\tavg_convergence_s\tavg_cost_ms");
+    for m in [20usize, 40, 60, 80, 100] {
+        // Mesh sized to ~90 % of instances.
+        let nodes = (m as f64 * 0.9) as usize;
+        let (rows, cols) = mesh_dims(nodes);
+        let graph = CommGraph::mesh_2d(rows, cols);
+        let mut conv_total = 0.0;
+        let mut cost_total = 0.0;
+        for s in 0..subsets_per_size {
+            // Random m-subset of the 100 instances.
+            let mut idx: Vec<usize> = (0..full).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(m);
+            let sub = sub_costs(&all_costs, &idx);
+            let problem = graph.problem(sub);
+            let out = solve_llndp_cp(
+                &problem,
+                &CpConfig {
+                    budget: Budget::seconds(budget_s),
+                    clusters: Some(20),
+                    seed: s as u64,
+                    ..CpConfig::default()
+                },
+            );
+            // Convergence time = timestamp of the last improvement.
+            conv_total += out.curve.last().map(|&(t, _)| t).unwrap_or(0.0);
+            cost_total += out.cost;
+        }
+        row(&[
+            format!("{m}"),
+            format!("{:.2}", conv_total / subsets_per_size as f64),
+            format!("{:.3}", cost_total / subsets_per_size as f64),
+        ]);
+    }
+}
+
+fn mesh_dims(nodes: usize) -> (usize, usize) {
+    let r = (nodes as f64).sqrt() as usize;
+    for rows in (1..=r).rev() {
+        if nodes % rows == 0 {
+            return (rows, nodes / rows);
+        }
+    }
+    (1, nodes)
+}
+
+fn sub_costs(all: &CostMatrix, idx: &[usize]) -> CostMatrix {
+    let rows: Vec<Vec<f64>> = idx
+        .iter()
+        .map(|&i| idx.iter().map(|&j| if i == j { 0.0 } else { all.get(i, j) }).collect())
+        .collect();
+    CostMatrix::from_matrix(rows)
+}

@@ -1,0 +1,80 @@
+//! Figure 12: overall effectiveness — percentage reduction in
+//! time-to-solution / response time over five different allocations for
+//! the three workloads, ClouDiA deployment vs default deployment.
+//!
+//! Paper shape: 15–55 % reduction across all allocation × workload
+//! combinations; aggregation query benefits most on average, key-value
+//! store least (its cost function is an imperfect match).
+
+use cloudia_bench::{header, row, Scale};
+use cloudia_core::{Advisor, AdvisorConfig, LatencyMetric, MeasurementPlan, Objective};
+use cloudia_measure::MeasureConfig;
+use cloudia_netsim::{Cloud, Provider};
+use cloudia_workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 12", "time reduction over 5 allocations, 3 workloads", scale);
+    let search_s = scale.pick(8.0, 120.0);
+
+    let workloads: Vec<(Box<dyn Workload>, Objective)> = match scale {
+        Scale::Quick => vec![
+            (
+                Box::new(BehavioralSim { sample_ticks: 400, ..BehavioralSim::new(6, 6) }),
+                Objective::LongestLink,
+            ),
+            (Box::new(AggregationQuery::new(6, 2)), Objective::LongestPath),
+            (Box::new(KvStore::new(8, 28)), Objective::LongestLink),
+        ],
+        Scale::Paper => vec![
+            (
+                Box::new(BehavioralSim { sample_ticks: 1000, ..BehavioralSim::new(10, 10) }),
+                Objective::LongestLink,
+            ),
+            (Box::new(AggregationQuery::new(7, 2)), Objective::LongestPath),
+            (Box::new(KvStore::new(20, 80)), Objective::LongestLink),
+        ],
+    };
+
+    println!("allocation\tworkload\tdefault_ms\tcloudia_ms\treduction_%");
+    let mut reductions = Vec::new();
+    for alloc_id in 1..=5u64 {
+        for (w, objective) in &workloads {
+            let graph = w.graph();
+            let n = graph.num_nodes();
+            // 10 % over-allocation as in the paper.
+            let extra = (n as f64 * 0.1).ceil() as usize;
+            let mut cloud = Cloud::boot(Provider::ec2_like(), 1000 + alloc_id);
+            let allocation = cloud.allocate(n + extra);
+            let net = cloud.network(&allocation);
+
+            let advisor = Advisor::new(AdvisorConfig {
+                objective: *objective,
+                metric: LatencyMetric::Mean,
+                over_allocation: 0.1,
+                strategy: None,
+                search_time_s: search_s,
+                measurement: MeasurementPlan { ks: 10, sweeps: 2, config: MeasureConfig::default() },
+            });
+            let outcome = advisor.run_on_network(&net, &graph, alloc_id);
+
+            let default: Vec<u32> = (0..n as u32).collect();
+            let t_default = w.run(&net, &default, alloc_id).value_ms;
+            let t_cloudia = w.run(&net, &outcome.deployment, alloc_id).value_ms;
+            let reduction = (t_default - t_cloudia) / t_default * 100.0;
+            reductions.push(reduction);
+            row(&[
+                format!("{alloc_id}"),
+                w.name().into(),
+                format!("{t_default:.1}"),
+                format!("{t_cloudia:.1}"),
+                format!("{reduction:.1}"),
+            ]);
+        }
+    }
+    let (lo, hi) = reductions
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+    println!();
+    println!("# observed reduction range: {lo:.1} % .. {hi:.1} % (paper: 15–55 %)");
+}

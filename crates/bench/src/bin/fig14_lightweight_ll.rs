@@ -1,0 +1,64 @@
+//! Figure 14: lightweight approaches vs CP on LLNDP — average longest-link
+//! latency of G1, G2, R1 (1,000 random), R2 (same time budget as CP), and
+//! CP, over many allocations.
+//!
+//! Paper shape: G1 worst (~66.7 % above CP); G2 much better; R1 slightly
+//! better than G2; R2 within ~8.65 % of CP.
+
+use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_core::{CommGraph, LatencyMetric};
+use cloudia_netsim::Provider;
+use cloudia_solver::{
+    solve_greedy, solve_llndp_cp, solve_random_budget, solve_random_count, Budget, CpConfig,
+    GreedyVariant, Objective,
+};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 14", "lightweight approaches vs CP on LLNDP", scale);
+    // Paper: 20 allocations of 50 instances, 10 % over-allocation
+    // (45 nodes); CP and R2 run for 2 minutes.
+    let allocations = scale.pick(8, 20);
+    let budget_s = scale.pick(3.0, 120.0);
+    let m = 50;
+    let graph = CommGraph::mesh_2d(5, 9); // 45 nodes
+
+    let mut totals = [0.0f64; 5]; // g1, g2, r1, r2, cp
+    for a in 0..allocations {
+        let net = standard_network(Provider::ec2_like(), m, 100 + a as u64);
+        let costs = measured_costs(&net, LatencyMetric::Mean, 5, 2, a as u64);
+        let problem = graph.problem(costs);
+
+        totals[0] += solve_greedy(&problem, GreedyVariant::G1).cost;
+        totals[1] += solve_greedy(&problem, GreedyVariant::G2).cost;
+        totals[2] += solve_random_count(&problem, Objective::LongestLink, 1000, a as u64).cost;
+        totals[3] += solve_random_budget(
+            &problem,
+            Objective::LongestLink,
+            Budget::seconds(budget_s),
+            0,
+            a as u64,
+        )
+        .cost;
+        totals[4] += solve_llndp_cp(
+            &problem,
+            &CpConfig {
+                budget: Budget::seconds(budget_s),
+                clusters: Some(20),
+                seed: a as u64,
+                ..CpConfig::default()
+            },
+        )
+        .cost;
+    }
+
+    println!("# {allocations} allocations of {m} instances, 45-node mesh, {budget_s}s for R2/CP");
+    println!("method\tavg_longest_link_ms\tvs_cp");
+    let cp = totals[4] / allocations as f64;
+    for (name, total) in [("G1", totals[0]), ("G2", totals[1]), ("R1", totals[2]), ("R2", totals[3]), ("CP", totals[4])] {
+        let avg = total / allocations as f64;
+        row(&[name.into(), format!("{avg:.3}"), format!("{:+.1} %", (avg / cp - 1.0) * 100.0)]);
+    }
+    println!();
+    println!("# paper: G1 +66.7 %, R2 +8.65 % vs CP; R1 slightly better than G2");
+}

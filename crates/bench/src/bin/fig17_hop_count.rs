@@ -1,0 +1,45 @@
+//! Figure 17: links ordered by latency within hop-count groups
+//! (Appendix 2 negative result: hop count does not predict latency).
+
+use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_measure::approx::{inversion_rate, links_by_hop_count};
+use cloudia_netsim::Provider;
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 17", "latency ordered by hop count", scale);
+    let net = standard_network(Provider::ec2_like(), 100, 42);
+    let links = links_by_hop_count(&net);
+
+    println!("group\tcount\tmin_ms\tmedian_ms\tmax_ms");
+    let groups: std::collections::BTreeSet<u32> = links.iter().map(|l| l.group).collect();
+    for g in &groups {
+        let vals: Vec<f64> =
+            links.iter().filter(|l| l.group == *g).map(|l| l.mean_rtt).collect();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        row(&[
+            format!("hops {g}"),
+            format!("{}", vals.len()),
+            format!("{:.3}", sorted[0]),
+            format!("{:.3}", sorted[sorted.len() / 2]),
+            format!("{:.3}", sorted[sorted.len() - 1]),
+        ]);
+    }
+
+    println!();
+    println!("# link#, sorted by (group, latency) — sample every 100th link");
+    println!("link\tgroup\tmean_ms");
+    for (i, l) in links.iter().enumerate() {
+        if i % 100 == 0 {
+            row(&[format!("{i}"), format!("{}", l.group), format!("{:.3}", l.mean_rtt)]);
+        }
+    }
+
+    println!();
+    println!(
+        "# inversion rate (0 = perfect predictor, 0.5 = useless): {:.3}",
+        inversion_rate(&links)
+    );
+    println!("# paper conclusion: hop count, though easy to obtain, does not predict latency");
+}

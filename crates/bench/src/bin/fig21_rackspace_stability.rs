@@ -1,0 +1,40 @@
+//! Figure 21: mean latency stability of four Rackspace-like links over
+//! 60 h (1 h buckets; paper Appendix 3).
+
+use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_netsim::{InstanceId, Provider};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_env();
+    header("Figure 21", "mean latency stability over 60 h, Rackspace-like", scale);
+    let net = standard_network(Provider::rackspace_like(), 50, 42);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let mut pairs: Vec<(u32, u32, f64)> = Vec::new();
+    for i in 0..net.len() as u32 {
+        for j in 0..net.len() as u32 {
+            if i != j {
+                pairs.push((i, j, net.mean_rtt(InstanceId(i), InstanceId(j))));
+            }
+        }
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    let picks =
+        [pairs[pairs.len() / 10], pairs[pairs.len() * 4 / 10], pairs[pairs.len() * 7 / 10], pairs[pairs.len() * 95 / 100]];
+
+    let buckets = 60;
+    let traces: Vec<_> = picks
+        .iter()
+        .map(|&(a, b, _)| net.link_trace(InstanceId(a), InstanceId(b), 1.0, buckets, 2000, &mut rng))
+        .collect();
+
+    row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);
+    for t in 0..buckets {
+        let mut cells = vec![format!("{:.0}", traces[0].hours[t])];
+        for trace in &traces {
+            cells.push(format!("{:.3}", trace.mean_rtt[t]));
+        }
+        row(&cells);
+    }
+}

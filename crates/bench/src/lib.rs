@@ -1,0 +1,166 @@
+//! # cloudia-bench — figure-regeneration harness
+//!
+//! One binary per figure of the paper's evaluation (`src/bin/figNN_*.rs`),
+//! each printing the same series the paper plots as tab-separated columns,
+//! plus Criterion micro-benchmarks (`benches/`). This library holds the
+//! shared plumbing: standard experiment setups, CDF/series printing, and
+//! the scale switch.
+//!
+//! ## Scale
+//!
+//! Default scales are chosen so the full harness finishes in minutes on a
+//! laptop; set `CLOUDIA_SCALE=paper` to run at the paper's sizes (100–150
+//! instances, multi-minute solver budgets).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use cloudia_core::{Advisor, AdvisorConfig, CommGraph, CostMatrix, LatencyMetric};
+use cloudia_measure::{MeasureConfig, Scheme, Staged};
+use cloudia_netsim::{Cloud, Network, Provider};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for quick runs (default).
+    Quick,
+    /// The paper's sizes (`CLOUDIA_SCALE=paper`).
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the `CLOUDIA_SCALE` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("CLOUDIA_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Picks a value by scale.
+    pub fn pick<T>(self, quick: T, paper: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Prints a figure header.
+pub fn header(fig: &str, caption: &str, scale: Scale) {
+    println!("# {fig} — {caption}");
+    println!("# scale: {scale:?} (set CLOUDIA_SCALE=paper for paper sizes)");
+}
+
+/// Prints a tab-separated row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Prints an empirical CDF as (value, cdf) rows, downsampled to at most
+/// `points` rows.
+pub fn print_cdf(label: &str, values: &[f64], points: usize) {
+    let cdf = cloudia_measure::error::empirical_cdf(values);
+    let step = (cdf.len() / points.max(1)).max(1);
+    println!("{label}\tvalue\tcdf");
+    for (i, &(v, p)) in cdf.iter().enumerate() {
+        if i % step == 0 || i == cdf.len() - 1 {
+            row(&[label.to_string(), format!("{v:.4}"), format!("{p:.4}")]);
+        }
+    }
+}
+
+/// Boots a provider, allocates `n` instances, returns the network.
+pub fn standard_network(provider: Provider, n: usize, seed: u64) -> Network {
+    let mut cloud = Cloud::boot(provider, seed);
+    let alloc = cloud.allocate(n);
+    cloud.network(&alloc)
+}
+
+/// All ordered-pair ground-truth mean RTTs of a network.
+pub fn true_mean_vector(net: &Network) -> Vec<f64> {
+    let n = net.len();
+    let mut out = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                out.push(net.mean_rtt(
+                    cloudia_netsim::InstanceId::from_index(i),
+                    cloudia_netsim::InstanceId::from_index(j),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the staged measurement the advisor would run and returns the cost
+/// matrix under a metric.
+pub fn measured_costs(net: &Network, metric: LatencyMetric, ks: usize, sweeps: usize, seed: u64) -> CostMatrix {
+    let report =
+        Staged::new(ks, sweeps).run(net, &MeasureConfig { seed, ..MeasureConfig::default() });
+    metric.cost_matrix(&report.stats)
+}
+
+/// Builds an advisor sized for harness runs.
+pub fn harness_advisor(objective: cloudia_core::Objective, search_s: f64) -> Advisor {
+    Advisor::new(AdvisorConfig {
+        objective,
+        search_time_s: search_s,
+        ..AdvisorConfig::fast()
+    })
+}
+
+/// The three paper workload graphs at a given scale: (behavioral mesh,
+/// aggregation tree, key-value bipartite).
+pub fn workload_graphs(scale: Scale) -> (CommGraph, CommGraph, CommGraph) {
+    match scale {
+        Scale::Quick => (
+            CommGraph::mesh_2d(6, 6),
+            CommGraph::aggregation_tree(6, 2),
+            CommGraph::bipartite(8, 28),
+        ),
+        Scale::Paper => (
+            CommGraph::mesh_2d(10, 10),
+            CommGraph::aggregation_tree(7, 2),
+            CommGraph::bipartite(20, 80),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn standard_network_sizes() {
+        let net = standard_network(Provider::test_quiet(), 8, 1);
+        assert_eq!(net.len(), 8);
+        assert_eq!(true_mean_vector(&net).len(), 8 * 7);
+    }
+
+    #[test]
+    fn workload_graph_sizes() {
+        let (sim, agg, kv) = workload_graphs(Scale::Quick);
+        assert_eq!(sim.num_nodes(), 36);
+        assert_eq!(agg.num_nodes(), 43);
+        assert_eq!(kv.num_nodes(), 36);
+        let (sim, agg, kv) = workload_graphs(Scale::Paper);
+        assert_eq!(sim.num_nodes(), 100);
+        assert_eq!(agg.num_nodes(), 57);
+        assert_eq!(kv.num_nodes(), 100);
+    }
+
+    #[test]
+    fn measured_costs_square() {
+        let net = standard_network(Provider::test_quiet(), 5, 2);
+        let c = measured_costs(&net, LatencyMetric::Mean, 2, 2, 0);
+        assert_eq!(c.len(), 5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Deployment cost functions (paper §3.3) — re-exported from the solver
+//! plus tenant-facing helpers.
+
+pub use cloudia_solver::Objective;
+
+use crate::problem::{CommGraph, CostMatrix, Deployment};
+
+/// Evaluates a deployment's cost for a communication graph under a cost
+/// matrix and objective (convenience wrapper over
+/// [`cloudia_solver::NodeDeployment::cost`]).
+pub fn deployment_cost(
+    graph: &CommGraph,
+    costs: &CostMatrix,
+    objective: Objective,
+    deployment: &Deployment,
+) -> f64 {
+    graph.problem(costs.clone()).cost(objective, deployment)
+}
+
+/// Relative improvement of `optimized` over `baseline` (e.g. 0.25 = 25 %
+/// lower cost). Negative if the optimized deployment is worse.
+pub fn relative_improvement(baseline: f64, optimized: f64) -> f64 {
+    assert!(baseline > 0.0, "baseline cost must be positive, got {baseline}");
+    (baseline - optimized) / baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_math() {
+        assert!((relative_improvement(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!(relative_improvement(1.0, 1.5) < 0.0);
+        assert_eq!(relative_improvement(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cost_wrapper_matches_solver() {
+        let g = CommGraph::new(2, vec![(0, 1)]);
+        let c = CostMatrix::from_matrix(vec![
+            vec![0.0, 2.0, 1.0],
+            vec![2.0, 0.0, 3.0],
+            vec![1.0, 3.0, 0.0],
+        ]);
+        assert_eq!(deployment_cost(&g, &c, Objective::LongestLink, &vec![0, 1]), 2.0);
+        assert_eq!(deployment_cost(&g, &c, Objective::LongestLink, &vec![0, 2]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline cost must be positive")]
+    fn zero_baseline_rejected() {
+        relative_improvement(0.0, 1.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Tenant-facing problem types: communication graphs and cost matrices.
+//!
+//! The tenant describes *which application nodes talk* (the communication
+//! graph, paper Definition 3); ClouDiA combines that with measured costs
+//! (Definition 1) into a [`cloudia_solver::NodeDeployment`] and searches
+//! for a deployment plan (Definition 2).
+
+pub use cloudia_solver::problem::{Costs as CostMatrix, NodeDeployment};
+
+/// An application node identifier (index into the communication graph).
+pub type NodeId = u32;
+
+/// A deployment plan: `deployment[node] = instance index`.
+pub type Deployment = Vec<u32>;
+
+/// The tenant's communication graph: directed `talks(i, j)` edges over
+/// application nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommGraph {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl CommGraph {
+    /// Builds a graph from explicit edges.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges.
+    pub fn new(num_nodes: usize, edges: Vec<(NodeId, NodeId)>) -> Self {
+        assert!(num_nodes > 0, "graph needs at least one node");
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for &(a, b) in &edges {
+            assert_ne!(a, b, "self-loop on node {a}");
+            assert!(
+                (a as usize) < num_nodes && (b as usize) < num_nodes,
+                "edge ({a},{b}) out of range for {num_nodes} nodes"
+            );
+            assert!(seen.insert((a, b)), "duplicate edge ({a},{b})");
+        }
+        Self { num_nodes, edges }
+    }
+
+    /// Number of application nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The directed edges.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Combines the graph with a cost matrix into a solvable problem.
+    pub fn problem(&self, costs: CostMatrix) -> NodeDeployment {
+        NodeDeployment::new(self.num_nodes, self.edges.clone(), costs)
+    }
+
+    /// True if the graph is a DAG (required for the longest-path objective).
+    pub fn is_dag(&self) -> bool {
+        // Reuse the solver's topological sort on a dummy problem.
+        let costs = CostMatrix::from_matrix(vec![vec![0.0; self.num_nodes]; self.num_nodes]);
+        NodeDeployment::new(self.num_nodes, self.edges.clone(), costs).is_dag()
+    }
+
+    // -----------------------------------------------------------------
+    // Templates (paper §3.3: "ClouDiA provides communication graph
+    // templates for certain common graph structures such as meshes or
+    // bipartite graphs").
+    // -----------------------------------------------------------------
+
+    /// 2D mesh of `rows × cols` nodes; neighbors talk in both directions
+    /// (the behavioral-simulation pattern, §6.1.1).
+    pub fn mesh_2d(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        let idx = |r: usize, c: usize| (r * cols + c) as NodeId;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                    edges.push((idx(r, c + 1), idx(r, c)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                    edges.push((idx(r + 1, c), idx(r, c)));
+                }
+            }
+        }
+        Self::new(rows * cols, edges)
+    }
+
+    /// 3D mesh of `x × y × z` nodes, bidirectional neighbor links.
+    pub fn mesh_3d(x: usize, y: usize, z: usize) -> Self {
+        assert!(x > 0 && y > 0 && z > 0, "mesh dimensions must be positive");
+        let idx = |a: usize, b: usize, c: usize| (a * y * z + b * z + c) as NodeId;
+        let mut edges = Vec::new();
+        for a in 0..x {
+            for b in 0..y {
+                for c in 0..z {
+                    if a + 1 < x {
+                        edges.push((idx(a, b, c), idx(a + 1, b, c)));
+                        edges.push((idx(a + 1, b, c), idx(a, b, c)));
+                    }
+                    if b + 1 < y {
+                        edges.push((idx(a, b, c), idx(a, b + 1, c)));
+                        edges.push((idx(a, b + 1, c), idx(a, b, c)));
+                    }
+                    if c + 1 < z {
+                        edges.push((idx(a, b, c), idx(a, b, c + 1)));
+                        edges.push((idx(a, b, c + 1), idx(a, b, c)));
+                    }
+                }
+            }
+        }
+        Self::new(x * y * z, edges)
+    }
+
+    /// Aggregation tree with the given `fanout` and `levels` below the
+    /// root. Edges point *towards the root* (the direction partial
+    /// aggregates flow, §6.1.2). Node 0 is the root; level `l` holds
+    /// `fanout^l` nodes. The result is a DAG suitable for longest-path.
+    pub fn aggregation_tree(fanout: usize, levels: usize) -> Self {
+        assert!(fanout >= 1, "fanout must be >= 1");
+        let mut edges = Vec::new();
+        // Breadth-first numbering: parents of level l+1 are at level l.
+        let mut level_start = 0usize;
+        let mut level_size = 1usize;
+        let mut next = 1usize;
+        for _ in 0..levels {
+            for p in level_start..level_start + level_size {
+                for _ in 0..fanout {
+                    edges.push((next as NodeId, p as NodeId));
+                    next += 1;
+                }
+            }
+            level_start += level_size;
+            level_size *= fanout;
+        }
+        Self::new(next, edges)
+    }
+
+    /// Complete bipartite pattern between `front` front-end nodes
+    /// (0..front) and `storage` storage nodes (front..front+storage),
+    /// bidirectional (requests and responses; the key-value store pattern,
+    /// §6.1.3).
+    pub fn bipartite(front: usize, storage: usize) -> Self {
+        assert!(front > 0 && storage > 0, "both sides must be non-empty");
+        let mut edges = Vec::new();
+        for f in 0..front {
+            for s in 0..storage {
+                let (a, b) = (f as NodeId, (front + s) as NodeId);
+                edges.push((a, b));
+                edges.push((b, a));
+            }
+        }
+        Self::new(front + storage, edges)
+    }
+
+    /// Bidirectional ring of `n` nodes.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring needs at least 3 nodes");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            let j = (i + 1) % n;
+            edges.push((i as NodeId, j as NodeId));
+            edges.push((j as NodeId, i as NodeId));
+        }
+        Self::new(n, edges)
+    }
+
+    /// Star: node 0 talks with every other node, both directions.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "star needs at least 2 nodes");
+        let mut edges = Vec::new();
+        for i in 1..n {
+            edges.push((0, i as NodeId));
+            edges.push((i as NodeId, 0));
+        }
+        Self::new(n, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_2d_shape() {
+        let g = CommGraph::mesh_2d(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // Undirected mesh edges: 3*3 + 2*4 = 17; ×2 directions.
+        assert_eq!(g.num_edges(), 34);
+        assert!(!g.is_dag()); // bidirectional edges form 2-cycles
+    }
+
+    #[test]
+    fn mesh_3d_shape() {
+        let g = CommGraph::mesh_3d(2, 2, 2);
+        assert_eq!(g.num_nodes(), 8);
+        // 12 undirected cube edges ×2.
+        assert_eq!(g.num_edges(), 24);
+    }
+
+    #[test]
+    fn aggregation_tree_shape() {
+        let g = CommGraph::aggregation_tree(3, 2);
+        // 1 + 3 + 9 nodes.
+        assert_eq!(g.num_nodes(), 13);
+        assert_eq!(g.num_edges(), 12);
+        assert!(g.is_dag());
+        // Every edge points to a lower (closer-to-root) index.
+        assert!(g.edges().iter().all(|&(a, b)| b < a));
+    }
+
+    #[test]
+    fn bipartite_shape() {
+        let g = CommGraph::bipartite(2, 3);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 12);
+    }
+
+    #[test]
+    fn ring_and_star() {
+        assert_eq!(CommGraph::ring(5).num_edges(), 10);
+        assert_eq!(CommGraph::star(5).num_edges(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        CommGraph::new(2, vec![(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        CommGraph::new(2, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn problem_construction() {
+        let g = CommGraph::ring(3);
+        let costs = CostMatrix::from_matrix(vec![
+            vec![0.0, 1.0, 2.0, 1.0],
+            vec![1.0, 0.0, 1.5, 2.0],
+            vec![2.0, 1.5, 0.0, 0.5],
+            vec![1.0, 2.0, 0.5, 0.0],
+        ]);
+        let p = g.problem(costs);
+        assert_eq!(p.num_nodes, 3);
+        assert_eq!(p.num_instances(), 4);
+    }
+}

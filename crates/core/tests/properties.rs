@@ -1,0 +1,70 @@
+//! Property-based tests for the core crate: graph templates and the
+//! metric/cost plumbing.
+
+use cloudia_core::{CommGraph, LatencyMetric};
+use cloudia_measure::PairwiseStats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mesh_2d_edge_count_formula(rows in 1usize..8, cols in 1usize..8) {
+        let g = CommGraph::mesh_2d(rows, cols);
+        prop_assert_eq!(g.num_nodes(), rows * cols);
+        let undirected = rows * (cols.saturating_sub(1)) + cols * (rows.saturating_sub(1));
+        prop_assert_eq!(g.num_edges(), 2 * undirected);
+    }
+
+    #[test]
+    fn mesh_3d_edge_count_formula(x in 1usize..5, y in 1usize..5, z in 1usize..5) {
+        let g = CommGraph::mesh_3d(x, y, z);
+        prop_assert_eq!(g.num_nodes(), x * y * z);
+        let undirected = (x - 1) * y * z + x * (y - 1) * z + x * y * (z - 1);
+        prop_assert_eq!(g.num_edges(), 2 * undirected);
+    }
+
+    #[test]
+    fn aggregation_tree_is_a_dag_with_n_minus_1_edges(fanout in 1usize..5, levels in 0usize..4) {
+        let g = CommGraph::aggregation_tree(fanout, levels);
+        prop_assert!(g.is_dag());
+        prop_assert_eq!(g.num_edges(), g.num_nodes() - 1);
+    }
+
+    #[test]
+    fn bipartite_edge_count(front in 1usize..6, storage in 1usize..8) {
+        let g = CommGraph::bipartite(front, storage);
+        prop_assert_eq!(g.num_nodes(), front + storage);
+        prop_assert_eq!(g.num_edges(), 2 * front * storage);
+        prop_assert!(!g.is_dag()); // bidirectional edges
+    }
+
+    #[test]
+    fn metric_matrices_are_consistently_ordered(seed in 0u64..200) {
+        // mean <= mean+sd on every link, for arbitrary recorded samples.
+        let mut stats = PairwiseStats::new(4);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            0.1 + (state >> 33) as f64 / u32::MAX as f64
+        };
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    for _ in 0..20 {
+                        stats.record(i, j, next());
+                    }
+                }
+            }
+        }
+        let mean = LatencyMetric::Mean.cost_matrix(&stats);
+        let msd = LatencyMetric::MeanPlusSd.cost_matrix(&stats);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    prop_assert!(msd.get(i, j) >= mean.get(i, j));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Network-distance approximations (paper Appendix 2).
+//!
+//! Measuring all-pairs latency takes time; the paper asks whether two
+//! cheap proxies — **IP distance** (dissimilarity of internal IPv4
+//! addresses) and **hop count** (from TTL observations) — could stand in
+//! for round-trip latency. The answer is *no*: within a group of equal IP
+//! distance or equal hop count, latencies vary so widely that the groups
+//! overlap (Figs. 16–17). These helpers compute both proxies so the
+//! benchmark harness can regenerate those negative results.
+
+use cloudia_netsim::{InstanceId, Network};
+
+/// IP distance between two IPv4 addresses considering `group_bits`
+/// consecutive bits at a time (paper's `g`).
+///
+/// Two addresses sharing their first `k` whole groups (but not `k+1`) have
+/// distance `32/group_bits − k`. With `group_bits = 8`, sharing the first
+/// three octets gives distance 1, sharing two gives 2, and so on; identical
+/// addresses have distance 0.
+///
+/// # Panics
+/// Panics unless `group_bits` divides 32.
+pub fn ip_distance(a: [u8; 4], b: [u8; 4], group_bits: u32) -> u32 {
+    assert!(
+        group_bits >= 1 && group_bits <= 32 && 32 % group_bits == 0,
+        "group_bits must divide 32, got {group_bits}"
+    );
+    let xa = u32::from_be_bytes(a);
+    let xb = u32::from_be_bytes(b);
+    let groups = 32 / group_bits;
+    let mut shared = 0;
+    for g in 0..groups {
+        let shift = 32 - (g + 1) * group_bits;
+        if (xa >> shift) == (xb >> shift) {
+            shared = g + 1;
+        } else {
+            break;
+        }
+    }
+    groups - shared
+}
+
+/// One link's latency annotated with a grouping key (IP distance or hop
+/// count) — one point in Figs. 16–17.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupedLink {
+    /// Grouping value (IP distance or hop count).
+    pub group: u32,
+    /// Mean RTT of the link (ms).
+    pub mean_rtt: f64,
+}
+
+/// All ordered links of `net` grouped by IP distance (with the given group
+/// width), each with its true mean latency, sorted by (group, latency) —
+/// exactly the layout of paper Fig. 16.
+pub fn links_by_ip_distance(net: &Network, group_bits: u32) -> Vec<GroupedLink> {
+    group_links(net, |net, i, j| ip_distance(net.internal_ip(i), net.internal_ip(j), group_bits))
+}
+
+/// All ordered links of `net` grouped by switch-hop count (paper Fig. 17).
+pub fn links_by_hop_count(net: &Network) -> Vec<GroupedLink> {
+    group_links(net, |net, i, j| net.hop_count(i, j))
+}
+
+fn group_links(
+    net: &Network,
+    key: impl Fn(&Network, InstanceId, InstanceId) -> u32,
+) -> Vec<GroupedLink> {
+    let n = net.len();
+    let mut out = Vec::with_capacity(n * (n - 1));
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (InstanceId::from_index(i), InstanceId::from_index(j));
+            out.push(GroupedLink { group: key(net, a, b), mean_rtt: net.mean_rtt(a, b) });
+        }
+    }
+    out.sort_by(|x, y| {
+        x.group.cmp(&y.group).then(x.mean_rtt.partial_cmp(&y.mean_rtt).unwrap())
+    });
+    out
+}
+
+/// Counts how badly a grouping predicts latency: the fraction of link
+/// pairs `(x, y)` with `group(x) < group(y)` but `latency(x) > latency(y)`
+/// among all cross-group pairs (inversion rate; 0 = perfect monotone
+/// predictor, 0.5 = useless).
+pub fn inversion_rate(links: &[GroupedLink]) -> f64 {
+    let mut cross = 0u64;
+    let mut inverted = 0u64;
+    for x in links {
+        for y in links {
+            if x.group < y.group {
+                cross += 1;
+                if x.mean_rtt > y.mean_rtt {
+                    inverted += 1;
+                }
+            }
+        }
+    }
+    if cross == 0 {
+        return 0.0;
+    }
+    inverted as f64 / cross as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudia_netsim::{Cloud, Provider};
+
+    #[test]
+    fn ip_distance_octets() {
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 1, 2, 3], 8), 0);
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 1, 2, 9], 8), 1);
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 1, 9, 3], 8), 2);
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 9, 2, 3], 8), 3);
+        assert_eq!(ip_distance([10, 1, 2, 3], [11, 1, 2, 3], 8), 4);
+    }
+
+    #[test]
+    fn ip_distance_prefix_gap_is_not_shared() {
+        // Equal third octet does not matter if the second differs.
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 9, 2, 3], 8), 3);
+    }
+
+    #[test]
+    fn ip_distance_other_group_sizes() {
+        // g = 16: two half-words.
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 1, 9, 9], 16), 1);
+        assert_eq!(ip_distance([10, 1, 2, 3], [10, 2, 2, 3], 16), 2);
+        // g = 4: nibbles.
+        assert_eq!(ip_distance([0x12, 0, 0, 0], [0x13, 0, 0, 0], 4), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "group_bits must divide 32")]
+    fn ip_distance_rejects_bad_group() {
+        ip_distance([0; 4], [0; 4], 5);
+    }
+
+    #[test]
+    fn groupings_are_sorted_and_complete() {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), 1);
+        let alloc = cloud.allocate(10);
+        let net = cloud.network(&alloc);
+        for links in [links_by_ip_distance(&net, 8), links_by_hop_count(&net)] {
+            assert_eq!(links.len(), 10 * 9);
+            assert!(links.windows(2).all(|w| w[0].group <= w[1].group));
+        }
+    }
+
+    #[test]
+    fn hop_groups_overlap_in_latency() {
+        // The Appendix-2 negative result: latency ranges of adjacent hop
+        // groups overlap thanks to per-link heterogeneity.
+        let mut cloud = Cloud::boot(Provider::ec2_like(), 2);
+        let alloc = cloud.allocate(60);
+        let net = cloud.network(&alloc);
+        let links = links_by_hop_count(&net);
+        let rate = inversion_rate(&links);
+        assert!(rate > 0.02, "hop count unexpectedly perfect: inversion rate {rate}");
+    }
+
+    #[test]
+    fn inversion_rate_of_perfect_grouping_is_zero() {
+        let links = vec![
+            GroupedLink { group: 0, mean_rtt: 0.1 },
+            GroupedLink { group: 1, mean_rtt: 0.2 },
+            GroupedLink { group: 2, mean_rtt: 0.3 },
+        ];
+        assert_eq!(inversion_rate(&links), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Accuracy comparison of latency vectors (paper §6.2).
+//!
+//! The paper treats the set of pairwise mean latencies as one
+//! high-dimensional vector. Because ClouDiA only uses latencies to *rank*
+//! links, a scheme that over- or under-estimates every link by the same
+//! factor is as good as a perfect one; vectors are therefore normalized to
+//! unit (Euclidean) norm before comparison. Fig. 4 plots the CDF of the
+//! per-dimension relative error against the token-passing baseline; Fig. 5
+//! plots the root-mean-square error of partial observations against the
+//! final estimate.
+
+/// Normalizes a vector to unit Euclidean norm. Returns a zero vector for a
+/// zero input.
+pub fn normalize_unit(v: &[f64]) -> Vec<f64> {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return vec![0.0; v.len()];
+    }
+    v.iter().map(|x| x / norm).collect()
+}
+
+/// Per-dimension relative error of `candidate` against `baseline`, after
+/// both are unit-normalized (paper Fig. 4's "normalized relative error").
+///
+/// Dimensions where the baseline is zero (e.g. unmeasured links) are
+/// skipped.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn normalized_relative_errors(candidate: &[f64], baseline: &[f64]) -> Vec<f64> {
+    assert_eq!(candidate.len(), baseline.len(), "vector length mismatch");
+    let c = normalize_unit(candidate);
+    let b = normalize_unit(baseline);
+    c.iter()
+        .zip(&b)
+        .filter(|&(_, &bb)| bb != 0.0)
+        .map(|(&cc, &bb)| (cc - bb).abs() / bb)
+        .collect()
+}
+
+/// Root-mean-square error between two vectors (not normalized — Fig. 5
+/// compares partial estimates of the *same* scheme against its own final
+/// estimate, so scale is shared).
+///
+/// # Panics
+/// Panics if the vectors have different lengths or are empty.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    assert!(!a.is_empty(), "rmse of empty vectors");
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Empirical CDF: returns `(value, fraction ≤ value)` pairs in ascending
+/// order, one per sample.
+pub fn empirical_cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len() as f64;
+    sorted.iter().enumerate().map(|(i, &v)| (v, (i + 1) as f64 / n)).collect()
+}
+
+/// The fraction of `values` that are at most `x`.
+pub fn cdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+/// The `q`-quantile of `values` (nearest-rank).
+///
+/// # Panics
+/// Panics if `values` is empty or `q` is outside [0, 1].
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Pearson correlation coefficient between two vectors.
+///
+/// # Panics
+/// Panics if the vectors differ in length or have fewer than 2 elements.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    assert!(a.len() >= 2, "need at least 2 points");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_unit_norm_is_one() {
+        let v = normalize_unit(&[3.0, 4.0]);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+        assert!((v[1] - 0.8).abs() < 1e-12);
+        let zero = normalize_unit(&[0.0, 0.0]);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scaled_vectors_have_zero_relative_error() {
+        let base = [0.5, 0.7, 1.2, 0.3];
+        let scaled: Vec<f64> = base.iter().map(|x| x * 3.7).collect();
+        let errs = normalized_relative_errors(&scaled, &base);
+        assert!(errs.iter().all(|&e| e < 1e-12), "{errs:?}");
+    }
+
+    #[test]
+    fn relative_error_detects_distortion() {
+        let base = [1.0, 1.0, 1.0, 1.0];
+        let cand = [1.0, 1.0, 1.0, 2.0]; // one link overestimated
+        let errs = normalized_relative_errors(&cand, &base);
+        assert_eq!(errs.len(), 4);
+        assert!(errs[3] > 0.5, "{errs:?}");
+        assert!(errs[0] > 0.0); // normalization spreads the error
+    }
+
+    #[test]
+    fn rmse_basics() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let cdf = empirical_cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn cdf_at_values() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(cdf_at(&v, 2.5), 0.5);
+        assert_eq!(cdf_at(&v, 0.0), 0.0);
+        assert_eq!(cdf_at(&v, 4.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.9), 5.0);
+    }
+
+    #[test]
+    fn pearson_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Common driver types for the three measurement schemes of paper §5.
+//!
+//! A scheme runs over a [`Network`]'s discrete-event engine, probing pairs
+//! of instances with small TCP-like messages and recording round-trip
+//! times into [`PairwiseStats`]. Schemes differ in *how* probes are
+//! scheduled — serially (token passing), independently at random
+//! (uncoordinated), or in coordinator-chosen disjoint pairs (staged) — and
+//! that scheduling determines both accuracy (interference) and wall-clock
+//! cost (parallelism).
+
+use cloudia_netsim::{Network, NicParams};
+
+use crate::stats::PairwiseStats;
+
+/// Message kinds used by all schemes.
+pub(crate) const KIND_PROBE: u32 = 0;
+/// Reply to a probe; completes one RTT observation.
+pub(crate) const KIND_REPLY: u32 = 1;
+/// Token handoff (token-passing scheme only).
+pub(crate) const KIND_TOKEN: u32 = 2;
+
+/// Configuration shared by all measurement schemes.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Probe payload size in KB (paper: 1 KB unless stated).
+    pub probe_size_kb: f64,
+    /// Endpoint handling parameters for the event engine.
+    pub nic: NicParams,
+    /// RNG seed (probe jitter, destination choice).
+    pub seed: u64,
+    /// If set, record a snapshot of the mean-estimate vector every this
+    /// many simulated milliseconds (used by the Fig. 5 convergence study).
+    pub snapshot_every_ms: Option<f64>,
+    /// If set, stop issuing new probes after this much simulated time.
+    pub max_duration_ms: Option<f64>,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            probe_size_kb: 1.0,
+            nic: NicParams::default(),
+            seed: 0,
+            snapshot_every_ms: None,
+            max_duration_ms: None,
+        }
+    }
+}
+
+/// A time-stamped snapshot of the flattened mean-estimate vector.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Simulated time of the snapshot (ms).
+    pub at_ms: f64,
+    /// Mean estimates over all ordered pairs, row-major, diagonal skipped.
+    pub mean_vector: Vec<f64>,
+}
+
+/// The result of one measurement run.
+#[derive(Debug, Clone)]
+pub struct MeasurementReport {
+    /// Which scheme produced this report.
+    pub scheme: &'static str,
+    /// Per-link online summaries.
+    pub stats: PairwiseStats,
+    /// Total simulated time the measurement occupied (ms).
+    pub elapsed_ms: f64,
+    /// Number of completed round-trip observations.
+    pub round_trips: u64,
+    /// Mean-vector snapshots (empty unless requested).
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl MeasurementReport {
+    /// Flattened mean vector at the end of the run.
+    pub fn mean_vector(&self) -> Vec<f64> {
+        self.stats.mean_vector()
+    }
+}
+
+/// A pairwise latency measurement scheme.
+pub trait Scheme {
+    /// Short identifier ("token", "uncoordinated", "staged").
+    fn name(&self) -> &'static str;
+
+    /// Runs the scheme over `net` and returns the collected estimates.
+    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport;
+}
+
+/// Shared snapshot bookkeeping for scheme implementations.
+pub(crate) struct SnapshotTracker {
+    every: Option<f64>,
+    next_at: f64,
+    pub(crate) snapshots: Vec<Snapshot>,
+}
+
+impl SnapshotTracker {
+    pub(crate) fn new(cfg: &MeasureConfig) -> Self {
+        Self { every: cfg.snapshot_every_ms, next_at: cfg.snapshot_every_ms.unwrap_or(0.0), snapshots: Vec::new() }
+    }
+
+    /// Called after each recorded sample with the current simulated time.
+    pub(crate) fn maybe_snapshot(&mut self, now: f64, stats: &PairwiseStats) {
+        let Some(every) = self.every else { return };
+        while now >= self.next_at {
+            self.snapshots.push(Snapshot { at_ms: self.next_at, mean_vector: stats.mean_vector() });
+            self.next_at += every;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_one_kb() {
+        let cfg = MeasureConfig::default();
+        assert_eq!(cfg.probe_size_kb, 1.0);
+        assert!(cfg.snapshot_every_ms.is_none());
+    }
+
+    #[test]
+    fn snapshot_tracker_fires_at_intervals() {
+        let cfg = MeasureConfig { snapshot_every_ms: Some(10.0), ..Default::default() };
+        let mut tracker = SnapshotTracker::new(&cfg);
+        let stats = PairwiseStats::new(2);
+        tracker.maybe_snapshot(5.0, &stats);
+        assert!(tracker.snapshots.is_empty());
+        tracker.maybe_snapshot(25.0, &stats);
+        assert_eq!(tracker.snapshots.len(), 2);
+        assert_eq!(tracker.snapshots[0].at_ms, 10.0);
+        assert_eq!(tracker.snapshots[1].at_ms, 20.0);
+    }
+
+    #[test]
+    fn snapshot_tracker_disabled_by_default() {
+        let cfg = MeasureConfig::default();
+        let mut tracker = SnapshotTracker::new(&cfg);
+        tracker.maybe_snapshot(1e9, &PairwiseStats::new(2));
+        assert!(tracker.snapshots.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! Online per-link statistics: mean, variance, and tail quantiles.
+//!
+//! A measurement run produces millions of probe samples; storing them all
+//! would dwarf the latency matrices themselves. Each link therefore keeps a
+//! compact online summary: Welford's algorithm for mean/variance and a P²
+//! estimator (Jain & Chlamtac, CACM 1985) for the 99th percentile — the
+//! three latency metrics the paper studies in §3.2/§6.4 (mean, mean+SD,
+//! p99) all come out of one pass.
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// P² single-quantile estimator with five markers.
+///
+/// Maintains an estimate of an arbitrary quantile in O(1) space without
+/// storing samples. Until five samples have arrived it falls back to exact
+/// order statistics.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based counts).
+    pos: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    inc: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in (0, 1).
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        Self {
+            q,
+            heights: [0.0; 5],
+            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            inc: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and adjust extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.pos.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.inc[i];
+        }
+
+        // Adjust interior markers with the parabolic (P²) formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.pos[i];
+            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
+                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] = if candidate > self.heights[i - 1] && candidate < self.heights[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.pos[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n0, np) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
+        q0 + d / (np - nm)
+            * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
+    }
+
+    /// Current quantile estimate (exact for fewer than 5 samples).
+    pub fn value(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        if self.count <= 5 {
+            let mut v: Vec<f64> = self.heights[..self.count.min(5)].to_vec();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((self.count as f64 * self.q).ceil() as usize).clamp(1, self.count) - 1;
+            return v[idx];
+        }
+        self.heights[2]
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Full online summary of one directed link.
+#[derive(Debug, Clone)]
+pub struct LinkEstimate {
+    welford: Welford,
+    p99: P2Quantile,
+}
+
+impl Default for LinkEstimate {
+    fn default() -> Self {
+        Self { welford: Welford::new(), p99: P2Quantile::new(0.99) }
+    }
+}
+
+impl LinkEstimate {
+    /// Adds one RTT observation.
+    pub fn record(&mut self, rtt: f64) {
+        self.welford.record(rtt);
+        self.p99.record(rtt);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Mean RTT estimate.
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// RTT standard deviation estimate.
+    pub fn sd(&self) -> f64 {
+        self.welford.sd()
+    }
+
+    /// Mean plus one standard deviation (paper's "Mean+SD" metric).
+    pub fn mean_plus_sd(&self) -> f64 {
+        self.mean() + self.sd()
+    }
+
+    /// 99th-percentile estimate (paper's "99%" metric).
+    pub fn p99(&self) -> f64 {
+        self.p99.value()
+    }
+}
+
+/// Pairwise link summaries for `n` instances (diagonal unused).
+#[derive(Debug, Clone)]
+pub struct PairwiseStats {
+    n: usize,
+    links: Vec<LinkEstimate>,
+}
+
+impl PairwiseStats {
+    /// Creates empty statistics for `n` instances.
+    pub fn new(n: usize) -> Self {
+        Self { n, links: vec![LinkEstimate::default(); n * n] }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if tracking zero instances.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Records one RTT observation for the directed link `src → dst`
+    /// (raw indices).
+    pub fn record(&mut self, src: usize, dst: usize, rtt: f64) {
+        debug_assert_ne!(src, dst);
+        self.links[src * self.n + dst].record(rtt);
+    }
+
+    /// The summary of one directed link.
+    pub fn link(&self, src: usize, dst: usize) -> &LinkEstimate {
+        &self.links[src * self.n + dst]
+    }
+
+    /// Total number of recorded samples.
+    pub fn total_samples(&self) -> u64 {
+        self.links.iter().map(|l| l.count()).sum()
+    }
+
+    /// Number of off-diagonal links with at least one sample.
+    pub fn covered_links(&self) -> usize {
+        (0..self.n)
+            .flat_map(|i| (0..self.n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && self.link(i, j).count() > 0)
+            .count()
+    }
+
+    /// Flattened vector of mean estimates over all ordered pairs (i ≠ j),
+    /// in row-major order — the "latency vector" of paper §6.2.
+    pub fn mean_vector(&self) -> Vec<f64> {
+        self.ordered_pairs().map(|(i, j)| self.link(i, j).mean()).collect()
+    }
+
+    /// Matrix of mean estimates (diagonal 0).
+    pub fn mean_matrix(&self) -> Vec<Vec<f64>> {
+        self.matrix(|l| l.mean())
+    }
+
+    /// Matrix of mean+SD estimates (diagonal 0).
+    pub fn mean_plus_sd_matrix(&self) -> Vec<Vec<f64>> {
+        self.matrix(|l| l.mean_plus_sd())
+    }
+
+    /// Matrix of p99 estimates (diagonal 0).
+    pub fn p99_matrix(&self) -> Vec<Vec<f64>> {
+        self.matrix(|l| l.p99())
+    }
+
+    fn matrix(&self, f: impl Fn(&LinkEstimate) -> f64) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| if i == j { 0.0 } else { f(self.link(i, j)) }).collect())
+            .collect()
+    }
+
+    fn ordered_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |i| (0..self.n).filter(move |&j| j != i).map(move |j| (i, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / 5.0;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 5.0;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        w.record(3.5);
+        assert_eq!(w.mean(), 3.5);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_p99() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut q = P2Quantile::new(0.99);
+        for _ in 0..100_000 {
+            q.record(rng.random::<f64>());
+        }
+        assert!((q.value() - 0.99).abs() < 0.01, "p99 {}", q.value());
+    }
+
+    #[test]
+    fn p2_tracks_median_of_normal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q = P2Quantile::new(0.5);
+        for _ in 0..100_000 {
+            q.record(5.0 + cloudia_netsim::dist::standard_normal(&mut rng));
+        }
+        assert!((q.value() - 5.0).abs() < 0.05, "median {}", q.value());
+    }
+
+    #[test]
+    fn p2_exact_for_few_samples() {
+        let mut q = P2Quantile::new(0.99);
+        q.record(3.0);
+        q.record(1.0);
+        assert_eq!(q.value(), 3.0);
+        let mut qm = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 3.0] {
+            qm.record(x);
+        }
+        assert_eq!(qm.value(), 3.0);
+    }
+
+    #[test]
+    fn p2_against_exact_on_lognormal() {
+        // Compare against the exact empirical quantile on a skewed
+        // distribution — the realistic shape of RTT samples.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut q = P2Quantile::new(0.99);
+        let mut xs = Vec::new();
+        for _ in 0..50_000 {
+            let x = (0.3 * cloudia_netsim::dist::standard_normal(&mut rng)).exp();
+            q.record(x);
+            xs.push(x);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = xs[(0.99 * xs.len() as f64) as usize];
+        assert!((q.value() - exact).abs() / exact < 0.05, "p2 {} exact {exact}", q.value());
+    }
+
+    #[test]
+    fn link_estimate_combines_metrics() {
+        let mut l = LinkEstimate::default();
+        for i in 0..1000 {
+            l.record(if i % 100 == 0 { 10.0 } else { 1.0 });
+        }
+        assert!(l.mean() > 1.0 && l.mean() < 1.2);
+        assert!(l.mean_plus_sd() > l.mean());
+        assert!(l.p99() >= 1.0);
+        assert_eq!(l.count(), 1000);
+    }
+
+    #[test]
+    fn pairwise_records_directed() {
+        let mut s = PairwiseStats::new(3);
+        s.record(0, 1, 2.0);
+        s.record(0, 1, 4.0);
+        s.record(1, 0, 10.0);
+        assert_eq!(s.link(0, 1).mean(), 3.0);
+        assert_eq!(s.link(1, 0).mean(), 10.0);
+        assert_eq!(s.link(2, 0).count(), 0);
+        assert_eq!(s.total_samples(), 3);
+        assert_eq!(s.covered_links(), 2);
+    }
+
+    #[test]
+    fn mean_vector_is_row_major_off_diagonal() {
+        let mut s = PairwiseStats::new(3);
+        for (i, j, v) in [(0, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (1, 2, 4.0), (2, 0, 5.0), (2, 1, 6.0)] {
+            s.record(i, j, v);
+        }
+        assert_eq!(s.mean_vector(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let m = s.mean_matrix();
+        assert_eq!(m[0][0], 0.0);
+        assert_eq!(m[2][1], 6.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Token-passing measurement (paper §5, approach 1).
+//!
+//! A unique token circulates among instances. The holder probes one
+//! destination, waits for the reply, records the round-trip time, and
+//! passes the token on. At most one message is ever in flight, so no
+//! measurement interferes with any other — this is the *accuracy baseline*
+//! the other schemes are compared against (Fig. 4) — but the total wall
+//! time is proportional to the number of samples collected, which does not
+//! scale.
+
+use cloudia_netsim::{InstanceId, MessageSpec, Network};
+
+use crate::scheme::{
+    MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY, KIND_TOKEN,
+};
+use crate::stats::PairwiseStats;
+
+/// The token-passing scheme.
+#[derive(Debug, Clone)]
+pub struct TokenPassing {
+    /// Round-trip observations to collect per ordered pair.
+    pub samples_per_pair: usize,
+}
+
+impl TokenPassing {
+    /// Creates a token-passing scheme collecting `samples_per_pair`
+    /// observations per ordered pair.
+    pub fn new(samples_per_pair: usize) -> Self {
+        assert!(samples_per_pair > 0, "need at least one sample per pair");
+        Self { samples_per_pair }
+    }
+}
+
+impl Scheme for TokenPassing {
+    fn name(&self) -> &'static str {
+        "token"
+    }
+
+    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport {
+        let n = net.len();
+        assert!(n >= 2, "need at least two instances to measure");
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        let mut stats = PairwiseStats::new(n);
+        let mut tracker = SnapshotTracker::new(cfg);
+        let mut round_trips = 0u64;
+
+        // Destination rotation per holder: the c-th visit of holder i
+        // probes the c-th other instance (cyclically).
+        let mut cursor = vec![0usize; n];
+
+        let total_visits = n * (n - 1) * self.samples_per_pair;
+        'outer: for visit in 0..total_visits {
+            let holder = visit % n;
+            let c = cursor[holder];
+            cursor[holder] += 1;
+            // Skip self by offsetting the cycle.
+            let dst = (holder + 1 + (c % (n - 1))) % n;
+
+            if let Some(limit) = cfg.max_duration_ms {
+                if engine.now() >= limit {
+                    break 'outer;
+                }
+            }
+
+            // Probe and wait for the reply — strictly serial.
+            let sent = engine.send(MessageSpec {
+                src: InstanceId::from_index(holder),
+                dst: InstanceId::from_index(dst),
+                size_kb: cfg.probe_size_kb,
+                kind: KIND_PROBE,
+                token: visit as u64,
+            });
+            let probe = engine.next_delivery().expect("probe in flight");
+            debug_assert_eq!(probe.spec.kind, KIND_PROBE);
+            engine.send(MessageSpec {
+                src: probe.spec.dst,
+                dst: probe.spec.src,
+                size_kb: cfg.probe_size_kb,
+                kind: KIND_REPLY,
+                token: probe.spec.token,
+            });
+            let reply = engine.next_delivery().expect("reply in flight");
+            stats.record(holder, dst, reply.delivered_at - sent);
+            round_trips += 1;
+            tracker.maybe_snapshot(engine.now(), &stats);
+
+            // Pass the token to the next holder (a real small message).
+            let next = (holder + 1) % n;
+            engine.send(MessageSpec {
+                src: InstanceId::from_index(holder),
+                dst: InstanceId::from_index(next),
+                size_kb: 0.1,
+                kind: KIND_TOKEN,
+                token: visit as u64,
+            });
+            engine.next_delivery();
+        }
+
+        MeasurementReport {
+            scheme: "token",
+            elapsed_ms: engine.now(),
+            round_trips,
+            snapshots: tracker.snapshots,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudia_netsim::{Cloud, Provider};
+
+    fn network(n: usize, seed: u64) -> Network {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+        let alloc = cloud.allocate(n);
+        cloud.network(&alloc)
+    }
+
+    #[test]
+    fn covers_every_ordered_pair() {
+        let net = network(5, 1);
+        let report = TokenPassing::new(3).run(&net, &MeasureConfig::default());
+        assert_eq!(report.stats.covered_links(), 5 * 4);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    assert_eq!(report.stats.link(i, j).count(), 3, "pair ({i},{j})");
+                }
+            }
+        }
+        assert_eq!(report.round_trips, 5 * 4 * 3);
+    }
+
+    #[test]
+    fn estimates_match_truth_without_jitter() {
+        // test_quiet has zero jitter, so every sample is the true mean plus
+        // the constant handling overhead.
+        let net = network(4, 2);
+        let cfg = MeasureConfig::default();
+        let report = TokenPassing::new(2).run(&net, &cfg);
+        let overhead = 4.0 * (cfg.nic.handle_ms + cfg.nic.serialize_ms_per_kb * cfg.probe_size_kb);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    let est = report.stats.link(i as usize, j as usize).mean();
+                    let truth = net.mean_rtt(InstanceId(i), InstanceId(j)) + overhead;
+                    assert!((est - truth).abs() < 1e-9, "({i},{j}): est {est}, truth {truth}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn elapsed_grows_with_samples() {
+        let net = network(4, 3);
+        let r1 = TokenPassing::new(1).run(&net, &MeasureConfig::default());
+        let r2 = TokenPassing::new(4).run(&net, &MeasureConfig::default());
+        assert!(r2.elapsed_ms > r1.elapsed_ms * 3.0);
+    }
+
+    #[test]
+    fn duration_limit_stops_early() {
+        let net = network(6, 4);
+        let cfg = MeasureConfig { max_duration_ms: Some(5.0), ..Default::default() };
+        let report = TokenPassing::new(100).run(&net, &cfg);
+        assert!(report.round_trips < 6 * 5 * 100);
+        assert!(report.elapsed_ms < 10.0);
+    }
+
+    #[test]
+    fn snapshots_requested_are_produced() {
+        let net = network(4, 5);
+        let cfg = MeasureConfig { snapshot_every_ms: Some(2.0), ..Default::default() };
+        let report = TokenPassing::new(3).run(&net, &cfg);
+        assert!(!report.snapshots.is_empty());
+        assert_eq!(report.snapshots[0].mean_vector.len(), 4 * 3);
+    }
+}

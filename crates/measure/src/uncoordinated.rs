@@ -1,0 +1,215 @@
+//! Uncoordinated measurement (paper §5, approach 2).
+//!
+//! Every instance independently picks a random destination, probes it,
+//! waits for the reply, and repeats. Up to `n` probes are in flight at
+//! once, so the scheme is fast — but nothing prevents an instance from
+//! having to serve a reply while sending its own probe, or several probes
+//! from converging on one destination. Those collisions queue at the
+//! endpoints (see [`cloudia_netsim::Engine`]) and inflate the observed
+//! round-trip times of whichever links happened to collide, producing the
+//! long error tail the paper shows in Fig. 4.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use cloudia_netsim::{InstanceId, MessageSpec, Network};
+
+use crate::scheme::{MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY};
+use crate::stats::PairwiseStats;
+
+/// The uncoordinated scheme.
+#[derive(Debug, Clone)]
+pub struct Uncoordinated {
+    /// Number of probes each instance issues.
+    pub probes_per_instance: usize,
+}
+
+impl Uncoordinated {
+    /// Creates an uncoordinated scheme issuing `probes_per_instance` probes
+    /// from every instance.
+    pub fn new(probes_per_instance: usize) -> Self {
+        assert!(probes_per_instance > 0, "need at least one probe per instance");
+        Self { probes_per_instance }
+    }
+}
+
+impl Scheme for Uncoordinated {
+    fn name(&self) -> &'static str {
+        "uncoordinated"
+    }
+
+    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport {
+        let n = net.len();
+        assert!(n >= 2, "need at least two instances to measure");
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut stats = PairwiseStats::new(n);
+        let mut tracker = SnapshotTracker::new(cfg);
+        let mut round_trips = 0u64;
+
+        // Per-instance probe state: outstanding probe send time and count
+        // of probes issued. Each instance has at most one outstanding probe.
+        let mut probe_sent_at = vec![0.0f64; n];
+        let mut probe_dst = vec![0usize; n];
+        let mut issued = vec![0usize; n];
+
+        let launch = |src: usize,
+                          engine: &mut cloudia_netsim::Engine<'_>,
+                          rng: &mut StdRng,
+                          probe_sent_at: &mut [f64],
+                          probe_dst: &mut [usize],
+                          issued: &mut [usize]| {
+            let dst = loop {
+                let d = rng.random_range(0..n);
+                if d != src {
+                    break d;
+                }
+            };
+            let sent = engine.send(MessageSpec {
+                src: InstanceId::from_index(src),
+                dst: InstanceId::from_index(dst),
+                size_kb: cfg.probe_size_kb,
+                kind: KIND_PROBE,
+                token: src as u64,
+            });
+            probe_sent_at[src] = sent;
+            probe_dst[src] = dst;
+            issued[src] += 1;
+        };
+
+        // Everyone starts probing at t = 0 — the defining property of the
+        // scheme (and the source of its interference).
+        for src in 0..n {
+            launch(src, &mut engine, &mut rng, &mut probe_sent_at, &mut probe_dst, &mut issued);
+        }
+
+        while let Some(msg) = engine.next_delivery() {
+            match msg.spec.kind {
+                KIND_PROBE => {
+                    // Reply immediately (queues behind whatever the
+                    // destination endpoint is doing).
+                    engine.send(MessageSpec {
+                        src: msg.spec.dst,
+                        dst: msg.spec.src,
+                        size_kb: cfg.probe_size_kb,
+                        kind: KIND_REPLY,
+                        token: msg.spec.token,
+                    });
+                }
+                KIND_REPLY => {
+                    let src = msg.spec.token as usize;
+                    stats.record(src, probe_dst[src], msg.delivered_at - probe_sent_at[src]);
+                    round_trips += 1;
+                    tracker.maybe_snapshot(engine.now(), &stats);
+                    let under_limit =
+                        cfg.max_duration_ms.is_none_or(|limit| engine.now() < limit);
+                    if issued[src] < self.probes_per_instance && under_limit {
+                        launch(
+                            src,
+                            &mut engine,
+                            &mut rng,
+                            &mut probe_sent_at,
+                            &mut probe_dst,
+                            &mut issued,
+                        );
+                    }
+                }
+                other => unreachable!("unexpected message kind {other}"),
+            }
+        }
+
+        MeasurementReport {
+            scheme: "uncoordinated",
+            elapsed_ms: engine.now(),
+            round_trips,
+            snapshots: tracker.snapshots,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudia_netsim::{Cloud, Provider};
+
+    fn network(n: usize, seed: u64) -> Network {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+        let alloc = cloud.allocate(n);
+        cloud.network(&alloc)
+    }
+
+    #[test]
+    fn issues_requested_probe_count() {
+        let net = network(6, 1);
+        let report = Uncoordinated::new(50).run(&net, &MeasureConfig::default());
+        assert_eq!(report.round_trips, 6 * 50);
+    }
+
+    #[test]
+    fn is_much_faster_than_token_for_same_sample_count() {
+        let net = network(10, 2);
+        let samples = 20;
+        let unc = Uncoordinated::new(samples * 9).run(&net, &MeasureConfig::default());
+        let tok =
+            crate::token::TokenPassing::new(samples).run(&net, &MeasureConfig::default());
+        // Same total round trips, but uncoordinated runs ~n probes in
+        // parallel.
+        assert_eq!(unc.round_trips, tok.round_trips);
+        assert!(
+            unc.elapsed_ms < tok.elapsed_ms / 3.0,
+            "uncoordinated {} vs token {}",
+            unc.elapsed_ms,
+            tok.elapsed_ms
+        );
+    }
+
+    #[test]
+    fn interference_inflates_estimates() {
+        // With zero jitter, any deviation of an estimate above
+        // truth + constant overhead is queueing delay. Uncoordinated must
+        // show some; token never does.
+        let net = network(12, 3);
+        let cfg = MeasureConfig::default();
+        let overhead = 4.0 * (cfg.nic.handle_ms + cfg.nic.serialize_ms_per_kb);
+        let report = Uncoordinated::new(200).run(&net, &cfg);
+        let mut inflated = 0usize;
+        let mut measured = 0usize;
+        for i in 0..12u32 {
+            for j in 0..12u32 {
+                if i == j {
+                    continue;
+                }
+                let link = report.stats.link(i as usize, j as usize);
+                if link.count() == 0 {
+                    continue;
+                }
+                measured += 1;
+                let truth = net.mean_rtt(InstanceId(i), InstanceId(j)) + overhead;
+                if link.mean() > truth + 1e-9 {
+                    inflated += 1;
+                }
+            }
+        }
+        assert!(measured > 100);
+        assert!(inflated > measured / 10, "only {inflated}/{measured} links inflated");
+    }
+
+    #[test]
+    fn duration_limit_respected() {
+        let net = network(8, 4);
+        let cfg = MeasureConfig { max_duration_ms: Some(3.0), ..Default::default() };
+        let report = Uncoordinated::new(10_000).run(&net, &cfg);
+        assert!(report.round_trips < 8 * 10_000);
+        // In-flight probes at the cutoff still complete, so allow slack.
+        assert!(report.elapsed_ms < 6.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let net = network(5, 5);
+        let cfg = MeasureConfig { seed: 77, ..Default::default() };
+        let a = Uncoordinated::new(30).run(&net, &cfg);
+        let b = Uncoordinated::new(30).run(&net, &cfg);
+        assert_eq!(a.mean_vector(), b.mean_vector());
+    }
+}

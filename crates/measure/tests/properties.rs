@@ -1,0 +1,88 @@
+//! Property-based tests for the measurement schemes: coverage, positivity,
+//! and exactness on jitter-free networks.
+
+use cloudia_measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
+use cloudia_netsim::{Cloud, InstanceId, Provider};
+use proptest::prelude::*;
+
+fn quiet_network(n: usize, seed: u64) -> cloudia_netsim::Network {
+    let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+    let alloc = cloud.allocate(n);
+    cloud.network(&alloc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn token_and_staged_agree_exactly_without_jitter(n in 3usize..9, seed in 0u64..200) {
+        // On a jitter-free network both clean schemes measure
+        // truth + constant overhead on every link.
+        let net = quiet_network(n, seed);
+        let cfg = MeasureConfig::default();
+        let token = TokenPassing::new(2).run(&net, &cfg);
+        let staged = Staged::new(2, 2).run(&net, &cfg);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && staged.stats.link(i, j).count() > 0 {
+                    prop_assert!(
+                        (token.stats.link(i, j).mean() - staged.stats.link(i, j).mean()).abs() < 1e-9,
+                        "link ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_cover_links_and_stay_positive(n in 3usize..8, seed in 0u64..100) {
+        let net = quiet_network(n, seed);
+        let cfg = MeasureConfig { seed, ..MeasureConfig::default() };
+        let reports = [
+            TokenPassing::new(1).run(&net, &cfg),
+            Staged::new(1, 2).run(&net, &cfg),
+            Uncoordinated::new(30 * (n - 1)).run(&net, &cfg),
+        ];
+        for report in &reports {
+            prop_assert!(report.round_trips > 0);
+            prop_assert!(report.elapsed_ms > 0.0);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        let l = report.stats.link(i, j);
+                        if l.count() > 0 {
+                            prop_assert!(l.mean() > 0.0, "{}: link ({i},{j})", report.scheme);
+                        }
+                    }
+                }
+            }
+        }
+        // Token and staged guarantee full coverage.
+        prop_assert_eq!(reports[0].stats.covered_links(), n * (n - 1));
+        prop_assert_eq!(reports[1].stats.covered_links(), n * (n - 1));
+    }
+
+    #[test]
+    fn estimates_preserve_link_ordering_on_quiet_networks(n in 4usize..9, seed in 0u64..100) {
+        // With zero jitter and the constant handling offset, measured order
+        // equals true order.
+        let net = quiet_network(n, seed);
+        let report = Staged::new(1, 2).run(&net, &MeasureConfig::default());
+        let mut pairs: Vec<((usize, usize), f64, f64)> = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let truth = net.mean_rtt(InstanceId::from_index(i), InstanceId::from_index(j));
+                    pairs.push(((i, j), truth, report.stats.link(i, j).mean()));
+                }
+            }
+        }
+        for a in &pairs {
+            for b in &pairs {
+                if a.1 < b.1 - 1e-9 {
+                    prop_assert!(a.2 < b.2 + 1e-9, "order violated: {:?} vs {:?}", a.0, b.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic sampling from the distributions the latency model needs.
+//!
+//! The offline dependency set does not include `rand_distr`, so the small
+//! set of distributions we require — normal, lognormal, and exponential —
+//! is implemented here. Normal variates use the Box–Muller transform (the
+//! polar/Marsaglia variant, which avoids trigonometric functions and the
+//! `u = 0` edge case).
+
+use rand::Rng;
+
+/// A normal (Gaussian) distribution `N(mean, sd²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean of the distribution.
+    pub mean: f64,
+    /// Standard deviation; must be non-negative.
+    pub sd: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution. Panics if `sd` is negative or not finite.
+    pub fn new(mean: f64, sd: f64) -> Self {
+        assert!(sd.is_finite() && sd >= 0.0, "sd must be finite and >= 0, got {sd}");
+        assert!(mean.is_finite(), "mean must be finite, got {mean}");
+        Self { mean, sd }
+    }
+
+    /// Draws one sample using the Marsaglia polar method.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.sd * standard_normal(rng)
+    }
+}
+
+/// A lognormal distribution: `exp(N(mu, sigma²))`.
+///
+/// `mu` and `sigma` are the parameters of the underlying normal, i.e. the
+/// distribution of the logarithm — not the mean/sd of the lognormal itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    /// Location parameter (mean of the log).
+    pub mu: f64,
+    /// Scale parameter (sd of the log); must be non-negative.
+    pub sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a lognormal distribution. Panics on invalid parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0, got {sigma}");
+        assert!(mu.is_finite(), "mu must be finite, got {mu}");
+        Self { mu, sigma }
+    }
+
+    /// A lognormal whose *mean* is exactly 1, for multiplicative jitter:
+    /// `exp(N(-sigma²/2, sigma²))` has expectation 1.
+    pub fn unit_mean(sigma: f64) -> Self {
+        Self::new(-0.5 * sigma * sigma, sigma)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The analytic mean `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+/// An exponential distribution with the given rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    /// Rate parameter; must be positive.
+    pub lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution. Panics if `lambda <= 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda > 0.0, "lambda must be finite and > 0, got {lambda}");
+        Self { lambda }
+    }
+
+    /// Draws one sample by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 1 - u is in (0, 1]; ln of it is finite.
+        let u: f64 = rng.random();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Draws a standard normal variate via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let v: f64 = rng.random::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var.sqrt())
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, sd) = moments(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.01, "sd {sd}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Normal::new(5.0, 2.0);
+        let xs: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, sd) = moments(&xs);
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((sd - 2.0).abs() < 0.05, "sd {sd}");
+    }
+
+    #[test]
+    fn lognormal_unit_mean_is_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = LogNormal::unit_mean(0.4);
+        assert!((d.mean() - 1.0).abs() < 1e-12);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = LogNormal::new(-1.0, 1.5);
+        assert!((0..10_000).all(|_| d.sample(&mut rng) > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Exponential::new(4.0);
+        let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&xs);
+        assert!((mean - 0.25).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sd must be finite")]
+    fn normal_rejects_negative_sd() {
+        Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn exponential_rejects_zero_rate() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..5).map(|_| standard_normal(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -1,0 +1,203 @@
+//! Slow drift of per-link mean latency over hours.
+//!
+//! Paper Fig. 2 (and Figs. 19/21 for GCE and Rackspace) shows that pairwise
+//! *mean* latencies in public clouds are stable over many days: the lines
+//! wiggle a little but links keep their relative order. We model each
+//! link's mean as `mean · exp(X_t)` where `X_t` is a mean-reverting
+//! Ornstein–Uhlenbeck process with small stationary variance. The OU
+//! reversion keeps excursions bounded (stability) while still producing the
+//! visible hour-scale wiggle.
+
+use rand::Rng;
+
+use crate::dist::standard_normal;
+use crate::latency::LinkProfile;
+
+/// Parameters of the mean-drift process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftParams {
+    /// Mean-reversion rate `theta` (1/hour). Larger = faster return to the
+    /// long-run mean.
+    pub reversion_per_hour: f64,
+    /// Instantaneous volatility `sigma` (per √hour) of the log-multiplier.
+    pub sigma_per_sqrt_hour: f64,
+}
+
+impl DriftParams {
+    /// Stationary standard deviation of the log-multiplier,
+    /// `sigma / sqrt(2·theta)`.
+    pub fn stationary_sd(&self) -> f64 {
+        self.sigma_per_sqrt_hour / (2.0 * self.reversion_per_hour).sqrt()
+    }
+}
+
+impl Default for DriftParams {
+    fn default() -> Self {
+        // ~5% stationary wiggle reverting on a ~10h timescale.
+        Self { reversion_per_hour: 0.1, sigma_per_sqrt_hour: 0.022 }
+    }
+}
+
+/// One link's OU drift state.
+#[derive(Debug, Clone)]
+pub struct DriftProcess {
+    params: DriftParams,
+    log_mult: f64,
+}
+
+impl DriftProcess {
+    /// Starts a drift process at its stationary distribution.
+    pub fn new<R: Rng + ?Sized>(params: DriftParams, rng: &mut R) -> Self {
+        let log_mult = params.stationary_sd() * standard_normal(rng);
+        Self { params, log_mult }
+    }
+
+    /// Starts a drift process exactly at the long-run mean (multiplier 1).
+    pub fn at_equilibrium(params: DriftParams) -> Self {
+        Self { params, log_mult: 0.0 }
+    }
+
+    /// Advances the process by `dt_hours` and returns the new multiplier.
+    ///
+    /// Uses the exact OU transition: the conditional distribution of
+    /// `X_{t+dt}` given `X_t` is normal with mean `X_t·e^{−θ·dt}` and
+    /// variance `σ²(1−e^{−2θ·dt})/(2θ)`.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt_hours: f64, rng: &mut R) -> f64 {
+        assert!(dt_hours >= 0.0, "dt must be >= 0, got {dt_hours}");
+        let theta = self.params.reversion_per_hour;
+        let decay = (-theta * dt_hours).exp();
+        let var = self.params.sigma_per_sqrt_hour.powi(2) * (1.0 - decay * decay) / (2.0 * theta);
+        self.log_mult = self.log_mult * decay + var.sqrt() * standard_normal(rng);
+        self.multiplier()
+    }
+
+    /// The current mean-latency multiplier `exp(X_t)`.
+    pub fn multiplier(&self) -> f64 {
+        self.log_mult.exp()
+    }
+}
+
+/// A bucket-averaged time series of one link's observed mean latency, the
+/// raw material for the paper's stability plots (Figs. 2, 19, 21).
+#[derive(Debug, Clone)]
+pub struct LinkTrace {
+    /// Time of each bucket's end, in hours from the start.
+    pub hours: Vec<f64>,
+    /// Observed mean RTT (ms) in each bucket.
+    pub mean_rtt: Vec<f64>,
+}
+
+impl LinkTrace {
+    /// Simulates `buckets` consecutive buckets of `bucket_hours` each. The
+    /// observed bucket mean is the drifted true mean plus the sampling error
+    /// of averaging `probes_per_bucket` jittered probes.
+    pub fn simulate<R: Rng + ?Sized>(
+        profile: &LinkProfile,
+        drift: DriftParams,
+        bucket_hours: f64,
+        buckets: usize,
+        probes_per_bucket: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(probes_per_bucket > 0, "need at least one probe per bucket");
+        let mut process = DriftProcess::new(drift, rng);
+        let mut hours = Vec::with_capacity(buckets);
+        let mut mean_rtt = Vec::with_capacity(buckets);
+        let sample_sd = profile.sd_rtt() / (probes_per_bucket as f64).sqrt();
+        for b in 0..buckets {
+            let mult = process.step(bucket_hours, rng);
+            let observed = profile.mean_rtt() * mult + sample_sd * standard_normal(rng);
+            hours.push((b + 1) as f64 * bucket_hours);
+            mean_rtt.push(observed.max(0.0));
+        }
+        Self { hours, mean_rtt }
+    }
+
+    /// Coefficient of variation of the trace — the paper's stability claim
+    /// is that this stays small (a few percent) over days.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        let n = self.mean_rtt.len() as f64;
+        let mean = self.mean_rtt.iter().sum::<f64>() / n;
+        let var = self.mean_rtt.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn profile() -> LinkProfile {
+        LinkProfile { base_mean: 0.6, jitter_sigma: 0.2, spike_prob: 0.01, spike_scale: 2.0 }
+    }
+
+    #[test]
+    fn stationary_sd_formula() {
+        let p = DriftParams { reversion_per_hour: 0.5, sigma_per_sqrt_hour: 0.1 };
+        assert!((p.stationary_sd() - 0.1 / 1.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_start_is_unit_multiplier() {
+        let p = DriftProcess::at_equilibrium(DriftParams::default());
+        assert_eq!(p.multiplier(), 1.0);
+    }
+
+    #[test]
+    fn ou_reverts_to_mean() {
+        let params = DriftParams { reversion_per_hour: 2.0, sigma_per_sqrt_hour: 0.0 };
+        let mut p = DriftProcess { params, log_mult: 1.0 };
+        let mut rng = StdRng::seed_from_u64(0);
+        p.step(10.0, &mut rng);
+        assert!((p.multiplier() - 1.0).abs() < 0.01, "multiplier {}", p.multiplier());
+    }
+
+    #[test]
+    fn stationary_spread_matches_theory() {
+        let params = DriftParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = DriftProcess::new(params, &mut rng);
+        let xs: Vec<f64> = (0..30_000).map(|_| p.step(5.0, &mut rng).ln()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let sd = (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!((sd - params.stationary_sd()).abs() / params.stationary_sd() < 0.1, "sd {sd}");
+    }
+
+    #[test]
+    fn trace_is_stable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace =
+            LinkTrace::simulate(&profile(), DriftParams::default(), 2.0, 100, 2000, &mut rng);
+        assert_eq!(trace.hours.len(), 100);
+        assert!(trace.coefficient_of_variation() < 0.12, "cv {}", trace.coefficient_of_variation());
+        // Mean of the trace stays near the true link mean.
+        let avg = trace.mean_rtt.iter().sum::<f64>() / 100.0;
+        assert!((avg - profile().mean_rtt()).abs() / profile().mean_rtt() < 0.1, "avg {avg}");
+    }
+
+    #[test]
+    fn traces_preserve_link_order() {
+        // Two links with different means keep their order through drift —
+        // the property that makes deployment tuning worthwhile at all.
+        let slow = LinkProfile { base_mean: 1.0, ..profile() };
+        let fast = LinkProfile { base_mean: 0.3, ..profile() };
+        let mut rng = StdRng::seed_from_u64(3);
+        let t_slow = LinkTrace::simulate(&slow, DriftParams::default(), 2.0, 100, 2000, &mut rng);
+        let t_fast = LinkTrace::simulate(&fast, DriftParams::default(), 2.0, 100, 2000, &mut rng);
+        let crossings = t_slow
+            .mean_rtt
+            .iter()
+            .zip(&t_fast.mean_rtt)
+            .filter(|(s, f)| s < f)
+            .count();
+        assert_eq!(crossings, 0);
+    }
+
+    #[test]
+    fn trace_hours_are_bucket_ends() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = LinkTrace::simulate(&profile(), DriftParams::default(), 1.5, 4, 100, &mut rng);
+        assert_eq!(trace.hours, vec![1.5, 3.0, 4.5, 6.0]);
+    }
+}

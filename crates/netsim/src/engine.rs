@@ -1,0 +1,339 @@
+//! Discrete-event message engine with per-instance serialization.
+//!
+//! The measurement schemes of paper §5 differ in *accuracy* because of
+//! interference: in the uncoordinated scheme an instance may have to send a
+//! reply while it is busy sending its own probe, and several probes may
+//! target the same destination at once. The paper's measurement tool is a
+//! single-threaded `select` loop per instance, so message handling at an
+//! endpoint is serialized. This engine models exactly that: every message
+//! occupies its source endpoint for a handling period when sent and its
+//! destination endpoint for a handling period when received; overlapping
+//! work queues up and inflates observed round-trip times.
+//!
+//! Token passing (one message in flight globally) and the staged scheme
+//! (disjoint pairs) never queue; the uncoordinated scheme does — which is
+//! how Fig. 4's accuracy gap arises.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ids::InstanceId;
+use crate::latency::LatencyModel;
+
+/// Endpoint handling parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicParams {
+    /// Milliseconds an endpoint is busy per KB of message payload
+    /// (wire serialization; ~0.008 ms/KB at 1 Gbps).
+    pub serialize_ms_per_kb: f64,
+    /// Fixed per-message software handling time at an endpoint
+    /// (syscalls, event-loop dispatch).
+    pub handle_ms: f64,
+}
+
+impl Default for NicParams {
+    fn default() -> Self {
+        Self { serialize_ms_per_kb: 0.008, handle_ms: 0.12 }
+    }
+}
+
+impl NicParams {
+    fn busy_time(&self, size_kb: f64) -> f64 {
+        self.handle_ms + self.serialize_ms_per_kb * size_kb
+    }
+}
+
+/// A message to be sent through the engine. `kind` and `token` are opaque
+/// correlation values for the caller (e.g. PROBE vs REPLY, and a pair id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageSpec {
+    /// Sending instance.
+    pub src: InstanceId,
+    /// Receiving instance.
+    pub dst: InstanceId,
+    /// Payload size in KB.
+    pub size_kb: f64,
+    /// Caller-defined message kind.
+    pub kind: u32,
+    /// Caller-defined correlation token.
+    pub token: u64,
+}
+
+/// A message the engine has delivered to its destination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeliveredMessage {
+    /// The original message.
+    pub spec: MessageSpec,
+    /// Time the caller invoked [`Engine::send`].
+    pub sent_at: f64,
+    /// Time the destination finished receiving the message.
+    pub delivered_at: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Delivery {
+    at: f64,
+    seq: u64,
+    msg: DeliveredMessage,
+}
+
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Delivery {}
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; tie-break on sequence for determinism.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event engine. Time is in milliseconds from simulation start.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    model: &'a LatencyModel,
+    nic: NicParams,
+    now: f64,
+    busy_until: Vec<f64>,
+    heap: BinaryHeap<Delivery>,
+    seq: u64,
+    rng: StdRng,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over `model` with `n = model.len()` endpoints.
+    pub fn new(model: &'a LatencyModel, nic: NicParams, seed: u64) -> Self {
+        Self {
+            model,
+            nic,
+            now: 0.0,
+            busy_until: vec![0.0; model.len()],
+            heap: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulation time (ms).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Sends a message at the current simulation time and returns the send
+    /// timestamp. The message occupies the source endpoint (queueing behind
+    /// earlier work), travels one way with sampled latency, then occupies
+    /// the destination endpoint before delivery.
+    ///
+    /// # Panics
+    /// Panics if `src == dst`.
+    pub fn send(&mut self, spec: MessageSpec) -> f64 {
+        assert_ne!(spec.src, spec.dst, "instance cannot message itself");
+        let sent_at = self.now;
+        let busy = self.nic.busy_time(spec.size_kb);
+
+        let tx_start = self.now.max(self.busy_until[spec.src.index()]);
+        self.busy_until[spec.src.index()] = tx_start + busy;
+
+        let one_way = self.model.sample_one_way(spec.src, spec.dst, spec.size_kb, &mut self.rng);
+        let arrival = tx_start + busy + one_way;
+
+        let rx_start = arrival.max(self.busy_until[spec.dst.index()]);
+        self.busy_until[spec.dst.index()] = rx_start + busy;
+        let delivered_at = rx_start + busy;
+
+        self.seq += 1;
+        self.heap.push(Delivery {
+            at: delivered_at,
+            seq: self.seq,
+            msg: DeliveredMessage { spec, sent_at, delivered_at },
+        });
+        sent_at
+    }
+
+    /// Pops the next delivery, advancing simulation time to it. Returns
+    /// `None` when no messages are in flight.
+    pub fn next_delivery(&mut self) -> Option<DeliveredMessage> {
+        let d = self.heap.pop()?;
+        self.now = d.at;
+        Some(d.msg)
+    }
+
+    /// Advances simulation time without any message activity (models
+    /// coordinator pauses between stages).
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(t >= self.now, "cannot move time backwards ({t} < {})", self.now);
+        self.now = t;
+    }
+
+    /// The handling parameters in use.
+    pub fn nic(&self) -> NicParams {
+        self.nic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::HostId;
+    use crate::latency::{LatencyModel, LatencyParams};
+    use crate::tenancy::Allocation;
+    use crate::topology::{Topology, TopologyConfig};
+
+    fn quiet_params() -> LatencyParams {
+        // No jitter/spikes: deterministic latencies for exact assertions.
+        LatencyParams {
+            base_rtt: [0.1, 0.3, 0.45, 0.55],
+            hetero_sigma: 0.0,
+            bad_link_frac: 0.0,
+            bad_link_penalty: (1.0, 1.0),
+            bad_instance_frac: 0.0,
+            bad_instance_penalty: (1.0, 1.0),
+            asym_sigma: 0.0,
+            jitter_sigma_range: (0.0, 0.0),
+            jitter_mean_corr: 0.0,
+            spike_prob: 0.0,
+            spike_scale_ms: 0.0,
+            per_kb_ms: 0.0,
+        }
+    }
+
+    fn setup() -> (Topology, Allocation) {
+        let t = Topology::new(TopologyConfig { pods: 2, racks_per_pod: 2, hosts_per_rack: 4, slots_per_host: 2 });
+        // Three instances on distinct hosts in one rack.
+        let a = Allocation::from_hosts(vec![HostId(0), HostId(1), HostId(2)]);
+        (t, a)
+    }
+
+    fn spec(src: u32, dst: u32, kind: u32, token: u64) -> MessageSpec {
+        MessageSpec { src: InstanceId(src), dst: InstanceId(dst), size_kb: 1.0, kind, token }
+    }
+
+    #[test]
+    fn single_message_latency_decomposition() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let nic = NicParams { serialize_ms_per_kb: 0.01, handle_ms: 0.05 };
+        let mut e = Engine::new(&model, nic, 0);
+        e.send(spec(0, 1, 0, 0));
+        let d = e.next_delivery().unwrap();
+        // busy = 0.06 at each end; one way = 0.3/2 = 0.15.
+        assert!((d.delivered_at - (0.06 + 0.15 + 0.06)).abs() < 1e-9, "{}", d.delivered_at);
+        assert_eq!(d.sent_at, 0.0);
+    }
+
+    #[test]
+    fn round_trip_through_reply() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut e = Engine::new(&model, NicParams::default(), 0);
+        let sent = e.send(spec(0, 1, 0, 7));
+        let probe = e.next_delivery().unwrap();
+        assert_eq!(probe.spec.token, 7);
+        e.send(spec(1, 0, 1, 7));
+        let reply = e.next_delivery().unwrap();
+        let rtt = reply.delivered_at - sent;
+        // 4 handling periods + 2 one-way latencies.
+        let nic = NicParams::default();
+        let busy = nic.handle_ms + nic.serialize_ms_per_kb;
+        assert!((rtt - (4.0 * busy + 0.3)).abs() < 1e-9, "rtt {rtt}");
+    }
+
+    #[test]
+    fn destination_contention_queues() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let nic = NicParams { serialize_ms_per_kb: 0.0, handle_ms: 0.1 };
+        let mut e = Engine::new(&model, nic, 0);
+        // Both 0 and 2 probe instance 1 simultaneously.
+        e.send(spec(0, 1, 0, 0));
+        e.send(spec(2, 1, 0, 1));
+        let first = e.next_delivery().unwrap();
+        let second = e.next_delivery().unwrap();
+        // The second delivery must wait for the first's receive handling.
+        assert!(second.delivered_at >= first.delivered_at + 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn source_serialization_queues() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let nic = NicParams { serialize_ms_per_kb: 0.0, handle_ms: 0.1 };
+        let mut e = Engine::new(&model, nic, 0);
+        // Instance 0 sends two messages back to back.
+        e.send(spec(0, 1, 0, 0));
+        e.send(spec(0, 2, 0, 1));
+        let mut deliveries = [e.next_delivery().unwrap(), e.next_delivery().unwrap()];
+        deliveries.sort_by(|x, y| x.spec.token.cmp(&y.spec.token));
+        // Second message could not start transmitting until 0.1.
+        let d1 = deliveries[1];
+        assert!(d1.delivered_at >= 0.1 + 0.15 + 0.1 - 1e-9, "{}", d1.delivered_at);
+    }
+
+    #[test]
+    fn no_contention_means_no_queueing() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let nic = NicParams { serialize_ms_per_kb: 0.0, handle_ms: 0.1 };
+        // Disjoint pair (0 -> 1) and a lone observer 2: nothing queues.
+        let mut e = Engine::new(&model, nic, 0);
+        e.send(spec(0, 1, 0, 0));
+        let d = e.next_delivery().unwrap();
+        assert!((d.delivered_at - (0.1 + 0.15 + 0.1)).abs() < 1e-9);
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut e = Engine::new(&model, NicParams::default(), 1);
+        for k in 0..10 {
+            e.send(spec(k % 3, (k + 1) % 3, 0, k as u64));
+        }
+        let mut last = 0.0;
+        while let Some(d) = e.next_delivery() {
+            assert!(d.delivered_at >= last);
+            last = d.delivered_at;
+            assert_eq!(e.now(), d.delivered_at);
+        }
+    }
+
+    #[test]
+    fn advance_to_moves_clock() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut e = Engine::new(&model, NicParams::default(), 1);
+        e.advance_to(5.0);
+        assert_eq!(e.now(), 5.0);
+        let sent = e.send(spec(0, 1, 0, 0));
+        assert_eq!(sent, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot message itself")]
+    fn self_send_panics() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut e = Engine::new(&model, NicParams::default(), 1);
+        e.send(spec(1, 1, 0, 0));
+    }
+}

@@ -1,0 +1,97 @@
+//! Strongly-typed identifiers for datacenter entities.
+//!
+//! The simulator deals with four kinds of entities: pods (aggregation
+//! domains), racks, physical hosts, and tenant-visible instances. Newtype
+//! wrappers prevent the classic off-by-one-index-space bugs when these are
+//! all plain `usize` values.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index for use in slice indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                Self(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A pod: a group of racks sharing an aggregation switch layer.
+    PodId,
+    "pod-"
+);
+id_type!(
+    /// A rack: a group of hosts sharing a top-of-rack switch.
+    RackId,
+    "rack-"
+);
+id_type!(
+    /// A physical host machine with a fixed number of VM slots.
+    HostId,
+    "host-"
+);
+id_type!(
+    /// A tenant-visible virtual machine instance.
+    ///
+    /// Instance ids are dense within one [`crate::Allocation`]: the i-th
+    /// allocated instance has id `InstanceId(i)`, matching the ordering the
+    /// cloud's allocation command returns (the paper's "default deployment"
+    /// uses exactly this ordering).
+    InstanceId,
+    "i-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let h = HostId::from_index(42);
+        assert_eq!(h.index(), 42);
+        assert_eq!(h, HostId(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(InstanceId(3).to_string(), "i-3");
+        assert_eq!(RackId(0).to_string(), "rack-0");
+        assert_eq!(format!("{:?}", PodId(9)), "pod-9");
+        assert_eq!(format!("{}", HostId(7)), "host-7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(InstanceId(1) < InstanceId(2));
+        let mut v = vec![HostId(3), HostId(1), HostId(2)];
+        v.sort();
+        assert_eq!(v, vec![HostId(1), HostId(2), HostId(3)]);
+    }
+}

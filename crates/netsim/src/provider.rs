@@ -1,0 +1,203 @@
+//! Calibrated provider presets.
+//!
+//! The paper evaluates on Amazon EC2 (m1.large, US East) and confirms the
+//! same latency heterogeneity and mean-latency stability on Google Compute
+//! Engine (n1-standard-1, us-central1-a) and Rackspace Cloud Server
+//! (performance 1-1, IAD) in Appendix 3. Each preset bundles a topology,
+//! occupancy level, allocation burstiness, latency parameters, and drift
+//! parameters calibrated so the simulator reproduces the shapes of the
+//! paper's CDFs (Figs. 1, 18, 20) and stability traces (Figs. 2, 19, 21):
+//!
+//! * **EC2-like**: wide spread — ~10 % of pairs above 0.7 ms, bottom ~10 %
+//!   below 0.4 ms, tail to ~1.4 ms;
+//! * **GCE-like**: narrower — ~5 % below 0.32 ms, top 5 % above 0.5 ms;
+//! * **Rackspace-like**: lowest — ~5 % below 0.24 ms, top 5 % above 0.38 ms.
+
+use crate::drift::DriftParams;
+use crate::latency::LatencyParams;
+use crate::topology::TopologyConfig;
+
+/// Which real-world provider a preset imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProviderKind {
+    /// Amazon EC2-like region (m1.large, US East in the paper).
+    Ec2,
+    /// Google Compute Engine-like region (n1-standard-1, us-central1-a).
+    Gce,
+    /// Rackspace Cloud Server-like region (performance 1-1, IAD).
+    Rackspace,
+}
+
+impl ProviderKind {
+    /// Human-readable provider name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProviderKind::Ec2 => "ec2-like",
+            ProviderKind::Gce => "gce-like",
+            ProviderKind::Rackspace => "rackspace-like",
+        }
+    }
+}
+
+/// A full simulator parameterization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provider {
+    /// Which provider this preset imitates.
+    pub kind: ProviderKind,
+    /// Datacenter shape.
+    pub topology: TopologyConfig,
+    /// Fraction of VM slots occupied by other tenants.
+    pub occupancy_rate: f64,
+    /// Probability the allocator stays in the same rack for the next
+    /// instance (see [`crate::Allocation::scatter`]).
+    pub burst_continue: f64,
+    /// Per-link latency parameters.
+    pub latency: LatencyParams,
+    /// Mean-drift parameters for stability traces.
+    pub drift: DriftParams,
+}
+
+impl Provider {
+    /// EC2-like preset (paper §6.2, Figs. 1–2).
+    pub fn ec2_like() -> Self {
+        Self {
+            kind: ProviderKind::Ec2,
+            topology: TopologyConfig { pods: 8, racks_per_pod: 12, hosts_per_rack: 20, slots_per_host: 4 },
+            occupancy_rate: 0.78,
+            burst_continue: 0.65,
+            latency: LatencyParams {
+                base_rtt: [0.13, 0.28, 0.40, 0.48],
+                hetero_sigma: 0.20,
+                bad_link_frac: 0.04,
+                bad_link_penalty: (1.25, 1.9),
+                bad_instance_frac: 0.09,
+                bad_instance_penalty: (1.3, 1.85),
+                asym_sigma: 0.03,
+                jitter_sigma_range: (0.03, 0.16),
+                jitter_mean_corr: 0.55,
+                spike_prob: 0.006,
+                spike_scale_ms: 2.0,
+                per_kb_ms: 0.011,
+            },
+            drift: DriftParams { reversion_per_hour: 0.1, sigma_per_sqrt_hour: 0.022 },
+        }
+    }
+
+    /// GCE-like preset (paper Appendix 3, Figs. 18–19).
+    pub fn gce_like() -> Self {
+        Self {
+            kind: ProviderKind::Gce,
+            topology: TopologyConfig { pods: 6, racks_per_pod: 10, hosts_per_rack: 24, slots_per_host: 4 },
+            occupancy_rate: 0.72,
+            burst_continue: 0.55,
+            latency: LatencyParams {
+                base_rtt: [0.10, 0.26, 0.34, 0.40],
+                hetero_sigma: 0.12,
+                bad_link_frac: 0.04,
+                bad_link_penalty: (1.2, 1.7),
+                bad_instance_frac: 0.06,
+                bad_instance_penalty: (1.2, 1.6),
+                asym_sigma: 0.02,
+                jitter_sigma_range: (0.03, 0.14),
+                jitter_mean_corr: 0.5,
+                spike_prob: 0.008,
+                spike_scale_ms: 1.5,
+                per_kb_ms: 0.009,
+            },
+            drift: DriftParams { reversion_per_hour: 0.12, sigma_per_sqrt_hour: 0.02 },
+        }
+    }
+
+    /// Rackspace-like preset (paper Appendix 3, Figs. 20–21).
+    pub fn rackspace_like() -> Self {
+        Self {
+            kind: ProviderKind::Rackspace,
+            topology: TopologyConfig { pods: 4, racks_per_pod: 10, hosts_per_rack: 16, slots_per_host: 4 },
+            occupancy_rate: 0.68,
+            burst_continue: 0.6,
+            latency: LatencyParams {
+                base_rtt: [0.08, 0.20, 0.26, 0.30],
+                hetero_sigma: 0.13,
+                bad_link_frac: 0.04,
+                bad_link_penalty: (1.2, 1.7),
+                bad_instance_frac: 0.05,
+                bad_instance_penalty: (1.2, 1.6),
+                asym_sigma: 0.02,
+                jitter_sigma_range: (0.03, 0.13),
+                jitter_mean_corr: 0.5,
+                spike_prob: 0.008,
+                spike_scale_ms: 1.2,
+                per_kb_ms: 0.009,
+            },
+            drift: DriftParams { reversion_per_hour: 0.12, sigma_per_sqrt_hour: 0.018 },
+        }
+    }
+
+    /// A tiny deterministic preset for unit tests: small topology, no
+    /// jitter, no spikes, no bad links.
+    pub fn test_quiet() -> Self {
+        Self {
+            kind: ProviderKind::Ec2,
+            topology: TopologyConfig { pods: 2, racks_per_pod: 3, hosts_per_rack: 6, slots_per_host: 2 },
+            occupancy_rate: 0.3,
+            burst_continue: 0.5,
+            latency: LatencyParams {
+                base_rtt: [0.1, 0.3, 0.45, 0.55],
+                hetero_sigma: 0.15,
+                bad_link_frac: 0.0,
+                bad_link_penalty: (1.0, 1.0),
+                bad_instance_frac: 0.0,
+                bad_instance_penalty: (1.0, 1.0),
+                asym_sigma: 0.0,
+                jitter_sigma_range: (0.0, 0.0),
+                jitter_mean_corr: 0.0,
+                spike_prob: 0.0,
+                spike_scale_ms: 0.0,
+                per_kb_ms: 0.01,
+            },
+            drift: DriftParams::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [Provider::ec2_like(), Provider::gce_like(), Provider::rackspace_like(), Provider::test_quiet()] {
+            p.latency.validate().unwrap();
+            p.topology.validate().unwrap();
+            assert!((0.0..=1.0).contains(&p.occupancy_rate));
+            assert!((0.0..=1.0).contains(&p.burst_continue));
+        }
+    }
+
+    #[test]
+    fn provider_spread_ordering() {
+        // EC2 preset should be the slowest/widest, Rackspace the fastest —
+        // matching the paper's cross-provider observations.
+        let ec2 = Provider::ec2_like().latency.base_rtt[3];
+        let gce = Provider::gce_like().latency.base_rtt[3];
+        let rs = Provider::rackspace_like().latency.base_rtt[3];
+        assert!(ec2 > gce && gce > rs);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(ProviderKind::Ec2.name(), "ec2-like");
+        assert_eq!(ProviderKind::Gce.name(), "gce-like");
+        assert_eq!(ProviderKind::Rackspace.name(), "rackspace-like");
+    }
+
+    #[test]
+    fn capacity_supports_paper_scale() {
+        // Every preset must be able to host the paper's biggest experiment
+        // (150 instances) even at its occupancy rate.
+        for p in [Provider::ec2_like(), Provider::gce_like(), Provider::rackspace_like()] {
+            let expected_free = p.topology.total_slots() as f64 * (1.0 - p.occupancy_rate);
+            assert!(expected_free > 300.0, "{:?} too small: {expected_free}", p.kind);
+        }
+    }
+}

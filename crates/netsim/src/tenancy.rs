@@ -1,0 +1,402 @@
+//! Multi-tenant occupancy and instance allocation.
+//!
+//! Public clouds allocate VM instances non-contiguously (paper §1): a
+//! tenant asking for 100 instances gets machines scattered over many racks
+//! and pods, because other tenants already occupy much of the datacenter and
+//! the provider optimizes for its own utilization, not the tenant's
+//! locality. This module models that: a background occupancy level leaves a
+//! scattered pattern of free slots, and the allocator hands out free slots
+//! in a rack-burst order — a few slots from one rack, then a jump to another
+//! rack — which is what produces the mix of well- and badly-connected
+//! instance pairs visible in the paper's Fig. 1 CDF.
+
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+
+use crate::ids::{HostId, InstanceId};
+use crate::topology::Topology;
+
+/// Free-slot state of every host in the datacenter.
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    free_slots: Vec<u32>,
+}
+
+impl Occupancy {
+    /// Samples a background occupancy: each VM slot is independently taken
+    /// by some other tenant with probability `occupancy_rate`.
+    pub fn sample<R: Rng + ?Sized>(topology: &Topology, occupancy_rate: f64, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&occupancy_rate),
+            "occupancy_rate must be in [0, 1], got {occupancy_rate}"
+        );
+        let slots = topology.config().slots_per_host;
+        let free_slots = (0..topology.num_hosts())
+            .map(|_| (0..slots).filter(|_| rng.random::<f64>() >= occupancy_rate).count() as u32)
+            .collect();
+        Self { free_slots }
+    }
+
+    /// An empty datacenter (every slot free) — useful in tests.
+    pub fn empty(topology: &Topology) -> Self {
+        Self { free_slots: vec![topology.config().slots_per_host; topology.num_hosts()] }
+    }
+
+    /// Total number of free slots.
+    pub fn total_free(&self) -> usize {
+        self.free_slots.iter().map(|&f| f as usize).sum()
+    }
+
+    /// Free slots on one host.
+    pub fn free_on(&self, host: HostId) -> u32 {
+        self.free_slots[host.index()]
+    }
+
+    fn take(&mut self, host: HostId) {
+        debug_assert!(self.free_slots[host.index()] > 0);
+        self.free_slots[host.index()] -= 1;
+    }
+
+    fn release(&mut self, host: HostId) {
+        self.free_slots[host.index()] += 1;
+    }
+}
+
+/// A tenant's allocation: an ordered list of instances and the host each
+/// instance landed on.
+///
+/// The *order* is significant: it is the order the cloud's
+/// `run-instances` command returned, and the paper's "default deployment"
+/// maps application node `k` to the `k`-th instance of this list.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    host_of: Vec<HostId>,
+}
+
+impl Allocation {
+    /// Allocates `n` instances from the free slots, scattering them in rack
+    /// bursts: the allocator repeatedly picks a random rack with free
+    /// capacity, takes a small geometric-length run of slots from it, and
+    /// moves on. `burst_continue` is the probability of staying in the same
+    /// rack for the next instance (EC2-like behaviour sits around 0.6–0.8).
+    ///
+    /// Returns `None` if fewer than `n` slots are free.
+    pub fn scatter<R: Rng + ?Sized>(
+        topology: &Topology,
+        occupancy: &mut Occupancy,
+        n: usize,
+        burst_continue: f64,
+        rng: &mut R,
+    ) -> Option<Self> {
+        assert!(
+            (0.0..=1.0).contains(&burst_continue),
+            "burst_continue must be in [0, 1], got {burst_continue}"
+        );
+        if occupancy.total_free() < n {
+            return None;
+        }
+
+        let racks = topology.num_hosts() / topology.config().hosts_per_rack as usize;
+        // Candidate racks in random order; we re-shuffle whenever we jump.
+        let mut rack_order: Vec<usize> = (0..racks).collect();
+        rack_order.shuffle(rng);
+
+        let mut host_of = Vec::with_capacity(n);
+        let mut current_rack: Option<usize> = None;
+        while host_of.len() < n {
+            // Decide whether to continue the burst in the current rack.
+            let stay = current_rack.is_some_and(|r| {
+                rack_has_free(topology, occupancy, r) && rng.random::<f64>() < burst_continue
+            });
+            if !stay {
+                current_rack = pick_rack_with_free(topology, occupancy, &mut rack_order, rng);
+            }
+            let rack = current_rack.expect("free capacity checked above");
+            let host = pick_host_in_rack(topology, occupancy, rack, rng)
+                .expect("rack chosen to have free capacity");
+            occupancy.take(host);
+            host_of.push(host);
+        }
+        Some(Self { host_of })
+    }
+
+    /// Builds an allocation directly from a host list (for tests and custom
+    /// scenarios). Does not consult occupancy.
+    pub fn from_hosts(host_of: Vec<HostId>) -> Self {
+        Self { host_of }
+    }
+
+    /// Allocates `n` instances *contiguously*: all inside the single pod
+    /// with the most free capacity, packing rack by rack. This models EC2
+    /// cluster placement groups (paper §1, footnote 1) — the one cloud
+    /// mechanism that exposes locality, at a much higher price and with a
+    /// limited group size. Returns `None` if no pod has `n` free slots.
+    pub fn placement_group(
+        topology: &Topology,
+        occupancy: &mut Occupancy,
+        n: usize,
+    ) -> Option<Self> {
+        let racks_per_pod = topology.config().racks_per_pod as usize;
+        let racks_total = topology.num_hosts() / topology.config().hosts_per_rack as usize;
+        let pods = racks_total / racks_per_pod;
+
+        // Pick the pod with the most free slots.
+        let pod_free = |pod: usize| -> usize {
+            (pod * racks_per_pod..(pod + 1) * racks_per_pod)
+                .flat_map(|r| topology.hosts_in_rack(crate::ids::RackId::from_index(r)))
+                .map(|h| occupancy.free_on(h) as usize)
+                .sum()
+        };
+        let best_pod = (0..pods).max_by_key(|&p| pod_free(p))?;
+        if pod_free(best_pod) < n {
+            return None;
+        }
+
+        // Pack hosts rack by rack within the pod, fullest slots first.
+        let mut host_of = Vec::with_capacity(n);
+        'outer: for r in best_pod * racks_per_pod..(best_pod + 1) * racks_per_pod {
+            for h in topology.hosts_in_rack(crate::ids::RackId::from_index(r)) {
+                while occupancy.free_on(h) > 0 {
+                    occupancy.take(h);
+                    host_of.push(h);
+                    if host_of.len() == n {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(host_of.len(), n);
+        Some(Self { host_of })
+    }
+
+    /// Number of instances in the allocation.
+    pub fn len(&self) -> usize {
+        self.host_of.len()
+    }
+
+    /// True if the allocation holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.host_of.is_empty()
+    }
+
+    /// The instances of this allocation, in allocation order.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        (0..self.host_of.len()).map(InstanceId::from_index).collect()
+    }
+
+    /// The host an instance runs on.
+    pub fn host_of(&self, instance: InstanceId) -> HostId {
+        self.host_of[instance.index()]
+    }
+
+    /// Releases the instances whose ids are in `terminate` back to the
+    /// occupancy pool, returning a new allocation containing the survivors
+    /// (re-indexed densely, preserving relative order). This models the
+    /// "terminate extra instances" step of the ClouDiA pipeline (§2.2).
+    pub fn terminate(&self, terminate: &[InstanceId], occupancy: &mut Occupancy) -> Allocation {
+        let mut kill = vec![false; self.host_of.len()];
+        for &i in terminate {
+            kill[i.index()] = true;
+        }
+        let mut survivors = Vec::with_capacity(self.host_of.len() - terminate.len());
+        for (idx, &host) in self.host_of.iter().enumerate() {
+            if kill[idx] {
+                occupancy.release(host);
+            } else {
+                survivors.push(host);
+            }
+        }
+        Allocation { host_of: survivors }
+    }
+
+    /// Restricts the allocation to its first `n` instances (the paper's
+    /// Fig. 13 methodology: "use the first (1 + x) · 100 instances ... by the
+    /// EC2 default ordering").
+    pub fn prefix(&self, n: usize) -> Allocation {
+        assert!(n <= self.len(), "prefix {n} longer than allocation {}", self.len());
+        Allocation { host_of: self.host_of[..n].to_vec() }
+    }
+}
+
+fn rack_has_free(topology: &Topology, occupancy: &Occupancy, rack: usize) -> bool {
+    topology
+        .hosts_in_rack(crate::ids::RackId::from_index(rack))
+        .any(|h| occupancy.free_on(h) > 0)
+}
+
+fn pick_rack_with_free<R: Rng + ?Sized>(
+    topology: &Topology,
+    occupancy: &Occupancy,
+    rack_order: &mut Vec<usize>,
+    rng: &mut R,
+) -> Option<usize> {
+    rack_order.shuffle(rng);
+    rack_order.iter().copied().find(|&r| rack_has_free(topology, occupancy, r))
+}
+
+fn pick_host_in_rack<R: Rng + ?Sized>(
+    topology: &Topology,
+    occupancy: &Occupancy,
+    rack: usize,
+    rng: &mut R,
+) -> Option<HostId> {
+    let candidates: Vec<HostId> = topology
+        .hosts_in_rack(crate::ids::RackId::from_index(rack))
+        .filter(|&h| occupancy.free_on(h) > 0)
+        .collect();
+    candidates.choose(rng).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn topo() -> Topology {
+        Topology::new(TopologyConfig { pods: 4, racks_per_pod: 6, hosts_per_rack: 10, slots_per_host: 4 })
+    }
+
+    #[test]
+    fn occupancy_rate_extremes() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = Occupancy::sample(&t, 1.0, &mut rng);
+        assert_eq!(full.total_free(), 0);
+        let empty = Occupancy::sample(&t, 0.0, &mut rng);
+        assert_eq!(empty.total_free(), t.config().total_slots());
+    }
+
+    #[test]
+    fn occupancy_rate_roughly_respected() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(1);
+        let occ = Occupancy::sample(&t, 0.7, &mut rng);
+        let frac_free = occ.total_free() as f64 / t.config().total_slots() as f64;
+        assert!((frac_free - 0.3).abs() < 0.06, "frac_free {frac_free}");
+    }
+
+    #[test]
+    fn scatter_allocates_requested_count() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut occ = Occupancy::sample(&t, 0.6, &mut rng);
+        let before = occ.total_free();
+        let alloc = Allocation::scatter(&t, &mut occ, 100, 0.7, &mut rng).unwrap();
+        assert_eq!(alloc.len(), 100);
+        assert_eq!(occ.total_free(), before - 100);
+    }
+
+    #[test]
+    fn scatter_fails_when_capacity_exhausted() {
+        let t = Topology::new(TopologyConfig { pods: 1, racks_per_pod: 1, hosts_per_rack: 2, slots_per_host: 2 });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut occ = Occupancy::empty(&t);
+        assert!(Allocation::scatter(&t, &mut occ, 5, 0.5, &mut rng).is_none());
+        assert!(Allocation::scatter(&t, &mut occ, 4, 0.5, &mut rng).is_some());
+    }
+
+    #[test]
+    fn scatter_respects_slot_capacity() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut occ = Occupancy::empty(&t);
+        let alloc = Allocation::scatter(&t, &mut occ, 400, 0.9, &mut rng).unwrap();
+        let mut per_host = std::collections::HashMap::new();
+        for i in alloc.instances() {
+            *per_host.entry(alloc.host_of(i)).or_insert(0u32) += 1;
+        }
+        assert!(per_host.values().all(|&c| c <= t.config().slots_per_host));
+    }
+
+    #[test]
+    fn scatter_spreads_across_racks() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut occ = Occupancy::sample(&t, 0.5, &mut rng);
+        let alloc = Allocation::scatter(&t, &mut occ, 60, 0.7, &mut rng).unwrap();
+        let racks: std::collections::HashSet<_> =
+            alloc.instances().iter().map(|&i| t.rack_of(alloc.host_of(i))).collect();
+        // 60 instances over 24 racks with bursting: expect a good spread but
+        // not a single rack.
+        assert!(racks.len() >= 5, "only {} racks used", racks.len());
+    }
+
+    #[test]
+    fn terminate_releases_slots_and_reindexes() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut occ = Occupancy::empty(&t);
+        let alloc = Allocation::scatter(&t, &mut occ, 10, 0.7, &mut rng).unwrap();
+        let free_before = occ.total_free();
+        let victims = vec![InstanceId(0), InstanceId(5), InstanceId(9)];
+        let survivors_expected: Vec<HostId> = alloc
+            .instances()
+            .iter()
+            .filter(|i| !victims.contains(i))
+            .map(|&i| alloc.host_of(i))
+            .collect();
+        let kept = alloc.terminate(&victims, &mut occ);
+        assert_eq!(kept.len(), 7);
+        assert_eq!(occ.total_free(), free_before + 3);
+        let survivors: Vec<HostId> = kept.instances().iter().map(|&i| kept.host_of(i)).collect();
+        assert_eq!(survivors, survivors_expected);
+    }
+
+    #[test]
+    fn prefix_takes_allocation_order() {
+        let alloc = Allocation::from_hosts(vec![HostId(9), HostId(3), HostId(7)]);
+        let p = alloc.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.host_of(InstanceId(0)), HostId(9));
+        assert_eq!(p.host_of(InstanceId(1)), HostId(3));
+    }
+
+    #[test]
+    fn placement_group_is_contiguous() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut occ = Occupancy::sample(&t, 0.4, &mut rng);
+        let alloc = Allocation::placement_group(&t, &mut occ, 20).unwrap();
+        assert_eq!(alloc.len(), 20);
+        // All instances in one pod.
+        let pods: std::collections::HashSet<_> =
+            alloc.instances().iter().map(|&i| t.pod_of(alloc.host_of(i))).collect();
+        assert_eq!(pods.len(), 1);
+    }
+
+    #[test]
+    fn placement_group_respects_pod_capacity() {
+        let t = Topology::new(TopologyConfig { pods: 2, racks_per_pod: 1, hosts_per_rack: 2, slots_per_host: 2 });
+        let mut occ = Occupancy::empty(&t);
+        // Each pod holds 4 slots; a 5-instance group cannot fit.
+        assert!(Allocation::placement_group(&t, &mut occ, 5).is_none());
+        let g = Allocation::placement_group(&t, &mut occ, 4).unwrap();
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn placement_group_consumes_slots() {
+        let t = topo();
+        let mut occ = Occupancy::empty(&t);
+        let before = occ.total_free();
+        Allocation::placement_group(&t, &mut occ, 10).unwrap();
+        assert_eq!(occ.total_free(), before - 10);
+    }
+
+    #[test]
+    fn scatter_is_deterministic_per_seed() {
+        let t = topo();
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut occ = Occupancy::sample(&t, 0.5, &mut rng);
+            Allocation::scatter(&t, &mut occ, 30, 0.7, &mut rng)
+                .unwrap()
+                .instances()
+                .iter()
+                .map(|&i| i.index())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

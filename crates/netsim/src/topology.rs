@@ -1,0 +1,256 @@
+//! Tree-structured datacenter topology.
+//!
+//! The paper (§3.1) notes that "current clouds tend to organize their
+//! network topology in a tree-like structure" and deliberately treats
+//! communication links as opaque costs on top of it. The simulator makes the
+//! tree explicit so it can *generate* realistic costs: hosts sit in racks,
+//! racks in pods, pods under a datacenter core. The number of switch hops
+//! between two hosts is determined by the deepest level they share.
+
+use crate::ids::{HostId, PodId, RackId};
+
+/// Shape parameters for a datacenter tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopologyConfig {
+    /// Number of pods (aggregation domains) in the region.
+    pub pods: u32,
+    /// Racks per pod.
+    pub racks_per_pod: u32,
+    /// Physical hosts per rack.
+    pub hosts_per_rack: u32,
+    /// VM slots per host (how many instances one physical machine holds).
+    pub slots_per_host: u32,
+}
+
+impl TopologyConfig {
+    /// Total number of hosts in the datacenter.
+    pub fn total_hosts(&self) -> usize {
+        self.pods as usize * self.racks_per_pod as usize * self.hosts_per_rack as usize
+    }
+
+    /// Total number of VM slots in the datacenter.
+    pub fn total_slots(&self) -> usize {
+        self.total_hosts() * self.slots_per_host as usize
+    }
+
+    /// Validates that every dimension is non-zero.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("pods", self.pods),
+            ("racks_per_pod", self.racks_per_pod),
+            ("hosts_per_rack", self.hosts_per_rack),
+            ("slots_per_host", self.slots_per_host),
+        ] {
+            if v == 0 {
+                return Err(format!("topology dimension `{name}` must be > 0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self { pods: 8, racks_per_pod: 12, hosts_per_rack: 20, slots_per_host: 4 }
+    }
+}
+
+/// How closely two hosts are connected in the tree, from closest to farthest.
+///
+/// The discriminant order matters: `Locality` derives `Ord`, and a *smaller*
+/// locality means a *shorter* network path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locality {
+    /// Two VMs on the same physical host (traffic never leaves the machine).
+    SameHost,
+    /// Different hosts under the same top-of-rack switch.
+    SameRack,
+    /// Different racks within the same pod (via aggregation switches).
+    SamePod,
+    /// Different pods (via the datacenter core).
+    CrossPod,
+}
+
+impl Locality {
+    /// The number of switch hops a packet traverses for this locality, using
+    /// the conventional count for a three-tier tree: 0 within a host, 1 via
+    /// the ToR, 3 via aggregation, 5 via the core.
+    pub fn switch_hops(self) -> u32 {
+        match self {
+            Locality::SameHost => 0,
+            Locality::SameRack => 1,
+            Locality::SamePod => 3,
+            Locality::CrossPod => 5,
+        }
+    }
+}
+
+/// A concrete datacenter tree: maps hosts to racks and pods and answers
+/// locality queries.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    config: TopologyConfig,
+}
+
+impl Topology {
+    /// Builds a topology from the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration has a zero dimension.
+    pub fn new(config: TopologyConfig) -> Self {
+        config.validate().expect("invalid topology config");
+        Self { config }
+    }
+
+    /// The configuration this topology was built from.
+    pub fn config(&self) -> &TopologyConfig {
+        &self.config
+    }
+
+    /// Total number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.config.total_hosts()
+    }
+
+    /// The rack containing `host`.
+    pub fn rack_of(&self, host: HostId) -> RackId {
+        RackId::from_index(host.index() / self.config.hosts_per_rack as usize)
+    }
+
+    /// The pod containing `host`.
+    pub fn pod_of(&self, host: HostId) -> PodId {
+        PodId::from_index(self.rack_of(host).index() / self.config.racks_per_pod as usize)
+    }
+
+    /// All hosts in a given rack, in id order.
+    pub fn hosts_in_rack(&self, rack: RackId) -> impl Iterator<Item = HostId> {
+        let per = self.config.hosts_per_rack as usize;
+        let start = rack.index() * per;
+        (start..start + per).map(HostId::from_index)
+    }
+
+    /// Locality class of a pair of hosts.
+    pub fn locality(&self, a: HostId, b: HostId) -> Locality {
+        if a == b {
+            Locality::SameHost
+        } else if self.rack_of(a) == self.rack_of(b) {
+            Locality::SameRack
+        } else if self.pod_of(a) == self.pod_of(b) {
+            Locality::SamePod
+        } else {
+            Locality::CrossPod
+        }
+    }
+
+    /// Switch hops between two hosts (see [`Locality::switch_hops`]).
+    pub fn switch_hops(&self, a: HostId, b: HostId) -> u32 {
+        self.locality(a, b).switch_hops()
+    }
+
+    /// A synthetic internal IPv4 address for a host, mimicking how cloud
+    /// internal addressing correlates (imperfectly) with physical placement:
+    /// `10.pod.rack_within_pod.host_within_rack`, with rack/host octets
+    /// wrapped at 256. Used by the Appendix-2 IP-distance approximation.
+    pub fn internal_ip(&self, host: HostId) -> [u8; 4] {
+        let rack = self.rack_of(host);
+        let pod = self.pod_of(host);
+        let rack_in_pod = rack.index() % self.config.racks_per_pod as usize;
+        let host_in_rack = host.index() % self.config.hosts_per_rack as usize;
+        [10, (pod.index() % 256) as u8, (rack_in_pod % 256) as u8, (host_in_rack % 256) as u8]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        Topology::new(TopologyConfig { pods: 2, racks_per_pod: 3, hosts_per_rack: 4, slots_per_host: 2 })
+    }
+
+    #[test]
+    fn host_counts() {
+        let t = small();
+        assert_eq!(t.num_hosts(), 24);
+        assert_eq!(t.config().total_slots(), 48);
+    }
+
+    #[test]
+    fn rack_and_pod_assignment() {
+        let t = small();
+        assert_eq!(t.rack_of(HostId(0)), RackId(0));
+        assert_eq!(t.rack_of(HostId(3)), RackId(0));
+        assert_eq!(t.rack_of(HostId(4)), RackId(1));
+        assert_eq!(t.pod_of(HostId(0)), PodId(0));
+        assert_eq!(t.pod_of(HostId(11)), PodId(0)); // racks 0..3 are pod 0
+        assert_eq!(t.pod_of(HostId(12)), PodId(1));
+    }
+
+    #[test]
+    fn locality_classes() {
+        let t = small();
+        assert_eq!(t.locality(HostId(5), HostId(5)), Locality::SameHost);
+        assert_eq!(t.locality(HostId(4), HostId(5)), Locality::SameRack);
+        assert_eq!(t.locality(HostId(0), HostId(4)), Locality::SamePod);
+        assert_eq!(t.locality(HostId(0), HostId(12)), Locality::CrossPod);
+    }
+
+    #[test]
+    fn locality_is_symmetric() {
+        let t = small();
+        for a in 0..t.num_hosts() {
+            for b in 0..t.num_hosts() {
+                assert_eq!(
+                    t.locality(HostId::from_index(a), HostId::from_index(b)),
+                    t.locality(HostId::from_index(b), HostId::from_index(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locality_ordering_matches_distance() {
+        assert!(Locality::SameHost < Locality::SameRack);
+        assert!(Locality::SameRack < Locality::SamePod);
+        assert!(Locality::SamePod < Locality::CrossPod);
+    }
+
+    #[test]
+    fn switch_hops_monotone_in_locality() {
+        let hops: Vec<u32> = [Locality::SameHost, Locality::SameRack, Locality::SamePod, Locality::CrossPod]
+            .iter()
+            .map(|l| l.switch_hops())
+            .collect();
+        assert!(hops.windows(2).all(|w| w[0] < w[1]), "{hops:?}");
+    }
+
+    #[test]
+    fn hosts_in_rack_round_trips() {
+        let t = small();
+        for r in 0..6 {
+            let rack = RackId(r);
+            for h in t.hosts_in_rack(rack) {
+                assert_eq!(t.rack_of(h), rack);
+            }
+        }
+    }
+
+    #[test]
+    fn internal_ip_shares_prefix_within_pod() {
+        let t = small();
+        let ip_a = t.internal_ip(HostId(0));
+        let ip_b = t.internal_ip(HostId(1));
+        assert_eq!(ip_a[0], 10);
+        assert_eq!(ip_a[1], ip_b[1]); // same pod octet
+        assert_eq!(ip_a[2], ip_b[2]); // same rack octet
+        assert_ne!(ip_a[3], ip_b[3]);
+        let ip_c = t.internal_ip(HostId(12)); // other pod
+        assert_ne!(ip_a[1], ip_c[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid topology config")]
+    fn zero_dimension_rejected() {
+        Topology::new(TopologyConfig { pods: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the network simulator substrate.
+
+use cloudia_netsim::{
+    Allocation, Cloud, Engine, HostId, InstanceId, LatencyModel, MessageSpec, NicParams,
+    Occupancy, Provider, Topology, TopologyConfig,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn config_strategy() -> impl Strategy<Value = TopologyConfig> {
+    (1u32..5, 1u32..6, 1u32..8, 1u32..4).prop_map(|(pods, racks_per_pod, hosts_per_rack, slots_per_host)| {
+        TopologyConfig { pods, racks_per_pod, hosts_per_rack, slots_per_host }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn locality_is_symmetric_and_reflexive(config in config_strategy(), a_idx in 0usize..200, b_idx in 0usize..200) {
+        let topo = Topology::new(config);
+        let a = HostId::from_index(a_idx % topo.num_hosts());
+        let b = HostId::from_index(b_idx % topo.num_hosts());
+        prop_assert_eq!(topo.locality(a, b), topo.locality(b, a));
+        prop_assert_eq!(topo.locality(a, a), cloudia_netsim::Locality::SameHost);
+    }
+
+    #[test]
+    fn rack_and_pod_nesting(config in config_strategy(), h in 0usize..200) {
+        let topo = Topology::new(config);
+        let host = HostId::from_index(h % topo.num_hosts());
+        // Hosts in the same rack are always in the same pod.
+        for other in topo.hosts_in_rack(topo.rack_of(host)) {
+            prop_assert_eq!(topo.pod_of(other), topo.pod_of(host));
+        }
+    }
+
+    #[test]
+    fn scatter_respects_capacity_exactly(config in config_strategy(), seed in 0u64..500, frac in 0.0f64..0.9) {
+        let topo = Topology::new(config);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut occ = Occupancy::sample(&topo, frac, &mut rng);
+        let free = occ.total_free();
+        let want = free / 2;
+        if want > 0 {
+            let alloc = Allocation::scatter(&topo, &mut occ, want, 0.6, &mut rng).unwrap();
+            prop_assert_eq!(alloc.len(), want);
+            prop_assert_eq!(occ.total_free(), free - want);
+        }
+        // Asking for more than remains must fail.
+        let left = occ.total_free();
+        prop_assert!(Allocation::scatter(&topo, &mut occ, left + 1, 0.6, &mut rng).is_none());
+    }
+
+    #[test]
+    fn latency_model_is_positive_and_deterministic(seed in 0u64..300, n in 2usize..10) {
+        let mut cloud_a = Cloud::boot(Provider::ec2_like(), seed);
+        let mut cloud_b = Cloud::boot(Provider::ec2_like(), seed);
+        let alloc_a = cloud_a.allocate(n);
+        let alloc_b = cloud_b.allocate(n);
+        let net_a = cloud_a.network(&alloc_a);
+        let net_b = cloud_b.network(&alloc_b);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let (a, b) = (InstanceId::from_index(i), InstanceId::from_index(j));
+                    prop_assert!(net_a.mean_rtt(a, b) > 0.0);
+                    prop_assert_eq!(net_a.mean_rtt(a, b), net_b.mean_rtt(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_never_delivers_before_send(seed in 0u64..200, sends in 1usize..40) {
+        let mut cloud = Cloud::boot(Provider::ec2_like(), seed);
+        let alloc = cloud.allocate(6);
+        let net = cloud.network(&alloc);
+        let mut engine: Engine = net.engine(NicParams::default(), seed);
+        for k in 0..sends {
+            let src = (k % 6) as u32;
+            let mut dst = ((k + 1 + seed as usize) % 6) as u32;
+            if dst == src {
+                dst = (dst + 1) % 6;
+            }
+            engine.send(MessageSpec {
+                src: InstanceId(src),
+                dst: InstanceId(dst),
+                size_kb: 1.0,
+                kind: 0,
+                token: k as u64,
+            });
+        }
+        let mut last = 0.0f64;
+        while let Some(d) = engine.next_delivery() {
+            prop_assert!(d.delivered_at >= d.sent_at);
+            prop_assert!(d.delivered_at >= last);
+            last = d.delivered_at;
+        }
+    }
+
+    #[test]
+    fn prefix_model_is_consistent(seed in 0u64..100, n in 3usize..10) {
+        let mut cloud = Cloud::boot(Provider::gce_like(), seed);
+        let alloc = cloud.allocate(n);
+        let net = cloud.network(&alloc);
+        let k = n - 1;
+        let sub = net.prefix(k);
+        for i in 0..k {
+            for j in 0..k {
+                if i != j {
+                    let (a, b) = (InstanceId::from_index(i), InstanceId::from_index(j));
+                    prop_assert_eq!(sub.mean_rtt(a, b), net.mean_rtt(a, b));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn model_prefix_rejects_oversize() {
+    let model = LatencyModel::build_empty(3, 0.0);
+    let r = std::panic::catch_unwind(|| model.clone_prefix(4));
+    assert!(r.is_err());
+}

@@ -1,0 +1,537 @@
+//! Constraint-programming search for LLNDP (paper §4.2).
+//!
+//! The key insight: a deployment with longest link ≤ c exists **iff** the
+//! "good-links" graph `G_c = (S, {(j,j') : C_L(j,j') ≤ c})` contains a
+//! subgraph isomorphic to the communication graph. The solver therefore
+//! iterates decreasing cost thresholds, solving one subgraph-isomorphism
+//! *satisfaction* problem per distinct cost value; the number of iterations
+//! is bounded by the number of distinct values, which is why rounding costs
+//! to k cluster means (see [`crate::cluster`]) speeds convergence (paper
+//! Fig. 6).
+//!
+//! The embedded SIP search is a backtracking constraint solver:
+//!
+//! * domains are bitsets of candidate instances per application node;
+//! * injectivity (`alldifferent`) is enforced by removing an assigned
+//!   instance from all other domains (forward checking);
+//! * adjacency is enforced by intersecting neighbor domains with the
+//!   assigned instance's allowed-row bitsets;
+//! * domains are pre-filtered by degree compatibility — a node with
+//!   out-degree d can only map to an instance with ≥ d outgoing good links
+//!   (the degree-labeling idea of Zampelli et al. cited by the paper);
+//! * variable order is dynamic most-constrained-first (smallest domain,
+//!   ties broken by higher pattern degree).
+
+use std::time::Instant;
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::cluster::CostClusters;
+use crate::outcome::{Budget, SolveOutcome};
+use crate::problem::{Costs, NodeDeployment};
+
+/// Configuration of the CP driver.
+#[derive(Debug, Clone)]
+pub struct CpConfig {
+    /// Wall-clock/node budget for the whole threshold iteration.
+    pub budget: Budget,
+    /// Number of cost clusters (`None` = solve on raw costs).
+    pub clusters: Option<usize>,
+    /// Quantum for pre-rounding distinct costs (paper: 0.01 ms).
+    pub quantum: f64,
+    /// Seed for the bootstrap random deployments.
+    pub seed: u64,
+    /// Number of random deployments used to bootstrap the search (paper
+    /// §6.3: "randomly generate 10 node deployment plans and pick the best").
+    pub bootstrap_samples: u64,
+    /// Optional externally-supplied initial deployment.
+    pub initial: Option<Vec<u32>>,
+    /// Enable degree-compatibility domain pre-filtering (the Zampelli-style
+    /// labeling). On by default; exposed for the ablation benchmark.
+    pub degree_filter: bool,
+}
+
+impl Default for CpConfig {
+    fn default() -> Self {
+        Self {
+            budget: Budget::seconds(10.0),
+            clusters: Some(20),
+            quantum: 0.01,
+            seed: 0,
+            bootstrap_samples: 10,
+            initial: None,
+            degree_filter: true,
+        }
+    }
+}
+
+/// Result of one SIP satisfaction call.
+enum Sip {
+    Sat(Vec<u32>),
+    Unsat,
+    Timeout,
+}
+
+/// Solves the Longest Link Node Deployment Problem with the iterated-SIP
+/// CP approach.
+pub fn solve_llndp_cp(problem: &NodeDeployment, config: &CpConfig) -> SolveOutcome {
+    let start = Instant::now();
+    let deadline = config.budget.time_limit_s;
+
+    // Cost rounding: cluster means (k-means) or raw costs.
+    let search_costs: Costs = match config.clusters {
+        Some(k) => {
+            let clusters = CostClusters::compute(&problem.costs.off_diagonal(), k, config.quantum);
+            problem.costs.map(|c| clusters.round(c))
+        }
+        None if config.quantum > 0.0 => {
+            problem.costs.map(|c| (c / config.quantum).round() * config.quantum)
+        }
+        None => problem.costs.clone(),
+    };
+    let search_problem =
+        NodeDeployment::new(problem.num_nodes, problem.edges.clone(), search_costs);
+
+    // Bootstrap incumbent.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut incumbent: Vec<u32> = config.initial.clone().unwrap_or_else(|| {
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        for _ in 0..config.bootstrap_samples.max(1) {
+            let d = problem.random_deployment(&mut rng);
+            let c = search_problem.longest_link(&d);
+            if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+                best = Some((d, c));
+            }
+        }
+        best.expect("bootstrap_samples >= 1").0
+    });
+    let mut incumbent_search_cost = search_problem.longest_link(&incumbent);
+    let mut curve = vec![(start.elapsed().as_secs_f64(), problem.longest_link(&incumbent))];
+
+    // Distinct search-cost values, ascending.
+    let mut distinct: Vec<f64> = search_problem.costs.off_diagonal();
+    distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    distinct.dedup();
+
+    let mut explored = 0u64;
+    let mut proven_optimal = problem.edges.is_empty();
+
+    loop {
+        // Next threshold: largest distinct value strictly below the
+        // incumbent's cost.
+        let idx = distinct.partition_point(|&v| v < incumbent_search_cost);
+        if idx == 0 {
+            // Nothing below: incumbent is optimal under the rounded costs.
+            proven_optimal = true;
+            break;
+        }
+        let threshold = distinct[idx - 1];
+
+        let remaining = deadline - start.elapsed().as_secs_f64();
+        if remaining <= 0.0 || explored >= config.budget.node_limit {
+            break;
+        }
+
+        let mut sip = SipSearch::new(&search_problem, threshold);
+        let result =
+            sip.solve(config.degree_filter, start, deadline, config.budget.node_limit - explored);
+        explored += sip.nodes;
+        match result {
+            Sip::Sat(d) => {
+                incumbent_search_cost = search_problem.longest_link(&d);
+                debug_assert!(incumbent_search_cost <= threshold + 1e-12);
+                incumbent = d;
+                curve.push((start.elapsed().as_secs_f64(), problem.longest_link(&incumbent)));
+            }
+            Sip::Unsat => {
+                proven_optimal = true;
+                break;
+            }
+            Sip::Timeout => break,
+        }
+    }
+
+    let cost = problem.longest_link(&incumbent);
+    SolveOutcome { deployment: incumbent, cost, curve, proven_optimal, explored }
+}
+
+/// One subgraph-isomorphism satisfaction search at a fixed threshold.
+struct SipSearch {
+    n: usize,
+    m: usize,
+    words: usize,
+    /// Pattern adjacency.
+    out_adj: Vec<Vec<usize>>,
+    in_adj: Vec<Vec<usize>>,
+    /// `row_out[j]`: bitset of instances reachable from j via good links.
+    row_out: Vec<Vec<u64>>,
+    row_in: Vec<Vec<u64>>,
+    /// Static value order (instances by descending good-degree).
+    value_order: Vec<u32>,
+    nodes: u64,
+}
+
+impl SipSearch {
+    fn new(problem: &NodeDeployment, threshold: f64) -> Self {
+        let n = problem.num_nodes;
+        let m = problem.num_instances();
+        let words = m.div_ceil(64);
+
+        let mut out_adj = vec![Vec::new(); n];
+        let mut in_adj = vec![Vec::new(); n];
+        for &(a, b) in &problem.edges {
+            out_adj[a as usize].push(b as usize);
+            in_adj[b as usize].push(a as usize);
+        }
+
+        let mut row_out = vec![vec![0u64; words]; m];
+        let mut row_in = vec![vec![0u64; words]; m];
+        for j in 0..m {
+            for jp in 0..m {
+                if j != jp && problem.costs.get(j, jp) <= threshold {
+                    row_out[j][jp / 64] |= 1u64 << (jp % 64);
+                    row_in[jp][j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+
+        let degree = |j: usize| -> u32 {
+            row_out[j].iter().map(|w| w.count_ones()).sum::<u32>()
+                + row_in[j].iter().map(|w| w.count_ones()).sum::<u32>()
+        };
+        let mut value_order: Vec<u32> = (0..m as u32).collect();
+        value_order.sort_by_key(|&j| std::cmp::Reverse(degree(j as usize)));
+
+        Self { n, m, words, out_adj, in_adj, row_out, row_in, value_order, nodes: 0 }
+    }
+
+    fn solve(
+        &mut self,
+        degree_filter: bool,
+        start: Instant,
+        deadline_s: f64,
+        node_limit: u64,
+    ) -> Sip {
+        // Initial domains, optionally pre-filtered by degree compatibility.
+        let mut domains = vec![vec![0u64; self.words]; self.n];
+        for v in 0..self.n {
+            let need_out = self.out_adj[v].len() as u32;
+            let need_in = self.in_adj[v].len() as u32;
+            for j in 0..self.m {
+                let compatible = if degree_filter {
+                    let have_out: u32 = self.row_out[j].iter().map(|w| w.count_ones()).sum();
+                    let have_in: u32 = self.row_in[j].iter().map(|w| w.count_ones()).sum();
+                    have_out >= need_out && have_in >= need_in
+                } else {
+                    true
+                };
+                if compatible {
+                    domains[v][j / 64] |= 1u64 << (j % 64);
+                }
+            }
+            if bitset_count(&domains[v]) == 0 {
+                return Sip::Unsat;
+            }
+        }
+        let mut assignment: Vec<Option<u32>> = vec![None; self.n];
+        let order = self.value_order.clone();
+        match self.search(&order, &mut domains, &mut assignment, start, deadline_s, node_limit) {
+            Some(true) => {
+                Sip::Sat(assignment.into_iter().map(|a| a.expect("complete assignment")).collect())
+            }
+            Some(false) => Sip::Unsat,
+            None => Sip::Timeout,
+        }
+    }
+
+    /// Returns Some(true) on SAT (assignment filled in), Some(false) on
+    /// UNSAT, None on timeout.
+    fn search(
+        &mut self,
+        order: &[u32],
+        domains: &mut [Vec<u64>],
+        assignment: &mut Vec<Option<u32>>,
+        start: Instant,
+        deadline_s: f64,
+        node_limit: u64,
+    ) -> Option<bool> {
+        // Pick the most constrained unassigned variable.
+        let mut pick: Option<(usize, u32)> = None; // (var, domain size)
+        for v in 0..self.n {
+            if assignment[v].is_some() {
+                continue;
+            }
+            let size = bitset_count(&domains[v]);
+            let better = match pick {
+                None => true,
+                Some((pv, ps)) => {
+                    size < ps
+                        || (size == ps
+                            && self.pattern_degree(v) > self.pattern_degree(pv))
+                }
+            };
+            if better {
+                pick = Some((v, size));
+            }
+        }
+        let Some((v, _)) = pick else { return Some(true) }; // all assigned
+
+        self.nodes += 1;
+        if self.nodes >= node_limit {
+            return None;
+        }
+        if self.nodes % 256 == 0 && start.elapsed().as_secs_f64() >= deadline_s {
+            return None;
+        }
+
+        // Iterate candidate instances in the static value order.
+        for &j in order {
+            let (w, bit) = (j as usize / 64, 1u64 << (j % 64));
+            if domains[v][w] & bit == 0 {
+                continue;
+            }
+            // Propagate into copied domains.
+            let mut next: Vec<Vec<u64>> = domains.to_vec();
+            let mut ok = true;
+            // alldifferent: j is taken.
+            for (u, dom) in next.iter_mut().enumerate() {
+                if u != v && assignment[u].is_none() {
+                    dom[w] &= !bit;
+                }
+            }
+            next[v].iter_mut().for_each(|x| *x = 0);
+            next[v][w] = bit;
+            // Adjacency forward checking.
+            for &u in &self.out_adj[v] {
+                if assignment[u].is_none() {
+                    bitset_and(&mut next[u], &self.row_out[j as usize]);
+                    if bitset_count(&next[u]) == 0 {
+                        ok = false;
+                        break;
+                    }
+                } else if !bit_test(&self.row_out[j as usize], assignment[u].unwrap()) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for &u in &self.in_adj[v] {
+                    if assignment[u].is_none() {
+                        bitset_and(&mut next[u], &self.row_in[j as usize]);
+                        if bitset_count(&next[u]) == 0 {
+                            ok = false;
+                            break;
+                        }
+                    } else if !bit_test(&self.row_in[j as usize], assignment[u].unwrap()) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                assignment[v] = Some(j);
+                match self.search(order, &mut next, assignment, start, deadline_s, node_limit) {
+                    Some(true) => return Some(true),
+                    Some(false) => {
+                        assignment[v] = None;
+                    }
+                    None => return None,
+                }
+            }
+        }
+        Some(false)
+    }
+
+    fn pattern_degree(&self, v: usize) -> usize {
+        self.out_adj[v].len() + self.in_adj[v].len()
+    }
+}
+
+#[inline]
+fn bitset_count(bits: &[u64]) -> u32 {
+    bits.iter().map(|w| w.count_ones()).sum()
+}
+
+#[inline]
+fn bitset_and(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+#[inline]
+fn bit_test(bits: &[u64], j: u32) -> bool {
+    bits[j as usize / 64] & (1u64 << (j % 64)) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn random_costs(m: usize, seed: u64) -> Costs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Costs::from_matrix(
+            (0..m)
+                .map(|i| {
+                    (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn grid_edges(rows: u32, cols: u32) -> Vec<(u32, u32)> {
+        let mut e = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    e.push((v, v + 1));
+                }
+                if r + 1 < rows {
+                    e.push((v, v + cols));
+                }
+            }
+        }
+        e
+    }
+
+    /// Brute-force optimum by permutation enumeration (tiny sizes only).
+    fn brute_force(problem: &NodeDeployment) -> f64 {
+        fn rec(problem: &NodeDeployment, partial: &mut Vec<u32>, used: &mut Vec<bool>, best: &mut f64) {
+            if partial.len() == problem.num_nodes {
+                *best = best.min(problem.longest_link(partial));
+                return;
+            }
+            for j in 0..problem.num_instances() {
+                if !used[j] {
+                    used[j] = true;
+                    partial.push(j as u32);
+                    rec(problem, partial, used, best);
+                    partial.pop();
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(problem, &mut Vec::new(), &mut vec![false; problem.num_instances()], &mut best);
+        best
+    }
+
+    fn exact_config() -> CpConfig {
+        CpConfig { clusters: None, quantum: 0.0, budget: Budget::seconds(30.0), ..Default::default() }
+    }
+
+    #[test]
+    fn cp_finds_optimum_on_small_instances() {
+        for seed in 0..5 {
+            let p = NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], random_costs(7, seed));
+            let out = solve_llndp_cp(&p, &exact_config());
+            let opt = brute_force(&p);
+            assert!(p.is_valid(&out.deployment));
+            assert!(out.proven_optimal, "seed {seed} not proven");
+            assert!((out.cost - opt).abs() < 1e-9, "seed {seed}: cp {} opt {opt}", out.cost);
+        }
+    }
+
+    #[test]
+    fn cp_optimal_on_mesh() {
+        let p = NodeDeployment::new(6, grid_edges(2, 3), random_costs(8, 11));
+        let out = solve_llndp_cp(&p, &exact_config());
+        let opt = brute_force(&p);
+        assert!((out.cost - opt).abs() < 1e-9, "cp {} opt {opt}", out.cost);
+    }
+
+    #[test]
+    fn clustering_bounds_iterations_but_costs_accuracy() {
+        let p = NodeDeployment::new(12, grid_edges(3, 4), random_costs(16, 3));
+        let exact = solve_llndp_cp(&p, &exact_config());
+        let k5 = solve_llndp_cp(
+            &p,
+            &CpConfig { clusters: Some(5), quantum: 0.0, budget: Budget::seconds(30.0), ..Default::default() },
+        );
+        // Coarse clustering can only be as good or worse.
+        assert!(k5.cost >= exact.cost - 1e-9, "k5 {} exact {}", k5.cost, exact.cost);
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let p = NodeDeployment::new(9, grid_edges(3, 3), random_costs(12, 5));
+        let out = solve_llndp_cp(&p, &exact_config());
+        assert!(out.curve.windows(2).all(|w| w[1].1 <= w[0].1 + 1e-12), "{:?}", out.curve);
+    }
+
+    #[test]
+    fn respects_initial_solution() {
+        let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], random_costs(6, 6));
+        let init = p.default_deployment();
+        let out = solve_llndp_cp(
+            &p,
+            &CpConfig { initial: Some(init.clone()), ..exact_config() },
+        );
+        assert!(out.cost <= p.longest_link(&init));
+    }
+
+    #[test]
+    fn timeout_returns_incumbent() {
+        let p = NodeDeployment::new(20, grid_edges(4, 5), random_costs(24, 7));
+        let out = solve_llndp_cp(
+            &p,
+            &CpConfig { budget: Budget::seconds(0.0), ..Default::default() },
+        );
+        assert!(p.is_valid(&out.deployment));
+        assert!(!out.proven_optimal);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let p = NodeDeployment::new(16, grid_edges(4, 4), random_costs(20, 8));
+        let out = solve_llndp_cp(
+            &p,
+            &CpConfig { budget: Budget::nodes(50), clusters: None, quantum: 0.0, ..Default::default() },
+        );
+        assert!(out.explored <= 60, "explored {}", out.explored);
+    }
+
+    #[test]
+    fn degree_filter_does_not_change_the_answer() {
+        // The filter is a pure pruning optimization: with and without it,
+        // the solver must reach the same optimal cost.
+        for seed in 0..3 {
+            let p = NodeDeployment::new(6, grid_edges(2, 3), random_costs(8, seed + 50));
+            let with = solve_llndp_cp(&p, &exact_config());
+            let without =
+                solve_llndp_cp(&p, &CpConfig { degree_filter: false, ..exact_config() });
+            assert!(with.proven_optimal && without.proven_optimal, "seed {seed}");
+            assert!(
+                (with.cost - without.cost).abs() < 1e-9,
+                "seed {seed}: {} vs {}",
+                with.cost,
+                without.cost
+            );
+        }
+    }
+
+    #[test]
+    fn empty_edge_set_is_trivially_optimal() {
+        let p = NodeDeployment::new(3, vec![], random_costs(5, 9));
+        let out = solve_llndp_cp(&p, &exact_config());
+        assert_eq!(out.cost, 0.0);
+        assert!(out.proven_optimal);
+    }
+
+    #[test]
+    fn scales_to_paper_size_quickly() {
+        // 2D mesh of 30 nodes over 34 instances should converge well within
+        // the budget — a smoke test of search efficiency.
+        let p = NodeDeployment::new(30, grid_edges(5, 6), random_costs(34, 10));
+        let out = solve_llndp_cp(
+            &p,
+            &CpConfig { clusters: Some(20), budget: Budget::seconds(5.0), ..Default::default() },
+        );
+        assert!(p.is_valid(&out.deployment));
+        // Must beat the bootstrap by a decent margin on random costs.
+        let first = out.curve.first().unwrap().1;
+        assert!(out.cost < first, "no improvement over bootstrap: {first} -> {}", out.cost);
+    }
+}

@@ -1,0 +1,449 @@
+//! MIP encodings of LLNDP (paper §4.1) and LPNDP (paper §4.4).
+//!
+//! Both encodings share the assignment block: binary `x_ij` = 1 iff
+//! application node `i` is deployed on instance `j`, with one-node-one-
+//! instance and one-instance-at-most-one-node rows. (The paper pads the
+//! node set with dummies to make the mapping a bijection; we instead use
+//! `≤ 1` instance rows, which is equivalent and smaller.)
+//!
+//! **LLNDP** adds a single cost variable `c` with the family
+//! `c ≥ C_L(j,j')(x_ij + x_i'j' − 1)` for every edge `(i,i')` and instance
+//! pair `(j,j')`, minimized. **LPNDP** adds per-edge cost variables
+//! `c_(i,i')`, per-node longest-path variables `t_i` with precedence rows
+//! `t_i' ≥ t_i + c_(i,i')`, and minimizes the maximum `t`.
+//!
+//! The quadratic-size constraint families are generated lazily by the
+//! [`crate::mip`] engine.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::cluster::CostClusters;
+use crate::lp::{Constraint, Lp, Sense};
+use crate::mip::{solve_mip, MipEngineConfig, MipHooks};
+use crate::outcome::{Budget, Objective, SolveOutcome};
+use crate::problem::{Costs, NodeDeployment};
+
+/// Configuration of the MIP drivers (mirrors [`crate::cp::CpConfig`]).
+#[derive(Debug, Clone)]
+pub struct MipConfig {
+    /// Overall budget.
+    pub budget: Budget,
+    /// Number of cost clusters (`None` = raw costs; the paper finds
+    /// clustering does not help LPNDP, §6.3.3).
+    pub clusters: Option<usize>,
+    /// Pre-rounding quantum (paper: 0.01 ms).
+    pub quantum: f64,
+    /// Seed for bootstrap deployments.
+    pub seed: u64,
+    /// Bootstrap random deployments (paper: 10).
+    pub bootstrap_samples: u64,
+    /// Engine knobs.
+    pub engine: MipEngineConfig,
+}
+
+impl Default for MipConfig {
+    fn default() -> Self {
+        Self {
+            budget: Budget::seconds(10.0),
+            clusters: None,
+            quantum: 0.01,
+            seed: 0,
+            bootstrap_samples: 10,
+            engine: MipEngineConfig::default(),
+        }
+    }
+}
+
+fn search_costs(problem: &NodeDeployment, config: &MipConfig) -> Costs {
+    match config.clusters {
+        Some(k) => {
+            let clusters = CostClusters::compute(&problem.costs.off_diagonal(), k, config.quantum);
+            problem.costs.map(|c| clusters.round(c))
+        }
+        None if config.quantum > 0.0 => {
+            problem.costs.map(|c| (c / config.quantum).round() * config.quantum)
+        }
+        None => problem.costs.clone(),
+    }
+}
+
+fn bootstrap(problem: &NodeDeployment, objective: Objective, config: &MipConfig, enc: &Costs) -> Vec<u32> {
+    let search = NodeDeployment::new(problem.num_nodes, problem.edges.clone(), enc.clone());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    let consider = |d: Vec<u32>, best: &mut Option<(Vec<u32>, f64)>| {
+        let c = search.cost(objective, &d);
+        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+            *best = Some((d, c));
+        }
+    };
+    for _ in 0..config.bootstrap_samples.max(1) {
+        let d = problem.random_deployment(&mut rng);
+        consider(d, &mut best);
+    }
+    // The G2 greedy is practically free and gives the branch-and-bound a
+    // usable incumbent immediately — CPLEX's internal heuristics play the
+    // same role in the paper's runs (for LPNDP this is the §4.5.2
+    // greedy-as-heuristic reuse).
+    consider(crate::greedy::solve_greedy(&search, crate::greedy::GreedyVariant::G2).deployment, &mut best);
+    best.expect("at least one bootstrap sample").0
+}
+
+/// Shared assignment block: variables `x_ij` at index `i·m + j`, node
+/// equality rows, and instance at-most-one rows.
+fn assignment_rows(n: usize, m: usize) -> Vec<Constraint> {
+    let mut rows = Vec::with_capacity(n + m);
+    for i in 0..n {
+        rows.push(Constraint::new((0..m).map(|j| (i * m + j, 1.0)).collect(), Sense::Eq, 1.0));
+    }
+    for j in 0..m {
+        rows.push(Constraint::new((0..n).map(|i| (i * m + j, 1.0)).collect(), Sense::Le, 1.0));
+    }
+    rows
+}
+
+/// Greedy rounding of the fractional assignment block to an injection:
+/// nodes in descending order of their strongest preference, each taking its
+/// best free instance.
+fn round_assignment(x: &[f64], n: usize, m: usize) -> Vec<u32> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let strength = |i: usize| {
+        (0..m).map(|j| x[i * m + j]).fold(f64::NEG_INFINITY, f64::max)
+    };
+    order.sort_by(|&a, &b| strength(b).partial_cmp(&strength(a)).unwrap());
+    let mut used = vec![false; m];
+    let mut deployment = vec![u32::MAX; n];
+    for i in order {
+        let mut best_j = usize::MAX;
+        let mut best_v = f64::NEG_INFINITY;
+        for (j, &u) in used.iter().enumerate() {
+            if !u && x[i * m + j] > best_v {
+                best_v = x[i * m + j];
+                best_j = j;
+            }
+        }
+        deployment[i] = best_j as u32;
+        used[best_j] = true;
+    }
+    deployment
+}
+
+// ---------------------------------------------------------------------
+// LLNDP
+// ---------------------------------------------------------------------
+
+struct LlHooks<'a> {
+    problem: &'a NodeDeployment,
+    search: NodeDeployment,
+    n: usize,
+    m: usize,
+    c_var: usize,
+}
+
+impl MipHooks for LlHooks<'_> {
+    fn lazy_cuts(&self, x: &[f64], cap: usize) -> Vec<Constraint> {
+        let mut violated: Vec<(f64, Constraint)> = Vec::new();
+        let c_val = x[self.c_var];
+        for &(i, ip) in &self.search.edges {
+            let (i, ip) = (i as usize, ip as usize);
+            for j in 0..self.m {
+                let xij = x[i * self.m + j];
+                if xij <= 1e-9 {
+                    continue;
+                }
+                for jp in 0..self.m {
+                    if j == jp {
+                        continue;
+                    }
+                    let xipjp = x[ip * self.m + jp];
+                    if xipjp <= 1e-9 {
+                        continue;
+                    }
+                    let cl = self.search.costs.get(j, jp);
+                    let lhs = cl * (xij + xipjp - 1.0);
+                    if lhs > c_val + 1e-6 {
+                        violated.push((
+                            lhs - c_val,
+                            Constraint::new(
+                                vec![
+                                    (i * self.m + j, cl),
+                                    (ip * self.m + jp, cl),
+                                    (self.c_var, -1.0),
+                                ],
+                                Sense::Le,
+                                cl,
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        violated.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        violated.into_iter().take(cap).map(|(_, c)| c).collect()
+    }
+
+    fn round(&self, x: &[f64]) -> Vec<u32> {
+        round_assignment(x, self.n, self.m)
+    }
+
+    fn encoded_cost(&self, d: &[u32]) -> f64 {
+        self.search.longest_link(d)
+    }
+
+    fn true_cost(&self, d: &[u32]) -> f64 {
+        self.problem.longest_link(d)
+    }
+}
+
+/// Solves LLNDP with the §4.1 MIP encoding.
+pub fn solve_llndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOutcome {
+    let n = problem.num_nodes;
+    let m = problem.num_instances();
+    let enc_costs = search_costs(problem, config);
+    let search = NodeDeployment::new(n, problem.edges.clone(), enc_costs);
+
+    let c_var = n * m;
+    let mut objective = vec![0.0; n * m + 1];
+    objective[c_var] = 1.0;
+    let base = Lp { num_vars: n * m + 1, objective, constraints: assignment_rows(n, m) };
+    let binary_vars: Vec<usize> = (0..n * m).collect();
+
+    let initial = bootstrap(problem, Objective::LongestLink, config, &search.costs);
+    let hooks = LlHooks { problem, search, n, m, c_var };
+    let mut engine = config.engine;
+    engine.budget = config.budget;
+    solve_mip(&base, &binary_vars, &hooks, initial, &engine)
+}
+
+// ---------------------------------------------------------------------
+// LPNDP
+// ---------------------------------------------------------------------
+
+struct LpHooks<'a> {
+    problem: &'a NodeDeployment,
+    search: NodeDeployment,
+    n: usize,
+    m: usize,
+}
+
+impl LpHooks<'_> {
+    fn c_edge(&self, e: usize) -> usize {
+        self.n * self.m + e
+    }
+}
+
+impl MipHooks for LpHooks<'_> {
+    fn lazy_cuts(&self, x: &[f64], cap: usize) -> Vec<Constraint> {
+        let mut violated: Vec<(f64, Constraint)> = Vec::new();
+        for (e, &(i, ip)) in self.search.edges.iter().enumerate() {
+            let (i, ip) = (i as usize, ip as usize);
+            let ce_val = x[self.c_edge(e)];
+            for j in 0..self.m {
+                let xij = x[i * self.m + j];
+                if xij <= 1e-9 {
+                    continue;
+                }
+                for jp in 0..self.m {
+                    if j == jp {
+                        continue;
+                    }
+                    let xipjp = x[ip * self.m + jp];
+                    if xipjp <= 1e-9 {
+                        continue;
+                    }
+                    let cl = self.search.costs.get(j, jp);
+                    let lhs = cl * (xij + xipjp - 1.0);
+                    if lhs > ce_val + 1e-6 {
+                        violated.push((
+                            lhs - ce_val,
+                            Constraint::new(
+                                vec![
+                                    (i * self.m + j, cl),
+                                    (ip * self.m + jp, cl),
+                                    (self.c_edge(e), -1.0),
+                                ],
+                                Sense::Le,
+                                cl,
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        violated.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        violated.into_iter().take(cap).map(|(_, c)| c).collect()
+    }
+
+    fn round(&self, x: &[f64]) -> Vec<u32> {
+        round_assignment(x, self.n, self.m)
+    }
+
+    fn encoded_cost(&self, d: &[u32]) -> f64 {
+        self.search.longest_path(d)
+    }
+
+    fn true_cost(&self, d: &[u32]) -> f64 {
+        self.problem.longest_path(d)
+    }
+}
+
+/// Solves LPNDP with the §4.4 MIP encoding.
+///
+/// # Panics
+/// Panics if the communication graph is not a DAG.
+pub fn solve_lpndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOutcome {
+    assert!(problem.is_dag(), "LPNDP requires an acyclic communication graph");
+    let n = problem.num_nodes;
+    let m = problem.num_instances();
+    let e = problem.edges.len();
+    let enc_costs = search_costs(problem, config);
+    let search = NodeDeployment::new(n, problem.edges.clone(), enc_costs);
+
+    // Variable layout: x (n·m) | c_e (e) | t_i (n) | t (1).
+    let t_node = |i: usize| n * m + e + i;
+    let t_var = n * m + e + n;
+    let mut objective = vec![0.0; n * m + e + n + 1];
+    objective[t_var] = 1.0;
+
+    let mut constraints = assignment_rows(n, m);
+    for (ei, &(a, b)) in problem.edges.iter().enumerate() {
+        // t_a + c_e − t_b ≤ 0.
+        constraints.push(Constraint::new(
+            vec![(t_node(a as usize), 1.0), (n * m + ei, 1.0), (t_node(b as usize), -1.0)],
+            Sense::Le,
+            0.0,
+        ));
+    }
+    for i in 0..n {
+        // t_i − t ≤ 0.
+        constraints.push(Constraint::new(vec![(t_node(i), 1.0), (t_var, -1.0)], Sense::Le, 0.0));
+    }
+
+    let base = Lp { num_vars: n * m + e + n + 1, objective, constraints };
+    let binary_vars: Vec<usize> = (0..n * m).collect();
+
+    let initial = bootstrap(problem, Objective::LongestPath, config, &search.costs);
+    let hooks = LpHooks { problem, search, n, m };
+    let mut engine = config.engine;
+    engine.budget = config.budget;
+    solve_mip(&base, &binary_vars, &hooks, initial, &engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn random_costs(m: usize, seed: u64) -> Costs {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Costs::from_matrix(
+            (0..m)
+                .map(|i| {
+                    (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn brute_force(problem: &NodeDeployment, objective: Objective) -> f64 {
+        fn rec(
+            problem: &NodeDeployment,
+            objective: Objective,
+            partial: &mut Vec<u32>,
+            used: &mut Vec<bool>,
+            best: &mut f64,
+        ) {
+            if partial.len() == problem.num_nodes {
+                *best = best.min(problem.cost(objective, partial));
+                return;
+            }
+            for j in 0..problem.num_instances() {
+                if !used[j] {
+                    used[j] = true;
+                    partial.push(j as u32);
+                    rec(problem, objective, partial, used, best);
+                    partial.pop();
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(problem, objective, &mut Vec::new(), &mut vec![false; problem.num_instances()], &mut best);
+        best
+    }
+
+    fn exact_config(seconds: f64) -> MipConfig {
+        MipConfig { budget: Budget::seconds(seconds), quantum: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn llndp_mip_optimal_on_small() {
+        for seed in 0..3 {
+            let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], random_costs(5, seed));
+            let out = solve_llndp_mip(&p, &exact_config(30.0));
+            let opt = brute_force(&p, Objective::LongestLink);
+            assert!(p.is_valid(&out.deployment), "seed {seed}");
+            assert!(out.proven_optimal, "seed {seed}");
+            assert!((out.cost - opt).abs() < 1e-6, "seed {seed}: mip {} opt {opt}", out.cost);
+        }
+    }
+
+    #[test]
+    fn lpndp_mip_optimal_on_small_tree() {
+        for seed in 0..3 {
+            // Two-level aggregation tree: 0 <- 1, 0 <- 2; 1 <- 3, 2 <- 4.
+            // Edges point leaf -> root (flow of partial aggregates).
+            let edges = vec![(3, 1), (4, 2), (1, 0), (2, 0)];
+            let p = NodeDeployment::new(5, edges, random_costs(6, seed + 10));
+            let out = solve_lpndp_mip(&p, &exact_config(60.0));
+            let opt = brute_force(&p, Objective::LongestPath);
+            assert!(out.proven_optimal, "seed {seed}");
+            assert!((out.cost - opt).abs() < 1e-6, "seed {seed}: mip {} opt {opt}", out.cost);
+        }
+    }
+
+    #[test]
+    fn llndp_mip_anytime_improves_over_bootstrap() {
+        let p = NodeDeployment::new(
+            6,
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)],
+            random_costs(8, 3),
+        );
+        let out = solve_llndp_mip(&p, &exact_config(5.0));
+        let first = out.curve.first().unwrap().1;
+        assert!(out.cost <= first);
+        assert!(out.curve.windows(2).all(|w| w[1].1 <= w[0].1));
+    }
+
+    #[test]
+    fn mip_respects_time_budget() {
+        let p = NodeDeployment::new(
+            12,
+            (0..11u32).map(|i| (i, i + 1)).collect(),
+            random_costs(14, 4),
+        );
+        let t = Instant::now();
+        let out = solve_llndp_mip(&p, &exact_config(0.5));
+        assert!(t.elapsed().as_secs_f64() < 15.0);
+        assert!(p.is_valid(&out.deployment));
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn lpndp_rejects_cycles() {
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2), (2, 0)], random_costs(4, 5));
+        solve_lpndp_mip(&p, &exact_config(1.0));
+    }
+
+    #[test]
+    fn clustering_supported_for_llndp() {
+        let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], random_costs(6, 6));
+        let out = solve_llndp_mip(
+            &p,
+            &MipConfig { clusters: Some(5), budget: Budget::seconds(10.0), ..Default::default() },
+        );
+        assert!(p.is_valid(&out.deployment));
+    }
+
+    use std::time::Instant;
+}

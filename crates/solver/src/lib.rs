@@ -1,0 +1,56 @@
+//! # cloudia-solver — the ClouDiA optimization stack
+//!
+//! Implements every search technique from paper §4, all from scratch (no
+//! LP/MIP/CP libraries exist in the offline dependency set):
+//!
+//! * [`cp`] — the winning approach for LLNDP: iterated subgraph-isomorphism
+//!   satisfaction with bitset domains, degree filtering, and forward
+//!   checking (§4.2);
+//! * [`lp`] + [`mip`] + [`encodings`] — a dense two-phase simplex, a
+//!   branch-and-bound engine with lazy constraint generation, and the MIP
+//!   encodings of LLNDP (§4.1) and LPNDP (§4.4);
+//! * [`greedy`] — Algorithms 1 (G1) and 2 (G2) (§4.3.2);
+//! * [`random`] — R1 (fixed draw count) and R2 (parallel wall-clock budget)
+//!   (§4.3.1, §4.5.1);
+//! * [`cluster`] — exact 1-D k-means cost clustering (§4.2, §6.3);
+//! * [`problem`] — the node deployment problem and its two cost functions
+//!   (§3.3).
+//!
+//! ```
+//! use cloudia_solver::{
+//!     cp::{solve_llndp_cp, CpConfig},
+//!     problem::{Costs, NodeDeployment},
+//! };
+//!
+//! // A 3-node chain on 4 instances with one expensive link.
+//! let costs = Costs::from_matrix(vec![
+//!     vec![0.0, 0.3, 0.9, 0.4],
+//!     vec![0.3, 0.0, 0.5, 0.35],
+//!     vec![0.9, 0.5, 0.0, 0.6],
+//!     vec![0.4, 0.35, 0.6, 0.0],
+//! ]);
+//! let problem = NodeDeployment::new(3, vec![(0, 1), (1, 2)], costs);
+//! let out = solve_llndp_cp(&problem, &CpConfig::default());
+//! assert!(out.cost <= 0.4 + 1e-9); // avoids the 0.9 and 0.5+ links
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cluster;
+pub mod cp;
+pub mod encodings;
+pub mod greedy;
+pub mod lp;
+pub mod mip;
+pub mod outcome;
+pub mod problem;
+pub mod random;
+
+pub use cluster::CostClusters;
+pub use cp::{solve_llndp_cp, CpConfig};
+pub use encodings::{solve_llndp_mip, solve_lpndp_mip, MipConfig};
+pub use greedy::{solve_greedy, GreedyVariant};
+pub use outcome::{Budget, Objective, SolveOutcome};
+pub use problem::{Costs, NodeDeployment};
+pub use random::{solve_random_budget, solve_random_count};

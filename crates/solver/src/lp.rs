@@ -1,0 +1,473 @@
+//! Dense two-phase primal simplex.
+//!
+//! No LP library exists in the offline dependency set, so the MIP encodings
+//! of paper §4.1/§4.4 sit on this from-scratch solver. It is a classic
+//! tableau implementation: constraints are normalized to non-negative
+//! right-hand sides, slack/surplus/artificial columns are appended, phase 1
+//! minimizes the artificial sum to find a basic feasible solution, and
+//! phase 2 optimizes the real objective with Dantzig pricing, falling back
+//! to Bland's rule when degeneracy stalls progress. Problems at ClouDiA
+//! scale (thousands of columns, hundreds of rows after lazy-constraint
+//! generation) are comfortably in range; the point — as the paper found
+//! with CPLEX — is that the *encoding* is weak, not the LP engine.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `≤ rhs`
+    Le,
+    /// `≥ rhs`
+    Ge,
+    /// `= rhs`
+    Eq,
+}
+
+/// A sparse linear constraint `Σ coeff·x {≤,≥,=} rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Relation to the right-hand side.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<(usize, f64)>, sense: Sense, rhs: f64) -> Self {
+        Self { coeffs, sense, rhs }
+    }
+}
+
+/// A linear program: minimize `objective · x` subject to constraints and
+/// `x ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Lp {
+    /// Number of structural variables.
+    pub num_vars: usize,
+    /// Objective coefficients (length `num_vars`); minimized.
+    pub objective: Vec<f64>,
+    /// Constraint rows.
+    pub constraints: Vec<Constraint>,
+}
+
+/// Outcome of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal solution found.
+    Optimal {
+        /// Values of the structural variables.
+        x: Vec<f64>,
+        /// Objective value.
+        objective: f64,
+    },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Iteration limit hit before convergence.
+    IterationLimit,
+}
+
+const TOL: f64 = 1e-7;
+
+/// Solves the LP with at most `max_iters` simplex pivots (per phase).
+pub fn solve(lp: &Lp, max_iters: usize) -> LpResult {
+    assert_eq!(lp.objective.len(), lp.num_vars, "objective length mismatch");
+    let m = lp.constraints.len();
+    let n = lp.num_vars;
+
+    // Column layout: [structural | slack/surplus | artificial | rhs].
+    let mut n_slack = 0usize;
+    for c in &lp.constraints {
+        if c.sense != Sense::Eq {
+            n_slack += 1;
+        }
+    }
+    // Artificial needed for Ge and Eq rows (after rhs normalization).
+    // First pass: normalized rows.
+    struct Row {
+        dense: Vec<f64>,
+        sense: Sense,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(m);
+    for c in &lp.constraints {
+        let mut dense = vec![0.0; n];
+        for &(j, a) in &c.coeffs {
+            assert!(j < n, "constraint references variable {j} out of {n}");
+            dense[j] += a;
+        }
+        let (dense, sense, rhs) = if c.rhs < 0.0 {
+            let flipped = match c.sense {
+                Sense::Le => Sense::Ge,
+                Sense::Ge => Sense::Le,
+                Sense::Eq => Sense::Eq,
+            };
+            (dense.iter().map(|v| -v).collect(), flipped, -c.rhs)
+        } else {
+            (dense, c.sense, c.rhs)
+        };
+        rows.push(Row { dense, sense, rhs });
+    }
+
+    let n_art: usize = rows.iter().filter(|r| r.sense != Sense::Le).count();
+    let total = n + n_slack + n_art;
+    let width = total + 1; // + rhs column
+
+    let mut tab = vec![0.0f64; m * width];
+    let mut basis = vec![usize::MAX; m];
+    let mut slack_idx = n;
+    let mut art_idx = n + n_slack;
+    let mut artificial_cols: Vec<usize> = Vec::with_capacity(n_art);
+
+    for (i, row) in rows.iter().enumerate() {
+        let t = &mut tab[i * width..(i + 1) * width];
+        t[..n].copy_from_slice(&row.dense);
+        t[total] = row.rhs;
+        match row.sense {
+            Sense::Le => {
+                t[slack_idx] = 1.0;
+                basis[i] = slack_idx;
+                slack_idx += 1;
+            }
+            Sense::Ge => {
+                t[slack_idx] = -1.0;
+                slack_idx += 1;
+                t[art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+            Sense::Eq => {
+                t[art_idx] = 1.0;
+                basis[i] = art_idx;
+                artificial_cols.push(art_idx);
+                art_idx += 1;
+            }
+        }
+    }
+
+    let is_artificial = |j: usize| j >= n + n_slack;
+
+    // Phase 1: minimize sum of artificials.
+    if n_art > 0 {
+        let mut cost1 = vec![0.0; total];
+        for &a in &artificial_cols {
+            cost1[a] = 1.0;
+        }
+        match run_simplex(&mut tab, &mut basis, &cost1, m, total, width, max_iters, |_| false) {
+            SimplexStatus::Optimal => {}
+            SimplexStatus::Unbounded => unreachable!("phase 1 is bounded below by 0"),
+            SimplexStatus::IterationLimit => return LpResult::IterationLimit,
+        }
+        // Feasible iff artificial sum ~ 0.
+        let obj1: f64 = basis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| is_artificial(b))
+            .map(|(i, _)| tab[i * width + total])
+            .sum();
+        if obj1 > 1e-6 {
+            return LpResult::Infeasible;
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if is_artificial(basis[i]) {
+                // Pivot on any non-artificial column with nonzero entry.
+                let mut pivot_col = None;
+                for j in 0..n + n_slack {
+                    if tab[i * width + j].abs() > TOL {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    pivot(&mut tab, &mut basis, m, width, i, j);
+                }
+                // If no pivot column, the row is redundant (all zeros); the
+                // artificial stays basic at value 0 — harmless as long as
+                // it never re-enters, which blocking below ensures.
+            }
+        }
+    }
+
+    // Phase 2: original objective; artificials blocked from entering.
+    let mut cost2 = vec![0.0; total];
+    cost2[..n].copy_from_slice(&lp.objective);
+    match run_simplex(&mut tab, &mut basis, &cost2, m, total, width, max_iters, is_artificial) {
+        SimplexStatus::Optimal => {}
+        SimplexStatus::Unbounded => return LpResult::Unbounded,
+        SimplexStatus::IterationLimit => return LpResult::IterationLimit,
+    }
+
+    // Extract solution.
+    let mut x = vec![0.0; n];
+    for i in 0..m {
+        if basis[i] < n {
+            x[basis[i]] = tab[i * width + total];
+        }
+    }
+    let objective = x.iter().zip(&lp.objective).map(|(a, b)| a * b).sum();
+    LpResult::Optimal { x, objective }
+}
+
+enum SimplexStatus {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Runs primal simplex iterations on the tableau for the given costs.
+/// `blocked(j)` excludes columns from entering the basis.
+#[allow(clippy::too_many_arguments)]
+fn run_simplex(
+    tab: &mut [f64],
+    basis: &mut [usize],
+    cost: &[f64],
+    m: usize,
+    total: usize,
+    width: usize,
+    max_iters: usize,
+    blocked: impl Fn(usize) -> bool,
+) -> SimplexStatus {
+    // Reduced costs maintained incrementally would be faster; recomputing
+    // per iteration keeps the code simple and is fine at our scale.
+    let bland_after = max_iters / 2;
+    for iter in 0..max_iters {
+        // rc_j = c_j - Σ_i c_{B_i} tab[i][j]
+        let mut entering: Option<usize> = None;
+        let mut best_rc = -TOL;
+        for j in 0..total {
+            if blocked(j) {
+                continue;
+            }
+            let mut rc = cost[j];
+            for i in 0..m {
+                let cb = cost[basis[i]];
+                if cb != 0.0 {
+                    rc -= cb * tab[i * width + j];
+                }
+            }
+            if iter >= bland_after {
+                // Bland: first improving column.
+                if rc < -TOL {
+                    entering = Some(j);
+                    break;
+                }
+            } else if rc < best_rc {
+                best_rc = rc;
+                entering = Some(j);
+            }
+        }
+        let Some(jin) = entering else { return SimplexStatus::Optimal };
+
+        // Ratio test.
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            let a = tab[i * width + jin];
+            if a > TOL {
+                let ratio = tab[i * width + total] / a;
+                let better = match leave {
+                    None => true,
+                    Some((li, lr)) => {
+                        ratio < lr - TOL || (ratio < lr + TOL && basis[i] < basis[li])
+                    }
+                };
+                if better {
+                    leave = Some((i, ratio));
+                }
+            }
+        }
+        let Some((iout, _)) = leave else { return SimplexStatus::Unbounded };
+        pivot(tab, basis, m, width, iout, jin);
+    }
+    SimplexStatus::IterationLimit
+}
+
+/// Gauss-Jordan pivot on (row, col).
+fn pivot(tab: &mut [f64], basis: &mut [usize], m: usize, width: usize, row: usize, col: usize) {
+    let p = tab[row * width + col];
+    debug_assert!(p.abs() > 1e-12, "pivot on ~zero element");
+    let inv = 1.0 / p;
+    for v in tab[row * width..(row + 1) * width].iter_mut() {
+        *v *= inv;
+    }
+    for i in 0..m {
+        if i == row {
+            continue;
+        }
+        let f = tab[i * width + col];
+        if f != 0.0 {
+            // row_i -= f * row_pivot, done with split borrows via indices.
+            for j in 0..width {
+                let pv = tab[row * width + j];
+                tab[i * width + j] -= f * pv;
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(lp: &Lp) -> (Vec<f64>, f64) {
+        match solve(lp, 10_000) {
+            LpResult::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_maximization_as_min() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  => min -3x -2y.
+        let lp = Lp {
+            num_vars: 2,
+            objective: vec![-3.0, -2.0],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0),
+                Constraint::new(vec![(0, 1.0), (1, 3.0)], Sense::Le, 6.0),
+            ],
+        };
+        let (x, obj) = optimal(&lp);
+        assert!((x[0] - 4.0).abs() < 1e-6);
+        assert!(x[1].abs() < 1e-6);
+        assert!((obj + 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + y = 2, x >= 0.5.
+        let lp = Lp {
+            num_vars: 2,
+            objective: vec![1.0, 1.0],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+                Constraint::new(vec![(0, 1.0)], Sense::Ge, 0.5),
+            ],
+        };
+        let (x, obj) = optimal(&lp);
+        assert!((obj - 2.0).abs() < 1e-6);
+        assert!(x[0] >= 0.5 - 1e-9);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2.
+        let lp = Lp {
+            num_vars: 1,
+            objective: vec![0.0],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0)], Sense::Le, 1.0),
+                Constraint::new(vec![(0, 1.0)], Sense::Ge, 2.0),
+            ],
+        };
+        assert_eq!(solve(&lp, 1000), LpResult::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x with x >= 1: unbounded below.
+        let lp = Lp {
+            num_vars: 1,
+            objective: vec![-1.0],
+            constraints: vec![Constraint::new(vec![(0, 1.0)], Sense::Ge, 1.0)],
+        };
+        assert_eq!(solve(&lp, 1000), LpResult::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let lp = Lp {
+            num_vars: 1,
+            objective: vec![1.0],
+            constraints: vec![Constraint::new(vec![(0, -1.0)], Sense::Le, -3.0)],
+        };
+        let (x, obj) = optimal(&lp);
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((obj - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_lp_is_integral() {
+        // 3x3 assignment problem: LP relaxation of assignment is integral
+        // (Birkhoff) — a key sanity check for the MIP encodings.
+        let cost = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let var = |i: usize, j: usize| i * 3 + j;
+        let mut constraints = Vec::new();
+        for i in 0..3 {
+            constraints.push(Constraint::new((0..3).map(|j| (var(i, j), 1.0)).collect(), Sense::Eq, 1.0));
+            constraints.push(Constraint::new((0..3).map(|j| (var(j, i), 1.0)).collect(), Sense::Eq, 1.0));
+        }
+        let lp = Lp {
+            num_vars: 9,
+            objective: (0..9).map(|k| cost[k / 3][k % 3]).collect(),
+            constraints,
+        };
+        let (x, obj) = optimal(&lp);
+        assert!((obj - 5.0).abs() < 1e-6, "objective {obj}"); // 1 + 2 + 2
+        for v in &x {
+            assert!(v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6, "fractional {v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple redundant constraints through origin.
+        let lp = Lp {
+            num_vars: 2,
+            objective: vec![-1.0, -1.0],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0)], Sense::Le, 1.0),
+                Constraint::new(vec![(1, 1.0)], Sense::Le, 1.0),
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Le, 2.0),
+                Constraint::new(vec![(0, 1.0), (1, 2.0)], Sense::Le, 3.0),
+                Constraint::new(vec![(0, 2.0), (1, 1.0)], Sense::Le, 3.0),
+            ],
+        };
+        let (_, obj) = optimal(&lp);
+        assert!((obj + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // x + y = 2 twice (redundant artificial row at phase-1 exit).
+        let lp = Lp {
+            num_vars: 2,
+            objective: vec![1.0, 2.0],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 2.0),
+            ],
+        };
+        let (x, obj) = optimal(&lp);
+        assert!((x[0] - 2.0).abs() < 1e-6);
+        assert!((obj - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // min x with no constraints: x = 0.
+        let lp = Lp { num_vars: 1, objective: vec![1.0], constraints: vec![] };
+        let (x, obj) = optimal(&lp);
+        assert_eq!(x[0], 0.0);
+        assert_eq!(obj, 0.0);
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let lp = Lp {
+            num_vars: 2,
+            objective: vec![-3.0, -2.0],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Le, 4.0),
+                Constraint::new(vec![(0, 1.0), (1, 3.0)], Sense::Le, 6.0),
+            ],
+        };
+        assert_eq!(solve(&lp, 0), LpResult::IterationLimit);
+    }
+}

@@ -1,0 +1,288 @@
+//! Branch-and-bound MIP engine with lazy constraint generation.
+//!
+//! The paper solves its MIP encodings with CPLEX; offline we have no MIP
+//! library, so this module provides the classic recipe on top of the
+//! [`crate::lp`] simplex:
+//!
+//! * **LP-relaxation branch-and-bound**, depth-first, branching on the most
+//!   fractional binary variable (1-branch explored first so integral
+//!   incumbents appear early);
+//! * **lazy constraints**: the longest-link family
+//!   `c ≥ C_L(j,j')(x_ij + x_i'j' − 1)` has `|E|·|S|²` members — far too
+//!   many to instantiate (~10⁸ at paper scale) — so violated members are
+//!   generated at LP optima, exactly how such models are deployed in
+//!   practice. Missing cuts only *weaken* the bound (safe for pruning);
+//! * **primal rounding heuristic**: fractional LP points are rounded to a
+//!   feasible injection greedily by descending `x` value, giving the
+//!   anytime incumbents that the convergence figures (Figs. 7, 9) plot.
+//!
+//! The paper's observation that the MIP "performs poorly ... \[and\] suffers
+//! from a weak linear relaxation, as `x_ij` and `x_i'j'` should add up to
+//! more than one for the relaxed constraint to take effect" (§6.3.2) is
+//! reproduced faithfully by this engine: at 100 instances the root
+//! relaxation bound stays near zero while CP closes in seconds.
+
+use std::time::Instant;
+
+use crate::lp::{solve as lp_solve, Constraint, Lp, LpResult, Sense};
+use crate::outcome::{Budget, SolveOutcome};
+
+/// Hooks connecting the generic engine to a concrete encoding.
+pub trait MipHooks {
+    /// Violated lazy constraints at the LP point `x` (at most `cap`,
+    /// most-violated first). Empty = all constraints satisfied.
+    fn lazy_cuts(&self, x: &[f64], cap: usize) -> Vec<Constraint>;
+
+    /// Rounds an LP point to a feasible deployment.
+    fn round(&self, x: &[f64]) -> Vec<u32>;
+
+    /// Deployment cost under the costs the encoding optimizes (cluster
+    /// means if clustering is on) — used for pruning consistency.
+    fn encoded_cost(&self, deployment: &[u32]) -> f64;
+
+    /// Deployment cost under the original measured costs — reported to the
+    /// user and plotted in convergence curves.
+    fn true_cost(&self, deployment: &[u32]) -> f64;
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MipEngineConfig {
+    /// Overall budget (seconds and/or B&B nodes).
+    pub budget: Budget,
+    /// Max lazy constraints added per separation round.
+    pub lazy_cap: usize,
+    /// Max separation rounds per B&B node.
+    pub lazy_rounds: usize,
+    /// Simplex pivot limit per LP solve.
+    pub max_lp_iters: usize,
+    /// Hard cap on the accumulated cut pool.
+    pub max_pool: usize,
+}
+
+impl Default for MipEngineConfig {
+    fn default() -> Self {
+        Self {
+            budget: Budget::seconds(10.0),
+            lazy_cap: 200,
+            lazy_rounds: 8,
+            max_lp_iters: 20_000,
+            max_pool: 4_000,
+        }
+    }
+}
+
+/// Runs branch-and-bound. `base` must contain the always-on constraints;
+/// `binary_vars` lists the variables branched to {0, 1}; `initial` seeds
+/// the incumbent.
+pub fn solve_mip(
+    base: &Lp,
+    binary_vars: &[usize],
+    hooks: &dyn MipHooks,
+    initial: Vec<u32>,
+    config: &MipEngineConfig,
+) -> SolveOutcome {
+    let start = Instant::now();
+    let mut pool: Vec<Constraint> = Vec::new();
+
+    let mut incumbent = initial;
+    let mut incumbent_encoded = hooks.encoded_cost(&incumbent);
+    let mut curve = vec![(0.0, hooks.true_cost(&incumbent))];
+
+    // DFS stack of nodes: each node is a set of variable fixings.
+    #[derive(Clone)]
+    struct Node {
+        fixings: Vec<(usize, f64)>,
+    }
+    let mut stack = vec![Node { fixings: Vec::new() }];
+    let mut nodes_explored = 0u64;
+    let mut complete = true; // no budget/LP-limit pruning happened
+
+    while let Some(node) = stack.pop() {
+        if start.elapsed().as_secs_f64() >= config.budget.time_limit_s
+            || nodes_explored >= config.budget.node_limit
+        {
+            complete = false;
+            break;
+        }
+        nodes_explored += 1;
+
+        // Assemble and solve this node's LP (with lazy separation).
+        let mut lp = base.clone();
+        lp.constraints.extend(pool.iter().cloned());
+        for &(v, val) in &node.fixings {
+            lp.constraints.push(Constraint::new(vec![(v, 1.0)], Sense::Eq, val));
+        }
+
+        let mut x_opt: Option<(Vec<f64>, f64)> = None;
+        for _round in 0..=config.lazy_rounds {
+            match lp_solve(&lp, config.max_lp_iters) {
+                LpResult::Optimal { x, objective } => {
+                    let cuts = if pool.len() < config.max_pool {
+                        hooks.lazy_cuts(&x, config.lazy_cap)
+                    } else {
+                        Vec::new()
+                    };
+                    if cuts.is_empty() {
+                        x_opt = Some((x, objective));
+                        break;
+                    }
+                    lp.constraints.extend(cuts.iter().cloned());
+                    pool.extend(cuts);
+                    x_opt = Some((x, objective));
+                }
+                LpResult::Infeasible => {
+                    x_opt = None;
+                    break;
+                }
+                LpResult::Unbounded | LpResult::IterationLimit => {
+                    // Cannot trust a bound: keep the node's children
+                    // unexplored rather than risk wrong pruning.
+                    complete = false;
+                    x_opt = None;
+                    break;
+                }
+            }
+        }
+        let Some((x, lb)) = x_opt else { continue };
+
+        // Bound pruning (missing lazy cuts make lb an underestimate —
+        // safe).
+        if lb >= incumbent_encoded - 1e-9 {
+            continue;
+        }
+
+        // Primal heuristic at every node.
+        let rounded = hooks.round(&x);
+        let enc = hooks.encoded_cost(&rounded);
+        if enc < incumbent_encoded - 1e-12 {
+            incumbent_encoded = enc;
+            curve.push((start.elapsed().as_secs_f64(), hooks.true_cost(&rounded)));
+            incumbent = rounded;
+        }
+
+        // Find the most fractional binary variable.
+        let mut branch: Option<(usize, f64)> = None;
+        for &v in binary_vars {
+            let frac = (x[v] - x[v].round()).abs();
+            if frac > 1e-6 && branch.is_none_or(|(_, bf)| frac > bf) {
+                branch = Some((v, frac));
+            }
+        }
+        match branch {
+            None => {
+                // Integral: the rounding above already captured it (greedy
+                // rounding of an integral x returns that assignment).
+                continue;
+            }
+            Some((v, _)) => {
+                let mut zero = node.clone();
+                zero.fixings.push((v, 0.0));
+                let mut one = node;
+                one.fixings.push((v, 1.0));
+                // Push 0 first so the 1-branch is explored first.
+                stack.push(zero);
+                stack.push(one);
+            }
+        }
+    }
+
+    let cost = hooks.true_cost(&incumbent);
+    SolveOutcome {
+        deployment: incumbent,
+        cost,
+        curve,
+        proven_optimal: complete,
+        explored: nodes_explored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny knapsack-like pure-binary MIP to exercise the engine without
+    /// the deployment encodings: max 5a + 4b + 3c s.t. 2a + 3b + c <= 3
+    /// (expressed as min of the negation). Optimum: a = 1, c = 1 → -8.
+    struct Knapsack;
+
+    impl MipHooks for Knapsack {
+        fn lazy_cuts(&self, _x: &[f64], _cap: usize) -> Vec<Constraint> {
+            Vec::new()
+        }
+        fn round(&self, x: &[f64]) -> Vec<u32> {
+            // Greedy rounding respecting the capacity.
+            let weights = [2.0, 3.0, 1.0];
+            let mut order: Vec<usize> = (0..3).collect();
+            order.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap());
+            let mut cap = 3.0;
+            let mut pick = vec![0u32; 3];
+            for i in order {
+                if weights[i] <= cap && x[i] > 1e-9 {
+                    pick[i] = 1;
+                    cap -= weights[i];
+                }
+            }
+            pick
+        }
+        fn encoded_cost(&self, d: &[u32]) -> f64 {
+            let values = [5.0, 4.0, 3.0];
+            -d.iter().zip(values).map(|(&p, v)| p as f64 * v).sum::<f64>()
+        }
+        fn true_cost(&self, d: &[u32]) -> f64 {
+            self.encoded_cost(d)
+        }
+    }
+
+    fn knapsack_lp() -> Lp {
+        let mut constraints =
+            vec![Constraint::new(vec![(0, 2.0), (1, 3.0), (2, 1.0)], Sense::Le, 3.0)];
+        for v in 0..3 {
+            constraints.push(Constraint::new(vec![(v, 1.0)], Sense::Le, 1.0));
+        }
+        Lp { num_vars: 3, objective: vec![-5.0, -4.0, -3.0], constraints }
+    }
+
+    #[test]
+    fn solves_knapsack_to_optimality() {
+        let out = solve_mip(
+            &knapsack_lp(),
+            &[0, 1, 2],
+            &Knapsack,
+            vec![0, 0, 0],
+            &MipEngineConfig::default(),
+        );
+        assert!(out.proven_optimal);
+        assert_eq!(out.deployment, vec![1, 0, 1]);
+        assert_eq!(out.cost, -8.0);
+    }
+
+    #[test]
+    fn budget_zero_returns_initial() {
+        let cfg = MipEngineConfig { budget: Budget::seconds(0.0), ..Default::default() };
+        let out = solve_mip(&knapsack_lp(), &[0, 1, 2], &Knapsack, vec![0, 0, 0], &cfg);
+        assert!(!out.proven_optimal);
+        assert_eq!(out.deployment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn node_limit_respected() {
+        let cfg = MipEngineConfig { budget: Budget::nodes(1), ..Default::default() };
+        let out = solve_mip(&knapsack_lp(), &[0, 1, 2], &Knapsack, vec![0, 0, 0], &cfg);
+        assert!(out.explored <= 1);
+    }
+
+    #[test]
+    fn curve_tracks_improvements() {
+        let out = solve_mip(
+            &knapsack_lp(),
+            &[0, 1, 2],
+            &Knapsack,
+            vec![0, 0, 0],
+            &MipEngineConfig::default(),
+        );
+        assert!(out.curve.len() >= 2);
+        assert!(out.curve.windows(2).all(|w| w[1].1 <= w[0].1));
+        assert_eq!(out.curve.last().unwrap().1, -8.0);
+    }
+}

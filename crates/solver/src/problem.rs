@@ -1,0 +1,378 @@
+//! Solver-facing definition of the node deployment problem (paper §3.3).
+//!
+//! A [`NodeDeployment`] instance bundles the tenant's communication graph
+//! (directed edges over `num_nodes` application nodes), the measured cost
+//! matrix over `num_instances` cloud instances, and nothing else — the two
+//! deployment cost functions of §3.3 (longest link, longest path) are
+//! evaluated directly here. A *deployment* is an injective map
+//! `node → instance`, stored as a dense `Vec<u32>`.
+
+use rand::Rng;
+
+/// Dense row-major cost matrix over instances. `get(i, j)` is the
+/// communication cost (mean RTT, ms) of the directed link from instance
+/// `i` to instance `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Costs {
+    m: usize,
+    data: Vec<f64>,
+}
+
+impl Costs {
+    /// Builds a cost matrix from a nested representation.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged or costs are negative/non-finite
+    /// (off-diagonal).
+    pub fn from_matrix(rows: Vec<Vec<f64>>) -> Self {
+        let m = rows.len();
+        let mut data = Vec::with_capacity(m * m);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), m, "cost matrix must be square");
+            for (j, &c) in row.iter().enumerate() {
+                if i != j {
+                    assert!(c.is_finite() && c >= 0.0, "cost[{i}][{j}] = {c} invalid");
+                }
+                data.push(c);
+            }
+        }
+        Self { m, data }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// True if the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// Cost of the directed link `i → j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.m + j]
+    }
+
+    /// All off-diagonal cost values, row-major.
+    pub fn off_diagonal(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.m * (self.m - 1));
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if i != j {
+                    out.push(self.get(i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with every cost replaced by `f(cost)` (used for
+    /// cluster rounding).
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Costs {
+        let mut data = self.data.clone();
+        for i in 0..self.m {
+            for j in 0..self.m {
+                if i != j {
+                    data[i * self.m + j] = f(self.data[i * self.m + j]);
+                }
+            }
+        }
+        Costs { m: self.m, data }
+    }
+}
+
+/// A node deployment problem: find an injective `node → instance` map
+/// minimizing a deployment cost function.
+#[derive(Debug, Clone)]
+pub struct NodeDeployment {
+    /// Number of application nodes (`|N|`).
+    pub num_nodes: usize,
+    /// Directed communication edges between application nodes.
+    pub edges: Vec<(u32, u32)>,
+    /// Measured communication costs between instances.
+    pub costs: Costs,
+}
+
+impl NodeDeployment {
+    /// Creates and validates a problem instance.
+    ///
+    /// # Panics
+    /// Panics if there are more nodes than instances, an edge references a
+    /// missing node, or an edge is a self-loop.
+    pub fn new(num_nodes: usize, edges: Vec<(u32, u32)>, costs: Costs) -> Self {
+        assert!(num_nodes >= 1, "need at least one node");
+        assert!(
+            num_nodes <= costs.len(),
+            "{num_nodes} nodes cannot be deployed on {} instances",
+            costs.len()
+        );
+        for &(a, b) in &edges {
+            assert!(a != b, "self-loop on node {a}");
+            assert!(
+                (a as usize) < num_nodes && (b as usize) < num_nodes,
+                "edge ({a},{b}) references a node out of range"
+            );
+        }
+        Self { num_nodes, edges, costs }
+    }
+
+    /// Number of instances available.
+    pub fn num_instances(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Checks that `deployment` is a valid injection into the instances.
+    pub fn is_valid(&self, deployment: &[u32]) -> bool {
+        if deployment.len() != self.num_nodes {
+            return false;
+        }
+        let mut used = vec![false; self.num_instances()];
+        for &s in deployment {
+            let s = s as usize;
+            if s >= used.len() || used[s] {
+                return false;
+            }
+            used[s] = true;
+        }
+        true
+    }
+
+    /// Longest-link deployment cost `C_D^LL` (§3.3 Class 1): the maximum
+    /// link cost over communication edges.
+    pub fn longest_link(&self, deployment: &[u32]) -> f64 {
+        debug_assert!(self.is_valid(deployment));
+        self.edges
+            .iter()
+            .map(|&(a, b)| self.costs.get(deployment[a as usize] as usize, deployment[b as usize] as usize))
+            .fold(0.0, f64::max)
+    }
+
+    /// Longest-path deployment cost `C_D^LP` (§3.3 Class 2): the maximum,
+    /// over directed paths of the (acyclic) communication graph, of the sum
+    /// of link costs along the path.
+    ///
+    /// # Panics
+    /// Panics if the communication graph has a directed cycle.
+    pub fn longest_path(&self, deployment: &[u32]) -> f64 {
+        debug_assert!(self.is_valid(deployment));
+        let order = self.topo_order().expect("longest-path cost requires an acyclic graph");
+        // dp[v] = max cost of a path ending at v.
+        let mut dp = vec![0.0f64; self.num_nodes];
+        let mut best = 0.0f64;
+        for &v in &order {
+            for &(a, b) in &self.edges {
+                if a as usize == v {
+                    let w = self
+                        .costs
+                        .get(deployment[a as usize] as usize, deployment[b as usize] as usize);
+                    let cand = dp[v] + w;
+                    if cand > dp[b as usize] {
+                        dp[b as usize] = cand;
+                    }
+                    if cand > best {
+                        best = cand;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Topological order of the communication graph, or `None` if cyclic.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.num_nodes;
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b as usize);
+            indeg[b as usize] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            for &u in &adj[v] {
+                indeg[u] -= 1;
+                if indeg[u] == 0 {
+                    stack.push(u);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// True if the communication graph is acyclic.
+    pub fn is_dag(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Undirected adjacency lists of the communication graph (used by the
+    /// greedy algorithms, which treat edges as bidirectional links).
+    pub fn undirected_adj(&self) -> Vec<Vec<usize>> {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.num_nodes];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+            l.dedup();
+        }
+        adj
+    }
+
+    /// Samples a uniformly random injective deployment.
+    pub fn random_deployment<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        // Partial Fisher–Yates over the instance indices.
+        let m = self.num_instances();
+        let mut pool: Vec<u32> = (0..m as u32).collect();
+        for k in 0..self.num_nodes {
+            let pick = rng.random_range(k..m);
+            pool.swap(k, pick);
+        }
+        pool.truncate(self.num_nodes);
+        pool
+    }
+
+    /// The identity ("default") deployment: node `k` on instance `k` — the
+    /// mapping a tenant gets by using the allocation order as-is.
+    pub fn default_deployment(&self) -> Vec<u32> {
+        (0..self.num_nodes as u32).collect()
+    }
+
+    /// Evaluates a deployment under the given objective.
+    pub fn cost(&self, objective: crate::Objective, deployment: &[u32]) -> f64 {
+        match objective {
+            crate::Objective::LongestLink => self.longest_link(deployment),
+            crate::Objective::LongestPath => self.longest_path(deployment),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objective;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn costs4() -> Costs {
+        Costs::from_matrix(vec![
+            vec![0.0, 1.0, 2.0, 3.0],
+            vec![1.5, 0.0, 2.5, 3.5],
+            vec![2.0, 2.5, 0.0, 4.0],
+            vec![3.0, 3.5, 4.5, 0.0],
+        ])
+    }
+
+    #[test]
+    fn costs_access_and_off_diagonal() {
+        let c = costs4();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(1, 0), 1.5);
+        assert_eq!(c.off_diagonal().len(), 12);
+    }
+
+    #[test]
+    fn costs_map_preserves_diagonal() {
+        let c = costs4().map(|x| x * 2.0);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn ragged_matrix_rejected() {
+        Costs::from_matrix(vec![vec![0.0, 1.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn longest_link_evaluation() {
+        // Path graph 0 -> 1 -> 2 deployed on instances 0,1,2.
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2)], costs4());
+        let d = vec![0, 1, 2];
+        assert!(p.is_valid(&d));
+        assert_eq!(p.longest_link(&d), 2.5); // max(c(0,1)=1.0, c(1,2)=2.5)
+        // A better deployment avoids the expensive link.
+        let d2 = vec![1, 0, 2];
+        assert_eq!(p.longest_link(&d2), 2.0); // max(c(1,0)=1.5, c(0,2)=2.0)
+    }
+
+    #[test]
+    fn longest_path_evaluation() {
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2)], costs4());
+        let d = vec![0, 1, 2];
+        assert_eq!(p.longest_path(&d), 1.0 + 2.5);
+        // Diamond: 0->1, 0->2, 1->... use 4 nodes? Keep 3-node V: 0->1, 0->2.
+        let v = NodeDeployment::new(3, vec![(0, 1), (0, 2)], costs4());
+        assert_eq!(v.longest_path(&d), 2.0); // max(c01=1.0, c02=2.0)
+    }
+
+    #[test]
+    fn longest_path_diamond_sums_along_path() {
+        let p = NodeDeployment::new(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)], costs4());
+        let d = vec![0, 1, 2, 3];
+        // Paths: 0-1-3: c(0,1)+c(1,3)=1.0+3.5=4.5; 0-2-3: 2.0+4.0=6.0.
+        assert_eq!(p.longest_path(&d), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn longest_path_rejects_cycles() {
+        let p = NodeDeployment::new(2, vec![(0, 1), (1, 0)], costs4());
+        p.longest_path(&[0, 1]);
+    }
+
+    #[test]
+    fn is_dag_detects_cycles() {
+        assert!(NodeDeployment::new(3, vec![(0, 1), (1, 2)], costs4()).is_dag());
+        assert!(!NodeDeployment::new(3, vec![(0, 1), (1, 2), (2, 0)], costs4()).is_dag());
+    }
+
+    #[test]
+    fn validity_checks() {
+        let p = NodeDeployment::new(3, vec![(0, 1)], costs4());
+        assert!(p.is_valid(&[0, 1, 2]));
+        assert!(!p.is_valid(&[0, 1])); // wrong length
+        assert!(!p.is_valid(&[0, 1, 1])); // not injective
+        assert!(!p.is_valid(&[0, 1, 9])); // out of range
+    }
+
+    #[test]
+    fn random_deployments_are_valid_and_diverse() {
+        let p = NodeDeployment::new(3, vec![(0, 1)], costs4());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let d = p.random_deployment(&mut rng);
+            assert!(p.is_valid(&d));
+            distinct.insert(d);
+        }
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn cost_dispatches_by_objective() {
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2)], costs4());
+        let d = vec![0, 1, 2];
+        assert_eq!(p.cost(Objective::LongestLink, &d), 2.5);
+        assert_eq!(p.cost(Objective::LongestPath, &d), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be deployed")]
+    fn too_many_nodes_rejected() {
+        NodeDeployment::new(5, vec![], costs4());
+    }
+
+    #[test]
+    fn undirected_adjacency_dedups() {
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 0), (1, 2)], costs4());
+        let adj = p.undirected_adj();
+        assert_eq!(adj[0], vec![1]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the optimization stack: exactness of CP
+//! against brute force on tiny instances, LP solution feasibility,
+//! clustering optimality, and heuristic validity.
+
+use cloudia_solver::{
+    cluster::CostClusters,
+    cp::{solve_llndp_cp, CpConfig},
+    greedy::{solve_greedy, GreedyVariant},
+    lp::{solve as lp_solve, Constraint, Lp, LpResult, Sense},
+    problem::{Costs, NodeDeployment},
+    Budget,
+};
+use proptest::prelude::*;
+
+fn costs_strategy(m: usize) -> impl Strategy<Value = Costs> {
+    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| {
+        Costs::from_matrix(
+            (0..m)
+                .map(|i| (0..m).map(|j| if i == j { 0.0 } else { v[i * m + j] }).collect())
+                .collect(),
+        )
+    })
+}
+
+fn brute_force_ll(problem: &NodeDeployment) -> f64 {
+    fn rec(p: &NodeDeployment, partial: &mut Vec<u32>, used: &mut Vec<bool>, best: &mut f64) {
+        if partial.len() == p.num_nodes {
+            *best = best.min(p.longest_link(partial));
+            return;
+        }
+        for j in 0..p.num_instances() {
+            if !used[j] {
+                used[j] = true;
+                partial.push(j as u32);
+                rec(p, partial, used, best);
+                partial.pop();
+                used[j] = false;
+            }
+        }
+    }
+    let mut best = f64::INFINITY;
+    rec(problem, &mut Vec::new(), &mut vec![false; problem.num_instances()], &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cp_is_exact_on_tiny_instances(costs in costs_strategy(5)) {
+        let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], costs);
+        let out = solve_llndp_cp(
+            &p,
+            &CpConfig {
+                clusters: None,
+                quantum: 0.0,
+                budget: Budget::seconds(30.0),
+                ..Default::default()
+            },
+        );
+        prop_assert!(out.proven_optimal);
+        let opt = brute_force_ll(&p);
+        prop_assert!((out.cost - opt).abs() < 1e-9, "cp {} vs brute {}", out.cost, opt);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_at_least_optimal(costs in costs_strategy(6)) {
+        let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)], costs);
+        let opt = brute_force_ll(&p);
+        for variant in [GreedyVariant::G1, GreedyVariant::G2] {
+            let out = solve_greedy(&p, variant);
+            prop_assert!(p.is_valid(&out.deployment));
+            prop_assert!(out.cost >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn lp_solutions_satisfy_their_constraints(
+        c0 in 0.1f64..5.0, c1 in 0.1f64..5.0, b0 in 1.0f64..10.0, b1 in 1.0f64..10.0,
+    ) {
+        // min c·x s.t. x0 + x1 >= b0, x0 <= b1: feasible and bounded.
+        let lp = Lp {
+            num_vars: 2,
+            objective: vec![c0, c1],
+            constraints: vec![
+                Constraint::new(vec![(0, 1.0), (1, 1.0)], Sense::Ge, b0),
+                Constraint::new(vec![(0, 1.0)], Sense::Le, b1),
+            ],
+        };
+        match lp_solve(&lp, 10_000) {
+            LpResult::Optimal { x, objective } => {
+                prop_assert!(x[0] + x[1] >= b0 - 1e-6);
+                prop_assert!(x[0] <= b1 + 1e-6);
+                prop_assert!(x.iter().all(|&v| v >= -1e-9));
+                // The optimum of this LP is min(c0, c1) * b0 when c-cheapest
+                // variable is unconstrained, adjusted for the x0 cap.
+                let expected = if c0 <= c1 {
+                    c0 * b0.min(b1) + c1 * (b0 - b1).max(0.0)
+                } else {
+                    c1 * b0
+                };
+                prop_assert!((objective - expected).abs() < 1e-6,
+                    "objective {objective} expected {expected}");
+            }
+            other => prop_assert!(false, "expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clustering_never_increases_sse_with_more_clusters(
+        values in proptest::collection::vec(0.0f64..5.0, 5..40),
+        k in 1usize..6,
+    ) {
+        let a = CostClusters::compute(&values, k, 0.0);
+        let b = CostClusters::compute(&values, k + 1, 0.0);
+        prop_assert!(b.within_sse() <= a.within_sse() + 1e-9);
+    }
+
+    #[test]
+    fn default_deployment_cost_is_an_upper_bound_for_cp(costs in costs_strategy(6)) {
+        let p = NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], costs);
+        let default_cost = p.longest_link(&p.default_deployment());
+        let out = solve_llndp_cp(
+            &p,
+            &CpConfig {
+                initial: Some(p.default_deployment()),
+                budget: Budget::seconds(10.0),
+                ..Default::default()
+            },
+        );
+        prop_assert!(out.cost <= default_cost + 1e-9);
+    }
+}

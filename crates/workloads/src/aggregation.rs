@@ -1,0 +1,172 @@
+//! Synthetic aggregation query workload (paper §6.1.2).
+//!
+//! A top-k query fans out to the leaves of a two-level aggregation tree;
+//! each node aggregates partial results and forwards them towards the
+//! root. The query's response time is the *longest root-to-leaf path* in
+//! one-way latencies (plus per-hop aggregation overhead) — the pattern the
+//! longest-path deployment cost models. Message sizes grow towards the
+//! root (partial aggregates accumulate); the paper reports an average of
+//! 4 KB.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use cloudia_core::problem::CommGraph;
+use cloudia_netsim::{InstanceId, Network};
+
+use crate::common::{check_deployment, Workload, WorkloadResult};
+
+/// The aggregation-query workload.
+#[derive(Debug, Clone)]
+pub struct AggregationQuery {
+    /// Tree fanout per level.
+    pub fanout: usize,
+    /// Levels below the root (2 = the paper's two-level tree; depth ≤ 4 in
+    /// the solver experiments).
+    pub levels: usize,
+    /// Queries to average over.
+    pub queries: u64,
+    /// Per-hop aggregation/ranking overhead (ms).
+    pub hop_overhead_ms: f64,
+    /// Message size on leaf-level links (KB).
+    pub leaf_kb: f64,
+    /// Message size on links entering the root (KB).
+    pub root_kb: f64,
+}
+
+impl AggregationQuery {
+    /// Paper-like configuration: average message size 4 KB (2 KB at the
+    /// leaves, 6 KB into the root).
+    pub fn new(fanout: usize, levels: usize) -> Self {
+        Self { fanout, levels, queries: 500, hop_overhead_ms: 0.15, leaf_kb: 2.0, root_kb: 6.0 }
+    }
+
+    /// Message size for a hop at `depth` (1 = into the root).
+    fn hop_kb(&self, depth: usize) -> f64 {
+        if self.levels <= 1 {
+            return (self.leaf_kb + self.root_kb) / 2.0;
+        }
+        // Linear ramp from leaf_kb (deepest) to root_kb (depth 1).
+        let t = (self.levels - depth) as f64 / (self.levels - 1) as f64;
+        self.leaf_kb + t * (self.root_kb - self.leaf_kb)
+    }
+}
+
+impl Workload for AggregationQuery {
+    fn name(&self) -> &'static str {
+        "aggregation-query"
+    }
+
+    fn goal(&self) -> &'static str {
+        "response time"
+    }
+
+    fn graph(&self) -> CommGraph {
+        CommGraph::aggregation_tree(self.fanout, self.levels)
+    }
+
+    fn run(&self, net: &Network, deployment: &[u32], seed: u64) -> WorkloadResult {
+        let graph = self.graph();
+        check_deployment(&graph, net, deployment);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Reconstruct parent pointers and depths from the tree edges
+        // (child -> parent).
+        let n = graph.num_nodes();
+        let mut parent = vec![usize::MAX; n];
+        for &(c, p) in graph.edges() {
+            parent[c as usize] = p as usize;
+        }
+        let mut depth = vec![0usize; n];
+        for v in 1..n {
+            depth[v] = depth[parent[v]] + 1;
+        }
+        let leaves: Vec<usize> = (0..n).filter(|&v| !parent.contains(&v)).collect();
+
+        let mut total = 0.0f64;
+        for _ in 0..self.queries {
+            // Response time: slowest leaf-to-root chain of one-way sends.
+            let mut worst = 0.0f64;
+            for &leaf in &leaves {
+                let mut t = 0.0;
+                let mut v = leaf;
+                while parent[v] != usize::MAX {
+                    let p = parent[v];
+                    let src = InstanceId(deployment[v]);
+                    let dst = InstanceId(deployment[p]);
+                    let kb = self.hop_kb(depth[v]);
+                    t += 0.5 * net.sample_rtt_sized(src, dst, kb, &mut rng) + self.hop_overhead_ms;
+                    v = p;
+                }
+                worst = worst.max(t);
+            }
+            total += worst;
+        }
+        WorkloadResult { value_ms: total / self.queries as f64, samples: self.queries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudia_netsim::{Cloud, Provider};
+
+    fn network(n: usize, seed: u64) -> Network {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+        let alloc = cloud.allocate(n);
+        cloud.network(&alloc)
+    }
+
+    #[test]
+    fn two_level_tree_response_time() {
+        let w = AggregationQuery { queries: 50, ..AggregationQuery::new(2, 2) };
+        let g = w.graph();
+        assert_eq!(g.num_nodes(), 7);
+        let net = network(7, 1);
+        let d: Vec<u32> = (0..7).collect();
+        let out = w.run(&net, &d, 3);
+        assert!(out.value_ms > 0.0);
+        // Quiet provider: response equals the longest mean path exactly.
+        let again = w.run(&net, &d, 99);
+        assert!((out.value_ms - again.value_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_sizes_average_to_four_kb() {
+        let w = AggregationQuery::new(3, 2);
+        let avg = (w.hop_kb(2) + w.hop_kb(1)) / 2.0;
+        assert!((avg - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deeper_trees_supported() {
+        let w = AggregationQuery { queries: 10, ..AggregationQuery::new(2, 4) };
+        let g = w.graph();
+        assert_eq!(g.num_nodes(), 31);
+        let net = network(31, 2);
+        let d: Vec<u32> = (0..31).collect();
+        let out = w.run(&net, &d, 1);
+        assert!(out.value_ms > 0.0);
+    }
+
+    #[test]
+    fn response_time_tracks_longest_path_cost() {
+        // Across several deployments, response time should correlate with
+        // the longest-path deployment cost (same network, quiet jitter).
+        use rand::{rngs::StdRng, SeedableRng};
+        let w = AggregationQuery { queries: 20, ..AggregationQuery::new(2, 2) };
+        let net = network(10, 3);
+        let truth = cloudia_core::CostMatrix::from_matrix(net.mean_matrix());
+        let problem = w.graph().problem(truth);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pairs = Vec::new();
+        for _ in 0..8 {
+            let d = problem.random_deployment(&mut rng);
+            let cost = problem.longest_path(&d);
+            let resp = w.run(&net, &d, 5).value_ms;
+            pairs.push((cost, resp));
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Response time of cheapest vs most expensive deployment.
+        assert!(pairs.first().unwrap().1 < pairs.last().unwrap().1);
+    }
+}

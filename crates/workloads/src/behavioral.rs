@@ -1,0 +1,163 @@
+//! Behavioral simulation workload (paper §6.1.1).
+//!
+//! Models the fish-school simulation of Couzin et al.: the simulated space
+//! is partitioned into a 2D mesh of regions, one per node; every tick each
+//! node exchanges 1 KB boundary messages with its mesh neighbors, and a
+//! logical barrier ends the tick. The tick duration is therefore the
+//! *maximum sampled round-trip* over all mesh links plus a fixed
+//! synchronization overhead — which is exactly why longest (mean) link is
+//! the right deployment cost for this class.
+//!
+//! The paper runs 100 K ticks with CPU work hidden; simulating every tick
+//! is unnecessary for a stable estimate, so we simulate `sample_ticks` and
+//! extrapolate linearly to `total_ticks`.
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use cloudia_core::problem::CommGraph;
+use cloudia_netsim::{InstanceId, Network};
+
+use crate::common::{check_deployment, Workload, WorkloadResult};
+
+/// The behavioral simulation workload.
+#[derive(Debug, Clone)]
+pub struct BehavioralSim {
+    /// Mesh rows.
+    pub rows: usize,
+    /// Mesh columns.
+    pub cols: usize,
+    /// Ticks the real application would run (paper: 100 000).
+    pub total_ticks: u64,
+    /// Ticks actually simulated before extrapolating.
+    pub sample_ticks: u64,
+    /// Per-tick barrier/synchronization overhead (ms).
+    pub sync_overhead_ms: f64,
+    /// Boundary message size (KB); paper: 1 KB.
+    pub message_kb: f64,
+}
+
+impl BehavioralSim {
+    /// Paper-scale configuration: `rows × cols` mesh, 100 K ticks,
+    /// estimated from 2 000 sampled ticks.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            total_ticks: 100_000,
+            sample_ticks: 2_000,
+            sync_overhead_ms: 0.25,
+            message_kb: 1.0,
+        }
+    }
+}
+
+impl Workload for BehavioralSim {
+    fn name(&self) -> &'static str {
+        "behavioral-sim"
+    }
+
+    fn goal(&self) -> &'static str {
+        "time-to-solution"
+    }
+
+    fn graph(&self) -> CommGraph {
+        CommGraph::mesh_2d(self.rows, self.cols)
+    }
+
+    fn run(&self, net: &Network, deployment: &[u32], seed: u64) -> WorkloadResult {
+        let graph = self.graph();
+        check_deployment(&graph, net, deployment);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let links: Vec<(InstanceId, InstanceId)> = graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| (InstanceId(deployment[a as usize]), InstanceId(deployment[b as usize])))
+            .collect();
+
+        let mut total = 0.0f64;
+        for _ in 0..self.sample_ticks {
+            // Barrier: the tick ends when the slowest neighbor exchange
+            // completes.
+            let worst = links
+                .iter()
+                .map(|&(src, dst)| net.sample_rtt_sized(src, dst, self.message_kb, &mut rng))
+                .fold(0.0, f64::max);
+            total += worst + self.sync_overhead_ms;
+        }
+        let per_tick = total / self.sample_ticks as f64;
+        WorkloadResult { value_ms: per_tick * self.total_ticks as f64, samples: self.sample_ticks }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudia_netsim::{Cloud, Provider};
+
+    fn network(n: usize, provider: Provider, seed: u64) -> Network {
+        let mut cloud = Cloud::boot(provider, seed);
+        let alloc = cloud.allocate(n);
+        cloud.network(&alloc)
+    }
+
+    #[test]
+    fn runs_and_extrapolates() {
+        let sim = BehavioralSim { sample_ticks: 100, ..BehavioralSim::new(2, 3) };
+        let net = network(6, Provider::test_quiet(), 1);
+        let d: Vec<u32> = (0..6).collect();
+        let out = sim.run(&net, &d, 7);
+        assert_eq!(out.samples, 100);
+        // With quiet provider, tick = max mean RTT + overhead, exactly.
+        let graph = sim.graph();
+        let worst = graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| net.mean_rtt(InstanceId(d[a as usize]), InstanceId(d[b as usize])))
+            .fold(0.0, f64::max);
+        let expected = (worst + sim.sync_overhead_ms) * 100_000.0;
+        assert!((out.value_ms - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn better_deployment_runs_faster() {
+        let sim = BehavioralSim { sample_ticks: 300, ..BehavioralSim::new(3, 3) };
+        let net = network(12, Provider::ec2_like(), 2);
+        // Identity vs a deployment chosen by longest-link cost on truth.
+        let truth = cloudia_core::CostMatrix::from_matrix(net.mean_matrix());
+        let problem = sim.graph().problem(truth);
+        let opt = cloudia_solver::solve_llndp_cp(
+            &problem,
+            &cloudia_solver::CpConfig {
+                budget: cloudia_solver::Budget::seconds(2.0),
+                ..Default::default()
+            },
+        );
+        let default: Vec<u32> = (0..9).collect();
+        let t_default = sim.run(&net, &default, 3).value_ms;
+        let t_opt = sim.run(&net, &opt.deployment, 3).value_ms;
+        if problem.longest_link(&opt.deployment) < problem.longest_link(&default) * 0.8 {
+            assert!(
+                t_opt < t_default,
+                "optimized {t_opt} should beat default {t_default}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let sim = BehavioralSim { sample_ticks: 50, ..BehavioralSim::new(2, 2) };
+        let net = network(4, Provider::ec2_like(), 3);
+        let d: Vec<u32> = (0..4).collect();
+        assert_eq!(sim.run(&net, &d, 5), sim.run(&net, &d, 5));
+        assert_ne!(sim.run(&net, &d, 5), sim.run(&net, &d, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn rejects_non_injective_deployment() {
+        let sim = BehavioralSim::new(2, 2);
+        let net = network(4, Provider::test_quiet(), 4);
+        sim.run(&net, &[0, 1, 2, 2], 0);
+    }
+}

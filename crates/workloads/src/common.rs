@@ -1,0 +1,50 @@
+//! Shared workload plumbing.
+
+use cloudia_core::problem::CommGraph;
+use cloudia_netsim::Network;
+
+/// A measured application performance figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadResult {
+    /// The reported value in milliseconds (time-to-solution or mean
+    /// response time, depending on the workload).
+    pub value_ms: f64,
+    /// How many ticks/queries the value aggregates.
+    pub samples: u64,
+}
+
+/// A latency-sensitive application that can execute over a network under a
+/// given deployment plan.
+pub trait Workload {
+    /// Short workload name ("behavioral-sim", "aggregation-query",
+    /// "kv-store").
+    fn name(&self) -> &'static str;
+
+    /// Whether lower `value_ms` means time-to-solution or response time.
+    fn goal(&self) -> &'static str;
+
+    /// The communication graph the tenant would hand to ClouDiA.
+    fn graph(&self) -> CommGraph;
+
+    /// Executes the workload over `net` with `deployment[node] = instance`
+    /// and returns the performance figure. Deterministic in `seed`.
+    fn run(&self, net: &Network, deployment: &[u32], seed: u64) -> WorkloadResult;
+}
+
+/// Validates a deployment against a workload graph and network size.
+pub(crate) fn check_deployment(graph: &CommGraph, net: &Network, deployment: &[u32]) {
+    assert_eq!(
+        deployment.len(),
+        graph.num_nodes(),
+        "deployment length {} != node count {}",
+        deployment.len(),
+        graph.num_nodes()
+    );
+    let mut used = vec![false; net.len()];
+    for &s in deployment {
+        let s = s as usize;
+        assert!(s < net.len(), "deployment references instance {s} out of {}", net.len());
+        assert!(!used[s], "instance {s} used twice");
+        used[s] = true;
+    }
+}

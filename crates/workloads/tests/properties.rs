@@ -1,0 +1,57 @@
+//! Property-based tests for the workload models.
+
+use cloudia_netsim::{Cloud, Provider};
+use cloudia_workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
+use proptest::prelude::*;
+
+fn network(n: usize, seed: u64) -> cloudia_netsim::Network {
+    let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+    let alloc = cloud.allocate(n);
+    cloud.network(&alloc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn behavioral_value_scales_linearly_with_total_ticks(
+        rows in 2usize..4, cols in 2usize..4, seed in 0u64..50,
+    ) {
+        let n = rows * cols;
+        let net = network(n, seed);
+        let d: Vec<u32> = (0..n as u32).collect();
+        let base = BehavioralSim { sample_ticks: 50, total_ticks: 1000, ..BehavioralSim::new(rows, cols) };
+        let double = BehavioralSim { total_ticks: 2000, ..base.clone() };
+        let a = base.run(&net, &d, 1).value_ms;
+        let b = double.run(&net, &d, 1).value_ms;
+        prop_assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_graphs_fit_their_deployments(seed in 0u64..50) {
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(BehavioralSim { sample_ticks: 20, ..BehavioralSim::new(2, 3) }),
+            Box::new(AggregationQuery { queries: 20, ..AggregationQuery::new(2, 2) }),
+            Box::new(KvStore { queries: 50, keys_per_query: 3, ..KvStore::new(2, 6) }),
+        ];
+        for w in workloads {
+            let g = w.graph();
+            let net = network(g.num_nodes(), seed);
+            let d: Vec<u32> = (0..g.num_nodes() as u32).collect();
+            let out = w.run(&net, &d, seed);
+            prop_assert!(out.value_ms > 0.0, "{}", w.name());
+            prop_assert!(out.samples > 0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn quiet_network_makes_workloads_deterministic_across_seeds(seed in 0u64..50) {
+        // With zero jitter, the sampled latencies equal the means, so the
+        // workload value cannot depend on the workload seed (except kv,
+        // whose key choice is random).
+        let sim = BehavioralSim { sample_ticks: 30, ..BehavioralSim::new(2, 2) };
+        let net = network(4, seed);
+        let d: Vec<u32> = (0..4).collect();
+        prop_assert_eq!(sim.run(&net, &d, 1).value_ms, sim.run(&net, &d, 2).value_ms);
+    }
+}

@@ -1,0 +1,45 @@
+//! Aggregation query service (paper §6.1.2): a top-k search service with
+//! a two-level aggregation tree; response time is governed by the longest
+//! leaf-to-root path, so ClouDiA minimizes the longest-path deployment
+//! cost with the MIP solver.
+//!
+//! ```sh
+//! cargo run --release --example aggregation_service
+//! ```
+
+use cloudia::netsim::Cloud;
+use cloudia::prelude::*;
+use cloudia::workloads::{AggregationQuery, Workload};
+
+fn main() {
+    let service = AggregationQuery::new(6, 2); // root + 6 + 36 nodes
+    let graph = service.graph();
+    let n = graph.num_nodes();
+    println!("aggregation service: {} nodes, tree depth 2, fanout 6", n);
+
+    let mut cloud = Cloud::boot(Provider::ec2_like(), 21);
+    let allocation = cloud.allocate(n + n / 10);
+    let network = cloud.network(&allocation);
+
+    let advisor = Advisor::new(AdvisorConfig {
+        objective: Objective::LongestPath,
+        search_time_s: 8.0,
+        ..AdvisorConfig::fast()
+    });
+    let outcome = advisor.run_on_network(&network, &graph, 3);
+
+    let default: Vec<u32> = (0..n as u32).collect();
+    let r_default = service.run(&network, &default, 11).value_ms;
+    let r_cloudia = service.run(&network, &outcome.deployment, 11).value_ms;
+
+    println!(
+        "longest path (mean latencies): default {:.3} ms -> optimized {:.3} ms",
+        outcome.default_cost, outcome.optimized_cost
+    );
+    println!("mean query response (default):  {r_default:.2} ms");
+    println!("mean query response (ClouDiA):  {r_cloudia:.2} ms");
+    println!(
+        "reduction: {:.1} %",
+        (r_default - r_cloudia) / r_default * 100.0
+    );
+}

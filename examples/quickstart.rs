@@ -1,0 +1,46 @@
+//! Quickstart: run the full ClouDiA pipeline for a small HPC-style
+//! application and print the advised deployment.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cloudia::prelude::*;
+
+fn main() {
+    // The tenant's application: a 4x5 mesh of simulation workers (the
+    // communication pattern of a partitioned behavioral simulation).
+    let graph = CommGraph::mesh_2d(4, 5);
+    println!(
+        "application: {} nodes, {} directed communication edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // ClouDiA with the paper's defaults: minimize the longest link, use
+    // mean latency as cost, over-allocate 10 %.
+    let config = AdvisorConfig {
+        objective: Objective::LongestLink,
+        over_allocation: 0.1,
+        search_time_s: 5.0,
+        ..AdvisorConfig::fast()
+    };
+    let advisor = Advisor::new(config);
+
+    // Boot an EC2-like region and run: allocate -> measure -> search ->
+    // terminate extras.
+    let outcome = advisor.run(Provider::ec2_like(), &graph, 42);
+
+    println!(
+        "measurement: {} round trips in {:.0} simulated ms",
+        outcome.measurement_round_trips, outcome.measurement_ms
+    );
+    println!("deployment plan (node -> instance): {:?}", outcome.deployment);
+    println!("terminated extra instances: {:?}", outcome.terminated);
+    println!(
+        "longest link: default {:.3} ms -> optimized {:.3} ms ({:.0} % better)",
+        outcome.default_cost,
+        outcome.optimized_cost,
+        100.0 * outcome.improvement()
+    );
+}

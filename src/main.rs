@@ -1,0 +1,196 @@
+//! `cloudia` — command-line deployment advisor.
+//!
+//! Runs the full ClouDiA pipeline against a simulated public-cloud region
+//! and prints the advised deployment plan.
+//!
+//! ```sh
+//! cloudia --graph mesh:5x5 --objective longest-link --provider ec2 \
+//!         --over-allocation 0.1 --search-seconds 5 --seed 42
+//! cloudia --graph tree:6x2 --objective longest-path
+//! cloudia --graph bipartite:8x28 --metric mean+sd
+//! ```
+
+use cloudia::prelude::*;
+use cloudia::core::LatencyMetric;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cloudia [--graph mesh:RxC|mesh3d:XxYxZ|tree:FxL|bipartite:FxS|ring:N|star:N]
+               [--objective longest-link|longest-path]
+               [--provider ec2|gce|rackspace]
+               [--metric mean|mean+sd|p99]
+               [--over-allocation FRACTION]   (default 0.1)
+               [--search-seconds S]           (default 5)
+               [--seed N]                     (default 42)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_dims<const K: usize>(spec: &str) -> [usize; K] {
+    let parts: Vec<usize> = spec.split('x').filter_map(|p| p.parse().ok()).collect();
+    if parts.len() != K {
+        eprintln!("bad dimension spec `{spec}` (expected {K} `x`-separated integers)");
+        usage();
+    }
+    let mut out = [0; K];
+    out.copy_from_slice(&parts);
+    out
+}
+
+fn parse_graph(spec: &str) -> CommGraph {
+    match spec.split_once(':') {
+        Some(("mesh", dims)) => {
+            let [r, c] = parse_dims::<2>(dims);
+            CommGraph::mesh_2d(r, c)
+        }
+        Some(("mesh3d", dims)) => {
+            let [x, y, z] = parse_dims::<3>(dims);
+            CommGraph::mesh_3d(x, y, z)
+        }
+        Some(("tree", dims)) => {
+            let [f, l] = parse_dims::<2>(dims);
+            CommGraph::aggregation_tree(f, l)
+        }
+        Some(("bipartite", dims)) => {
+            let [f, s] = parse_dims::<2>(dims);
+            CommGraph::bipartite(f, s)
+        }
+        Some(("ring", dims)) => CommGraph::ring(parse_dims::<1>(dims)[0]),
+        Some(("star", dims)) => CommGraph::star(parse_dims::<1>(dims)[0]),
+        _ => {
+            eprintln!("unknown graph spec `{spec}`");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut graph_spec = "mesh:5x5".to_string();
+    let mut objective = Objective::LongestLink;
+    let mut provider_name = "ec2".to_string();
+    let mut metric = LatencyMetric::Mean;
+    let mut over_allocation = 0.1f64;
+    let mut search_seconds = 5.0f64;
+    let mut seed = 42u64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--graph" => graph_spec = value(),
+            "--objective" => {
+                objective = match value().as_str() {
+                    "longest-link" | "ll" => Objective::LongestLink,
+                    "longest-path" | "lp" => Objective::LongestPath,
+                    other => {
+                        eprintln!("unknown objective `{other}`");
+                        usage();
+                    }
+                }
+            }
+            "--provider" => provider_name = value(),
+            "--metric" => {
+                metric = match value().as_str() {
+                    "mean" => LatencyMetric::Mean,
+                    "mean+sd" => LatencyMetric::MeanPlusSd,
+                    "p99" => LatencyMetric::P99,
+                    other => {
+                        eprintln!("unknown metric `{other}`");
+                        usage();
+                    }
+                }
+            }
+            "--over-allocation" => {
+                over_allocation = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad fraction");
+                    usage();
+                })
+            }
+            "--search-seconds" => {
+                search_seconds = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad seconds");
+                    usage();
+                })
+            }
+            "--seed" => {
+                seed = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed");
+                    usage();
+                })
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let provider = match provider_name.as_str() {
+        "ec2" => Provider::ec2_like(),
+        "gce" => Provider::gce_like(),
+        "rackspace" => Provider::rackspace_like(),
+        other => {
+            eprintln!("unknown provider `{other}`");
+            usage();
+        }
+    };
+
+    let graph = parse_graph(&graph_spec);
+    if objective == Objective::LongestPath && !graph.is_dag() {
+        eprintln!("graph `{graph_spec}` is not acyclic; longest-path needs a DAG (try tree:FxL)");
+        std::process::exit(1);
+    }
+
+    println!(
+        "ClouDiA: {} nodes, {} edges | objective {} | {} | metric {} | +{:.0}% instances",
+        graph.num_nodes(),
+        graph.num_edges(),
+        objective.name(),
+        provider.kind.name(),
+        metric.name(),
+        over_allocation * 100.0
+    );
+
+    let advisor = Advisor::new(cloudia::core::AdvisorConfig {
+        objective,
+        metric,
+        over_allocation,
+        search_time_s: search_seconds,
+        ..cloudia::core::AdvisorConfig::fast()
+    });
+    let outcome = advisor.run(provider, &graph, seed);
+
+    println!(
+        "measured {} round trips in {:.0} simulated ms",
+        outcome.measurement_round_trips, outcome.measurement_ms
+    );
+    println!(
+        "search: {} improvements, {} nodes explored, optimal proven: {}",
+        outcome.search.curve.len(),
+        outcome.search.explored,
+        outcome.search.proven_optimal
+    );
+    println!("deployment plan (node -> instance):");
+    for (node, inst) in outcome.deployment.iter().enumerate() {
+        print!("  {node}->{inst}");
+        if (node + 1) % 8 == 0 {
+            println!();
+        }
+    }
+    println!();
+    println!("terminated {} extra instances", outcome.terminated.len());
+    println!(
+        "{}: default {:.3} ms -> optimized {:.3} ms ({:.1}% reduction)",
+        objective.name(),
+        outcome.default_cost,
+        outcome.optimized_cost,
+        outcome.improvement() * 100.0
+    );
+}

@@ -1,0 +1,105 @@
+//! Cross-crate measurement integration tests: the three schemes of §5
+//! over realistic networks, their relative accuracy, and the metric
+//! pipeline into cost matrices.
+
+use cloudia::measure::error::{normalized_relative_errors, quantile};
+use cloudia::measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
+use cloudia::netsim::{Cloud, Provider};
+use cloudia::core::LatencyMetric;
+
+fn ec2_network(n: usize, seed: u64) -> cloudia::netsim::Network {
+    let mut cloud = Cloud::boot(Provider::ec2_like(), seed);
+    let alloc = cloud.allocate(n);
+    cloud.network(&alloc)
+}
+
+#[test]
+fn staged_is_more_accurate_than_uncoordinated() {
+    // The Fig. 4 headline, as a regression test: median and p90 normalized
+    // relative error of staged must beat uncoordinated.
+    let n = 24;
+    let net = ec2_network(n, 1);
+    let cfg = MeasureConfig::default();
+    let samples = 16;
+    let token = TokenPassing::new(samples).run(&net, &cfg);
+    let staged = Staged::new(samples / 2, 4).run(&net, &cfg);
+    let uncoordinated = Uncoordinated::new(samples * (n - 1)).run(&net, &cfg);
+
+    let base = token.mean_vector();
+    let e_staged = normalized_relative_errors(&staged.mean_vector(), &base);
+    let e_unc = normalized_relative_errors(&uncoordinated.mean_vector(), &base);
+    assert!(
+        quantile(&e_staged, 0.5) < quantile(&e_unc, 0.5),
+        "median: staged {} vs uncoordinated {}",
+        quantile(&e_staged, 0.5),
+        quantile(&e_unc, 0.5)
+    );
+    assert!(
+        quantile(&e_staged, 0.9) < quantile(&e_unc, 0.9),
+        "p90: staged {} vs uncoordinated {}",
+        quantile(&e_staged, 0.9),
+        quantile(&e_unc, 0.9)
+    );
+}
+
+#[test]
+fn staged_is_far_faster_than_token_at_equal_coverage() {
+    let net = ec2_network(30, 2);
+    let cfg = MeasureConfig::default();
+    let token = TokenPassing::new(4).run(&net, &cfg);
+    let staged = Staged::new(4, 2).run(&net, &cfg);
+    // Both observe every ordered pair.
+    assert_eq!(token.stats.covered_links(), 30 * 29);
+    assert_eq!(staged.stats.covered_links(), 30 * 29);
+    assert!(
+        staged.elapsed_ms < token.elapsed_ms / 5.0,
+        "staged {} vs token {}",
+        staged.elapsed_ms,
+        token.elapsed_ms
+    );
+}
+
+#[test]
+fn all_metrics_produce_usable_cost_matrices() {
+    let net = ec2_network(12, 3);
+    let report = Staged::new(10, 6).run(&net, &MeasureConfig::default());
+    for metric in LatencyMetric::all() {
+        let costs = metric.cost_matrix(&report.stats);
+        assert_eq!(costs.len(), 12);
+        let off = costs.off_diagonal();
+        assert!(off.iter().all(|&c| c > 0.0 && c.is_finite()), "{}", metric.name());
+    }
+    // p99 >= mean+sd >= mean, link-wise.
+    let mean = LatencyMetric::Mean.cost_matrix(&report.stats);
+    let msd = LatencyMetric::MeanPlusSd.cost_matrix(&report.stats);
+    for i in 0..12 {
+        for j in 0..12 {
+            if i != j {
+                assert!(msd.get(i, j) >= mean.get(i, j));
+            }
+        }
+    }
+}
+
+#[test]
+fn convergence_snapshots_reduce_rmse_over_time() {
+    // Fig. 5 as a regression: RMSE against the final estimate decreases.
+    let net = ec2_network(16, 4);
+    let cfg = MeasureConfig {
+        snapshot_every_ms: Some(2_000.0),
+        max_duration_ms: Some(30_000.0),
+        ..MeasureConfig::default()
+    };
+    let report = Staged::new(10, 100_000).run(&net, &cfg);
+    let truth = report.mean_vector();
+    let rmses: Vec<f64> = report
+        .snapshots
+        .iter()
+        .filter(|s| s.mean_vector.iter().all(|&m| m > 0.0))
+        .map(|s| cloudia::measure::error::rmse(&s.mean_vector, &truth))
+        .collect();
+    assert!(rmses.len() >= 3, "need several usable snapshots, got {}", rmses.len());
+    let first = rmses.first().unwrap();
+    let last = rmses.last().unwrap();
+    assert!(last < first, "rmse should fall: first {first}, last {last}");
+}

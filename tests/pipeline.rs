@@ -1,0 +1,118 @@
+//! End-to-end integration tests of the full ClouDiA pipeline across
+//! crates: netsim allocation -> staged measurement -> solver search ->
+//! deployment evaluation -> workload execution.
+
+use cloudia::netsim::{Cloud, Provider};
+use cloudia::prelude::*;
+use cloudia::workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
+
+#[test]
+fn advisor_improves_longest_link_on_every_provider() {
+    for provider in [Provider::ec2_like(), Provider::gce_like(), Provider::rackspace_like()] {
+        let name = provider.kind.name();
+        let graph = CommGraph::mesh_2d(4, 4);
+        let advisor = Advisor::new(AdvisorConfig { search_time_s: 2.0, ..AdvisorConfig::fast() });
+        let outcome = advisor.run(provider, &graph, 5);
+        assert!(
+            outcome.optimized_cost <= outcome.default_cost + 1e-9,
+            "{name}: optimized {} > default {}",
+            outcome.optimized_cost,
+            outcome.default_cost
+        );
+        // On heterogeneous clouds, the improvement should be material.
+        assert!(
+            outcome.improvement() > 0.05,
+            "{name}: improvement only {:.1} %",
+            outcome.improvement() * 100.0
+        );
+    }
+}
+
+#[test]
+fn advisor_longest_path_pipeline_improves() {
+    let graph = CommGraph::aggregation_tree(3, 2);
+    let advisor = Advisor::new(AdvisorConfig {
+        objective: Objective::LongestPath,
+        search_time_s: 4.0,
+        ..AdvisorConfig::fast()
+    });
+    let outcome = advisor.run(Provider::ec2_like(), &graph, 8);
+    assert!(outcome.optimized_cost <= outcome.default_cost + 1e-9);
+}
+
+#[test]
+fn optimized_deployment_speeds_up_all_three_workloads() {
+    // The headline claim (paper Fig. 12): running the applications under
+    // the advised deployment beats the default deployment.
+    let workloads: Vec<(Box<dyn Workload>, Objective)> = vec![
+        (
+            Box::new(BehavioralSim { sample_ticks: 300, ..BehavioralSim::new(4, 5) }),
+            Objective::LongestLink,
+        ),
+        (Box::new(AggregationQuery { queries: 300, ..AggregationQuery::new(4, 2) }), Objective::LongestPath),
+        (Box::new(KvStore { queries: 800, ..KvStore::new(5, 15) }), Objective::LongestLink),
+    ];
+    for (w, objective) in workloads {
+        let graph = w.graph();
+        let n = graph.num_nodes();
+        let mut cloud = Cloud::boot(Provider::ec2_like(), 99);
+        let allocation = cloud.allocate(n + n / 10);
+        let network = cloud.network(&allocation);
+        let advisor = Advisor::new(AdvisorConfig {
+            objective,
+            search_time_s: 4.0,
+            ..AdvisorConfig::fast()
+        });
+        let outcome = advisor.run_on_network(&network, &graph, 2);
+
+        let default: Vec<u32> = (0..n as u32).collect();
+        let t_default = w.run(&network, &default, 3).value_ms;
+        let t_opt = w.run(&network, &outcome.deployment, 3).value_ms;
+        assert!(
+            t_opt < t_default,
+            "{}: optimized {t_opt} not faster than default {t_default}",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn termination_keeps_only_planned_instances() {
+    let graph = CommGraph::ring(8);
+    let advisor = Advisor::new(AdvisorConfig { over_allocation: 0.25, ..AdvisorConfig::fast() });
+    let outcome = advisor.run(Provider::ec2_like(), &graph, 4);
+    assert_eq!(outcome.deployment.len(), 8);
+    assert_eq!(outcome.terminated.len(), 2);
+    let used: std::collections::HashSet<u32> = outcome.deployment.iter().copied().collect();
+    assert_eq!(used.len(), 8, "deployment must be injective");
+    for t in &outcome.terminated {
+        assert!(!used.contains(&t.0));
+    }
+}
+
+#[test]
+fn measured_costs_track_ground_truth_ordering() {
+    // Staged measurement must put links in roughly the right order —
+    // otherwise the whole advisor would optimize noise.
+    let mut cloud = Cloud::boot(Provider::ec2_like(), 6);
+    let alloc = cloud.allocate(15);
+    let net = cloud.network(&alloc);
+    let advisor = Advisor::new(AdvisorConfig::fast());
+    let report = advisor.measure(&net, 0);
+
+    let mut truth = Vec::new();
+    let mut measured = Vec::new();
+    for i in 0..15usize {
+        for j in 0..15usize {
+            if i != j {
+                truth.push(net.mean_rtt(
+                    cloudia::netsim::InstanceId::from_index(i),
+                    cloudia::netsim::InstanceId::from_index(j),
+                ));
+                measured.push(report.stats.link(i, j).mean());
+            }
+        }
+    }
+    let corr = cloudia::measure::error::pearson(&truth, &measured);
+    assert!(corr > 0.8, "measured/truth correlation only {corr}");
+}

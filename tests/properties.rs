@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: deployments stay injective, cost functions behave
+//! monotonically, clustering is sound, estimators converge, and the
+//! measurement error machinery is scale-invariant.
+
+use cloudia::measure::error::{normalize_unit, normalized_relative_errors, quantile, rmse};
+use cloudia::measure::{P2Quantile, Welford};
+use cloudia::solver::{
+    solve_greedy, solve_random_count, CostClusters, Costs, GreedyVariant, NodeDeployment,
+    Objective,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random square cost matrix of size m with costs in [0.1, 2].
+fn cost_matrix(m: usize) -> impl Strategy<Value = Costs> {
+    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| {
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { v[i * m + j] }).collect())
+            .collect();
+        Costs::from_matrix(rows)
+    })
+}
+
+/// Strategy: a connected random path-plus-chords graph on n nodes.
+fn comm_edges(n: u32) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec(0..n, 0..(n as usize * 2)).prop_map(move |extra| {
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        for (k, &x) in extra.iter().enumerate() {
+            let a = (k as u32) % n;
+            if a != x && !edges.contains(&(a, x)) {
+                edges.push((a, x));
+            }
+        }
+        edges
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_deployments_are_always_valid(seed in 0u64..1000, n in 2usize..6, extra in 0usize..4) {
+        let m = n + extra;
+        let costs = Costs::from_matrix(
+            (0..m).map(|i| (0..m).map(|j| if i == j { 0.0 } else { 1.0 }).collect()).collect(),
+        );
+        let p = NodeDeployment::new(n, vec![(0, 1)], costs);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let d = p.random_deployment(&mut rng);
+        prop_assert!(p.is_valid(&d));
+    }
+
+    #[test]
+    fn longest_link_is_max_over_edges(costs in cost_matrix(5), edges in comm_edges(4)) {
+        let p = NodeDeployment::new(4, edges.clone(), costs);
+        let d = p.default_deployment();
+        let manual = edges
+            .iter()
+            .map(|&(a, b)| p.costs.get(a as usize, b as usize))
+            .fold(0.0f64, f64::max);
+        prop_assert!((p.longest_link(&d) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_path_dominates_longest_link_on_dags(costs in cost_matrix(6)) {
+        // On a chain DAG, the longest path includes the longest link, so
+        // LP cost >= LL cost.
+        let edges: Vec<(u32, u32)> = (0..4).map(|i| (i, i + 1)).collect();
+        let p = NodeDeployment::new(5, edges, costs);
+        let d = p.default_deployment();
+        prop_assert!(p.longest_path(&d) >= p.longest_link(&d) - 1e-12);
+    }
+
+    #[test]
+    fn greedy_outputs_are_valid(costs in cost_matrix(7), edges in comm_edges(5)) {
+        let p = NodeDeployment::new(5, edges, costs);
+        for variant in [GreedyVariant::G1, GreedyVariant::G2] {
+            let out = solve_greedy(&p, variant);
+            prop_assert!(p.is_valid(&out.deployment));
+            prop_assert!((out.cost - p.longest_link(&out.deployment)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_search_cost_never_increases_with_more_samples(
+        costs in cost_matrix(6),
+        edges in comm_edges(4),
+        seed in 0u64..100,
+    ) {
+        let p = NodeDeployment::new(4, edges, costs);
+        let few = solve_random_count(&p, Objective::LongestLink, 50, seed);
+        let many = solve_random_count(&p, Objective::LongestLink, 500, seed);
+        prop_assert!(many.cost <= few.cost + 1e-12);
+    }
+
+    #[test]
+    fn clustering_round_is_idempotent_and_bounded(
+        values in proptest::collection::vec(0.1f64..3.0, 4..60),
+        k in 1usize..10,
+    ) {
+        let clusters = CostClusters::compute(&values, k, 0.0);
+        let (lo, hi) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        for &v in &values {
+            let r = clusters.round(v);
+            // Rounded values stay within the data range and re-round to
+            // themselves.
+            prop_assert!(r >= lo - 1e-9 && r <= hi + 1e-9);
+            prop_assert!((clusters.round(r) - r).abs() < 1e-9);
+        }
+        prop_assert!(clusters.len() <= k);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(values in proptest::collection::vec(-5.0f64..5.0, 1..100)) {
+        let mut w = Welford::new();
+        for &v in &values {
+            w.record(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() < 1e-9);
+        prop_assert!((w.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p2_stays_within_sample_range(values in proptest::collection::vec(0.0f64..10.0, 6..200)) {
+        let mut q = P2Quantile::new(0.99);
+        for &v in &values {
+            q.record(v);
+        }
+        let (lo, hi) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        prop_assert!(q.value() >= lo - 1e-9 && q.value() <= hi + 1e-9);
+    }
+
+    #[test]
+    fn normalization_is_scale_invariant(
+        values in proptest::collection::vec(0.01f64..10.0, 2..40),
+        scale in 0.1f64..50.0,
+    ) {
+        let scaled: Vec<f64> = values.iter().map(|v| v * scale).collect();
+        let a = normalize_unit(&values);
+        let b = normalize_unit(&scaled);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+        let errs = normalized_relative_errors(&scaled, &values);
+        prop_assert!(errs.iter().all(|&e| e < 1e-9));
+    }
+
+    #[test]
+    fn rmse_is_a_metric_on_vectors(
+        a in proptest::collection::vec(0.0f64..5.0, 3..20),
+    ) {
+        prop_assert_eq!(rmse(&a, &a), 0.0);
+        let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+        prop_assert!((rmse(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone(values in proptest::collection::vec(0.0f64..10.0, 2..50)) {
+        let q25 = quantile(&values, 0.25);
+        let q50 = quantile(&values, 0.5);
+        let q99 = quantile(&values, 0.99);
+        prop_assert!(q25 <= q50 && q50 <= q99);
+    }
+
+    #[test]
+    fn cost_matrix_map_preserves_structure(costs in cost_matrix(4)) {
+        let doubled = costs.map(|c| c * 2.0);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    prop_assert_eq!(doubled.get(i, j), 0.0);
+                } else {
+                    prop_assert!((doubled.get(i, j) - 2.0 * costs.get(i, j)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}
