@@ -6,9 +6,10 @@ use std::hint::black_box;
 
 use cloudia_solver::{
     cluster::CostClusters,
-    cp::{solve_llndp_cp, CpConfig},
+    cp::{solve_llndp_cp, CpConfig, Propagation},
     greedy::{solve_greedy, GreedyVariant},
     lp::{solve as lp_solve, Constraint, Lp, Sense},
+    portfolio::{solve_portfolio, PortfolioConfig},
     problem::{Costs, NodeDeployment},
     random::solve_random_count,
     Budget, Objective,
@@ -33,19 +34,66 @@ fn bench_cp(c: &mut Criterion) {
     group.sample_size(10);
     for &(n, m) in &[(9usize, 12usize), (18, 20), (27, 30)] {
         let problem = random_problem(n, m, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x{m}")), &problem, |b, p| {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{m}")),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    solve_llndp_cp(
+                        p,
+                        &CpConfig {
+                            budget: Budget::seconds(1.0),
+                            clusters: Some(20),
+                            ..CpConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Trail-based vs copy-domains propagation under an identical node budget:
+/// the two backends explore the same search tree, so the per-iteration
+/// time ratio is exactly the nodes/sec speedup of the trail rewrite.
+fn bench_cp_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_propagation_50k_nodes");
+    group.sample_size(10);
+    let problem = random_problem(27, 30, 1);
+    for (name, propagation) in
+        [("trail", Propagation::Trail), ("clone_domains", Propagation::CloneDomains)]
+    {
+        group.bench_function(name, |b| {
             b.iter(|| {
                 solve_llndp_cp(
-                    p,
+                    black_box(&problem),
                     &CpConfig {
-                        budget: Budget::seconds(1.0),
+                        budget: Budget::nodes(50_000),
                         clusters: Some(20),
+                        propagation,
                         ..CpConfig::default()
                     },
                 )
             })
         });
     }
+    group.finish();
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio");
+    group.sample_size(10);
+    let problem = random_problem(27, 30, 1);
+    group.bench_function("deterministic_20k_nodes_2_threads", |b| {
+        b.iter(|| {
+            solve_portfolio(
+                black_box(&problem),
+                Objective::LongestLink,
+                &PortfolioConfig { threads: 2, ..PortfolioConfig::deterministic(20_000, 7) },
+            )
+        })
+    });
     group.finish();
 }
 
@@ -83,8 +131,16 @@ fn bench_lp(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let mut constraints = Vec::new();
     for i in 0..n {
-        constraints.push(Constraint::new((0..n).map(|j| (var(i, j), 1.0)).collect(), Sense::Eq, 1.0));
-        constraints.push(Constraint::new((0..n).map(|j| (var(j, i), 1.0)).collect(), Sense::Le, 1.0));
+        constraints.push(Constraint::new(
+            (0..n).map(|j| (var(i, j), 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        ));
+        constraints.push(Constraint::new(
+            (0..n).map(|j| (var(j, i), 1.0)).collect(),
+            Sense::Le,
+            1.0,
+        ));
     }
     let lp = Lp {
         num_vars: n * n,
@@ -94,5 +150,14 @@ fn bench_lp(c: &mut Criterion) {
     c.bench_function("simplex_assignment_20x20", |b| b.iter(|| lp_solve(black_box(&lp), 50_000)));
 }
 
-criterion_group!(benches, bench_cp, bench_greedy, bench_random, bench_cluster, bench_lp);
+criterion_group!(
+    benches,
+    bench_cp,
+    bench_cp_propagation,
+    bench_portfolio,
+    bench_greedy,
+    bench_random,
+    bench_cluster,
+    bench_lp
+);
 criterion_main!(benches);

@@ -20,9 +20,8 @@ fn bench_workloads(c: &mut Criterion) {
     let sim = BehavioralSim { sample_ticks: 200, ..BehavioralSim::new(6, 6) };
     let net = network(36);
     let d: Vec<u32> = (0..36).collect();
-    group.bench_function("behavioral_6x6_200_ticks", |b| {
-        b.iter(|| sim.run(black_box(&net), &d, 1))
-    });
+    group
+        .bench_function("behavioral_6x6_200_ticks", |b| b.iter(|| sim.run(black_box(&net), &d, 1)));
 
     let agg = AggregationQuery { queries: 200, ..AggregationQuery::new(6, 2) };
     let net_a = network(43);
@@ -33,9 +32,7 @@ fn bench_workloads(c: &mut Criterion) {
 
     let kv = KvStore { queries: 500, ..KvStore::new(8, 28) };
     let net_k = network(36);
-    group.bench_function("kvstore_36_500_queries", |b| {
-        b.iter(|| kv.run(black_box(&net_k), &d, 1))
-    });
+    group.bench_function("kvstore_36_500_queries", |b| b.iter(|| kv.run(black_box(&net_k), &d, 1)));
 
     group.finish();
 }

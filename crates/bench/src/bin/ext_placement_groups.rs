@@ -22,7 +22,8 @@ fn main() {
     header("Extension", "cluster placement group vs ClouDiA (behavioral sim)", scale);
     let (rows, cols) = scale.pick((6, 6), (8, 8));
     let n = rows * cols;
-    let sim = BehavioralSim { sample_ticks: scale.pick(400, 1000), ..BehavioralSim::new(rows, cols) };
+    let sim =
+        BehavioralSim { sample_ticks: scale.pick(400, 1000), ..BehavioralSim::new(rows, cols) };
     // Paper footnote: cluster instances are "much more costly"; EC2's
     // cc1.4xlarge vs m1.large was roughly a 4x per-hour premium.
     let price_premium = 4.0;
@@ -55,7 +56,8 @@ fn main() {
         results.push((t_default, t_cloudia, t_group));
     }
 
-    let avg = |f: &dyn Fn(&(f64, f64, Option<f64>)) -> Option<f64>| {
+    type Row = (f64, f64, Option<f64>);
+    let avg = |f: &dyn Fn(&Row) -> Option<f64>| {
         let vals: Vec<f64> = results.iter().filter_map(f).collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     };

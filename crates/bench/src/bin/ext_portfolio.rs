@@ -1,0 +1,118 @@
+//! Extension: parallel portfolio scalability on the Fig. 8 instance.
+//!
+//! Two questions, answered on the same fig08-style setup (EC2-like
+//! network, mesh graph over ~90 % of the measured instances):
+//!
+//! 1. **Trail speedup** — nodes/second of the trail-based CP propagation
+//!    vs the original copy-domains-per-node backend, under an identical
+//!    node budget (identical search trees, so the ratio is pure
+//!    representation overhead).
+//! 2. **Portfolio time-to-quality** — wall-clock time for the portfolio
+//!    at 1/2/4 threads to reach the final cost of a single-threaded CP
+//!    run, plus the cost each configuration ends at.
+
+use std::time::Instant;
+
+use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_core::{CommGraph, LatencyMetric};
+use cloudia_netsim::Provider;
+use cloudia_solver::{
+    solve_llndp_cp, solve_portfolio, Budget, CpConfig, Objective, PortfolioConfig, Propagation,
+};
+
+fn mesh_dims(nodes: usize) -> (usize, usize) {
+    let r = (nodes as f64).sqrt() as usize;
+    for rows in (1..=r).rev() {
+        if nodes.is_multiple_of(rows) {
+            return (rows, nodes / rows);
+        }
+    }
+    (1, nodes)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    header("ext-portfolio", "portfolio scalability + trail-based CP speedup", scale);
+    let m = scale.pick(40, 100);
+    let budget_s = scale.pick(5.0, 60.0);
+    let node_budget = scale.pick(200_000u64, 2_000_000u64);
+
+    let net = standard_network(Provider::ec2_like(), m, 42);
+    let costs = measured_costs(&net, LatencyMetric::Mean, 5, 2, 0);
+    let nodes = (m as f64 * 0.9) as usize;
+    let (rows, cols) = mesh_dims(nodes);
+    let graph = CommGraph::mesh_2d(rows, cols);
+    let problem = graph.problem(costs);
+    println!("# instance: {m} instances, {rows}x{cols} mesh, per-run budget {budget_s}s");
+
+    // Part 1: trail vs clone propagation at a fixed node budget.
+    println!("backend\tnodes\tseconds\tnodes_per_sec");
+    let mut rates = [0.0f64; 2];
+    for (i, (name, propagation)) in
+        [("trail", Propagation::Trail), ("clone", Propagation::CloneDomains)].iter().enumerate()
+    {
+        let config = CpConfig {
+            budget: Budget::nodes(node_budget),
+            clusters: Some(20),
+            propagation: *propagation,
+            ..CpConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = solve_llndp_cp(&problem, &config);
+        let secs = t0.elapsed().as_secs_f64();
+        rates[i] = out.explored as f64 / secs.max(1e-9);
+        row(&[
+            name.to_string(),
+            format!("{}", out.explored),
+            format!("{secs:.3}"),
+            format!("{:.0}", rates[i]),
+        ]);
+    }
+    println!("# trail speedup: {:.2}x nodes/sec over clone-domains", rates[0] / rates[1].max(1e-9));
+
+    // Part 2: single-threaded CP as the baseline for time-to-quality.
+    let cp_config =
+        CpConfig { budget: Budget::seconds(budget_s), clusters: Some(20), ..CpConfig::default() };
+    let t0 = Instant::now();
+    let cp = solve_llndp_cp(&problem, &cp_config);
+    let cp_secs = t0.elapsed().as_secs_f64();
+    let target = cp.cost;
+    let cp_reach = cp.curve.last().map(|&(t, _)| t).unwrap_or(0.0);
+    println!("# single-thread CP: final cost {target:.4} ms (last improvement at {cp_reach:.2}s, total {cp_secs:.2}s)");
+
+    println!("solver\tthreads\tfinal_cost_ms\ttime_to_cp_cost_s\ttotal_s\texplored");
+    row(&[
+        "cp".into(),
+        "1".into(),
+        format!("{target:.4}"),
+        format!("{cp_reach:.3}"),
+        format!("{cp_secs:.2}"),
+        format!("{}", cp.explored),
+    ]);
+    for threads in [1usize, 2, 4] {
+        let config = PortfolioConfig {
+            budget: Budget::seconds(budget_s),
+            threads,
+            cp: CpConfig { clusters: Some(20), ..CpConfig::default() },
+            ..PortfolioConfig::default()
+        };
+        let t0 = Instant::now();
+        let out = solve_portfolio(&problem, Objective::LongestLink, &config);
+        let secs = t0.elapsed().as_secs_f64();
+        // Earliest time the merged curve is at least as good as CP's final.
+        let reach = out
+            .curve
+            .iter()
+            .find(|&&(_, c)| c <= target + 1e-9)
+            .map(|&(t, _)| format!("{t:.3}"))
+            .unwrap_or_else(|| "never".into());
+        row(&[
+            "portfolio".into(),
+            format!("{threads}"),
+            format!("{:.4}", out.cost),
+            reach,
+            format!("{secs:.2}"),
+            format!("{}", out.explored),
+        ]);
+    }
+}

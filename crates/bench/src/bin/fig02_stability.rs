@@ -34,7 +34,9 @@ fn main() {
     let buckets = 100; // 200 h / 2 h
     let traces: Vec<_> = picks
         .iter()
-        .map(|&(a, b, _)| net.link_trace(InstanceId(a), InstanceId(b), 2.0, buckets, 2000, &mut rng))
+        .map(|&(a, b, _)| {
+            net.link_trace(InstanceId(a), InstanceId(b), 2.0, buckets, 2000, &mut rng)
+        })
         .collect();
 
     row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);

@@ -31,7 +31,7 @@ fn main() {
     row(&["minutes".into(), "rmse".into()]);
     for snap in &report.snapshots {
         // Skip snapshots with unmeasured links (mean 0 would skew RMSE).
-        if snap.mean_vector.iter().any(|&m| m == 0.0) {
+        if snap.mean_vector.contains(&0.0) {
             continue;
         }
         row(&[

@@ -39,7 +39,10 @@ fn main() {
         row(&[
             label.into(),
             "final".into(),
-            format!("{:.3} (optimal_proven={}, nodes={})", out.cost, out.proven_optimal, out.explored),
+            format!(
+                "{:.3} (optimal_proven={}, nodes={})",
+                out.cost, out.proven_optimal, out.explored
+            ),
         ]);
     }
 }

@@ -26,7 +26,12 @@ fn main() {
 
     let cp = solve_llndp_cp(
         &problem,
-        &CpConfig { budget: Budget::seconds(budget_s), clusters: Some(20), seed: 1, ..CpConfig::default() },
+        &CpConfig {
+            budget: Budget::seconds(budget_s),
+            clusters: Some(20),
+            seed: 1,
+            ..CpConfig::default()
+        },
     );
     for &(t, c) in &cp.curve {
         row(&["cp".into(), format!("{t:.2}"), format!("{c:.3}")]);
@@ -35,7 +40,12 @@ fn main() {
 
     let mip = solve_llndp_mip(
         &problem,
-        &MipConfig { budget: Budget::seconds(budget_s), clusters: Some(20), seed: 1, ..MipConfig::default() },
+        &MipConfig {
+            budget: Budget::seconds(budget_s),
+            clusters: Some(20),
+            seed: 1,
+            ..MipConfig::default()
+        },
     );
     for &(t, c) in &mip.curve {
         row(&["mip".into(), format!("{t:.2}"), format!("{c:.3}")]);

@@ -63,7 +63,7 @@ fn main() {
 fn mesh_dims(nodes: usize) -> (usize, usize) {
     let r = (nodes as f64).sqrt() as usize;
     for rows in (1..=r).rev() {
-        if nodes % rows == 0 {
+        if nodes.is_multiple_of(rows) {
             return (rows, nodes / rows);
         }
     }

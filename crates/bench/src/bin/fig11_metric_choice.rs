@@ -69,5 +69,7 @@ fn main() {
         }
     }
     println!();
-    println!("# paper: p99 hurts all three; Mean+SD mildly helps sim/agg, hurts kv; mean is robust");
+    println!(
+        "# paper: p99 hurts all three; Mean+SD mildly helps sim/agg, hurts kv; mean is robust"
+    );
 }

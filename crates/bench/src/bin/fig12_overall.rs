@@ -54,7 +54,12 @@ fn main() {
                 over_allocation: 0.1,
                 strategy: None,
                 search_time_s: search_s,
-                measurement: MeasurementPlan { ks: 10, sweeps: 2, config: MeasureConfig::default() },
+                search_threads: 1,
+                measurement: MeasurementPlan {
+                    ks: 10,
+                    sweeps: 2,
+                    config: MeasureConfig::default(),
+                },
             });
             let outcome = advisor.run_on_network(&net, &graph, alloc_id);
 

@@ -20,10 +20,8 @@ fn main() {
     let (rows, cols) = scale.pick((6, 6), (10, 10));
     let n = rows * cols;
     let search_s = scale.pick(8.0, 120.0);
-    let sim = BehavioralSim {
-        sample_ticks: scale.pick(400, 1000),
-        ..BehavioralSim::new(rows, cols)
-    };
+    let sim =
+        BehavioralSim { sample_ticks: scale.pick(400, 1000), ..BehavioralSim::new(rows, cols) };
 
     // One allocation of 1.5·n, as in the paper.
     let mut cloud = Cloud::boot(Provider::ec2_like(), 4242);
@@ -44,6 +42,7 @@ fn main() {
             over_allocation: pct as f64 / 100.0,
             strategy: None,
             search_time_s: search_s,
+            search_threads: 1,
             measurement: MeasurementPlan { ks: 10, sweeps: 2, config: MeasureConfig::default() },
         });
         let outcome = advisor.run_on_network(&net, &sim.graph(), 9);

@@ -55,7 +55,13 @@ fn main() {
     println!("# {allocations} allocations of {m} instances, 45-node mesh, {budget_s}s for R2/CP");
     println!("method\tavg_longest_link_ms\tvs_cp");
     let cp = totals[4] / allocations as f64;
-    for (name, total) in [("G1", totals[0]), ("G2", totals[1]), ("R1", totals[2]), ("R2", totals[3]), ("CP", totals[4])] {
+    for (name, total) in [
+        ("G1", totals[0]),
+        ("G2", totals[1]),
+        ("R1", totals[2]),
+        ("R2", totals[3]),
+        ("CP", totals[4]),
+    ] {
         let avg = total / allocations as f64;
         row(&[name.into(), format!("{avg:.3}"), format!("{:+.1} %", (avg / cp - 1.0) * 100.0)]);
     }

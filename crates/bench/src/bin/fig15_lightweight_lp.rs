@@ -29,12 +29,10 @@ fn main() {
         let costs = measured_costs(&net, LatencyMetric::Mean, 5, 2, a as u64);
         let problem = graph.problem(costs);
 
-        totals[0] += SearchStrategy::Greedy(GreedyVariant::G1)
-            .run(&problem, Objective::LongestPath)
-            .cost;
-        totals[1] += SearchStrategy::Greedy(GreedyVariant::G2)
-            .run(&problem, Objective::LongestPath)
-            .cost;
+        totals[0] +=
+            SearchStrategy::Greedy(GreedyVariant::G1).run(&problem, Objective::LongestPath).cost;
+        totals[1] +=
+            SearchStrategy::Greedy(GreedyVariant::G2).run(&problem, Objective::LongestPath).cost;
         totals[2] += solve_random_count(&problem, Objective::LongestPath, 1000, a as u64).cost;
         totals[3] += solve_random_budget(
             &problem,
@@ -46,7 +44,11 @@ fn main() {
         .cost;
         totals[4] += solve_lpndp_mip(
             &problem,
-            &MipConfig { budget: Budget::seconds(budget_s), seed: a as u64, ..MipConfig::default() },
+            &MipConfig {
+                budget: Budget::seconds(budget_s),
+                seed: a as u64,
+                ..MipConfig::default()
+            },
         )
         .cost;
     }
@@ -57,7 +59,13 @@ fn main() {
     );
     println!("method\tavg_longest_path_ms\tvs_mip");
     let mip = totals[4] / allocations as f64;
-    for (name, total) in [("G1", totals[0]), ("G2", totals[1]), ("R1", totals[2]), ("R2", totals[3]), ("MIP", totals[4])] {
+    for (name, total) in [
+        ("G1", totals[0]),
+        ("G2", totals[1]),
+        ("R1", totals[2]),
+        ("R2", totals[3]),
+        ("MIP", totals[4]),
+    ] {
         let avg = total / allocations as f64;
         row(&[name.into(), format!("{avg:.3}"), format!("{:+.1} %", (avg / mip - 1.0) * 100.0)]);
     }

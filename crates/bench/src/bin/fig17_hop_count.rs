@@ -14,8 +14,7 @@ fn main() {
     println!("group\tcount\tmin_ms\tmedian_ms\tmax_ms");
     let groups: std::collections::BTreeSet<u32> = links.iter().map(|l| l.group).collect();
     for g in &groups {
-        let vals: Vec<f64> =
-            links.iter().filter(|l| l.group == *g).map(|l| l.mean_rtt).collect();
+        let vals: Vec<f64> = links.iter().filter(|l| l.group == *g).map(|l| l.mean_rtt).collect();
         let mut sorted = vals.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         row(&[

@@ -20,13 +20,19 @@ fn main() {
         }
     }
     pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
-    let picks =
-        [pairs[pairs.len() / 10], pairs[pairs.len() * 4 / 10], pairs[pairs.len() * 7 / 10], pairs[pairs.len() * 95 / 100]];
+    let picks = [
+        pairs[pairs.len() / 10],
+        pairs[pairs.len() * 4 / 10],
+        pairs[pairs.len() * 7 / 10],
+        pairs[pairs.len() * 95 / 100],
+    ];
 
     let buckets = 60;
     let traces: Vec<_> = picks
         .iter()
-        .map(|&(a, b, _)| net.link_trace(InstanceId(a), InstanceId(b), 1.0, buckets, 2000, &mut rng))
+        .map(|&(a, b, _)| {
+            net.link_trace(InstanceId(a), InstanceId(b), 1.0, buckets, 2000, &mut rng)
+        })
         .collect();
 
     row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);

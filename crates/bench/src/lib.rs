@@ -96,7 +96,13 @@ pub fn true_mean_vector(net: &Network) -> Vec<f64> {
 
 /// Runs the staged measurement the advisor would run and returns the cost
 /// matrix under a metric.
-pub fn measured_costs(net: &Network, metric: LatencyMetric, ks: usize, sweeps: usize, seed: u64) -> CostMatrix {
+pub fn measured_costs(
+    net: &Network,
+    metric: LatencyMetric,
+    ks: usize,
+    sweeps: usize,
+    seed: u64,
+) -> CostMatrix {
     let report =
         Staged::new(ks, sweeps).run(net, &MeasureConfig { seed, ..MeasureConfig::default() });
     metric.cost_matrix(&report.stats)
@@ -104,11 +110,7 @@ pub fn measured_costs(net: &Network, metric: LatencyMetric, ks: usize, sweeps: u
 
 /// Builds an advisor sized for harness runs.
 pub fn harness_advisor(objective: cloudia_core::Objective, search_s: f64) -> Advisor {
-    Advisor::new(AdvisorConfig {
-        objective,
-        search_time_s: search_s,
-        ..AdvisorConfig::fast()
-    })
+    Advisor::new(AdvisorConfig { objective, search_time_s: search_s, ..AdvisorConfig::fast() })
 }
 
 /// The three paper workload graphs at a given scale: (behavioral mesh,

@@ -47,10 +47,15 @@ pub struct AdvisorConfig {
     /// default; Fig. 13 sweeps this).
     pub over_allocation: f64,
     /// Search technique; `None` picks the paper's recommendation for the
-    /// objective with `search_time_s`.
+    /// objective with `search_time_s` (or the parallel portfolio when
+    /// `search_threads != 1`).
     pub strategy: Option<SearchStrategy>,
     /// Time budget for the recommended strategy when `strategy` is `None`.
     pub search_time_s: f64,
+    /// Worker threads for the default strategy: 1 (default) runs the
+    /// paper's single-threaded recommendation, any other value races the
+    /// solver portfolio on that many threads (0 = all cores).
+    pub search_threads: usize,
     /// Measurement plan.
     pub measurement: MeasurementPlan,
 }
@@ -65,6 +70,7 @@ impl AdvisorConfig {
             over_allocation: 0.1,
             strategy: None,
             search_time_s: 1.0,
+            search_threads: 1,
             measurement: MeasurementPlan { ks: 3, sweeps: 2, config: MeasureConfig::default() },
         }
     }
@@ -78,6 +84,7 @@ impl Default for AdvisorConfig {
             over_allocation: 0.1,
             strategy: None,
             search_time_s: 10.0,
+            search_threads: 1,
             measurement: MeasurementPlan::default(),
         }
     }
@@ -148,10 +155,8 @@ impl Advisor {
 
         // Step 4: terminate the extra instances the plan does not use.
         let used: std::collections::HashSet<u32> = outcome.deployment.iter().copied().collect();
-        let victims: Vec<InstanceId> = (0..allocation.len() as u32)
-            .filter(|i| !used.contains(i))
-            .map(InstanceId)
-            .collect();
+        let victims: Vec<InstanceId> =
+            (0..allocation.len() as u32).filter(|i| !used.contains(i)).map(InstanceId).collect();
         cloud.terminate(&allocation, &victims);
         outcome.terminated = victims;
         outcome
@@ -160,7 +165,12 @@ impl Advisor {
     /// Runs measurement + search over an existing network (no allocation
     /// or termination) — the harness entry point when the caller manages
     /// the cloud itself.
-    pub fn run_on_network(&self, network: &Network, graph: &CommGraph, seed: u64) -> AdvisorOutcome {
+    pub fn run_on_network(
+        &self,
+        network: &Network,
+        graph: &CommGraph,
+        seed: u64,
+    ) -> AdvisorOutcome {
         let n = graph.num_nodes();
         assert!(
             n <= network.len(),
@@ -174,11 +184,13 @@ impl Advisor {
         // Step 3: search on the measured costs.
         let costs = self.config.metric.cost_matrix(&report.stats);
         let problem = graph.problem(costs);
-        let strategy = self
-            .config
-            .strategy
-            .clone()
-            .unwrap_or_else(|| SearchStrategy::recommended(self.config.objective, self.config.search_time_s));
+        let strategy = self.config.strategy.clone().unwrap_or_else(|| {
+            if self.config.search_threads == 1 {
+                SearchStrategy::recommended(self.config.objective, self.config.search_time_s)
+            } else {
+                SearchStrategy::portfolio(self.config.search_time_s, self.config.search_threads)
+            }
+        });
         let search = strategy.run(&problem, self.config.objective);
 
         // Evaluate default vs optimized on ground truth.
@@ -217,13 +229,14 @@ mod tests {
     #[test]
     fn pipeline_end_to_end_improves_over_default() {
         let graph = CommGraph::mesh_2d(3, 3);
-        let advisor = Advisor::new(AdvisorConfig {
-            search_time_s: 2.0,
-            ..AdvisorConfig::fast()
-        });
+        let advisor = Advisor::new(AdvisorConfig { search_time_s: 2.0, ..AdvisorConfig::fast() });
         let out = advisor.run(Provider::ec2_like(), &graph, 11);
-        assert!(out.optimized_cost <= out.default_cost * 1.001,
-            "optimized {} worse than default {}", out.optimized_cost, out.default_cost);
+        assert!(
+            out.optimized_cost <= out.default_cost * 1.001,
+            "optimized {} worse than default {}",
+            out.optimized_cost,
+            out.default_cost
+        );
         assert!(out.improvement() >= -0.001);
         assert!(out.measurement_ms > 0.0);
         assert!(out.measurement_round_trips > 0);
@@ -282,6 +295,24 @@ mod tests {
         let b = advisor.run(Provider::test_quiet(), &graph, 21);
         assert_eq!(a.deployment, b.deployment);
         assert_eq!(a.optimized_cost, b.optimized_cost);
+    }
+
+    #[test]
+    fn portfolio_pipeline_improves_over_default() {
+        let graph = CommGraph::mesh_2d(3, 3);
+        let advisor = Advisor::new(AdvisorConfig {
+            search_threads: 2,
+            search_time_s: 2.0,
+            ..AdvisorConfig::fast()
+        });
+        let out = advisor.run(Provider::ec2_like(), &graph, 17);
+        assert!(
+            out.optimized_cost <= out.default_cost * 1.001,
+            "portfolio {} worse than default {}",
+            out.optimized_cost,
+            out.default_cost
+        );
+        assert!(out.search.explored > 0);
     }
 
     #[test]

@@ -34,8 +34,8 @@ pub mod redeploy;
 pub mod search;
 
 pub use advisor::{Advisor, AdvisorConfig, AdvisorOutcome, MeasurementPlan};
-pub use redeploy::{redeploy, RedeployDecision, RedeployPolicy};
 pub use cost::{deployment_cost, relative_improvement, Objective};
 pub use metrics::LatencyMetric;
 pub use problem::{CommGraph, CostMatrix, Deployment, NodeDeployment, NodeId};
+pub use redeploy::{redeploy, RedeployDecision, RedeployPolicy};
 pub use search::SearchStrategy;

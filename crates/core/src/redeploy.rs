@@ -89,11 +89,8 @@ pub fn redeploy(
     let problem = graph.problem(truth);
     let keep_cost = problem.cost(objective, current);
 
-    let moved_nodes = current
-        .iter()
-        .zip(&outcome.deployment)
-        .filter(|(old, new)| old != new)
-        .count();
+    let moved_nodes =
+        current.iter().zip(&outcome.deployment).filter(|(old, new)| old != new).count();
     let gain = (keep_cost - outcome.optimized_cost) / keep_cost.max(f64::MIN_POSITIVE);
     let amortized_migration = policy.migration_cost_per_node * moved_nodes as f64;
     let migrate =
@@ -147,7 +144,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         // Strong drift: several days.
         let drifted = net.drifted(96.0, &mut rng);
-        let decision = redeploy(&advisor, &drifted, &graph, &first.deployment, RedeployPolicy::default(), 4);
+        let decision =
+            redeploy(&advisor, &drifted, &graph, &first.deployment, RedeployPolicy::default(), 4);
         if decision.migrate {
             assert!(decision.outcome.optimized_cost < decision.keep_cost);
             assert!(decision.moved_nodes > 0);

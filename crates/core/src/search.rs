@@ -11,6 +11,7 @@ use cloudia_solver::{
     cp::{solve_llndp_cp, CpConfig},
     encodings::{solve_llndp_mip, solve_lpndp_mip, MipConfig},
     greedy::{solve_greedy, GreedyVariant},
+    portfolio::{solve_portfolio, PortfolioConfig},
     random::{solve_random_budget, solve_random_count},
     Budget, NodeDeployment, Objective, SolveOutcome,
 };
@@ -40,6 +41,9 @@ pub enum SearchStrategy {
         /// RNG seed.
         seed: u64,
     },
+    /// Parallel portfolio racing the prover (CP or MIP by objective),
+    /// greedy G1/G2, and budgeted random search with a shared incumbent.
+    Portfolio(PortfolioConfig),
 }
 
 impl SearchStrategy {
@@ -61,6 +65,18 @@ impl SearchStrategy {
         }
     }
 
+    /// A parallel portfolio with the paper-recommended prover settings
+    /// (CP with k = 20 clusters for LLNDP; MIP without clustering for
+    /// LPNDP is chosen at run time by the objective) racing greedy and
+    /// random workers on `threads` threads (0 = all cores).
+    pub fn portfolio(time_limit_s: f64, threads: usize) -> Self {
+        SearchStrategy::Portfolio(PortfolioConfig {
+            budget: Budget::seconds(time_limit_s),
+            threads,
+            ..PortfolioConfig::default()
+        })
+    }
+
     /// Short identifier used in reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -70,6 +86,7 @@ impl SearchStrategy {
             SearchStrategy::Greedy(GreedyVariant::G2) => "greedy-g2",
             SearchStrategy::RandomCount { .. } => "random-r1",
             SearchStrategy::RandomBudget { .. } => "random-r2",
+            SearchStrategy::Portfolio(_) => "portfolio",
         }
     }
 
@@ -107,6 +124,7 @@ impl SearchStrategy {
             SearchStrategy::RandomBudget { budget, threads, seed } => {
                 solve_random_budget(problem, objective, *budget, *threads, *seed)
             }
+            SearchStrategy::Portfolio(cfg) => solve_portfolio(problem, objective, cfg),
         }
     }
 }
@@ -123,11 +141,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..m)
             .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
             .collect();
-        let graph = if dag {
-            CommGraph::aggregation_tree(2, 2)
-        } else {
-            CommGraph::mesh_2d(2, 3)
-        };
+        let graph = if dag { CommGraph::aggregation_tree(2, 2) } else { CommGraph::mesh_2d(2, 3) };
         graph.problem(CostMatrix::from_matrix(rows))
     }
 
@@ -135,6 +149,18 @@ mod tests {
     fn recommended_matches_paper() {
         assert_eq!(SearchStrategy::recommended(Objective::LongestLink, 1.0).name(), "cp");
         assert_eq!(SearchStrategy::recommended(Objective::LongestPath, 1.0).name(), "mip");
+    }
+
+    #[test]
+    fn portfolio_strategy_runs_both_objectives() {
+        for (objective, dag) in [(Objective::LongestLink, false), (Objective::LongestPath, true)] {
+            let p = problem(9, dag);
+            let s = SearchStrategy::portfolio(5.0, 2);
+            assert_eq!(s.name(), "portfolio");
+            let out = s.run(&p, objective);
+            assert!(p.is_valid(&out.deployment), "{}", objective.name());
+            assert_eq!(out.cost, p.cost(objective, &out.deployment), "{}", objective.name());
+        }
     }
 
     #[test]

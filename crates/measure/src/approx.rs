@@ -22,7 +22,7 @@ use cloudia_netsim::{InstanceId, Network};
 /// Panics unless `group_bits` divides 32.
 pub fn ip_distance(a: [u8; 4], b: [u8; 4], group_bits: u32) -> u32 {
     assert!(
-        group_bits >= 1 && group_bits <= 32 && 32 % group_bits == 0,
+        (1..=32).contains(&group_bits) && 32 % group_bits == 0,
         "group_bits must divide 32, got {group_bits}"
     );
     let xa = u32::from_be_bytes(a);
@@ -77,9 +77,7 @@ fn group_links(
             out.push(GroupedLink { group: key(net, a, b), mean_rtt: net.mean_rtt(a, b) });
         }
     }
-    out.sort_by(|x, y| {
-        x.group.cmp(&y.group).then(x.mean_rtt.partial_cmp(&y.mean_rtt).unwrap())
-    });
+    out.sort_by(|x, y| x.group.cmp(&y.group).then(x.mean_rtt.partial_cmp(&y.mean_rtt).unwrap()));
     out
 }
 

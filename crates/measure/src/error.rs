@@ -31,11 +31,7 @@ pub fn normalized_relative_errors(candidate: &[f64], baseline: &[f64]) -> Vec<f6
     assert_eq!(candidate.len(), baseline.len(), "vector length mismatch");
     let c = normalize_unit(candidate);
     let b = normalize_unit(baseline);
-    c.iter()
-        .zip(&b)
-        .filter(|&(_, &bb)| bb != 0.0)
-        .map(|(&cc, &bb)| (cc - bb).abs() / bb)
-        .collect()
+    c.iter().zip(&b).filter(|&(_, &bb)| bb != 0.0).map(|(&cc, &bb)| (cc - bb).abs() / bb).collect()
 }
 
 /// Root-mean-square error between two vectors (not normalized — Fig. 5

@@ -96,7 +96,11 @@ pub(crate) struct SnapshotTracker {
 
 impl SnapshotTracker {
     pub(crate) fn new(cfg: &MeasureConfig) -> Self {
-        Self { every: cfg.snapshot_every_ms, next_at: cfg.snapshot_every_ms.unwrap_or(0.0), snapshots: Vec::new() }
+        Self {
+            every: cfg.snapshot_every_ms,
+            next_at: cfg.snapshot_every_ms.unwrap_or(0.0),
+            snapshots: Vec::new(),
+        }
     }
 
     /// Called after each recorded sample with the current simulated time.

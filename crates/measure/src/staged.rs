@@ -14,7 +14,9 @@
 
 use cloudia_netsim::{InstanceId, MessageSpec, Network};
 
-use crate::scheme::{MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY};
+use crate::scheme::{
+    MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY,
+};
 use crate::stats::PairwiseStats;
 
 /// The staged scheme.

@@ -132,11 +132,12 @@ impl P2Quantile {
             {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if candidate > self.heights[i - 1] && candidate < self.heights[i + 1] {
-                    candidate
-                } else {
-                    self.linear(i, d)
-                };
+                self.heights[i] =
+                    if candidate > self.heights[i - 1] && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.pos[i] += d;
             }
         }
@@ -407,7 +408,9 @@ mod tests {
     #[test]
     fn mean_vector_is_row_major_off_diagonal() {
         let mut s = PairwiseStats::new(3);
-        for (i, j, v) in [(0, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (1, 2, 4.0), (2, 0, 5.0), (2, 1, 6.0)] {
+        for (i, j, v) in
+            [(0, 1, 1.0), (0, 2, 2.0), (1, 0, 3.0), (1, 2, 4.0), (2, 0, 5.0), (2, 1, 6.0)]
+        {
             s.record(i, j, v);
         }
         assert_eq!(s.mean_vector(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);

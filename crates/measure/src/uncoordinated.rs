@@ -13,7 +13,9 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use cloudia_netsim::{InstanceId, MessageSpec, Network};
 
-use crate::scheme::{MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY};
+use crate::scheme::{
+    MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY,
+};
 use crate::stats::PairwiseStats;
 
 /// The uncoordinated scheme.
@@ -53,11 +55,11 @@ impl Scheme for Uncoordinated {
         let mut issued = vec![0usize; n];
 
         let launch = |src: usize,
-                          engine: &mut cloudia_netsim::Engine<'_>,
-                          rng: &mut StdRng,
-                          probe_sent_at: &mut [f64],
-                          probe_dst: &mut [usize],
-                          issued: &mut [usize]| {
+                      engine: &mut cloudia_netsim::Engine<'_>,
+                      rng: &mut StdRng,
+                      probe_sent_at: &mut [f64],
+                      probe_dst: &mut [usize],
+                      issued: &mut [usize]| {
             let dst = loop {
                 let d = rng.random_range(0..n);
                 if d != src {
@@ -100,8 +102,7 @@ impl Scheme for Uncoordinated {
                     stats.record(src, probe_dst[src], msg.delivered_at - probe_sent_at[src]);
                     round_trips += 1;
                     tracker.maybe_snapshot(engine.now(), &stats);
-                    let under_limit =
-                        cfg.max_duration_ms.is_none_or(|limit| engine.now() < limit);
+                    let under_limit = cfg.max_duration_ms.is_none_or(|limit| engine.now() < limit);
                     if issued[src] < self.probes_per_instance && under_limit {
                         launch(
                             src,
@@ -150,8 +151,7 @@ mod tests {
         let net = network(10, 2);
         let samples = 20;
         let unc = Uncoordinated::new(samples * 9).run(&net, &MeasureConfig::default());
-        let tok =
-            crate::token::TokenPassing::new(samples).run(&net, &MeasureConfig::default());
+        let tok = crate::token::TokenPassing::new(samples).run(&net, &MeasureConfig::default());
         // Same total round trips, but uncoordinated runs ~n probes in
         // parallel.
         assert_eq!(unc.round_trips, tok.round_trips);

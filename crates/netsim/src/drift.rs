@@ -185,12 +185,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let t_slow = LinkTrace::simulate(&slow, DriftParams::default(), 2.0, 100, 2000, &mut rng);
         let t_fast = LinkTrace::simulate(&fast, DriftParams::default(), 2.0, 100, 2000, &mut rng);
-        let crossings = t_slow
-            .mean_rtt
-            .iter()
-            .zip(&t_fast.mean_rtt)
-            .filter(|(s, f)| s < f)
-            .count();
+        let crossings = t_slow.mean_rtt.iter().zip(&t_fast.mean_rtt).filter(|(s, f)| s < f).count();
         assert_eq!(crossings, 0);
     }
 

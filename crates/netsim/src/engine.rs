@@ -217,7 +217,12 @@ mod tests {
     }
 
     fn setup() -> (Topology, Allocation) {
-        let t = Topology::new(TopologyConfig { pods: 2, racks_per_pod: 2, hosts_per_rack: 4, slots_per_host: 2 });
+        let t = Topology::new(TopologyConfig {
+            pods: 2,
+            racks_per_pod: 2,
+            hosts_per_rack: 4,
+            slots_per_host: 2,
+        });
         // Three instances on distinct hosts in one rack.
         let a = Allocation::from_hosts(vec![HostId(0), HostId(1), HostId(2)]);
         (t, a)
@@ -282,7 +287,7 @@ mod tests {
         e.send(spec(0, 1, 0, 0));
         e.send(spec(0, 2, 0, 1));
         let mut deliveries = [e.next_delivery().unwrap(), e.next_delivery().unwrap()];
-        deliveries.sort_by(|x, y| x.spec.token.cmp(&y.spec.token));
+        deliveries.sort_by_key(|x| x.spec.token);
         // Second message could not start transmitting until 0.1.
         let d1 = deliveries[1];
         assert!(d1.delivered_at >= 0.1 + 0.15 + 0.1 - 1e-9, "{}", d1.delivered_at);

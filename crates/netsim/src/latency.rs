@@ -58,7 +58,7 @@ impl LatencyParams {
     /// Validates parameter ranges, returning a description of the first
     /// violation found.
     pub fn validate(&self) -> Result<(), String> {
-        if self.base_rtt.iter().any(|&b| !(b > 0.0) || !b.is_finite()) {
+        if self.base_rtt.iter().any(|&b| b <= 0.0 || !b.is_finite()) {
             return Err("base_rtt entries must be positive and finite".into());
         }
         if !self.base_rtt.windows(2).all(|w| w[0] <= w[1]) {
@@ -73,10 +73,13 @@ impl LatencyParams {
         if !(0.0..=1.0).contains(&self.bad_instance_frac) {
             return Err("bad_instance_frac must be in [0, 1]".into());
         }
-        if self.bad_instance_penalty.0 < 1.0 || self.bad_instance_penalty.1 < self.bad_instance_penalty.0 {
+        if self.bad_instance_penalty.0 < 1.0
+            || self.bad_instance_penalty.1 < self.bad_instance_penalty.0
+        {
             return Err("bad_instance_penalty must satisfy 1 <= lo <= hi".into());
         }
-        if self.jitter_sigma_range.0 < 0.0 || self.jitter_sigma_range.1 < self.jitter_sigma_range.0 {
+        if self.jitter_sigma_range.0 < 0.0 || self.jitter_sigma_range.1 < self.jitter_sigma_range.0
+        {
             return Err("jitter_sigma_range must satisfy 0 <= lo <= hi".into());
         }
         if !(0.0..=1.0).contains(&self.jitter_mean_corr) {
@@ -178,7 +181,8 @@ impl LatencyModel {
             })
             .collect();
 
-        let zero = LinkProfile { base_mean: 0.0, jitter_sigma: 0.0, spike_prob: 0.0, spike_scale: 0.0 };
+        let zero =
+            LinkProfile { base_mean: 0.0, jitter_sigma: 0.0, spike_prob: 0.0, spike_scale: 0.0 };
         let mut profiles = vec![zero; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
@@ -209,12 +213,8 @@ impl LatencyModel {
                 let spike_scale = params.spike_scale_ms * (0.5 + 1.0 * blend);
 
                 let forward_asym = asym.sample(&mut rng);
-                let make = |m: f64| LinkProfile {
-                    base_mean: m,
-                    jitter_sigma,
-                    spike_prob,
-                    spike_scale,
-                };
+                let make =
+                    |m: f64| LinkProfile { base_mean: m, jitter_sigma, spike_prob, spike_scale };
                 profiles[i * n + j] = make(mean * forward_asym);
                 profiles[j * n + i] = make(mean / forward_asym);
             }
@@ -247,7 +247,12 @@ impl LatencyModel {
     }
 
     /// Draws one RTT sample for a 1 KB probe on `src → dst`.
-    pub fn sample_rtt<R: Rng + ?Sized>(&self, src: InstanceId, dst: InstanceId, rng: &mut R) -> f64 {
+    pub fn sample_rtt<R: Rng + ?Sized>(
+        &self,
+        src: InstanceId,
+        dst: InstanceId,
+        rng: &mut R,
+    ) -> f64 {
         self.profile(src, dst).sample(1.0, self.per_kb_ms, rng)
     }
 
@@ -281,7 +286,8 @@ impl LatencyModel {
     /// Creates a model with all-zero profiles, to be filled via
     /// [`LatencyModel::set_profile`]. Used when deriving sub-networks.
     pub fn build_empty(n: usize, per_kb_ms: f64) -> Self {
-        let zero = LinkProfile { base_mean: 0.0, jitter_sigma: 0.0, spike_prob: 0.0, spike_scale: 0.0 };
+        let zero =
+            LinkProfile { base_mean: 0.0, jitter_sigma: 0.0, spike_prob: 0.0, spike_scale: 0.0 };
         Self { n, profiles: vec![zero; n * n], per_kb_ms }
     }
 
@@ -350,7 +356,12 @@ mod tests {
     }
 
     fn topo() -> Topology {
-        Topology::new(TopologyConfig { pods: 2, racks_per_pod: 2, hosts_per_rack: 4, slots_per_host: 2 })
+        Topology::new(TopologyConfig {
+            pods: 2,
+            racks_per_pod: 2,
+            hosts_per_rack: 4,
+            slots_per_host: 2,
+        })
     }
 
     fn alloc() -> Allocation {
@@ -428,8 +439,14 @@ mod tests {
         let m1 = LatencyModel::build(&topo(), &alloc(), &params(), 11);
         let m2 = LatencyModel::build(&topo(), &alloc(), &params(), 11);
         let m3 = LatencyModel::build(&topo(), &alloc(), &params(), 12);
-        assert_eq!(m1.mean_rtt(InstanceId(0), InstanceId(2)), m2.mean_rtt(InstanceId(0), InstanceId(2)));
-        assert_ne!(m1.mean_rtt(InstanceId(0), InstanceId(2)), m3.mean_rtt(InstanceId(0), InstanceId(2)));
+        assert_eq!(
+            m1.mean_rtt(InstanceId(0), InstanceId(2)),
+            m2.mean_rtt(InstanceId(0), InstanceId(2))
+        );
+        assert_ne!(
+            m1.mean_rtt(InstanceId(0), InstanceId(2)),
+            m3.mean_rtt(InstanceId(0), InstanceId(2))
+        );
     }
 
     #[test]
@@ -447,7 +464,10 @@ mod tests {
             assert_eq!(m[i][i], 0.0);
             for j in 0..4 {
                 if i != j {
-                    assert_eq!(m[i][j], model.mean_rtt(InstanceId::from_index(i), InstanceId::from_index(j)));
+                    assert_eq!(
+                        m[i][j],
+                        model.mean_rtt(InstanceId::from_index(i), InstanceId::from_index(j))
+                    );
                 }
             }
         }

@@ -100,7 +100,12 @@ pub struct Network {
 
 impl Network {
     /// Builds a network view directly (most callers use [`Cloud::network`]).
-    pub fn build(topology: &Topology, allocation: &Allocation, provider: &Provider, seed: u64) -> Self {
+    pub fn build(
+        topology: &Topology,
+        allocation: &Allocation,
+        provider: &Provider,
+        seed: u64,
+    ) -> Self {
         let model = LatencyModel::build(topology, allocation, &provider.latency, seed);
         Self {
             topology: topology.clone(),
@@ -142,7 +147,12 @@ impl Network {
     }
 
     /// Draws one probe RTT sample (1 KB message).
-    pub fn sample_rtt<R: Rng + ?Sized>(&self, src: InstanceId, dst: InstanceId, rng: &mut R) -> f64 {
+    pub fn sample_rtt<R: Rng + ?Sized>(
+        &self,
+        src: InstanceId,
+        dst: InstanceId,
+        rng: &mut R,
+    ) -> f64 {
         self.model.sample_rtt(src, dst, rng)
     }
 

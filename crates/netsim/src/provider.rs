@@ -62,7 +62,12 @@ impl Provider {
     pub fn ec2_like() -> Self {
         Self {
             kind: ProviderKind::Ec2,
-            topology: TopologyConfig { pods: 8, racks_per_pod: 12, hosts_per_rack: 20, slots_per_host: 4 },
+            topology: TopologyConfig {
+                pods: 8,
+                racks_per_pod: 12,
+                hosts_per_rack: 20,
+                slots_per_host: 4,
+            },
             occupancy_rate: 0.78,
             burst_continue: 0.65,
             latency: LatencyParams {
@@ -87,7 +92,12 @@ impl Provider {
     pub fn gce_like() -> Self {
         Self {
             kind: ProviderKind::Gce,
-            topology: TopologyConfig { pods: 6, racks_per_pod: 10, hosts_per_rack: 24, slots_per_host: 4 },
+            topology: TopologyConfig {
+                pods: 6,
+                racks_per_pod: 10,
+                hosts_per_rack: 24,
+                slots_per_host: 4,
+            },
             occupancy_rate: 0.72,
             burst_continue: 0.55,
             latency: LatencyParams {
@@ -112,7 +122,12 @@ impl Provider {
     pub fn rackspace_like() -> Self {
         Self {
             kind: ProviderKind::Rackspace,
-            topology: TopologyConfig { pods: 4, racks_per_pod: 10, hosts_per_rack: 16, slots_per_host: 4 },
+            topology: TopologyConfig {
+                pods: 4,
+                racks_per_pod: 10,
+                hosts_per_rack: 16,
+                slots_per_host: 4,
+            },
             occupancy_rate: 0.68,
             burst_continue: 0.6,
             latency: LatencyParams {
@@ -138,7 +153,12 @@ impl Provider {
     pub fn test_quiet() -> Self {
         Self {
             kind: ProviderKind::Ec2,
-            topology: TopologyConfig { pods: 2, racks_per_pod: 3, hosts_per_rack: 6, slots_per_host: 2 },
+            topology: TopologyConfig {
+                pods: 2,
+                racks_per_pod: 3,
+                hosts_per_rack: 6,
+                slots_per_host: 2,
+            },
             occupancy_rate: 0.3,
             burst_continue: 0.5,
             latency: LatencyParams {
@@ -166,7 +186,12 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for p in [Provider::ec2_like(), Provider::gce_like(), Provider::rackspace_like(), Provider::test_quiet()] {
+        for p in [
+            Provider::ec2_like(),
+            Provider::gce_like(),
+            Provider::rackspace_like(),
+            Provider::test_quiet(),
+        ] {
             p.latency.validate().unwrap();
             p.topology.validate().unwrap();
             assert!((0.0..=1.0).contains(&p.occupancy_rate));

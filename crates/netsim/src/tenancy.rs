@@ -219,15 +219,13 @@ impl Allocation {
 }
 
 fn rack_has_free(topology: &Topology, occupancy: &Occupancy, rack: usize) -> bool {
-    topology
-        .hosts_in_rack(crate::ids::RackId::from_index(rack))
-        .any(|h| occupancy.free_on(h) > 0)
+    topology.hosts_in_rack(crate::ids::RackId::from_index(rack)).any(|h| occupancy.free_on(h) > 0)
 }
 
 fn pick_rack_with_free<R: Rng + ?Sized>(
     topology: &Topology,
     occupancy: &Occupancy,
-    rack_order: &mut Vec<usize>,
+    rack_order: &mut [usize],
     rng: &mut R,
 ) -> Option<usize> {
     rack_order.shuffle(rng);
@@ -254,7 +252,12 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn topo() -> Topology {
-        Topology::new(TopologyConfig { pods: 4, racks_per_pod: 6, hosts_per_rack: 10, slots_per_host: 4 })
+        Topology::new(TopologyConfig {
+            pods: 4,
+            racks_per_pod: 6,
+            hosts_per_rack: 10,
+            slots_per_host: 4,
+        })
     }
 
     #[test]
@@ -289,7 +292,12 @@ mod tests {
 
     #[test]
     fn scatter_fails_when_capacity_exhausted() {
-        let t = Topology::new(TopologyConfig { pods: 1, racks_per_pod: 1, hosts_per_rack: 2, slots_per_host: 2 });
+        let t = Topology::new(TopologyConfig {
+            pods: 1,
+            racks_per_pod: 1,
+            hosts_per_rack: 2,
+            slots_per_host: 2,
+        });
         let mut rng = StdRng::seed_from_u64(3);
         let mut occ = Occupancy::empty(&t);
         assert!(Allocation::scatter(&t, &mut occ, 5, 0.5, &mut rng).is_none());
@@ -367,7 +375,12 @@ mod tests {
 
     #[test]
     fn placement_group_respects_pod_capacity() {
-        let t = Topology::new(TopologyConfig { pods: 2, racks_per_pod: 1, hosts_per_rack: 2, slots_per_host: 2 });
+        let t = Topology::new(TopologyConfig {
+            pods: 2,
+            racks_per_pod: 1,
+            hosts_per_rack: 2,
+            slots_per_host: 2,
+        });
         let mut occ = Occupancy::empty(&t);
         // Each pod holds 4 slots; a 5-instance group cannot fit.
         assert!(Allocation::placement_group(&t, &mut occ, 5).is_none());

@@ -165,7 +165,12 @@ mod tests {
     use super::*;
 
     fn small() -> Topology {
-        Topology::new(TopologyConfig { pods: 2, racks_per_pod: 3, hosts_per_rack: 4, slots_per_host: 2 })
+        Topology::new(TopologyConfig {
+            pods: 2,
+            racks_per_pod: 3,
+            hosts_per_rack: 4,
+            slots_per_host: 2,
+        })
     }
 
     #[test]
@@ -217,10 +222,11 @@ mod tests {
 
     #[test]
     fn switch_hops_monotone_in_locality() {
-        let hops: Vec<u32> = [Locality::SameHost, Locality::SameRack, Locality::SamePod, Locality::CrossPod]
-            .iter()
-            .map(|l| l.switch_hops())
-            .collect();
+        let hops: Vec<u32> =
+            [Locality::SameHost, Locality::SameRack, Locality::SamePod, Locality::CrossPod]
+                .iter()
+                .map(|l| l.switch_hops())
+                .collect();
         assert!(hops.windows(2).all(|w| w[0] < w[1]), "{hops:?}");
     }
 

@@ -1,16 +1,21 @@
 //! Property-based tests for the network simulator substrate.
 
 use cloudia_netsim::{
-    Allocation, Cloud, Engine, HostId, InstanceId, LatencyModel, MessageSpec, NicParams,
-    Occupancy, Provider, Topology, TopologyConfig,
+    Allocation, Cloud, Engine, HostId, InstanceId, LatencyModel, MessageSpec, NicParams, Occupancy,
+    Provider, Topology, TopologyConfig,
 };
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 
 fn config_strategy() -> impl Strategy<Value = TopologyConfig> {
-    (1u32..5, 1u32..6, 1u32..8, 1u32..4).prop_map(|(pods, racks_per_pod, hosts_per_rack, slots_per_host)| {
-        TopologyConfig { pods, racks_per_pod, hosts_per_rack, slots_per_host }
-    })
+    (1u32..5, 1u32..6, 1u32..8, 1u32..4).prop_map(
+        |(pods, racks_per_pod, hosts_per_rack, slots_per_host)| TopologyConfig {
+            pods,
+            racks_per_pod,
+            hosts_per_rack,
+            slots_per_host,
+        },
+    )
 }
 
 proptest! {

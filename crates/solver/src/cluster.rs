@@ -43,7 +43,7 @@ impl CostClusters {
         let mut values: Vec<f64> = Vec::new();
         let mut weights: Vec<f64> = Vec::new();
         for &v in &rounded {
-            if values.last().is_some_and(|&last| (last - v) as f64 == 0.0) {
+            if values.last().is_some_and(|&last| (last - v) == 0.0) {
                 *weights.last_mut().unwrap() += 1.0;
             } else {
                 values.push(v);
@@ -137,10 +137,7 @@ impl CostClusters {
     /// closest end).
     pub fn round(&self, cost: f64) -> f64 {
         // Binary search the distinct values for the insertion point.
-        let idx = match self
-            .values
-            .binary_search_by(|v| v.partial_cmp(&cost).unwrap())
-        {
+        let idx = match self.values.binary_search_by(|v| v.partial_cmp(&cost).unwrap()) {
             Ok(i) => i,
             Err(0) => 0,
             Err(i) if i >= self.values.len() => self.values.len() - 1,
@@ -158,11 +155,7 @@ impl CostClusters {
 
     /// Total within-cluster sum of squared errors for the input values.
     pub fn within_sse(&self) -> f64 {
-        self.values
-            .iter()
-            .zip(&self.assignment)
-            .map(|(&v, &a)| (v - self.means[a]).powi(2))
-            .sum()
+        self.values.iter().zip(&self.assignment).map(|(&v, &a)| (v - self.means[a]).powi(2)).sum()
     }
 }
 

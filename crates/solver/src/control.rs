@@ -1,0 +1,201 @@
+//! Cross-thread search coordination: a shared incumbent plus cancellation.
+//!
+//! [`SearchControl`] is the communication backbone of the parallel solver
+//! portfolio ([`crate::portfolio`]): every worker publishes improvements
+//! through [`SearchControl::offer`], reads the best-known bound with a
+//! single lock-free atomic load ([`SearchControl::bound`]), and polls
+//! [`SearchControl::is_cancelled`] in its hot loop so the whole portfolio
+//! stops the moment one prover declares optimality.
+//!
+//! The incumbent *cost* lives in an `AtomicU64` holding the `f64` bit
+//! pattern — for non-negative floats the unsigned bit-pattern order equals
+//! the numeric order, so a compare-and-swap min loop needs no lock. The
+//! incumbent *deployment* and the merged convergence curve live behind a
+//! `parking_lot::Mutex`, touched only on actual improvements (rare) and
+//! re-validated under the lock so racing offers cannot pair a stale
+//! deployment with a better cost.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+struct ControlState {
+    best: Option<Vec<u32>>,
+    best_cost: f64,
+    curve: Vec<(f64, f64)>,
+}
+
+/// Shared state coordinating concurrent solver workers.
+pub struct SearchControl {
+    start: Instant,
+    bound_bits: AtomicU64,
+    cancelled: AtomicBool,
+    state: Mutex<ControlState>,
+}
+
+impl Default for SearchControl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SearchControl {
+    /// A fresh control with no incumbent, clocked from `Instant::now()`.
+    pub fn new() -> Self {
+        Self::with_start(Instant::now())
+    }
+
+    /// A fresh control clocked from an explicit start instant (so curve
+    /// timestamps of all workers share one origin).
+    pub fn with_start(start: Instant) -> Self {
+        Self {
+            start,
+            bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            cancelled: AtomicBool::new(false),
+            state: Mutex::new(ControlState {
+                best: None,
+                best_cost: f64::INFINITY,
+                curve: Vec::new(),
+            }),
+        }
+    }
+
+    /// Seconds since the control's start instant.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// The best-known cost bound (`f64::INFINITY` before any offer) — one
+    /// atomic load, safe to call in hot loops.
+    #[inline]
+    pub fn bound(&self) -> f64 {
+        f64::from_bits(self.bound_bits.load(Ordering::Acquire))
+    }
+
+    /// Publishes a candidate deployment. Returns `true` if it improved the
+    /// incumbent (and was recorded on the merged curve).
+    pub fn offer(&self, deployment: &[u32], cost: f64) -> bool {
+        debug_assert!(cost >= 0.0 && !cost.is_nan(), "cost {cost} not orderable via bits");
+        // Lock-free fast path: reject anything not beating the bound.
+        let mut cur = self.bound_bits.load(Ordering::Acquire);
+        loop {
+            if cost.to_bits() >= cur {
+                return false;
+            }
+            match self.bound_bits.compare_exchange_weak(
+                cur,
+                cost.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        // Slow path under the lock; re-check so interleaved winners keep
+        // the deployment and the curve consistent.
+        let mut s = self.state.lock();
+        if cost < s.best_cost {
+            s.best_cost = cost;
+            s.best = Some(deployment.to_vec());
+            let t = self.elapsed();
+            s.curve.push((t, cost));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The current incumbent deployment and its cost, if any worker has
+    /// offered one.
+    pub fn best(&self) -> Option<(Vec<u32>, f64)> {
+        let s = self.state.lock();
+        s.best.as_ref().map(|d| (d.clone(), s.best_cost))
+    }
+
+    /// The merged anytime convergence curve (strictly decreasing in cost).
+    pub fn curve(&self) -> Vec<(f64, f64)> {
+        self.state.lock().curve.clone()
+    }
+
+    /// Requests that all workers stop at their next poll.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`SearchControl::cancel`] has been called.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for SearchControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchControl")
+            .field("bound", &self.bound())
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offers_keep_the_minimum() {
+        let c = SearchControl::new();
+        assert_eq!(c.bound(), f64::INFINITY);
+        assert!(c.offer(&[0, 1], 5.0));
+        assert!(!c.offer(&[1, 0], 6.0), "worse offer must be rejected");
+        assert!(c.offer(&[2, 3], 4.0));
+        let (d, cost) = c.best().unwrap();
+        assert_eq!(d, vec![2, 3]);
+        assert_eq!(cost, 4.0);
+        assert_eq!(c.bound(), 4.0);
+    }
+
+    #[test]
+    fn curve_is_strictly_decreasing() {
+        let c = SearchControl::new();
+        for cost in [9.0, 7.0, 8.0, 3.0, 3.0, 1.0] {
+            c.offer(&[0], cost);
+        }
+        let curve = c.curve();
+        let costs: Vec<f64> = curve.iter().map(|&(_, v)| v).collect();
+        assert_eq!(costs, vec![9.0, 7.0, 3.0, 1.0]);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0), "timestamps ordered");
+    }
+
+    #[test]
+    fn cancellation_flag_round_trips() {
+        let c = SearchControl::new();
+        assert!(!c.is_cancelled());
+        c.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn concurrent_offers_never_pair_stale_deployment_with_better_bound() {
+        let c = SearchControl::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in (0..500u32).rev() {
+                        let cost = (i * 4 + t) as f64;
+                        c.offer(&[t, i], cost);
+                    }
+                });
+            }
+        });
+        let (d, cost) = c.best().unwrap();
+        assert_eq!(cost, 0.0, "global minimum must win");
+        assert_eq!(d, vec![0, 0], "deployment must match the winning offer (thread 0, i 0)");
+        assert_eq!(c.bound(), 0.0);
+        let curve = c.curve();
+        assert!(curve.windows(2).all(|w| w[1].1 < w[0].1), "curve strictly decreasing");
+    }
+}

@@ -21,14 +21,46 @@
 //!   (the degree-labeling idea of Zampelli et al. cited by the paper);
 //! * variable order is dynamic most-constrained-first (smallest domain,
 //!   ties broken by higher pattern degree).
+//!
+//! ## Propagation stores
+//!
+//! Two interchangeable propagation backends explore the *identical* search
+//! tree:
+//!
+//! * [`Propagation::Trail`] (default) mutates one flat domain array in
+//!   place and records overwritten words on an undo trail, restoring them
+//!   on backtrack — zero allocation per search node;
+//! * [`Propagation::CloneDomains`] clones every domain bitset at every
+//!   branch (the original implementation, kept for the ablation benchmark
+//!   and as a differential-testing oracle).
+//!
+//! ## Cooperation
+//!
+//! [`solve_llndp_cp_with`] accepts a [`SearchControl`]: the solver adopts a
+//! better external incumbent between threshold iterations (cross-thread
+//! bound injection), publishes its own improvements, and polls for
+//! cancellation inside the search hot loop — the hooks the parallel
+//! [`crate::portfolio`] runtime is built on.
 
 use std::time::Instant;
 
 use rand::{rngs::StdRng, SeedableRng};
 
 use crate::cluster::CostClusters;
+use crate::control::SearchControl;
 use crate::outcome::{Budget, SolveOutcome};
 use crate::problem::{Costs, NodeDeployment};
+
+/// Which propagation backend the SIP search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Propagation {
+    /// In-place domains with an undo trail (fast path, default).
+    #[default]
+    Trail,
+    /// Copy-domains-per-node (the original implementation; ~O(n·m/64)
+    /// allocation per node, kept for ablation and differential testing).
+    CloneDomains,
+}
 
 /// Configuration of the CP driver.
 #[derive(Debug, Clone)]
@@ -49,6 +81,8 @@ pub struct CpConfig {
     /// Enable degree-compatibility domain pre-filtering (the Zampelli-style
     /// labeling). On by default; exposed for the ablation benchmark.
     pub degree_filter: bool,
+    /// Propagation backend (trail-based by default).
+    pub propagation: Propagation,
 }
 
 impl Default for CpConfig {
@@ -61,6 +95,7 @@ impl Default for CpConfig {
             bootstrap_samples: 10,
             initial: None,
             degree_filter: true,
+            propagation: Propagation::Trail,
         }
     }
 }
@@ -75,6 +110,18 @@ enum Sip {
 /// Solves the Longest Link Node Deployment Problem with the iterated-SIP
 /// CP approach.
 pub fn solve_llndp_cp(problem: &NodeDeployment, config: &CpConfig) -> SolveOutcome {
+    solve_llndp_cp_with(problem, config, &SearchControl::new())
+}
+
+/// Like [`solve_llndp_cp`], cooperating with other workers through
+/// `control`: adopts a better shared incumbent between threshold
+/// iterations, publishes its own improvements, and stops early when
+/// cancelled.
+pub fn solve_llndp_cp_with(
+    problem: &NodeDeployment,
+    config: &CpConfig,
+    control: &SearchControl,
+) -> SolveOutcome {
     let start = Instant::now();
     let deadline = config.budget.time_limit_s;
 
@@ -106,7 +153,14 @@ pub fn solve_llndp_cp(problem: &NodeDeployment, config: &CpConfig) -> SolveOutco
         best.expect("bootstrap_samples >= 1").0
     });
     let mut incumbent_search_cost = search_problem.longest_link(&incumbent);
-    let mut curve = vec![(start.elapsed().as_secs_f64(), problem.longest_link(&incumbent))];
+    // The *returned* solution is tracked by original cost separately from
+    // the search incumbent: under cost rounding, an adopted or newly found
+    // deployment can have a lower rounded cost but a higher original cost,
+    // and the solver must never return worse than the best it ever held.
+    let mut result = incumbent.clone();
+    let mut result_cost = problem.longest_link(&incumbent);
+    let mut curve = vec![(start.elapsed().as_secs_f64(), result_cost)];
+    control.offer(&result, result_cost);
 
     // Distinct search-cost values, ascending.
     let mut distinct: Vec<f64> = search_problem.costs.off_diagonal();
@@ -117,6 +171,31 @@ pub fn solve_llndp_cp(problem: &NodeDeployment, config: &CpConfig) -> SolveOutco
     let mut proven_optimal = problem.edges.is_empty();
 
     loop {
+        // Cross-thread incumbent injection: adopt a better shared
+        // deployment (compared on the rounded search costs) before picking
+        // the next threshold. The lock-free bound read rejects the common
+        // no-news case before touching the control's mutex.
+        if control.bound() < result_cost {
+            if let Some((d, _)) = control.best() {
+                if d != incumbent && problem.is_valid(&d) {
+                    let c = search_problem.longest_link(&d);
+                    let orig = problem.longest_link(&d);
+                    // Tighten the threshold bound; `incumbent` itself is
+                    // only rewritten on a SAT result, which is the sole
+                    // path that continues the loop.
+                    incumbent_search_cost = incumbent_search_cost.min(c);
+                    if orig < result_cost {
+                        result = d;
+                        result_cost = orig;
+                        curve.push((start.elapsed().as_secs_f64(), orig));
+                    }
+                }
+            }
+        }
+        if control.is_cancelled() {
+            break;
+        }
+
         // Next threshold: largest distinct value strictly below the
         // incumbent's cost.
         let idx = distinct.partition_point(|&v| v < incumbent_search_cost);
@@ -133,15 +212,27 @@ pub fn solve_llndp_cp(problem: &NodeDeployment, config: &CpConfig) -> SolveOutco
         }
 
         let mut sip = SipSearch::new(&search_problem, threshold);
-        let result =
-            sip.solve(config.degree_filter, start, deadline, config.budget.node_limit - explored);
+        let sip_result = sip.solve(
+            config.propagation,
+            config.degree_filter,
+            start,
+            deadline,
+            config.budget.node_limit - explored,
+            control,
+        );
         explored += sip.nodes;
-        match result {
+        match sip_result {
             Sip::Sat(d) => {
                 incumbent_search_cost = search_problem.longest_link(&d);
                 debug_assert!(incumbent_search_cost <= threshold + 1e-12);
                 incumbent = d;
-                curve.push((start.elapsed().as_secs_f64(), problem.longest_link(&incumbent)));
+                let orig = problem.longest_link(&incumbent);
+                if orig < result_cost {
+                    result = incumbent.clone();
+                    result_cost = orig;
+                    curve.push((start.elapsed().as_secs_f64(), orig));
+                    control.offer(&result, orig);
+                }
             }
             Sip::Unsat => {
                 proven_optimal = true;
@@ -151,8 +242,8 @@ pub fn solve_llndp_cp(problem: &NodeDeployment, config: &CpConfig) -> SolveOutco
         }
     }
 
-    let cost = problem.longest_link(&incumbent);
-    SolveOutcome { deployment: incumbent, cost, curve, proven_optimal, explored }
+    control.offer(&result, result_cost);
+    SolveOutcome { deployment: result, cost: result_cost, curve, proven_optimal, explored }
 }
 
 /// One subgraph-isomorphism satisfaction search at a fixed threshold.
@@ -169,6 +260,50 @@ struct SipSearch {
     /// Static value order (instances by descending good-degree).
     value_order: Vec<u32>,
     nodes: u64,
+}
+
+/// Mutable search state of the trail-based backend: one flat domain array
+/// plus the undo trail. A trail entry is `(slot, old_word)` where
+/// `slot = var * words + word_index`; undoing restores absolute values in
+/// reverse order, so repeated writes to one slot round-trip correctly.
+struct TrailState {
+    words: usize,
+    domains: Vec<u64>,
+    sizes: Vec<u32>,
+    trail: Vec<(u32, u64)>,
+    assignment: Vec<Option<u32>>,
+}
+
+impl TrailState {
+    #[inline]
+    fn slot(&self, v: usize, w: usize) -> usize {
+        v * self.words + w
+    }
+
+    /// Overwrites one domain word, recording the old value on the trail and
+    /// keeping the cached domain size in sync.
+    #[inline]
+    fn write(&mut self, v: usize, w: usize, new: u64) {
+        let slot = self.slot(v, w);
+        let old = self.domains[slot];
+        if old != new {
+            self.trail.push((slot as u32, old));
+            self.domains[slot] = new;
+            self.sizes[v] = self.sizes[v] + new.count_ones() - old.count_ones();
+        }
+    }
+
+    /// Rolls the domains back to a trail mark.
+    fn undo(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let (slot, old) = self.trail.pop().expect("len > mark");
+            let slot = slot as usize;
+            let cur = self.domains[slot];
+            self.domains[slot] = old;
+            let v = slot / self.words;
+            self.sizes[v] = self.sizes[v] + old.count_ones() - cur.count_ones();
+        }
+    }
 }
 
 impl SipSearch {
@@ -205,16 +340,11 @@ impl SipSearch {
         Self { n, m, words, out_adj, in_adj, row_out, row_in, value_order, nodes: 0 }
     }
 
-    fn solve(
-        &mut self,
-        degree_filter: bool,
-        start: Instant,
-        deadline_s: f64,
-        node_limit: u64,
-    ) -> Sip {
-        // Initial domains, optionally pre-filtered by degree compatibility.
+    /// Initial domains, optionally pre-filtered by degree compatibility;
+    /// `None` means some variable has an empty domain (immediate UNSAT).
+    fn initial_domains(&self, degree_filter: bool) -> Option<Vec<Vec<u64>>> {
         let mut domains = vec![vec![0u64; self.words]; self.n];
-        for v in 0..self.n {
+        for (v, dom) in domains.iter_mut().enumerate() {
             let need_out = self.out_adj[v].len() as u32;
             let need_in = self.in_adj[v].len() as u32;
             for j in 0..self.m {
@@ -226,27 +356,225 @@ impl SipSearch {
                     true
                 };
                 if compatible {
-                    domains[v][j / 64] |= 1u64 << (j % 64);
+                    dom[j / 64] |= 1u64 << (j % 64);
                 }
             }
-            if bitset_count(&domains[v]) == 0 {
-                return Sip::Unsat;
+            if bitset_count(dom) == 0 {
+                return None;
             }
         }
-        let mut assignment: Vec<Option<u32>> = vec![None; self.n];
+        Some(domains)
+    }
+
+    fn solve(
+        &mut self,
+        propagation: Propagation,
+        degree_filter: bool,
+        start: Instant,
+        deadline_s: f64,
+        node_limit: u64,
+        control: &SearchControl,
+    ) -> Sip {
+        let Some(domains) = self.initial_domains(degree_filter) else { return Sip::Unsat };
         let order = self.value_order.clone();
-        match self.search(&order, &mut domains, &mut assignment, start, deadline_s, node_limit) {
-            Some(true) => {
-                Sip::Sat(assignment.into_iter().map(|a| a.expect("complete assignment")).collect())
+        match propagation {
+            Propagation::Trail => {
+                let sizes: Vec<u32> = domains.iter().map(|d| bitset_count(d)).collect();
+                let mut st = TrailState {
+                    words: self.words,
+                    domains: domains.concat(),
+                    sizes,
+                    trail: Vec::with_capacity(4 * self.n * self.words),
+                    assignment: vec![None; self.n],
+                };
+                match self.search_trail(&order, &mut st, start, deadline_s, node_limit, control) {
+                    Some(true) => Sip::Sat(
+                        st.assignment
+                            .into_iter()
+                            .map(|a| a.expect("complete assignment"))
+                            .collect(),
+                    ),
+                    Some(false) => Sip::Unsat,
+                    None => Sip::Timeout,
+                }
             }
-            Some(false) => Sip::Unsat,
-            None => Sip::Timeout,
+            Propagation::CloneDomains => {
+                let mut domains = domains;
+                let mut assignment: Vec<Option<u32>> = vec![None; self.n];
+                match self.search_clone(
+                    &order,
+                    &mut domains,
+                    &mut assignment,
+                    start,
+                    deadline_s,
+                    node_limit,
+                    control,
+                ) {
+                    Some(true) => Sip::Sat(
+                        assignment.into_iter().map(|a| a.expect("complete assignment")).collect(),
+                    ),
+                    Some(false) => Sip::Unsat,
+                    None => Sip::Timeout,
+                }
+            }
         }
     }
 
-    /// Returns Some(true) on SAT (assignment filled in), Some(false) on
-    /// UNSAT, None on timeout.
-    fn search(
+    /// Shared per-node bookkeeping: counts the node and polls the budget
+    /// and the cancellation flag. Returns `false` if the search must stop.
+    #[inline]
+    fn enter_node(
+        &mut self,
+        start: Instant,
+        deadline_s: f64,
+        node_limit: u64,
+        control: &SearchControl,
+    ) -> bool {
+        self.nodes += 1;
+        if self.nodes >= node_limit {
+            return false;
+        }
+        if self.nodes.is_multiple_of(256)
+            && (control.is_cancelled() || start.elapsed().as_secs_f64() >= deadline_s)
+        {
+            return false;
+        }
+        true
+    }
+
+    /// Most-constrained unassigned variable: smallest domain, ties broken
+    /// by higher pattern degree. `None` when all are assigned.
+    fn pick_var(&self, sizes: impl Fn(usize) -> u32, assignment: &[Option<u32>]) -> Option<usize> {
+        let mut pick: Option<(usize, u32)> = None;
+        for v in 0..self.n {
+            if assignment[v].is_some() {
+                continue;
+            }
+            let size = sizes(v);
+            let better = match pick {
+                None => true,
+                Some((pv, ps)) => {
+                    size < ps || (size == ps && self.pattern_degree(v) > self.pattern_degree(pv))
+                }
+            };
+            if better {
+                pick = Some((v, size));
+            }
+        }
+        pick.map(|(v, _)| v)
+    }
+
+    /// Trail-based search. Returns Some(true) on SAT (assignment filled
+    /// in), Some(false) on UNSAT, None on timeout/cancellation.
+    fn search_trail(
+        &mut self,
+        order: &[u32],
+        st: &mut TrailState,
+        start: Instant,
+        deadline_s: f64,
+        node_limit: u64,
+        control: &SearchControl,
+    ) -> Option<bool> {
+        let Some(v) = self.pick_var(|v| st.sizes[v], &st.assignment) else {
+            return Some(true); // all assigned
+        };
+        if !self.enter_node(start, deadline_s, node_limit, control) {
+            return None;
+        }
+
+        for &j in order {
+            let (w, bit) = (j as usize / 64, 1u64 << (j % 64));
+            if st.domains[st.slot(v, w)] & bit == 0 {
+                continue;
+            }
+            let mark = st.trail.len();
+            if self.propagate_trail(st, v, j) {
+                st.assignment[v] = Some(j);
+                match self.search_trail(order, st, start, deadline_s, node_limit, control) {
+                    Some(true) => return Some(true),
+                    Some(false) => {
+                        st.assignment[v] = None;
+                        st.undo(mark);
+                    }
+                    None => return None,
+                }
+            } else {
+                st.undo(mark);
+            }
+        }
+        Some(false)
+    }
+
+    /// Applies the consequences of assigning instance `j` to node `v` on
+    /// the trail: alldifferent, domain fixing, and adjacency forward
+    /// checking. Returns `false` on a detected wipeout (caller undoes).
+    fn propagate_trail(&self, st: &mut TrailState, v: usize, j: u32) -> bool {
+        let (jw, jbit) = (j as usize / 64, 1u64 << (j % 64));
+        // alldifferent: j is taken.
+        for u in 0..self.n {
+            if u != v && st.assignment[u].is_none() {
+                let cur = st.domains[st.slot(u, jw)];
+                if cur & jbit != 0 {
+                    st.write(u, jw, cur & !jbit);
+                }
+            }
+        }
+        // Fix v's domain to {j}.
+        for w in 0..self.words {
+            let desired = if w == jw { jbit } else { 0 };
+            st.write(v, w, desired);
+        }
+        // Adjacency forward checking.
+        for &u in &self.out_adj[v] {
+            match st.assignment[u] {
+                None => {
+                    if !self.intersect_row(st, u, &self.row_out[j as usize]) {
+                        return false;
+                    }
+                }
+                Some(a) => {
+                    if !bit_test(&self.row_out[j as usize], a) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for &u in &self.in_adj[v] {
+            match st.assignment[u] {
+                None => {
+                    if !self.intersect_row(st, u, &self.row_in[j as usize]) {
+                        return false;
+                    }
+                }
+                Some(a) => {
+                    if !bit_test(&self.row_in[j as usize], a) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Intersects `u`'s domain with an adjacency row on the trail; `false`
+    /// if the domain wiped out.
+    #[inline]
+    fn intersect_row(&self, st: &mut TrailState, u: usize, row: &[u64]) -> bool {
+        for (w, &rw) in row.iter().enumerate() {
+            let cur = st.domains[st.slot(u, w)];
+            let next = cur & rw;
+            if next != cur {
+                st.write(u, w, next);
+            }
+        }
+        st.sizes[u] != 0
+    }
+
+    /// Copy-domains-per-node search (the original implementation). Returns
+    /// Some(true) on SAT (assignment filled in), Some(false) on UNSAT,
+    /// None on timeout/cancellation.
+    #[allow(clippy::too_many_arguments)]
+    fn search_clone(
         &mut self,
         order: &[u32],
         domains: &mut [Vec<u64>],
@@ -254,33 +582,12 @@ impl SipSearch {
         start: Instant,
         deadline_s: f64,
         node_limit: u64,
+        control: &SearchControl,
     ) -> Option<bool> {
-        // Pick the most constrained unassigned variable.
-        let mut pick: Option<(usize, u32)> = None; // (var, domain size)
-        for v in 0..self.n {
-            if assignment[v].is_some() {
-                continue;
-            }
-            let size = bitset_count(&domains[v]);
-            let better = match pick {
-                None => true,
-                Some((pv, ps)) => {
-                    size < ps
-                        || (size == ps
-                            && self.pattern_degree(v) > self.pattern_degree(pv))
-                }
-            };
-            if better {
-                pick = Some((v, size));
-            }
-        }
-        let Some((v, _)) = pick else { return Some(true) }; // all assigned
-
-        self.nodes += 1;
-        if self.nodes >= node_limit {
-            return None;
-        }
-        if self.nodes % 256 == 0 && start.elapsed().as_secs_f64() >= deadline_s {
+        let Some(v) = self.pick_var(|v| bitset_count(&domains[v]), assignment) else {
+            return Some(true); // all assigned
+        };
+        if !self.enter_node(start, deadline_s, node_limit, control) {
             return None;
         }
 
@@ -330,7 +637,9 @@ impl SipSearch {
             }
             if ok {
                 assignment[v] = Some(j);
-                match self.search(order, &mut next, assignment, start, deadline_s, node_limit) {
+                match self.search_clone(
+                    order, &mut next, assignment, start, deadline_s, node_limit, control,
+                ) {
                     Some(true) => return Some(true),
                     Some(false) => {
                         assignment[v] = None;
@@ -398,7 +707,12 @@ mod tests {
 
     /// Brute-force optimum by permutation enumeration (tiny sizes only).
     fn brute_force(problem: &NodeDeployment) -> f64 {
-        fn rec(problem: &NodeDeployment, partial: &mut Vec<u32>, used: &mut Vec<bool>, best: &mut f64) {
+        fn rec(
+            problem: &NodeDeployment,
+            partial: &mut Vec<u32>,
+            used: &mut Vec<bool>,
+            best: &mut f64,
+        ) {
             if partial.len() == problem.num_nodes {
                 *best = best.min(problem.longest_link(partial));
                 return;
@@ -419,13 +733,19 @@ mod tests {
     }
 
     fn exact_config() -> CpConfig {
-        CpConfig { clusters: None, quantum: 0.0, budget: Budget::seconds(30.0), ..Default::default() }
+        CpConfig {
+            clusters: None,
+            quantum: 0.0,
+            budget: Budget::seconds(30.0),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn cp_finds_optimum_on_small_instances() {
         for seed in 0..5 {
-            let p = NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], random_costs(7, seed));
+            let p =
+                NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], random_costs(7, seed));
             let out = solve_llndp_cp(&p, &exact_config());
             let opt = brute_force(&p);
             assert!(p.is_valid(&out.deployment));
@@ -448,7 +768,12 @@ mod tests {
         let exact = solve_llndp_cp(&p, &exact_config());
         let k5 = solve_llndp_cp(
             &p,
-            &CpConfig { clusters: Some(5), quantum: 0.0, budget: Budget::seconds(30.0), ..Default::default() },
+            &CpConfig {
+                clusters: Some(5),
+                quantum: 0.0,
+                budget: Budget::seconds(30.0),
+                ..Default::default()
+            },
         );
         // Coarse clustering can only be as good or worse.
         assert!(k5.cost >= exact.cost - 1e-9, "k5 {} exact {}", k5.cost, exact.cost);
@@ -465,20 +790,15 @@ mod tests {
     fn respects_initial_solution() {
         let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], random_costs(6, 6));
         let init = p.default_deployment();
-        let out = solve_llndp_cp(
-            &p,
-            &CpConfig { initial: Some(init.clone()), ..exact_config() },
-        );
+        let out = solve_llndp_cp(&p, &CpConfig { initial: Some(init.clone()), ..exact_config() });
         assert!(out.cost <= p.longest_link(&init));
     }
 
     #[test]
     fn timeout_returns_incumbent() {
         let p = NodeDeployment::new(20, grid_edges(4, 5), random_costs(24, 7));
-        let out = solve_llndp_cp(
-            &p,
-            &CpConfig { budget: Budget::seconds(0.0), ..Default::default() },
-        );
+        let out =
+            solve_llndp_cp(&p, &CpConfig { budget: Budget::seconds(0.0), ..Default::default() });
         assert!(p.is_valid(&out.deployment));
         assert!(!out.proven_optimal);
     }
@@ -488,7 +808,12 @@ mod tests {
         let p = NodeDeployment::new(16, grid_edges(4, 4), random_costs(20, 8));
         let out = solve_llndp_cp(
             &p,
-            &CpConfig { budget: Budget::nodes(50), clusters: None, quantum: 0.0, ..Default::default() },
+            &CpConfig {
+                budget: Budget::nodes(50),
+                clusters: None,
+                quantum: 0.0,
+                ..Default::default()
+            },
         );
         assert!(out.explored <= 60, "explored {}", out.explored);
     }
@@ -500,8 +825,7 @@ mod tests {
         for seed in 0..3 {
             let p = NodeDeployment::new(6, grid_edges(2, 3), random_costs(8, seed + 50));
             let with = solve_llndp_cp(&p, &exact_config());
-            let without =
-                solve_llndp_cp(&p, &CpConfig { degree_filter: false, ..exact_config() });
+            let without = solve_llndp_cp(&p, &CpConfig { degree_filter: false, ..exact_config() });
             assert!(with.proven_optimal && without.proven_optimal, "seed {seed}");
             assert!(
                 (with.cost - without.cost).abs() < 1e-9,
@@ -533,5 +857,55 @@ mod tests {
         // Must beat the bootstrap by a decent margin on random costs.
         let first = out.curve.first().unwrap().1;
         assert!(out.cost < first, "no improvement over bootstrap: {first} -> {}", out.cost);
+    }
+
+    #[test]
+    fn trail_and_clone_backends_explore_the_same_tree() {
+        // Same optimum, same proof status, and the same node count — the
+        // trail is a pure representation change, not a heuristic change.
+        for seed in 0..6 {
+            let p = NodeDeployment::new(6, grid_edges(2, 3), random_costs(9, seed + 100));
+            let trail =
+                solve_llndp_cp(&p, &CpConfig { propagation: Propagation::Trail, ..exact_config() });
+            let clone = solve_llndp_cp(
+                &p,
+                &CpConfig { propagation: Propagation::CloneDomains, ..exact_config() },
+            );
+            assert_eq!(trail.deployment, clone.deployment, "seed {seed}");
+            assert_eq!(trail.explored, clone.explored, "seed {seed}");
+            assert!((trail.cost - clone.cost).abs() < 1e-12, "seed {seed}");
+            assert_eq!(trail.proven_optimal, clone.proven_optimal, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let p = NodeDeployment::new(20, grid_edges(4, 5), random_costs(24, 12));
+        let control = SearchControl::new();
+        control.cancel();
+        let out = solve_llndp_cp_with(
+            &p,
+            &CpConfig { clusters: None, quantum: 0.0, ..Default::default() },
+            &control,
+        );
+        // Cancelled before any threshold iteration: bootstrap incumbent,
+        // no optimality claim, (almost) no nodes explored.
+        assert!(p.is_valid(&out.deployment));
+        assert!(!out.proven_optimal);
+        assert_eq!(out.explored, 0);
+    }
+
+    #[test]
+    fn external_incumbent_is_adopted_between_iterations() {
+        let p = NodeDeployment::new(6, grid_edges(2, 3), random_costs(9, 13));
+        // Hand the control a pre-solved optimum; the CP run must end at
+        // least as good, and it must publish its own result back.
+        let opt = solve_llndp_cp(&p, &exact_config());
+        let control = SearchControl::new();
+        control.offer(&opt.deployment, opt.cost);
+        let out = solve_llndp_cp_with(&p, &exact_config(), &control);
+        assert!(out.cost <= opt.cost + 1e-12);
+        let (_, shared_cost) = control.best().expect("control retains an incumbent");
+        assert!((shared_cost - out.cost).abs() < 1e-12);
     }
 }

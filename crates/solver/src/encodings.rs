@@ -67,7 +67,12 @@ fn search_costs(problem: &NodeDeployment, config: &MipConfig) -> Costs {
     }
 }
 
-fn bootstrap(problem: &NodeDeployment, objective: Objective, config: &MipConfig, enc: &Costs) -> Vec<u32> {
+fn bootstrap(
+    problem: &NodeDeployment,
+    objective: Objective,
+    config: &MipConfig,
+    enc: &Costs,
+) -> Vec<u32> {
     let search = NodeDeployment::new(problem.num_nodes, problem.edges.clone(), enc.clone());
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut best: Option<(Vec<u32>, f64)> = None;
@@ -85,7 +90,10 @@ fn bootstrap(problem: &NodeDeployment, objective: Objective, config: &MipConfig,
     // usable incumbent immediately — CPLEX's internal heuristics play the
     // same role in the paper's runs (for LPNDP this is the §4.5.2
     // greedy-as-heuristic reuse).
-    consider(crate::greedy::solve_greedy(&search, crate::greedy::GreedyVariant::G2).deployment, &mut best);
+    consider(
+        crate::greedy::solve_greedy(&search, crate::greedy::GreedyVariant::G2).deployment,
+        &mut best,
+    );
     best.expect("at least one bootstrap sample").0
 }
 
@@ -107,9 +115,7 @@ fn assignment_rows(n: usize, m: usize) -> Vec<Constraint> {
 /// best free instance.
 fn round_assignment(x: &[f64], n: usize, m: usize) -> Vec<u32> {
     let mut order: Vec<usize> = (0..n).collect();
-    let strength = |i: usize| {
-        (0..m).map(|j| x[i * m + j]).fold(f64::NEG_INFINITY, f64::max)
-    };
+    let strength = |i: usize| (0..m).map(|j| x[i * m + j]).fold(f64::NEG_INFINITY, f64::max);
     order.sort_by(|&a, &b| strength(b).partial_cmp(&strength(a)).unwrap());
     let mut used = vec![false; m];
     let mut deployment = vec![u32::MAX; n];
@@ -368,7 +374,13 @@ mod tests {
             }
         }
         let mut best = f64::INFINITY;
-        rec(problem, objective, &mut Vec::new(), &mut vec![false; problem.num_instances()], &mut best);
+        rec(
+            problem,
+            objective,
+            &mut Vec::new(),
+            &mut vec![false; problem.num_instances()],
+            &mut best,
+        );
         best
     }
 
@@ -417,11 +429,8 @@ mod tests {
 
     #[test]
     fn mip_respects_time_budget() {
-        let p = NodeDeployment::new(
-            12,
-            (0..11u32).map(|i| (i, i + 1)).collect(),
-            random_costs(14, 4),
-        );
+        let p =
+            NodeDeployment::new(12, (0..11u32).map(|i| (i, i + 1)).collect(), random_costs(14, 4));
         let t = Instant::now();
         let out = solve_llndp_mip(&p, &exact_config(0.5));
         assert!(t.elapsed().as_secs_f64() < 15.0);

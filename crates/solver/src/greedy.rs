@@ -72,9 +72,7 @@ pub fn solve_greedy(problem: &NodeDeployment, variant: GreedyVariant) -> SolveOu
 
 /// True if no placed node has an unplaced neighbor (growth cannot proceed).
 fn frontier_exhausted(d: &[Option<u32>], adj: &[Vec<usize>]) -> bool {
-    !d.iter().enumerate().any(|(v, x)| {
-        x.is_some() && adj[v].iter().any(|&w| d[w].is_none())
-    })
+    !d.iter().enumerate().any(|(v, x)| x.is_some() && adj[v].iter().any(|&w| d[w].is_none()))
 }
 
 /// Places the first edge (or a lone node) of an untouched component on the
@@ -88,10 +86,8 @@ fn seed(
 ) {
     let m = problem.num_instances();
     // An unplaced edge of an untouched component, if any.
-    let edge = problem
-        .edges
-        .iter()
-        .find(|&&(a, b)| d[a as usize].is_none() && d[b as usize].is_none());
+    let edge =
+        problem.edges.iter().find(|&&(a, b)| d[a as usize].is_none() && d[b as usize].is_none());
     match edge {
         Some(&(x, y)) => {
             // Cheapest pair of free instances.
@@ -239,10 +235,7 @@ mod tests {
             g1_total += solve_greedy(&p, GreedyVariant::G1).cost;
             g2_total += solve_greedy(&p, GreedyVariant::G2).cost;
         }
-        assert!(
-            g2_total < g1_total,
-            "G2 ({g2_total}) should beat G1 ({g1_total}) on average"
-        );
+        assert!(g2_total < g1_total, "G2 ({g2_total}) should beat G1 ({g1_total}) on average");
     }
 
     fn grid_edges(rows: u32, cols: u32) -> Vec<(u32, u32)> {
@@ -264,11 +257,8 @@ mod tests {
     #[test]
     fn greedy_beats_worst_case_on_tiny_instance() {
         // Two nodes, one edge: greedy must pick the globally cheapest pair.
-        let costs = Costs::from_matrix(vec![
-            vec![0.0, 5.0, 1.0],
-            vec![5.0, 0.0, 9.0],
-            vec![2.0, 9.0, 0.0],
-        ]);
+        let costs =
+            Costs::from_matrix(vec![vec![0.0, 5.0, 1.0], vec![5.0, 0.0, 9.0], vec![2.0, 9.0, 0.0]]);
         let p = NodeDeployment::new(2, vec![(0, 1)], costs);
         for variant in [GreedyVariant::G1, GreedyVariant::G2] {
             let out = solve_greedy(&p, variant);

@@ -12,6 +12,10 @@
 //! * [`greedy`] — Algorithms 1 (G1) and 2 (G2) (§4.3.2);
 //! * [`random`] — R1 (fixed draw count) and R2 (parallel wall-clock budget)
 //!   (§4.3.1, §4.5.1);
+//! * [`portfolio`] + [`control`] — a parallel portfolio racing all of the
+//!   above on worker threads behind one anytime API, with a shared
+//!   incumbent, cross-thread bound injection into the CP prover, and
+//!   early cancellation on optimality;
 //! * [`cluster`] — exact 1-D k-means cost clustering (§4.2, §6.3);
 //! * [`problem`] — the node deployment problem and its two cost functions
 //!   (§3.3).
@@ -38,19 +42,23 @@
 #![deny(unsafe_code)]
 
 pub mod cluster;
+pub mod control;
 pub mod cp;
 pub mod encodings;
 pub mod greedy;
 pub mod lp;
 pub mod mip;
 pub mod outcome;
+pub mod portfolio;
 pub mod problem;
 pub mod random;
 
 pub use cluster::CostClusters;
-pub use cp::{solve_llndp_cp, CpConfig};
+pub use control::SearchControl;
+pub use cp::{solve_llndp_cp, solve_llndp_cp_with, CpConfig, Propagation};
 pub use encodings::{solve_llndp_mip, solve_lpndp_mip, MipConfig};
 pub use greedy::{solve_greedy, GreedyVariant};
 pub use outcome::{Budget, Objective, SolveOutcome};
+pub use portfolio::{solve_portfolio, PortfolioConfig};
 pub use problem::{Costs, NodeDeployment};
 pub use random::{solve_random_budget, solve_random_count};

@@ -400,8 +400,16 @@ mod tests {
         let var = |i: usize, j: usize| i * 3 + j;
         let mut constraints = Vec::new();
         for i in 0..3 {
-            constraints.push(Constraint::new((0..3).map(|j| (var(i, j), 1.0)).collect(), Sense::Eq, 1.0));
-            constraints.push(Constraint::new((0..3).map(|j| (var(j, i), 1.0)).collect(), Sense::Eq, 1.0));
+            constraints.push(Constraint::new(
+                (0..3).map(|j| (var(i, j), 1.0)).collect(),
+                Sense::Eq,
+                1.0,
+            ));
+            constraints.push(Constraint::new(
+                (0..3).map(|j| (var(j, i), 1.0)).collect(),
+                Sense::Eq,
+                1.0,
+            ));
         }
         let lp = Lp {
             num_vars: 9,

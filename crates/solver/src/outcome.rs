@@ -41,23 +41,13 @@ pub struct SolveOutcome {
 impl SolveOutcome {
     /// Builds an outcome from a single heuristic answer.
     pub fn heuristic(deployment: Vec<u32>, cost: f64, elapsed_s: f64, explored: u64) -> Self {
-        Self {
-            deployment,
-            cost,
-            curve: vec![(elapsed_s, cost)],
-            proven_optimal: false,
-            explored,
-        }
+        Self { deployment, cost, curve: vec![(elapsed_s, cost)], proven_optimal: false, explored }
     }
 
     /// The best cost at a given time according to the convergence curve
     /// (staircase interpolation); `None` before the first improvement.
     pub fn cost_at(&self, elapsed_s: f64) -> Option<f64> {
-        self.curve
-            .iter()
-            .take_while(|&&(t, _)| t <= elapsed_s)
-            .last()
-            .map(|&(_, c)| c)
+        self.curve.iter().take_while(|&&(t, _)| t <= elapsed_s).last().map(|&(_, c)| c)
     }
 }
 

@@ -145,7 +145,9 @@ impl NodeDeployment {
         debug_assert!(self.is_valid(deployment));
         self.edges
             .iter()
-            .map(|&(a, b)| self.costs.get(deployment[a as usize] as usize, deployment[b as usize] as usize))
+            .map(|&(a, b)| {
+                self.costs.get(deployment[a as usize] as usize, deployment[b as usize] as usize)
+            })
             .fold(0.0, f64::max)
     }
 
@@ -295,7 +297,7 @@ mod tests {
         let d = vec![0, 1, 2];
         assert!(p.is_valid(&d));
         assert_eq!(p.longest_link(&d), 2.5); // max(c(0,1)=1.0, c(1,2)=2.5)
-        // A better deployment avoids the expensive link.
+                                             // A better deployment avoids the expensive link.
         let d2 = vec![1, 0, 2];
         assert_eq!(p.longest_link(&d2), 2.0); // max(c(1,0)=1.5, c(0,2)=2.0)
     }

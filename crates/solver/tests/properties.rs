@@ -4,11 +4,12 @@
 
 use cloudia_solver::{
     cluster::CostClusters,
-    cp::{solve_llndp_cp, CpConfig},
+    cp::{solve_llndp_cp, CpConfig, Propagation},
     greedy::{solve_greedy, GreedyVariant},
     lp::{solve as lp_solve, Constraint, Lp, LpResult, Sense},
+    portfolio::{solve_portfolio, PortfolioConfig},
     problem::{Costs, NodeDeployment},
-    Budget,
+    Budget, Objective,
 };
 use proptest::prelude::*;
 
@@ -117,6 +118,28 @@ proptest! {
     }
 
     #[test]
+    fn portfolio_cost_is_thread_count_invariant(costs in costs_strategy(7), seed in 0u64..1000) {
+        // Deterministic portfolio: same seed => identical deployment cost
+        // on 1, 2, and 8 threads.
+        let p = NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], costs);
+        let run = |threads: usize| {
+            let config = PortfolioConfig {
+                threads,
+                cp: CpConfig { clusters: None, quantum: 0.0, ..CpConfig::default() },
+                ..PortfolioConfig::deterministic(2_000, seed)
+            };
+            solve_portfolio(&p, Objective::LongestLink, &config)
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        prop_assert_eq!(one.cost, two.cost);
+        prop_assert_eq!(two.cost, eight.cost);
+        prop_assert_eq!(one.deployment, two.deployment);
+        prop_assert_eq!(two.deployment, eight.deployment);
+    }
+
+    #[test]
     fn default_deployment_cost_is_an_upper_bound_for_cp(costs in costs_strategy(6)) {
         let p = NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], costs);
         let default_cost = p.longest_link(&p.default_deployment());
@@ -129,5 +152,30 @@ proptest! {
             },
         );
         prop_assert!(out.cost <= default_cost + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(50))]
+
+    #[test]
+    fn trail_cp_matches_clone_cp_on_random_instances(costs in costs_strategy(8), seed in 0u64..1000) {
+        // 50 random instances: the trail-based backend must reproduce the
+        // clone-based backend's cost (and tree size) exactly.
+        let p = NodeDeployment::new(6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)], costs);
+        let config = |propagation| CpConfig {
+            clusters: None,
+            quantum: 0.0,
+            seed,
+            budget: Budget::seconds(30.0),
+            propagation,
+            ..CpConfig::default()
+        };
+        let trail = solve_llndp_cp(&p, &config(Propagation::Trail));
+        let clone = solve_llndp_cp(&p, &config(Propagation::CloneDomains));
+        prop_assert_eq!(trail.cost, clone.cost);
+        prop_assert_eq!(trail.deployment, clone.deployment);
+        prop_assert_eq!(trail.explored, clone.explored);
+        prop_assert_eq!(trail.proven_optimal, clone.proven_optimal);
     }
 }

@@ -137,10 +137,7 @@ mod tests {
         let t_default = sim.run(&net, &default, 3).value_ms;
         let t_opt = sim.run(&net, &opt.deployment, 3).value_ms;
         if problem.longest_link(&opt.deployment) < problem.longest_link(&default) * 0.8 {
-            assert!(
-                t_opt < t_default,
-                "optimized {t_opt} should beat default {t_default}"
-            );
+            assert!(t_opt < t_default, "optimized {t_opt} should beat default {t_default}");
         }
     }
 

@@ -38,8 +38,5 @@ fn main() {
     );
     println!("mean query response (default):  {r_default:.2} ms");
     println!("mean query response (ClouDiA):  {r_cloudia:.2} ms");
-    println!(
-        "reduction: {:.1} %",
-        (r_default - r_cloudia) / r_default * 100.0
-    );
+    println!("reduction: {:.1} %", (r_default - r_cloudia) / r_default * 100.0);
 }

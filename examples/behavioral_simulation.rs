@@ -7,8 +7,8 @@
 //! cargo run --release --example behavioral_simulation
 //! ```
 
-use cloudia::prelude::*;
 use cloudia::netsim::Cloud;
+use cloudia::prelude::*;
 use cloudia::workloads::{BehavioralSim, Workload};
 
 fn main() {

@@ -1,0 +1,213 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with criterion's API shape
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups, `Bencher::iter`). It runs each benchmark long enough
+//! for a stable mean (or exactly once with `--test`, which is what
+//! `cargo test` passes to `harness = false` bench targets) and prints
+//! `name ... mean time/iter` lines instead of criterion's full statistics.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Measures closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    result: Option<(Duration, u64)>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up and then sampling until the measurement
+    /// window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some((Duration::from_nanos(1), 1));
+            return;
+        }
+        // Warm-up: at least one call, up to ~100 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters == 0
+            || (warm_start.elapsed() < Duration::from_millis(100) && warm_iters < 1000)
+        {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters as u32;
+        // Measurement: target ~500 ms, at least 5 iterations.
+        let target = Duration::from_millis(500);
+        let iters = (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(5, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` invokes harness = false bench binaries with `--test`;
+        // `cargo bench` passes `--bench`. In test mode each benchmark runs
+        // exactly once, as real criterion does.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) {
+        let mut b = Bencher { result: None, test_mode: self.test_mode };
+        body(&mut b);
+        match b.result {
+            Some((total, iters)) if !self.test_mode => {
+                let per = total / iters as u32;
+                println!("{name:<50} {:>12}/iter ({iters} iters)", fmt_duration(per));
+            }
+            _ => println!("{name:<50} ok (test mode)"),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        self.run_one(name, body);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// Identifies a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim uses a fixed window.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, body: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.run_one(&full, body);
+        self
+    }
+
+    /// Benchmarks a function with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1, "test mode runs the body exactly once");
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter("7"), &7, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("3x4").id, "3x4");
+        assert_eq!(BenchmarkId::new("f", 9).id, "f/9");
+    }
+}

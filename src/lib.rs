@@ -18,9 +18,11 @@
 //!   EC2/GCE/Rackspace);
 //! * [`measure`] — latency measurement schemes (token passing,
 //!   uncoordinated, staged) and estimators;
-//! * [`solver`] — the optimization stack: CP-style subgraph-isomorphism
-//!   search, simplex + branch-and-bound MIP, greedy and randomized methods,
-//!   1-D k-means cost clustering;
+//! * [`solver`] — the optimization stack: trail-based CP
+//!   subgraph-isomorphism search, simplex + branch-and-bound MIP, greedy
+//!   and randomized methods, 1-D k-means cost clustering, and a parallel
+//!   solver portfolio racing all of them behind one anytime API
+//!   (`--search portfolio --threads N` from the CLI);
 //! * [`core`] — problem definitions, deployment cost functions, latency
 //!   metrics, communication-graph templates, and the advisor pipeline;
 //! * [`workloads`] — the evaluation applications: behavioral simulation,
@@ -62,4 +64,5 @@ pub mod prelude {
     pub use cloudia_core::problem::{CommGraph, CostMatrix, Deployment, NodeId};
     pub use cloudia_core::search::SearchStrategy;
     pub use cloudia_netsim::{Cloud, InstanceId, Network, Provider};
+    pub use cloudia_solver::{solve_portfolio, PortfolioConfig, SolveOutcome};
 }

@@ -8,10 +8,11 @@
 //!         --over-allocation 0.1 --search-seconds 5 --seed 42
 //! cloudia --graph tree:6x2 --objective longest-path
 //! cloudia --graph bipartite:8x28 --metric mean+sd
+//! cloudia --graph mesh:6x6 --search portfolio --threads 4
 //! ```
 
-use cloudia::prelude::*;
 use cloudia::core::LatencyMetric;
+use cloudia::prelude::*;
 
 fn usage() -> ! {
     eprintln!(
@@ -20,6 +21,8 @@ fn usage() -> ! {
                [--provider ec2|gce|rackspace]
                [--metric mean|mean+sd|p99]
                [--over-allocation FRACTION]   (default 0.1)
+               [--search recommended|cp|mip|greedy-g1|greedy-g2|random-r1|random-r2|portfolio]
+               [--threads N]                  (portfolio/r2 workers; 0 = all cores)
                [--search-seconds S]           (default 5)
                [--seed N]                     (default 42)"
     );
@@ -73,6 +76,8 @@ fn main() {
     let mut over_allocation = 0.1f64;
     let mut search_seconds = 5.0f64;
     let mut seed = 42u64;
+    let mut search_name = "recommended".to_string();
+    let mut threads: Option<usize> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -105,6 +110,13 @@ fn main() {
                         usage();
                     }
                 }
+            }
+            "--search" => search_name = value(),
+            "--threads" => {
+                threads = Some(value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad thread count");
+                    usage();
+                }))
             }
             "--over-allocation" => {
                 over_allocation = value().parse().unwrap_or_else(|_| {
@@ -148,21 +160,68 @@ fn main() {
         std::process::exit(1);
     }
 
+    // Explicit strategy selection; "recommended" keeps the paper's choice
+    // per objective (single-threaded unless --threads changes it).
+    use cloudia::solver::{Budget, CpConfig, GreedyVariant, MipConfig, PortfolioConfig};
+    let strategy = match search_name.as_str() {
+        "recommended" => None,
+        "cp" => Some(SearchStrategy::Cp(CpConfig {
+            budget: Budget::seconds(search_seconds),
+            seed,
+            ..CpConfig::default()
+        })),
+        "mip" => Some(SearchStrategy::Mip(MipConfig {
+            budget: Budget::seconds(search_seconds),
+            seed,
+            ..MipConfig::default()
+        })),
+        "greedy-g1" => Some(SearchStrategy::Greedy(GreedyVariant::G1)),
+        "greedy-g2" => Some(SearchStrategy::Greedy(GreedyVariant::G2)),
+        "random-r1" => Some(SearchStrategy::RandomCount { count: 1000, seed }),
+        "random-r2" => Some(SearchStrategy::RandomBudget {
+            budget: Budget::seconds(search_seconds),
+            threads: threads.unwrap_or(0),
+            seed,
+        }),
+        "portfolio" => Some(SearchStrategy::Portfolio(PortfolioConfig {
+            budget: Budget::seconds(search_seconds),
+            threads: threads.unwrap_or(0),
+            seed,
+            ..PortfolioConfig::default()
+        })),
+        other => {
+            eprintln!("unknown search strategy `{other}`");
+            usage();
+        }
+    };
+
     println!(
-        "ClouDiA: {} nodes, {} edges | objective {} | {} | metric {} | +{:.0}% instances",
+        "ClouDiA: {} nodes, {} edges | objective {} | {} | metric {} | +{:.0}% instances | search {}",
         graph.num_nodes(),
         graph.num_edges(),
         objective.name(),
         provider.kind.name(),
         metric.name(),
-        over_allocation * 100.0
+        over_allocation * 100.0,
+        match &strategy {
+            Some(s) => s.name(),
+            // `--threads N` silently upgrades the recommended strategy to
+            // the portfolio inside the advisor; reflect that here.
+            None if threads.is_some_and(|t| t != 1) => "recommended (portfolio)",
+            None => "recommended",
+        },
     );
 
     let advisor = Advisor::new(cloudia::core::AdvisorConfig {
         objective,
         metric,
         over_allocation,
+        strategy,
         search_time_s: search_seconds,
+        // `--threads N` with the recommended strategy upgrades it to the
+        // portfolio; without the flag the paper's single-threaded choice
+        // stands.
+        search_threads: threads.unwrap_or(1),
         ..cloudia::core::AdvisorConfig::fast()
     });
     let outcome = advisor.run(provider, &graph, seed);

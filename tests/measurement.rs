@@ -2,10 +2,10 @@
 //! over realistic networks, their relative accuracy, and the metric
 //! pipeline into cost matrices.
 
+use cloudia::core::LatencyMetric;
 use cloudia::measure::error::{normalized_relative_errors, quantile};
 use cloudia::measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
 use cloudia::netsim::{Cloud, Provider};
-use cloudia::core::LatencyMetric;
 
 fn ec2_network(n: usize, seed: u64) -> cloudia::netsim::Network {
     let mut cloud = Cloud::boot(Provider::ec2_like(), seed);

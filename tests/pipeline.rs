@@ -49,7 +49,10 @@ fn optimized_deployment_speeds_up_all_three_workloads() {
             Box::new(BehavioralSim { sample_ticks: 300, ..BehavioralSim::new(4, 5) }),
             Objective::LongestLink,
         ),
-        (Box::new(AggregationQuery { queries: 300, ..AggregationQuery::new(4, 2) }), Objective::LongestPath),
+        (
+            Box::new(AggregationQuery { queries: 300, ..AggregationQuery::new(4, 2) }),
+            Objective::LongestPath,
+        ),
         (Box::new(KvStore { queries: 800, ..KvStore::new(5, 15) }), Objective::LongestLink),
     ];
     for (w, objective) in workloads {
@@ -58,11 +61,8 @@ fn optimized_deployment_speeds_up_all_three_workloads() {
         let mut cloud = Cloud::boot(Provider::ec2_like(), 99);
         let allocation = cloud.allocate(n + n / 10);
         let network = cloud.network(&allocation);
-        let advisor = Advisor::new(AdvisorConfig {
-            objective,
-            search_time_s: 4.0,
-            ..AdvisorConfig::fast()
-        });
+        let advisor =
+            Advisor::new(AdvisorConfig { objective, search_time_s: 4.0, ..AdvisorConfig::fast() });
         let outcome = advisor.run_on_network(&network, &graph, 2);
 
         let default: Vec<u32> = (0..n as u32).collect();

@@ -6,8 +6,7 @@
 use cloudia::measure::error::{normalize_unit, normalized_relative_errors, quantile, rmse};
 use cloudia::measure::{P2Quantile, Welford};
 use cloudia::solver::{
-    solve_greedy, solve_random_count, CostClusters, Costs, GreedyVariant, NodeDeployment,
-    Objective,
+    solve_greedy, solve_random_count, CostClusters, Costs, GreedyVariant, NodeDeployment, Objective,
 };
 use proptest::prelude::*;
 

@@ -3,8 +3,9 @@
 //! the heuristics must produce valid, no-worse-than-random deployments.
 
 use cloudia::solver::{
-    solve_greedy, solve_llndp_cp, solve_llndp_mip, solve_lpndp_mip, solve_random_count, Budget,
-    CpConfig, Costs, GreedyVariant, MipConfig, NodeDeployment, Objective,
+    solve_greedy, solve_llndp_cp, solve_llndp_mip, solve_lpndp_mip, solve_portfolio,
+    solve_random_count, Budget, Costs, CpConfig, GreedyVariant, MipConfig, NodeDeployment,
+    Objective, PortfolioConfig,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -50,7 +51,12 @@ fn cp_and_mip_agree_with_brute_force_on_llndp() {
         let opt = brute_force(&p, Objective::LongestLink);
         let cp = solve_llndp_cp(
             &p,
-            &CpConfig { clusters: None, quantum: 0.0, budget: Budget::seconds(20.0), ..Default::default() },
+            &CpConfig {
+                clusters: None,
+                quantum: 0.0,
+                budget: Budget::seconds(20.0),
+                ..Default::default()
+            },
         );
         let mip = solve_llndp_mip(
             &p,
@@ -99,14 +105,87 @@ fn clustering_gives_bounded_degradation() {
     let p = random_problem(6, 9, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], 7);
     let exact = solve_llndp_cp(
         &p,
-        &CpConfig { clusters: None, quantum: 0.0, budget: Budget::seconds(20.0), ..Default::default() },
+        &CpConfig {
+            clusters: None,
+            quantum: 0.0,
+            budget: Budget::seconds(20.0),
+            ..Default::default()
+        },
     );
     let clustered = solve_llndp_cp(
         &p,
-        &CpConfig { clusters: Some(8), quantum: 0.0, budget: Budget::seconds(20.0), ..Default::default() },
+        &CpConfig {
+            clusters: Some(8),
+            quantum: 0.0,
+            budget: Budget::seconds(20.0),
+            ..Default::default()
+        },
     );
     assert!(clustered.cost >= exact.cost - 1e-9);
-    assert!(clustered.cost <= exact.cost * 1.5, "clustered {} vs exact {}", clustered.cost, exact.cost);
+    assert!(
+        clustered.cost <= exact.cost * 1.5,
+        "clustered {} vs exact {}",
+        clustered.cost,
+        exact.cost
+    );
+}
+
+#[test]
+fn portfolio_matches_brute_force_on_tiny_instances() {
+    for seed in 0..4 {
+        let p = random_problem(4, 6, vec![(0, 1), (1, 2), (2, 3), (3, 0)], seed + 400);
+        let opt = brute_force(&p, Objective::LongestLink);
+        let config = PortfolioConfig {
+            budget: Budget::seconds(20.0),
+            threads: 2,
+            cp: CpConfig { clusters: None, quantum: 0.0, ..CpConfig::default() },
+            ..PortfolioConfig::default()
+        };
+        let out = solve_portfolio(&p, Objective::LongestLink, &config);
+        assert!(p.is_valid(&out.deployment), "seed {seed}");
+        assert!(out.proven_optimal, "seed {seed}: portfolio did not close the instance");
+        assert!((out.cost - opt).abs() < 1e-9, "seed {seed}: portfolio {} vs {opt}", out.cost);
+    }
+}
+
+#[test]
+fn portfolio_never_exceeds_any_standalone_member() {
+    // The merged incumbent is the min over workers, so it can never be
+    // worse than CP, greedy, or random run standalone with the same
+    // deterministic budgets and seed.
+    for seed in 0..3 {
+        let p = random_problem(6, 9, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], seed + 500);
+        let nodes = 5_000u64;
+        let config = PortfolioConfig {
+            threads: 2,
+            cp: CpConfig { clusters: None, quantum: 0.0, ..CpConfig::default() },
+            ..PortfolioConfig::deterministic(nodes, seed)
+        };
+        let portfolio = solve_portfolio(&p, Objective::LongestLink, &config);
+        let cp = solve_llndp_cp(
+            &p,
+            &CpConfig {
+                budget: Budget::nodes(nodes),
+                clusters: None,
+                quantum: 0.0,
+                seed,
+                ..CpConfig::default()
+            },
+        );
+        let standalone_min = [
+            cp.cost,
+            solve_greedy(&p, GreedyVariant::G1).cost,
+            solve_greedy(&p, GreedyVariant::G2).cost,
+            solve_random_count(&p, Objective::LongestLink, nodes, seed).cost,
+        ]
+        .into_iter()
+        .fold(f64::INFINITY, f64::min);
+        assert!(
+            portfolio.cost <= standalone_min + 1e-9,
+            "seed {seed}: portfolio {} vs best standalone {standalone_min}",
+            portfolio.cost
+        );
+    }
 }
 
 #[test]
@@ -137,11 +216,9 @@ fn r2_matches_paper_relationship_to_exact_methods() {
         let p = random_problem(12, 14, mesh, seed + 200);
         g1_total += solve_greedy(&p, GreedyVariant::G1).cost;
         r1_total += solve_random_count(&p, Objective::LongestLink, 1000, seed).cost;
-        cp_total += solve_llndp_cp(
-            &p,
-            &CpConfig { budget: Budget::seconds(3.0), ..Default::default() },
-        )
-        .cost;
+        cp_total +=
+            solve_llndp_cp(&p, &CpConfig { budget: Budget::seconds(3.0), ..Default::default() })
+                .cost;
     }
     assert!(cp_total <= r1_total, "cp {cp_total} should beat r1 {r1_total}");
     assert!(cp_total <= g1_total, "cp {cp_total} should beat g1 {g1_total}");
