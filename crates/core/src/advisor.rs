@@ -171,6 +171,30 @@ impl Advisor {
         graph: &CommGraph,
         seed: u64,
     ) -> AdvisorOutcome {
+        // Step 2: measure.
+        let report = self.measure(network, seed);
+
+        // Step 3: search on the measured costs.
+        let costs = self.config.metric.cost_matrix(&report.stats);
+        let mut outcome =
+            self.search_with_costs(network, graph, costs, &crate::search::SolveHint::Cold);
+        outcome.measurement_ms = report.elapsed_ms;
+        outcome.measurement_round_trips = report.round_trips;
+        outcome
+    }
+
+    /// Runs only the search step against caller-supplied cost estimates —
+    /// the entry point for re-deployment rounds that blend fresh
+    /// measurements with accumulated link history, and for the online
+    /// advisor's incremental re-solves. The outcome's measurement fields
+    /// are zero (the caller owns measurement accounting).
+    pub fn search_with_costs(
+        &self,
+        network: &Network,
+        graph: &CommGraph,
+        costs: CostMatrix,
+        hint: &crate::search::SolveHint,
+    ) -> AdvisorOutcome {
         let n = graph.num_nodes();
         assert!(
             n <= network.len(),
@@ -178,11 +202,6 @@ impl Advisor {
             network.len()
         );
 
-        // Step 2: measure.
-        let report = self.measure(network, seed);
-
-        // Step 3: search on the measured costs.
-        let costs = self.config.metric.cost_matrix(&report.stats);
         let problem = graph.problem(costs);
         let strategy = self.config.strategy.clone().unwrap_or_else(|| {
             if self.config.search_threads == 1 {
@@ -191,7 +210,7 @@ impl Advisor {
                 SearchStrategy::portfolio(self.config.search_time_s, self.config.search_threads)
             }
         });
-        let search = strategy.run(&problem, self.config.objective);
+        let search = strategy.run_with_hint(&problem, self.config.objective, hint);
 
         // Evaluate default vs optimized on ground truth.
         let truth = CostMatrix::from_matrix(network.mean_matrix());
@@ -204,8 +223,8 @@ impl Advisor {
             deployment: search.deployment.clone(),
             default_cost,
             optimized_cost,
-            measurement_ms: report.elapsed_ms,
-            measurement_round_trips: report.round_trips,
+            measurement_ms: 0.0,
+            measurement_round_trips: 0,
             search,
             terminated: Vec::new(),
             network: network.clone(),

@@ -37,5 +37,7 @@ pub use advisor::{Advisor, AdvisorConfig, AdvisorOutcome, MeasurementPlan};
 pub use cost::{deployment_cost, relative_improvement, Objective};
 pub use metrics::LatencyMetric;
 pub use problem::{CommGraph, CostMatrix, Deployment, NodeDeployment, NodeId};
-pub use redeploy::{redeploy, RedeployDecision, RedeployPolicy};
-pub use search::SearchStrategy;
+pub use redeploy::{
+    redeploy, redeploy_with_history, LinkHistory, RedeployDecision, RedeployPolicy,
+};
+pub use search::{SearchStrategy, SolveHint};

@@ -53,6 +53,15 @@ impl LatencyMetric {
     pub fn vector(self, stats: &PairwiseStats) -> Vec<f64> {
         self.cost_matrix(stats).off_diagonal()
     }
+
+    /// This metric's value for a single link estimate.
+    pub fn link_value(self, link: &cloudia_measure::LinkEstimate) -> f64 {
+        match self {
+            LatencyMetric::Mean => link.mean(),
+            LatencyMetric::MeanPlusSd => link.mean_plus_sd(),
+            LatencyMetric::P99 => link.p99(),
+        }
+    }
 }
 
 #[cfg(test)]

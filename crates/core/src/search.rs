@@ -16,7 +16,42 @@ use cloudia_solver::{
     Budget, NodeDeployment, Objective, SolveOutcome,
 };
 
+/// Context a solver run can exploit beyond the problem itself.
+///
+/// A cold run starts from nothing; an incremental run (the online
+/// advisor's budgeted re-solve, or any re-deployment round) carries the
+/// incumbent plan as a warm start and, optionally, per-node pins that
+/// restrict the search to a repair neighbourhood.
+#[derive(Debug, Clone, Default)]
+pub enum SolveHint {
+    /// No prior context: solve from scratch.
+    #[default]
+    Cold,
+    /// Re-solve starting from a known-good incumbent.
+    Incremental {
+        /// The currently deployed plan; the run warm-starts from it and
+        /// [`SearchStrategy::run_with_hint`] guarantees the result is
+        /// never worse.
+        incumbent: crate::problem::Deployment,
+        /// Per-node pins: `fixed[v] = Some(j)` keeps node `v` on instance
+        /// `j`. An empty vector (or all `None`) means every node may move.
+        fixed: Vec<Option<u32>>,
+    },
+}
+
+impl SolveHint {
+    /// An incremental hint with no pins (pure warm start).
+    pub fn warm(incumbent: crate::problem::Deployment) -> Self {
+        SolveHint::Incremental { fixed: vec![None; incumbent.len()], incumbent }
+    }
+}
+
 /// A search technique plus its configuration.
+// The config-heavy variants (CP/MIP/portfolio, which now carry optional
+// warm-start deployments and pin vectors) dwarf `Greedy`; strategies are
+// built a handful of times per run, so boxing would only complicate the
+// constructors callers already use.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum SearchStrategy {
     /// Constraint-programming threshold iteration (LLNDP only).
@@ -88,6 +123,82 @@ impl SearchStrategy {
             SearchStrategy::RandomBudget { .. } => "random-r2",
             SearchStrategy::Portfolio(_) => "portfolio",
         }
+    }
+
+    /// Runs the strategy with an incremental hint: the incumbent
+    /// warm-starts every technique that supports it (CP, MIP, portfolio),
+    /// pins restrict the search to the repair neighbourhood, and the
+    /// result is clamped so it is **never worse than the incumbent** —
+    /// techniques without warm-start support (greedy, random) simply race
+    /// against it.
+    ///
+    /// # Panics
+    /// Panics (in addition to [`SearchStrategy::run`]'s cases) if the
+    /// hint's incumbent is invalid for the problem or violates its own
+    /// pins.
+    pub fn run_with_hint(
+        &self,
+        problem: &NodeDeployment,
+        objective: Objective,
+        hint: &SolveHint,
+    ) -> SolveOutcome {
+        let SolveHint::Incremental { incumbent, fixed } = hint else {
+            return self.run(problem, objective);
+        };
+        assert!(problem.is_valid(incumbent), "hint incumbent is not a valid deployment");
+        let fixed = if fixed.is_empty() { vec![None; problem.num_nodes] } else { fixed.clone() };
+        assert_eq!(fixed.len(), problem.num_nodes, "hint pins must cover every node");
+        assert!(
+            fixed.iter().zip(incumbent).all(|(f, &d)| f.is_none_or(|j| j == d)),
+            "hint incumbent violates its own pins"
+        );
+        let pinned = fixed.iter().any(Option::is_some);
+
+        let mut strategy = self.clone();
+        match &mut strategy {
+            SearchStrategy::Cp(cfg) => {
+                cfg.initial = Some(incumbent.clone());
+                cfg.fixed = pinned.then(|| fixed.clone());
+            }
+            SearchStrategy::Mip(cfg) => {
+                cfg.initial = Some(incumbent.clone());
+                cfg.fixed = pinned.then(|| fixed.clone());
+            }
+            SearchStrategy::Portfolio(cfg) => {
+                cfg.initial = Some(incumbent.clone());
+                cfg.fixed = pinned.then(|| fixed.clone());
+            }
+            // Greedy and random searches have no warm-start notion; with
+            // pins the greedy variant still honours them below.
+            SearchStrategy::Greedy(_)
+            | SearchStrategy::RandomCount { .. }
+            | SearchStrategy::RandomBudget { .. } => {}
+        }
+
+        let mut out = match (&strategy, pinned) {
+            (SearchStrategy::Greedy(variant), true) => {
+                let mut out = cloudia_solver::solve_greedy_fixed(problem, *variant, &fixed);
+                out.cost = problem.cost(objective, &out.deployment);
+                out.curve = vec![(out.curve[0].0, out.cost)];
+                out
+            }
+            _ => strategy.run(problem, objective),
+        };
+
+        // Incremental contract: never return worse than the incumbent, and
+        // never return a plan violating the pins (random searches don't
+        // know about them — their result only counts when it both beats
+        // the incumbent and happens to respect the pins).
+        let incumbent_cost = problem.cost(objective, incumbent);
+        let respects_pins =
+            !pinned || fixed.iter().zip(&out.deployment).all(|(f, &d)| f.is_none_or(|j| j == d));
+        if incumbent_cost < out.cost || !respects_pins {
+            out.deployment = incumbent.clone();
+            out.cost = incumbent_cost;
+            // A proof under a different plan does not cover the incumbent.
+            out.proven_optimal = false;
+        }
+        out
     }
 
     /// Runs the strategy on a problem.
@@ -194,6 +305,80 @@ mod tests {
             assert!(p.is_valid(&out.deployment), "{}", s.name());
             assert_eq!(out.cost, p.longest_path(&out.deployment), "{}", s.name());
         }
+    }
+
+    #[test]
+    fn hint_never_returns_worse_than_incumbent() {
+        let p = problem(5, false);
+        let mut rng = StdRng::seed_from_u64(7);
+        // An already-excellent incumbent vs deliberately weak strategies.
+        let strong = SearchStrategy::Cp(CpConfig {
+            budget: Budget::seconds(5.0),
+            clusters: None,
+            quantum: 0.0,
+            ..Default::default()
+        })
+        .run(&p, Objective::LongestLink);
+        let hint = SolveHint::warm(strong.deployment.clone());
+        for s in [
+            SearchStrategy::Greedy(GreedyVariant::G1),
+            SearchStrategy::RandomCount { count: 10, seed: 1 },
+            SearchStrategy::Cp(CpConfig { budget: Budget::nodes(1), ..Default::default() }),
+        ] {
+            let out = s.run_with_hint(&p, Objective::LongestLink, &hint);
+            assert!(
+                out.cost <= strong.cost + 1e-12,
+                "{} returned {} worse than incumbent {}",
+                s.name(),
+                out.cost,
+                strong.cost
+            );
+        }
+        // And a random incumbent is improvable.
+        let weak = p.random_deployment(&mut rng);
+        let weak_cost = p.longest_link(&weak);
+        let out = SearchStrategy::Cp(CpConfig::default()).run_with_hint(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::warm(weak),
+        );
+        assert!(out.cost <= weak_cost + 1e-12);
+    }
+
+    #[test]
+    fn hint_pins_are_always_respected() {
+        let p = problem(6, false);
+        let mut rng = StdRng::seed_from_u64(8);
+        let incumbent = p.random_deployment(&mut rng);
+        let fixed: Vec<Option<u32>> = incumbent
+            .iter()
+            .enumerate()
+            .map(|(v, &j)| if v < 4 { Some(j) } else { None })
+            .collect();
+        let hint = SolveHint::Incremental { incumbent: incumbent.clone(), fixed: fixed.clone() };
+        for s in [
+            SearchStrategy::Cp(CpConfig { budget: Budget::seconds(2.0), ..Default::default() }),
+            SearchStrategy::Greedy(GreedyVariant::G2),
+            SearchStrategy::RandomCount { count: 200, seed: 3 },
+        ] {
+            let out = s.run_with_hint(&p, Objective::LongestLink, &hint);
+            assert!(p.is_valid(&out.deployment), "{}", s.name());
+            for (v, f) in fixed.iter().enumerate() {
+                if let Some(j) = f {
+                    assert_eq!(out.deployment[v], *j, "{}: node {v} moved", s.name());
+                }
+            }
+            assert!(out.cost <= p.longest_link(&incumbent) + 1e-12, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn cold_hint_matches_plain_run() {
+        let p = problem(10, false);
+        let s = SearchStrategy::RandomCount { count: 300, seed: 4 };
+        let a = s.run(&p, Objective::LongestLink);
+        let b = s.run_with_hint(&p, Objective::LongestLink, &SolveHint::Cold);
+        assert_eq!(a.deployment, b.deployment);
     }
 
     #[test]

@@ -83,8 +83,27 @@ pub trait Scheme {
     /// Short identifier ("token", "uncoordinated", "staged").
     fn name(&self) -> &'static str;
 
-    /// Runs the scheme over `net` and returns the collected estimates.
-    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport;
+    /// Runs the scheme over `net` from empty statistics and returns the
+    /// collected estimates.
+    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport {
+        self.run_onto(net, cfg, PairwiseStats::new(net.len()))
+    }
+
+    /// Incremental entry point: runs the scheme over `net` and records new
+    /// samples *into* pre-accumulated statistics, so repeated measurement
+    /// rounds build per-link history instead of starting from scratch
+    /// (the online advisor's streaming measurement path). The returned
+    /// report's `round_trips`/`elapsed_ms` cover this run only; its `stats`
+    /// carry the full accumulated history.
+    ///
+    /// # Panics
+    /// Panics if `stats` was sized for a different instance count.
+    fn run_onto(
+        &self,
+        net: &Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+    ) -> MeasurementReport;
 }
 
 /// Shared snapshot bookkeeping for scheme implementations.

@@ -77,11 +77,16 @@ impl Scheme for Staged {
         "staged"
     }
 
-    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport {
+    fn run_onto(
+        &self,
+        net: &Network,
+        cfg: &MeasureConfig,
+        mut stats: PairwiseStats,
+    ) -> MeasurementReport {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
+        assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
         let mut engine = net.engine(cfg.nic, cfg.seed);
-        let mut stats = PairwiseStats::new(n);
         let mut tracker = SnapshotTracker::new(cfg);
         let mut round_trips = 0u64;
 
@@ -260,6 +265,28 @@ mod tests {
         let r = Staged::new(5, 2).run(&net, &MeasureConfig::default());
         // 2 sweeps × 5 rounds × 3 pairs × 5 ks.
         assert_eq!(r.round_trips, 2 * 5 * 3 * 5);
+    }
+
+    #[test]
+    fn run_onto_accumulates_across_rounds() {
+        let net = network(6, 7);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(2, 2);
+        let first = scheme.run(&net, &cfg);
+        let first_total = first.stats.total_samples();
+        let second = scheme.run_onto(&net, &cfg, first.stats);
+        // Second round's report covers one run, stats cover both.
+        assert_eq!(second.round_trips, first.round_trips);
+        assert_eq!(second.stats.total_samples(), 2 * first_total);
+        // Per-link counts doubled (deterministic schedule).
+        assert_eq!(second.stats.link(0, 1).count(), 2 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sized for")]
+    fn run_onto_rejects_mismatched_stats() {
+        let net = network(6, 8);
+        Staged::new(1, 1).run_onto(&net, &MeasureConfig::default(), PairwiseStats::new(4));
     }
 
     #[test]

@@ -39,12 +39,17 @@ impl Scheme for Uncoordinated {
         "uncoordinated"
     }
 
-    fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport {
+    fn run_onto(
+        &self,
+        net: &Network,
+        cfg: &MeasureConfig,
+        mut stats: PairwiseStats,
+    ) -> MeasurementReport {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
+        assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
         let mut engine = net.engine(cfg.nic, cfg.seed);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let mut stats = PairwiseStats::new(n);
         let mut tracker = SnapshotTracker::new(cfg);
         let mut round_trips = 0u64;
 

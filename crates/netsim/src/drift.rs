@@ -8,10 +8,11 @@
 //! reversion keeps excursions bounded (stability) while still producing the
 //! visible hour-scale wiggle.
 
-use rand::Rng;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::dist::standard_normal;
 use crate::latency::LinkProfile;
+use crate::network::Network;
 
 /// Parameters of the mean-drift process.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,6 +75,88 @@ impl DriftProcess {
     /// The current mean-latency multiplier `exp(X_t)`.
     pub fn multiplier(&self) -> f64 {
         self.log_mult.exp()
+    }
+}
+
+/// A network whose per-link mean latencies evolve **continuously** under
+/// the OU drift process — the time-stepped counterpart of
+/// [`Network::drifted`].
+///
+/// `Network::drifted(hours, ..)` draws each call from a *fresh* equilibrium
+/// process, so consecutive calls are independent snapshots; an online
+/// control loop instead needs the network at hour `t + dt` to be correlated
+/// with the network at hour `t`. `DriftingNetwork` keeps one persistent
+/// [`DriftProcess`] per directed link and advances all of them on every
+/// [`DriftingNetwork::step`], so a sequence of steps walks one continuous
+/// sample path of the drift process.
+#[derive(Debug, Clone)]
+pub struct DriftingNetwork {
+    net: Network,
+    /// Immutable base profiles (the long-run means the OU processes revert
+    /// towards), row-major over ordered pairs.
+    base: Vec<LinkProfile>,
+    /// One OU state per directed link, row-major (diagonal entries unused).
+    processes: Vec<DriftProcess>,
+    hours: f64,
+    rng: StdRng,
+}
+
+impl DriftingNetwork {
+    /// Wraps a network; all link processes start at equilibrium (the
+    /// wrapped network's current means are the hour-0 truth).
+    pub fn new(net: Network, seed: u64) -> Self {
+        let n = net.len();
+        let params = net.drift_params();
+        let mut base = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                base.push(if i == j {
+                    LinkProfile {
+                        base_mean: 0.0,
+                        jitter_sigma: 0.0,
+                        spike_prob: 0.0,
+                        spike_scale: 0.0,
+                    }
+                } else {
+                    *net.profile(crate::InstanceId::from_index(i), crate::InstanceId::from_index(j))
+                });
+            }
+        }
+        let processes = (0..n * n).map(|_| DriftProcess::at_equilibrium(params)).collect();
+        Self { net, base, processes, hours: 0.0, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Advances every link's drift process by `dt_hours` and returns the
+    /// updated network view.
+    pub fn step(&mut self, dt_hours: f64) -> &Network {
+        let n = self.net.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let idx = i * n + j;
+                let mult = self.processes[idx].step(dt_hours, &mut self.rng);
+                let p = self.base[idx];
+                self.net.model_mut().set_profile(
+                    i,
+                    j,
+                    LinkProfile { base_mean: p.base_mean * mult, ..p },
+                );
+            }
+        }
+        self.hours += dt_hours;
+        &self.net
+    }
+
+    /// The current (drifted) network view.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Simulated hours elapsed since construction.
+    pub fn hours(&self) -> f64 {
+        self.hours
     }
 }
 
@@ -187,6 +270,62 @@ mod tests {
         let t_fast = LinkTrace::simulate(&fast, DriftParams::default(), 2.0, 100, 2000, &mut rng);
         let crossings = t_slow.mean_rtt.iter().zip(&t_fast.mean_rtt).filter(|(s, f)| s < f).count();
         assert_eq!(crossings, 0);
+    }
+
+    fn drifting_setup() -> DriftingNetwork {
+        let mut cloud = crate::Cloud::boot(crate::Provider::ec2_like(), 11);
+        let alloc = cloud.allocate(6);
+        DriftingNetwork::new(cloud.network(&alloc), 3)
+    }
+
+    #[test]
+    fn drifting_network_accumulates_state_across_steps() {
+        let mut d = drifting_setup();
+        let a = crate::InstanceId(0);
+        let b = crate::InstanceId(1);
+        let m0 = d.network().mean_rtt(a, b);
+        d.step(2.0);
+        let m1 = d.network().mean_rtt(a, b);
+        d.step(2.0);
+        let m2 = d.network().mean_rtt(a, b);
+        assert_ne!(m0, m1);
+        assert_ne!(m1, m2);
+        assert!((d.hours() - 4.0).abs() < 1e-12);
+        // Consecutive small steps stay correlated: the hop from m1 to m2 is
+        // bounded by the OU transition, not a fresh equilibrium draw.
+        assert!((m2 / m1 - 1.0).abs() < 0.5, "step too violent: {m1} -> {m2}");
+    }
+
+    #[test]
+    fn drifting_network_reverts_to_base_mean() {
+        // Averaged over a long horizon the multiplier is ~1, so the mean of
+        // observed means tracks the base mean.
+        let mut d = drifting_setup();
+        let a = crate::InstanceId(2);
+        let b = crate::InstanceId(4);
+        let base = d.network().mean_rtt(a, b);
+        let mut acc = 0.0;
+        let steps = 2000;
+        for _ in 0..steps {
+            d.step(1.0);
+            acc += d.network().mean_rtt(a, b);
+        }
+        let avg = acc / steps as f64;
+        assert!((avg / base - 1.0).abs() < 0.05, "avg {avg} vs base {base}");
+    }
+
+    #[test]
+    fn drifting_network_is_deterministic_per_seed() {
+        let mut cloud = crate::Cloud::boot(crate::Provider::ec2_like(), 5);
+        let alloc = cloud.allocate(4);
+        let net = cloud.network(&alloc);
+        let run = |seed| {
+            let mut d = DriftingNetwork::new(net.clone(), seed);
+            d.step(3.0);
+            d.network().mean_rtt(crate::InstanceId(0), crate::InstanceId(3))
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
     }
 
     #[test]

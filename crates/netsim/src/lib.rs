@@ -53,7 +53,7 @@ pub mod provider;
 pub mod tenancy;
 pub mod topology;
 
-pub use drift::{DriftProcess, LinkTrace};
+pub use drift::{DriftParams, DriftProcess, DriftingNetwork, LinkTrace};
 pub use engine::{DeliveredMessage, Engine, MessageSpec, NicParams};
 pub use ids::{HostId, InstanceId, PodId, RackId};
 pub use latency::{LatencyModel, LinkProfile};

@@ -135,6 +135,16 @@ impl Network {
         &self.model
     }
 
+    /// Mutable access to the latency model (drift iteration support).
+    pub(crate) fn model_mut(&mut self) -> &mut LatencyModel {
+        &mut self.model
+    }
+
+    /// The mean-drift parameters this network's provider was built with.
+    pub fn drift_params(&self) -> DriftParams {
+        self.drift
+    }
+
     /// True expected RTT (ms) of `src → dst` — ground truth the measurement
     /// schemes try to estimate.
     pub fn mean_rtt(&self, src: InstanceId, dst: InstanceId) -> f64 {

@@ -1,0 +1,472 @@
+//! The online deployment advisor control loop.
+//!
+//! Where the batch pipeline runs *allocate → measure → search → deploy*
+//! once, [`OnlineAdvisor`] runs continuously against a
+//! [`MeasurementStream`]: every epoch it ingests the stream's per-link
+//! deltas into the [`OnlineStore`], lets the change-point detectors vote,
+//! and — when a detected shift actually touches the tenant's interests
+//! (degradation on a deployed link, or an improvement opportunity on an
+//! unused one) — triggers a **budgeted incremental re-solve** around the
+//! incumbent plan. A repair is only applied when its estimated gain
+//! clears the [`RedeployPolicy`] economics net of the per-node migration
+//! cost; every epoch, trigger, re-solve, and migration lands in the event
+//! log, and the ground-truth cost of the active plan is tracked as a cost
+//! curve.
+
+use cloudia_core::{CommGraph, CostMatrix, Deployment, Objective, RedeployPolicy};
+use cloudia_netsim::Network;
+
+use crate::detect::{DetectorConfig, Drift};
+use crate::repair::{incremental_resolve, RepairConfig};
+use crate::stats::{LinkChange, OnlineStore};
+use crate::stream::{EpochMeasurement, MeasurementStream};
+
+/// Configuration of the online control loop.
+#[derive(Debug, Clone)]
+pub struct OnlineAdvisorConfig {
+    /// Deployment cost function to watch and optimize.
+    pub objective: Objective,
+    /// EWMA smoothing factor for per-link epoch means.
+    pub ewma_alpha: f64,
+    /// Change-point detector settings (shared by all links).
+    pub detector: DetectorConfig,
+    /// Migration economics: minimum relative gain and per-node cost.
+    pub policy: RedeployPolicy,
+    /// Migration budget `k` per re-solve: at most `k` nodes move.
+    pub migration_budget: usize,
+    /// Wall-clock budget per incremental re-solve (seconds).
+    pub solve_seconds: f64,
+    /// Worker threads per re-solve (0 = all cores).
+    pub threads: usize,
+    /// Minimum epochs between re-solves (alarm damping).
+    pub cooldown_epochs: u64,
+    /// Base RNG seed for re-solves.
+    pub seed: u64,
+    /// Record every trigger's (costs, incumbent) so a harness can replay
+    /// the same instances against a cold solver (timing comparisons).
+    pub record_triggers: bool,
+}
+
+impl Default for OnlineAdvisorConfig {
+    fn default() -> Self {
+        Self {
+            objective: Objective::LongestLink,
+            ewma_alpha: 0.3,
+            detector: DetectorConfig::default(),
+            policy: RedeployPolicy::default(),
+            migration_budget: 3,
+            solve_seconds: 1.0,
+            threads: 1,
+            cooldown_epochs: 1,
+            seed: 0,
+            record_triggers: false,
+        }
+    }
+}
+
+/// One entry of the online advisor's event log.
+#[derive(Debug, Clone)]
+pub enum OnlineEvent {
+    /// An epoch was ingested.
+    Epoch {
+        /// Epoch index.
+        epoch: u64,
+        /// Simulated hours at the end of the epoch.
+        at_hours: f64,
+        /// Round trips the epoch's measurement collected.
+        round_trips: u64,
+        /// Estimated (EWMA) cost of the active plan.
+        est_cost: f64,
+        /// Ground-truth cost of the active plan.
+        true_cost: f64,
+    },
+    /// A link's change detector fired.
+    Change {
+        /// Epoch index.
+        epoch: u64,
+        /// The changed link.
+        change: LinkChange,
+        /// True if the link is used by the active plan.
+        on_deployed_link: bool,
+    },
+    /// An incremental re-solve ran.
+    Resolve {
+        /// Epoch index.
+        epoch: u64,
+        /// Nodes the repair freed.
+        freed: Vec<u32>,
+        /// Nodes the repaired plan would move.
+        moved: usize,
+        /// Estimated absolute gain (old est − new est).
+        est_gain: f64,
+        /// Wall-clock seconds the re-solve took.
+        solve_seconds: f64,
+        /// Whether the repair was applied.
+        accepted: bool,
+    },
+    /// The active plan migrated to a repaired one.
+    Migrate {
+        /// Epoch index.
+        epoch: u64,
+        /// Nodes that moved.
+        moved: usize,
+        /// Ground-truth cost before/after the migration.
+        true_cost_before: f64,
+        /// Ground-truth cost after the migration.
+        true_cost_after: f64,
+    },
+}
+
+/// One trigger's search instance, for offline replay (cold-vs-incremental
+/// timing comparisons).
+#[derive(Debug, Clone)]
+pub struct TriggerInstance {
+    /// Epoch index of the trigger.
+    pub epoch: u64,
+    /// The estimated costs the re-solve searched on.
+    pub costs: CostMatrix,
+    /// The incumbent at trigger time.
+    pub incumbent: Deployment,
+}
+
+/// Per-epoch summary returned by [`OnlineAdvisor::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSummary {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Simulated hours at the end of the epoch.
+    pub at_hours: f64,
+    /// Estimated (EWMA) cost of the active plan.
+    pub est_cost: f64,
+    /// Ground-truth cost of the active plan (after any migration).
+    pub true_cost: f64,
+    /// Whether a re-solve was triggered this epoch.
+    pub triggered: bool,
+    /// Nodes migrated this epoch (0 if none).
+    pub moved: usize,
+}
+
+/// The continuous deployment advisor.
+#[derive(Debug)]
+pub struct OnlineAdvisor {
+    graph: CommGraph,
+    config: OnlineAdvisorConfig,
+    store: OnlineStore,
+    deployment: Deployment,
+    epoch: u64,
+    last_resolve: Option<u64>,
+    events: Vec<OnlineEvent>,
+    cost_curve: Vec<(f64, f64)>,
+    total_true_cost: f64,
+    migration_cost_paid: f64,
+    moved_total: u64,
+    triggers: Vec<TriggerInstance>,
+}
+
+impl OnlineAdvisor {
+    /// Starts the loop with an already-deployed plan over `instances`
+    /// instances.
+    pub fn new(
+        graph: CommGraph,
+        instances: usize,
+        initial: Deployment,
+        config: OnlineAdvisorConfig,
+    ) -> Self {
+        assert_eq!(initial.len(), graph.num_nodes(), "initial plan must cover every node");
+        assert!(
+            initial.iter().all(|&j| (j as usize) < instances),
+            "initial plan references instances beyond the allocation"
+        );
+        let store = OnlineStore::new(instances, config.ewma_alpha, config.detector);
+        Self {
+            graph,
+            config,
+            store,
+            deployment: initial,
+            epoch: 0,
+            last_resolve: None,
+            events: Vec::new(),
+            cost_curve: Vec::new(),
+            total_true_cost: 0.0,
+            migration_cost_paid: 0.0,
+            moved_total: 0,
+            triggers: Vec::new(),
+        }
+    }
+
+    /// The currently active plan.
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// The online statistics store.
+    pub fn store(&self) -> &OnlineStore {
+        &self.store
+    }
+
+    /// The full event log.
+    pub fn events(&self) -> &[OnlineEvent] {
+        &self.events
+    }
+
+    /// Ground-truth cost of the active plan over time: `(hours, cost)`.
+    pub fn cost_curve(&self) -> &[(f64, f64)] {
+        &self.cost_curve
+    }
+
+    /// Recorded trigger instances (only with `record_triggers`).
+    pub fn trigger_instances(&self) -> &[TriggerInstance] {
+        &self.triggers
+    }
+
+    /// Total migration cost paid so far (policy units).
+    pub fn migration_cost_paid(&self) -> f64 {
+        self.migration_cost_paid
+    }
+
+    /// Total nodes moved across all migrations.
+    pub fn moved_total(&self) -> u64 {
+        self.moved_total
+    }
+
+    /// Time-averaged deployment cost including amortized migrations:
+    /// `(Σ per-epoch true cost + migration cost paid) / epochs`.
+    pub fn time_averaged_cost(&self) -> f64 {
+        if self.epoch == 0 {
+            return 0.0;
+        }
+        (self.total_true_cost + self.migration_cost_paid) / self.epoch as f64
+    }
+
+    /// Search costs from the store, with never-observed links defaulting
+    /// to the worst observed mean (pessimism keeps the solver away from
+    /// links it knows nothing about).
+    fn search_costs(&self) -> CostMatrix {
+        let n = self.store.len();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.store.link(i, j).ewma.count() > 0 {
+                    worst = worst.max(self.store.link(i, j).ewma.mean());
+                }
+            }
+        }
+        let rows = (0..n)
+            .map(|i| {
+                (0..n)
+                    .map(|j| {
+                        if i == j {
+                            0.0
+                        } else if self.store.link(i, j).ewma.count() > 0 {
+                            self.store.link(i, j).ewma.mean()
+                        } else {
+                            worst
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        CostMatrix::from_matrix(rows)
+    }
+
+    /// Ingests one epoch and runs the control loop. `net` is the current
+    /// ground-truth network, used only for the cost curve and event log.
+    pub fn step(&mut self, m: &EpochMeasurement, net: &Network) -> EpochSummary {
+        let epoch = m.epoch;
+        let changes = self.store.observe_epoch(m);
+
+        // Which directed instance links does the active plan occupy?
+        let deployed: std::collections::HashSet<(u32, u32)> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| (self.deployment[a as usize], self.deployment[b as usize]))
+            .collect();
+
+        let mut degradation = false;
+        let mut opportunity = false;
+        for c in &changes {
+            let on_deployed = deployed.contains(&(c.src, c.dst));
+            match c.drift {
+                Drift::Up if on_deployed => degradation = true,
+                Drift::Down if !on_deployed => opportunity = true,
+                _ => {}
+            }
+            self.events.push(OnlineEvent::Change {
+                epoch,
+                change: *c,
+                on_deployed_link: on_deployed,
+            });
+        }
+
+        let cooled =
+            self.last_resolve.is_none_or(|last| epoch >= last + self.config.cooldown_epochs.max(1));
+        let triggered = (degradation || opportunity) && cooled;
+
+        let problem = self.graph.problem(self.search_costs());
+        // One ground-truth problem per epoch, shared by the migration
+        // event and the epoch accounting below.
+        let truth_problem = self.graph.problem(CostMatrix::from_matrix(net.mean_matrix()));
+        let mut moved = 0usize;
+        if triggered {
+            self.last_resolve = Some(epoch);
+            if self.config.record_triggers {
+                self.triggers.push(TriggerInstance {
+                    epoch,
+                    costs: problem.costs.clone(),
+                    incumbent: self.deployment.clone(),
+                });
+            }
+            let repair_config = RepairConfig {
+                migration_budget: self.config.migration_budget,
+                solve_seconds: self.config.solve_seconds,
+                threads: self.config.threads,
+                seed: self.config.seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            };
+            let repair = incremental_resolve(
+                &problem,
+                self.config.objective,
+                &self.deployment,
+                &repair_config,
+            );
+            let est_gain = repair.incumbent_cost - repair.cost;
+            let amortized = self.config.policy.migration_cost_per_node * repair.moved as f64;
+            let accepted = repair.moved > 0
+                && est_gain
+                    >= self.config.policy.min_gain * repair.incumbent_cost.max(f64::MIN_POSITIVE)
+                && est_gain > amortized;
+            self.events.push(OnlineEvent::Resolve {
+                epoch,
+                freed: repair.freed.clone(),
+                moved: repair.moved,
+                est_gain,
+                solve_seconds: repair.solve_seconds,
+                accepted,
+            });
+            if accepted {
+                let before = truth_problem.cost(self.config.objective, &self.deployment);
+                let after = truth_problem.cost(self.config.objective, &repair.deployment);
+                self.deployment = repair.deployment;
+                moved = repair.moved;
+                self.moved_total += moved as u64;
+                self.migration_cost_paid += amortized;
+                self.events.push(OnlineEvent::Migrate {
+                    epoch,
+                    moved,
+                    true_cost_before: before,
+                    true_cost_after: after,
+                });
+            }
+        }
+
+        // Account the epoch under the plan that is active *after* any
+        // migration this epoch.
+        let est_cost = problem.cost(self.config.objective, &self.deployment);
+        let true_cost = truth_problem.cost(self.config.objective, &self.deployment);
+        self.total_true_cost += true_cost;
+        self.cost_curve.push((m.at_hours, true_cost));
+        self.events.push(OnlineEvent::Epoch {
+            epoch,
+            at_hours: m.at_hours,
+            round_trips: m.round_trips,
+            est_cost,
+            true_cost,
+        });
+        self.epoch += 1;
+
+        EpochSummary { epoch, at_hours: m.at_hours, est_cost, true_cost, triggered, moved }
+    }
+
+    /// Drives the loop for `epochs` epochs of a stream.
+    pub fn run<S: MeasurementStream>(&mut self, stream: &mut S, epochs: u64) -> Vec<EpochSummary> {
+        (0..epochs)
+            .map(|_| {
+                let m = stream.next_epoch();
+                let summary = self.step(&m, stream.network());
+                summary
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SimStream;
+    use cloudia_measure::{MeasureConfig, Staged};
+    use cloudia_netsim::{Cloud, Provider};
+
+    fn setup(n_nodes: usize, instances: usize, seed: u64) -> (CommGraph, Network, Deployment) {
+        let graph = CommGraph::ring(n_nodes);
+        let mut cloud = Cloud::boot(Provider::ec2_like(), seed);
+        let alloc = cloud.allocate(instances);
+        let net = cloud.network(&alloc);
+        let initial: Deployment = (0..n_nodes as u32).collect();
+        (graph, net, initial)
+    }
+
+    fn fast_config() -> OnlineAdvisorConfig {
+        OnlineAdvisorConfig {
+            solve_seconds: 0.3,
+            migration_budget: 2,
+            detector: DetectorConfig { warmup: 3, threshold: 6.0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn loop_runs_and_logs_epochs() {
+        let (graph, net, initial) = setup(5, 7, 1);
+        let mut advisor = OnlineAdvisor::new(graph, 7, initial, fast_config());
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 2.0, 9);
+        let summaries = advisor.run(&mut stream, 6);
+        assert_eq!(summaries.len(), 6);
+        assert_eq!(advisor.cost_curve().len(), 6);
+        let epochs =
+            advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Epoch { .. })).count();
+        assert_eq!(epochs, 6);
+        assert!(summaries.iter().all(|s| s.true_cost > 0.0));
+        assert!(advisor.time_averaged_cost() > 0.0);
+    }
+
+    #[test]
+    fn migrations_never_exceed_the_budget_per_epoch() {
+        let (graph, net, initial) = setup(6, 9, 2);
+        let mut config = fast_config();
+        config.policy = RedeployPolicy { min_gain: 0.0, migration_cost_per_node: 0.0 };
+        let mut advisor = OnlineAdvisor::new(graph, 9, initial, config);
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 6.0, 13);
+        let summaries = advisor.run(&mut stream, 10);
+        for s in &summaries {
+            assert!(s.moved <= 2, "epoch {}: moved {}", s.epoch, s.moved);
+        }
+        assert_eq!(advisor.moved_total(), summaries.iter().map(|s| s.moved as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn prohibitive_migration_cost_freezes_the_plan() {
+        let (graph, net, initial) = setup(5, 7, 3);
+        let mut config = fast_config();
+        config.policy = RedeployPolicy { min_gain: 0.0, migration_cost_per_node: 1e9 };
+        let mut advisor = OnlineAdvisor::new(graph, 7, initial.clone(), config);
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 6.0, 17);
+        advisor.run(&mut stream, 8);
+        assert_eq!(advisor.deployment(), &initial);
+        assert_eq!(advisor.migration_cost_paid(), 0.0);
+        assert!(advisor.events().iter().all(|e| !matches!(e, OnlineEvent::Migrate { .. })));
+    }
+
+    #[test]
+    fn trigger_instances_are_recorded_when_asked() {
+        let (graph, net, initial) = setup(5, 7, 4);
+        let mut config = fast_config();
+        config.record_triggers = true;
+        config.policy = RedeployPolicy { min_gain: 0.0, migration_cost_per_node: 0.0 };
+        let mut advisor = OnlineAdvisor::new(graph, 7, initial, config);
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 8.0, 19);
+        advisor.run(&mut stream, 12);
+        let resolves =
+            advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Resolve { .. })).count();
+        assert_eq!(advisor.trigger_instances().len(), resolves);
+    }
+}

@@ -1,0 +1,189 @@
+//! Change-point detection on per-link latency streams.
+//!
+//! The online advisor must distinguish the paper's benign hour-scale OU
+//! wiggle (Figs. 2/19/21 — links keep their relative order, no action
+//! needed) from genuine regime changes (a re-routed path, a noisy
+//! neighbour moving in) that warrant a re-solve. Both detectors consume
+//! **standardized residuals** `z = (x − μ̂)/σ̂` of the per-epoch link means
+//! against the link's EWMA baseline, so their thresholds are scale-free
+//! and one configuration serves every link:
+//!
+//! * **CUSUM** (two-sided): accumulates `z − k` excursions in each
+//!   direction and fires when a sum exceeds `h`. The classic choice when
+//!   the post-change mean shift is roughly known (`k` ≈ half the shift in
+//!   σ units).
+//! * **Page–Hinkley**: tracks the cumulative residual against its running
+//!   extremum and fires when the gap exceeds `λ`. Slightly more robust
+//!   when the shift magnitude is unknown.
+//!
+//! Under stationary drift, standardized residuals are ≈ N(0, 1), so the
+//! false-positive rate is controlled by `threshold` alone; the property
+//! tests pin it empirically.
+
+/// Which detection algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorKind {
+    /// Two-sided CUSUM with slack `k` and threshold `h`.
+    #[default]
+    Cusum,
+    /// Page–Hinkley with tolerance `δ` (the slack) and threshold `λ`.
+    PageHinkley,
+}
+
+/// Detector configuration, shared by every link.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Algorithm.
+    pub kind: DetectorKind,
+    /// Slack per observation in σ units (CUSUM's `k`, Page–Hinkley's `δ`):
+    /// drifts smaller than ~2·slack are absorbed.
+    pub slack: f64,
+    /// Alarm threshold in σ units (CUSUM's `h`, Page–Hinkley's `λ`).
+    /// Larger = fewer false positives, slower detection.
+    pub threshold: f64,
+    /// Observations a link must accumulate before the detector arms —
+    /// until the EWMA baseline has settled, residuals are meaningless.
+    pub warmup: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self { kind: DetectorKind::Cusum, slack: 0.5, threshold: 9.0, warmup: 8 }
+    }
+}
+
+/// Direction of a detected change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drift {
+    /// No change detected at this observation.
+    None,
+    /// Mean shifted up (degradation for a latency stream).
+    Up,
+    /// Mean shifted down (improvement opportunity).
+    Down,
+}
+
+/// One link's change-point detector state.
+#[derive(Debug, Clone)]
+pub struct ChangeDetector {
+    config: DetectorConfig,
+    seen: u64,
+    // CUSUM sums.
+    pos: f64,
+    neg: f64,
+    // Page–Hinkley cumulative residual and its extrema.
+    cum: f64,
+    cum_min: f64,
+    cum_max: f64,
+}
+
+impl ChangeDetector {
+    /// Fresh detector with the given configuration.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self { config, seen: 0, pos: 0.0, neg: 0.0, cum: 0.0, cum_min: 0.0, cum_max: 0.0 }
+    }
+
+    /// Feeds one standardized residual; returns the detection verdict.
+    /// On an alarm the internal state resets, so a persistent shift fires
+    /// once and then re-arms against the (re-baselined) stream.
+    pub fn observe(&mut self, z: f64) -> Drift {
+        self.seen += 1;
+        if self.seen <= self.config.warmup {
+            return Drift::None;
+        }
+        let drift = match self.config.kind {
+            DetectorKind::Cusum => {
+                self.pos = (self.pos + z - self.config.slack).max(0.0);
+                self.neg = (self.neg - z - self.config.slack).max(0.0);
+                if self.pos > self.config.threshold {
+                    Drift::Up
+                } else if self.neg > self.config.threshold {
+                    Drift::Down
+                } else {
+                    Drift::None
+                }
+            }
+            DetectorKind::PageHinkley => {
+                self.cum += z - self.config.slack * z.signum();
+                self.cum_min = self.cum_min.min(self.cum);
+                self.cum_max = self.cum_max.max(self.cum);
+                if self.cum - self.cum_min > self.config.threshold {
+                    Drift::Up
+                } else if self.cum_max - self.cum > self.config.threshold {
+                    Drift::Down
+                } else {
+                    Drift::None
+                }
+            }
+        };
+        if drift != Drift::None {
+            self.reset();
+        }
+        drift
+    }
+
+    /// Number of observations consumed (including warmup).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0.0;
+        self.neg = 0.0;
+        self.cum = 0.0;
+        self.cum_min = 0.0;
+        self.cum_max = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(detector: &mut ChangeDetector, zs: impl IntoIterator<Item = f64>) -> Vec<Drift> {
+        zs.into_iter().map(|z| detector.observe(z)).collect()
+    }
+
+    #[test]
+    fn quiet_stream_never_fires() {
+        for kind in [DetectorKind::Cusum, DetectorKind::PageHinkley] {
+            let mut d = ChangeDetector::new(DetectorConfig { kind, ..Default::default() });
+            // Alternating small residuals, well under the slack.
+            let verdicts = feed(&mut d, (0..500).map(|i| if i % 2 == 0 { 0.3 } else { -0.3 }));
+            assert!(verdicts.iter().all(|&v| v == Drift::None), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sustained_shift_fires_up_then_rearms() {
+        for kind in [DetectorKind::Cusum, DetectorKind::PageHinkley] {
+            let mut d = ChangeDetector::new(DetectorConfig { kind, ..Default::default() });
+            // Warmup of zeros, then a +2σ sustained shift.
+            let verdicts = feed(&mut d, (0..8).map(|_| 0.0).chain((0..20).map(|_| 2.0)));
+            let fires = verdicts.iter().filter(|&&v| v == Drift::Up).count();
+            assert!(fires >= 1, "{kind:?} never fired");
+            assert!(verdicts.iter().all(|&v| v != Drift::Down), "{kind:?}");
+            // Reset re-arms: feeding the shift again fires again.
+            let again = feed(&mut d, (0..20).map(|_| 2.0));
+            assert!(again.contains(&Drift::Up), "{kind:?} did not re-arm");
+        }
+    }
+
+    #[test]
+    fn downward_shift_fires_down() {
+        for kind in [DetectorKind::Cusum, DetectorKind::PageHinkley] {
+            let mut d = ChangeDetector::new(DetectorConfig { kind, ..Default::default() });
+            let verdicts = feed(&mut d, (0..8).map(|_| 0.0).chain((0..20).map(|_| -2.0)));
+            assert!(verdicts.contains(&Drift::Down), "{kind:?}");
+            assert!(verdicts.iter().all(|&v| v != Drift::Up), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn warmup_suppresses_early_alarms() {
+        let mut d = ChangeDetector::new(DetectorConfig { warmup: 10, ..Default::default() });
+        let verdicts = feed(&mut d, (0..10).map(|_| 100.0));
+        assert!(verdicts.iter().all(|&v| v == Drift::None));
+        assert_eq!(d.seen(), 10);
+    }
+}

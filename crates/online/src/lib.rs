@@ -1,0 +1,62 @@
+//! # cloudia-online — continuous deployment advisement
+//!
+//! The paper's architecture (§2.2.1) treats re-deployment as batch
+//! "iterations of the architecture": re-measure everything, re-search
+//! from scratch, re-deploy. This crate replaces that loop with a
+//! **streaming control loop** for a production setting where the
+//! application keeps serving traffic while conditions drift:
+//!
+//! * [`stream`] — [`MeasurementStream`]: per-epoch incremental
+//!   measurement rounds (staged/uncoordinated schemes via
+//!   `Scheme::run_onto`) against a time-stepped drifting network, with
+//!   cumulative per-link statistics that survive across rounds;
+//! * [`stats`] — [`OnlineStore`]: EWMA mean/variance per link, so even
+//!   links the current plan does not use accumulate usable history;
+//! * [`detect`] — CUSUM / Page–Hinkley change-point detectors on
+//!   standardized residuals, separating the benign hour-scale OU wiggle
+//!   (paper Figs. 2/19/21) from genuine regime changes;
+//! * [`repair`] — budgeted incremental re-solve: free the worst `k`
+//!   nodes, pin the rest, warm-start the solver portfolio with the
+//!   incumbent as a bound;
+//! * [`advisor`] — [`OnlineAdvisor`]: the loop itself, with migration
+//!   economics ([`cloudia_core::RedeployPolicy`]), an event log, and a
+//!   ground-truth cost curve.
+//!
+//! ```
+//! use cloudia_core::CommGraph;
+//! use cloudia_measure::{MeasureConfig, Staged};
+//! use cloudia_netsim::{Cloud, Provider};
+//! use cloudia_online::{OnlineAdvisor, OnlineAdvisorConfig, SimStream};
+//!
+//! let graph = CommGraph::ring(5);
+//! let mut cloud = Cloud::boot(Provider::ec2_like(), 1);
+//! let alloc = cloud.allocate(7);
+//! let net = cloud.network(&alloc);
+//!
+//! let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 2.0, 7);
+//! let mut advisor = OnlineAdvisor::new(
+//!     graph,
+//!     7,
+//!     (0..5).collect(),
+//!     OnlineAdvisorConfig { solve_seconds: 0.2, ..Default::default() },
+//! );
+//! let summaries = advisor.run(&mut stream, 3);
+//! assert_eq!(summaries.len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod advisor;
+pub mod detect;
+pub mod repair;
+pub mod stats;
+pub mod stream;
+
+pub use advisor::{EpochSummary, OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, TriggerInstance};
+pub use detect::{ChangeDetector, DetectorConfig, DetectorKind, Drift};
+pub use repair::{incremental_resolve, select_free_nodes, RepairConfig, RepairOutcome};
+pub use stats::{EwmaVar, LinkChange, LinkOnline, OnlineStore};
+pub use stream::{
+    record_trajectory, EpochMeasurement, LinkDelta, MeasurementStream, ReplayStream, SimStream,
+};

@@ -1,0 +1,203 @@
+//! Budgeted incremental re-solve: local repair around the incumbent.
+//!
+//! A full cold re-solve explores all `m!/(m−n)!` deployments; an online
+//! trigger rarely justifies that. The repair instead:
+//!
+//! 1. ranks the application nodes by how much they contribute to the
+//!    current plan's cost (the maximum cost over their incident deployed
+//!    links, under the *estimated* costs that raised the trigger);
+//! 2. frees the worst `k` nodes — `k` is the migration budget, since only
+//!    freed nodes can move — and pins the rest to their incumbent
+//!    instances;
+//! 3. warm-starts the solver portfolio inside that neighbourhood, with
+//!    the incumbent as the initial bound.
+//!
+//! The search space shrinks from arranging `n` nodes to arranging `k`
+//! (over the `m − n + k` instances the pins leave reachable), which is why
+//! incremental re-solves close in a fraction of a cold solve's time — and
+//! [`SearchStrategy::run_with_hint`]'s contract guarantees the result is
+//! never worse than the incumbent and moves at most `k` nodes.
+
+use std::time::Instant;
+
+use cloudia_core::{NodeDeployment, SearchStrategy, SolveHint};
+use cloudia_solver::{Budget, Objective, PortfolioConfig, SolveOutcome};
+
+/// Configuration of one incremental re-solve.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Migration budget `k`: at most this many nodes may move.
+    pub migration_budget: usize,
+    /// Wall-clock budget for the repair search (seconds).
+    pub solve_seconds: f64,
+    /// Portfolio worker threads (0 = all cores).
+    pub threads: usize,
+    /// RNG seed for the embedded searches.
+    pub seed: u64,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        Self { migration_budget: 3, solve_seconds: 1.0, threads: 0, seed: 0 }
+    }
+}
+
+/// What one incremental re-solve produced.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired plan (never worse than the incumbent under the
+    /// estimated costs).
+    pub deployment: Vec<u32>,
+    /// Its cost under the estimated costs the repair searched on.
+    pub cost: f64,
+    /// The incumbent's cost under the same estimates.
+    pub incumbent_cost: f64,
+    /// Nodes that actually moved (≤ the migration budget).
+    pub moved: usize,
+    /// The nodes the repair freed.
+    pub freed: Vec<u32>,
+    /// The raw search outcome.
+    pub solve: SolveOutcome,
+    /// Wall-clock seconds the search took.
+    pub solve_seconds: f64,
+}
+
+/// Ranks nodes by their contribution to the incumbent plan's cost and
+/// returns the worst `k` (ties toward lower node index, for
+/// reproducibility).
+pub fn select_free_nodes(problem: &NodeDeployment, incumbent: &[u32], k: usize) -> Vec<u32> {
+    let n = problem.num_nodes;
+    let mut score = vec![0.0f64; n];
+    for &(a, b) in &problem.edges {
+        let c = problem.costs.get(incumbent[a as usize] as usize, incumbent[b as usize] as usize);
+        score[a as usize] = score[a as usize].max(c);
+        score[b as usize] = score[b as usize].max(c);
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        score[b as usize].partial_cmp(&score[a as usize]).unwrap().then(a.cmp(&b))
+    });
+    order.truncate(k.min(n));
+    order.sort_unstable();
+    order
+}
+
+/// Runs one budgeted incremental re-solve around `incumbent`.
+///
+/// # Panics
+/// Panics if the incumbent is not a valid deployment of `problem`.
+pub fn incremental_resolve(
+    problem: &NodeDeployment,
+    objective: Objective,
+    incumbent: &[u32],
+    config: &RepairConfig,
+) -> RepairOutcome {
+    assert!(problem.is_valid(incumbent), "repair incumbent is not a valid deployment");
+    let n = problem.num_nodes;
+    let k = config.migration_budget.min(n);
+    let freed = select_free_nodes(problem, incumbent, k);
+
+    let mut fixed: Vec<Option<u32>> = incumbent.iter().map(|&j| Some(j)).collect();
+    for &v in &freed {
+        fixed[v as usize] = None;
+    }
+
+    let strategy = SearchStrategy::Portfolio(PortfolioConfig {
+        budget: Budget::seconds(config.solve_seconds),
+        threads: config.threads,
+        seed: config.seed,
+        ..PortfolioConfig::default()
+    });
+    let hint = SolveHint::Incremental { incumbent: incumbent.to_vec(), fixed };
+
+    let t0 = Instant::now();
+    let solve = strategy.run_with_hint(problem, objective, &hint);
+    let solve_seconds = t0.elapsed().as_secs_f64();
+
+    let incumbent_cost = problem.cost(objective, incumbent);
+    let moved = incumbent.iter().zip(&solve.deployment).filter(|(a, b)| a != b).count();
+    RepairOutcome {
+        deployment: solve.deployment.clone(),
+        cost: solve.cost,
+        incumbent_cost,
+        moved,
+        freed,
+        solve,
+        solve_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudia_solver::Costs;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_problem(n: usize, m: usize, seed: u64) -> NodeDeployment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
+            .collect();
+        let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        NodeDeployment::new(n, edges, Costs::from_matrix(rows))
+    }
+
+    #[test]
+    fn free_nodes_cover_the_worst_link() {
+        let p = random_problem(6, 9, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = p.random_deployment(&mut rng);
+        // The worst deployed link's endpoints must rank in the top 2.
+        let freed = select_free_nodes(&p, &d, 2);
+        let worst_edge = p
+            .edges
+            .iter()
+            .max_by(|&&(a, b), &&(c, e)| {
+                let ca = p.costs.get(d[a as usize] as usize, d[b as usize] as usize);
+                let cb = p.costs.get(d[c as usize] as usize, d[e as usize] as usize);
+                ca.partial_cmp(&cb).unwrap()
+            })
+            .unwrap();
+        assert!(
+            freed.contains(&worst_edge.0) || freed.contains(&worst_edge.1),
+            "freed {freed:?} misses worst edge {worst_edge:?}"
+        );
+    }
+
+    #[test]
+    fn repair_moves_at_most_k_and_never_degrades() {
+        let p = random_problem(8, 12, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for trial in 0..5 {
+            let incumbent = p.random_deployment(&mut rng);
+            let config =
+                RepairConfig { migration_budget: 2, solve_seconds: 2.0, threads: 1, seed: trial };
+            let out = incremental_resolve(&p, Objective::LongestLink, &incumbent, &config);
+            assert!(p.is_valid(&out.deployment), "trial {trial}");
+            assert!(out.moved <= 2, "trial {trial}: moved {}", out.moved);
+            assert!(
+                out.cost <= out.incumbent_cost + 1e-12,
+                "trial {trial}: {} worse than {}",
+                out.cost,
+                out.incumbent_cost
+            );
+            // Pinned nodes stayed put.
+            for v in 0..8u32 {
+                if !out.freed.contains(&v) {
+                    assert_eq!(out.deployment[v as usize], incumbent[v as usize]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_budget_repair_is_a_noop() {
+        let p = random_problem(5, 7, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let incumbent = p.random_deployment(&mut rng);
+        let config = RepairConfig { migration_budget: 0, solve_seconds: 0.2, ..Default::default() };
+        let out = incremental_resolve(&p, Objective::LongestLink, &incumbent, &config);
+        assert_eq!(out.deployment, incumbent);
+        assert_eq!(out.moved, 0);
+    }
+}

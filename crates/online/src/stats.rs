@@ -1,0 +1,262 @@
+//! Per-link online statistics: EWMA mean/variance plus change detection.
+//!
+//! Every link keeps an exponentially weighted moving average of its
+//! per-epoch mean latency and an EWMA of the squared residuals (variance),
+//! so the store always has a current estimate for **every link ever
+//! measured** — the cross-round memory the paper's batch iteration lacks.
+//! Each observation is also standardized against the pre-update baseline
+//! and fed to the link's [`ChangeDetector`].
+
+use crate::detect::{ChangeDetector, DetectorConfig, Drift};
+use crate::stream::EpochMeasurement;
+use cloudia_core::{CostMatrix, LinkHistory};
+
+/// Exponentially weighted mean/variance of a scalar stream.
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaVar {
+    alpha: f64,
+    mean: f64,
+    var: f64,
+    count: u64,
+}
+
+impl EwmaVar {
+    /// New accumulator with smoothing factor `alpha` in (0, 1]; larger
+    /// alpha weights recent epochs more.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        Self { alpha, mean: 0.0, var: 0.0, count: 0 }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        if self.count == 0 {
+            self.mean = x;
+            self.var = 0.0;
+        } else {
+            let delta = x - self.mean;
+            // West (1979) incremental EWMA variance.
+            self.var = (1.0 - self.alpha) * (self.var + self.alpha * delta * delta);
+            self.mean += self.alpha * delta;
+        }
+        self.count += 1;
+    }
+
+    /// Observations consumed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current smoothed mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Current smoothed variance.
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// Current smoothed standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// One link's online state.
+#[derive(Debug, Clone)]
+pub struct LinkOnline {
+    /// EWMA of per-epoch means.
+    pub ewma: EwmaVar,
+    detector: ChangeDetector,
+    /// Raw samples accumulated across all epochs.
+    pub samples: u64,
+}
+
+/// A change detected on one link during an epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkChange {
+    /// Source instance index.
+    pub src: u32,
+    /// Destination instance index.
+    pub dst: u32,
+    /// Direction of the shift.
+    pub drift: Drift,
+    /// The epoch mean that triggered the alarm (ms).
+    pub mean: f64,
+}
+
+/// Per-link online statistics over `n` instances.
+#[derive(Debug, Clone)]
+pub struct OnlineStore {
+    n: usize,
+    links: Vec<LinkOnline>,
+}
+
+impl OnlineStore {
+    /// Empty store for `n` instances.
+    pub fn new(n: usize, alpha: f64, detector: DetectorConfig) -> Self {
+        let proto = LinkOnline {
+            ewma: EwmaVar::new(alpha),
+            detector: ChangeDetector::new(detector),
+            samples: 0,
+        };
+        Self { n, links: vec![proto; n * n] }
+    }
+
+    /// Number of instances covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if sized for zero instances.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// One link's online state.
+    pub fn link(&self, src: usize, dst: usize) -> &LinkOnline {
+        &self.links[src * self.n + dst]
+    }
+
+    /// Ingests one epoch's deltas: updates every observed link's EWMA and
+    /// runs its change detector on the standardized residual. Returns the
+    /// links whose detectors fired.
+    pub fn observe_epoch(&mut self, m: &EpochMeasurement) -> Vec<LinkChange> {
+        let mut changes = Vec::new();
+        for d in &m.deltas {
+            let link = &mut self.links[d.src as usize * self.n + d.dst as usize];
+            // Standardize against the *pre-update* baseline; a relative
+            // floor keeps early near-zero variances from manufacturing
+            // huge z-scores out of sampling noise.
+            let sd_floor = (0.02 * link.ewma.mean()).max(1e-9);
+            let z = if link.ewma.count() > 0 {
+                (d.mean - link.ewma.mean()) / link.ewma.sd().max(sd_floor)
+            } else {
+                0.0
+            };
+            link.ewma.observe(d.mean);
+            link.samples += d.count;
+            let drift = link.detector.observe(z);
+            if drift != Drift::None {
+                changes.push(LinkChange { src: d.src, dst: d.dst, drift, mean: d.mean });
+            }
+        }
+        changes
+    }
+
+    /// Number of links with at least one observation.
+    pub fn covered_links(&self) -> usize {
+        self.links.iter().filter(|l| l.ewma.count() > 0).count()
+    }
+
+    /// Current cost matrix of EWMA means (0 for never-observed links).
+    pub fn cost_matrix(&self) -> CostMatrix {
+        let rows = (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| if i == j { 0.0 } else { self.link(i, j).ewma.mean() })
+                    .collect()
+            })
+            .collect();
+        CostMatrix::from_matrix(rows)
+    }
+
+    /// Exports the store as re-deployment [`LinkHistory`]: EWMA mean per
+    /// link, weighted by the number of *epochs* observed (an EWMA is worth
+    /// its epoch count, not its raw sample count, when blended against a
+    /// fresh round).
+    pub fn history(&self) -> LinkHistory {
+        let mut h = LinkHistory::new(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    let l = self.link(i, j);
+                    if l.ewma.count() > 0 {
+                        h.set(i, j, l.ewma.mean(), l.ewma.count() as f64);
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::LinkDelta;
+
+    fn epoch(deltas: Vec<LinkDelta>, e: u64) -> EpochMeasurement {
+        EpochMeasurement {
+            epoch: e,
+            at_hours: e as f64,
+            elapsed_ms: 1.0,
+            round_trips: deltas.iter().map(|d| d.count).sum(),
+            deltas,
+        }
+    }
+
+    fn delta(src: u32, dst: u32, mean: f64) -> LinkDelta {
+        LinkDelta { src, dst, mean, count: 10 }
+    }
+
+    #[test]
+    fn ewma_tracks_level_shifts() {
+        let mut e = EwmaVar::new(0.3);
+        for _ in 0..50 {
+            e.observe(1.0);
+        }
+        assert!((e.mean() - 1.0).abs() < 1e-9);
+        assert!(e.sd() < 1e-6);
+        for _ in 0..50 {
+            e.observe(2.0);
+        }
+        assert!((e.mean() - 2.0).abs() < 1e-3, "mean {}", e.mean());
+    }
+
+    #[test]
+    fn store_accumulates_across_epochs() {
+        let mut store = OnlineStore::new(3, 0.3, DetectorConfig::default());
+        for e in 0..5 {
+            store.observe_epoch(&epoch(vec![delta(0, 1, 2.0), delta(1, 0, 3.0)], e));
+        }
+        assert_eq!(store.covered_links(), 2);
+        assert_eq!(store.link(0, 1).samples, 50);
+        assert!((store.link(0, 1).ewma.mean() - 2.0).abs() < 1e-9);
+        let costs = store.cost_matrix();
+        assert!((costs.get(1, 0) - 3.0).abs() < 1e-9);
+        assert_eq!(costs.get(2, 0), 0.0);
+        let h = store.history();
+        assert_eq!(h.covered_links(), 2);
+        assert_eq!(h.get(0, 1).unwrap().1, 5.0);
+    }
+
+    #[test]
+    fn step_shift_raises_a_change() {
+        let cfg = DetectorConfig { warmup: 4, ..Default::default() };
+        let mut store = OnlineStore::new(2, 0.2, cfg);
+        let mut fired = Vec::new();
+        for e in 0..40 {
+            // Mild noise, then a 40% step at epoch 20.
+            let noise = if e % 2 == 0 { 0.01 } else { -0.01 };
+            let level = if e < 20 { 1.0 } else { 1.4 };
+            fired.extend(store.observe_epoch(&epoch(vec![delta(0, 1, level + noise)], e)));
+        }
+        assert!(!fired.is_empty(), "step shift went undetected");
+        assert!(fired.iter().all(|c| c.drift == Drift::Up));
+        assert!(fired.iter().all(|c| c.src == 0 && c.dst == 1));
+    }
+
+    #[test]
+    fn stationary_noise_stays_quiet() {
+        let mut store = OnlineStore::new(2, 0.2, DetectorConfig::default());
+        let mut fired = 0usize;
+        for e in 0..200 {
+            // Bounded deterministic wiggle around a stable level.
+            let x = 1.0 + 0.03 * ((e as f64) * 0.7).sin();
+            fired += store.observe_epoch(&epoch(vec![delta(0, 1, x)], e)).len();
+        }
+        assert_eq!(fired, 0, "false positives under stationary wiggle");
+    }
+}

@@ -78,6 +78,12 @@ pub struct CpConfig {
     pub bootstrap_samples: u64,
     /// Optional externally-supplied initial deployment.
     pub initial: Option<Vec<u32>>,
+    /// Optional per-node fixed assignments (`fixed[v] = Some(j)` pins node
+    /// `v` to instance `j`). The search then only explores deployments
+    /// honouring the pins — the incremental-repair mode, where all but a
+    /// budgeted set of nodes stay put. An UNSAT proof under fixings proves
+    /// optimality *within the repair neighbourhood*, not globally.
+    pub fixed: Option<Vec<Option<u32>>>,
     /// Enable degree-compatibility domain pre-filtering (the Zampelli-style
     /// labeling). On by default; exposed for the ablation benchmark.
     pub degree_filter: bool,
@@ -94,6 +100,7 @@ impl Default for CpConfig {
             seed: 0,
             bootstrap_samples: 10,
             initial: None,
+            fixed: None,
             degree_filter: true,
             propagation: Propagation::Trail,
         }
@@ -139,12 +146,20 @@ pub fn solve_llndp_cp_with(
     let search_problem =
         NodeDeployment::new(problem.num_nodes, problem.edges.clone(), search_costs);
 
-    // Bootstrap incumbent.
+    let fixed = config.fixed.as_deref();
+    if let (Some(f), Some(init)) = (fixed, config.initial.as_deref()) {
+        debug_assert!(respects_fixed(init, f), "initial deployment violates fixed assignments");
+    }
+
+    // Bootstrap incumbent (honouring fixed assignments, if any).
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut incumbent: Vec<u32> = config.initial.clone().unwrap_or_else(|| {
         let mut best: Option<(Vec<u32>, f64)> = None;
         for _ in 0..config.bootstrap_samples.max(1) {
-            let d = problem.random_deployment(&mut rng);
+            let d = match fixed {
+                Some(f) => problem.random_deployment_with(f, &mut rng),
+                None => problem.random_deployment(&mut rng),
+            };
             let c = search_problem.longest_link(&d);
             if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
                 best = Some((d, c));
@@ -177,7 +192,13 @@ pub fn solve_llndp_cp_with(
         // no-news case before touching the control's mutex.
         if control.bound() < result_cost {
             if let Some((d, _)) = control.best() {
-                if d != incumbent && problem.is_valid(&d) {
+                // Under fixings, a foreign deployment that moves a pinned
+                // node must not tighten the threshold: its cost may be
+                // unreachable inside the repair neighbourhood.
+                if d != incumbent
+                    && problem.is_valid(&d)
+                    && fixed.is_none_or(|f| respects_fixed(&d, f))
+                {
                     let c = search_problem.longest_link(&d);
                     let orig = problem.longest_link(&d);
                     // Tighten the threshold bound; `incumbent` itself is
@@ -215,6 +236,7 @@ pub fn solve_llndp_cp_with(
         let sip_result = sip.solve(
             config.propagation,
             config.degree_filter,
+            fixed,
             start,
             deadline,
             config.budget.node_limit - explored,
@@ -342,9 +364,20 @@ impl SipSearch {
 
     /// Initial domains, optionally pre-filtered by degree compatibility;
     /// `None` means some variable has an empty domain (immediate UNSAT).
-    fn initial_domains(&self, degree_filter: bool) -> Option<Vec<Vec<u64>>> {
+    /// Fixed assignments collapse their node's domain to a singleton
+    /// (overriding the degree filter — adjacency checks during search have
+    /// the final word on feasibility).
+    fn initial_domains(
+        &self,
+        degree_filter: bool,
+        fixed: Option<&[Option<u32>]>,
+    ) -> Option<Vec<Vec<u64>>> {
         let mut domains = vec![vec![0u64; self.words]; self.n];
         for (v, dom) in domains.iter_mut().enumerate() {
+            if let Some(j) = fixed.and_then(|f| f[v]) {
+                dom[j as usize / 64] |= 1u64 << (j % 64);
+                continue;
+            }
             let need_out = self.out_adj[v].len() as u32;
             let need_in = self.in_adj[v].len() as u32;
             for j in 0..self.m {
@@ -366,16 +399,18 @@ impl SipSearch {
         Some(domains)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn solve(
         &mut self,
         propagation: Propagation,
         degree_filter: bool,
+        fixed: Option<&[Option<u32>]>,
         start: Instant,
         deadline_s: f64,
         node_limit: u64,
         control: &SearchControl,
     ) -> Sip {
-        let Some(domains) = self.initial_domains(degree_filter) else { return Sip::Unsat };
+        let Some(domains) = self.initial_domains(degree_filter, fixed) else { return Sip::Unsat };
         let order = self.value_order.clone();
         match propagation {
             Propagation::Trail => {
@@ -656,6 +691,12 @@ impl SipSearch {
     }
 }
 
+/// True if `deployment` honours every pinned node in `fixed`.
+pub(crate) fn respects_fixed(deployment: &[u32], fixed: &[Option<u32>]) -> bool {
+    deployment.len() == fixed.len()
+        && fixed.iter().zip(deployment).all(|(f, &d)| f.is_none_or(|j| j == d))
+}
+
 #[inline]
 fn bitset_count(bits: &[u64]) -> u32 {
     bits.iter().map(|w| w.count_ones()).sum()
@@ -752,6 +793,62 @@ mod tests {
             assert!(out.proven_optimal, "seed {seed} not proven");
             assert!((out.cost - opt).abs() < 1e-9, "seed {seed}: cp {} opt {opt}", out.cost);
         }
+    }
+
+    /// Brute-force optimum over deployments honouring fixed assignments.
+    fn brute_force_fixed(problem: &NodeDeployment, fixed: &[Option<u32>]) -> f64 {
+        fn rec(
+            problem: &NodeDeployment,
+            fixed: &[Option<u32>],
+            partial: &mut Vec<u32>,
+            used: &mut Vec<bool>,
+            best: &mut f64,
+        ) {
+            if partial.len() == problem.num_nodes {
+                *best = best.min(problem.longest_link(partial));
+                return;
+            }
+            let v = partial.len();
+            for j in 0..problem.num_instances() {
+                if !used[j] && fixed[v].is_none_or(|f| f as usize == j) {
+                    used[j] = true;
+                    partial.push(j as u32);
+                    rec(problem, fixed, partial, used, best);
+                    partial.pop();
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(problem, fixed, &mut Vec::new(), &mut vec![false; problem.num_instances()], &mut best);
+        best
+    }
+
+    #[test]
+    fn cp_fixed_assignments_are_honoured_and_locally_optimal() {
+        for seed in 0..5 {
+            let p =
+                NodeDeployment::new(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)], random_costs(7, seed));
+            // Pin nodes 0 and 2; only nodes 1, 3, 4 may move.
+            let fixed = vec![Some(3u32), None, Some(0u32), None, None];
+            let config = CpConfig { fixed: Some(fixed.clone()), ..exact_config() };
+            let out = solve_llndp_cp(&p, &config);
+            assert!(p.is_valid(&out.deployment), "seed {seed}");
+            assert!(respects_fixed(&out.deployment, &fixed), "seed {seed}: pins moved");
+            assert!(out.proven_optimal, "seed {seed} not proven within neighbourhood");
+            let opt = brute_force_fixed(&p, &fixed);
+            assert!((out.cost - opt).abs() < 1e-9, "seed {seed}: cp {} fixed-opt {opt}", out.cost);
+        }
+    }
+
+    #[test]
+    fn cp_all_nodes_fixed_returns_the_pinned_plan() {
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2)], random_costs(5, 3));
+        let pinned = vec![Some(4u32), Some(1), Some(2)];
+        let out = solve_llndp_cp(&p, &CpConfig { fixed: Some(pinned.clone()), ..exact_config() });
+        assert_eq!(out.deployment, vec![4, 1, 2]);
+        assert!(out.proven_optimal);
+        assert_eq!(out.cost, p.longest_link(&out.deployment));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rand::{rngs::StdRng, SeedableRng};
 
 use crate::cluster::CostClusters;
 use crate::lp::{Constraint, Lp, Sense};
-use crate::mip::{solve_mip, MipEngineConfig, MipHooks};
+use crate::mip::{solve_mip_with, MipEngineConfig, MipHooks};
 use crate::outcome::{Budget, Objective, SolveOutcome};
 use crate::problem::{Costs, NodeDeployment};
 
@@ -37,6 +37,13 @@ pub struct MipConfig {
     pub seed: u64,
     /// Bootstrap random deployments (paper: 10).
     pub bootstrap_samples: u64,
+    /// Optional externally-supplied initial deployment (warm start): the
+    /// bootstrap keeps it if nothing sampled beats it.
+    pub initial: Option<Vec<u32>>,
+    /// Optional per-node fixed assignments (`fixed[v] = Some(j)` pins node
+    /// `v` to instance `j`): encoded as `x_vj = 1` rows, so the
+    /// branch-and-bound only explores the repair neighbourhood.
+    pub fixed: Option<Vec<Option<u32>>>,
     /// Engine knobs.
     pub engine: MipEngineConfig,
 }
@@ -49,6 +56,8 @@ impl Default for MipConfig {
             quantum: 0.01,
             seed: 0,
             bootstrap_samples: 10,
+            initial: None,
+            fixed: None,
             engine: MipEngineConfig::default(),
         }
     }
@@ -75,6 +84,7 @@ fn bootstrap(
 ) -> Vec<u32> {
     let search = NodeDeployment::new(problem.num_nodes, problem.edges.clone(), enc.clone());
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let fixed = config.fixed.as_deref();
     let mut best: Option<(Vec<u32>, f64)> = None;
     let consider = |d: Vec<u32>, best: &mut Option<(Vec<u32>, f64)>| {
         let c = search.cost(objective, &d);
@@ -82,24 +92,36 @@ fn bootstrap(
             *best = Some((d, c));
         }
     };
+    if let Some(init) = &config.initial {
+        // A warm start that moves a pinned node would bypass the x_ij = 1
+        // rows via the incumbent path — only admit pin-respecting ones.
+        if fixed.is_none_or(|f| crate::cp::respects_fixed(init, f)) {
+            consider(init.clone(), &mut best);
+        }
+    }
     for _ in 0..config.bootstrap_samples.max(1) {
-        let d = problem.random_deployment(&mut rng);
+        let d = match fixed {
+            Some(f) => problem.random_deployment_with(f, &mut rng),
+            None => problem.random_deployment(&mut rng),
+        };
         consider(d, &mut best);
     }
     // The G2 greedy is practically free and gives the branch-and-bound a
     // usable incumbent immediately — CPLEX's internal heuristics play the
     // same role in the paper's runs (for LPNDP this is the §4.5.2
     // greedy-as-heuristic reuse).
-    consider(
-        crate::greedy::solve_greedy(&search, crate::greedy::GreedyVariant::G2).deployment,
-        &mut best,
-    );
+    let greedy = match fixed {
+        Some(f) => crate::greedy::solve_greedy_fixed(&search, crate::greedy::GreedyVariant::G2, f),
+        None => crate::greedy::solve_greedy(&search, crate::greedy::GreedyVariant::G2),
+    };
+    consider(greedy.deployment, &mut best);
     best.expect("at least one bootstrap sample").0
 }
 
 /// Shared assignment block: variables `x_ij` at index `i·m + j`, node
-/// equality rows, and instance at-most-one rows.
-fn assignment_rows(n: usize, m: usize) -> Vec<Constraint> {
+/// equality rows, instance at-most-one rows, and `x_ij = 1` rows for any
+/// fixed assignments.
+fn assignment_rows(n: usize, m: usize, fixed: Option<&[Option<u32>]>) -> Vec<Constraint> {
     let mut rows = Vec::with_capacity(n + m);
     for i in 0..n {
         rows.push(Constraint::new((0..m).map(|j| (i * m + j, 1.0)).collect(), Sense::Eq, 1.0));
@@ -107,18 +129,35 @@ fn assignment_rows(n: usize, m: usize) -> Vec<Constraint> {
     for j in 0..m {
         rows.push(Constraint::new((0..n).map(|i| (i * m + j, 1.0)).collect(), Sense::Le, 1.0));
     }
+    if let Some(fixed) = fixed {
+        assert_eq!(fixed.len(), n, "fixed assignments must cover every node");
+        for (i, &f) in fixed.iter().enumerate() {
+            if let Some(j) = f {
+                assert!((j as usize) < m, "fixed instance {j} out of range");
+                rows.push(Constraint::new(vec![(i * m + j as usize, 1.0)], Sense::Eq, 1.0));
+            }
+        }
+    }
     rows
 }
 
 /// Greedy rounding of the fractional assignment block to an injection:
-/// nodes in descending order of their strongest preference, each taking its
-/// best free instance.
-fn round_assignment(x: &[f64], n: usize, m: usize) -> Vec<u32> {
-    let mut order: Vec<usize> = (0..n).collect();
-    let strength = |i: usize| (0..m).map(|j| x[i * m + j]).fold(f64::NEG_INFINITY, f64::max);
-    order.sort_by(|&a, &b| strength(b).partial_cmp(&strength(a)).unwrap());
+/// fixed nodes keep their pinned instance; the rest go in descending order
+/// of their strongest preference, each taking its best free instance.
+fn round_assignment(x: &[f64], n: usize, m: usize, fixed: Option<&[Option<u32>]>) -> Vec<u32> {
     let mut used = vec![false; m];
     let mut deployment = vec![u32::MAX; n];
+    if let Some(fixed) = fixed {
+        for (i, &f) in fixed.iter().enumerate() {
+            if let Some(j) = f {
+                deployment[i] = j;
+                used[j as usize] = true;
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).filter(|&i| deployment[i] == u32::MAX).collect();
+    let strength = |i: usize| (0..m).map(|j| x[i * m + j]).fold(f64::NEG_INFINITY, f64::max);
+    order.sort_by(|&a, &b| strength(b).partial_cmp(&strength(a)).unwrap());
     for i in order {
         let mut best_j = usize::MAX;
         let mut best_v = f64::NEG_INFINITY;
@@ -144,6 +183,7 @@ struct LlHooks<'a> {
     n: usize,
     m: usize,
     c_var: usize,
+    fixed: Option<Vec<Option<u32>>>,
 }
 
 impl MipHooks for LlHooks<'_> {
@@ -189,7 +229,7 @@ impl MipHooks for LlHooks<'_> {
     }
 
     fn round(&self, x: &[f64]) -> Vec<u32> {
-        round_assignment(x, self.n, self.m)
+        round_assignment(x, self.n, self.m, self.fixed.as_deref())
     }
 
     fn encoded_cost(&self, d: &[u32]) -> f64 {
@@ -199,10 +239,25 @@ impl MipHooks for LlHooks<'_> {
     fn true_cost(&self, d: &[u32]) -> f64 {
         self.problem.longest_link(d)
     }
+
+    fn accepts(&self, d: &[u32]) -> bool {
+        self.fixed.as_deref().is_none_or(|f| crate::cp::respects_fixed(d, f))
+    }
 }
 
 /// Solves LLNDP with the §4.1 MIP encoding.
 pub fn solve_llndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOutcome {
+    solve_llndp_mip_with(problem, config, &crate::control::SearchControl::new())
+}
+
+/// Like [`solve_llndp_mip`], cooperating with concurrent workers through
+/// `control` (cancellation, bound injection, incumbent publication — see
+/// [`solve_mip_with`]).
+pub fn solve_llndp_mip_with(
+    problem: &NodeDeployment,
+    config: &MipConfig,
+    control: &crate::control::SearchControl,
+) -> SolveOutcome {
     let n = problem.num_nodes;
     let m = problem.num_instances();
     let enc_costs = search_costs(problem, config);
@@ -211,14 +266,18 @@ pub fn solve_llndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOut
     let c_var = n * m;
     let mut objective = vec![0.0; n * m + 1];
     objective[c_var] = 1.0;
-    let base = Lp { num_vars: n * m + 1, objective, constraints: assignment_rows(n, m) };
+    let base = Lp {
+        num_vars: n * m + 1,
+        objective,
+        constraints: assignment_rows(n, m, config.fixed.as_deref()),
+    };
     let binary_vars: Vec<usize> = (0..n * m).collect();
 
     let initial = bootstrap(problem, Objective::LongestLink, config, &search.costs);
-    let hooks = LlHooks { problem, search, n, m, c_var };
+    let hooks = LlHooks { problem, search, n, m, c_var, fixed: config.fixed.clone() };
     let mut engine = config.engine;
     engine.budget = config.budget;
-    solve_mip(&base, &binary_vars, &hooks, initial, &engine)
+    solve_mip_with(&base, &binary_vars, &hooks, initial, &engine, control)
 }
 
 // ---------------------------------------------------------------------
@@ -230,6 +289,7 @@ struct LpHooks<'a> {
     search: NodeDeployment,
     n: usize,
     m: usize,
+    fixed: Option<Vec<Option<u32>>>,
 }
 
 impl LpHooks<'_> {
@@ -281,7 +341,7 @@ impl MipHooks for LpHooks<'_> {
     }
 
     fn round(&self, x: &[f64]) -> Vec<u32> {
-        round_assignment(x, self.n, self.m)
+        round_assignment(x, self.n, self.m, self.fixed.as_deref())
     }
 
     fn encoded_cost(&self, d: &[u32]) -> f64 {
@@ -291,6 +351,10 @@ impl MipHooks for LpHooks<'_> {
     fn true_cost(&self, d: &[u32]) -> f64 {
         self.problem.longest_path(d)
     }
+
+    fn accepts(&self, d: &[u32]) -> bool {
+        self.fixed.as_deref().is_none_or(|f| crate::cp::respects_fixed(d, f))
+    }
 }
 
 /// Solves LPNDP with the §4.4 MIP encoding.
@@ -298,6 +362,20 @@ impl MipHooks for LpHooks<'_> {
 /// # Panics
 /// Panics if the communication graph is not a DAG.
 pub fn solve_lpndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOutcome {
+    solve_lpndp_mip_with(problem, config, &crate::control::SearchControl::new())
+}
+
+/// Like [`solve_lpndp_mip`], cooperating with concurrent workers through
+/// `control` (cancellation, bound injection, incumbent publication — see
+/// [`solve_mip_with`]).
+///
+/// # Panics
+/// Panics if the communication graph is not a DAG.
+pub fn solve_lpndp_mip_with(
+    problem: &NodeDeployment,
+    config: &MipConfig,
+    control: &crate::control::SearchControl,
+) -> SolveOutcome {
     assert!(problem.is_dag(), "LPNDP requires an acyclic communication graph");
     let n = problem.num_nodes;
     let m = problem.num_instances();
@@ -311,7 +389,7 @@ pub fn solve_lpndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOut
     let mut objective = vec![0.0; n * m + e + n + 1];
     objective[t_var] = 1.0;
 
-    let mut constraints = assignment_rows(n, m);
+    let mut constraints = assignment_rows(n, m, config.fixed.as_deref());
     for (ei, &(a, b)) in problem.edges.iter().enumerate() {
         // t_a + c_e − t_b ≤ 0.
         constraints.push(Constraint::new(
@@ -329,10 +407,10 @@ pub fn solve_lpndp_mip(problem: &NodeDeployment, config: &MipConfig) -> SolveOut
     let binary_vars: Vec<usize> = (0..n * m).collect();
 
     let initial = bootstrap(problem, Objective::LongestPath, config, &search.costs);
-    let hooks = LpHooks { problem, search, n, m };
+    let hooks = LpHooks { problem, search, n, m, fixed: config.fixed.clone() };
     let mut engine = config.engine;
     engine.budget = config.budget;
-    solve_mip(&base, &binary_vars, &hooks, initial, &engine)
+    solve_mip_with(&base, &binary_vars, &hooks, initial, &engine, control)
 }
 
 #[cfg(test)]
@@ -442,6 +520,111 @@ mod tests {
     fn lpndp_rejects_cycles() {
         let p = NodeDeployment::new(3, vec![(0, 1), (1, 2), (2, 0)], random_costs(4, 5));
         solve_lpndp_mip(&p, &exact_config(1.0));
+    }
+
+    fn brute_force_fixed(
+        problem: &NodeDeployment,
+        objective: Objective,
+        fixed: &[Option<u32>],
+    ) -> f64 {
+        fn rec(
+            problem: &NodeDeployment,
+            objective: Objective,
+            fixed: &[Option<u32>],
+            partial: &mut Vec<u32>,
+            used: &mut Vec<bool>,
+            best: &mut f64,
+        ) {
+            if partial.len() == problem.num_nodes {
+                *best = best.min(problem.cost(objective, partial));
+                return;
+            }
+            let v = partial.len();
+            for j in 0..problem.num_instances() {
+                if !used[j] && fixed[v].is_none_or(|f| f as usize == j) {
+                    used[j] = true;
+                    partial.push(j as u32);
+                    rec(problem, objective, fixed, partial, used, best);
+                    partial.pop();
+                    used[j] = false;
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(
+            problem,
+            objective,
+            fixed,
+            &mut Vec::new(),
+            &mut vec![false; problem.num_instances()],
+            &mut best,
+        );
+        best
+    }
+
+    #[test]
+    fn llndp_mip_honours_fixed_assignments() {
+        for seed in 0..3 {
+            let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], random_costs(6, seed));
+            let fixed = vec![Some(1u32), None, Some(4u32), None];
+            let config = MipConfig { fixed: Some(fixed.clone()), ..exact_config(30.0) };
+            let out = solve_llndp_mip(&p, &config);
+            assert!(p.is_valid(&out.deployment), "seed {seed}");
+            assert_eq!(out.deployment[0], 1, "seed {seed}");
+            assert_eq!(out.deployment[2], 4, "seed {seed}");
+            assert!(out.proven_optimal, "seed {seed}");
+            let opt = brute_force_fixed(&p, Objective::LongestLink, &fixed);
+            assert!((out.cost - opt).abs() < 1e-6, "seed {seed}: mip {} opt {opt}", out.cost);
+        }
+    }
+
+    #[test]
+    fn lpndp_mip_honours_fixed_assignments() {
+        let edges = vec![(3, 1), (4, 2), (1, 0), (2, 0)];
+        let p = NodeDeployment::new(5, edges, random_costs(6, 21));
+        let fixed = vec![Some(0u32), None, None, Some(5u32), None];
+        let config = MipConfig { fixed: Some(fixed.clone()), ..exact_config(60.0) };
+        let out = solve_lpndp_mip(&p, &config);
+        assert_eq!(out.deployment[0], 0);
+        assert_eq!(out.deployment[3], 5);
+        assert!(out.proven_optimal);
+        let opt = brute_force_fixed(&p, Objective::LongestPath, &fixed);
+        assert!((out.cost - opt).abs() < 1e-6, "mip {} opt {opt}", out.cost);
+    }
+
+    #[test]
+    fn pin_violating_warm_start_is_rejected() {
+        // Even with zero budget (bootstrap result returned as-is), an
+        // initial that moves a pinned node must not become the incumbent.
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2)], random_costs(5, 17));
+        let fixed = vec![Some(4u32), None, None];
+        let bad_initial = vec![0u32, 1, 2]; // node 0 off its pin
+        let config = MipConfig {
+            fixed: Some(fixed.clone()),
+            initial: Some(bad_initial),
+            budget: Budget::seconds(0.0),
+            quantum: 0.0,
+            ..Default::default()
+        };
+        let out = solve_llndp_mip(&p, &config);
+        assert_eq!(out.deployment[0], 4, "pinned node moved via the warm-start path");
+    }
+
+    #[test]
+    fn warm_start_initial_is_kept_when_unbeatable() {
+        // Zero-budget run: the bootstrap's best (which includes the
+        // supplied optimal initial) is returned unchanged.
+        let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], random_costs(5, 9));
+        let full = solve_llndp_mip(&p, &exact_config(30.0));
+        assert!(full.proven_optimal);
+        let warm = MipConfig {
+            initial: Some(full.deployment.clone()),
+            budget: Budget::seconds(0.0),
+            quantum: 0.0,
+            ..Default::default()
+        };
+        let out = solve_llndp_mip(&p, &warm);
+        assert_eq!(out.cost, full.cost);
     }
 
     #[test]

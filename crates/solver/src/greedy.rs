@@ -35,16 +35,39 @@ pub enum GreedyVariant {
 /// its longest-link cost (greedy always optimizes longest link; the paper
 /// reuses the result as a heuristic for longest path too, §4.5.2).
 pub fn solve_greedy(problem: &NodeDeployment, variant: GreedyVariant) -> SolveOutcome {
+    solve_greedy_fixed(problem, variant, &vec![None; problem.num_nodes])
+}
+
+/// Like [`solve_greedy`], but honouring per-node fixed assignments:
+/// pinned nodes are pre-placed and the greedy growth only maps the free
+/// nodes around them — the greedy worker of an incremental re-solve, where
+/// all but a budgeted set of nodes stay put.
+///
+/// # Panics
+/// Panics if `fixed` has the wrong length or pins two nodes to one
+/// instance.
+pub fn solve_greedy_fixed(
+    problem: &NodeDeployment,
+    variant: GreedyVariant,
+    fixed: &[Option<u32>],
+) -> SolveOutcome {
     let start = Instant::now();
     let n = problem.num_nodes;
     let m = problem.num_instances();
+    assert_eq!(fixed.len(), n, "fixed assignments must cover every node");
     let adj = problem.undirected_adj();
 
-    // node -> instance, instance -> node.
-    let mut d: Vec<Option<u32>> = vec![None; n];
+    // node -> instance, instance -> node; pinned nodes start placed.
+    let mut d: Vec<Option<u32>> = fixed.to_vec();
     let mut d_inv: Vec<Option<u32>> = vec![None; m];
+    for (v, &f) in fixed.iter().enumerate() {
+        if let Some(j) = f {
+            assert!(d_inv[j as usize].is_none(), "instance {j} pinned by two nodes");
+            d_inv[j as usize] = Some(v as u32);
+        }
+    }
 
-    let mut placed = 0usize;
+    let mut placed = fixed.iter().filter(|f| f.is_some()).count();
     while placed < n {
         if placed == 0 || frontier_exhausted(&d, &adj) {
             // Seed (or re-seed for a disconnected component): cheapest free
@@ -290,6 +313,36 @@ mod tests {
         let p = random_problem(3, 5, vec![(0, 1)], 5);
         let out = solve_greedy(&p, GreedyVariant::G2);
         assert!(p.is_valid(&out.deployment));
+    }
+
+    #[test]
+    fn fixed_nodes_stay_put() {
+        let p = random_problem(6, 9, path_edges(6), 7);
+        let fixed = vec![None, Some(5u32), None, Some(2u32), None, None];
+        for variant in [GreedyVariant::G1, GreedyVariant::G2] {
+            let out = solve_greedy_fixed(&p, variant, &fixed);
+            assert!(p.is_valid(&out.deployment), "{variant:?}");
+            assert_eq!(out.deployment[1], 5, "{variant:?}");
+            assert_eq!(out.deployment[3], 2, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn all_fixed_returns_the_pinned_plan() {
+        let p = random_problem(3, 5, path_edges(3), 8);
+        let out = solve_greedy_fixed(&p, GreedyVariant::G2, &[Some(4), Some(0), Some(2)]);
+        assert_eq!(out.deployment, vec![4, 0, 2]);
+        assert_eq!(out.cost, p.longest_link(&out.deployment));
+    }
+
+    #[test]
+    fn unfixed_call_matches_solve_greedy() {
+        let p = random_problem(8, 12, grid_edges(2, 4), 9);
+        for variant in [GreedyVariant::G1, GreedyVariant::G2] {
+            let plain = solve_greedy(&p, variant);
+            let fixed = solve_greedy_fixed(&p, variant, &[None; 8]);
+            assert_eq!(plain.deployment, fixed.deployment, "{variant:?}");
+        }
     }
 
     #[test]

@@ -56,8 +56,11 @@ pub mod random;
 pub use cluster::CostClusters;
 pub use control::SearchControl;
 pub use cp::{solve_llndp_cp, solve_llndp_cp_with, CpConfig, Propagation};
-pub use encodings::{solve_llndp_mip, solve_lpndp_mip, MipConfig};
-pub use greedy::{solve_greedy, GreedyVariant};
+pub use encodings::{
+    solve_llndp_mip, solve_llndp_mip_with, solve_lpndp_mip, solve_lpndp_mip_with, MipConfig,
+};
+pub use greedy::{solve_greedy, solve_greedy_fixed, GreedyVariant};
+pub use mip::{solve_mip, solve_mip_with, MipEngineConfig, MipHooks};
 pub use outcome::{Budget, Objective, SolveOutcome};
 pub use portfolio::{solve_portfolio, PortfolioConfig};
 pub use problem::{Costs, NodeDeployment};

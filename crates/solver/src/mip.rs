@@ -24,6 +24,7 @@
 
 use std::time::Instant;
 
+use crate::control::SearchControl;
 use crate::lp::{solve as lp_solve, Constraint, Lp, LpResult, Sense};
 use crate::outcome::{Budget, SolveOutcome};
 
@@ -43,6 +44,13 @@ pub trait MipHooks {
     /// Deployment cost under the original measured costs — reported to the
     /// user and plotted in convergence curves.
     fn true_cost(&self, deployment: &[u32]) -> f64;
+
+    /// Whether an externally offered deployment is admissible as an
+    /// incumbent for this encoding (e.g. honours fixed assignments).
+    /// Inadmissible offers are ignored by the bound-injection path.
+    fn accepts(&self, _deployment: &[u32]) -> bool {
+        true
+    }
 }
 
 /// Engine tuning knobs.
@@ -82,12 +90,44 @@ pub fn solve_mip(
     initial: Vec<u32>,
     config: &MipEngineConfig,
 ) -> SolveOutcome {
+    solve_mip_with(base, binary_vars, hooks, initial, config, &SearchControl::new())
+}
+
+/// Like [`solve_mip`], cooperating with concurrent workers through
+/// `control` — the same hooks the CP prover has:
+///
+/// * **cancellation**: the flag is polled before every branch-and-bound
+///   node, so the engine stops mid-search instead of running its budget
+///   out after another prover already closed the instance;
+/// * **bound injection**: a better shared incumbent (admitted by
+///   [`MipHooks::accepts`]) is adopted between nodes, tightening the
+///   pruning bound exactly like an internally found one;
+/// * **publication**: every internal incumbent improvement is offered to
+///   the shared control as it happens, not just the final result.
+pub fn solve_mip_with(
+    base: &Lp,
+    binary_vars: &[usize],
+    hooks: &dyn MipHooks,
+    initial: Vec<u32>,
+    config: &MipEngineConfig,
+    control: &SearchControl,
+) -> SolveOutcome {
     let start = Instant::now();
     let mut pool: Vec<Constraint> = Vec::new();
 
     let mut incumbent = initial;
     let mut incumbent_encoded = hooks.encoded_cost(&incumbent);
-    let mut curve = vec![(0.0, hooks.true_cost(&incumbent))];
+    let mut incumbent_true = hooks.true_cost(&incumbent);
+    let mut curve = vec![(0.0, incumbent_true)];
+    // The shared control orders costs by f64 bit pattern, which only works
+    // for non-negative values; deployment costs always are, but synthetic
+    // encodings (tests) may not be — skip publication for those.
+    let offer = |d: &[u32], c: f64| {
+        if c >= 0.0 {
+            control.offer(d, c);
+        }
+    };
+    offer(&incumbent, incumbent_true);
 
     // DFS stack of nodes: each node is a set of variable fixings.
     #[derive(Clone)]
@@ -99,11 +139,30 @@ pub fn solve_mip(
     let mut complete = true; // no budget/LP-limit pruning happened
 
     while let Some(node) = stack.pop() {
+        if control.is_cancelled() {
+            complete = false;
+            break;
+        }
         if start.elapsed().as_secs_f64() >= config.budget.time_limit_s
             || nodes_explored >= config.budget.node_limit
         {
             complete = false;
             break;
+        }
+        // Cross-thread bound injection: adopt a better shared incumbent
+        // (the lock-free bound read filters the common no-news case).
+        if control.bound() < incumbent_true {
+            if let Some((d, c)) = control.best() {
+                if c < incumbent_true && hooks.accepts(&d) {
+                    let enc = hooks.encoded_cost(&d);
+                    if enc < incumbent_encoded - 1e-12 {
+                        incumbent_encoded = enc;
+                        incumbent_true = hooks.true_cost(&d);
+                        curve.push((start.elapsed().as_secs_f64(), incumbent_true));
+                        incumbent = d;
+                    }
+                }
+            }
         }
         nodes_explored += 1;
 
@@ -157,8 +216,10 @@ pub fn solve_mip(
         let enc = hooks.encoded_cost(&rounded);
         if enc < incumbent_encoded - 1e-12 {
             incumbent_encoded = enc;
-            curve.push((start.elapsed().as_secs_f64(), hooks.true_cost(&rounded)));
+            incumbent_true = hooks.true_cost(&rounded);
+            curve.push((start.elapsed().as_secs_f64(), incumbent_true));
             incumbent = rounded;
+            offer(&incumbent, incumbent_true);
         }
 
         // Find the most fractional binary variable.
@@ -187,10 +248,10 @@ pub fn solve_mip(
         }
     }
 
-    let cost = hooks.true_cost(&incumbent);
+    offer(&incumbent, incumbent_true);
     SolveOutcome {
         deployment: incumbent,
-        cost,
+        cost: incumbent_true,
         curve,
         proven_optimal: complete,
         explored: nodes_explored,
@@ -270,6 +331,85 @@ mod tests {
         let cfg = MipEngineConfig { budget: Budget::nodes(1), ..Default::default() };
         let out = solve_mip(&knapsack_lp(), &[0, 1, 2], &Knapsack, vec![0, 0, 0], &cfg);
         assert!(out.explored <= 1);
+    }
+
+    #[test]
+    fn pre_cancelled_control_stops_immediately() {
+        let control = SearchControl::new();
+        control.cancel();
+        let out = solve_mip_with(
+            &knapsack_lp(),
+            &[0, 1, 2],
+            &Knapsack,
+            vec![0, 0, 0],
+            &MipEngineConfig::default(),
+            &control,
+        );
+        assert!(!out.proven_optimal, "a cancelled run must not claim a proof");
+        assert_eq!(out.explored, 0);
+        assert_eq!(out.deployment, vec![0, 0, 0]);
+    }
+
+    /// A non-negative-cost variant of the knapsack hooks so offers flow
+    /// through the shared control (min 8 - value, optimum 0).
+    struct ShiftedKnapsack;
+
+    impl MipHooks for ShiftedKnapsack {
+        fn lazy_cuts(&self, _x: &[f64], _cap: usize) -> Vec<Constraint> {
+            Vec::new()
+        }
+        fn round(&self, x: &[f64]) -> Vec<u32> {
+            Knapsack.round(x)
+        }
+        fn encoded_cost(&self, d: &[u32]) -> f64 {
+            8.0 + Knapsack.encoded_cost(d)
+        }
+        fn true_cost(&self, d: &[u32]) -> f64 {
+            self.encoded_cost(d)
+        }
+        fn accepts(&self, d: &[u32]) -> bool {
+            // Reject infeasible external offers (capacity violated).
+            let weights = [2.0, 3.0, 1.0];
+            d.iter().zip(weights).map(|(&p, w)| p as f64 * w).sum::<f64>() <= 3.0
+        }
+    }
+
+    #[test]
+    fn external_incumbent_is_adopted_and_improvements_published() {
+        let control = SearchControl::new();
+        // Another worker already found the optimum (a=1, c=1 -> cost 0).
+        control.offer(&[1, 0, 1], 0.0);
+        let out = solve_mip_with(
+            &knapsack_lp(),
+            &[0, 1, 2],
+            &ShiftedKnapsack,
+            vec![0, 0, 0],
+            &MipEngineConfig::default(),
+            &control,
+        );
+        assert_eq!(out.cost, 0.0);
+        assert_eq!(out.deployment, vec![1, 0, 1]);
+        assert!(out.proven_optimal);
+        // The run also kept the shared incumbent in sync.
+        assert_eq!(control.best().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn inadmissible_external_offers_are_ignored() {
+        let control = SearchControl::new();
+        // Infeasible "better" offer: all three items exceed capacity.
+        control.offer(&[1, 1, 1], 0.0);
+        let out = solve_mip_with(
+            &knapsack_lp(),
+            &[0, 1, 2],
+            &ShiftedKnapsack,
+            vec![0, 0, 0],
+            &MipEngineConfig::default(),
+            &control,
+        );
+        // The engine must find the true optimum itself, not adopt garbage.
+        assert_eq!(out.deployment, vec![1, 0, 1]);
+        assert_eq!(out.cost, 0.0);
     }
 
     #[test]

@@ -40,8 +40,8 @@ use rand::{rngs::StdRng, SeedableRng};
 
 use crate::control::SearchControl;
 use crate::cp::{solve_llndp_cp_with, CpConfig};
-use crate::encodings::{solve_lpndp_mip, MipConfig};
-use crate::greedy::{solve_greedy, GreedyVariant};
+use crate::encodings::{solve_lpndp_mip_with, MipConfig};
+use crate::greedy::{solve_greedy, solve_greedy_fixed, GreedyVariant};
 use crate::outcome::{Budget, Objective, SolveOutcome};
 use crate::problem::NodeDeployment;
 
@@ -71,6 +71,20 @@ pub struct PortfolioConfig {
     pub random_draws: u64,
     /// Thread-count-independent results (see module docs).
     pub deterministic: bool,
+    /// Warm-start incumbent: seeded into the shared control (racing mode)
+    /// and into the CP/MIP provers' bootstraps, so every worker starts
+    /// from the incumbent's bound instead of from scratch.
+    pub initial: Option<Vec<u32>>,
+    /// Per-node fixed assignments (`fixed[v] = Some(j)` pins node `v`):
+    /// every worker then searches only the repair neighbourhood — the
+    /// budgeted incremental re-solve mode.
+    pub fixed: Option<Vec<Option<u32>>>,
+    /// Work-stealing restarts (racing mode with a finite time budget
+    /// only): a worker that drains the technique queue before the wall
+    /// clock runs out respawns as a random-sampling worker with a
+    /// perturbed seed instead of idling. Deterministic mode ignores this
+    /// (restarts are inherently timing-dependent).
+    pub work_stealing: bool,
 }
 
 impl Default for PortfolioConfig {
@@ -83,6 +97,9 @@ impl Default for PortfolioConfig {
             mip: MipConfig::default(),
             random_draws: 20_000,
             deterministic: false,
+            initial: None,
+            fixed: None,
+            work_stealing: true,
         }
     }
 }
@@ -134,6 +151,23 @@ pub fn solve_portfolio(
     };
 
     let control = SearchControl::with_start(start);
+    // Warm start: the incumbent is everyone's starting bound.
+    let initial_outcome = config.initial.as_ref().map(|d| {
+        assert!(problem.is_valid(d), "warm-start incumbent is not a valid deployment");
+        debug_assert!(
+            config.fixed.as_deref().is_none_or(|f| crate::cp::respects_fixed(d, f)),
+            "warm-start incumbent violates the fixed assignments"
+        );
+        let c = problem.cost(objective, d);
+        control.offer(d, c);
+        SolveOutcome {
+            deployment: d.clone(),
+            cost: c,
+            curve: vec![(0.0, c)],
+            proven_optimal: false,
+            explored: 0,
+        }
+    });
     let explored = AtomicU64::new(0);
     // Cost the prover actually proved optimal (f64 bits), so the merged
     // outcome only claims optimality when the returned cost is covered by
@@ -144,6 +178,11 @@ pub fn solve_portfolio(
     let results: Vec<parking_lot::Mutex<Option<SolveOutcome>>> =
         TECHNIQUES.iter().map(|_| parking_lot::Mutex::new(None)).collect();
     let next_job = AtomicUsize::new(0);
+    // Restarts only make sense when the wall clock, not the job queue,
+    // ends the run — and never in deterministic mode, where which worker
+    // restarts when is inherently timing-dependent.
+    let restarts_allowed =
+        config.work_stealing && !config.deterministic && config.budget.time_limit_s.is_finite();
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(TECHNIQUES.len()) {
@@ -152,8 +191,24 @@ pub fn solve_portfolio(
                 // count executes the same work set.
                 loop {
                     let job = next_job.fetch_add(1, Ordering::Relaxed);
-                    let Some(&technique) = TECHNIQUES.get(job) else { break };
-                    let out = run_worker(problem, objective, config, technique, &control, start);
+                    let technique = match TECHNIQUES.get(job) {
+                        Some(&t) => t,
+                        None => {
+                            // Queue drained: steal work by respawning as a
+                            // perturbed-seed sampler until the clock (or a
+                            // proof) ends the portfolio.
+                            if !restarts_allowed
+                                || control.is_cancelled()
+                                || start.elapsed().as_secs_f64() >= config.budget.time_limit_s
+                            {
+                                break;
+                            }
+                            Technique::Random
+                        }
+                    };
+                    let out = run_worker(
+                        problem, objective, config, technique, job as u64, &control, start,
+                    );
                     if let Some(out) = out {
                         explored.fetch_add(out.explored, Ordering::Relaxed);
                         if out.proven_optimal && technique == Technique::Prover {
@@ -161,7 +216,9 @@ pub fn solve_portfolio(
                             // The prover is done: stop everyone else.
                             control.cancel();
                         }
-                        *results[job].lock() = Some(out);
+                        if let Some(cell) = results.get(job) {
+                            *cell.lock() = Some(out);
+                        }
                     }
                 }
             });
@@ -176,19 +233,20 @@ pub fn solve_portfolio(
 
     if config.deterministic {
         // Merge by (cost, technique priority): independent of which worker
-        // finished first.
+        // finished first. The warm-start incumbent merges first, so the
+        // portfolio can never return worse than it.
         let mut best: Option<SolveOutcome> = None;
         let mut curve: Vec<(f64, f64)> = Vec::new();
-        for cell in &results {
-            if let Some(out) = cell.lock().take() {
-                curve.extend(out.curve.iter().copied());
-                let better = match &best {
-                    None => true,
-                    Some(b) => out.cost < b.cost,
-                };
-                if better {
-                    best = Some(out);
-                }
+        for out in
+            initial_outcome.into_iter().chain(results.iter().filter_map(|cell| cell.lock().take()))
+        {
+            curve.extend(out.curve.iter().copied());
+            let better = match &best {
+                None => true,
+                Some(b) => out.cost < b.cost,
+            };
+            if better {
+                best = Some(out);
             }
         }
         let best = best.expect("at least one technique always completes");
@@ -226,6 +284,7 @@ fn run_worker(
     objective: Objective,
     config: &PortfolioConfig,
     technique: Technique,
+    job: u64,
     control: &SearchControl,
     start: Instant,
 ) -> Option<SolveOutcome> {
@@ -251,14 +310,26 @@ fn run_worker(
     let mut out = match technique {
         Technique::Prover => match objective {
             Objective::LongestLink => {
-                let cp = CpConfig { budget, seed: config.seed, ..config.cp.clone() };
+                let cp = CpConfig {
+                    budget,
+                    seed: config.seed,
+                    initial: config.initial.clone().or_else(|| config.cp.initial.clone()),
+                    fixed: config.fixed.clone(),
+                    ..config.cp.clone()
+                };
                 solve_llndp_cp_with(problem, &cp, ctl)
             }
             Objective::LongestPath => {
-                let mip = MipConfig { budget, seed: config.seed, ..config.mip.clone() };
-                let out = solve_lpndp_mip(problem, &mip);
-                ctl.offer(&out.deployment, out.cost);
-                out
+                let mip = MipConfig {
+                    budget,
+                    seed: config.seed,
+                    initial: config.initial.clone().or_else(|| config.mip.initial.clone()),
+                    fixed: config.fixed.clone(),
+                    ..config.mip.clone()
+                };
+                // The MIP prover cooperates through the control like the CP
+                // one: cancellation, bound injection, and live publication.
+                solve_lpndp_mip_with(problem, &mip, ctl)
             }
         },
         Technique::GreedyG1 | Technique::GreedyG2 => {
@@ -267,7 +338,10 @@ fn run_worker(
             } else {
                 GreedyVariant::G2
             };
-            let mut out = solve_greedy(problem, variant);
+            let mut out = match config.fixed.as_deref() {
+                Some(f) => solve_greedy_fixed(problem, variant, f),
+                None => solve_greedy(problem, variant),
+            };
             // Greedy optimizes longest link; re-evaluate under the actual
             // objective (paper §4.5.2 reuses the mapping for LPNDP).
             out.cost = problem.cost(objective, &out.deployment);
@@ -275,7 +349,7 @@ fn run_worker(
             ctl.offer(&out.deployment, out.cost);
             out
         }
-        Technique::Random => random_worker(problem, objective, config, budget, ctl, start),
+        Technique::Random => random_worker(problem, objective, config, job, budget, ctl, start),
     };
     for point in &mut out.curve {
         point.0 += worker_t0;
@@ -289,14 +363,23 @@ fn random_worker(
     problem: &NodeDeployment,
     objective: Objective,
     config: &PortfolioConfig,
+    job: u64,
     budget: Budget,
     control: &SearchControl,
     start: Instant,
 ) -> SolveOutcome {
-    // Seeded exactly like R1 (`solve_random_count`) with the same seed, so
-    // the deterministic portfolio replays R1's stream draw-for-draw and
-    // can never lose to it.
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    // The queue's own sampling worker is seeded exactly like R1
+    // (`solve_random_count`) with the same seed, so the deterministic
+    // portfolio replays R1's stream draw-for-draw and can never lose to
+    // it. Work-stealing restarts (jobs past the base queue) perturb the
+    // seed so each restart explores a different stream.
+    let base = TECHNIQUES.len() as u64 - 1;
+    let seed = if job <= base {
+        config.seed
+    } else {
+        config.seed ^ (job - base).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
     let local_start = Instant::now();
     let draws = if config.deterministic { config.random_draws } else { budget.node_limit };
     let mut best: Option<(Vec<u32>, f64)> = None;
@@ -310,7 +393,10 @@ fn random_worker(
         {
             break;
         }
-        let d = problem.random_deployment(&mut rng);
+        let d = match config.fixed.as_deref() {
+            Some(f) => problem.random_deployment_with(f, &mut rng),
+            None => problem.random_deployment(&mut rng),
+        };
         let c = problem.cost(objective, &d);
         drawn += 1;
         if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
@@ -321,8 +407,12 @@ fn random_worker(
         }
     }
     let (deployment, cost) = best.unwrap_or_else(|| {
-        // Cancelled before the first draw: fall back to the identity map.
-        let d = problem.default_deployment();
+        // Cancelled before the first draw: fall back to the identity map
+        // (or any fixed-respecting deployment in repair mode).
+        let d = match config.fixed.as_deref() {
+            Some(f) => problem.random_deployment_with(f, &mut rng),
+            None => problem.default_deployment(),
+        };
         let c = problem.cost(objective, &d);
         (d, c)
     });
@@ -412,6 +502,91 @@ mod tests {
             .collect();
         assert_eq!(costs[0], costs[1]);
         assert_eq!(costs[1], costs[2]);
+    }
+
+    #[test]
+    fn warm_started_portfolio_never_loses_to_its_incumbent() {
+        let p = random_problem(6, 9, path_edges(6), 6);
+        // A deliberately weak incumbent: the identity deployment.
+        let incumbent: Vec<u32> = (0..6).collect();
+        let incumbent_cost = p.longest_link(&incumbent);
+        for deterministic in [false, true] {
+            let config = PortfolioConfig {
+                budget: if deterministic { Budget::nodes(100) } else { Budget::seconds(1.0) },
+                threads: 2,
+                random_draws: 50,
+                deterministic,
+                initial: Some(incumbent.clone()),
+                cp: exact_cp(),
+                ..PortfolioConfig::default()
+            };
+            let out = solve_portfolio(&p, Objective::LongestLink, &config);
+            assert!(
+                out.cost <= incumbent_cost + 1e-12,
+                "deterministic={deterministic}: {} worse than incumbent {incumbent_cost}",
+                out.cost
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_assignments_bind_every_worker() {
+        let p = random_problem(6, 9, path_edges(6), 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let incumbent = p.random_deployment(&mut rng);
+        // Pin all but nodes 2 and 4 (migration budget k = 2).
+        let fixed: Vec<Option<u32>> = incumbent
+            .iter()
+            .enumerate()
+            .map(|(v, &j)| if v == 2 || v == 4 { None } else { Some(j) })
+            .collect();
+        let config = PortfolioConfig {
+            budget: Budget::seconds(5.0),
+            threads: 2,
+            cp: exact_cp(),
+            initial: Some(incumbent.clone()),
+            fixed: Some(fixed.clone()),
+            ..PortfolioConfig::default()
+        };
+        let out = solve_portfolio(&p, Objective::LongestLink, &config);
+        assert!(p.is_valid(&out.deployment));
+        for (v, f) in fixed.iter().enumerate() {
+            if let Some(j) = f {
+                assert_eq!(out.deployment[v], *j, "node {v} moved off its pin");
+            }
+        }
+        let moved = incumbent.iter().zip(&out.deployment).filter(|(a, b)| a != b).count();
+        assert!(moved <= 2, "moved {moved} nodes with a budget of 2");
+        assert!(out.cost <= p.longest_link(&incumbent) + 1e-12);
+    }
+
+    #[test]
+    fn work_stealing_restarts_add_exploration() {
+        // A large instance the CP prover cannot close in the budget, so
+        // the wall clock ends the run. Greedy workers finish in
+        // microseconds; with work stealing they respawn as samplers, so
+        // total exploration far exceeds the base four workers' own work.
+        let p = random_problem(10, 14, path_edges(10), 12);
+        let run = |work_stealing: bool| {
+            let config = PortfolioConfig {
+                budget: Budget { time_limit_s: 0.5, node_limit: 500 },
+                threads: 4,
+                work_stealing,
+                ..PortfolioConfig::default()
+            };
+            solve_portfolio(&p, Objective::LongestLink, &config)
+        };
+        let without = run(false);
+        let with = run(true);
+        // Each base worker explores <= 500 nodes; restarts keep drawing
+        // fresh 500-draw samplers until the clock runs out.
+        assert!(without.explored <= 4 * 500);
+        assert!(
+            with.explored > without.explored,
+            "work stealing explored {} <= plain {}",
+            with.explored,
+            without.explored
+        );
     }
 
     #[test]

@@ -238,6 +238,48 @@ impl NodeDeployment {
         pool
     }
 
+    /// Samples a random injective deployment that honours per-node fixed
+    /// assignments: `fixed[v] = Some(j)` pins node `v` to instance `j`,
+    /// `None` leaves it free. Free nodes draw uniformly from the instances
+    /// no fixed node occupies. The incremental re-solve path uses this to
+    /// bootstrap searches that may only move a budgeted subset of nodes.
+    ///
+    /// # Panics
+    /// Panics if `fixed` has the wrong length, pins two nodes to one
+    /// instance, or pins an out-of-range instance.
+    pub fn random_deployment_with<R: Rng + ?Sized>(
+        &self,
+        fixed: &[Option<u32>],
+        rng: &mut R,
+    ) -> Vec<u32> {
+        let m = self.num_instances();
+        assert_eq!(fixed.len(), self.num_nodes, "fixed assignments must cover every node");
+        let mut taken = vec![false; m];
+        for &f in fixed.iter().flatten() {
+            assert!((f as usize) < m, "fixed instance {f} out of range for {m} instances");
+            assert!(!taken[f as usize], "instance {f} pinned by two nodes");
+            taken[f as usize] = true;
+        }
+        // Partial Fisher–Yates over the free instances only.
+        let mut pool: Vec<u32> = (0..m as u32).filter(|&j| !taken[j as usize]).collect();
+        let free_nodes = fixed.iter().filter(|f| f.is_none()).count();
+        for k in 0..free_nodes {
+            let pick = rng.random_range(k..pool.len());
+            pool.swap(k, pick);
+        }
+        let mut next_free = 0usize;
+        fixed
+            .iter()
+            .map(|f| {
+                f.unwrap_or_else(|| {
+                    let j = pool[next_free];
+                    next_free += 1;
+                    j
+                })
+            })
+            .collect()
+    }
+
     /// The identity ("default") deployment: node `k` on instance `k` — the
     /// mapping a tenant gets by using the allocation order as-is.
     pub fn default_deployment(&self) -> Vec<u32> {
@@ -353,6 +395,30 @@ mod tests {
             distinct.insert(d);
         }
         assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn random_deployment_with_honours_fixed_nodes() {
+        let p = NodeDeployment::new(3, vec![(0, 1)], costs4());
+        let fixed = vec![None, Some(2u32), None];
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let d = p.random_deployment_with(&fixed, &mut rng);
+            assert!(p.is_valid(&d));
+            assert_eq!(d[1], 2);
+            assert!(d[0] != 2 && d[2] != 2);
+        }
+        // All-free degenerates to a valid random draw.
+        let d = p.random_deployment_with(&[None, None, None], &mut rng);
+        assert!(p.is_valid(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned by two nodes")]
+    fn random_deployment_with_rejects_duplicate_pins() {
+        let p = NodeDeployment::new(3, vec![(0, 1)], costs4());
+        let mut rng = StdRng::seed_from_u64(3);
+        p.random_deployment_with(&[Some(1), Some(1), None], &mut rng);
     }
 
     #[test]

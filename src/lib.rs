@@ -25,6 +25,10 @@
 //!   (`--search portfolio --threads N` from the CLI);
 //! * [`core`] — problem definitions, deployment cost functions, latency
 //!   metrics, communication-graph templates, and the advisor pipeline;
+//! * [`online`] — the continuous deployment advisor: streaming
+//!   measurement, EWMA link statistics with CUSUM/Page–Hinkley drift
+//!   detection, and budgeted incremental re-solves
+//!   (`--online --epochs N --migration-budget k` from the CLI);
 //! * [`workloads`] — the evaluation applications: behavioral simulation,
 //!   aggregation query, key-value store.
 //!
@@ -53,6 +57,7 @@
 pub use cloudia_core as core;
 pub use cloudia_measure as measure;
 pub use cloudia_netsim as netsim;
+pub use cloudia_online as online;
 pub use cloudia_solver as solver;
 pub use cloudia_workloads as workloads;
 

@@ -9,6 +9,7 @@
 //! cloudia --graph tree:6x2 --objective longest-path
 //! cloudia --graph bipartite:8x28 --metric mean+sd
 //! cloudia --graph mesh:6x6 --search portfolio --threads 4
+//! cloudia --graph ring:8 --online --epochs 24 --epoch-hours 4 --migration-budget 2
 //! ```
 
 use cloudia::core::LatencyMetric;
@@ -24,7 +25,11 @@ fn usage() -> ! {
                [--search recommended|cp|mip|greedy-g1|greedy-g2|random-r1|random-r2|portfolio]
                [--threads N]                  (portfolio/r2 workers; 0 = all cores)
                [--search-seconds S]           (default 5)
-               [--seed N]                     (default 42)"
+               [--seed N]                     (default 42)
+               [--online]                     (run the continuous advisor after deploying)
+               [--epochs N]                   (online epochs, default 24)
+               [--epoch-hours H]              (simulated hours per epoch, default 4)
+               [--migration-budget K]         (max nodes moved per re-solve, default 3)"
     );
     std::process::exit(2);
 }
@@ -78,6 +83,10 @@ fn main() {
     let mut seed = 42u64;
     let mut search_name = "recommended".to_string();
     let mut threads: Option<usize> = None;
+    let mut online = false;
+    let mut epochs = 24u64;
+    let mut epoch_hours = 4.0f64;
+    let mut migration_budget = 3usize;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -133,6 +142,25 @@ fn main() {
             "--seed" => {
                 seed = value().parse().unwrap_or_else(|_| {
                     eprintln!("bad seed");
+                    usage();
+                })
+            }
+            "--online" => online = true,
+            "--epochs" => {
+                epochs = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad epoch count");
+                    usage();
+                })
+            }
+            "--epoch-hours" => {
+                epoch_hours = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad epoch hours");
+                    usage();
+                })
+            }
+            "--migration-budget" => {
+                migration_budget = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad migration budget");
                     usage();
                 })
             }
@@ -251,5 +279,78 @@ fn main() {
         outcome.default_cost,
         outcome.optimized_cost,
         outcome.improvement() * 100.0
+    );
+
+    if online {
+        run_online(&graph, &outcome, objective, epochs, epoch_hours, migration_budget, seed);
+    }
+}
+
+/// Drives the continuous advisor over the deployed plan: the
+/// over-allocated pool is kept as warm spares, the network drifts
+/// `epoch_hours` between measurement epochs, and every trigger runs a
+/// budgeted incremental re-solve.
+fn run_online(
+    graph: &CommGraph,
+    outcome: &cloudia::core::AdvisorOutcome,
+    objective: Objective,
+    epochs: u64,
+    epoch_hours: f64,
+    migration_budget: usize,
+    seed: u64,
+) {
+    use cloudia::measure::{MeasureConfig, Staged};
+    use cloudia::online::{OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, SimStream};
+
+    println!();
+    println!(
+        "online advisor: {epochs} epochs x {epoch_hours} h, migration budget {migration_budget}, \
+         {} instances kept as spares",
+        outcome.network.len() - graph.num_nodes()
+    );
+
+    let config = OnlineAdvisorConfig {
+        objective,
+        migration_budget,
+        solve_seconds: 1.0,
+        seed,
+        ..OnlineAdvisorConfig::default()
+    };
+    let mut advisor = OnlineAdvisor::new(
+        graph.clone(),
+        outcome.network.len(),
+        outcome.deployment.clone(),
+        config,
+    );
+    let mut stream = SimStream::new(
+        outcome.network.clone(),
+        Staged::new(3, 2),
+        MeasureConfig::default(),
+        epoch_hours,
+        seed ^ 0x011e,
+    );
+
+    println!("epoch\thours\test_cost\ttrue_cost\ttriggered\tmoved");
+    for s in advisor.run(&mut stream, epochs) {
+        println!(
+            "{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}",
+            s.epoch,
+            s.at_hours,
+            s.est_cost,
+            s.true_cost,
+            if s.triggered { "yes" } else { "-" },
+            s.moved
+        );
+    }
+    let migrations =
+        advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Migrate { .. })).count();
+    let resolves =
+        advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Resolve { .. })).count();
+    println!(
+        "online summary: {resolves} re-solves, {migrations} migrations ({} nodes moved), \
+         time-averaged cost {:.3} ms (incl. migration cost {:.3})",
+        advisor.moved_total(),
+        advisor.time_averaged_cost(),
+        advisor.migration_cost_paid()
     );
 }
