@@ -17,16 +17,12 @@ use cloudia_solver::{
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_problem(n: usize, m: usize, seed: u64) -> NodeDeployment {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let rows: Vec<Vec<f64>> = (0..m)
-        .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-        .collect();
     // 2D-mesh-ish chain plus cross links for realistic structure.
     let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
     for i in 0..(n as u32).saturating_sub(6) {
         edges.push((i, i + 6));
     }
-    NodeDeployment::new(n, edges, Costs::from_matrix(rows))
+    NodeDeployment::new(n, edges, Costs::random_uniform(m, seed))
 }
 
 fn bench_cp(c: &mut Criterion) {

@@ -40,11 +40,11 @@ struct ArmReport {
 }
 
 fn fresh_costs(m: &EpochMeasurement, n: usize) -> CostMatrix {
-    let mut rows = vec![vec![0.0; n]; n];
+    let mut b = CostMatrix::builder(n);
     for d in &m.deltas {
-        rows[d.src as usize][d.dst as usize] = d.mean;
+        b.set(d.src as usize, d.dst as usize, d.mean);
     }
-    CostMatrix::from_matrix(rows)
+    b.freeze().expect("epoch deltas are valid latencies")
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -114,7 +114,7 @@ fn main() {
     // The shared trajectory.
     let snapshots = record_trajectory(net, seed ^ 0xd21f7, epoch_hours, epochs as usize);
     let truth_of = |e: usize, plan: &[u32]| {
-        let truth = CostMatrix::from_matrix(snapshots[e].mean_matrix());
+        let truth = snapshots[e].mean_matrix();
         graph.problem(truth).cost(Objective::LongestLink, plan)
     };
 
@@ -226,6 +226,7 @@ fn main() {
             solve_seconds: solve_s,
             threads: 1,
             seed: seed ^ t.epoch,
+            ..Default::default()
         };
         let t0 = Instant::now();
         let _ = incremental_resolve(&problem, Objective::LongestLink, &t.incumbent, &repair_config);

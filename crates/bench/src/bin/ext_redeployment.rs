@@ -9,9 +9,7 @@
 //! migration-aware policy.
 
 use cloudia_bench::{header, row, Scale};
-use cloudia_core::{
-    redeploy, Advisor, AdvisorConfig, CommGraph, CostMatrix, Objective, RedeployPolicy,
-};
+use cloudia_core::{redeploy, Advisor, AdvisorConfig, CommGraph, Objective, RedeployPolicy};
 use cloudia_netsim::{Cloud, Provider};
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -41,7 +39,7 @@ fn main() {
     let epochs = scale.pick(6, 12);
     let epoch_hours = 24.0;
     for e in 0..=epochs {
-        let truth = CostMatrix::from_matrix(net.mean_matrix());
+        let truth = net.mean_matrix();
         let problem = graph.problem(truth);
         let static_cost = problem.longest_link(&static_plan);
 

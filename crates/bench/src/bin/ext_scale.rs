@@ -1,0 +1,129 @@
+//! Extension: dense vs candidate-pruned time-to-quality at 10× paper scale.
+//!
+//! The paper's CP search tops out near a few hundred instances because
+//! every solver pass walks the full dense m² cost plane and full `0..m`
+//! domains per node. The candidate-pruning layer
+//! (`cloudia_solver::candidates` + `SearchStrategy::run_pruned`) cuts the
+//! pool to the per-node candidate lists first. This bin races the two
+//! paths on clustered instances at m ∈ {200, 500, 2000} (`--smoke`:
+//! {200, 2000}) and reports, per size and per strategy (CP and the
+//! single-prover portfolio):
+//!
+//! * wall-clock seconds of each path (same budget, same seed);
+//! * final deployment cost of each path;
+//! * the pruned pool size.
+//!
+//! Auto-escalation is deliberately disabled here so the timing isolates
+//! the pruned search itself (an escalated run is "pruned + dense" by
+//! definition); the escalation contract has its own coverage in the
+//! `cloudia-core` proptests.
+//!
+//! In `--smoke` mode the bin **asserts** the PR's acceptance criterion at
+//! m = 2000: the pruned solve completes ≥ 5× faster than the dense one
+//! while landing within 1 % of its deployment cost, and exits non-zero
+//! otherwise.
+
+use std::time::Instant;
+
+use cloudia_bench::{header, row, Scale};
+use cloudia_core::{CommGraph, CostMatrix, PrunedSolve, SearchStrategy, SolveHint};
+use cloudia_solver::{Budget, CandidateConfig, CpConfig, Objective, PortfolioConfig};
+
+struct Arm {
+    name: &'static str,
+    dense_s: f64,
+    dense_cost: f64,
+    pruned_s: f64,
+    pruned: PrunedSolve,
+}
+
+fn race(
+    strategy: &SearchStrategy,
+    name: &'static str,
+    problem: &cloudia_core::NodeDeployment,
+) -> Arm {
+    // No escalation: time the pruned search alone (see module docs).
+    let cand = CandidateConfig { auto_escalate: false, ..CandidateConfig::default() };
+    // Pruned first: if it were run second, a warm file cache/allocator
+    // would flatter it.
+    let t0 = Instant::now();
+    let pruned = strategy.run_pruned(problem, Objective::LongestLink, &SolveHint::Cold, &cand);
+    let pruned_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let dense = strategy.run(problem, Objective::LongestLink);
+    let dense_s = t0.elapsed().as_secs_f64();
+    Arm { name, dense_s, dense_cost: dense.cost, pruned_s, pruned }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    header("ext-scale", "dense vs candidate-pruned solves at 10x paper scale", scale);
+
+    let sizes: &[usize] = if smoke { &[200, 2000] } else { &[200, 500, 2000] };
+    let graph = CommGraph::mesh_2d(5, 6);
+    let budget_for = |m: usize| if m >= 2000 { 4.0 } else { 2.0 };
+
+    println!("m\tstrategy\tdense_s\tdense_cost\tpruned_s\tpruned_cost\tpool\tspeedup\tcost_ratio");
+    let mut failures = Vec::new();
+    for &m in sizes {
+        // Clustered costs — the EC2 shape pruning exploits: ~25 % of the
+        // pool is congested and never competitive.
+        let costs = CostMatrix::random_clustered(m, 0.25, 42 + m as u64);
+        let problem = graph.problem(costs);
+        let budget = budget_for(m);
+
+        let cp = SearchStrategy::Cp(CpConfig {
+            budget: Budget::seconds(budget),
+            clusters: Some(20),
+            seed: 7,
+            ..CpConfig::default()
+        });
+        let portfolio = SearchStrategy::Portfolio(PortfolioConfig {
+            budget: Budget::seconds(budget),
+            threads: 2,
+            seed: 7,
+            ..PortfolioConfig::default()
+        });
+
+        for arm in [race(&cp, "cp", &problem), race(&portfolio, "portfolio", &problem)] {
+            let speedup = arm.dense_s / arm.pruned_s.max(1e-9);
+            let cost_ratio = arm.pruned.outcome.cost / arm.dense_cost.max(f64::MIN_POSITIVE);
+            row(&[
+                format!("{m}"),
+                arm.name.to_string(),
+                format!("{:.3}", arm.dense_s),
+                format!("{:.4}", arm.dense_cost),
+                format!("{:.3}", arm.pruned_s),
+                format!("{:.4}", arm.pruned.outcome.cost),
+                format!("{}", arm.pruned.pool),
+                format!("{speedup:.1}x"),
+                format!("{cost_ratio:.4}"),
+            ]);
+            if smoke && m >= 2000 {
+                if speedup < 5.0 {
+                    failures.push(format!(
+                        "{}@m={m}: pruned speedup {speedup:.1}x < 5x (dense {:.3}s, pruned {:.3}s)",
+                        arm.name, arm.dense_s, arm.pruned_s
+                    ));
+                }
+                if cost_ratio > 1.01 {
+                    failures.push(format!(
+                        "{}@m={m}: pruned cost {:.4} more than 1% above dense {:.4}",
+                        arm.name, arm.pruned.outcome.cost, arm.dense_cost
+                    ));
+                }
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("# smoke OK: pruned path >= 5x faster within 1% of dense cost at m = 2000");
+    }
+}

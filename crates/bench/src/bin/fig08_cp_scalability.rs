@@ -71,9 +71,5 @@ fn mesh_dims(nodes: usize) -> (usize, usize) {
 }
 
 fn sub_costs(all: &CostMatrix, idx: &[usize]) -> CostMatrix {
-    let rows: Vec<Vec<f64>> = idx
-        .iter()
-        .map(|&i| idx.iter().map(|&j| if i == j { 0.0 } else { all.get(i, j) }).collect())
-        .collect();
-    CostMatrix::from_matrix(rows)
+    all.submatrix(&idx.iter().map(|&i| i as u32).collect::<Vec<_>>())
 }

@@ -55,6 +55,7 @@ fn main() {
                 strategy: None,
                 search_time_s: search_s,
                 search_threads: 1,
+                candidates: None,
                 measurement: MeasurementPlan {
                     ks: 10,
                     sweeps: 2,

@@ -43,6 +43,7 @@ fn main() {
             strategy: None,
             search_time_s: search_s,
             search_threads: 1,
+            candidates: None,
             measurement: MeasurementPlan { ks: 10, sweeps: 2, config: MeasureConfig::default() },
         });
         let outcome = advisor.run_on_network(&net, &sim.graph(), 9);

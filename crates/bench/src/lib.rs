@@ -105,7 +105,13 @@ pub fn measured_costs(
 ) -> CostMatrix {
     let report =
         Staged::new(ks, sweeps).run(net, &MeasureConfig { seed, ..MeasureConfig::default() });
-    metric.cost_matrix(&report.stats)
+    match metric.try_cost_matrix(&report.stats) {
+        Ok(costs) => costs,
+        Err(e) => {
+            eprintln!("measurement produced unusable cost data: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Builds an advisor sized for harness runs.

@@ -13,10 +13,10 @@
 
 use cloudia_measure::{MeasureConfig, MeasurementReport, Scheme, Staged};
 use cloudia_netsim::{Cloud, InstanceId, Network, Provider};
-use cloudia_solver::{Objective, SolveOutcome};
+use cloudia_solver::{CandidateConfig, Objective, SolveOutcome};
 
 use crate::metrics::LatencyMetric;
-use crate::problem::{CommGraph, CostMatrix, Deployment};
+use crate::problem::{CommGraph, CostError, CostMatrix, Deployment};
 use crate::search::SearchStrategy;
 
 /// How the advisor runs the staged measurement.
@@ -56,6 +56,11 @@ pub struct AdvisorConfig {
     /// paper's single-threaded recommendation, any other value races the
     /// solver portfolio on that many threads (0 = all cores).
     pub search_threads: usize,
+    /// Candidate pruning (the scaling knob): `Some` routes every search
+    /// through [`SearchStrategy::run_pruned`], cutting the instance pool
+    /// to the per-node candidate lists before the solver starts. `None`
+    /// (default) keeps the dense paper behaviour.
+    pub candidates: Option<CandidateConfig>,
     /// Measurement plan.
     pub measurement: MeasurementPlan,
 }
@@ -71,6 +76,7 @@ impl AdvisorConfig {
             strategy: None,
             search_time_s: 1.0,
             search_threads: 1,
+            candidates: None,
             measurement: MeasurementPlan { ks: 3, sweeps: 2, config: MeasureConfig::default() },
         }
     }
@@ -85,6 +91,7 @@ impl Default for AdvisorConfig {
             strategy: None,
             search_time_s: 10.0,
             search_threads: 1,
+            candidates: None,
             measurement: MeasurementPlan::default(),
         }
     }
@@ -144,14 +151,29 @@ impl Advisor {
 
     /// Runs the full pipeline against a fresh cloud: boot, allocate
     /// (over-allocated), measure, search, terminate extras.
+    ///
+    /// # Panics
+    /// Panics if the measurement produces an invalid cost matrix; use
+    /// [`Advisor::try_run`] to handle that as an error.
     pub fn run(&self, provider: Provider, graph: &CommGraph, seed: u64) -> AdvisorOutcome {
+        self.try_run(provider, graph, seed).expect("measurement produced an invalid cost matrix")
+    }
+
+    /// [`Advisor::run`], reporting corrupt measurement data as an error
+    /// instead of aborting.
+    pub fn try_run(
+        &self,
+        provider: Provider,
+        graph: &CommGraph,
+        seed: u64,
+    ) -> Result<AdvisorOutcome, CostError> {
         let n = graph.num_nodes();
         let extra = (n as f64 * self.config.over_allocation).ceil() as usize;
         let mut cloud = Cloud::boot(provider, seed);
         let allocation = cloud.allocate(n + extra);
         let network = cloud.network(&allocation);
 
-        let mut outcome = self.run_on_network(&network, graph, seed);
+        let mut outcome = self.try_run_on_network(&network, graph, seed)?;
 
         // Step 4: terminate the extra instances the plan does not use.
         let used: std::collections::HashSet<u32> = outcome.deployment.iter().copied().collect();
@@ -159,28 +181,44 @@ impl Advisor {
             (0..allocation.len() as u32).filter(|i| !used.contains(i)).map(InstanceId).collect();
         cloud.terminate(&allocation, &victims);
         outcome.terminated = victims;
-        outcome
+        Ok(outcome)
     }
 
     /// Runs measurement + search over an existing network (no allocation
     /// or termination) — the harness entry point when the caller manages
     /// the cloud itself.
+    ///
+    /// # Panics
+    /// Panics if the measurement produces an invalid cost matrix; use
+    /// [`Advisor::try_run_on_network`] to handle that as an error.
     pub fn run_on_network(
         &self,
         network: &Network,
         graph: &CommGraph,
         seed: u64,
     ) -> AdvisorOutcome {
+        self.try_run_on_network(network, graph, seed)
+            .expect("measurement produced an invalid cost matrix")
+    }
+
+    /// [`Advisor::run_on_network`], reporting corrupt measurement data as
+    /// an error instead of aborting.
+    pub fn try_run_on_network(
+        &self,
+        network: &Network,
+        graph: &CommGraph,
+        seed: u64,
+    ) -> Result<AdvisorOutcome, CostError> {
         // Step 2: measure.
         let report = self.measure(network, seed);
 
         // Step 3: search on the measured costs.
-        let costs = self.config.metric.cost_matrix(&report.stats);
+        let costs = self.config.metric.try_cost_matrix(&report.stats)?;
         let mut outcome =
             self.search_with_costs(network, graph, costs, &crate::search::SolveHint::Cold);
         outcome.measurement_ms = report.elapsed_ms;
         outcome.measurement_round_trips = report.round_trips;
-        outcome
+        Ok(outcome)
     }
 
     /// Runs only the search step against caller-supplied cost estimates —
@@ -210,10 +248,14 @@ impl Advisor {
                 SearchStrategy::portfolio(self.config.search_time_s, self.config.search_threads)
             }
         });
-        let search = strategy.run_with_hint(&problem, self.config.objective, hint);
+        let search = match &self.config.candidates {
+            Some(cand) => strategy.run_pruned(&problem, self.config.objective, hint, cand).outcome,
+            None => strategy.run_with_hint(&problem, self.config.objective, hint),
+        };
 
-        // Evaluate default vs optimized on ground truth.
-        let truth = CostMatrix::from_matrix(network.mean_matrix());
+        // Evaluate default vs optimized on ground truth. `mean_matrix`
+        // builds one flat arena; everything downstream shares it.
+        let truth: CostMatrix = network.mean_matrix();
         let truth_problem = graph.problem(truth);
         let default_deployment = truth_problem.default_deployment();
         let default_cost = truth_problem.cost(self.config.objective, &default_deployment);

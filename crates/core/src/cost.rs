@@ -38,11 +38,7 @@ mod tests {
     #[test]
     fn cost_wrapper_matches_solver() {
         let g = CommGraph::new(2, vec![(0, 1)]);
-        let c = CostMatrix::from_matrix(vec![
-            vec![0.0, 2.0, 1.0],
-            vec![2.0, 0.0, 3.0],
-            vec![1.0, 3.0, 0.0],
-        ]);
+        let c = CostMatrix::from_flat(3, vec![0.0, 2.0, 1.0, 2.0, 0.0, 3.0, 1.0, 3.0, 0.0]);
         assert_eq!(deployment_cost(&g, &c, Objective::LongestLink, &vec![0, 1]), 2.0);
         assert_eq!(deployment_cost(&g, &c, Objective::LongestLink, &vec![0, 2]), 1.0);
     }

@@ -36,8 +36,11 @@ pub mod search;
 pub use advisor::{Advisor, AdvisorConfig, AdvisorOutcome, MeasurementPlan};
 pub use cost::{deployment_cost, relative_improvement, Objective};
 pub use metrics::LatencyMetric;
-pub use problem::{CommGraph, CostMatrix, Deployment, NodeDeployment, NodeId};
-pub use redeploy::{
-    redeploy, redeploy_with_history, LinkHistory, RedeployDecision, RedeployPolicy,
+pub use problem::{
+    CommGraph, CostBuilder, CostError, CostMatrix, Deployment, NodeDeployment, NodeId,
 };
-pub use search::{SearchStrategy, SolveHint};
+pub use redeploy::{
+    redeploy, redeploy_with_history, try_redeploy_with_history, LinkHistory, RedeployDecision,
+    RedeployPolicy,
+};
+pub use search::{PrunedSolve, SearchStrategy, SolveHint};

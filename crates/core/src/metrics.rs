@@ -8,7 +8,7 @@
 
 use cloudia_measure::PairwiseStats;
 
-use crate::problem::CostMatrix;
+use crate::problem::{CostError, CostMatrix};
 
 /// Which per-link statistic to use as the communication cost `C_L`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -38,14 +38,22 @@ impl LatencyMetric {
     }
 
     /// Extracts the cost matrix under this metric from measurement
-    /// statistics.
-    pub fn cost_matrix(self, stats: &PairwiseStats) -> CostMatrix {
-        let m = match self {
+    /// statistics, reporting corrupt estimates (NaN/negative) as an error
+    /// instead of aborting.
+    pub fn try_cost_matrix(self, stats: &PairwiseStats) -> Result<CostMatrix, CostError> {
+        match self {
             LatencyMetric::Mean => stats.mean_matrix(),
             LatencyMetric::MeanPlusSd => stats.mean_plus_sd_matrix(),
             LatencyMetric::P99 => stats.p99_matrix(),
-        };
-        CostMatrix::from_matrix(m)
+        }
+    }
+
+    /// [`LatencyMetric::try_cost_matrix`] for trusted statistics.
+    ///
+    /// # Panics
+    /// Panics if an estimate is not a finite non-negative latency.
+    pub fn cost_matrix(self, stats: &PairwiseStats) -> CostMatrix {
+        self.try_cost_matrix(stats).expect("measurement produced an invalid cost matrix")
     }
 
     /// Flattened off-diagonal vector of this metric's values, row-major —

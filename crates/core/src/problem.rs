@@ -5,7 +5,7 @@
 //! (Definition 1) into a [`cloudia_solver::NodeDeployment`] and searches
 //! for a deployment plan (Definition 2).
 
-pub use cloudia_solver::problem::{Costs as CostMatrix, NodeDeployment};
+pub use cloudia_solver::problem::{CostBuilder, CostError, CostMatrix, NodeDeployment};
 
 /// An application node identifier (index into the communication graph).
 pub type NodeId = u32;
@@ -63,7 +63,7 @@ impl CommGraph {
     /// True if the graph is a DAG (required for the longest-path objective).
     pub fn is_dag(&self) -> bool {
         // Reuse the solver's topological sort on a dummy problem.
-        let costs = CostMatrix::from_matrix(vec![vec![0.0; self.num_nodes]; self.num_nodes]);
+        let costs = CostMatrix::zeros(self.num_nodes);
         NodeDeployment::new(self.num_nodes, self.edges.clone(), costs).is_dag()
     }
 
@@ -245,11 +245,12 @@ mod tests {
     #[test]
     fn problem_construction() {
         let g = CommGraph::ring(3);
-        let costs = CostMatrix::from_matrix(vec![
-            vec![0.0, 1.0, 2.0, 1.0],
-            vec![1.0, 0.0, 1.5, 2.0],
-            vec![2.0, 1.5, 0.0, 0.5],
-            vec![1.0, 2.0, 0.5, 0.0],
+        #[rustfmt::skip]
+        let costs = CostMatrix::from_flat(4, vec![
+            0.0, 1.0, 2.0, 1.0,
+            1.0, 0.0, 1.5, 2.0,
+            2.0, 1.5, 0.0, 0.5,
+            1.0, 2.0, 0.5, 0.0,
         ]);
         let p = g.problem(costs);
         assert_eq!(p.num_nodes, 3);

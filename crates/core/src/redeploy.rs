@@ -85,32 +85,41 @@ impl LinkHistory {
     /// * a link neither covers stays 0, as a fresh-only round would leave
     ///   it.
     pub fn blended_costs(&self, fresh: &PairwiseStats, metric: LatencyMetric) -> CostMatrix {
+        self.try_blended_costs(fresh, metric).expect("measurement produced an invalid cost matrix")
+    }
+
+    /// [`LinkHistory::blended_costs`], reporting corrupt estimates
+    /// (NaN/negative metric values) as an error instead of aborting —
+    /// the same contract as [`LatencyMetric::try_cost_matrix`].
+    pub fn try_blended_costs(
+        &self,
+        fresh: &PairwiseStats,
+        metric: LatencyMetric,
+    ) -> Result<CostMatrix, crate::problem::CostError> {
         assert_eq!(fresh.len(), self.n, "history and measurement cover different networks");
-        let rows: Vec<Vec<f64>> = (0..self.n)
-            .map(|i| {
-                (0..self.n)
-                    .map(|j| {
-                        if i == j {
-                            return 0.0;
+        let mut b = CostMatrix::builder(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let link = fresh.link(i, j);
+                let fresh_count = link.count() as f64;
+                let blended = match (fresh_count > 0.0, self.get(i, j)) {
+                    (true, Some((hist_mean, w))) => match metric {
+                        LatencyMetric::Mean => {
+                            (fresh_count * link.mean() + w * hist_mean) / (fresh_count + w)
                         }
-                        let link = fresh.link(i, j);
-                        let fresh_count = link.count() as f64;
-                        match (fresh_count > 0.0, self.get(i, j)) {
-                            (true, Some((hist_mean, w))) => match metric {
-                                LatencyMetric::Mean => {
-                                    (fresh_count * link.mean() + w * hist_mean) / (fresh_count + w)
-                                }
-                                _ => metric.link_value(link),
-                            },
-                            (true, None) => metric.link_value(link),
-                            (false, Some((hist_mean, _))) => hist_mean,
-                            (false, None) => 0.0,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        CostMatrix::from_matrix(rows)
+                        _ => metric.link_value(link),
+                    },
+                    (true, None) => metric.link_value(link),
+                    (false, Some((hist_mean, _))) => hist_mean,
+                    (false, None) => 0.0,
+                };
+                b.set(i, j, blended);
+            }
+        }
+        b.freeze()
     }
 }
 
@@ -158,6 +167,10 @@ impl RedeployDecision {
 /// Re-runs measurement + search on the (possibly drifted) network and
 /// decides whether migrating from `current` is worthwhile. The paper's
 /// batch iteration: fresh measurements only, no cross-round history.
+///
+/// # Panics
+/// Panics if the measurement produces an invalid cost matrix; use
+/// [`try_redeploy_with_history`] to handle that as an error.
 pub fn redeploy(
     advisor: &Advisor,
     network: &Network,
@@ -176,6 +189,10 @@ pub fn redeploy(
 /// historical estimates rather than falling back to zero, removing the
 /// paper's "re-measure from scratch" caveat. The search always warm-starts
 /// from the incumbent plan and never returns a worse one.
+///
+/// # Panics
+/// Panics if the measurement produces an invalid cost matrix; use
+/// [`try_redeploy_with_history`] to handle that as an error.
 pub fn redeploy_with_history(
     advisor: &Advisor,
     network: &Network,
@@ -185,19 +202,34 @@ pub fn redeploy_with_history(
     seed: u64,
     history: Option<&LinkHistory>,
 ) -> RedeployDecision {
+    try_redeploy_with_history(advisor, network, graph, current, policy, seed, history)
+        .expect("measurement produced an invalid cost matrix")
+}
+
+/// [`redeploy_with_history`], reporting corrupt measurement data as an
+/// error instead of aborting — the redeployment counterpart of
+/// [`Advisor::try_run_on_network`].
+pub fn try_redeploy_with_history(
+    advisor: &Advisor,
+    network: &Network,
+    graph: &CommGraph,
+    current: &Deployment,
+    policy: RedeployPolicy,
+    seed: u64,
+    history: Option<&LinkHistory>,
+) -> Result<RedeployDecision, crate::problem::CostError> {
     let objective = advisor.config().objective;
     let report = advisor.measure(network, seed);
     let costs = match history {
-        Some(h) => h.blended_costs(&report.stats, advisor.config().metric),
-        None => advisor.config().metric.cost_matrix(&report.stats),
+        Some(h) => h.try_blended_costs(&report.stats, advisor.config().metric)?,
+        None => advisor.config().metric.try_cost_matrix(&report.stats)?,
     };
     let hint = SolveHint::warm(current.clone());
     let mut outcome = advisor.search_with_costs(network, graph, costs, &hint);
     outcome.measurement_ms = report.elapsed_ms;
     outcome.measurement_round_trips = report.round_trips;
 
-    let truth = CostMatrix::from_matrix(network.mean_matrix());
-    let problem = graph.problem(truth);
+    let problem = graph.problem(network.mean_matrix());
     let keep_cost = problem.cost(objective, current);
 
     let moved_nodes =
@@ -207,7 +239,7 @@ pub fn redeploy_with_history(
     let migrate =
         gain >= policy.min_gain && (keep_cost - outcome.optimized_cost) > amortized_migration;
 
-    RedeployDecision { outcome, keep_cost, moved_nodes, migrate }
+    Ok(RedeployDecision { outcome, keep_cost, moved_nodes, migrate })
 }
 
 #[cfg(test)]
@@ -263,8 +295,7 @@ mod tests {
         }
         // Whatever the decision, the chosen plan is valid and no worse than
         // keeping the old one.
-        let truth = CostMatrix::from_matrix(drifted.mean_matrix());
-        let problem = graph.problem(truth);
+        let problem = graph.problem(drifted.mean_matrix());
         let chosen_cost =
             problem.cost(advisor.config().objective, decision.plan(&first.deployment));
         assert!(chosen_cost <= decision.keep_cost + 1e-9);
@@ -349,8 +380,7 @@ mod tests {
             7,
             Some(&history),
         );
-        let truth = CostMatrix::from_matrix(drifted.mean_matrix());
-        let problem = graph.problem(truth);
+        let problem = graph.problem(drifted.mean_matrix());
         let chosen_cost =
             problem.cost(advisor.config().objective, decision.plan(&first.deployment));
         assert!(chosen_cost <= decision.keep_cost + 1e-9);

@@ -8,6 +8,7 @@
 //! LPNDP, §6.3.3).
 
 use cloudia_solver::{
+    candidates::{CandidateConfig, CandidateSet},
     cp::{solve_llndp_cp, CpConfig},
     encodings::{solve_llndp_mip, solve_lpndp_mip, MipConfig},
     greedy::{solve_greedy, GreedyVariant},
@@ -44,6 +45,23 @@ impl SolveHint {
     pub fn warm(incumbent: crate::problem::Deployment) -> Self {
         SolveHint::Incremental { fixed: vec![None; incumbent.len()], incumbent }
     }
+}
+
+/// What a candidate-pruned run produced (see [`SearchStrategy::run_pruned`]).
+#[derive(Debug, Clone)]
+pub struct PrunedSolve {
+    /// The search outcome, with the deployment in original instance ids.
+    /// `proven_optimal` is only ever set by the exact fallback or an
+    /// escalated dense run — never by a pruned search alone.
+    pub outcome: SolveOutcome,
+    /// True if the candidate pool actually restricted the instance set
+    /// (false on the exact `k = m` fallback).
+    pub pruned: bool,
+    /// True if the driver re-solved densely after the pruned search
+    /// proved optimality within its restricted pool.
+    pub escalated: bool,
+    /// Instances in the candidate union the pruned search ran over.
+    pub pool: usize,
 }
 
 /// A search technique plus its configuration.
@@ -201,6 +219,97 @@ impl SearchStrategy {
         out
     }
 
+    /// Runs the strategy through the candidate-pruning layer (see
+    /// [`cloudia_solver::candidates`]): the instance pool is cut to the
+    /// per-node candidate lists, the strategy runs on the restricted
+    /// problem (CP domains seeded per node, MIP columns and greedy/random
+    /// draws bounded by the restriction), and the result is mapped back to
+    /// original instance ids.
+    ///
+    /// The contract mirrors [`SearchStrategy::run_with_hint`] — the result
+    /// is never worse than the hint's incumbent and always honours its
+    /// pins — with two pruning-specific rules:
+    ///
+    /// * `per_node >= m` (or a pool that covers every instance) is the
+    ///   **exact fallback**: the call degenerates to `run_with_hint`
+    ///   bit-for-bit;
+    /// * a pruned run never claims `proven_optimal` — when the pruned
+    ///   search *does* close its restricted neighbourhood and
+    ///   `auto_escalate` is set, the driver re-solves densely
+    ///   (warm-started from the pruned result) instead of passing the
+    ///   local proof off as a global one.
+    pub fn run_pruned(
+        &self,
+        problem: &NodeDeployment,
+        objective: Objective,
+        hint: &SolveHint,
+        config: &CandidateConfig,
+    ) -> PrunedSolve {
+        let (incumbent, fixed): (Option<&[u32]>, Option<&[Option<u32>]>) = match hint {
+            SolveHint::Cold => (None, None),
+            SolveHint::Incremental { incumbent, fixed } => {
+                (Some(incumbent.as_slice()), (!fixed.is_empty()).then_some(fixed.as_slice()))
+            }
+        };
+        let candidates = CandidateSet::build(problem, config, incumbent, fixed);
+        if candidates.is_exact() {
+            return PrunedSolve {
+                outcome: self.run_with_hint(problem, objective, hint),
+                pruned: false,
+                escalated: false,
+                pool: problem.num_instances(),
+            };
+        }
+
+        let restricted = candidates.restrict(problem);
+        let pool = restricted.sub.num_instances();
+        // Remap the hint into the restriction; `CandidateSet::build`
+        // guarantees every incumbent/pinned instance is a candidate.
+        let sub_hint = match hint {
+            SolveHint::Cold => SolveHint::Cold,
+            SolveHint::Incremental { incumbent, fixed } => SolveHint::Incremental {
+                incumbent: restricted
+                    .to_sub_deployment(incumbent)
+                    .expect("incumbent instances are candidates by construction"),
+                fixed: if fixed.is_empty() {
+                    Vec::new()
+                } else {
+                    restricted
+                        .to_sub_fixed(fixed)
+                        .expect("pinned instances are candidates by construction")
+                },
+            },
+        };
+        let mut strategy = self.clone();
+        match &mut strategy {
+            SearchStrategy::Cp(cfg) => cfg.candidates = Some(restricted.node_domains.clone()),
+            SearchStrategy::Portfolio(cfg) => {
+                cfg.cp.candidates = Some(restricted.node_domains.clone());
+            }
+            // MIP/greedy/random are bounded by the restriction itself.
+            _ => {}
+        }
+
+        let mut outcome = strategy.run_with_hint(&restricted.sub, objective, &sub_hint);
+        let proven_in_pool = outcome.proven_optimal;
+        outcome.deployment = restricted.to_original_deployment(&outcome.deployment);
+        outcome.cost = problem.cost(objective, &outcome.deployment);
+        outcome.proven_optimal = false; // a pruned proof is not global
+
+        if config.auto_escalate && proven_in_pool {
+            // The pruned search closed its neighbourhood; settle the full
+            // pool densely, warm-started from the pruned result so the
+            // dense run opens with a tight bound.
+            let dense_hint = SolveHint::Incremental {
+                incumbent: outcome.deployment.clone(),
+                fixed: fixed.map(<[_]>::to_vec).unwrap_or_default(),
+            };
+            let dense = self.run_with_hint(problem, objective, &dense_hint);
+            return PrunedSolve { outcome: dense, pruned: true, escalated: true, pool };
+        }
+        PrunedSolve { outcome, pruned: true, escalated: false, pool }
+    }
+
     /// Runs the strategy on a problem.
     ///
     /// # Panics
@@ -244,16 +353,11 @@ impl SearchStrategy {
 mod tests {
     use super::*;
     use crate::problem::{CommGraph, CostMatrix};
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rand::{rngs::StdRng, SeedableRng};
 
     fn problem(seed: u64, dag: bool) -> NodeDeployment {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let m = 10;
-        let rows: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-            .collect();
         let graph = if dag { CommGraph::aggregation_tree(2, 2) } else { CommGraph::mesh_2d(2, 3) };
-        graph.problem(CostMatrix::from_matrix(rows))
+        graph.problem(CostMatrix::random_uniform(10, seed))
     }
 
     #[test]
@@ -379,6 +483,96 @@ mod tests {
         let a = s.run(&p, Objective::LongestLink);
         let b = s.run_with_hint(&p, Objective::LongestLink, &SolveHint::Cold);
         assert_eq!(a.deployment, b.deployment);
+    }
+
+    #[test]
+    fn pruned_exact_fallback_is_bit_identical_to_dense() {
+        let p = problem(20, false);
+        let m = p.num_instances();
+        let s = SearchStrategy::Cp(CpConfig {
+            clusters: None,
+            quantum: 0.0,
+            budget: Budget::seconds(10.0),
+            ..Default::default()
+        });
+        let dense = s.run(&p, Objective::LongestLink);
+        let pruned = s.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::Cold,
+            &cloudia_solver::CandidateConfig { per_node: m, ..Default::default() },
+        );
+        assert!(!pruned.pruned);
+        assert!(!pruned.escalated);
+        assert_eq!(pruned.outcome.deployment, dense.deployment);
+        assert_eq!(pruned.outcome.cost, dense.cost);
+        assert_eq!(pruned.outcome.explored, dense.explored);
+        assert_eq!(pruned.outcome.proven_optimal, dense.proven_optimal);
+    }
+
+    #[test]
+    fn pruned_run_escalates_to_the_dense_optimum() {
+        // A clustered instance (most of the pool never competitive): the
+        // pruned CP run closes its restricted pool quickly, and the
+        // escalation confirms the result against the full pool.
+        let graph = CommGraph::mesh_2d(2, 3);
+        let p = graph.problem(CostMatrix::random_clustered(24, 0.3, 5));
+        let s = SearchStrategy::Cp(CpConfig {
+            clusters: None,
+            quantum: 0.0,
+            budget: Budget::seconds(20.0),
+            ..Default::default()
+        });
+        let dense = s.run(&p, Objective::LongestLink);
+        assert!(dense.proven_optimal, "dense run should close this size");
+        let pruned = s.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::Cold,
+            &cloudia_solver::CandidateConfig { per_node: 8, ..Default::default() },
+        );
+        assert!(pruned.pruned);
+        assert!(pruned.escalated, "pruned proof must trigger escalation");
+        assert!(pruned.outcome.proven_optimal);
+        assert!(
+            (pruned.outcome.cost - dense.cost).abs() < 1e-9,
+            "escalated {} vs dense {}",
+            pruned.outcome.cost,
+            dense.cost
+        );
+    }
+
+    #[test]
+    fn pruned_run_honours_incumbent_and_pins() {
+        let p = problem(21, false);
+        let mut rng = StdRng::seed_from_u64(3);
+        let incumbent = p.random_deployment(&mut rng);
+        let fixed: Vec<Option<u32>> = incumbent
+            .iter()
+            .enumerate()
+            .map(|(v, &j)| if v < 3 { Some(j) } else { None })
+            .collect();
+        let hint = SolveHint::Incremental { incumbent: incumbent.clone(), fixed: fixed.clone() };
+        let s = SearchStrategy::portfolio(2.0, 1);
+        let pruned = s.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &hint,
+            &cloudia_solver::CandidateConfig {
+                per_node: 6,
+                auto_escalate: false,
+                ..Default::default()
+            },
+        );
+        let out = &pruned.outcome;
+        assert!(p.is_valid(&out.deployment));
+        assert!(!out.proven_optimal, "pruned run must not claim a global proof");
+        for (v, f) in fixed.iter().enumerate() {
+            if let Some(j) = f {
+                assert_eq!(out.deployment[v], *j, "node {v} moved off its pin");
+            }
+        }
+        assert!(out.cost <= p.longest_link(&incumbent) + 1e-12);
     }
 
     #[test]

@@ -1,9 +1,26 @@
-//! Property-based tests for the core crate: graph templates and the
-//! metric/cost plumbing.
+//! Property-based tests for the core crate: graph templates, the
+//! metric/cost plumbing, and the candidate-pruning contract.
 
-use cloudia_core::{CommGraph, LatencyMetric};
+use cloudia_core::{CommGraph, CostMatrix, LatencyMetric, Objective, SearchStrategy, SolveHint};
 use cloudia_measure::PairwiseStats;
+use cloudia_solver::{Budget, CandidateConfig, CpConfig};
 use proptest::prelude::*;
+
+/// Strategy: a random square cost matrix of size m with costs in [0.1, 2]
+/// (the flat constructor zeroes the diagonal itself).
+fn costs_strategy(m: usize) -> impl Strategy<Value = CostMatrix> {
+    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| CostMatrix::from_flat(m, v))
+}
+
+fn exact_cp(seed: u64) -> SearchStrategy {
+    SearchStrategy::Cp(CpConfig {
+        clusters: None,
+        quantum: 0.0,
+        seed,
+        budget: Budget::seconds(30.0),
+        ..CpConfig::default()
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -37,6 +54,66 @@ proptest! {
         prop_assert_eq!(g.num_nodes(), front + storage);
         prop_assert_eq!(g.num_edges(), 2 * front * storage);
         prop_assert!(!g.is_dag()); // bidirectional edges
+    }
+
+    // Satellite: candidate-pruned search with k = m is the dense path,
+    // bit for bit — same deployment, cost, node count, and proof status.
+    #[test]
+    fn pruned_with_full_pool_is_bit_identical_to_dense(
+        costs in costs_strategy(8),
+        seed in 0u64..500,
+    ) {
+        let graph = CommGraph::ring(5);
+        let p = graph.problem(costs);
+        let strategy = exact_cp(seed);
+        let dense = strategy.run(&p, Objective::LongestLink);
+        let pruned = strategy.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::Cold,
+            &CandidateConfig { per_node: 8, ..CandidateConfig::default() },
+        );
+        prop_assert!(!pruned.pruned);
+        prop_assert!(!pruned.escalated);
+        prop_assert_eq!(pruned.outcome.deployment, dense.deployment);
+        prop_assert_eq!(pruned.outcome.cost, dense.cost);
+        prop_assert_eq!(pruned.outcome.explored, dense.explored);
+        prop_assert_eq!(pruned.outcome.proven_optimal, dense.proven_optimal);
+    }
+
+    // Satellite: the auto-escalation contract on random instances. A
+    // pruned run either escalates (and then matches the dense optimum —
+    // never silently worse), or returns a non-proof upper bound.
+    #[test]
+    fn pruned_optimum_is_within_the_escalation_contract(
+        costs in costs_strategy(9),
+        seed in 0u64..500,
+    ) {
+        let graph = CommGraph::ring(4);
+        let p = graph.problem(costs);
+        let strategy = exact_cp(seed);
+        let dense = strategy.run(&p, Objective::LongestLink);
+        prop_assert!(dense.proven_optimal, "dense CP must close a 4-node instance");
+        let pruned = strategy.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::Cold,
+            &CandidateConfig { per_node: 5, ..CandidateConfig::default() },
+        );
+        prop_assert!(pruned.pruned);
+        if pruned.escalated {
+            prop_assert!(pruned.outcome.proven_optimal);
+            prop_assert!(
+                (pruned.outcome.cost - dense.cost).abs() < 1e-9,
+                "escalated cost {} != dense optimum {}", pruned.outcome.cost, dense.cost
+            );
+        } else {
+            // Without escalation the result is an upper bound that must
+            // not masquerade as a proof.
+            prop_assert!(!pruned.outcome.proven_optimal);
+            prop_assert!(pruned.outcome.cost >= dense.cost - 1e-9);
+        }
+        prop_assert!(p.is_valid(&pruned.outcome.deployment));
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! three latency metrics the paper studies in §3.2/§6.4 (mean, mean+SD,
 //! p99) all come out of one pass.
 
+use cloudia_netsim::cost::{CostError, CostMatrix};
+
 /// Welford online mean/variance accumulator.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Welford {
@@ -275,25 +277,33 @@ impl PairwiseStats {
         self.ordered_pairs().map(|(i, j)| self.link(i, j).mean()).collect()
     }
 
-    /// Matrix of mean estimates (diagonal 0).
-    pub fn mean_matrix(&self) -> Vec<Vec<f64>> {
+    /// Matrix of mean estimates (diagonal 0), written straight into the
+    /// shared flat [`CostMatrix`] arena. Returns an error if any estimate
+    /// is not a finite non-negative latency (corrupt measurement data).
+    pub fn mean_matrix(&self) -> Result<CostMatrix, CostError> {
         self.matrix(|l| l.mean())
     }
 
     /// Matrix of mean+SD estimates (diagonal 0).
-    pub fn mean_plus_sd_matrix(&self) -> Vec<Vec<f64>> {
+    pub fn mean_plus_sd_matrix(&self) -> Result<CostMatrix, CostError> {
         self.matrix(|l| l.mean_plus_sd())
     }
 
     /// Matrix of p99 estimates (diagonal 0).
-    pub fn p99_matrix(&self) -> Vec<Vec<f64>> {
+    pub fn p99_matrix(&self) -> Result<CostMatrix, CostError> {
         self.matrix(|l| l.p99())
     }
 
-    fn matrix(&self, f: impl Fn(&LinkEstimate) -> f64) -> Vec<Vec<f64>> {
-        (0..self.n)
-            .map(|i| (0..self.n).map(|j| if i == j { 0.0 } else { f(self.link(i, j)) }).collect())
-            .collect()
+    fn matrix(&self, f: impl Fn(&LinkEstimate) -> f64) -> Result<CostMatrix, CostError> {
+        let mut b = CostMatrix::builder(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    b.set(i, j, f(self.link(i, j)));
+                }
+            }
+        }
+        b.freeze()
     }
 
     fn ordered_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
@@ -414,8 +424,8 @@ mod tests {
             s.record(i, j, v);
         }
         assert_eq!(s.mean_vector(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let m = s.mean_matrix();
-        assert_eq!(m[0][0], 0.0);
-        assert_eq!(m[2][1], 6.0);
+        let m = s.mean_matrix().unwrap();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 1), 6.0);
     }
 }

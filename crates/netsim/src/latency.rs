@@ -311,15 +311,10 @@ impl LatencyModel {
         sub
     }
 
-    /// Full matrix of true mean RTTs; diagonal entries are 0.
-    pub fn mean_matrix(&self) -> Vec<Vec<f64>> {
-        (0..self.n)
-            .map(|i| {
-                (0..self.n)
-                    .map(|j| if i == j { 0.0 } else { self.profiles[i * self.n + j].mean_rtt() })
-                    .collect()
-            })
-            .collect()
+    /// Full matrix of true mean RTTs; diagonal entries are 0. Built once
+    /// into a shared flat arena — downstream consumers clone it for free.
+    pub fn mean_matrix(&self) -> crate::cost::CostMatrix {
+        crate::cost::CostMatrix::from_fn(self.n, |i, j| self.profiles[i * self.n + j].mean_rtt())
     }
 }
 
@@ -461,11 +456,11 @@ mod tests {
         let model = LatencyModel::build(&topo(), &alloc(), &params(), 1);
         let m = model.mean_matrix();
         for i in 0..4 {
-            assert_eq!(m[i][i], 0.0);
+            assert_eq!(m.get(i, i), 0.0);
             for j in 0..4 {
                 if i != j {
                     assert_eq!(
-                        m[i][j],
+                        m.get(i, j),
                         model.mean_rtt(InstanceId::from_index(i), InstanceId::from_index(j))
                     );
                 }

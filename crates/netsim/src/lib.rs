@@ -43,6 +43,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+/// The shared flat cost plane (re-export of the `cloudia-cost` base
+/// crate): ground-truth mean matrices are produced in this type.
+pub use cloudia_cost as cost;
+
 pub mod dist;
 pub mod drift;
 pub mod engine;
@@ -53,6 +57,7 @@ pub mod provider;
 pub mod tenancy;
 pub mod topology;
 
+pub use cost::{CostBuilder, CostError, CostMatrix};
 pub use drift::{DriftParams, DriftProcess, DriftingNetwork, LinkTrace};
 pub use engine::{DeliveredMessage, Engine, MessageSpec, NicParams};
 pub use ids::{HostId, InstanceId, PodId, RackId};

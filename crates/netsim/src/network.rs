@@ -177,8 +177,9 @@ impl Network {
         self.model.sample_rtt_sized(src, dst, size_kb, rng)
     }
 
-    /// Ground-truth mean RTT matrix (diagonal 0).
-    pub fn mean_matrix(&self) -> Vec<Vec<f64>> {
+    /// Ground-truth mean RTT matrix (diagonal 0), as the shared flat
+    /// [`crate::cost::CostMatrix`].
+    pub fn mean_matrix(&self) -> crate::cost::CostMatrix {
         self.model.mean_matrix()
     }
 

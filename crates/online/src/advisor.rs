@@ -42,6 +42,10 @@ pub struct OnlineAdvisorConfig {
     pub cooldown_epochs: u64,
     /// Base RNG seed for re-solves.
     pub seed: u64,
+    /// Candidate pruning for the incremental re-solves (see
+    /// [`cloudia_solver::candidates`]): keeps repairs cheap when the spare
+    /// pool is large.
+    pub candidates: Option<cloudia_solver::CandidateConfig>,
     /// Record every trigger's (costs, incumbent) so a harness can replay
     /// the same instances against a cold solver (timing comparisons).
     pub record_triggers: bool,
@@ -59,6 +63,7 @@ impl Default for OnlineAdvisorConfig {
             threads: 1,
             cooldown_epochs: 1,
             seed: 0,
+            candidates: None,
             record_triggers: false,
         }
     }
@@ -251,22 +256,16 @@ impl OnlineAdvisor {
                 }
             }
         }
-        let rows = (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| {
-                        if i == j {
-                            0.0
-                        } else if self.store.link(i, j).ewma.count() > 0 {
-                            self.store.link(i, j).ewma.mean()
-                        } else {
-                            worst
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        CostMatrix::from_matrix(rows)
+        let mut b = CostMatrix::builder(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let link = self.store.link(i, j);
+                    b.set(i, j, if link.ewma.count() > 0 { link.ewma.mean() } else { worst });
+                }
+            }
+        }
+        b.freeze().expect("EWMA means are finite and non-negative")
     }
 
     /// Ingests one epoch and runs the control loop. `net` is the current
@@ -304,9 +303,9 @@ impl OnlineAdvisor {
         let triggered = (degradation || opportunity) && cooled;
 
         let problem = self.graph.problem(self.search_costs());
-        // One ground-truth problem per epoch, shared by the migration
-        // event and the epoch accounting below.
-        let truth_problem = self.graph.problem(CostMatrix::from_matrix(net.mean_matrix()));
+        // One ground-truth problem per epoch (one flat-arena build),
+        // shared by the migration event and the epoch accounting below.
+        let truth_problem = self.graph.problem(net.mean_matrix());
         let mut moved = 0usize;
         if triggered {
             self.last_resolve = Some(epoch);
@@ -322,6 +321,7 @@ impl OnlineAdvisor {
                 solve_seconds: self.config.solve_seconds,
                 threads: self.config.threads,
                 seed: self.config.seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                candidates: self.config.candidates,
             };
             let repair = incremental_resolve(
                 &problem,

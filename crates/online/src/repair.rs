@@ -21,7 +21,7 @@
 use std::time::Instant;
 
 use cloudia_core::{NodeDeployment, SearchStrategy, SolveHint};
-use cloudia_solver::{Budget, Objective, PortfolioConfig, SolveOutcome};
+use cloudia_solver::{Budget, CandidateConfig, Objective, PortfolioConfig, SolveOutcome};
 
 /// Configuration of one incremental re-solve.
 #[derive(Debug, Clone)]
@@ -34,11 +34,22 @@ pub struct RepairConfig {
     pub threads: usize,
     /// RNG seed for the embedded searches.
     pub seed: u64,
+    /// Candidate pruning for the repair search: with `Some`, the freed
+    /// nodes only consider candidate instances (plus their incumbent),
+    /// so a repair over thousands of spare instances stays cheap.
+    ///
+    /// Repairs never auto-escalate regardless of
+    /// [`CandidateConfig::auto_escalate`]: an incremental re-solve is
+    /// best-effort by contract (never worse than the incumbent, bounded
+    /// by `solve_seconds`), and escalating to a dense re-solve would
+    /// spend a second full budget chasing a proof the trigger loop does
+    /// not need. Run a dense batch re-deployment when a proof matters.
+    pub candidates: Option<CandidateConfig>,
 }
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        Self { migration_budget: 3, solve_seconds: 1.0, threads: 0, seed: 0 }
+        Self { migration_budget: 3, solve_seconds: 1.0, threads: 0, seed: 0, candidates: None }
     }
 }
 
@@ -111,7 +122,16 @@ pub fn incremental_resolve(
     let hint = SolveHint::Incremental { incumbent: incumbent.to_vec(), fixed };
 
     let t0 = Instant::now();
-    let solve = strategy.run_with_hint(problem, objective, &hint);
+    let solve = match &config.candidates {
+        Some(cand) => {
+            // See `RepairConfig::candidates`: repairs are best-effort and
+            // budget-bound, so a pool-local proof must not trigger a
+            // second, dense solve.
+            let cand = CandidateConfig { auto_escalate: false, ..*cand };
+            strategy.run_pruned(problem, objective, &hint, &cand).outcome
+        }
+        None => strategy.run_with_hint(problem, objective, &hint),
+    };
     let solve_seconds = t0.elapsed().as_secs_f64();
 
     let incumbent_cost = problem.cost(objective, incumbent);
@@ -131,15 +151,11 @@ pub fn incremental_resolve(
 mod tests {
     use super::*;
     use cloudia_solver::Costs;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rand::{rngs::StdRng, SeedableRng};
 
     fn random_problem(n: usize, m: usize, seed: u64) -> NodeDeployment {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-            .collect();
         let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
-        NodeDeployment::new(n, edges, Costs::from_matrix(rows))
+        NodeDeployment::new(n, edges, Costs::random_uniform(m, seed))
     }
 
     #[test]
@@ -170,8 +186,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for trial in 0..5 {
             let incumbent = p.random_deployment(&mut rng);
-            let config =
-                RepairConfig { migration_budget: 2, solve_seconds: 2.0, threads: 1, seed: trial };
+            let config = RepairConfig {
+                migration_budget: 2,
+                solve_seconds: 2.0,
+                threads: 1,
+                seed: trial,
+                ..Default::default()
+            };
             let out = incremental_resolve(&p, Objective::LongestLink, &incumbent, &config);
             assert!(p.is_valid(&out.deployment), "trial {trial}");
             assert!(out.moved <= 2, "trial {trial}: moved {}", out.moved);
@@ -186,6 +207,35 @@ mod tests {
                 if !out.freed.contains(&v) {
                     assert_eq!(out.deployment[v as usize], incumbent[v as usize]);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_pruned_repair_keeps_the_contract() {
+        // Pruning shrinks the freed nodes' instance choices but the repair
+        // contract survives: pins respected, never worse than incumbent.
+        let p = NodeDeployment::new(
+            8,
+            (0..7u32).map(|i| (i, i + 1)).collect(),
+            Costs::random_clustered(40, 0.3, 11),
+        );
+        let mut rng = StdRng::seed_from_u64(12);
+        let incumbent = p.random_deployment(&mut rng);
+        let config = RepairConfig {
+            migration_budget: 3,
+            solve_seconds: 1.0,
+            threads: 1,
+            seed: 5,
+            candidates: Some(CandidateConfig { per_node: 12, ..Default::default() }),
+        };
+        let out = incremental_resolve(&p, Objective::LongestLink, &incumbent, &config);
+        assert!(p.is_valid(&out.deployment));
+        assert!(out.moved <= 3, "moved {}", out.moved);
+        assert!(out.cost <= out.incumbent_cost + 1e-12);
+        for v in 0..8u32 {
+            if !out.freed.contains(&v) {
+                assert_eq!(out.deployment[v as usize], incumbent[v as usize]);
             }
         }
     }

@@ -150,16 +150,18 @@ impl OnlineStore {
         self.links.iter().filter(|l| l.ewma.count() > 0).count()
     }
 
-    /// Current cost matrix of EWMA means (0 for never-observed links).
+    /// Current cost matrix of EWMA means (0 for never-observed links),
+    /// written straight into the shared flat arena.
     pub fn cost_matrix(&self) -> CostMatrix {
-        let rows = (0..self.n)
-            .map(|i| {
-                (0..self.n)
-                    .map(|j| if i == j { 0.0 } else { self.link(i, j).ewma.mean() })
-                    .collect()
-            })
-            .collect();
-        CostMatrix::from_matrix(rows)
+        let mut b = CostMatrix::builder(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    b.set(i, j, self.link(i, j).ewma.mean());
+                }
+            }
+        }
+        b.freeze().expect("EWMA means are finite and non-negative")
     }
 
     /// Exports the store as re-deployment [`LinkHistory`]: EWMA mean per

@@ -11,12 +11,8 @@ use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 fn random_problem(n: usize, m: usize, seed: u64) -> NodeDeployment {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let rows: Vec<Vec<f64>> = (0..m)
-        .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-        .collect();
     let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
-    NodeDeployment::new(n, edges, Costs::from_matrix(rows))
+    NodeDeployment::new(n, edges, Costs::random_uniform(m, seed))
 }
 
 /// Runs one synthetic per-epoch mean stream through an EWMA + detector
@@ -73,6 +69,7 @@ proptest! {
             solve_seconds: 0.5,
             threads: 1,
             seed,
+            ..Default::default()
         };
         let out = incremental_resolve(&p, Objective::LongestLink, &incumbent, &config);
         prop_assert!(p.is_valid(&out.deployment));

@@ -1,0 +1,376 @@
+//! Candidate-pruned solver domains: exploit latency clustering to shrink
+//! the instance pool before any search starts.
+//!
+//! EC2-style latency planes are heavily clustered (paper Figs. 1, 10):
+//! most of a tenant's `m` instances sit in one well-connected cluster and
+//! a minority are congested, so for realistic instances almost none of the
+//! `m` candidates per application node are ever competitive. This module
+//! turns that observation into explicit per-node candidate lists:
+//!
+//! 1. every instance is scored by a **quantile of its incident link
+//!    costs** (default: the median over both directions) — congested
+//!    instances score high, cluster members score low;
+//! 2. the cheapest `k` instances form the shared candidate pool
+//!    (`k = per_node`, never less than the node count so an injective
+//!    deployment always exists);
+//! 3. each node's list is the pool **plus its incumbent and pinned
+//!    instances**, so warm starts and repair pins are always reachable.
+//!
+//! [`CandidateSet::restrict`] then slices the cost plane to the candidate
+//! union — an O(K²) [`CostMatrix::submatrix`] view of the m² arena — and
+//! remaps the problem onto it. Every downstream technique is bounded for
+//! free: CP bitset domains are seeded from the per-node lists (see
+//! [`crate::cp::CpConfig::candidates`]), the MIP encodings only generate
+//! `x_ij` columns for candidate instances (the restricted problem has no
+//! others), and greedy growth / random draws range over K instead of m.
+//!
+//! Pruning is **heuristic**: a pruned run can never prove global
+//! optimality, and an over-tight pool can miss the optimum. The exact
+//! fallback (`per_node >= m`) degenerates to the dense path bit-for-bit,
+//! and the driver in `cloudia-core` (`SearchStrategy::run_pruned`)
+//! auto-escalates to the dense problem whenever the pruned search proves
+//! pruned-optimality, instead of silently passing a local proof off as a
+//! global one.
+
+use crate::problem::{CostMatrix, NodeDeployment};
+
+/// Tuning knobs of the candidate-pruning layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateConfig {
+    /// Candidate instances per node (`0` = auto: `max(4·n, 48)`), before
+    /// incumbent/pin additions. Values `>= m` select every instance — the
+    /// exact fallback.
+    pub per_node: usize,
+    /// Which quantile of an instance's incident link costs scores it
+    /// (0.5 = median). Lower quantiles reward instances with *some* cheap
+    /// links; higher quantiles demand uniformly cheap ones.
+    pub quantile: f64,
+    /// Re-solve densely (warm-started from the pruned result) when the
+    /// pruned search proves optimality within its domain — the proof does
+    /// not extend to the full instance pool, so without escalation the
+    /// caller would get a silently weaker answer.
+    pub auto_escalate: bool,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        Self { per_node: 0, quantile: 0.5, auto_escalate: true }
+    }
+}
+
+impl CandidateConfig {
+    /// The pool size this configuration selects for a problem with `n`
+    /// nodes over `m` instances.
+    pub fn pool_size(&self, n: usize, m: usize) -> usize {
+        let k = if self.per_node == 0 { (4 * n).max(48) } else { self.per_node };
+        k.max(n).min(m)
+    }
+}
+
+/// Per-node candidate instance lists over the original instance ids.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    m: usize,
+    /// Sorted original ids of the candidate union (pool + extras).
+    union: Vec<u32>,
+    /// Per-node sorted candidate lists (subsets of `union`).
+    per_node: Vec<Vec<u32>>,
+}
+
+impl CandidateSet {
+    /// Builds candidate lists for `problem` under `config`. The incumbent
+    /// deployment (if any) and every pinned instance are force-included in
+    /// the owning node's list, so pruning can never make a warm start or a
+    /// repair pin unreachable.
+    ///
+    /// # Panics
+    /// Panics if `incumbent`/`fixed` are sized for a different node count
+    /// or reference out-of-range instances.
+    pub fn build(
+        problem: &NodeDeployment,
+        config: &CandidateConfig,
+        incumbent: Option<&[u32]>,
+        fixed: Option<&[Option<u32>]>,
+    ) -> Self {
+        let n = problem.num_nodes;
+        let m = problem.num_instances();
+        assert!((0.0..=1.0).contains(&config.quantile), "quantile must be in [0, 1]");
+        if let Some(inc) = incumbent {
+            assert_eq!(inc.len(), n, "incumbent must cover every node");
+            assert!(inc.iter().all(|&j| (j as usize) < m), "incumbent instance out of range");
+        }
+        if let Some(f) = fixed {
+            assert_eq!(f.len(), n, "fixed assignments must cover every node");
+            assert!(f.iter().flatten().all(|&j| (j as usize) < m), "fixed instance out of range");
+        }
+
+        let pool_size = config.pool_size(n, m);
+        let pool: Vec<u32> = if pool_size >= m {
+            (0..m as u32).collect()
+        } else {
+            // Score every instance by the configured quantile of its
+            // incident link costs (both directions), then keep the
+            // cheapest `pool_size`. O(m²) total, once per solve.
+            let costs = &problem.costs;
+            let mut scored: Vec<(f64, u32)> = (0..m)
+                .map(|j| {
+                    let mut incident: Vec<f64> = Vec::with_capacity(2 * (m - 1));
+                    for l in 0..m {
+                        if l != j {
+                            incident.push(costs.get(j, l));
+                            incident.push(costs.get(l, j));
+                        }
+                    }
+                    let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;
+                    let (_, q, _) =
+                        incident.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                    (*q, j as u32)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let mut pool: Vec<u32> = scored[..pool_size].iter().map(|&(_, j)| j).collect();
+            pool.sort_unstable();
+            pool
+        };
+
+        let in_pool = {
+            let mut mask = vec![false; m];
+            for &j in &pool {
+                mask[j as usize] = true;
+            }
+            mask
+        };
+
+        let per_node: Vec<Vec<u32>> = (0..n)
+            .map(|v| {
+                let mut list = pool.clone();
+                for extra in
+                    [incumbent.map(|inc| inc[v]), fixed.and_then(|f| f[v])].into_iter().flatten()
+                {
+                    if !in_pool[extra as usize] && !list.contains(&extra) {
+                        list.push(extra);
+                    }
+                }
+                list.sort_unstable();
+                list
+            })
+            .collect();
+
+        let mut union = pool;
+        for list in &per_node {
+            for &j in list {
+                if !in_pool[j as usize] && !union.contains(&j) {
+                    union.push(j);
+                }
+            }
+        }
+        union.sort_unstable();
+
+        Self { m, union, per_node }
+    }
+
+    /// True when the candidate union covers every instance: the pruned
+    /// path degenerates to the dense one.
+    pub fn is_exact(&self) -> bool {
+        self.union.len() == self.m
+    }
+
+    /// The sorted candidate union (original instance ids).
+    pub fn union(&self) -> &[u32] {
+        &self.union
+    }
+
+    /// Node `v`'s sorted candidate list (original instance ids).
+    pub fn node_candidates(&self, v: usize) -> &[u32] {
+        &self.per_node[v]
+    }
+
+    /// Restricts `problem` to the candidate union: the returned
+    /// sub-problem's instance `a` is original instance `to_original[a]`,
+    /// its cost plane is an O(K²) slice of the original arena, and
+    /// `node_domains` carries the per-node lists remapped to sub indices
+    /// (ready to seed CP bitset domains).
+    pub fn restrict(&self, problem: &NodeDeployment) -> PrunedProblem {
+        assert_eq!(problem.num_instances(), self.m, "candidate set built for another problem");
+        let sub_costs: CostMatrix = problem.costs.submatrix(&self.union);
+        let sub = NodeDeployment::new(problem.num_nodes, problem.edges.clone(), sub_costs);
+        let mut to_sub = vec![u32::MAX; self.m];
+        for (a, &j) in self.union.iter().enumerate() {
+            to_sub[j as usize] = a as u32;
+        }
+        let node_domains = self
+            .per_node
+            .iter()
+            .map(|list| list.iter().map(|&j| to_sub[j as usize]).collect())
+            .collect();
+        PrunedProblem { sub, to_original: self.union.clone(), to_sub, node_domains }
+    }
+}
+
+/// A problem restricted to a candidate union, plus the index maps needed
+/// to translate deployments, warm starts, and pins across the boundary.
+#[derive(Debug, Clone)]
+pub struct PrunedProblem {
+    /// The restricted problem (instances renumbered `0..K`).
+    pub sub: NodeDeployment,
+    /// `to_original[a]` = original id of sub instance `a`.
+    pub to_original: Vec<u32>,
+    /// `to_sub[j]` = sub index of original instance `j`, or `u32::MAX`
+    /// when `j` is not a candidate.
+    pub to_sub: Vec<u32>,
+    /// Per-node candidate lists in sub indices (CP domain seeds).
+    pub node_domains: Vec<Vec<u32>>,
+}
+
+impl PrunedProblem {
+    /// Maps a sub-problem deployment back to original instance ids.
+    pub fn to_original_deployment(&self, d: &[u32]) -> Vec<u32> {
+        d.iter().map(|&a| self.to_original[a as usize]).collect()
+    }
+
+    /// Maps an original-id deployment into the sub-problem, or `None` if
+    /// it uses a non-candidate instance.
+    pub fn to_sub_deployment(&self, d: &[u32]) -> Option<Vec<u32>> {
+        d.iter()
+            .map(|&j| {
+                let a = self.to_sub[j as usize];
+                (a != u32::MAX).then_some(a)
+            })
+            .collect()
+    }
+
+    /// Maps original-id pins into the sub-problem, or `None` if a pin
+    /// references a non-candidate instance.
+    pub fn to_sub_fixed(&self, fixed: &[Option<u32>]) -> Option<Vec<Option<u32>>> {
+        fixed
+            .iter()
+            .map(|f| match f {
+                None => Some(None),
+                Some(j) => {
+                    let a = self.to_sub[*j as usize];
+                    (a != u32::MAX).then_some(Some(a))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Costs;
+
+    fn clustered_problem(n: usize, m: usize, seed: u64) -> NodeDeployment {
+        let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        NodeDeployment::new(n, edges, Costs::random_clustered(m, 0.3, seed))
+    }
+
+    #[test]
+    fn pool_prefers_well_connected_instances() {
+        // Plant one pathological instance: every incident link is huge.
+        let m = 12;
+        let costs = Costs::from_fn(m, |i, j| if i == 7 || j == 7 { 50.0 } else { 1.0 });
+        let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], costs);
+        let cs = CandidateSet::build(
+            &p,
+            &CandidateConfig { per_node: 6, ..Default::default() },
+            None,
+            None,
+        );
+        assert_eq!(cs.union().len(), 6);
+        assert!(!cs.union().contains(&7), "congested instance selected: {:?}", cs.union());
+    }
+
+    #[test]
+    fn incumbent_and_pins_are_always_reachable() {
+        let p = clustered_problem(5, 30, 1);
+        // Force the incumbent/pins onto the *worst* instances so the pool
+        // alone would exclude them.
+        let cs_plain = CandidateSet::build(
+            &p,
+            &CandidateConfig { per_node: 8, ..Default::default() },
+            None,
+            None,
+        );
+        let excluded: Vec<u32> =
+            (0..30u32).filter(|j| !cs_plain.union().contains(j)).take(5).collect();
+        let incumbent: Vec<u32> = excluded.clone();
+        let fixed: Vec<Option<u32>> = vec![Some(excluded[2]), None, None, None, Some(excluded[4])];
+        let cs = CandidateSet::build(
+            &p,
+            &CandidateConfig { per_node: 8, ..Default::default() },
+            Some(&incumbent),
+            Some(&fixed),
+        );
+        for (v, &j) in incumbent.iter().enumerate() {
+            assert!(cs.node_candidates(v).contains(&j), "node {v} lost its incumbent");
+        }
+        assert!(cs.node_candidates(0).contains(&excluded[2]));
+        let pr = cs.restrict(&p);
+        let sub_inc = pr.to_sub_deployment(&incumbent).expect("incumbent maps into the union");
+        assert_eq!(pr.to_original_deployment(&sub_inc), incumbent);
+        assert!(pr.to_sub_fixed(&fixed).is_some());
+    }
+
+    #[test]
+    fn exact_fallback_selects_everything() {
+        let p = clustered_problem(4, 10, 2);
+        let cs = CandidateSet::build(
+            &p,
+            &CandidateConfig { per_node: 10, ..Default::default() },
+            None,
+            None,
+        );
+        assert!(cs.is_exact());
+        assert_eq!(cs.union(), (0..10u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_never_smaller_than_node_count() {
+        let p = clustered_problem(6, 20, 3);
+        let cs = CandidateSet::build(
+            &p,
+            &CandidateConfig { per_node: 2, ..Default::default() },
+            None,
+            None,
+        );
+        assert!(cs.union().len() >= 6, "union {:?} cannot host 6 nodes", cs.union());
+    }
+
+    #[test]
+    fn restriction_preserves_costs_and_structure() {
+        let p = clustered_problem(4, 16, 4);
+        let cs = CandidateSet::build(
+            &p,
+            &CandidateConfig { per_node: 6, ..Default::default() },
+            None,
+            None,
+        );
+        let pr = cs.restrict(&p);
+        assert_eq!(pr.sub.num_nodes, 4);
+        assert_eq!(pr.sub.num_instances(), cs.union().len());
+        for (a, &i) in pr.to_original.iter().enumerate() {
+            for (b, &j) in pr.to_original.iter().enumerate() {
+                assert_eq!(
+                    pr.sub.costs.get(a, b),
+                    if a == b { 0.0 } else { p.costs.get(i as usize, j as usize) }
+                );
+            }
+        }
+        // Domains are valid sub indices.
+        for dom in &pr.node_domains {
+            assert!(dom.iter().all(|&a| (a as usize) < pr.sub.num_instances()));
+        }
+    }
+
+    #[test]
+    fn auto_pool_size_scales_with_nodes() {
+        let cfg = CandidateConfig::default();
+        assert_eq!(cfg.pool_size(5, 2000), 48);
+        assert_eq!(cfg.pool_size(30, 2000), 120);
+        assert_eq!(cfg.pool_size(30, 60), 60);
+        let explicit = CandidateConfig { per_node: 10, ..Default::default() };
+        assert_eq!(explicit.pool_size(4, 2000), 10);
+        assert_eq!(explicit.pool_size(20, 2000), 20); // never below n
+    }
+}

@@ -84,6 +84,13 @@ pub struct CpConfig {
     /// budgeted set of nodes stay put. An UNSAT proof under fixings proves
     /// optimality *within the repair neighbourhood*, not globally.
     pub fixed: Option<Vec<Option<u32>>>,
+    /// Optional per-node candidate instance lists (see
+    /// [`crate::candidates`]): node `v`'s initial bitset domain is seeded
+    /// from `candidates[v]` instead of the full `0..m` range, so the SIP
+    /// search never touches non-candidate instances. An UNSAT proof under
+    /// candidate domains proves optimality *within the candidate sets*,
+    /// not globally — the pruning driver escalates accordingly.
+    pub candidates: Option<Vec<Vec<u32>>>,
     /// Enable degree-compatibility domain pre-filtering (the Zampelli-style
     /// labeling). On by default; exposed for the ablation benchmark.
     pub degree_filter: bool,
@@ -101,6 +108,7 @@ impl Default for CpConfig {
             bootstrap_samples: 10,
             initial: None,
             fixed: None,
+            candidates: None,
             degree_filter: true,
             propagation: Propagation::Trail,
         }
@@ -149,6 +157,16 @@ pub fn solve_llndp_cp_with(
     let fixed = config.fixed.as_deref();
     if let (Some(f), Some(init)) = (fixed, config.initial.as_deref()) {
         debug_assert!(respects_fixed(init, f), "initial deployment violates fixed assignments");
+    }
+    if let Some(c) = &config.candidates {
+        assert_eq!(c.len(), problem.num_nodes, "candidate lists must cover every node");
+        let m = problem.num_instances();
+        for (v, list) in c.iter().enumerate() {
+            assert!(
+                list.iter().all(|&j| (j as usize) < m),
+                "node {v} has a candidate instance out of range for {m} instances"
+            );
+        }
     }
 
     // Bootstrap incumbent (honouring fixed assignments, if any).
@@ -237,6 +255,7 @@ pub fn solve_llndp_cp_with(
             config.propagation,
             config.degree_filter,
             fixed,
+            config.candidates.as_deref(),
             start,
             deadline,
             config.budget.node_limit - explored,
@@ -362,15 +381,17 @@ impl SipSearch {
         Self { n, m, words, out_adj, in_adj, row_out, row_in, value_order, nodes: 0 }
     }
 
-    /// Initial domains, optionally pre-filtered by degree compatibility;
-    /// `None` means some variable has an empty domain (immediate UNSAT).
-    /// Fixed assignments collapse their node's domain to a singleton
-    /// (overriding the degree filter — adjacency checks during search have
-    /// the final word on feasibility).
+    /// Initial domains, optionally restricted to per-node candidate lists
+    /// and pre-filtered by degree compatibility; `None` means some
+    /// variable has an empty domain (immediate UNSAT). Fixed assignments
+    /// collapse their node's domain to a singleton (overriding both the
+    /// candidate list and the degree filter — adjacency checks during
+    /// search have the final word on feasibility).
     fn initial_domains(
         &self,
         degree_filter: bool,
         fixed: Option<&[Option<u32>]>,
+        candidates: Option<&[Vec<u32>]>,
     ) -> Option<Vec<Vec<u64>>> {
         let mut domains = vec![vec![0u64; self.words]; self.n];
         for (v, dom) in domains.iter_mut().enumerate() {
@@ -380,16 +401,31 @@ impl SipSearch {
             }
             let need_out = self.out_adj[v].len() as u32;
             let need_in = self.in_adj[v].len() as u32;
-            for j in 0..self.m {
-                let compatible = if degree_filter {
+            let compatible = |j: usize| {
+                if degree_filter {
                     let have_out: u32 = self.row_out[j].iter().map(|w| w.count_ones()).sum();
                     let have_in: u32 = self.row_in[j].iter().map(|w| w.count_ones()).sum();
                     have_out >= need_out && have_in >= need_in
                 } else {
                     true
-                };
-                if compatible {
-                    dom[j / 64] |= 1u64 << (j % 64);
+                }
+            };
+            match candidates {
+                Some(lists) => {
+                    for &j in &lists[v] {
+                        let j = j as usize;
+                        debug_assert!(j < self.m, "candidate {j} out of range");
+                        if compatible(j) {
+                            dom[j / 64] |= 1u64 << (j % 64);
+                        }
+                    }
+                }
+                None => {
+                    for j in 0..self.m {
+                        if compatible(j) {
+                            dom[j / 64] |= 1u64 << (j % 64);
+                        }
+                    }
                 }
             }
             if bitset_count(dom) == 0 {
@@ -405,12 +441,15 @@ impl SipSearch {
         propagation: Propagation,
         degree_filter: bool,
         fixed: Option<&[Option<u32>]>,
+        candidates: Option<&[Vec<u32>]>,
         start: Instant,
         deadline_s: f64,
         node_limit: u64,
         control: &SearchControl,
     ) -> Sip {
-        let Some(domains) = self.initial_domains(degree_filter, fixed) else { return Sip::Unsat };
+        let Some(domains) = self.initial_domains(degree_filter, fixed, candidates) else {
+            return Sip::Unsat;
+        };
         let order = self.value_order.clone();
         match propagation {
             Propagation::Trail => {
@@ -717,17 +756,9 @@ fn bit_test(bits: &[u64], j: u32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn random_costs(m: usize, seed: u64) -> Costs {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Costs::from_matrix(
-            (0..m)
-                .map(|i| {
-                    (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect()
-                })
-                .collect(),
-        )
+        Costs::random_uniform(m, seed)
     }
 
     fn grid_edges(rows: u32, cols: u32) -> Vec<(u32, u32)> {
@@ -929,6 +960,29 @@ mod tests {
                 "seed {seed}: {} vs {}",
                 with.cost,
                 without.cost
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_domains_reach_the_candidate_local_optimum() {
+        // Candidate lists seed the SIP domains: the threshold iteration
+        // explores only candidate deployments, so the result is at least
+        // as good as the brute-force optimum over the candidate pool (the
+        // bootstrap incumbent may luck into something better outside it).
+        for seed in 0..4 {
+            let p = NodeDeployment::new(3, vec![(0, 1), (1, 2)], random_costs(9, seed + 200));
+            let cand: Vec<Vec<u32>> = vec![vec![0, 1, 2, 3, 4]; 3];
+            let out =
+                solve_llndp_cp(&p, &CpConfig { candidates: Some(cand.clone()), ..exact_config() });
+            assert!(p.is_valid(&out.deployment), "seed {seed}");
+            let sub =
+                NodeDeployment::new(3, vec![(0, 1), (1, 2)], p.costs.submatrix(&[0, 1, 2, 3, 4]));
+            let opt = brute_force(&sub);
+            assert!(
+                out.cost <= opt + 1e-9,
+                "seed {seed}: candidate cp {} misses restricted brute {opt}",
+                out.cost
             );
         }
     }

@@ -416,17 +416,9 @@ pub fn solve_lpndp_mip_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     fn random_costs(m: usize, seed: u64) -> Costs {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Costs::from_matrix(
-            (0..m)
-                .map(|i| {
-                    (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect()
-                })
-                .collect(),
-        )
+        Costs::random_uniform(m, seed)
     }
 
     fn brute_force(problem: &NodeDeployment, objective: Objective) -> f64 {

@@ -219,14 +219,9 @@ fn grow_g2(
 mod tests {
     use super::*;
     use crate::problem::Costs;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn random_problem(n: usize, m: usize, edges: Vec<(u32, u32)>, seed: u64) -> NodeDeployment {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-            .collect();
-        NodeDeployment::new(n, edges, Costs::from_matrix(rows))
+        NodeDeployment::new(n, edges, Costs::random_uniform(m, seed))
     }
 
     fn path_edges(n: u32) -> Vec<(u32, u32)> {
@@ -280,8 +275,7 @@ mod tests {
     #[test]
     fn greedy_beats_worst_case_on_tiny_instance() {
         // Two nodes, one edge: greedy must pick the globally cheapest pair.
-        let costs =
-            Costs::from_matrix(vec![vec![0.0, 5.0, 1.0], vec![5.0, 0.0, 9.0], vec![2.0, 9.0, 0.0]]);
+        let costs = Costs::from_flat(3, vec![0.0, 5.0, 1.0, 5.0, 0.0, 9.0, 2.0, 9.0, 0.0]);
         let p = NodeDeployment::new(2, vec![(0, 1)], costs);
         for variant in [GreedyVariant::G1, GreedyVariant::G2] {
             let out = solve_greedy(&p, variant);
@@ -353,18 +347,18 @@ mod tests {
         //
         // Instances: 0-1 cheap (0.1), 0-2 cheap (0.2), 1-2 horrible (9.0),
         //            0-3 ok (0.4), 1-3 ok (0.45), 2-3 ok (0.5).
-        let mut rows = vec![vec![0.0; 4]; 4];
-        let mut set = |a: usize, b: usize, c: f64| {
-            rows[a][b] = c;
-            rows[b][a] = c;
+        let mut b = Costs::builder(4);
+        let set = |b: &mut crate::problem::CostBuilder, x: usize, y: usize, c: f64| {
+            b.set(x, y, c);
+            b.set(y, x, c);
         };
-        set(0, 1, 0.1);
-        set(0, 2, 0.2);
-        set(1, 2, 9.0);
-        set(0, 3, 0.4);
-        set(1, 3, 0.45);
-        set(2, 3, 0.5);
-        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2), (2, 0)], Costs::from_matrix(rows));
+        set(&mut b, 0, 1, 0.1);
+        set(&mut b, 0, 2, 0.2);
+        set(&mut b, 1, 2, 9.0);
+        set(&mut b, 0, 3, 0.4);
+        set(&mut b, 1, 3, 0.45);
+        set(&mut b, 2, 3, 0.5);
+        let p = NodeDeployment::new(3, vec![(0, 1), (1, 2), (2, 0)], b.freeze().unwrap());
         let g1 = solve_greedy(&p, GreedyVariant::G1);
         let g2 = solve_greedy(&p, GreedyVariant::G2);
         // G1 greedily takes 0-1 then 0-2, implicitly adding the 9.0 link

@@ -17,8 +17,12 @@
 //!   incumbent, cross-thread bound injection into the CP prover, and
 //!   early cancellation on optimality;
 //! * [`cluster`] — exact 1-D k-means cost clustering (§4.2, §6.3);
+//! * [`candidates`] — candidate-pruned solver domains: per-node candidate
+//!   instance lists derived from the latency clustering, so searches over
+//!   thousands of instances only ever touch the competitive few;
 //! * [`problem`] — the node deployment problem and its two cost functions
-//!   (§3.3).
+//!   (§3.3), over the shared flat [`cloudia_cost::CostMatrix`] cost
+//!   plane.
 //!
 //! ```
 //! use cloudia_solver::{
@@ -26,13 +30,16 @@
 //!     problem::{Costs, NodeDeployment},
 //! };
 //!
-//! // A 3-node chain on 4 instances with one expensive link.
-//! let costs = Costs::from_matrix(vec![
-//!     vec![0.0, 0.3, 0.9, 0.4],
-//!     vec![0.3, 0.0, 0.5, 0.35],
-//!     vec![0.9, 0.5, 0.0, 0.6],
-//!     vec![0.4, 0.35, 0.6, 0.0],
-//! ]);
+//! // A 3-node chain on 4 instances with one expensive link (row-major).
+//! let costs = Costs::from_flat(
+//!     4,
+//!     vec![
+//!         0.0, 0.3, 0.9, 0.4, //
+//!         0.3, 0.0, 0.5, 0.35, //
+//!         0.9, 0.5, 0.0, 0.6, //
+//!         0.4, 0.35, 0.6, 0.0,
+//!     ],
+//! );
 //! let problem = NodeDeployment::new(3, vec![(0, 1), (1, 2)], costs);
 //! let out = solve_llndp_cp(&problem, &CpConfig::default());
 //! assert!(out.cost <= 0.4 + 1e-9); // avoids the 0.9 and 0.5+ links
@@ -41,6 +48,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod candidates;
 pub mod cluster;
 pub mod control;
 pub mod cp;
@@ -53,6 +61,7 @@ pub mod portfolio;
 pub mod problem;
 pub mod random;
 
+pub use candidates::{CandidateConfig, CandidateSet, PrunedProblem};
 pub use cluster::CostClusters;
 pub use control::SearchControl;
 pub use cp::{solve_llndp_cp, solve_llndp_cp_with, CpConfig, Propagation};
@@ -63,5 +72,5 @@ pub use greedy::{solve_greedy, solve_greedy_fixed, GreedyVariant};
 pub use mip::{solve_mip, solve_mip_with, MipEngineConfig, MipHooks};
 pub use outcome::{Budget, Objective, SolveOutcome};
 pub use portfolio::{solve_portfolio, PortfolioConfig};
-pub use problem::{Costs, NodeDeployment};
+pub use problem::{CostBuilder, CostError, CostMatrix, Costs, NodeDeployment};
 pub use random::{solve_random_budget, solve_random_count};

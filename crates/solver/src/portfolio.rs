@@ -423,14 +423,9 @@ fn random_worker(
 mod tests {
     use super::*;
     use crate::problem::Costs;
-    use rand::Rng;
 
     fn random_problem(n: usize, m: usize, edges: Vec<(u32, u32)>, seed: u64) -> NodeDeployment {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-            .collect();
-        NodeDeployment::new(n, edges, Costs::from_matrix(rows))
+        NodeDeployment::new(n, edges, Costs::random_uniform(m, seed))
     }
 
     fn path_edges(n: u32) -> Vec<(u32, u32)> {

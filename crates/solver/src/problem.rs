@@ -9,79 +9,11 @@
 
 use rand::Rng;
 
-/// Dense row-major cost matrix over instances. `get(i, j)` is the
-/// communication cost (mean RTT, ms) of the directed link from instance
-/// `i` to instance `j`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Costs {
-    m: usize,
-    data: Vec<f64>,
-}
-
-impl Costs {
-    /// Builds a cost matrix from a nested representation.
-    ///
-    /// # Panics
-    /// Panics if rows are ragged or costs are negative/non-finite
-    /// (off-diagonal).
-    pub fn from_matrix(rows: Vec<Vec<f64>>) -> Self {
-        let m = rows.len();
-        let mut data = Vec::with_capacity(m * m);
-        for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), m, "cost matrix must be square");
-            for (j, &c) in row.iter().enumerate() {
-                if i != j {
-                    assert!(c.is_finite() && c >= 0.0, "cost[{i}][{j}] = {c} invalid");
-                }
-                data.push(c);
-            }
-        }
-        Self { m, data }
-    }
-
-    /// Number of instances.
-    pub fn len(&self) -> usize {
-        self.m
-    }
-
-    /// True if the matrix is empty.
-    pub fn is_empty(&self) -> bool {
-        self.m == 0
-    }
-
-    /// Cost of the directed link `i → j`.
-    #[inline]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.data[i * self.m + j]
-    }
-
-    /// All off-diagonal cost values, row-major.
-    pub fn off_diagonal(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.m * (self.m - 1));
-        for i in 0..self.m {
-            for j in 0..self.m {
-                if i != j {
-                    out.push(self.get(i, j));
-                }
-            }
-        }
-        out
-    }
-
-    /// Returns a copy with every cost replaced by `f(cost)` (used for
-    /// cluster rounding).
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Costs {
-        let mut data = self.data.clone();
-        for i in 0..self.m {
-            for j in 0..self.m {
-                if i != j {
-                    data[i * self.m + j] = f(self.data[i * self.m + j]);
-                }
-            }
-        }
-        Costs { m: self.m, data }
-    }
-}
+/// The shared flat cost plane (see [`cloudia_cost`]): the solver consumes
+/// the same `Arc`-backed matrix the simulator and the measurement layer
+/// produce, so a `NodeDeployment` holds a reference-counted view of the
+/// cost plane rather than its own O(m²) copy.
+pub use cloudia_cost::{CostBuilder, CostError, CostMatrix, CostMatrix as Costs};
 
 /// A node deployment problem: find an injective `node → instance` map
 /// minimizing a deployment cost function.
@@ -302,12 +234,14 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn costs4() -> Costs {
-        Costs::from_matrix(vec![
-            vec![0.0, 1.0, 2.0, 3.0],
-            vec![1.5, 0.0, 2.5, 3.5],
-            vec![2.0, 2.5, 0.0, 4.0],
-            vec![3.0, 3.5, 4.5, 0.0],
-        ])
+        #[rustfmt::skip]
+        let flat = vec![
+            0.0, 1.0, 2.0, 3.0,
+            1.5, 0.0, 2.5, 3.5,
+            2.0, 2.5, 0.0, 4.0,
+            3.0, 3.5, 4.5, 0.0,
+        ];
+        Costs::from_flat(4, flat)
     }
 
     #[test]
@@ -327,9 +261,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "square")]
-    fn ragged_matrix_rejected() {
-        Costs::from_matrix(vec![vec![0.0, 1.0], vec![1.0]]);
+    #[should_panic(expected = "invalid cost matrix")]
+    fn wrong_size_rejected() {
+        Costs::from_flat(2, vec![0.0, 1.0, 1.0]);
     }
 
     #[test]

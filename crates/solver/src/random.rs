@@ -113,16 +113,10 @@ pub fn solve_random_budget(
 mod tests {
     use super::*;
     use crate::problem::Costs;
-    use rand::Rng;
 
     fn problem(seed: u64) -> NodeDeployment {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let m = 12;
-        let rows: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { 0.2 + rng.random::<f64>() }).collect())
-            .collect();
         let edges = (0..7u32).map(|i| (i, i + 1)).collect();
-        NodeDeployment::new(8, edges, Costs::from_matrix(rows))
+        NodeDeployment::new(8, edges, Costs::random_uniform(12, seed))
     }
 
     #[test]

@@ -14,13 +14,8 @@ use cloudia_solver::{
 use proptest::prelude::*;
 
 fn costs_strategy(m: usize) -> impl Strategy<Value = Costs> {
-    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| {
-        Costs::from_matrix(
-            (0..m)
-                .map(|i| (0..m).map(|j| if i == j { 0.0 } else { v[i * m + j] }).collect())
-                .collect(),
-        )
-    })
+    // The flat constructor zeroes the diagonal itself.
+    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| Costs::from_flat(m, v))
 }
 
 fn brute_force_ll(problem: &NodeDeployment) -> f64 {

@@ -155,7 +155,7 @@ mod tests {
         use rand::{rngs::StdRng, SeedableRng};
         let w = AggregationQuery { queries: 20, ..AggregationQuery::new(2, 2) };
         let net = network(10, 3);
-        let truth = cloudia_core::CostMatrix::from_matrix(net.mean_matrix());
+        let truth = net.mean_matrix();
         let problem = w.graph().problem(truth);
         let mut rng = StdRng::seed_from_u64(4);
         let mut pairs = Vec::new();

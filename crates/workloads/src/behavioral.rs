@@ -124,7 +124,7 @@ mod tests {
         let sim = BehavioralSim { sample_ticks: 300, ..BehavioralSim::new(3, 3) };
         let net = network(12, Provider::ec2_like(), 2);
         // Identity vs a deployment chosen by longest-link cost on truth.
-        let truth = cloudia_core::CostMatrix::from_matrix(net.mean_matrix());
+        let truth = net.mean_matrix();
         let problem = sim.graph().problem(truth);
         let opt = cloudia_solver::solve_llndp_cp(
             &problem,

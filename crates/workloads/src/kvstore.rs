@@ -131,7 +131,7 @@ mod tests {
     fn avoiding_bad_links_reduces_response_time() {
         let w = KvStore { queries: 3000, ..KvStore::new(2, 6) };
         let net = network(10, 3);
-        let truth = cloudia_core::CostMatrix::from_matrix(net.mean_matrix());
+        let truth = net.mean_matrix();
         let problem = w.graph().problem(truth);
         // Longest-link-optimized deployment (the paper's approach for this
         // workload) vs default.

@@ -24,6 +24,8 @@ fn usage() -> ! {
                [--over-allocation FRACTION]   (default 0.1)
                [--search recommended|cp|mip|greedy-g1|greedy-g2|random-r1|random-r2|portfolio]
                [--threads N]                  (portfolio/r2 workers; 0 = all cores)
+               [--candidates auto|K]          (candidate-pruned search: K instances per node;
+                                               auto = max(4n, 48); omit for the dense search)
                [--search-seconds S]           (default 5)
                [--seed N]                     (default 42)
                [--online]                     (run the continuous advisor after deploying)
@@ -83,6 +85,7 @@ fn main() {
     let mut seed = 42u64;
     let mut search_name = "recommended".to_string();
     let mut threads: Option<usize> = None;
+    let mut candidates: Option<cloudia::solver::CandidateConfig> = None;
     let mut online = false;
     let mut epochs = 24u64;
     let mut epoch_hours = 4.0f64;
@@ -126,6 +129,21 @@ fn main() {
                     eprintln!("bad thread count");
                     usage();
                 }))
+            }
+            "--candidates" => {
+                let v = value();
+                let per_node = if v == "auto" {
+                    0
+                } else {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("bad candidate count `{v}` (expected `auto` or an integer)");
+                        usage();
+                    })
+                };
+                candidates = Some(cloudia::solver::CandidateConfig {
+                    per_node,
+                    ..cloudia::solver::CandidateConfig::default()
+                });
             }
             "--over-allocation" => {
                 over_allocation = value().parse().unwrap_or_else(|_| {
@@ -250,9 +268,16 @@ fn main() {
         // portfolio; without the flag the paper's single-threaded choice
         // stands.
         search_threads: threads.unwrap_or(1),
+        candidates,
         ..cloudia::core::AdvisorConfig::fast()
     });
-    let outcome = advisor.run(provider, &graph, seed);
+    let outcome = match advisor.try_run(provider, &graph, seed) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("measurement produced unusable cost data: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!(
         "measured {} round trips in {:.0} simulated ms",

@@ -89,8 +89,7 @@ fn redeploy_loop_tracks_drift() {
         if decision.migrate {
             adaptive = decision.outcome.deployment.clone();
         }
-        let truth = CostMatrix::from_matrix(net.mean_matrix());
-        let problem = graph.problem(truth);
+        let problem = graph.problem(net.mean_matrix());
         static_total += problem.longest_link(&static_plan);
         adaptive_total += problem.longest_link(&adaptive);
     }

@@ -10,14 +10,10 @@ use cloudia::solver::{
 };
 use proptest::prelude::*;
 
-/// Strategy: a random square cost matrix of size m with costs in [0.1, 2].
+/// Strategy: a random square cost matrix of size m with costs in [0.1, 2]
+/// (the flat constructor zeroes the diagonal itself).
 fn cost_matrix(m: usize) -> impl Strategy<Value = Costs> {
-    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| {
-        let rows: Vec<Vec<f64>> = (0..m)
-            .map(|i| (0..m).map(|j| if i == j { 0.0 } else { v[i * m + j] }).collect())
-            .collect();
-        Costs::from_matrix(rows)
-    })
+    proptest::collection::vec(0.1f64..2.0, m * m).prop_map(move |v| Costs::from_flat(m, v))
 }
 
 /// Strategy: a connected random path-plus-chords graph on n nodes.
@@ -40,9 +36,7 @@ proptest! {
     #[test]
     fn random_deployments_are_always_valid(seed in 0u64..1000, n in 2usize..6, extra in 0usize..4) {
         let m = n + extra;
-        let costs = Costs::from_matrix(
-            (0..m).map(|i| (0..m).map(|j| if i == j { 0.0 } else { 1.0 }).collect()).collect(),
-        );
+        let costs = Costs::from_fn(m, |_, _| 1.0);
         let p = NodeDeployment::new(n, vec![(0, 1)], costs);
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let d = p.random_deployment(&mut rng);
