@@ -1,0 +1,120 @@
+//! Extension: trigger-driven focused measurement vs uniform sweeps.
+//!
+//! Two online-advisor arms ride the **identical** drift trajectory and
+//! probe randomness (`ReplayStream` over recorded snapshots), differing
+//! only in probe policy:
+//!
+//! * **uniform** — the stream's full staged tournament sweep every epoch
+//!   (O(m²) probe pairs, the PR 2 behaviour);
+//! * **focused** — `ProbePolicy::Focused`: probe the candidate-pool
+//!   clique, the detector-flagged links, and whatever went stale, falling
+//!   back to a full sweep on escalation or staleness (O(K² + flagged)).
+//!
+//! The scenario — an active drift head followed by a quiet tail, both
+//! arms under the same adaptive candidate pool — is
+//! [`cloudia_online::scenario::FocusScenario`], shared verbatim with the
+//! differential tests in `crates/online/tests/focused.rs` and
+//! `tests/focused.rs` so the asserted contract cannot fork.
+//!
+//! In `--smoke` mode the bin **asserts** the PR's acceptance criteria:
+//! focused probing spends ≤ 25 % of uniform's probe round trips, its
+//! time-averaged ground-truth cost stays within 2 % of uniform's, and the
+//! focused arm's adaptive `k` ends the quiet tail below its peak. Exits
+//! non-zero otherwise.
+
+use cloudia_bench::{header, row, Scale};
+use cloudia_online::{FocusScenario, ProbePolicy};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    header("ext-focus", "focused (trigger-driven) vs uniform probing", scale);
+
+    let mut scenario = FocusScenario::default();
+    if !smoke {
+        scenario.mesh = scale.pick((3, 4), (5, 6));
+        scenario.instances = scale.pick(56, 120);
+        scenario.head_epochs = scale.pick(16, 32);
+        scenario.tail_epochs = scale.pick(16, 32);
+        scenario.solve_seconds = scale.pick(0.5, 2.0);
+    }
+    println!(
+        "# instance: {}x{} mesh on {} instances, {} active + {} quiet epochs x {} h, repair \
+         budget {}s",
+        scenario.mesh.0,
+        scenario.mesh.1,
+        scenario.instances,
+        scenario.head_epochs,
+        scenario.tail_epochs,
+        scenario.epoch_hours,
+        scenario.solve_seconds,
+    );
+
+    let built = scenario.build();
+    let uniform = built.run_arm(ProbePolicy::Uniform);
+    let focused = built.run_arm(scenario.focused_policy());
+
+    println!("policy\tavg_cost_ms\tprobe_round_trips\tresolves\tmigrations");
+    for (name, arm) in [("uniform", &uniform), ("focused", &focused)] {
+        row(&[
+            name.to_string(),
+            format!("{:.4}", arm.avg_cost),
+            format!("{}", arm.probes),
+            format!("{}", arm.resolves),
+            format!("{}", arm.migrations),
+        ]);
+    }
+    let probe_ratio = focused.probes as f64 / uniform.probes as f64;
+    let cost_ratio = focused.avg_cost / uniform.avg_cost.max(f64::MIN_POSITIVE);
+    println!(
+        "# focused spends {:.1}% of uniform's probes at {:+.2}% cost",
+        probe_ratio * 100.0,
+        (cost_ratio - 1.0) * 100.0
+    );
+
+    // The focused arm's adaptive pool over time: held up by the active
+    // head's escalations, shrinking on the quiet tail.
+    println!("epoch\tphase\tfocused_k");
+    for &(e, k) in &focused.k_trace {
+        row(&[
+            format!("{e}"),
+            if e < scenario.head_epochs { "active" } else { "quiet" }.to_string(),
+            format!("{k}"),
+        ]);
+    }
+    let peak_k = focused.k_trace.iter().map(|&(_, k)| k).max().unwrap_or(0);
+    let final_k = focused.k_trace.last().map(|&(_, k)| k).unwrap_or(0);
+    println!("# adaptive k: peak {peak_k} -> final {final_k} after the quiet tail");
+
+    if smoke {
+        let mut failures = Vec::new();
+        if probe_ratio > 0.25 {
+            failures.push(format!(
+                "focused probing used {:.1}% of uniform's round trips (> 25%)",
+                probe_ratio * 100.0
+            ));
+        }
+        if cost_ratio > 1.02 {
+            failures.push(format!(
+                "focused time-averaged cost {:.4} is {:.2}% above uniform's {:.4} (> 2%)",
+                focused.avg_cost,
+                (cost_ratio - 1.0) * 100.0,
+                uniform.avg_cost
+            ));
+        }
+        if final_k >= peak_k {
+            failures.push(format!(
+                "adaptive k never shrank on the quiet tail (peak {peak_k}, final {final_k})"
+            ));
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!(
+            "# smoke OK: <= 25% probe budget, cost within 2%, adaptive k shrank on the quiet tail"
+        );
+    }
+}

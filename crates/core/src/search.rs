@@ -230,7 +230,7 @@ impl SearchStrategy {
     /// is never worse than the hint's incumbent and always honours its
     /// pins — with two pruning-specific rules:
     ///
-    /// * `per_node >= m` (or a pool that covers every instance) is the
+    /// * a pool size `>= m` (or a pool that covers every instance) is the
     ///   **exact fallback**: the call degenerates to `run_with_hint`
     ///   bit-for-bit;
     /// * a pruned run never claims `proven_optimal` — when the pruned
@@ -500,7 +500,7 @@ mod tests {
             &p,
             Objective::LongestLink,
             &SolveHint::Cold,
-            &cloudia_solver::CandidateConfig { per_node: m, ..Default::default() },
+            &cloudia_solver::CandidateConfig::fixed(m),
         );
         assert!(!pruned.pruned);
         assert!(!pruned.escalated);
@@ -529,7 +529,7 @@ mod tests {
             &p,
             Objective::LongestLink,
             &SolveHint::Cold,
-            &cloudia_solver::CandidateConfig { per_node: 8, ..Default::default() },
+            &cloudia_solver::CandidateConfig::fixed(8),
         );
         assert!(pruned.pruned);
         assert!(pruned.escalated, "pruned proof must trigger escalation");
@@ -559,9 +559,8 @@ mod tests {
             Objective::LongestLink,
             &hint,
             &cloudia_solver::CandidateConfig {
-                per_node: 6,
                 auto_escalate: false,
-                ..Default::default()
+                ..cloudia_solver::CandidateConfig::fixed(6)
             },
         );
         let out = &pruned.outcome;

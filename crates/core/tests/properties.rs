@@ -71,7 +71,7 @@ proptest! {
             &p,
             Objective::LongestLink,
             &SolveHint::Cold,
-            &CandidateConfig { per_node: 8, ..CandidateConfig::default() },
+            &CandidateConfig::fixed(8),
         );
         prop_assert!(!pruned.pruned);
         prop_assert!(!pruned.escalated);
@@ -79,6 +79,40 @@ proptest! {
         prop_assert_eq!(pruned.outcome.cost, dense.cost);
         prop_assert_eq!(pruned.outcome.explored, dense.explored);
         prop_assert_eq!(pruned.outcome.proven_optimal, dense.proven_optimal);
+    }
+
+    // Satellite: an adaptive pool whose k covers every instance behaves
+    // bit-identically to Fixed(m) — both are the exact dense fallback, so
+    // the sizing policy cannot change a full-pool answer.
+    #[test]
+    fn adaptive_full_pool_is_bit_identical_to_fixed_m(
+        costs in costs_strategy(8),
+        seed in 0u64..500,
+        extra in 0usize..4,
+    ) {
+        let graph = CommGraph::ring(5);
+        let p = graph.problem(costs);
+        let strategy = exact_cp(seed);
+        let adaptive = strategy.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::Cold,
+            &CandidateConfig::adaptive(cloudia_solver::AdaptivePoolConfig {
+                initial: 8 + extra, // >= m: the exact fallback
+                ..Default::default()
+            }),
+        );
+        let fixed = strategy.run_pruned(
+            &p,
+            Objective::LongestLink,
+            &SolveHint::Cold,
+            &CandidateConfig::fixed(8),
+        );
+        prop_assert!(!adaptive.pruned);
+        prop_assert_eq!(adaptive.outcome.deployment, fixed.outcome.deployment);
+        prop_assert_eq!(adaptive.outcome.cost, fixed.outcome.cost);
+        prop_assert_eq!(adaptive.outcome.explored, fixed.outcome.explored);
+        prop_assert_eq!(adaptive.outcome.proven_optimal, fixed.outcome.proven_optimal);
     }
 
     // Satellite: the auto-escalation contract on random instances. A
@@ -98,7 +132,7 @@ proptest! {
             &p,
             Objective::LongestLink,
             &SolveHint::Cold,
-            &CandidateConfig { per_node: 5, ..CandidateConfig::default() },
+            &CandidateConfig::fixed(5),
         );
         prop_assert!(pruned.pruned);
         if pruned.escalated {

@@ -12,7 +12,11 @@
 //!   some links' estimates;
 //! * [`Staged`] — a coordinator schedules disjoint pairs per stage
 //!   (round-robin tournament), giving token-level accuracy at
-//!   uncoordinated-level parallelism.
+//!   uncoordinated-level parallelism;
+//! * [`FocusedScheme`] — executes an explicit [`ProbePlan`] (candidate
+//!   cliques, detector-flagged links, staleness refreshes) with the staged
+//!   discipline: O(K² + flagged) probe pairs instead of O(m²), for callers
+//!   — like the online advisor — that already know where to look.
 //!
 //! Per-link summaries (mean via Welford, p99 via the P² algorithm) feed the
 //! three cost metrics of §3.2. [`approx`] holds the Appendix-2 IP-distance
@@ -35,12 +39,14 @@
 
 pub mod approx;
 pub mod error;
+pub mod focused;
 pub mod scheme;
 pub mod staged;
 pub mod stats;
 pub mod token;
 pub mod uncoordinated;
 
+pub use focused::{FocusedScheme, ProbePlan};
 pub use scheme::{MeasureConfig, MeasurementReport, Scheme, Snapshot};
 pub use staged::Staged;
 pub use stats::{LinkEstimate, P2Quantile, PairwiseStats, Welford};

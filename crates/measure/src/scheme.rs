@@ -106,6 +106,70 @@ pub trait Scheme {
     ) -> MeasurementReport;
 }
 
+/// Executes one stage of endpoint-disjoint directed probe pairs: every
+/// pair gets one outstanding probe, a reply triggers the pair's next
+/// probe until `ks` round trips are done, and each round trip is recorded
+/// into `stats`. Shared by the staged and focused schemes — the stage
+/// protocol is identical, only the pair schedule differs. Returns the
+/// round trips completed.
+pub(crate) fn run_stage(
+    engine: &mut cloudia_netsim::Engine<'_>,
+    directed: &[(usize, usize)],
+    ks: usize,
+    cfg: &MeasureConfig,
+    stats: &mut PairwiseStats,
+    tracker: &mut SnapshotTracker,
+) -> u64 {
+    use cloudia_netsim::{InstanceId, MessageSpec};
+    let mut remaining = vec![ks; directed.len()];
+    let mut sent_at = vec![0.0f64; directed.len()];
+    let mut round_trips = 0u64;
+
+    for (pid, &(src, dst)) in directed.iter().enumerate() {
+        sent_at[pid] = engine.send(MessageSpec {
+            src: InstanceId::from_index(src),
+            dst: InstanceId::from_index(dst),
+            size_kb: cfg.probe_size_kb,
+            kind: KIND_PROBE,
+            token: pid as u64,
+        });
+        remaining[pid] -= 1;
+    }
+
+    while let Some(msg) = engine.next_delivery() {
+        let pid = msg.spec.token as usize;
+        match msg.spec.kind {
+            KIND_PROBE => {
+                engine.send(MessageSpec {
+                    src: msg.spec.dst,
+                    dst: msg.spec.src,
+                    size_kb: cfg.probe_size_kb,
+                    kind: KIND_REPLY,
+                    token: msg.spec.token,
+                });
+            }
+            KIND_REPLY => {
+                let (src, dst) = directed[pid];
+                stats.record(src, dst, msg.delivered_at - sent_at[pid]);
+                round_trips += 1;
+                tracker.maybe_snapshot(engine.now(), stats);
+                if remaining[pid] > 0 {
+                    remaining[pid] -= 1;
+                    sent_at[pid] = engine.send(MessageSpec {
+                        src: InstanceId::from_index(src),
+                        dst: InstanceId::from_index(dst),
+                        size_kb: cfg.probe_size_kb,
+                        kind: KIND_PROBE,
+                        token: pid as u64,
+                    });
+                }
+            }
+            other => unreachable!("unexpected message kind {other}"),
+        }
+    }
+    round_trips
+}
+
 /// Shared snapshot bookkeeping for scheme implementations.
 pub(crate) struct SnapshotTracker {
     every: Option<f64>,

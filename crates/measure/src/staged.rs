@@ -12,11 +12,9 @@
 //! Staged therefore combines token-passing's accuracy with uncoordinated's
 //! parallelism, at the cost of a per-stage coordination overhead.
 
-use cloudia_netsim::{InstanceId, MessageSpec, Network};
+use cloudia_netsim::Network;
 
-use crate::scheme::{
-    MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY,
-};
+use crate::scheme::{run_stage, MeasureConfig, MeasurementReport, Scheme, SnapshotTracker};
 use crate::stats::PairwiseStats;
 
 /// The staged scheme.
@@ -99,61 +97,14 @@ impl Scheme for Staged {
                     }
                 }
                 let pairs = Self::circle_pairs(n, r);
-                // Per-pair state for this stage.
-                let mut remaining = vec![self.ks; pairs.len()];
-                let mut sent_at = vec![0.0f64; pairs.len()];
-
                 // Directions alternate across sweeps so both directions of
                 // every link get measured.
                 let directed: Vec<(usize, usize)> = pairs
                     .iter()
                     .map(|&(a, b)| if sweep % 2 == 0 { (a, b) } else { (b, a) })
                     .collect();
-
-                for (pid, &(src, dst)) in directed.iter().enumerate() {
-                    sent_at[pid] = engine.send(MessageSpec {
-                        src: InstanceId::from_index(src),
-                        dst: InstanceId::from_index(dst),
-                        size_kb: cfg.probe_size_kb,
-                        kind: KIND_PROBE,
-                        token: pid as u64,
-                    });
-                    remaining[pid] -= 1;
-                }
-
-                // Drain the stage: replies trigger the next probe of the
-                // same pair until Ks round trips are done.
-                while let Some(msg) = engine.next_delivery() {
-                    let pid = msg.spec.token as usize;
-                    match msg.spec.kind {
-                        KIND_PROBE => {
-                            engine.send(MessageSpec {
-                                src: msg.spec.dst,
-                                dst: msg.spec.src,
-                                size_kb: cfg.probe_size_kb,
-                                kind: KIND_REPLY,
-                                token: msg.spec.token,
-                            });
-                        }
-                        KIND_REPLY => {
-                            let (src, dst) = directed[pid];
-                            stats.record(src, dst, msg.delivered_at - sent_at[pid]);
-                            round_trips += 1;
-                            tracker.maybe_snapshot(engine.now(), &stats);
-                            if remaining[pid] > 0 {
-                                remaining[pid] -= 1;
-                                sent_at[pid] = engine.send(MessageSpec {
-                                    src: InstanceId::from_index(src),
-                                    dst: InstanceId::from_index(dst),
-                                    size_kb: cfg.probe_size_kb,
-                                    kind: KIND_PROBE,
-                                    token: pid as u64,
-                                });
-                            }
-                        }
-                        other => unreachable!("unexpected message kind {other}"),
-                    }
-                }
+                round_trips +=
+                    run_stage(&mut engine, &directed, self.ks, cfg, &mut stats, &mut tracker);
 
                 // Coordinator round before the next stage.
                 engine.advance_to(engine.now() + self.coord_overhead_ms);
@@ -173,7 +124,7 @@ impl Scheme for Staged {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudia_netsim::{Cloud, Provider};
+    use cloudia_netsim::{Cloud, InstanceId, Provider};
     use std::collections::HashSet;
 
     fn network(n: usize, seed: u64) -> Network {

@@ -158,6 +158,30 @@ impl DriftingNetwork {
     pub fn hours(&self) -> f64 {
         self.hours
     }
+
+    /// The current drifted mean RTT (ms) of one directed link — the
+    /// ground truth a focused probe of that link estimates.
+    pub fn link_mean(&self, src: crate::InstanceId, dst: crate::InstanceId) -> f64 {
+        self.net.mean_rtt(src, dst)
+    }
+
+    /// Draws one probe RTT sample (1 KB) of `src → dst` from the current
+    /// drifted truth, using the drifting network's own RNG stream — the
+    /// per-link spot-check API for callers that want to verify a single
+    /// suspicious link without scheduling a measurement round.
+    pub fn probe_rtt(&mut self, src: crate::InstanceId, dst: crate::InstanceId) -> f64 {
+        self.net.sample_rtt(src, dst, &mut self.rng)
+    }
+
+    /// Like [`DriftingNetwork::probe_rtt`] for a `size_kb`-KB message.
+    pub fn probe_rtt_sized(
+        &mut self,
+        src: crate::InstanceId,
+        dst: crate::InstanceId,
+        size_kb: f64,
+    ) -> f64 {
+        self.net.sample_rtt_sized(src, dst, size_kb, &mut self.rng)
+    }
 }
 
 /// A bucket-averaged time series of one link's observed mean latency, the
@@ -326,6 +350,36 @@ mod tests {
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn per_link_probes_track_the_drifted_truth() {
+        let mut d = drifting_setup();
+        d.step(5.0);
+        let (a, b) = (crate::InstanceId(0), crate::InstanceId(2));
+        let truth = d.link_mean(a, b);
+        assert_eq!(truth, d.network().mean_rtt(a, b));
+        // Probe samples average to the current drifted mean.
+        let samples = 4000;
+        let avg: f64 = (0..samples).map(|_| d.probe_rtt(a, b)).sum::<f64>() / samples as f64;
+        assert!((avg / truth - 1.0).abs() < 0.1, "probe avg {avg} vs truth {truth}");
+        // Sized probes cost more than 1 KB probes on average.
+        let big: f64 = (0..500).map(|_| d.probe_rtt_sized(a, b, 64.0)).sum::<f64>() / 500.0;
+        assert!(big > avg, "64 KB probe {big} not above 1 KB probe {avg}");
+    }
+
+    #[test]
+    fn probes_advance_the_drift_rng_deterministically() {
+        let mut cloud = crate::Cloud::boot(crate::Provider::ec2_like(), 7);
+        let alloc = cloud.allocate(4);
+        let net = cloud.network(&alloc);
+        let run = || {
+            let mut d = DriftingNetwork::new(net.clone(), 1);
+            let p = d.probe_rtt(crate::InstanceId(0), crate::InstanceId(1));
+            d.step(1.0);
+            (p, d.network().mean_rtt(crate::InstanceId(0), crate::InstanceId(1)))
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -145,6 +145,14 @@ impl Network {
         self.drift
     }
 
+    /// The same network under different drift parameters — scenario
+    /// construction for drift studies (e.g. an active head followed by a
+    /// quiet tail: re-wrap the last snapshot with near-zero volatility).
+    pub fn with_drift_params(mut self, drift: DriftParams) -> Network {
+        self.drift = drift;
+        self
+    }
+
     /// True expected RTT (ms) of `src → dst` — ground truth the measurement
     /// schemes try to estimate.
     pub fn mean_rtt(&self, src: InstanceId, dst: InstanceId) -> f64 {
@@ -334,6 +342,28 @@ mod tests {
                 }
             }
             assert_eq!(net.internal_ip(i)[0], 10);
+        }
+    }
+
+    #[test]
+    fn with_drift_params_swaps_only_the_drift() {
+        let mut cloud = Cloud::boot(Provider::ec2_like(), 7);
+        let alloc = cloud.allocate(5);
+        let net = cloud.network(&alloc);
+        let quiet = DriftParams { reversion_per_hour: 1.0, sigma_per_sqrt_hour: 1e-6 };
+        let requieted = net.clone().with_drift_params(quiet);
+        assert_eq!(requieted.drift_params(), quiet);
+        assert_ne!(net.drift_params(), quiet);
+        // Latency profiles are untouched.
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    assert_eq!(
+                        requieted.mean_rtt(InstanceId(i), InstanceId(j)),
+                        net.mean_rtt(InstanceId(i), InstanceId(j))
+                    );
+                }
+            }
         }
     }
 

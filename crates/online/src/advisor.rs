@@ -14,12 +14,45 @@
 //! curve.
 
 use cloudia_core::{CommGraph, CostMatrix, Deployment, Objective, RedeployPolicy};
+use cloudia_measure::{FocusedScheme, ProbePlan};
 use cloudia_netsim::Network;
+use cloudia_solver::{AdaptivePool, CandidateConfig, CandidateSet, PoolPolicy};
 
 use crate::detect::{DetectorConfig, Drift};
 use crate::repair::{incremental_resolve, RepairConfig};
 use crate::stats::{LinkChange, OnlineStore};
 use crate::stream::{EpochMeasurement, MeasurementStream};
+
+/// How the advisor spends its per-epoch probe budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbePolicy {
+    /// The stream's own full tournament sweep every epoch — O(m²) probe
+    /// pairs (the PR 2 behaviour).
+    Uniform,
+    /// Trigger-driven focusing: probe only the candidate-pool clique,
+    /// the links the detectors flagged last epoch, and links whose
+    /// estimate has gone stale — O(K² + flagged) pairs — and fall back to
+    /// a full tournament sweep on escalation or staleness.
+    ///
+    /// The probe pool comes from the advisor's candidates config (the
+    /// adaptive controller's current `k` when one is live); without a
+    /// candidates config a default pool of `2·n` instances is used. When
+    /// the pool covers every instance — small allocations, or `k` near
+    /// `m` — the plan degenerates to a full sweep: still correct, just
+    /// not cheaper than [`ProbePolicy::Uniform`].
+    Focused {
+        /// Staleness horizon in epochs: a link unobserved for more than
+        /// this many epochs re-enters the probe plan. Because focused
+        /// rounds skip non-candidate links together, they also go stale
+        /// together, so the plan escalates to a periodic full refresh
+        /// roughly every `refresh_every` epochs.
+        refresh_every: u64,
+        /// Escalation threshold: when the detectors flag more links than
+        /// this in one epoch, the shift is not local — the next round runs
+        /// a full tournament sweep instead of a focused one.
+        max_flagged: usize,
+    },
+}
 
 /// Configuration of the online control loop.
 #[derive(Debug, Clone)]
@@ -44,8 +77,28 @@ pub struct OnlineAdvisorConfig {
     pub seed: u64,
     /// Candidate pruning for the incremental re-solves (see
     /// [`cloudia_solver::candidates`]): keeps repairs cheap when the spare
-    /// pool is large.
-    pub candidates: Option<cloudia_solver::CandidateConfig>,
+    /// pool is large. A [`PoolPolicy::Adaptive`] policy here instantiates
+    /// a live [`AdaptivePool`] controller: `k` grows when escalations are
+    /// frequent (full-sweep probe escalations, triggered repairs that find
+    /// nothing inside the pool) and shrinks on stationary stretches, and
+    /// the focused probe plan shrinks with it.
+    pub candidates: Option<CandidateConfig>,
+    /// Probe budget policy: uniform full sweeps or trigger-driven
+    /// focusing. Focusing only takes effect through
+    /// [`OnlineAdvisor::run`]/[`OnlineAdvisor::step_stream`] — a caller
+    /// that measures epochs itself and calls [`OnlineAdvisor::step`]
+    /// directly owns its probe scheduling (consult
+    /// [`OnlineAdvisor::next_probe_plan`]).
+    pub probe_policy: ProbePolicy,
+    /// Consecutive round trips per pair within one focused stage
+    /// (staged's Ks); match the uniform stream's scheme for fair budget
+    /// comparisons.
+    pub probe_ks: usize,
+    /// Sweeps per focused round. Directions alternate between sweeps, so
+    /// a [`ProbePolicy::Focused`] advisor requires at least 2 — with a
+    /// single sweep the reverse direction of every pair would stay
+    /// unobserved forever (and hence permanently stale).
+    pub probe_sweeps: usize,
     /// Record every trigger's (costs, incumbent) so a harness can replay
     /// the same instances against a cold solver (timing comparisons).
     pub record_triggers: bool,
@@ -64,6 +117,9 @@ impl Default for OnlineAdvisorConfig {
             cooldown_epochs: 1,
             seed: 0,
             candidates: None,
+            probe_policy: ProbePolicy::Uniform,
+            probe_ks: 3,
+            probe_sweeps: 2,
             record_triggers: false,
         }
     }
@@ -120,6 +176,17 @@ pub enum OnlineEvent {
         /// Ground-truth cost after the migration.
         true_cost_after: f64,
     },
+    /// The adaptive candidate pool changed size.
+    PoolResize {
+        /// Epoch index.
+        epoch: u64,
+        /// Pool size before the adjustment.
+        from: usize,
+        /// Pool size after the adjustment.
+        to: usize,
+        /// The escalation-rate EWMA that drove it.
+        rate: f64,
+    },
 }
 
 /// One trigger's search instance, for offline replay (cold-vs-incremental
@@ -149,6 +216,8 @@ pub struct EpochSummary {
     pub triggered: bool,
     /// Nodes migrated this epoch (0 if none).
     pub moved: usize,
+    /// Probe round trips the epoch's measurement spent.
+    pub round_trips: u64,
 }
 
 /// The continuous deployment advisor.
@@ -166,11 +235,29 @@ pub struct OnlineAdvisor {
     migration_cost_paid: f64,
     moved_total: u64,
     triggers: Vec<TriggerInstance>,
+    /// Directed links flagged by the detectors during the most recent
+    /// step — the next probe plan's must-probe set.
+    recent_flags: Vec<(u32, u32)>,
+    /// The epoch number the *next* measurement will carry, in the
+    /// stream's numbering (`last ingested m.epoch + 1`) — the reference
+    /// point for staleness ages. Kept separate from the local step count
+    /// so callers whose streams start at a nonzero epoch still age links
+    /// correctly.
+    planning_epoch: u64,
+    /// Live adaptive-pool controller (only with a
+    /// [`PoolPolicy::Adaptive`] candidates config).
+    adaptive: Option<AdaptivePool>,
+    probe_round_trips: u64,
 }
 
 impl OnlineAdvisor {
     /// Starts the loop with an already-deployed plan over `instances`
     /// instances.
+    ///
+    /// # Panics
+    /// Panics if the initial plan does not cover the graph, references
+    /// instances beyond the allocation, or a
+    /// [`ProbePolicy::Focused`] policy has `refresh_every == 0`.
     pub fn new(
         graph: CommGraph,
         instances: usize,
@@ -182,7 +269,25 @@ impl OnlineAdvisor {
             initial.iter().all(|&j| (j as usize) < instances),
             "initial plan references instances beyond the allocation"
         );
+        if let ProbePolicy::Focused { refresh_every, .. } = config.probe_policy {
+            assert!(refresh_every > 0, "refresh_every must be at least 1 epoch");
+            assert!(
+                config.probe_sweeps >= 2,
+                "focused probing needs probe_sweeps >= 2: directions alternate between sweeps, \
+                 so a single sweep never observes the reverse direction of any pair"
+            );
+        }
+        assert!(
+            config.probe_ks > 0 && config.probe_sweeps > 0,
+            "probe_ks and probe_sweeps must be positive"
+        );
         let store = OnlineStore::new(instances, config.ewma_alpha, config.detector);
+        let adaptive = match &config.candidates {
+            Some(CandidateConfig { pool: PoolPolicy::Adaptive(acfg), .. }) => {
+                Some(AdaptivePool::new(*acfg, graph.num_nodes(), instances))
+            }
+            _ => None,
+        };
         Self {
             graph,
             config,
@@ -196,6 +301,10 @@ impl OnlineAdvisor {
             migration_cost_paid: 0.0,
             moved_total: 0,
             triggers: Vec::new(),
+            recent_flags: Vec::new(),
+            planning_epoch: 0,
+            adaptive,
+            probe_round_trips: 0,
         }
     }
 
@@ -227,6 +336,89 @@ impl OnlineAdvisor {
     /// Total migration cost paid so far (policy units).
     pub fn migration_cost_paid(&self) -> f64 {
         self.migration_cost_paid
+    }
+
+    /// Total probe round trips ingested across all epochs — the
+    /// measurement budget actually spent, for uniform-vs-focused
+    /// comparisons.
+    pub fn probe_round_trips(&self) -> u64 {
+        self.probe_round_trips
+    }
+
+    /// The adaptive pool's current `k` (None without an adaptive
+    /// candidates config).
+    pub fn adaptive_k(&self) -> Option<usize> {
+        self.adaptive.as_ref().map(AdaptivePool::k)
+    }
+
+    /// The adaptive pool's escalation-rate EWMA (None without an adaptive
+    /// candidates config).
+    pub fn escalation_rate(&self) -> Option<f64> {
+        self.adaptive.as_ref().map(AdaptivePool::escalation_rate)
+    }
+
+    /// The candidate configuration the next re-solve will run with: the
+    /// adaptive controller's current `k` projected onto the configured
+    /// base, or the base itself.
+    fn effective_candidates(&self) -> Option<CandidateConfig> {
+        match (&self.adaptive, &self.config.candidates) {
+            (Some(pool), Some(base)) => Some(pool.effective(base)),
+            (None, base) => *base,
+            (Some(_), None) => unreachable!("adaptive controller without a candidates config"),
+        }
+    }
+
+    /// The probe plan the next focused epoch would execute, given
+    /// everything the advisor currently knows: the candidate-pool clique,
+    /// every link the detectors flagged in the most recent step, and every
+    /// link whose estimate has gone stale. Returns `None` under
+    /// [`ProbePolicy::Uniform`] (the stream's own full sweep runs
+    /// instead).
+    ///
+    /// Escalation: when the last step flagged more links than
+    /// `max_flagged`, the shift is not local and the plan is the full
+    /// tournament sweep. Staleness subsumes bootstrap: before the first
+    /// sweep every link is unobserved, hence infinitely stale, hence the
+    /// first plan is always full.
+    pub fn next_probe_plan(&self) -> Option<ProbePlan> {
+        let ProbePolicy::Focused { refresh_every, max_flagged } = self.config.probe_policy else {
+            return None;
+        };
+        let m = self.store.len();
+        if self.recent_flags.len() > max_flagged {
+            return Some(ProbePlan::full(m));
+        }
+        let mut plan = ProbePlan::new(m);
+        // The candidate pool: where any repair could ever land. Probing
+        // its clique keeps every potential destination's costs fresh. The
+        // incumbent is force-included, so all deployed links stay covered.
+        // Without a candidates config, probe a default pool of 2n — the
+        // auto solver pool (max(4n, 48)) is sized for thousand-instance
+        // solves and would cover every instance at typical allocations,
+        // silently degrading focused probing to uniform sweeps.
+        let pool_config = self
+            .effective_candidates()
+            .unwrap_or_else(|| CandidateConfig::fixed(2 * self.graph.num_nodes()));
+        let problem = self.graph.problem(self.search_costs());
+        let pool = CandidateSet::build(&problem, &pool_config, Some(&self.deployment), None);
+        plan.add_clique(pool.union());
+        // Detector-flagged links always re-enter the plan.
+        for &(src, dst) in &self.recent_flags {
+            plan.add_pair(src, dst);
+        }
+        // Stale links re-enter too; skipped links age out together, so
+        // this escalates to a periodic full refresh on its own.
+        for (a, b) in self.store.stale_pairs(self.planning_epoch, refresh_every) {
+            plan.add_pair(a, b);
+        }
+        Some(plan)
+    }
+
+    /// The scheme the next [`OnlineAdvisor::step_stream`] epoch will
+    /// measure with, or `None` for the stream's own uniform sweep.
+    pub fn next_probe_scheme(&self) -> Option<FocusedScheme> {
+        self.next_probe_plan()
+            .map(|plan| FocusedScheme::new(plan, self.config.probe_ks, self.config.probe_sweeps))
     }
 
     /// Total nodes moved across all migrations.
@@ -272,6 +464,8 @@ impl OnlineAdvisor {
     /// ground-truth network, used only for the cost curve and event log.
     pub fn step(&mut self, m: &EpochMeasurement, net: &Network) -> EpochSummary {
         let epoch = m.epoch;
+        self.probe_round_trips += m.round_trips;
+        self.planning_epoch = epoch + 1;
         let changes = self.store.observe_epoch(m);
 
         // Which directed instance links does the active plan occupy?
@@ -297,6 +491,12 @@ impl OnlineAdvisor {
                 on_deployed_link: on_deployed,
             });
         }
+        // Everything flagged this step must be probed next epoch.
+        self.recent_flags = changes.iter().map(|c| (c.src, c.dst)).collect();
+        let probe_escalated = matches!(
+            self.config.probe_policy,
+            ProbePolicy::Focused { max_flagged, .. } if changes.len() > max_flagged
+        );
 
         let cooled =
             self.last_resolve.is_none_or(|last| epoch >= last + self.config.cooldown_epochs.max(1));
@@ -307,6 +507,7 @@ impl OnlineAdvisor {
         // shared by the migration event and the epoch accounting below.
         let truth_problem = self.graph.problem(net.mean_matrix());
         let mut moved = 0usize;
+        let mut repair_unanswered = false;
         if triggered {
             self.last_resolve = Some(epoch);
             if self.config.record_triggers {
@@ -321,7 +522,7 @@ impl OnlineAdvisor {
                 solve_seconds: self.config.solve_seconds,
                 threads: self.config.threads,
                 seed: self.config.seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                candidates: self.config.candidates,
+                candidates: self.effective_candidates(),
             };
             let repair = incremental_resolve(
                 &problem,
@@ -335,6 +536,14 @@ impl OnlineAdvisor {
                 && est_gain
                     >= self.config.policy.min_gain * repair.incumbent_cost.max(f64::MIN_POSITIVE)
                 && est_gain > amortized;
+            // A trigger the pool-restricted repair could not answer with
+            // any improving move: either the incumbent is genuinely
+            // locally optimal (pool fine) or every better destination sits
+            // outside the pool (pool too tight) — the adaptive controller
+            // reads a persistent pattern of these as "grow". Repairs that
+            // found a gain but were declined by the migration economics
+            // are answered triggers: the pool did its job.
+            repair_unanswered = repair.moved == 0;
             self.events.push(OnlineEvent::Resolve {
                 epoch,
                 freed: repair.freed.clone(),
@@ -359,6 +568,24 @@ impl OnlineAdvisor {
             }
         }
 
+        // Adaptive pool bookkeeping: an epoch counts as an escalation when
+        // the probe plan had to fall back to a full sweep (the detectors
+        // fired too broadly for the pool to contain the shift) or a
+        // triggered repair went unanswered inside the pool; quiet and
+        // profitably-repaired epochs are evidence the pool suffices.
+        if let Some(pool) = &mut self.adaptive {
+            let before = pool.k();
+            let after = pool.observe(probe_escalated || repair_unanswered);
+            if after != before {
+                self.events.push(OnlineEvent::PoolResize {
+                    epoch,
+                    from: before,
+                    to: after,
+                    rate: pool.escalation_rate(),
+                });
+            }
+        }
+
         // Account the epoch under the plan that is active *after* any
         // migration this epoch.
         let est_cost = problem.cost(self.config.objective, &self.deployment);
@@ -374,18 +601,36 @@ impl OnlineAdvisor {
         });
         self.epoch += 1;
 
-        EpochSummary { epoch, at_hours: m.at_hours, est_cost, true_cost, triggered, moved }
+        EpochSummary {
+            epoch,
+            at_hours: m.at_hours,
+            est_cost,
+            true_cost,
+            triggered,
+            moved,
+            round_trips: m.round_trips,
+        }
+    }
+
+    /// Runs one epoch against a stream, measuring under the configured
+    /// [`ProbePolicy`]: uniform epochs run the stream's own full sweep,
+    /// focused epochs run the advisor's current probe plan through the
+    /// stream's cumulative statistics. A focused plan that covers every
+    /// pair (bootstrap, escalation, mass staleness) delegates to the
+    /// stream's own sweep — the measurement is the same tournament, minus
+    /// the O(m²) plan materialization.
+    pub fn step_stream<S: MeasurementStream>(&mut self, stream: &mut S) -> EpochSummary {
+        let m = match self.next_probe_scheme() {
+            None => stream.next_epoch(),
+            Some(scheme) if scheme.plan.is_full() => stream.next_epoch(),
+            Some(scheme) => stream.next_epoch_with(&scheme),
+        };
+        self.step(&m, stream.network())
     }
 
     /// Drives the loop for `epochs` epochs of a stream.
     pub fn run<S: MeasurementStream>(&mut self, stream: &mut S, epochs: u64) -> Vec<EpochSummary> {
-        (0..epochs)
-            .map(|_| {
-                let m = stream.next_epoch();
-                let summary = self.step(&m, stream.network());
-                summary
-            })
-            .collect()
+        (0..epochs).map(|_| self.step_stream(stream)).collect()
     }
 }
 
@@ -454,6 +699,69 @@ mod tests {
         assert_eq!(advisor.deployment(), &initial);
         assert_eq!(advisor.migration_cost_paid(), 0.0);
         assert!(advisor.events().iter().all(|e| !matches!(e, OnlineEvent::Migrate { .. })));
+    }
+
+    #[test]
+    fn focused_probing_spends_less_and_first_epoch_is_a_full_sweep() {
+        let run = |policy: ProbePolicy| {
+            let (graph, net, initial) = setup(4, 20, 6);
+            let mut config = fast_config();
+            config.probe_policy = policy;
+            config.candidates = Some(cloudia_solver::CandidateConfig::fixed(5));
+            let mut advisor = OnlineAdvisor::new(graph, 20, initial, config);
+            let mut stream =
+                SimStream::new(net, Staged::new(3, 2), MeasureConfig::default(), 2.0, 9);
+            let summaries = advisor.run(&mut stream, 8);
+            (advisor.probe_round_trips(), summaries)
+        };
+        let (uniform_probes, _) = run(ProbePolicy::Uniform);
+        let (focused_probes, summaries) =
+            run(ProbePolicy::Focused { refresh_every: 10, max_flagged: 8 });
+        // Epoch 0: everything is unobserved, hence stale, hence full.
+        assert_eq!(summaries[0].round_trips, uniform_probes / 8);
+        // Later epochs focus on the candidate clique and spend less.
+        assert!(
+            focused_probes * 2 < uniform_probes,
+            "focused {focused_probes} vs uniform {uniform_probes}"
+        );
+        assert!(summaries.iter().all(|s| s.true_cost > 0.0));
+    }
+
+    #[test]
+    fn uniform_policy_has_no_probe_plan_and_focused_does() {
+        let (graph, _, initial) = setup(5, 10, 7);
+        let advisor = OnlineAdvisor::new(graph.clone(), 10, initial.clone(), fast_config());
+        assert!(advisor.next_probe_plan().is_none());
+        let mut config = fast_config();
+        config.probe_policy = ProbePolicy::Focused { refresh_every: 4, max_flagged: 5 };
+        let advisor = OnlineAdvisor::new(graph, 10, initial, config);
+        let plan = advisor.next_probe_plan().expect("focused policy plans probes");
+        assert!(plan.is_full(), "the bootstrap plan must be a full sweep");
+        assert!(advisor.next_probe_scheme().is_some());
+    }
+
+    #[test]
+    fn adaptive_pool_shrinks_and_logs_resizes_on_a_quiet_loop() {
+        let (graph, net, initial) = setup(5, 14, 8);
+        let mut config = fast_config();
+        // A high threshold keeps detectors quiet: pure stationary tail.
+        config.detector = DetectorConfig { warmup: 3, threshold: 50.0, ..Default::default() };
+        config.candidates =
+            Some(cloudia_solver::CandidateConfig::adaptive(cloudia_solver::AdaptivePoolConfig {
+                initial: 12,
+                ..Default::default()
+            }));
+        let mut advisor = OnlineAdvisor::new(graph, 14, initial, config);
+        assert_eq!(advisor.adaptive_k(), Some(12));
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 1.0, 11);
+        advisor.run(&mut stream, 12);
+        let k = advisor.adaptive_k().expect("adaptive controller is live");
+        assert!(k < 12, "k {k} did not shrink on a quiet loop");
+        assert!(advisor
+            .events()
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::PoolResize { from, to, .. } if to < from)));
+        assert!(advisor.escalation_rate().unwrap() < 0.15);
     }
 
     #[test]

@@ -20,7 +20,15 @@
 //!   incumbent as a bound;
 //! * [`advisor`] — [`OnlineAdvisor`]: the loop itself, with migration
 //!   economics ([`cloudia_core::RedeployPolicy`]), an event log, and a
-//!   ground-truth cost curve.
+//!   ground-truth cost curve. Its [`ProbePolicy`] decides how each
+//!   epoch's probe budget is spent: uniform O(m²) sweeps, or
+//!   trigger-driven **focused** rounds
+//!   ([`cloudia_measure::FocusedScheme`]) that probe only the candidate
+//!   pool, the detector-flagged links, and whatever has gone stale —
+//!   escalating back to a full sweep when the detectors fire broadly.
+//!   With an adaptive candidates config
+//!   ([`cloudia_solver::PoolPolicy::Adaptive`]) the probe set and the
+//!   repair search domain shrink together on stationary stretches.
 //!
 //! ```
 //! use cloudia_core::CommGraph;
@@ -50,12 +58,16 @@
 pub mod advisor;
 pub mod detect;
 pub mod repair;
+pub mod scenario;
 pub mod stats;
 pub mod stream;
 
-pub use advisor::{EpochSummary, OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, TriggerInstance};
+pub use advisor::{
+    EpochSummary, OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy, TriggerInstance,
+};
 pub use detect::{ChangeDetector, DetectorConfig, DetectorKind, Drift};
 pub use repair::{incremental_resolve, select_free_nodes, RepairConfig, RepairOutcome};
+pub use scenario::{BuiltFocusScenario, FocusArm, FocusScenario};
 pub use stats::{EwmaVar, LinkChange, LinkOnline, OnlineStore};
 pub use stream::{
     record_trajectory, EpochMeasurement, LinkDelta, MeasurementStream, ReplayStream, SimStream,

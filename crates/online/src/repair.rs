@@ -227,7 +227,7 @@ mod tests {
             solve_seconds: 1.0,
             threads: 1,
             seed: 5,
-            candidates: Some(CandidateConfig { per_node: 12, ..Default::default() }),
+            candidates: Some(CandidateConfig::fixed(12)),
         };
         let out = incremental_resolve(&p, Objective::LongestLink, &incumbent, &config);
         assert!(p.is_valid(&out.deployment));

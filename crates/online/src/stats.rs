@@ -71,6 +71,9 @@ pub struct LinkOnline {
     detector: ChangeDetector,
     /// Raw samples accumulated across all epochs.
     pub samples: u64,
+    /// The last epoch that contributed samples to this link (`None` until
+    /// the first observation) — the staleness input of focused probing.
+    pub last_epoch: Option<u64>,
 }
 
 /// A change detected on one link during an epoch.
@@ -100,6 +103,7 @@ impl OnlineStore {
             ewma: EwmaVar::new(alpha),
             detector: ChangeDetector::new(detector),
             samples: 0,
+            last_epoch: None,
         };
         Self { n, links: vec![proto; n * n] }
     }
@@ -137,6 +141,7 @@ impl OnlineStore {
             };
             link.ewma.observe(d.mean);
             link.samples += d.count;
+            link.last_epoch = Some(m.epoch);
             let drift = link.detector.observe(z);
             if drift != Drift::None {
                 changes.push(LinkChange { src: d.src, dst: d.dst, drift, mean: d.mean });
@@ -148,6 +153,35 @@ impl OnlineStore {
     /// Number of links with at least one observation.
     pub fn covered_links(&self) -> usize {
         self.links.iter().filter(|l| l.ewma.count() > 0).count()
+    }
+
+    /// Epochs since the link `src → dst` last got samples, as of the
+    /// epoch about to run: `now_epoch − last_epoch`, or `u64::MAX` for a
+    /// never-observed link (infinitely stale).
+    pub fn link_age(&self, src: usize, dst: usize, now_epoch: u64) -> u64 {
+        match self.link(src, dst).last_epoch {
+            Some(last) => now_epoch.saturating_sub(last),
+            None => u64::MAX,
+        }
+    }
+
+    /// The unordered instance pairs whose estimate (in either direction)
+    /// is older than `max_age` epochs as of `now_epoch` — the links a
+    /// focused probe plan must re-enter. Never-observed links are
+    /// infinitely stale, so before the first full sweep this is every
+    /// pair.
+    pub fn stale_pairs(&self, now_epoch: u64, max_age: u64) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in i + 1..self.n {
+                if self.link_age(i, j, now_epoch) > max_age
+                    || self.link_age(j, i, now_epoch) > max_age
+                {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
     }
 
     /// Current cost matrix of EWMA means (0 for never-observed links),
@@ -232,6 +266,25 @@ mod tests {
         let h = store.history();
         assert_eq!(h.covered_links(), 2);
         assert_eq!(h.get(0, 1).unwrap().1, 5.0);
+    }
+
+    #[test]
+    fn link_ages_track_last_observation() {
+        let mut store = OnlineStore::new(3, 0.3, DetectorConfig::default());
+        let both = |a: u32, b: u32| vec![delta(a, b, 2.0), delta(b, a, 2.0)];
+        store.observe_epoch(&epoch(both(0, 1), 0));
+        store.observe_epoch(&epoch([both(0, 1), both(1, 2)].concat(), 1));
+        assert_eq!(store.link_age(0, 1, 4), 3);
+        assert_eq!(store.link_age(1, 2, 4), 3);
+        assert_eq!(store.link_age(2, 0, 4), u64::MAX, "never-observed link must be max-stale");
+        // Age 3 is fresh under max_age 3; (0,2) was never observed at all.
+        assert_eq!(store.stale_pairs(4, 3), vec![(0, 2)]);
+        // Under max_age 2 every pair is stale.
+        assert_eq!(store.stale_pairs(4, 2), vec![(0, 1), (0, 2), (1, 2)]);
+        // A pair with only one direction observed stays stale: direction
+        // ages are tracked independently.
+        store.observe_epoch(&epoch(vec![delta(2, 0, 2.0)], 4));
+        assert!(store.stale_pairs(5, 3).contains(&(0, 2)));
     }
 
     #[test]

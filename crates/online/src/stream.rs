@@ -71,8 +71,17 @@ pub trait MeasurementStream {
     /// The statistics accumulated over every epoch so far.
     fn cumulative(&self) -> &PairwiseStats;
 
-    /// Advances time and runs one measurement epoch.
+    /// Advances time and runs one measurement epoch with the stream's own
+    /// scheme (the uniform full sweep).
     fn next_epoch(&mut self) -> EpochMeasurement;
+
+    /// Advances time and runs one measurement epoch with a caller-chosen
+    /// scheme instead of the stream's own — the focused-probing entry
+    /// point: the online advisor passes a
+    /// [`cloudia_measure::FocusedScheme`] built from its current probe
+    /// plan, and the round accumulates into the same cumulative statistics
+    /// as every uniform round.
+    fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement;
 
     /// The cumulative statistics as re-deployment [`LinkHistory`]
     /// (mean + observation count per covered link).
@@ -96,7 +105,7 @@ pub trait MeasurementStream {
 
 /// Runs one incremental measurement round and extracts the per-epoch
 /// deltas by differencing the cumulative statistics around it.
-fn measure_epoch<S: Scheme>(
+fn measure_epoch<S: Scheme + ?Sized>(
     net: &Network,
     scheme: &S,
     cfg: &MeasureConfig,
@@ -186,6 +195,22 @@ impl<S: Scheme> SimStream<S> {
     }
 }
 
+impl<S: Scheme> SimStream<S> {
+    /// One epoch: advance the drift, then measure with `external` (or the
+    /// stream's own scheme when `None`).
+    fn epoch_with(&mut self, external: Option<&dyn Scheme>) -> EpochMeasurement {
+        self.drifting.step(self.epoch_hours);
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let at_hours = self.drifting.hours();
+        // Borrow dance: measure against a clone-free reference by
+        // splitting the struct fields.
+        let Self { drifting, scheme, config, cumulative, .. } = self;
+        let chosen: &dyn Scheme = external.unwrap_or(scheme);
+        measure_epoch(drifting.network(), chosen, config, epoch, at_hours, cumulative)
+    }
+}
+
 impl<S: Scheme> MeasurementStream for SimStream<S> {
     fn len(&self) -> usize {
         self.cumulative.len()
@@ -200,14 +225,11 @@ impl<S: Scheme> MeasurementStream for SimStream<S> {
     }
 
     fn next_epoch(&mut self) -> EpochMeasurement {
-        self.drifting.step(self.epoch_hours);
-        let epoch = self.epoch;
-        self.epoch += 1;
-        let at_hours = self.drifting.hours();
-        // Borrow dance: measure against a clone-free reference by
-        // splitting the struct fields.
-        let Self { drifting, scheme, config, cumulative, .. } = self;
-        measure_epoch(drifting.network(), scheme, config, epoch, at_hours, cumulative)
+        self.epoch_with(None)
+    }
+
+    fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement {
+        self.epoch_with(Some(scheme))
     }
 }
 
@@ -263,6 +285,20 @@ impl<S: Scheme> ReplayStream<S> {
     }
 }
 
+impl<S: Scheme> ReplayStream<S> {
+    /// One epoch: consume the next snapshot, measuring with `external`
+    /// (or the stream's own scheme when `None`).
+    fn epoch_with(&mut self, external: Option<&dyn Scheme>) -> EpochMeasurement {
+        assert!(!self.exhausted(), "replay stream exhausted after {} epochs", self.epochs());
+        let epoch = self.epoch;
+        self.epoch += 1;
+        let at_hours = self.epoch as f64 * self.epoch_hours;
+        let Self { snapshots, scheme, config, cumulative, .. } = self;
+        let chosen: &dyn Scheme = external.unwrap_or(scheme);
+        measure_epoch(&snapshots[epoch as usize], chosen, config, epoch, at_hours, cumulative)
+    }
+}
+
 impl<S: Scheme> MeasurementStream for ReplayStream<S> {
     fn len(&self) -> usize {
         self.cumulative.len()
@@ -278,12 +314,11 @@ impl<S: Scheme> MeasurementStream for ReplayStream<S> {
     }
 
     fn next_epoch(&mut self) -> EpochMeasurement {
-        assert!(!self.exhausted(), "replay stream exhausted after {} epochs", self.epochs());
-        let epoch = self.epoch;
-        self.epoch += 1;
-        let at_hours = self.epoch as f64 * self.epoch_hours;
-        let Self { snapshots, scheme, config, cumulative, .. } = self;
-        measure_epoch(&snapshots[epoch as usize], scheme, config, epoch, at_hours, cumulative)
+        self.epoch_with(None)
+    }
+
+    fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement {
+        self.epoch_with(Some(scheme))
     }
 }
 
@@ -315,6 +350,29 @@ mod tests {
         assert_eq!(stream.cumulative().total_samples(), 2 * total0);
         // Delta counts are per-epoch, not cumulative.
         assert_eq!(m1.deltas[0].count, m0.deltas[0].count);
+    }
+
+    #[test]
+    fn planned_epochs_accumulate_into_the_same_cumulative_store() {
+        use cloudia_measure::{FocusedScheme, ProbePlan};
+        let mut stream =
+            SimStream::new(network(6, 6), Staged::new(2, 2), MeasureConfig::default(), 2.0, 7);
+        stream.next_epoch();
+        let full_samples = stream.cumulative().total_samples();
+        let mut plan = ProbePlan::new(6);
+        plan.add_clique(&[0, 1, 2]);
+        let m = stream.next_epoch_with(&FocusedScheme::new(plan, 2, 2));
+        assert_eq!(m.epoch, 1);
+        // Two sweeps cover both directions of the 3 planned pairs only.
+        assert_eq!(m.deltas.len(), 6);
+        assert!(m.deltas.iter().all(|d| d.src < 3 && d.dst < 3));
+        assert_eq!(m.round_trips, 2 * 2 * 3);
+        // The focused round accumulated on top of the uniform round.
+        assert_eq!(stream.cumulative().total_samples(), full_samples + m.round_trips);
+        // And the next uniform epoch keeps counting from there.
+        let m2 = stream.next_epoch();
+        assert_eq!(m2.epoch, 2);
+        assert_eq!(m2.deltas.len(), 6 * 5);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!    costs** (default: the median over both directions) — congested
 //!    instances score high, cluster members score low;
 //! 2. the cheapest `k` instances form the shared candidate pool
-//!    (`k = per_node`, never less than the node count so an injective
-//!    deployment always exists);
+//!    (`k` from the [`PoolPolicy`], never less than the node count so an
+//!    injective deployment always exists);
 //! 3. each node's list is the pool **plus its incumbent and pinned
 //!    instances**, so warm starts and repair pins are always reachable.
 //!
@@ -26,21 +26,41 @@
 //!
 //! Pruning is **heuristic**: a pruned run can never prove global
 //! optimality, and an over-tight pool can miss the optimum. The exact
-//! fallback (`per_node >= m`) degenerates to the dense path bit-for-bit,
-//! and the driver in `cloudia-core` (`SearchStrategy::run_pruned`)
-//! auto-escalates to the dense problem whenever the pruned search proves
-//! pruned-optimality, instead of silently passing a local proof off as a
-//! global one.
+//! fallback (a pool size `>= m`) degenerates to the dense path
+//! bit-for-bit, and the driver in `cloudia-core`
+//! (`SearchStrategy::run_pruned`) auto-escalates to the dense problem
+//! whenever the pruned search proves pruned-optimality, instead of
+//! silently passing a local proof off as a global one.
+//!
+//! The pool size itself is either **fixed** ([`PoolPolicy::Fixed`], the
+//! original layer) or **adaptive** ([`PoolPolicy::Adaptive`] +
+//! [`AdaptivePool`]): a controller tracks an escalation-rate EWMA across
+//! consecutive solves and grows `k` when the pool keeps proving too tight
+//! (frequent escalations) while shrinking it when the pruned result keeps
+//! sufficing — so a long stationary stretch converges to the cheapest pool
+//! that still answers correctly.
 
 use crate::problem::{CostMatrix, NodeDeployment};
+
+/// How the candidate pool size `k` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoolPolicy {
+    /// `k` candidate instances per node (`0` = auto: `max(4·n, 48)`),
+    /// before incumbent/pin additions. Values `>= m` select every
+    /// instance — the exact fallback.
+    Fixed(usize),
+    /// Escalation-rate-driven pool sizing: a stateful [`AdaptivePool`]
+    /// controller (owned by the caller, e.g. the online advisor) adjusts
+    /// `k` between solves. A one-shot solve that receives this policy
+    /// directly uses [`AdaptivePoolConfig::initial`] as its `k`.
+    Adaptive(AdaptivePoolConfig),
+}
 
 /// Tuning knobs of the candidate-pruning layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CandidateConfig {
-    /// Candidate instances per node (`0` = auto: `max(4·n, 48)`), before
-    /// incumbent/pin additions. Values `>= m` select every instance — the
-    /// exact fallback.
-    pub per_node: usize,
+    /// Pool sizing policy (fixed `k` or escalation-adaptive).
+    pub pool: PoolPolicy,
     /// Which quantile of an instance's incident link costs scores it
     /// (0.5 = median). Lower quantiles reward instances with *some* cheap
     /// links; higher quantiles demand uniformly cheap ones.
@@ -54,16 +74,183 @@ pub struct CandidateConfig {
 
 impl Default for CandidateConfig {
     fn default() -> Self {
-        Self { per_node: 0, quantile: 0.5, auto_escalate: true }
+        Self { pool: PoolPolicy::Fixed(0), quantile: 0.5, auto_escalate: true }
     }
 }
 
 impl CandidateConfig {
+    /// A fixed pool of `per_node` candidates (`0` = auto) with the default
+    /// quantile and escalation settings.
+    pub fn fixed(per_node: usize) -> Self {
+        Self { pool: PoolPolicy::Fixed(per_node), ..Self::default() }
+    }
+
+    /// An adaptive pool under `config` with the default quantile and
+    /// escalation settings.
+    pub fn adaptive(config: AdaptivePoolConfig) -> Self {
+        Self { pool: PoolPolicy::Adaptive(config), ..Self::default() }
+    }
+
     /// The pool size this configuration selects for a problem with `n`
-    /// nodes over `m` instances.
+    /// nodes over `m` instances. An adaptive policy resolves to its
+    /// initial `k` under its own min/max bounds — exactly as a live
+    /// [`AdaptivePool`] controller starts out — so one-shot solves and
+    /// the online loop agree on the opening pool; the controller then
+    /// substitutes its current `k` via [`AdaptivePool::effective`].
     pub fn pool_size(&self, n: usize, m: usize) -> usize {
-        let k = if self.per_node == 0 { (4 * n).max(48) } else { self.per_node };
-        k.max(n).min(m)
+        match self.pool {
+            PoolPolicy::Fixed(k) => {
+                let k = if k == 0 { (4 * n).max(48) } else { k };
+                k.max(n).min(m)
+            }
+            PoolPolicy::Adaptive(cfg) => cfg.resolve(n, m).2,
+        }
+    }
+}
+
+/// Parameters of the adaptive pool-size controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePoolConfig {
+    /// Starting `k` (`0` = auto: `max(4·n, 48)`).
+    pub initial: usize,
+    /// Floor for `k` (`0` = no explicit floor). The effective pool never
+    /// shrinks below the node count or loses incumbent/pinned instances
+    /// regardless — [`CandidateConfig::pool_size`] clamps to `n` and
+    /// [`CandidateSet::build`] force-includes incumbents and pins.
+    pub min: usize,
+    /// Ceiling for `k` (`0` = the instance count).
+    pub max: usize,
+    /// EWMA smoothing factor of the escalation rate, in (0, 1].
+    pub alpha: f64,
+    /// Escalation rate above which `k` grows.
+    pub grow_above: f64,
+    /// Escalation rate below which `k` shrinks.
+    pub shrink_below: f64,
+    /// Multiplicative growth step (> 1).
+    pub grow_factor: f64,
+    /// Multiplicative shrink step (in (0, 1)).
+    pub shrink_factor: f64,
+    /// Observations before the controller starts adjusting `k` (lets the
+    /// EWMA settle instead of reacting to the first epoch).
+    pub warmup: u64,
+}
+
+impl Default for AdaptivePoolConfig {
+    fn default() -> Self {
+        Self {
+            initial: 0,
+            min: 0,
+            max: 0,
+            alpha: 0.3,
+            grow_above: 0.5,
+            shrink_below: 0.15,
+            grow_factor: 1.5,
+            shrink_factor: 0.8,
+            warmup: 3,
+        }
+    }
+}
+
+impl AdaptivePoolConfig {
+    /// Resolves the auto/zero bounds for a problem with `n` nodes over
+    /// `m` instances: `(min_k, max_k, initial_k)` with the initial `k`
+    /// clamped into the bounds. Shared by [`AdaptivePool::new`] and
+    /// [`CandidateConfig::pool_size`], so one-shot solves and the live
+    /// controller always start from the same pool.
+    pub fn resolve(&self, n: usize, m: usize) -> (usize, usize, usize) {
+        let initial = if self.initial == 0 { (4 * n).max(48) } else { self.initial };
+        let min_k = self.min.max(n).min(m).max(1);
+        let max_k = if self.max == 0 { m } else { self.max.min(m) }.max(min_k);
+        (min_k, max_k, initial.clamp(min_k, max_k))
+    }
+}
+
+/// Stateful adaptive pool-size controller (the ROADMAP "adaptive pool
+/// sizing" follow-on).
+///
+/// Feed it one boolean per solve/epoch via [`AdaptivePool::observe`]:
+/// `true` when the pruned pool proved too tight (the solve escalated to a
+/// dense re-solve, the probe plan escalated to a full sweep, or a
+/// triggered repair found nothing inside the pool), `false` when the pool
+/// sufficed. The escalation-rate EWMA then drives `k` multiplicatively up
+/// or down between the configured bounds, and [`AdaptivePool::effective`]
+/// projects the current `k` into a concrete [`CandidateConfig`] for the
+/// next solve.
+#[derive(Debug, Clone)]
+pub struct AdaptivePool {
+    config: AdaptivePoolConfig,
+    min_k: usize,
+    max_k: usize,
+    k: usize,
+    rate: f64,
+    observations: u64,
+}
+
+impl AdaptivePool {
+    /// Creates a controller for problems with `n` nodes over `m`
+    /// instances, resolving the config's auto/zero bounds.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside (0, 1] or the thresholds/factors are
+    /// inconsistent.
+    pub fn new(config: AdaptivePoolConfig, n: usize, m: usize) -> Self {
+        assert!(config.alpha > 0.0 && config.alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(config.grow_factor > 1.0, "grow_factor must exceed 1");
+        assert!(
+            config.shrink_factor > 0.0 && config.shrink_factor < 1.0,
+            "shrink_factor must be in (0, 1)"
+        );
+        assert!(
+            config.shrink_below <= config.grow_above,
+            "shrink_below must not exceed grow_above"
+        );
+        let (min_k, max_k, k) = config.resolve(n, m);
+        // The rate starts at the neutral point between the thresholds: the
+        // controller is agnostic until the stream provides evidence, so a
+        // fresh loop neither shrinks nor grows on its first few epochs.
+        let rate = 0.5 * (config.grow_above + config.shrink_below);
+        Self { config, min_k, max_k, k, rate, observations: 0 }
+    }
+
+    /// The current pool size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current escalation-rate EWMA.
+    pub fn escalation_rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Observations consumed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Ingests one solve's escalation verdict and adjusts `k`. Returns the
+    /// new `k` (unchanged when the rate sits between the thresholds or the
+    /// controller is still warming up).
+    pub fn observe(&mut self, escalated: bool) -> usize {
+        let x = if escalated { 1.0 } else { 0.0 };
+        self.rate += self.config.alpha * (x - self.rate);
+        self.observations += 1;
+        if self.observations >= self.config.warmup {
+            if self.rate > self.config.grow_above {
+                self.k = ((self.k as f64 * self.config.grow_factor).ceil() as usize)
+                    .clamp(self.min_k, self.max_k);
+            } else if self.rate < self.config.shrink_below {
+                self.k = ((self.k as f64 * self.config.shrink_factor).floor() as usize)
+                    .clamp(self.min_k, self.max_k);
+            }
+        }
+        self.k
+    }
+
+    /// Projects the controller's current `k` onto `base`, producing the
+    /// concrete fixed-pool configuration the next solve should run with
+    /// (quantile/escalation settings are taken from `base`).
+    pub fn effective(&self, base: &CandidateConfig) -> CandidateConfig {
+        CandidateConfig { pool: PoolPolicy::Fixed(self.k), ..*base }
     }
 }
 
@@ -271,12 +458,7 @@ mod tests {
         let m = 12;
         let costs = Costs::from_fn(m, |i, j| if i == 7 || j == 7 { 50.0 } else { 1.0 });
         let p = NodeDeployment::new(4, vec![(0, 1), (1, 2), (2, 3)], costs);
-        let cs = CandidateSet::build(
-            &p,
-            &CandidateConfig { per_node: 6, ..Default::default() },
-            None,
-            None,
-        );
+        let cs = CandidateSet::build(&p, &CandidateConfig::fixed(6), None, None);
         assert_eq!(cs.union().len(), 6);
         assert!(!cs.union().contains(&7), "congested instance selected: {:?}", cs.union());
     }
@@ -286,22 +468,13 @@ mod tests {
         let p = clustered_problem(5, 30, 1);
         // Force the incumbent/pins onto the *worst* instances so the pool
         // alone would exclude them.
-        let cs_plain = CandidateSet::build(
-            &p,
-            &CandidateConfig { per_node: 8, ..Default::default() },
-            None,
-            None,
-        );
+        let cs_plain = CandidateSet::build(&p, &CandidateConfig::fixed(8), None, None);
         let excluded: Vec<u32> =
             (0..30u32).filter(|j| !cs_plain.union().contains(j)).take(5).collect();
         let incumbent: Vec<u32> = excluded.clone();
         let fixed: Vec<Option<u32>> = vec![Some(excluded[2]), None, None, None, Some(excluded[4])];
-        let cs = CandidateSet::build(
-            &p,
-            &CandidateConfig { per_node: 8, ..Default::default() },
-            Some(&incumbent),
-            Some(&fixed),
-        );
+        let cs =
+            CandidateSet::build(&p, &CandidateConfig::fixed(8), Some(&incumbent), Some(&fixed));
         for (v, &j) in incumbent.iter().enumerate() {
             assert!(cs.node_candidates(v).contains(&j), "node {v} lost its incumbent");
         }
@@ -315,12 +488,7 @@ mod tests {
     #[test]
     fn exact_fallback_selects_everything() {
         let p = clustered_problem(4, 10, 2);
-        let cs = CandidateSet::build(
-            &p,
-            &CandidateConfig { per_node: 10, ..Default::default() },
-            None,
-            None,
-        );
+        let cs = CandidateSet::build(&p, &CandidateConfig::fixed(10), None, None);
         assert!(cs.is_exact());
         assert_eq!(cs.union(), (0..10u32).collect::<Vec<_>>());
     }
@@ -328,24 +496,14 @@ mod tests {
     #[test]
     fn pool_never_smaller_than_node_count() {
         let p = clustered_problem(6, 20, 3);
-        let cs = CandidateSet::build(
-            &p,
-            &CandidateConfig { per_node: 2, ..Default::default() },
-            None,
-            None,
-        );
+        let cs = CandidateSet::build(&p, &CandidateConfig::fixed(2), None, None);
         assert!(cs.union().len() >= 6, "union {:?} cannot host 6 nodes", cs.union());
     }
 
     #[test]
     fn restriction_preserves_costs_and_structure() {
         let p = clustered_problem(4, 16, 4);
-        let cs = CandidateSet::build(
-            &p,
-            &CandidateConfig { per_node: 6, ..Default::default() },
-            None,
-            None,
-        );
+        let cs = CandidateSet::build(&p, &CandidateConfig::fixed(6), None, None);
         let pr = cs.restrict(&p);
         assert_eq!(pr.sub.num_nodes, 4);
         assert_eq!(pr.sub.num_instances(), cs.union().len());
@@ -369,8 +527,110 @@ mod tests {
         assert_eq!(cfg.pool_size(5, 2000), 48);
         assert_eq!(cfg.pool_size(30, 2000), 120);
         assert_eq!(cfg.pool_size(30, 60), 60);
-        let explicit = CandidateConfig { per_node: 10, ..Default::default() };
+        let explicit = CandidateConfig::fixed(10);
         assert_eq!(explicit.pool_size(4, 2000), 10);
         assert_eq!(explicit.pool_size(20, 2000), 20); // never below n
+    }
+
+    #[test]
+    fn adaptive_policy_resolves_like_fixed_for_one_shot_solves() {
+        let cfg = CandidateConfig::adaptive(AdaptivePoolConfig {
+            initial: 12,
+            ..AdaptivePoolConfig::default()
+        });
+        assert_eq!(cfg.pool_size(4, 2000), 12);
+        let auto = CandidateConfig::adaptive(AdaptivePoolConfig::default());
+        assert_eq!(auto.pool_size(5, 2000), 48);
+    }
+
+    #[test]
+    fn one_shot_pool_size_matches_the_live_controller() {
+        // The same adaptive config must select the same opening pool in a
+        // one-shot solve (pool_size) and in the online loop (AdaptivePool).
+        for cfg in [
+            AdaptivePoolConfig { initial: 0, max: 10, ..Default::default() },
+            AdaptivePoolConfig { initial: 3, min: 8, ..Default::default() },
+            AdaptivePoolConfig::default(),
+        ] {
+            let pool = AdaptivePool::new(cfg, 5, 200);
+            assert_eq!(CandidateConfig::adaptive(cfg).pool_size(5, 200), pool.k(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn adaptive_pool_grows_on_frequent_escalations() {
+        let mut pool = AdaptivePool::new(
+            AdaptivePoolConfig { initial: 10, ..AdaptivePoolConfig::default() },
+            4,
+            200,
+        );
+        assert_eq!(pool.k(), 10);
+        for _ in 0..10 {
+            pool.observe(true);
+        }
+        assert!(pool.k() > 10, "k {} never grew under sustained escalations", pool.k());
+        assert!(pool.escalation_rate() > 0.5);
+    }
+
+    #[test]
+    fn adaptive_pool_shrinks_on_a_stationary_tail() {
+        let mut pool = AdaptivePool::new(
+            AdaptivePoolConfig { initial: 64, ..AdaptivePoolConfig::default() },
+            4,
+            200,
+        );
+        // An active head keeps the rate high...
+        for _ in 0..6 {
+            pool.observe(true);
+        }
+        let peak = pool.k();
+        // ...then a long quiet tail decays it and k shrinks.
+        for _ in 0..30 {
+            pool.observe(false);
+        }
+        assert!(pool.k() < peak, "k {} did not shrink from peak {peak}", pool.k());
+        assert!(pool.escalation_rate() < 0.15);
+    }
+
+    #[test]
+    fn adaptive_pool_respects_bounds() {
+        let mut pool = AdaptivePool::new(
+            AdaptivePoolConfig { initial: 20, min: 8, max: 40, ..AdaptivePoolConfig::default() },
+            4,
+            200,
+        );
+        for _ in 0..200 {
+            pool.observe(true);
+        }
+        assert_eq!(pool.k(), 40);
+        for _ in 0..200 {
+            pool.observe(false);
+        }
+        assert_eq!(pool.k(), 8);
+        // The floor never dips under the node count even if configured so.
+        let tight = AdaptivePool::new(
+            AdaptivePoolConfig { initial: 3, min: 1, ..AdaptivePoolConfig::default() },
+            6,
+            200,
+        );
+        assert!(tight.k() >= 6);
+    }
+
+    #[test]
+    fn adaptive_effective_projects_current_k() {
+        let base = CandidateConfig {
+            quantile: 0.25,
+            auto_escalate: false,
+            ..CandidateConfig::adaptive(AdaptivePoolConfig::default())
+        };
+        let pool = AdaptivePool::new(
+            AdaptivePoolConfig { initial: 17, ..AdaptivePoolConfig::default() },
+            4,
+            100,
+        );
+        let eff = pool.effective(&base);
+        assert_eq!(eff.pool, PoolPolicy::Fixed(17));
+        assert_eq!(eff.quantile, 0.25);
+        assert!(!eff.auto_escalate);
     }
 }

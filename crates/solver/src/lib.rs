@@ -61,7 +61,9 @@ pub mod portfolio;
 pub mod problem;
 pub mod random;
 
-pub use candidates::{CandidateConfig, CandidateSet, PrunedProblem};
+pub use candidates::{
+    AdaptivePool, AdaptivePoolConfig, CandidateConfig, CandidateSet, PoolPolicy, PrunedProblem,
+};
 pub use cluster::CostClusters;
 pub use control::SearchControl;
 pub use cp::{solve_llndp_cp, solve_llndp_cp_with, CpConfig, Propagation};

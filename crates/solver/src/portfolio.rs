@@ -557,11 +557,16 @@ mod tests {
 
     #[test]
     fn work_stealing_restarts_add_exploration() {
-        // A large instance the CP prover cannot close in the budget, so
-        // the wall clock ends the run. Greedy workers finish in
-        // microseconds; with work stealing they respawn as samplers, so
-        // total exploration far exceeds the base four workers' own work.
-        let p = random_problem(10, 14, path_edges(10), 12);
+        // An instance the CP prover cannot close in the budget, so the
+        // wall clock ends the run. Greedy workers finish in microseconds;
+        // with work stealing they respawn as samplers, so total
+        // exploration far exceeds the base four workers' own work. The
+        // instance must stay unproven in *release* builds too — an
+        // optimality proof cancels the run early and leaves the restarts
+        // nothing to add — hence a tighter, larger instance than the
+        // other tests (release CP closes a 10-node/14-instance path well
+        // inside the budget).
+        let p = random_problem(16, 20, path_edges(16), 12);
         let run = |work_stealing: bool| {
             let config = PortfolioConfig {
                 budget: Budget { time_limit_s: 0.5, node_limit: 500 },
@@ -572,6 +577,10 @@ mod tests {
             solve_portfolio(&p, Objective::LongestLink, &config)
         };
         let without = run(false);
+        assert!(
+            !without.proven_optimal,
+            "instance closed within the budget; pick a harder one for this test"
+        );
         let with = run(true);
         // Each base worker explores <= 500 nodes; restarts keep drawing
         // fresh 500-draw samplers until the clock runs out.

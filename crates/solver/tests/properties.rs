@@ -174,3 +174,89 @@ proptest! {
         prop_assert_eq!(trail.proven_optimal, clone.proven_optimal);
     }
 }
+
+// Satellite: the adaptive-pool contract. Whatever observation sequence
+// drives the controller, (a) `k` stays inside its resolved bounds and
+// never below the node count, and (b) the candidate set built from the
+// controller's effective config never loses the incumbent or a pinned
+// instance — shrinking can starve the pool, never the warm start.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn adaptive_pool_respects_bounds_under_any_observation_sequence(
+        observations in proptest::collection::vec((0u8..2).prop_map(|x| x == 1), 1..120),
+        initial in 1usize..40,
+        min in 0usize..20,
+        max in 0usize..40,
+    ) {
+        use cloudia_solver::{AdaptivePool, AdaptivePoolConfig};
+        let (n, m) = (5usize, 30usize);
+        let mut pool = AdaptivePool::new(
+            AdaptivePoolConfig { initial, min, max, ..AdaptivePoolConfig::default() },
+            n,
+            m,
+        );
+        let lo = min.max(n).min(m).max(1);
+        let hi = if max == 0 { m } else { max.min(m) }.max(lo);
+        for &esc in &observations {
+            let k = pool.observe(esc);
+            prop_assert!(k >= lo, "k {k} dipped under the floor {lo}");
+            prop_assert!(k <= hi, "k {k} exceeded the ceiling {hi}");
+            prop_assert!((0.0..=1.0).contains(&pool.escalation_rate()));
+        }
+    }
+
+    #[test]
+    fn adaptive_pool_never_loses_incumbent_or_pins(
+        costs in costs_strategy(24),
+        observations in proptest::collection::vec((0u8..2).prop_map(|x| x == 1), 0..60),
+        seed in 0u64..500,
+    ) {
+        use cloudia_solver::{AdaptivePool, AdaptivePoolConfig, CandidateConfig, CandidateSet};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = 6usize;
+        let p = NodeDeployment::new(
+            n,
+            (0..n as u32 - 1).map(|i| (i, i + 1)).collect(),
+            costs,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let incumbent = p.random_deployment(&mut rng);
+        let fixed: Vec<Option<u32>> = incumbent
+            .iter()
+            .map(|&j| if rng.random::<bool>() { Some(j) } else { None })
+            .collect();
+        let base = CandidateConfig::adaptive(AdaptivePoolConfig {
+            initial: 12,
+            ..AdaptivePoolConfig::default()
+        });
+        let mut pool = AdaptivePool::new(
+            AdaptivePoolConfig { initial: 12, ..AdaptivePoolConfig::default() },
+            n,
+            p.num_instances(),
+        );
+        // Drive the controller through the whole sequence, checking the
+        // effective candidate set at every step — including the fully
+        // shrunk endpoint.
+        for &esc in observations.iter().chain([false; 40].iter()) {
+            pool.observe(esc);
+            let cs = CandidateSet::build(&p, &pool.effective(&base), Some(&incumbent), Some(&fixed));
+            prop_assert!(cs.union().len() >= n);
+            for (v, &j) in incumbent.iter().enumerate() {
+                prop_assert!(
+                    cs.node_candidates(v).contains(&j),
+                    "node {v} lost incumbent {j} at k {}", pool.k()
+                );
+            }
+            for (v, f) in fixed.iter().enumerate() {
+                if let Some(j) = f {
+                    prop_assert!(
+                        cs.node_candidates(v).contains(j),
+                        "node {v} lost pin {j} at k {}", pool.k()
+                    );
+                }
+            }
+        }
+    }
+}

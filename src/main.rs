@@ -24,14 +24,17 @@ fn usage() -> ! {
                [--over-allocation FRACTION]   (default 0.1)
                [--search recommended|cp|mip|greedy-g1|greedy-g2|random-r1|random-r2|portfolio]
                [--threads N]                  (portfolio/r2 workers; 0 = all cores)
-               [--candidates auto|K]          (candidate-pruned search: K instances per node;
-                                               auto = max(4n, 48); omit for the dense search)
+               [--candidates auto|adaptive|K] (candidate-pruned search: K instances per node;
+                                               auto = max(4n, 48); adaptive = escalation-driven
+                                               pool sizing; omit for the dense search)
                [--search-seconds S]           (default 5)
                [--seed N]                     (default 42)
                [--online]                     (run the continuous advisor after deploying)
                [--epochs N]                   (online epochs, default 24)
                [--epoch-hours H]              (simulated hours per epoch, default 4)
-               [--migration-budget K]         (max nodes moved per re-solve, default 3)"
+               [--migration-budget K]         (max nodes moved per re-solve, default 3)
+               [--probe uniform|focused]      (online probe policy: full sweeps, or
+                                               trigger-driven focused rounds; default uniform)"
     );
     std::process::exit(2);
 }
@@ -90,6 +93,7 @@ fn main() {
     let mut epochs = 24u64;
     let mut epoch_hours = 4.0f64;
     let mut migration_budget = 3usize;
+    let mut probe_focused = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -132,17 +136,17 @@ fn main() {
             }
             "--candidates" => {
                 let v = value();
-                let per_node = if v == "auto" {
-                    0
-                } else {
-                    v.parse().unwrap_or_else(|_| {
-                        eprintln!("bad candidate count `{v}` (expected `auto` or an integer)");
+                candidates = Some(match v.as_str() {
+                    "auto" => cloudia::solver::CandidateConfig::fixed(0),
+                    "adaptive" => cloudia::solver::CandidateConfig::adaptive(
+                        cloudia::solver::AdaptivePoolConfig::default(),
+                    ),
+                    _ => cloudia::solver::CandidateConfig::fixed(v.parse().unwrap_or_else(|_| {
+                        eprintln!(
+                            "bad candidate count `{v}` (expected `auto`, `adaptive`, or an integer)"
+                        );
                         usage();
-                    })
-                };
-                candidates = Some(cloudia::solver::CandidateConfig {
-                    per_node,
-                    ..cloudia::solver::CandidateConfig::default()
+                    })),
                 });
             }
             "--over-allocation" => {
@@ -181,6 +185,16 @@ fn main() {
                     eprintln!("bad migration budget");
                     usage();
                 })
+            }
+            "--probe" => {
+                probe_focused = match value().as_str() {
+                    "uniform" => false,
+                    "focused" => true,
+                    other => {
+                        eprintln!("unknown probe policy `{other}` (expected uniform or focused)");
+                        usage();
+                    }
+                }
             }
             "--help" | "-h" => usage(),
             other => {
@@ -307,7 +321,17 @@ fn main() {
     );
 
     if online {
-        run_online(&graph, &outcome, objective, epochs, epoch_hours, migration_budget, seed);
+        run_online(
+            &graph,
+            &outcome,
+            objective,
+            epochs,
+            epoch_hours,
+            migration_budget,
+            probe_focused,
+            candidates,
+            seed,
+        );
     }
 }
 
@@ -315,6 +339,7 @@ fn main() {
 /// over-allocated pool is kept as warm spares, the network drifts
 /// `epoch_hours` between measurement epochs, and every trigger runs a
 /// budgeted incremental re-solve.
+#[allow(clippy::too_many_arguments)]
 fn run_online(
     graph: &CommGraph,
     outcome: &cloudia::core::AdvisorOutcome,
@@ -322,23 +347,49 @@ fn run_online(
     epochs: u64,
     epoch_hours: f64,
     migration_budget: usize,
+    probe_focused: bool,
+    candidates: Option<cloudia::solver::CandidateConfig>,
     seed: u64,
 ) {
     use cloudia::measure::{MeasureConfig, Staged};
-    use cloudia::online::{OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, SimStream};
+    use cloudia::online::{
+        OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy, SimStream,
+    };
 
     println!();
     println!(
         "online advisor: {epochs} epochs x {epoch_hours} h, migration budget {migration_budget}, \
-         {} instances kept as spares",
-        outcome.network.len() - graph.num_nodes()
+         {} instances kept as spares, {} probing",
+        outcome.network.len() - graph.num_nodes(),
+        if probe_focused { "focused" } else { "uniform" },
     );
+    if probe_focused && candidates.is_none() {
+        println!(
+            "note: no --candidates given; focused rounds probe a default pool of {} instances \
+             (2x nodes) — pass --candidates K or adaptive to control it",
+            2 * graph.num_nodes()
+        );
+    }
 
     let config = OnlineAdvisorConfig {
         objective,
         migration_budget,
         solve_seconds: 1.0,
         seed,
+        candidates,
+        probe_policy: if probe_focused {
+            ProbePolicy::Focused {
+                refresh_every: 8,
+                // The escalation threshold must sit well above the
+                // detectors' noise-fire baseline (a few percent of
+                // measured links per epoch) or every epoch degenerates to
+                // a full sweep; a quarter of all pairs separates a global
+                // shift from noise at any allocation size.
+                max_flagged: outcome.network.len() * (outcome.network.len() - 1) / 8,
+            }
+        } else {
+            ProbePolicy::Uniform
+        },
         ..OnlineAdvisorConfig::default()
     };
     let mut advisor = OnlineAdvisor::new(
@@ -373,9 +424,16 @@ fn run_online(
         advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Resolve { .. })).count();
     println!(
         "online summary: {resolves} re-solves, {migrations} migrations ({} nodes moved), \
-         time-averaged cost {:.3} ms (incl. migration cost {:.3})",
+         time-averaged cost {:.3} ms (incl. migration cost {:.3}), {} probe round trips",
         advisor.moved_total(),
         advisor.time_averaged_cost(),
-        advisor.migration_cost_paid()
+        advisor.migration_cost_paid(),
+        advisor.probe_round_trips(),
     );
+    if let Some(k) = advisor.adaptive_k() {
+        println!(
+            "adaptive candidate pool: final k = {k} (escalation rate {:.3})",
+            advisor.escalation_rate().unwrap_or(0.0)
+        );
+    }
 }

@@ -1,10 +1,12 @@
-//! Cross-crate measurement integration tests: the three schemes of §5
-//! over realistic networks, their relative accuracy, and the metric
-//! pipeline into cost matrices.
+//! Cross-crate measurement integration tests: the schemes of §5 (plus
+//! the focused scheme) over realistic networks, their relative accuracy,
+//! and the metric pipeline into cost matrices.
 
 use cloudia::core::LatencyMetric;
 use cloudia::measure::error::{normalized_relative_errors, quantile};
-use cloudia::measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
+use cloudia::measure::{
+    FocusedScheme, MeasureConfig, ProbePlan, Scheme, Staged, TokenPassing, Uncoordinated,
+};
 use cloudia::netsim::{Cloud, Provider};
 
 fn ec2_network(n: usize, seed: u64) -> cloudia::netsim::Network {
@@ -56,6 +58,62 @@ fn staged_is_far_faster_than_token_at_equal_coverage() {
         "staged {} vs token {}",
         staged.elapsed_ms,
         token.elapsed_ms
+    );
+}
+
+#[test]
+fn all_schemes_agree_on_a_stationary_network() {
+    // Cross-scheme regression: staged, token, uncoordinated, and a
+    // full-plan focused run must produce mean matrices that agree within
+    // tolerance on a stationary network — and they must keep agreeing
+    // after a second accumulation round through `run_onto` (the online
+    // advisor's incremental path), which is where a sum/count bug in any
+    // scheme's accumulation would surface.
+    let n = 12;
+    let net = ec2_network(n, 7);
+    let cfg = MeasureConfig::default();
+    let samples = 24;
+
+    let two_rounds = |scheme: &dyn Scheme| {
+        let first = scheme.run(&net, &cfg);
+        let second = scheme.run_onto(&net, &cfg, first.stats);
+        assert_eq!(
+            second.stats.total_samples(),
+            2 * second.round_trips,
+            "{}: accumulated totals must be exactly two rounds",
+            scheme.name()
+        );
+        second.stats.mean_vector()
+    };
+
+    let token = two_rounds(&TokenPassing::new(samples));
+    let staged = two_rounds(&Staged::new(samples / 2, 2));
+    let focused = two_rounds(&FocusedScheme::new(ProbePlan::full(n), samples / 2, 2));
+    let uncoordinated = two_rounds(&Uncoordinated::new(samples * (n - 1)));
+
+    // Token passing is the interference-free baseline; staged and focused
+    // schedule disjoint pairs, so all three agree tightly. Uncoordinated
+    // suffers endpoint collisions (the paper's Fig. 4 tail) — a loose
+    // median bound still catches an accumulation bug, which corrupts
+    // every link, not just the collided few.
+    for (name, vector, p50_tol) in [
+        ("staged", &staged, 0.05),
+        ("focused", &focused, 0.05),
+        ("uncoordinated", &uncoordinated, 0.25),
+    ] {
+        let errs = normalized_relative_errors(vector, &token);
+        let p50 = quantile(&errs, 0.5);
+        assert!(p50 < p50_tol, "{name}: median deviation {p50} vs token exceeds {p50_tol}");
+    }
+    // Staged and a full-plan focused round use the same discipline; they
+    // must agree with each other even more tightly. (The extreme tail is
+    // sampling noise — the two schedules consume different jitter/spike
+    // draws — so compare at p90, not the max.)
+    let errs = normalized_relative_errors(&focused, &staged);
+    assert!(
+        quantile(&errs, 0.9) < 0.15,
+        "focused vs staged diverged: p90 deviation {}",
+        quantile(&errs, 0.9)
     );
 }
 
