@@ -1,0 +1,122 @@
+//! Extension: stage-streaming sweeps with mid-sweep tournament pruning.
+//!
+//! Three online-advisor arms ride the **identical** drift trajectory and
+//! probe randomness (`ReplayStream` over recorded snapshots):
+//!
+//! * **uniform** — full staged tournament sweeps every epoch, run as an
+//!   opaque batch (the pre-streaming behaviour);
+//! * **pruned** — the same uniform sweeps, but executed stage by stage on
+//!   the streaming driver with the candidate prune rule evaluated
+//!   between stages: pairs whose measured quantiles already prove both
+//!   endpoints outside every node's candidate pool are dropped while the
+//!   sweep is still in flight (deployed/flagged/stale pairs never are);
+//! * **focused+pruned** — trigger-driven focused rounds with pruning on
+//!   top, the saved round trips re-invested into deeper sampling of
+//!   flagged links (`probe_ks` escalation).
+//!
+//! The scenario — an active drift head followed by a quiet tail, all
+//! arms under the same adaptive candidate pool — is the shared
+//! [`cloudia_online::scenario::FocusScenario`], the same one `ext_focus`
+//! and the differential tests assert, so the contract cannot fork.
+//!
+//! In `--smoke` mode the bin **asserts** the PR's acceptance criteria:
+//! the pruned arm saves ≥ 30 % of uniform's probe round trips while its
+//! time-averaged ground-truth deployment cost stays within 2 % of
+//! uniform's. Exits non-zero otherwise.
+
+use cloudia_bench::{header, row, Scale};
+use cloudia_online::{ArmOptions, FocusScenario, ProbePolicy};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    header("ext-sweep", "mid-sweep tournament pruning vs full batch sweeps", scale);
+
+    let mut scenario = FocusScenario::default();
+    if !smoke {
+        scenario.mesh = scale.pick((3, 4), (5, 6));
+        scenario.instances = scale.pick(56, 120);
+        scenario.head_epochs = scale.pick(16, 32);
+        scenario.tail_epochs = scale.pick(16, 32);
+        scenario.solve_seconds = scale.pick(0.5, 2.0);
+    }
+    println!(
+        "# instance: {}x{} mesh on {} instances, {} active + {} quiet epochs x {} h, repair \
+         budget {}s",
+        scenario.mesh.0,
+        scenario.mesh.1,
+        scenario.instances,
+        scenario.head_epochs,
+        scenario.tail_epochs,
+        scenario.epoch_hours,
+        scenario.solve_seconds,
+    );
+
+    let built = scenario.build();
+    let uniform = built.run_arm(ProbePolicy::Uniform);
+    let pruned = built.run_arm_with(ArmOptions {
+        probe_policy: ProbePolicy::Uniform,
+        prune_during_sweep: true,
+        spot_check_probes: 0,
+    });
+    let focused_pruned = built.run_arm_with(ArmOptions {
+        probe_policy: scenario.focused_policy(),
+        prune_during_sweep: true,
+        spot_check_probes: 0,
+    });
+
+    println!("policy\tavg_cost_ms\tprobe_round_trips\tsaved\tdeep\tresolves\tmigrations");
+    for (name, arm) in
+        [("uniform", &uniform), ("pruned", &pruned), ("focused+pruned", &focused_pruned)]
+    {
+        row(&[
+            name.to_string(),
+            format!("{:.4}", arm.avg_cost),
+            format!("{}", arm.probes),
+            format!("{}", arm.saved_round_trips),
+            format!("{}", arm.deep_probe_round_trips),
+            format!("{}", arm.resolves),
+            format!("{}", arm.migrations),
+        ]);
+    }
+    let savings = 1.0 - pruned.probes as f64 / uniform.probes as f64;
+    let cost_ratio = pruned.avg_cost / uniform.avg_cost.max(f64::MIN_POSITIVE);
+    println!(
+        "# pruned sweeps save {:.1}% of uniform's round trips at {:+.2}% cost",
+        savings * 100.0,
+        (cost_ratio - 1.0) * 100.0
+    );
+    println!(
+        "# focused+pruned spends {:.1}% of uniform's budget, {} round trips re-invested deep",
+        100.0 * focused_pruned.probes as f64 / uniform.probes as f64,
+        focused_pruned.deep_probe_round_trips,
+    );
+
+    if smoke {
+        let mut failures = Vec::new();
+        if savings < 0.30 {
+            failures.push(format!(
+                "pruning saved only {:.1}% of uniform's round trips (< 30%)",
+                savings * 100.0
+            ));
+        }
+        if cost_ratio > 1.02 {
+            failures.push(format!(
+                "pruned time-averaged cost {:.4} is {:.2}% above uniform's {:.4} (> 2%)",
+                pruned.avg_cost,
+                (cost_ratio - 1.0) * 100.0,
+                uniform.avg_cost
+            ));
+        }
+        if pruned.saved_round_trips == 0 {
+            failures.push("the pruned arm never reported mid-sweep savings".to_string());
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("# smoke OK: >= 30% round trips saved, cost within 2% of full sweeps");
+    }
+}

@@ -1,0 +1,440 @@
+//! Stage-granular streaming execution of measurement schemes.
+//!
+//! [`crate::Scheme::run_onto`] historically ran a whole measurement as an
+//! opaque batch: the caller got statistics back only after every sweep
+//! finished. The [`SweepDriver`] splits the same measurement into a
+//! **resumable iterator of stages**: each [`SweepDriver::step`] executes
+//! one scheme-defined unit of work (a disjoint-pair stage for the
+//! staged/focused tournaments, one token circulation, one batch of
+//! uncoordinated replies) against a persistent event engine, and the
+//! partial [`PairwiseStats`] are inspectable between steps. Driving a
+//! fresh driver to completion is *bit-identical* to the old batch path —
+//! `run_onto` is now exactly that thin wrapper — so callers that do not
+//! care about streaming see no change.
+//!
+//! Streaming exists for one reason: **mid-sweep pruning**. A caller that
+//! can already tell from the partial quantiles that a pair will never
+//! matter (its endpoints sit outside every node's candidate pool) can
+//! drop that pair's remaining probes while the sweep is still in flight
+//! via [`SweepDriver::retain_pairs`]. The [`PruneRule`] trait packages
+//! that decision, and [`run_pruned`] is the standard loop: evaluate the
+//! rule between stages, drop what it condemns, keep stepping. Rules must
+//! never condemn incumbent/pinned/deployed pairs — the concrete rule in
+//! `cloudia-solver` (`CandidatePruneRule`) enforces this with an explicit
+//! protected set.
+
+use std::collections::HashSet;
+
+use cloudia_netsim::Network;
+
+use crate::scheme::{MeasureConfig, MeasurementReport, Scheme, SnapshotTracker};
+use crate::stats::PairwiseStats;
+
+/// Canonical unordered-pair key `(low, high)` — the normalization every
+/// driver and prune loop agrees on.
+pub(crate) fn norm_pair(a: u32, b: u32) -> (u32, u32) {
+    (a.min(b), a.max(b))
+}
+
+/// A resumable, stage-granular execution of one measurement run.
+///
+/// Obtained from [`Scheme::driver`]. The driver owns the event engine and
+/// the accumulating statistics; [`SweepDriver::step`] executes the next
+/// stage and the accessors expose the partial state between stages.
+/// Stepping a driver to exhaustion and then calling
+/// [`SweepDriver::finish`] produces the same [`MeasurementReport`] as
+/// [`Scheme::run_onto`] — interrupting, inspecting, and resuming never
+/// changes the measurement.
+pub trait SweepDriver {
+    /// Short identifier of the scheme being driven.
+    fn scheme_name(&self) -> &'static str;
+
+    /// Executes the next stage. Returns `false` once the schedule is
+    /// exhausted or the configured duration limit has been reached (the
+    /// driver is then permanently done; further calls keep returning
+    /// `false`).
+    fn step(&mut self) -> bool;
+
+    /// The statistics accumulated so far (partial while stages remain).
+    fn stats(&self) -> &PairwiseStats;
+
+    /// Round trips completed so far by this driver.
+    fn round_trips(&self) -> u64;
+
+    /// Simulated milliseconds elapsed so far.
+    fn elapsed_ms(&self) -> f64;
+
+    /// The distinct unordered pairs still scheduled for future stages
+    /// (pairs already dropped by [`SweepDriver::retain_pairs`] excluded).
+    fn remaining_pairs(&self) -> Vec<(u32, u32)>;
+
+    /// Estimated round trips the remaining schedule will spend, ignoring
+    /// any duration limit (an upper bound for schemes with randomized
+    /// destinations).
+    fn planned_remaining(&self) -> u64;
+
+    /// Drops the future probes of every remaining pair for which `keep`
+    /// returns `false`. Stages already executed are unaffected; a stage
+    /// emptied entirely is skipped without paying its coordination
+    /// round. Returns the estimated round trips saved
+    /// (`planned_remaining` before − after).
+    fn retain_pairs(&mut self, keep: &mut dyn FnMut(u32, u32) -> bool) -> u64;
+
+    /// Consumes the driver into the final report. Valid at any point —
+    /// an interrupted run reports whatever it measured.
+    fn finish(self: Box<Self>) -> MeasurementReport;
+}
+
+/// A mid-sweep pruning policy, evaluated between stages by [`run_pruned`].
+///
+/// Implementations decide from the *partial* statistics which scheduled
+/// pairs have already been proven irrelevant. A rule must never condemn a
+/// pair the caller still depends on (incumbent, pinned, or deployed
+/// links, links under active suspicion, links owed a staleness refresh) —
+/// the driver applies the verdict verbatim.
+pub trait PruneRule {
+    /// Given the statistics measured so far and the unordered pairs still
+    /// scheduled, returns the subset whose remaining probes may be
+    /// dropped. An empty vector leaves the schedule untouched.
+    fn prune(&self, stats: &PairwiseStats, remaining: &[(u32, u32)]) -> Vec<(u32, u32)>;
+}
+
+/// What [`run_pruned`] produced: the ordinary report plus the pruning
+/// ledger.
+#[derive(Debug, Clone)]
+pub struct PrunedReport {
+    /// The measurement report (identical in shape to a batch run's).
+    pub report: MeasurementReport,
+    /// Distinct unordered pairs dropped mid-sweep.
+    pub dropped_pairs: usize,
+    /// Estimated round trips the pruning saved (sum of
+    /// [`SweepDriver::retain_pairs`] returns).
+    pub saved_round_trips: u64,
+}
+
+/// Drives `scheme` to completion over `net`, evaluating `rule` between
+/// stages and dropping whatever it condemns. With a rule that never
+/// condemns anything this is bit-identical to [`Scheme::run_onto`].
+pub fn run_pruned<S: Scheme + ?Sized>(
+    scheme: &S,
+    net: &Network,
+    cfg: &MeasureConfig,
+    stats: PairwiseStats,
+    rule: &dyn PruneRule,
+) -> PrunedReport {
+    let mut driver = scheme.driver(net, cfg, stats);
+    let mut dropped: HashSet<(u32, u32)> = HashSet::new();
+    let mut saved_round_trips = 0u64;
+    loop {
+        // Between stages (and before the first one, when accumulated
+        // history is available), let the rule inspect the partial
+        // statistics.
+        if driver.stats().total_samples() > 0 {
+            let remaining = driver.remaining_pairs();
+            if !remaining.is_empty() {
+                let condemned = rule.prune(driver.stats(), &remaining);
+                if !condemned.is_empty() {
+                    let drop: HashSet<(u32, u32)> =
+                        condemned.into_iter().map(|(a, b)| norm_pair(a, b)).collect();
+                    saved_round_trips +=
+                        driver.retain_pairs(&mut |a, b| !drop.contains(&norm_pair(a, b)));
+                    dropped.extend(
+                        remaining
+                            .iter()
+                            .map(|&(a, b)| norm_pair(a, b))
+                            .filter(|key| drop.contains(key)),
+                    );
+                }
+            }
+        }
+        if !driver.step() {
+            break;
+        }
+    }
+    PrunedReport { report: driver.finish(), dropped_pairs: dropped.len(), saved_round_trips }
+}
+
+/// The shared driver of the stage-scheduled schemes ([`crate::Staged`]
+/// and [`crate::FocusedScheme`]): a fixed per-sweep schedule of
+/// endpoint-disjoint stages, executed with the common stage protocol
+/// (every pair keeps one probe outstanding until its per-pair round-trip
+/// quota is met), directions alternating across sweeps, one coordinator
+/// round between stages. This is the single home of the sweep loop the
+/// two schemes used to duplicate.
+pub(crate) struct StageDriver<'n> {
+    name: &'static str,
+    engine: cloudia_netsim::Engine<'n>,
+    cfg: MeasureConfig,
+    stats: PairwiseStats,
+    tracker: SnapshotTracker,
+    /// One sweep's schedule: unordered pairs with per-pair round trips.
+    stages: Vec<Vec<(u32, u32, usize)>>,
+    sweeps: usize,
+    coord_overhead_ms: f64,
+    sweep: usize,
+    stage: usize,
+    round_trips: u64,
+    done: bool,
+}
+
+impl<'n> StageDriver<'n> {
+    pub(crate) fn new(
+        name: &'static str,
+        net: &'n Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+        stages: Vec<Vec<(u32, u32, usize)>>,
+        sweeps: usize,
+        coord_overhead_ms: f64,
+    ) -> Self {
+        let n = net.len();
+        assert!(n >= 2, "need at least two instances to measure");
+        assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
+        Self {
+            name,
+            engine: net.engine(cfg.nic, cfg.seed),
+            cfg: cfg.clone(),
+            stats,
+            tracker: SnapshotTracker::new(cfg),
+            stages,
+            sweeps,
+            coord_overhead_ms,
+            sweep: 0,
+            stage: 0,
+            round_trips: 0,
+            done: false,
+        }
+    }
+
+    fn advance_position(&mut self) {
+        self.stage += 1;
+        if self.stage >= self.stages.len() {
+            self.stage = 0;
+            self.sweep += 1;
+        }
+    }
+
+    /// Iterates the remaining `(sweep, stage)` positions' pair lists.
+    fn remaining_stages(&self) -> impl Iterator<Item = &[(u32, u32, usize)]> {
+        let end = if self.done { self.sweep } else { self.sweeps };
+        (self.sweep..end)
+            .flat_map(move |s| {
+                let start = if s == self.sweep { self.stage } else { 0 };
+                self.stages[start..].iter()
+            })
+            .map(Vec::as_slice)
+    }
+}
+
+impl SweepDriver for StageDriver<'_> {
+    fn scheme_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn step(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        // Stages emptied by pruning are skipped entirely: no probes, no
+        // coordination round.
+        while self.sweep < self.sweeps && self.stages.get(self.stage).is_some_and(Vec::is_empty) {
+            self.advance_position();
+        }
+        if self.stages.is_empty() || self.sweep >= self.sweeps {
+            self.done = true;
+            return false;
+        }
+        if let Some(limit) = self.cfg.max_duration_ms {
+            if self.engine.now() >= limit {
+                self.done = true;
+                return false;
+            }
+        }
+        // Directions alternate across sweeps so both directions of every
+        // link get measured.
+        let pairs = &self.stages[self.stage];
+        let directed: Vec<(usize, usize)> = pairs
+            .iter()
+            .map(|&(a, b, _)| {
+                if self.sweep.is_multiple_of(2) {
+                    (a as usize, b as usize)
+                } else {
+                    (b as usize, a as usize)
+                }
+            })
+            .collect();
+        let ks: Vec<usize> = pairs.iter().map(|&(_, _, k)| k).collect();
+        self.round_trips += crate::scheme::run_stage(
+            &mut self.engine,
+            &directed,
+            &ks,
+            &self.cfg,
+            &mut self.stats,
+            &mut self.tracker,
+        );
+        // Coordinator round before the next stage.
+        self.engine.advance_to(self.engine.now() + self.coord_overhead_ms);
+        self.advance_position();
+        true
+    }
+
+    fn stats(&self) -> &PairwiseStats {
+        &self.stats
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    fn elapsed_ms(&self) -> f64 {
+        self.engine.now()
+    }
+
+    fn remaining_pairs(&self) -> Vec<(u32, u32)> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for stage in self.remaining_stages() {
+            for &(a, b, _) in stage {
+                if seen.insert((a, b)) {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    fn planned_remaining(&self) -> u64 {
+        self.remaining_stages().flat_map(|stage| stage.iter()).map(|&(_, _, k)| k as u64).sum()
+    }
+
+    fn retain_pairs(&mut self, keep: &mut dyn FnMut(u32, u32) -> bool) -> u64 {
+        let before = self.planned_remaining();
+        for stage in &mut self.stages {
+            stage.retain(|&(a, b, _)| keep(a, b));
+        }
+        before - self.planned_remaining()
+    }
+
+    fn finish(self: Box<Self>) -> MeasurementReport {
+        MeasurementReport {
+            scheme: self.name,
+            elapsed_ms: self.engine.now(),
+            round_trips: self.round_trips,
+            snapshots: self.tracker.snapshots,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FocusedScheme, ProbePlan, Staged};
+    use cloudia_netsim::{Cloud, Provider};
+
+    fn network(n: usize, seed: u64) -> Network {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+        let alloc = cloud.allocate(n);
+        cloud.network(&alloc)
+    }
+
+    struct DropAll;
+    impl PruneRule for DropAll {
+        fn prune(&self, _: &PairwiseStats, remaining: &[(u32, u32)]) -> Vec<(u32, u32)> {
+            remaining.to_vec()
+        }
+    }
+
+    struct KeepAll;
+    impl PruneRule for KeepAll {
+        fn prune(&self, _: &PairwiseStats, _: &[(u32, u32)]) -> Vec<(u32, u32)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn stepped_driver_equals_batch_run() {
+        let net = network(8, 1);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(3, 2);
+        let batch = scheme.run(&net, &cfg);
+        let mut driver = scheme.driver(&net, &cfg, PairwiseStats::new(8));
+        let mut steps = 0;
+        while driver.step() {
+            steps += 1;
+            assert!(driver.round_trips() > 0);
+        }
+        assert_eq!(steps, 7 * 2, "one step per stage per sweep");
+        let report = driver.finish();
+        assert_eq!(report.round_trips, batch.round_trips);
+        assert_eq!(report.elapsed_ms, batch.elapsed_ms);
+        assert_eq!(report.stats.mean_vector(), batch.stats.mean_vector());
+    }
+
+    #[test]
+    fn keep_all_rule_is_bit_identical_to_run_onto() {
+        let net = network(7, 2);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(2, 2);
+        let batch = scheme.run(&net, &cfg);
+        let pruned = run_pruned(&scheme, &net, &cfg, PairwiseStats::new(7), &KeepAll);
+        assert_eq!(pruned.dropped_pairs, 0);
+        assert_eq!(pruned.saved_round_trips, 0);
+        assert_eq!(pruned.report.round_trips, batch.round_trips);
+        assert_eq!(pruned.report.elapsed_ms, batch.elapsed_ms);
+        assert_eq!(pruned.report.stats.mean_vector(), batch.stats.mean_vector());
+    }
+
+    #[test]
+    fn drop_all_rule_stops_after_the_first_prunable_moment() {
+        // The rule only sees stats once samples exist, so stage one runs;
+        // everything after it is dropped.
+        let net = network(6, 3);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(2, 2);
+        let full = scheme.run(&net, &cfg);
+        let pruned = run_pruned(&scheme, &net, &cfg, PairwiseStats::new(6), &DropAll);
+        assert!(pruned.report.round_trips < full.round_trips);
+        assert!(pruned.saved_round_trips > 0);
+        assert!(pruned.dropped_pairs > 0);
+        // Only the first stage's pairs were measured: 3 disjoint pairs,
+        // one direction, ks = 2.
+        assert_eq!(pruned.report.round_trips, 3 * 2);
+    }
+
+    #[test]
+    fn retain_pairs_reports_savings_and_remaining_shrinks() {
+        let net = network(6, 4);
+        let cfg = MeasureConfig::default();
+        let mut plan = ProbePlan::new(6);
+        plan.add_clique(&[0, 1, 2, 3]);
+        let scheme = FocusedScheme::new(plan, 2, 2);
+        let mut driver = scheme.driver(&net, &cfg, PairwiseStats::new(6));
+        let before = driver.planned_remaining();
+        assert_eq!(before, 6 * 2 * 2);
+        let saved = driver.retain_pairs(&mut |a, b| !(a == 0 && b == 1));
+        assert_eq!(saved, 2 * 2, "pair (0,1): ks 2 over 2 sweeps");
+        assert_eq!(driver.planned_remaining(), before - saved);
+        assert!(!driver.remaining_pairs().contains(&(0, 1)));
+        while driver.step() {}
+        let report = driver.finish();
+        assert_eq!(report.stats.link(0, 1).count() + report.stats.link(1, 0).count(), 0);
+        assert!(report.stats.link(0, 2).count() > 0);
+    }
+
+    #[test]
+    fn finish_mid_run_reports_partial_measurements() {
+        let net = network(8, 5);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(2, 2);
+        let mut driver = scheme.driver(&net, &cfg, PairwiseStats::new(8));
+        assert!(driver.step());
+        assert!(driver.step());
+        let partial = driver.round_trips();
+        let report = driver.finish();
+        assert_eq!(report.round_trips, partial);
+        assert!(report.stats.total_samples() > 0);
+        let full = scheme.run(&net, &cfg);
+        assert!(report.round_trips < full.round_trips);
+    }
+}

@@ -18,11 +18,12 @@
 
 use cloudia_netsim::Network;
 
-use crate::scheme::{run_stage, MeasureConfig, MeasurementReport, Scheme, SnapshotTracker};
+use crate::driver::{StageDriver, SweepDriver};
+use crate::scheme::{MeasureConfig, Scheme};
 use crate::staged::Staged;
 use crate::stats::PairwiseStats;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A set of unordered instance pairs to probe in one measurement round.
 ///
@@ -174,6 +175,11 @@ pub struct FocusedScheme {
     /// Coordination overhead added between stages (ms), matching
     /// [`crate::Staged`]'s coordinator notify/ack round.
     pub coord_overhead_ms: f64,
+    /// Per-pair Ks overrides (unordered, normalized `(low, high)` keys):
+    /// pairs the caller wants sampled deeper than the base `ks` — e.g.
+    /// detector-flagged links funded by round trips saved through
+    /// mid-sweep pruning. Set via [`FocusedScheme::deepen`].
+    deep: BTreeMap<(u32, u32), usize>,
 }
 
 impl FocusedScheme {
@@ -181,13 +187,42 @@ impl FocusedScheme {
     /// sweep count.
     pub fn new(plan: ProbePlan, ks: usize, sweeps: usize) -> Self {
         assert!(ks > 0 && sweeps > 0, "ks and sweeps must be positive");
-        Self { plan, ks, sweeps, coord_overhead_ms: 0.3 }
+        Self { plan, ks, sweeps, coord_overhead_ms: 0.3, deep: BTreeMap::new() }
+    }
+
+    /// Raises the per-pair round-trip quota of the given planned pairs to
+    /// `ks` (never lowers an existing override; pairs outside the plan
+    /// are ignored). The deepened pairs spend `ks − base_ks` extra round
+    /// trips per sweep — the `probe_ks` escalation that re-invests
+    /// round trips saved by mid-sweep pruning into the links under
+    /// suspicion.
+    pub fn deepen(&mut self, pairs: &[(u32, u32)], ks: usize) {
+        assert!(ks > 0, "deepened ks must be positive");
+        for &(a, b) in pairs {
+            if a != b && self.plan.contains(a, b) {
+                let key = (a.min(b), a.max(b));
+                let slot = self.deep.entry(key).or_insert(self.ks);
+                *slot = (*slot).max(ks);
+            }
+        }
+    }
+
+    /// The round-trip quota of one planned pair per stage: the base `ks`,
+    /// or its deepened override.
+    pub fn pair_ks(&self, a: u32, b: u32) -> usize {
+        self.deep.get(&(a.min(b), a.max(b))).copied().unwrap_or(self.ks)
     }
 
     /// Round trips one run of this scheme collects (barring a duration
-    /// limit): `sweeps × ks × pairs`.
+    /// limit): `sweeps × Σ pair_ks`.
     pub fn planned_round_trips(&self) -> u64 {
-        (self.sweeps * self.ks * self.plan.len()) as u64
+        self.sweeps as u64 * self.plan.pairs().map(|(a, b)| self.pair_ks(a, b) as u64).sum::<u64>()
+    }
+
+    /// Round trips the deepened overrides add beyond a uniform-`ks` run:
+    /// `sweeps × Σ (pair_ks − ks)` over the deepened pairs.
+    pub fn deep_extra_round_trips(&self) -> u64 {
+        self.sweeps as u64 * self.deep.values().map(|&k| (k - self.ks.min(k)) as u64).sum::<u64>()
     }
 }
 
@@ -196,59 +231,37 @@ impl Scheme for FocusedScheme {
         "focused"
     }
 
-    fn run_onto(
+    fn driver<'n>(
         &self,
-        net: &Network,
+        net: &'n Network,
         cfg: &MeasureConfig,
-        mut stats: PairwiseStats,
-    ) -> MeasurementReport {
+        stats: PairwiseStats,
+    ) -> Box<dyn SweepDriver + 'n> {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
-        assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
         assert_eq!(
             self.plan.num_instances(),
             n,
             "plan sized for {} instances, network has {n}",
             self.plan.num_instances()
         );
-        let mut engine = net.engine(cfg.nic, cfg.seed);
-        let mut tracker = SnapshotTracker::new(cfg);
-        let mut round_trips = 0u64;
-        let stages = self.plan.stages();
-
-        'outer: for sweep in 0..self.sweeps {
-            for pairs in &stages {
-                if let Some(limit) = cfg.max_duration_ms {
-                    if engine.now() >= limit {
-                        break 'outer;
-                    }
-                }
-                // Same stage protocol as `Staged::run_onto` (shared
-                // `run_stage`); directions alternate across sweeps.
-                let directed: Vec<(usize, usize)> = pairs
-                    .iter()
-                    .map(|&(a, b)| {
-                        if sweep % 2 == 0 {
-                            (a as usize, b as usize)
-                        } else {
-                            (b as usize, a as usize)
-                        }
-                    })
-                    .collect();
-                round_trips +=
-                    run_stage(&mut engine, &directed, self.ks, cfg, &mut stats, &mut tracker);
-
-                engine.advance_to(engine.now() + self.coord_overhead_ms);
-            }
-        }
-
-        MeasurementReport {
-            scheme: "focused",
-            elapsed_ms: engine.now(),
-            round_trips,
-            snapshots: tracker.snapshots,
+        // Same stage protocol as `Staged` (one shared driver); only the
+        // pair schedule and per-pair sampling depth differ.
+        let stages = self
+            .plan
+            .stages()
+            .into_iter()
+            .map(|stage| stage.into_iter().map(|(a, b)| (a, b, self.pair_ks(a, b))).collect())
+            .collect();
+        Box::new(StageDriver::new(
+            "focused",
+            net,
+            cfg,
             stats,
-        }
+            stages,
+            self.sweeps,
+            self.coord_overhead_ms,
+        ))
     }
 }
 
@@ -435,5 +448,39 @@ mod tests {
         let scheme = FocusedScheme::new(ProbePlan::full(8), 5, 1000);
         let report = scheme.run(&net, &cfg);
         assert!(report.round_trips < scheme.planned_round_trips());
+    }
+
+    #[test]
+    fn deepened_pairs_get_extra_samples() {
+        let net = network(8, 7);
+        let mut plan = ProbePlan::new(8);
+        plan.add_clique(&[0, 1, 2, 3]);
+        let mut scheme = FocusedScheme::new(plan, 2, 2);
+        let base_planned = scheme.planned_round_trips();
+        scheme.deepen(&[(0, 1), (2, 3)], 5);
+        assert_eq!(scheme.pair_ks(1, 0), 5, "deepening is direction-agnostic");
+        assert_eq!(scheme.pair_ks(0, 2), 2);
+        assert_eq!(scheme.deep_extra_round_trips(), 2 * 2 * 3);
+        assert_eq!(scheme.planned_round_trips(), base_planned + scheme.deep_extra_round_trips());
+        let report = scheme.run(&net, &MeasureConfig::default());
+        assert_eq!(report.round_trips, scheme.planned_round_trips());
+        // Two sweeps: each direction of a deepened pair sampled once at
+        // the deepened quota.
+        assert_eq!(report.stats.link(0, 1).count(), 5);
+        assert_eq!(report.stats.link(1, 0).count(), 5);
+        assert_eq!(report.stats.link(0, 2).count(), 2);
+    }
+
+    #[test]
+    fn deepen_ignores_unplanned_pairs_and_never_lowers() {
+        let mut plan = ProbePlan::new(6);
+        plan.add_pair(0, 1);
+        let mut scheme = FocusedScheme::new(plan, 3, 2);
+        scheme.deepen(&[(0, 1)], 6);
+        scheme.deepen(&[(0, 1)], 4); // lower request: no effect
+        scheme.deepen(&[(2, 3)], 9); // not planned: ignored
+        assert_eq!(scheme.pair_ks(0, 1), 6);
+        assert_eq!(scheme.pair_ks(2, 3), 3, "unplanned pair keeps the base ks");
+        assert_eq!(scheme.deep_extra_round_trips(), 2 * 3);
     }
 }

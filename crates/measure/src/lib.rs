@@ -18,6 +18,15 @@
 //!   discipline: O(K² + flagged) probe pairs instead of O(m²), for callers
 //!   — like the online advisor — that already know where to look.
 //!
+//! Every scheme executes through the **stage-streaming driver layer**
+//! ([`driver`]): [`Scheme::driver`] returns a resumable [`SweepDriver`]
+//! whose stages can be stepped one at a time with the partial statistics
+//! inspectable in between, and [`Scheme::run_onto`] is a thin
+//! drive-to-completion wrapper over it. A [`PruneRule`] evaluated between
+//! stages ([`run_pruned`]) can drop pairs mid-sweep once their measured
+//! quantiles prove them irrelevant — the tournament shrinks while it is
+//! still in flight.
+//!
 //! Per-link summaries (mean via Welford, p99 via the P² algorithm) feed the
 //! three cost metrics of §3.2. [`approx`] holds the Appendix-2 IP-distance
 //! and hop-count proxies (negative results), and [`error`] the vector
@@ -38,6 +47,7 @@
 #![deny(unsafe_code)]
 
 pub mod approx;
+pub mod driver;
 pub mod error;
 pub mod focused;
 pub mod scheme;
@@ -46,6 +56,7 @@ pub mod stats;
 pub mod token;
 pub mod uncoordinated;
 
+pub use driver::{run_pruned, PruneRule, PrunedReport, SweepDriver};
 pub use focused::{FocusedScheme, ProbePlan};
 pub use scheme::{MeasureConfig, MeasurementReport, Scheme, Snapshot};
 pub use staged::Staged;

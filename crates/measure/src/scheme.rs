@@ -10,6 +10,7 @@
 
 use cloudia_netsim::{Network, NicParams};
 
+use crate::driver::SweepDriver;
 use crate::stats::PairwiseStats;
 
 /// Message kinds used by all schemes.
@@ -83,6 +84,21 @@ pub trait Scheme {
     /// Short identifier ("token", "uncoordinated", "staged").
     fn name(&self) -> &'static str;
 
+    /// Builds a resumable stage-granular driver of this scheme over
+    /// `net`, recording into the given (possibly pre-accumulated)
+    /// statistics — the streaming entry point (see
+    /// [`crate::driver::SweepDriver`]). Driving a fresh driver to
+    /// exhaustion is bit-identical to [`Scheme::run_onto`].
+    ///
+    /// # Panics
+    /// Panics if `stats` was sized for a different instance count.
+    fn driver<'n>(
+        &self,
+        net: &'n Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+    ) -> Box<dyn SweepDriver + 'n>;
+
     /// Runs the scheme over `net` from empty statistics and returns the
     /// collected estimates.
     fn run(&self, net: &Network, cfg: &MeasureConfig) -> MeasurementReport {
@@ -96,6 +112,8 @@ pub trait Scheme {
     /// report's `round_trips`/`elapsed_ms` cover this run only; its `stats`
     /// carry the full accumulated history.
     ///
+    /// This is a thin drive-to-completion wrapper over [`Scheme::driver`].
+    ///
     /// # Panics
     /// Panics if `stats` was sized for a different instance count.
     fn run_onto(
@@ -103,25 +121,32 @@ pub trait Scheme {
         net: &Network,
         cfg: &MeasureConfig,
         stats: PairwiseStats,
-    ) -> MeasurementReport;
+    ) -> MeasurementReport {
+        let mut driver = self.driver(net, cfg, stats);
+        while driver.step() {}
+        driver.finish()
+    }
 }
 
 /// Executes one stage of endpoint-disjoint directed probe pairs: every
 /// pair gets one outstanding probe, a reply triggers the pair's next
-/// probe until `ks` round trips are done, and each round trip is recorded
-/// into `stats`. Shared by the staged and focused schemes — the stage
-/// protocol is identical, only the pair schedule differs. Returns the
-/// round trips completed.
+/// probe until its per-pair quota `ks[pid]` of round trips is done, and
+/// each round trip is recorded into `stats`. Shared by the staged and
+/// focused schemes — the stage protocol is identical, only the pair
+/// schedule (and per-pair sampling depth) differs. Returns the round
+/// trips completed.
 pub(crate) fn run_stage(
     engine: &mut cloudia_netsim::Engine<'_>,
     directed: &[(usize, usize)],
-    ks: usize,
+    ks: &[usize],
     cfg: &MeasureConfig,
     stats: &mut PairwiseStats,
     tracker: &mut SnapshotTracker,
 ) -> u64 {
     use cloudia_netsim::{InstanceId, MessageSpec};
-    let mut remaining = vec![ks; directed.len()];
+    debug_assert_eq!(directed.len(), ks.len());
+    debug_assert!(ks.iter().all(|&k| k > 0), "every scheduled pair needs a positive quota");
+    let mut remaining = ks.to_vec();
     let mut sent_at = vec![0.0f64; directed.len()];
     let mut round_trips = 0u64;
 

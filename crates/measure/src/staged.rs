@@ -14,7 +14,8 @@
 
 use cloudia_netsim::Network;
 
-use crate::scheme::{run_stage, MeasureConfig, MeasurementReport, Scheme, SnapshotTracker};
+use crate::driver::{StageDriver, SweepDriver};
+use crate::scheme::{MeasureConfig, Scheme};
 use crate::stats::PairwiseStats;
 
 /// The staged scheme.
@@ -75,49 +76,34 @@ impl Scheme for Staged {
         "staged"
     }
 
-    fn run_onto(
+    fn driver<'n>(
         &self,
-        net: &Network,
+        net: &'n Network,
         cfg: &MeasureConfig,
-        mut stats: PairwiseStats,
-    ) -> MeasurementReport {
+        stats: PairwiseStats,
+    ) -> Box<dyn SweepDriver + 'n> {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
-        assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
-        let mut engine = net.engine(cfg.nic, cfg.seed);
-        let mut tracker = SnapshotTracker::new(cfg);
-        let mut round_trips = 0u64;
-
+        // The round-robin tournament: one stage per circle-method round,
+        // every pair sampled `ks` times per stage.
         let rounds = (n + (n % 2)) - 1;
-        'outer: for sweep in 0..self.sweeps {
-            for r in 0..rounds {
-                if let Some(limit) = cfg.max_duration_ms {
-                    if engine.now() >= limit {
-                        break 'outer;
-                    }
-                }
-                let pairs = Self::circle_pairs(n, r);
-                // Directions alternate across sweeps so both directions of
-                // every link get measured.
-                let directed: Vec<(usize, usize)> = pairs
-                    .iter()
-                    .map(|&(a, b)| if sweep % 2 == 0 { (a, b) } else { (b, a) })
-                    .collect();
-                round_trips +=
-                    run_stage(&mut engine, &directed, self.ks, cfg, &mut stats, &mut tracker);
-
-                // Coordinator round before the next stage.
-                engine.advance_to(engine.now() + self.coord_overhead_ms);
-            }
-        }
-
-        MeasurementReport {
-            scheme: "staged",
-            elapsed_ms: engine.now(),
-            round_trips,
-            snapshots: tracker.snapshots,
+        let stages = (0..rounds)
+            .map(|r| {
+                Self::circle_pairs(n, r)
+                    .into_iter()
+                    .map(|(a, b)| (a as u32, b as u32, self.ks))
+                    .collect()
+            })
+            .collect();
+        Box::new(StageDriver::new(
+            "staged",
+            net,
+            cfg,
             stats,
-        }
+            stages,
+            self.sweeps,
+            self.coord_overhead_ms,
+        ))
     }
 }
 

@@ -8,8 +8,11 @@
 //! time is proportional to the number of samples collected, which does not
 //! scale.
 
+use std::collections::{HashMap, HashSet};
+
 use cloudia_netsim::{InstanceId, MessageSpec, Network};
 
+use crate::driver::{norm_pair, SweepDriver};
 use crate::scheme::{
     MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY, KIND_TOKEN,
 };
@@ -36,77 +39,216 @@ impl Scheme for TokenPassing {
         "token"
     }
 
-    fn run_onto(
+    fn driver<'n>(
         &self,
-        net: &Network,
+        net: &'n Network,
         cfg: &MeasureConfig,
-        mut stats: PairwiseStats,
-    ) -> MeasurementReport {
+        stats: PairwiseStats,
+    ) -> Box<dyn SweepDriver + 'n> {
+        Box::new(TokenDriver::new(net, cfg, stats, self.samples_per_pair))
+    }
+}
+
+/// Streaming driver of the token-passing scheme: one
+/// [`SweepDriver::step`] circulates the token once around the ring
+/// (`n` visits), so a caller can inspect or prune between circulations.
+/// Pruned visits skip the whole visit — probe, reply, *and* token
+/// handoff — modelling the coordinator striking the pair off the
+/// schedule it hands the token around with.
+struct TokenDriver<'n> {
+    engine: cloudia_netsim::Engine<'n>,
+    cfg: MeasureConfig,
+    stats: PairwiseStats,
+    tracker: SnapshotTracker,
+    n: usize,
+    /// Destination rotation per holder: the c-th visit of holder i
+    /// probes the c-th other instance (cyclically).
+    cursor: Vec<usize>,
+    visit: usize,
+    total_visits: usize,
+    /// Remaining visit count per unordered pair, decremented as the
+    /// schedule executes (pruned or not — skipped visits still consume
+    /// their cursor slot), so scheduling queries cost O(pairs) instead
+    /// of re-simulating the whole rotation.
+    visits_left: HashMap<(u32, u32), u64>,
+    pruned: HashSet<(u32, u32)>,
+    round_trips: u64,
+    done: bool,
+}
+
+impl<'n> TokenDriver<'n> {
+    fn new(
+        net: &'n Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+        samples_per_pair: usize,
+    ) -> Self {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
         assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
-        let mut engine = net.engine(cfg.nic, cfg.seed);
-        let mut tracker = SnapshotTracker::new(cfg);
-        let mut round_trips = 0u64;
+        let total_visits = n * (n - 1) * samples_per_pair;
+        // Tally the schedule once: every ordered pair is visited
+        // `samples_per_pair` times, so each unordered pair gets twice
+        // that many visits.
+        let mut visits_left = HashMap::with_capacity(n * (n - 1) / 2);
+        for a in 0..n as u32 {
+            for b in a + 1..n as u32 {
+                visits_left.insert((a, b), 2 * samples_per_pair as u64);
+            }
+        }
+        Self {
+            engine: net.engine(cfg.nic, cfg.seed),
+            cfg: cfg.clone(),
+            stats,
+            tracker: SnapshotTracker::new(cfg),
+            n,
+            cursor: vec![0usize; n],
+            visit: 0,
+            total_visits,
+            visits_left,
+            pruned: HashSet::new(),
+            round_trips: 0,
+            done: false,
+        }
+    }
+}
 
-        // Destination rotation per holder: the c-th visit of holder i
-        // probes the c-th other instance (cyclically).
-        let mut cursor = vec![0usize; n];
+impl SweepDriver for TokenDriver<'_> {
+    fn scheme_name(&self) -> &'static str {
+        "token"
+    }
 
-        let total_visits = n * (n - 1) * self.samples_per_pair;
-        'outer: for visit in 0..total_visits {
-            let holder = visit % n;
-            let c = cursor[holder];
-            cursor[holder] += 1;
+    fn step(&mut self) -> bool {
+        if self.done || self.visit >= self.total_visits {
+            self.done = true;
+            return false;
+        }
+        // One full token circulation per step.
+        for _ in 0..self.n {
+            if self.visit >= self.total_visits {
+                break;
+            }
+            let visit = self.visit;
+            let holder = visit % self.n;
+            let c = self.cursor[holder];
+            self.cursor[holder] += 1;
             // Skip self by offsetting the cycle.
-            let dst = (holder + 1 + (c % (n - 1))) % n;
+            let dst = (holder + 1 + (c % (self.n - 1))) % self.n;
 
-            if let Some(limit) = cfg.max_duration_ms {
-                if engine.now() >= limit {
-                    break 'outer;
+            if let Some(limit) = self.cfg.max_duration_ms {
+                if self.engine.now() >= limit {
+                    self.done = true;
+                    return true;
                 }
+            }
+            self.visit += 1;
+            let pair = norm_pair(holder as u32, dst as u32);
+            if let Some(left) = self.visits_left.get_mut(&pair) {
+                *left -= 1;
+            }
+            if self.pruned.contains(&pair) {
+                continue;
             }
 
             // Probe and wait for the reply — strictly serial.
-            let sent = engine.send(MessageSpec {
+            let sent = self.engine.send(MessageSpec {
                 src: InstanceId::from_index(holder),
                 dst: InstanceId::from_index(dst),
-                size_kb: cfg.probe_size_kb,
+                size_kb: self.cfg.probe_size_kb,
                 kind: KIND_PROBE,
                 token: visit as u64,
             });
-            let probe = engine.next_delivery().expect("probe in flight");
+            let probe = self.engine.next_delivery().expect("probe in flight");
             debug_assert_eq!(probe.spec.kind, KIND_PROBE);
-            engine.send(MessageSpec {
+            self.engine.send(MessageSpec {
                 src: probe.spec.dst,
                 dst: probe.spec.src,
-                size_kb: cfg.probe_size_kb,
+                size_kb: self.cfg.probe_size_kb,
                 kind: KIND_REPLY,
                 token: probe.spec.token,
             });
-            let reply = engine.next_delivery().expect("reply in flight");
-            stats.record(holder, dst, reply.delivered_at - sent);
-            round_trips += 1;
-            tracker.maybe_snapshot(engine.now(), &stats);
+            let reply = self.engine.next_delivery().expect("reply in flight");
+            self.stats.record(holder, dst, reply.delivered_at - sent);
+            self.round_trips += 1;
+            self.tracker.maybe_snapshot(self.engine.now(), &self.stats);
 
             // Pass the token to the next holder (a real small message).
-            let next = (holder + 1) % n;
-            engine.send(MessageSpec {
+            let next = (holder + 1) % self.n;
+            self.engine.send(MessageSpec {
                 src: InstanceId::from_index(holder),
                 dst: InstanceId::from_index(next),
                 size_kb: 0.1,
                 kind: KIND_TOKEN,
                 token: visit as u64,
             });
-            engine.next_delivery();
+            self.engine.next_delivery();
         }
+        if self.visit >= self.total_visits {
+            self.done = true;
+        }
+        true
+    }
 
+    fn stats(&self) -> &PairwiseStats {
+        &self.stats
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    fn elapsed_ms(&self) -> f64 {
+        self.engine.now()
+    }
+
+    fn remaining_pairs(&self) -> Vec<(u32, u32)> {
+        if self.done {
+            return Vec::new();
+        }
+        let mut out: Vec<(u32, u32)> = self
+            .visits_left
+            .iter()
+            .filter(|&(pair, &left)| left > 0 && !self.pruned.contains(pair))
+            .map(|(&pair, _)| pair)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn planned_remaining(&self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.visits_left
+            .iter()
+            .filter(|(pair, _)| !self.pruned.contains(pair))
+            .map(|(_, &left)| left)
+            .sum()
+    }
+
+    fn retain_pairs(&mut self, keep: &mut dyn FnMut(u32, u32) -> bool) -> u64 {
+        // Every future visit of a newly condemned pair is a saved round
+        // trip.
+        if self.done {
+            return 0;
+        }
+        let mut saved = 0u64;
+        for (&pair, &left) in &self.visits_left {
+            if left > 0 && !self.pruned.contains(&pair) && !keep(pair.0, pair.1) {
+                self.pruned.insert(pair);
+                saved += left;
+            }
+        }
+        saved
+    }
+
+    fn finish(self: Box<Self>) -> MeasurementReport {
         MeasurementReport {
             scheme: "token",
-            elapsed_ms: engine.now(),
-            round_trips,
-            snapshots: tracker.snapshots,
-            stats,
+            elapsed_ms: self.engine.now(),
+            round_trips: self.round_trips,
+            snapshots: self.tracker.snapshots,
+            stats: self.stats,
         }
     }
 }

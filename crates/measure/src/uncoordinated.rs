@@ -9,10 +9,13 @@
 //! round-trip times of whichever links happened to collide, producing the
 //! long error tail the paper shows in Fig. 4.
 
+use std::collections::HashSet;
+
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use cloudia_netsim::{InstanceId, MessageSpec, Network};
 
+use crate::driver::{norm_pair, SweepDriver};
 use crate::scheme::{
     MeasureConfig, MeasurementReport, Scheme, SnapshotTracker, KIND_PROBE, KIND_REPLY,
 };
@@ -39,96 +42,214 @@ impl Scheme for Uncoordinated {
         "uncoordinated"
     }
 
-    fn run_onto(
+    fn driver<'n>(
         &self,
-        net: &Network,
+        net: &'n Network,
         cfg: &MeasureConfig,
-        mut stats: PairwiseStats,
-    ) -> MeasurementReport {
+        stats: PairwiseStats,
+    ) -> Box<dyn SweepDriver + 'n> {
+        Box::new(UncoordinatedDriver::new(net, cfg, stats, self.probes_per_instance))
+    }
+}
+
+/// Streaming driver of the uncoordinated scheme. The scheme has no
+/// stages of its own — every instance independently keeps one probe in
+/// flight — so one [`SweepDriver::step`] drains the delivery queue until
+/// `n` further round trips have completed (or nothing is left in
+/// flight), giving callers a natural between-batches point to inspect
+/// partial statistics. Pruned pairs are skipped by the destination draw;
+/// an instance whose every destination is pruned stops probing and
+/// forfeits its remaining budget.
+struct UncoordinatedDriver<'n> {
+    engine: cloudia_netsim::Engine<'n>,
+    cfg: MeasureConfig,
+    stats: PairwiseStats,
+    tracker: SnapshotTracker,
+    rng: StdRng,
+    n: usize,
+    probes_per_instance: usize,
+    /// Per-instance probe state: outstanding probe send time and count
+    /// of probes issued. Each instance has at most one outstanding probe.
+    probe_sent_at: Vec<f64>,
+    probe_dst: Vec<usize>,
+    issued: Vec<usize>,
+    pruned: HashSet<(u32, u32)>,
+    round_trips: u64,
+}
+
+fn norm(a: usize, b: usize) -> (u32, u32) {
+    norm_pair(a as u32, b as u32)
+}
+
+impl<'n> UncoordinatedDriver<'n> {
+    fn new(
+        net: &'n Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+        probes_per_instance: usize,
+    ) -> Self {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
         assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
-        let mut engine = net.engine(cfg.nic, cfg.seed);
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
-        let mut tracker = SnapshotTracker::new(cfg);
-        let mut round_trips = 0u64;
-
-        // Per-instance probe state: outstanding probe send time and count
-        // of probes issued. Each instance has at most one outstanding probe.
-        let mut probe_sent_at = vec![0.0f64; n];
-        let mut probe_dst = vec![0usize; n];
-        let mut issued = vec![0usize; n];
-
-        let launch = |src: usize,
-                      engine: &mut cloudia_netsim::Engine<'_>,
-                      rng: &mut StdRng,
-                      probe_sent_at: &mut [f64],
-                      probe_dst: &mut [usize],
-                      issued: &mut [usize]| {
-            let dst = loop {
-                let d = rng.random_range(0..n);
-                if d != src {
-                    break d;
-                }
-            };
-            let sent = engine.send(MessageSpec {
-                src: InstanceId::from_index(src),
-                dst: InstanceId::from_index(dst),
-                size_kb: cfg.probe_size_kb,
-                kind: KIND_PROBE,
-                token: src as u64,
-            });
-            probe_sent_at[src] = sent;
-            probe_dst[src] = dst;
-            issued[src] += 1;
+        let mut driver = Self {
+            engine: net.engine(cfg.nic, cfg.seed),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
+            cfg: cfg.clone(),
+            stats,
+            tracker: SnapshotTracker::new(cfg),
+            n,
+            probes_per_instance,
+            probe_sent_at: vec![0.0f64; n],
+            probe_dst: vec![0usize; n],
+            issued: vec![0usize; n],
+            pruned: HashSet::new(),
+            round_trips: 0,
         };
-
         // Everyone starts probing at t = 0 — the defining property of the
         // scheme (and the source of its interference).
         for src in 0..n {
-            launch(src, &mut engine, &mut rng, &mut probe_sent_at, &mut probe_dst, &mut issued);
+            driver.launch(src);
         }
+        driver
+    }
 
-        while let Some(msg) = engine.next_delivery() {
+    fn launch(&mut self, src: usize) {
+        // With pruning active the destination draw skips pruned pairs
+        // (the empty-set check keeps the draw sequence bit-identical to
+        // the unpruned path); when every destination of `src` is pruned
+        // the remaining budget is forfeited.
+        if !self.pruned.is_empty()
+            && (0..self.n).all(|d| d == src || self.pruned.contains(&norm(src, d)))
+        {
+            return;
+        }
+        let dst = loop {
+            let d = self.rng.random_range(0..self.n);
+            if d != src && !self.pruned.contains(&norm(src, d)) {
+                break d;
+            }
+        };
+        let sent = self.engine.send(MessageSpec {
+            src: InstanceId::from_index(src),
+            dst: InstanceId::from_index(dst),
+            size_kb: self.cfg.probe_size_kb,
+            kind: KIND_PROBE,
+            token: src as u64,
+        });
+        self.probe_sent_at[src] = sent;
+        self.probe_dst[src] = dst;
+        self.issued[src] += 1;
+    }
+}
+
+impl SweepDriver for UncoordinatedDriver<'_> {
+    fn scheme_name(&self) -> &'static str {
+        "uncoordinated"
+    }
+
+    fn step(&mut self) -> bool {
+        let mut recorded = 0usize;
+        let mut any = false;
+        while recorded < self.n {
+            let Some(msg) = self.engine.next_delivery() else {
+                return any;
+            };
+            any = true;
             match msg.spec.kind {
                 KIND_PROBE => {
                     // Reply immediately (queues behind whatever the
                     // destination endpoint is doing).
-                    engine.send(MessageSpec {
+                    self.engine.send(MessageSpec {
                         src: msg.spec.dst,
                         dst: msg.spec.src,
-                        size_kb: cfg.probe_size_kb,
+                        size_kb: self.cfg.probe_size_kb,
                         kind: KIND_REPLY,
                         token: msg.spec.token,
                     });
                 }
                 KIND_REPLY => {
                     let src = msg.spec.token as usize;
-                    stats.record(src, probe_dst[src], msg.delivered_at - probe_sent_at[src]);
-                    round_trips += 1;
-                    tracker.maybe_snapshot(engine.now(), &stats);
-                    let under_limit = cfg.max_duration_ms.is_none_or(|limit| engine.now() < limit);
-                    if issued[src] < self.probes_per_instance && under_limit {
-                        launch(
-                            src,
-                            &mut engine,
-                            &mut rng,
-                            &mut probe_sent_at,
-                            &mut probe_dst,
-                            &mut issued,
-                        );
+                    self.stats.record(
+                        src,
+                        self.probe_dst[src],
+                        msg.delivered_at - self.probe_sent_at[src],
+                    );
+                    self.round_trips += 1;
+                    recorded += 1;
+                    self.tracker.maybe_snapshot(self.engine.now(), &self.stats);
+                    let under_limit =
+                        self.cfg.max_duration_ms.is_none_or(|limit| self.engine.now() < limit);
+                    if self.issued[src] < self.probes_per_instance && under_limit {
+                        self.launch(src);
                     }
                 }
                 other => unreachable!("unexpected message kind {other}"),
             }
         }
+        true
+    }
 
+    fn stats(&self) -> &PairwiseStats {
+        &self.stats
+    }
+
+    fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    fn elapsed_ms(&self) -> f64 {
+        self.engine.now()
+    }
+
+    fn remaining_pairs(&self) -> Vec<(u32, u32)> {
+        // Destinations are drawn at random, so "still scheduled" means
+        // every unpruned pair one of the budget-holding instances could
+        // still draw.
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for src in 0..self.n {
+            if self.issued[src] >= self.probes_per_instance {
+                continue;
+            }
+            for d in 0..self.n {
+                if d == src {
+                    continue;
+                }
+                let pair = norm(src, d);
+                if !self.pruned.contains(&pair) && seen.insert(pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out
+    }
+
+    fn planned_remaining(&self) -> u64 {
+        (0..self.n)
+            .filter(|&src| (0..self.n).any(|d| d != src && !self.pruned.contains(&norm(src, d))))
+            .map(|src| {
+                (self.probes_per_instance - self.issued[src].min(self.probes_per_instance)) as u64
+            })
+            .sum()
+    }
+
+    fn retain_pairs(&mut self, keep: &mut dyn FnMut(u32, u32) -> bool) -> u64 {
+        let before = self.planned_remaining();
+        for (a, b) in self.remaining_pairs() {
+            if !keep(a, b) {
+                self.pruned.insert((a, b));
+            }
+        }
+        before - self.planned_remaining()
+    }
+
+    fn finish(self: Box<Self>) -> MeasurementReport {
         MeasurementReport {
             scheme: "uncoordinated",
-            elapsed_ms: engine.now(),
-            round_trips,
-            snapshots: tracker.snapshots,
-            stats,
+            elapsed_ms: self.engine.now(),
+            round_trips: self.round_trips,
+            snapshots: self.tracker.snapshots,
+            stats: self.stats,
         }
     }
 }

@@ -1,7 +1,14 @@
 //! Property-based tests for the measurement schemes: coverage, positivity,
-//! and exactness on jitter-free networks.
+//! exactness on jitter-free networks, and the stage-streaming driver
+//! contracts — a pruning-disabled [`cloudia_measure::SweepDriver`] is
+//! bit-identical to the pre-refactor batch loops (kept below as the
+//! differential oracle), and a resumed driver equals an uninterrupted
+//! one.
 
-use cloudia_measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
+use cloudia_measure::{
+    FocusedScheme, MeasureConfig, PairwiseStats, ProbePlan, Scheme, Staged, TokenPassing,
+    Uncoordinated,
+};
 use cloudia_netsim::{Cloud, InstanceId, Provider};
 use proptest::prelude::*;
 
@@ -9,6 +16,300 @@ fn quiet_network(n: usize, seed: u64) -> cloudia_netsim::Network {
     let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
     let alloc = cloud.allocate(n);
     cloud.network(&alloc)
+}
+
+fn ec2_network(n: usize, seed: u64) -> cloudia_netsim::Network {
+    let mut cloud = Cloud::boot(Provider::ec2_like(), seed);
+    let alloc = cloud.allocate(n);
+    cloud.network(&alloc)
+}
+
+/// The pre-refactor batch measurement loops, transcribed verbatim from
+/// the sweep code that `SweepDriver` replaced (PR 5) — the oracle the
+/// driver-based `run_onto` is differentially pinned against. Uses only
+/// public engine APIs; message kinds are the schemes' wire constants
+/// (0 = probe, 1 = reply, 2 = token).
+mod reference {
+    use cloudia_measure::{MeasureConfig, PairwiseStats};
+    use cloudia_netsim::{InstanceId, MessageSpec, Network};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// (stats, round_trips, elapsed_ms) of one batch run.
+    pub type BatchResult = (PairwiseStats, u64, f64);
+
+    fn run_stage(
+        engine: &mut cloudia_netsim::Engine<'_>,
+        directed: &[(usize, usize)],
+        ks: usize,
+        cfg: &MeasureConfig,
+        stats: &mut PairwiseStats,
+    ) -> u64 {
+        let mut remaining = vec![ks; directed.len()];
+        let mut sent_at = vec![0.0f64; directed.len()];
+        let mut round_trips = 0u64;
+
+        for (pid, &(src, dst)) in directed.iter().enumerate() {
+            sent_at[pid] = engine.send(MessageSpec {
+                src: InstanceId::from_index(src),
+                dst: InstanceId::from_index(dst),
+                size_kb: cfg.probe_size_kb,
+                kind: 0,
+                token: pid as u64,
+            });
+            remaining[pid] -= 1;
+        }
+
+        while let Some(msg) = engine.next_delivery() {
+            let pid = msg.spec.token as usize;
+            match msg.spec.kind {
+                0 => {
+                    engine.send(MessageSpec {
+                        src: msg.spec.dst,
+                        dst: msg.spec.src,
+                        size_kb: cfg.probe_size_kb,
+                        kind: 1,
+                        token: msg.spec.token,
+                    });
+                }
+                1 => {
+                    let (src, dst) = directed[pid];
+                    stats.record(src, dst, msg.delivered_at - sent_at[pid]);
+                    round_trips += 1;
+                    if remaining[pid] > 0 {
+                        remaining[pid] -= 1;
+                        sent_at[pid] = engine.send(MessageSpec {
+                            src: InstanceId::from_index(src),
+                            dst: InstanceId::from_index(dst),
+                            size_kb: cfg.probe_size_kb,
+                            kind: 0,
+                            token: pid as u64,
+                        });
+                    }
+                }
+                other => unreachable!("unexpected message kind {other}"),
+            }
+        }
+        round_trips
+    }
+
+    /// Executes a per-sweep stage schedule of unordered pairs with the
+    /// staged discipline — the shared shape of the old `Staged` and
+    /// `FocusedScheme` loops.
+    fn run_stage_schedule(
+        net: &Network,
+        cfg: &MeasureConfig,
+        mut stats: PairwiseStats,
+        stages: &[Vec<(u32, u32)>],
+        ks: usize,
+        sweeps: usize,
+        coord_overhead_ms: f64,
+    ) -> BatchResult {
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        let mut round_trips = 0u64;
+        'outer: for sweep in 0..sweeps {
+            for pairs in stages {
+                if let Some(limit) = cfg.max_duration_ms {
+                    if engine.now() >= limit {
+                        break 'outer;
+                    }
+                }
+                let directed: Vec<(usize, usize)> = pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        if sweep % 2 == 0 {
+                            (a as usize, b as usize)
+                        } else {
+                            (b as usize, a as usize)
+                        }
+                    })
+                    .collect();
+                round_trips += run_stage(&mut engine, &directed, ks, cfg, &mut stats);
+                engine.advance_to(engine.now() + coord_overhead_ms);
+            }
+        }
+        (stats, round_trips, engine.now())
+    }
+
+    pub fn staged(
+        net: &Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+        ks: usize,
+        sweeps: usize,
+    ) -> BatchResult {
+        let n = net.len();
+        let rounds = (n + (n % 2)) - 1;
+        let stages: Vec<Vec<(u32, u32)>> = (0..rounds)
+            .map(|r| {
+                cloudia_measure::Staged::circle_pairs(n, r)
+                    .into_iter()
+                    .map(|(a, b)| (a as u32, b as u32))
+                    .collect()
+            })
+            .collect();
+        run_stage_schedule(net, cfg, stats, &stages, ks, sweeps, 0.3)
+    }
+
+    pub fn focused(
+        net: &Network,
+        cfg: &MeasureConfig,
+        stats: PairwiseStats,
+        plan: &cloudia_measure::ProbePlan,
+        ks: usize,
+        sweeps: usize,
+    ) -> BatchResult {
+        run_stage_schedule(net, cfg, stats, &plan.stages(), ks, sweeps, 0.3)
+    }
+
+    pub fn token(
+        net: &Network,
+        cfg: &MeasureConfig,
+        mut stats: PairwiseStats,
+        samples_per_pair: usize,
+    ) -> BatchResult {
+        let n = net.len();
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        let mut round_trips = 0u64;
+        let mut cursor = vec![0usize; n];
+        let total_visits = n * (n - 1) * samples_per_pair;
+        'outer: for visit in 0..total_visits {
+            let holder = visit % n;
+            let c = cursor[holder];
+            cursor[holder] += 1;
+            let dst = (holder + 1 + (c % (n - 1))) % n;
+            if let Some(limit) = cfg.max_duration_ms {
+                if engine.now() >= limit {
+                    break 'outer;
+                }
+            }
+            let sent = engine.send(MessageSpec {
+                src: InstanceId::from_index(holder),
+                dst: InstanceId::from_index(dst),
+                size_kb: cfg.probe_size_kb,
+                kind: 0,
+                token: visit as u64,
+            });
+            let probe = engine.next_delivery().expect("probe in flight");
+            engine.send(MessageSpec {
+                src: probe.spec.dst,
+                dst: probe.spec.src,
+                size_kb: cfg.probe_size_kb,
+                kind: 1,
+                token: probe.spec.token,
+            });
+            let reply = engine.next_delivery().expect("reply in flight");
+            stats.record(holder, dst, reply.delivered_at - sent);
+            round_trips += 1;
+            let next = (holder + 1) % n;
+            engine.send(MessageSpec {
+                src: InstanceId::from_index(holder),
+                dst: InstanceId::from_index(next),
+                size_kb: 0.1,
+                kind: 2,
+                token: visit as u64,
+            });
+            engine.next_delivery();
+        }
+        (stats, round_trips, engine.now())
+    }
+
+    pub fn uncoordinated(
+        net: &Network,
+        cfg: &MeasureConfig,
+        mut stats: PairwiseStats,
+        probes_per_instance: usize,
+    ) -> BatchResult {
+        let n = net.len();
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut round_trips = 0u64;
+        let mut probe_sent_at = vec![0.0f64; n];
+        let mut probe_dst = vec![0usize; n];
+        let mut issued = vec![0usize; n];
+
+        let launch = |src: usize,
+                      engine: &mut cloudia_netsim::Engine<'_>,
+                      rng: &mut StdRng,
+                      probe_sent_at: &mut [f64],
+                      probe_dst: &mut [usize],
+                      issued: &mut [usize]| {
+            let dst = loop {
+                let d = rng.random_range(0..n);
+                if d != src {
+                    break d;
+                }
+            };
+            let sent = engine.send(MessageSpec {
+                src: InstanceId::from_index(src),
+                dst: InstanceId::from_index(dst),
+                size_kb: cfg.probe_size_kb,
+                kind: 0,
+                token: src as u64,
+            });
+            probe_sent_at[src] = sent;
+            probe_dst[src] = dst;
+            issued[src] += 1;
+        };
+
+        for src in 0..n {
+            launch(src, &mut engine, &mut rng, &mut probe_sent_at, &mut probe_dst, &mut issued);
+        }
+        while let Some(msg) = engine.next_delivery() {
+            match msg.spec.kind {
+                0 => {
+                    engine.send(MessageSpec {
+                        src: msg.spec.dst,
+                        dst: msg.spec.src,
+                        size_kb: cfg.probe_size_kb,
+                        kind: 1,
+                        token: msg.spec.token,
+                    });
+                }
+                1 => {
+                    let src = msg.spec.token as usize;
+                    stats.record(src, probe_dst[src], msg.delivered_at - probe_sent_at[src]);
+                    round_trips += 1;
+                    let under_limit = cfg.max_duration_ms.is_none_or(|limit| engine.now() < limit);
+                    if issued[src] < probes_per_instance && under_limit {
+                        launch(
+                            src,
+                            &mut engine,
+                            &mut rng,
+                            &mut probe_sent_at,
+                            &mut probe_dst,
+                            &mut issued,
+                        );
+                    }
+                }
+                other => unreachable!("unexpected message kind {other}"),
+            }
+        }
+        (stats, round_trips, engine.now())
+    }
+}
+
+/// Bit-exact comparison of a driver-produced report against an oracle
+/// batch result: per-link means, standard deviations, counts, total
+/// round trips, and elapsed simulated time all equal exactly.
+fn assert_bit_identical(
+    label: &str,
+    report: &cloudia_measure::MeasurementReport,
+    (stats, round_trips, elapsed_ms): &reference::BatchResult,
+) {
+    assert_eq!(report.round_trips, *round_trips, "{label}: round trips diverged");
+    assert_eq!(report.elapsed_ms, *elapsed_ms, "{label}: elapsed time diverged");
+    let n = stats.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (a, b) = (report.stats.link(i, j), stats.link(i, j));
+            assert_eq!(a.count(), b.count(), "{label}: ({i},{j}) count");
+            assert_eq!(a.mean(), b.mean(), "{label}: ({i},{j}) mean");
+            assert_eq!(a.sd(), b.sd(), "{label}: ({i},{j}) sd");
+        }
+    }
 }
 
 proptest! {
@@ -60,6 +361,110 @@ proptest! {
         // Token and staged guarantee full coverage.
         prop_assert_eq!(reports[0].stats.covered_links(), n * (n - 1));
         prop_assert_eq!(reports[1].stats.covered_links(), n * (n - 1));
+    }
+
+    #[test]
+    fn driver_run_onto_is_bit_identical_to_the_batch_loops(
+        n in 4usize..10,
+        seed in 0u64..200,
+        ks in 1usize..4,
+        sweeps in 1usize..3,
+    ) {
+        // The acceptance contract: with pruning disabled, every scheme's
+        // driver-based `run_onto` reproduces the pre-refactor batch path
+        // bit for bit — per-link means/sds/counts, round trips, and
+        // simulated elapsed time — on jittery (ec2-like) networks whose
+        // RNG consumption would expose any reordering.
+        let net = ec2_network(n, seed);
+        let cfg = MeasureConfig { seed, ..MeasureConfig::default() };
+
+        let report = Staged::new(ks, sweeps).run(&net, &cfg);
+        let oracle = reference::staged(&net, &cfg, PairwiseStats::new(n), ks, sweeps);
+        assert_bit_identical("staged", &report, &oracle);
+
+        let mut plan = ProbePlan::new(n);
+        // A deterministic, seed-dependent partial plan: a clique over a
+        // prefix plus one far pair.
+        let clique: Vec<u32> = (0..(3 + (seed as usize % (n - 3))) as u32).collect();
+        plan.add_clique(&clique);
+        plan.add_pair(0, n as u32 - 1);
+        let report = FocusedScheme::new(plan.clone(), ks, sweeps.max(2)).run(&net, &cfg);
+        let oracle = reference::focused(&net, &cfg, PairwiseStats::new(n), &plan, ks, sweeps.max(2));
+        assert_bit_identical("focused", &report, &oracle);
+
+        let report = TokenPassing::new(ks).run(&net, &cfg);
+        let oracle = reference::token(&net, &cfg, PairwiseStats::new(n), ks);
+        assert_bit_identical("token", &report, &oracle);
+
+        let probes = 10 * (n - 1);
+        let report = Uncoordinated::new(probes).run(&net, &cfg);
+        let oracle = reference::uncoordinated(&net, &cfg, PairwiseStats::new(n), probes);
+        assert_bit_identical("uncoordinated", &report, &oracle);
+    }
+
+    #[test]
+    fn driver_honours_duration_limits_like_the_batch_loops(
+        n in 4usize..8,
+        seed in 0u64..50,
+        limit in 2.0f64..20.0,
+    ) {
+        let net = ec2_network(n, seed);
+        let cfg = MeasureConfig { seed, max_duration_ms: Some(limit), ..MeasureConfig::default() };
+        let report = Staged::new(3, 50).run(&net, &cfg);
+        let oracle = reference::staged(&net, &cfg, PairwiseStats::new(n), 3, 50);
+        assert_bit_identical("staged+limit", &report, &oracle);
+        let report = TokenPassing::new(20).run(&net, &cfg);
+        let oracle = reference::token(&net, &cfg, PairwiseStats::new(n), 20);
+        assert_bit_identical("token+limit", &report, &oracle);
+        let report = Uncoordinated::new(500).run(&net, &cfg);
+        let oracle = reference::uncoordinated(&net, &cfg, PairwiseStats::new(n), 500);
+        assert_bit_identical("uncoordinated+limit", &report, &oracle);
+    }
+
+    #[test]
+    fn resumed_driver_equals_uninterrupted_driver(
+        n in 4usize..10,
+        seed in 0u64..200,
+        pause_after in 1usize..6,
+    ) {
+        // Stepping a driver, pausing to inspect its partial state, and
+        // resuming must not change the measurement.
+        let net = ec2_network(n, seed);
+        let cfg = MeasureConfig { seed, ..MeasureConfig::default() };
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(Staged::new(2, 2)),
+            Box::new(FocusedScheme::new(ProbePlan::full(n), 2, 2)),
+            Box::new(TokenPassing::new(2)),
+            Box::new(Uncoordinated::new(8 * (n - 1))),
+        ];
+        for scheme in &schemes {
+            let uninterrupted = scheme.run(&net, &cfg);
+            let mut driver = scheme.driver(&net, &cfg, PairwiseStats::new(n));
+            let mut paused = 0;
+            while driver.step() {
+                paused += 1;
+                if paused == pause_after {
+                    // The pause: read every piece of partial state.
+                    let _ = driver.stats().total_samples();
+                    let _ = driver.remaining_pairs();
+                    let _ = driver.planned_remaining();
+                    let _ = driver.elapsed_ms();
+                }
+            }
+            let resumed = driver.finish();
+            assert_eq!(
+                resumed.round_trips, uninterrupted.round_trips,
+                "{}: resumed round trips diverged", scheme.name()
+            );
+            assert_eq!(
+                resumed.elapsed_ms, uninterrupted.elapsed_ms,
+                "{}: resumed elapsed diverged", scheme.name()
+            );
+            assert_eq!(
+                resumed.stats.mean_vector(), uninterrupted.stats.mean_vector(),
+                "{}: resumed means diverged", scheme.name()
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use cloudia_core::{CommGraph, CostMatrix, Deployment, Objective, RedeployPolicy};
 use cloudia_measure::{FocusedScheme, ProbePlan};
 use cloudia_netsim::Network;
-use cloudia_solver::{AdaptivePool, CandidateConfig, CandidateSet, PoolPolicy};
+use cloudia_solver::{AdaptivePool, CandidateConfig, CandidatePruneRule, CandidateSet, PoolPolicy};
 
 use crate::detect::{DetectorConfig, Drift};
 use crate::repair::{incremental_resolve, RepairConfig};
@@ -99,6 +99,42 @@ pub struct OnlineAdvisorConfig {
     /// single sweep the reverse direction of every pair would stay
     /// unobserved forever (and hence permanently stale).
     pub probe_sweeps: usize,
+    /// Mid-sweep tournament pruning: epochs measured through
+    /// [`OnlineAdvisor::step_stream`]/[`OnlineAdvisor::run`] execute
+    /// stage by stage on the streaming driver
+    /// ([`cloudia_measure::SweepDriver`]), and between stages a
+    /// [`CandidatePruneRule`] drops pairs whose measured quantiles
+    /// already prove both endpoints outside every node's candidate pool.
+    /// Deployed links, detector-flagged links, and links owed a
+    /// staleness refresh are never pruned; under-measured instances
+    /// cannot be proven out. Works under both probe policies, and
+    /// focused plans additionally build their candidate clique from the
+    /// mid-sweep quantiles ([`CandidateSet::build_partial`]) instead of
+    /// the worst-filled cost matrix. Round trips saved are re-invested
+    /// into deeper sampling of flagged links (`probe_ks` escalation)
+    /// rather than banked.
+    pub prune_during_sweep: bool,
+    /// Staleness horizon (epochs) protecting pairs from mid-sweep
+    /// pruning under [`ProbePolicy::Uniform`]: a pair unobserved longer
+    /// than this re-enters the sweep un-prunable, bounding every link's
+    /// estimate age exactly like focused probing's refresh. Under
+    /// [`ProbePolicy::Focused`] the policy's own `refresh_every` is used
+    /// instead.
+    pub prune_refresh_every: u64,
+    /// Spot-check confirmation: when > 0 and the stream supports
+    /// per-link probing ([`MeasurementStream::spot_check`]), a
+    /// degradation alarm on a deployed link is confirmed with this many
+    /// fresh single-link RTT samples *before* it may trigger a repair —
+    /// a measurement glitch is cheaper to refute with a handful of
+    /// probes now than with a wasted re-solve (or by waiting a full
+    /// epoch for the next sweep). The alarm is confirmed when the spot
+    /// mean still sits at least halfway between the pre-alarm baseline
+    /// and the alarm level. Spot probes are charged to the probe budget;
+    /// once one alarm confirms, later alarms in the same epoch skip the
+    /// probes (the trigger verdict is already settled). 0 disables the
+    /// path; [`OnlineAdvisor::step`] (no stream access) always behaves
+    /// as if it were 0.
+    pub spot_check_probes: usize,
     /// Record every trigger's (costs, incumbent) so a harness can replay
     /// the same instances against a cold solver (timing comparisons).
     pub record_triggers: bool,
@@ -120,6 +156,9 @@ impl Default for OnlineAdvisorConfig {
             probe_policy: ProbePolicy::Uniform,
             probe_ks: 3,
             probe_sweeps: 2,
+            prune_during_sweep: false,
+            prune_refresh_every: 8,
+            spot_check_probes: 0,
             record_triggers: false,
         }
     }
@@ -187,6 +226,40 @@ pub enum OnlineEvent {
         /// The escalation-rate EWMA that drove it.
         rate: f64,
     },
+    /// Mid-sweep pruning dropped pairs from the epoch's measurement.
+    SweepPruned {
+        /// Epoch index.
+        epoch: u64,
+        /// Distinct pairs dropped mid-sweep.
+        dropped_pairs: usize,
+        /// Estimated round trips saved.
+        saved_round_trips: u64,
+    },
+    /// A spot check confirmed or refuted a degradation alarm before any
+    /// repair was considered.
+    SpotCheck {
+        /// Epoch index.
+        epoch: u64,
+        /// Source instance of the suspicious link.
+        src: u32,
+        /// Destination instance of the suspicious link.
+        dst: u32,
+        /// Mean of the fresh spot probes (ms).
+        mean: f64,
+        /// Whether the shift was confirmed (unconfirmed alarms cannot
+        /// trigger a repair).
+        confirmed: bool,
+    },
+    /// Round trips saved by pruning were re-invested into deeper
+    /// sampling of flagged links.
+    DeepProbe {
+        /// Epoch index the deepened round will measure.
+        epoch: u64,
+        /// Flagged pairs deepened.
+        pairs: usize,
+        /// The per-pair round-trip quota they were raised to.
+        ks: usize,
+    },
 }
 
 /// One trigger's search instance, for offline replay (cold-vs-incremental
@@ -218,6 +291,9 @@ pub struct EpochSummary {
     pub moved: usize,
     /// Probe round trips the epoch's measurement spent.
     pub round_trips: u64,
+    /// Round trips mid-sweep pruning saved this epoch (0 without
+    /// `prune_during_sweep`).
+    pub saved_round_trips: u64,
 }
 
 /// The continuous deployment advisor.
@@ -248,6 +324,14 @@ pub struct OnlineAdvisor {
     /// [`PoolPolicy::Adaptive`] candidates config).
     adaptive: Option<AdaptivePool>,
     probe_round_trips: u64,
+    /// Round trips the most recent epoch's mid-sweep pruning saved — the
+    /// budget the next focused round may re-invest into deeper flagged
+    /// sampling.
+    last_saved_round_trips: u64,
+    /// Total round trips saved by mid-sweep pruning across all epochs.
+    saved_round_trips_total: u64,
+    /// Total extra round trips spent deepening flagged links.
+    deep_probe_rounds: u64,
 }
 
 impl OnlineAdvisor {
@@ -305,6 +389,9 @@ impl OnlineAdvisor {
             planning_epoch: 0,
             adaptive,
             probe_round_trips: 0,
+            last_saved_round_trips: 0,
+            saved_round_trips_total: 0,
+            deep_probe_rounds: 0,
         }
     }
 
@@ -343,6 +430,19 @@ impl OnlineAdvisor {
     /// comparisons.
     pub fn probe_round_trips(&self) -> u64 {
         self.probe_round_trips
+    }
+
+    /// Total round trips mid-sweep pruning saved across all epochs (0
+    /// unless `prune_during_sweep` is on).
+    pub fn sweep_saved_round_trips(&self) -> u64 {
+        self.saved_round_trips_total
+    }
+
+    /// Total extra round trips re-invested into deeper sampling of
+    /// flagged links (the `probe_ks` escalation; 0 unless pruning saved
+    /// budget while links were flagged).
+    pub fn deep_probe_round_trips(&self) -> u64 {
+        self.deep_probe_rounds
     }
 
     /// The adaptive pool's current `k` (None without an adaptive
@@ -399,8 +499,23 @@ impl OnlineAdvisor {
         let pool_config = self
             .effective_candidates()
             .unwrap_or_else(|| CandidateConfig::fixed(2 * self.graph.num_nodes()));
-        let problem = self.graph.problem(self.search_costs());
-        let pool = CandidateSet::build(&problem, &pool_config, Some(&self.deployment), None);
+        // With mid-sweep pruning the store's coverage is deliberately
+        // partial, so the pool comes from the measured quantiles alone
+        // (unobserved links exert no pull); otherwise score on the
+        // worst-filled cost matrix as before.
+        let pool = if self.config.prune_during_sweep {
+            CandidateSet::build_partial(
+                self.graph.num_nodes(),
+                &self.store.partial_stats(),
+                &pool_config,
+                Some(&self.deployment),
+                None,
+                CandidatePruneRule::DEFAULT_MIN_COVERAGE,
+            )
+        } else {
+            let problem = self.graph.problem(self.search_costs());
+            CandidateSet::build(&problem, &pool_config, Some(&self.deployment), None)
+        };
         plan.add_clique(pool.union());
         // Detector-flagged links always re-enter the plan.
         for &(src, dst) in &self.recent_flags {
@@ -419,6 +534,77 @@ impl OnlineAdvisor {
     pub fn next_probe_scheme(&self) -> Option<FocusedScheme> {
         self.next_probe_plan()
             .map(|plan| FocusedScheme::new(plan, self.config.probe_ks, self.config.probe_sweeps))
+    }
+
+    /// The prune rule the next [`OnlineAdvisor::step_stream`] epoch will
+    /// evaluate between measurement stages, or `None` when
+    /// `prune_during_sweep` is off. The rule condemns pairs proven
+    /// outside every node's candidate pool by the partial quantiles, and
+    /// protects the deployed links, everything the detectors just
+    /// flagged, and every pair owed a staleness refresh.
+    pub fn sweep_prune_rule(&self) -> Option<CandidatePruneRule> {
+        if !self.config.prune_during_sweep {
+            return None;
+        }
+        let pool_config = self
+            .effective_candidates()
+            .unwrap_or_else(|| CandidateConfig::fixed(2 * self.graph.num_nodes()));
+        let mut rule = CandidatePruneRule::new(self.graph.num_nodes(), pool_config)
+            .with_incumbent(&self.deployment);
+        // Deployed links are candidates by force-inclusion already, but
+        // the never-pruned guarantee should not hinge on that.
+        for &(a, b) in self.graph.edges() {
+            rule.protect_pair(self.deployment[a as usize], self.deployment[b as usize]);
+        }
+        for &(src, dst) in &self.recent_flags {
+            rule.protect_pair(src, dst);
+        }
+        let horizon = match self.config.probe_policy {
+            ProbePolicy::Focused { refresh_every, .. } => refresh_every,
+            ProbePolicy::Uniform => self.config.prune_refresh_every.max(1),
+        };
+        for (a, b) in self.store.stale_pairs(self.planning_epoch, horizon) {
+            rule.protect_pair(a, b);
+        }
+        Some(rule)
+    }
+
+    /// `probe_ks` escalation: raises the flagged links' per-pair quota in
+    /// `scheme` so the extra round trips consume (up to) what the last
+    /// epoch's pruning saved, instead of banking the savings. Skipped
+    /// when nothing was saved, nothing is flagged, or the plan is full
+    /// (a full plan delegates to the stream's sweep).
+    fn deepen_flagged(&mut self, scheme: &mut FocusedScheme) {
+        if self.last_saved_round_trips == 0 || self.recent_flags.is_empty() {
+            return;
+        }
+        let mut flagged: Vec<(u32, u32)> = self
+            .recent_flags
+            .iter()
+            .map(|&(a, b)| (a.min(b), a.max(b)))
+            .filter(|&(a, b)| scheme.plan.contains(a, b))
+            .collect();
+        flagged.sort_unstable();
+        flagged.dedup();
+        if flagged.is_empty() {
+            return;
+        }
+        // Spend savings evenly across sweeps and flagged pairs, capped
+        // so one quiet link cannot be probed absurdly deep.
+        let per_pair = self.last_saved_round_trips as usize
+            / (self.config.probe_sweeps * flagged.len()).max(1);
+        let extra = per_pair.min(3 * self.config.probe_ks);
+        if extra == 0 {
+            return;
+        }
+        let deep_ks = self.config.probe_ks + extra;
+        scheme.deepen(&flagged, deep_ks);
+        self.deep_probe_rounds += scheme.deep_extra_round_trips();
+        self.events.push(OnlineEvent::DeepProbe {
+            epoch: self.planning_epoch,
+            pairs: flagged.len(),
+            ks: deep_ks,
+        });
     }
 
     /// Total nodes moved across all migrations.
@@ -462,10 +648,33 @@ impl OnlineAdvisor {
 
     /// Ingests one epoch and runs the control loop. `net` is the current
     /// ground-truth network, used only for the cost curve and event log.
+    /// Spot-check confirmation needs stream access and therefore only
+    /// runs through [`OnlineAdvisor::step_stream`].
     pub fn step(&mut self, m: &EpochMeasurement, net: &Network) -> EpochSummary {
+        self.step_core(m, net.mean_matrix(), None)
+    }
+
+    /// The control loop proper: `truth_costs` is the ground-truth cost
+    /// matrix (cost curve and event log only), `spot` the optional
+    /// single-link confirmation probe.
+    fn step_core(
+        &mut self,
+        m: &EpochMeasurement,
+        truth_costs: CostMatrix,
+        mut spot: Option<&mut dyn FnMut(u32, u32) -> Option<f64>>,
+    ) -> EpochSummary {
         let epoch = m.epoch;
         self.probe_round_trips += m.round_trips;
         self.planning_epoch = epoch + 1;
+        self.last_saved_round_trips = m.saved_round_trips;
+        self.saved_round_trips_total += m.saved_round_trips;
+        if m.pruned_pairs > 0 || m.saved_round_trips > 0 {
+            self.events.push(OnlineEvent::SweepPruned {
+                epoch,
+                dropped_pairs: m.pruned_pairs,
+                saved_round_trips: m.saved_round_trips,
+            });
+        }
         let changes = self.store.observe_epoch(m);
 
         // Which directed instance links does the active plan occupy?
@@ -481,7 +690,41 @@ impl OnlineAdvisor {
         for c in &changes {
             let on_deployed = deployed.contains(&(c.src, c.dst));
             match c.drift {
-                Drift::Up if on_deployed => degradation = true,
+                Drift::Up if on_deployed => {
+                    // Spot-check path: confirm the suspicious link with a
+                    // handful of fresh probes before letting it trigger a
+                    // repair. The shift is confirmed when the fresh mean
+                    // still sits at least halfway from the pre-alarm
+                    // baseline to the alarm level. Once one alarm has
+                    // confirmed, the epoch's trigger verdict is settled —
+                    // further alarms skip the probes instead of spending
+                    // budget on a question already answered.
+                    let confirmed = match spot.as_deref_mut() {
+                        Some(probe) if self.config.spot_check_probes > 0 && !degradation => {
+                            match probe(c.src, c.dst) {
+                                Some(mean) => {
+                                    self.probe_round_trips += self.config.spot_check_probes as u64;
+                                    let confirmed = mean >= 0.5 * (c.baseline + c.mean);
+                                    self.events.push(OnlineEvent::SpotCheck {
+                                        epoch,
+                                        src: c.src,
+                                        dst: c.dst,
+                                        mean,
+                                        confirmed,
+                                    });
+                                    confirmed
+                                }
+                                // The stream cannot probe single links:
+                                // fall back to trusting the detector.
+                                None => true,
+                            }
+                        }
+                        _ => true,
+                    };
+                    if confirmed {
+                        degradation = true;
+                    }
+                }
                 Drift::Down if !on_deployed => opportunity = true,
                 _ => {}
             }
@@ -505,7 +748,7 @@ impl OnlineAdvisor {
         let problem = self.graph.problem(self.search_costs());
         // One ground-truth problem per epoch (one flat-arena build),
         // shared by the migration event and the epoch accounting below.
-        let truth_problem = self.graph.problem(net.mean_matrix());
+        let truth_problem = self.graph.problem(truth_costs);
         let mut moved = 0usize;
         let mut repair_unanswered = false;
         if triggered {
@@ -609,6 +852,7 @@ impl OnlineAdvisor {
             triggered,
             moved,
             round_trips: m.round_trips,
+            saved_round_trips: m.saved_round_trips,
         }
     }
 
@@ -619,13 +863,42 @@ impl OnlineAdvisor {
     /// pair (bootstrap, escalation, mass staleness) delegates to the
     /// stream's own sweep — the measurement is the same tournament, minus
     /// the O(m²) plan materialization.
+    ///
+    /// With `prune_during_sweep` the epoch executes on the streaming
+    /// driver with [`OnlineAdvisor::sweep_prune_rule`] evaluated between
+    /// stages; with `spot_check_probes > 0` degradation alarms are
+    /// confirmed against fresh single-link probes before they may
+    /// trigger.
     pub fn step_stream<S: MeasurementStream>(&mut self, stream: &mut S) -> EpochSummary {
-        let m = match self.next_probe_scheme() {
-            None => stream.next_epoch(),
-            Some(scheme) if scheme.plan.is_full() => stream.next_epoch(),
-            Some(scheme) => stream.next_epoch_with(&scheme),
+        let rule = self.sweep_prune_rule();
+        let mut scheme = self.next_probe_scheme();
+        if let (Some(s), true) = (scheme.as_mut(), self.config.prune_during_sweep) {
+            if !s.plan.is_full() {
+                self.deepen_flagged(s);
+            }
+        }
+        let m = match (&scheme, &rule) {
+            (None, None) => stream.next_epoch(),
+            (None, Some(rule)) => stream.next_epoch_pruned(None, rule),
+            // A full plan without deepened pairs measures exactly what
+            // the stream's own sweep measures.
+            (Some(s), None) if s.plan.is_full() && s.deep_extra_round_trips() == 0 => {
+                stream.next_epoch()
+            }
+            (Some(s), Some(rule)) if s.plan.is_full() && s.deep_extra_round_trips() == 0 => {
+                stream.next_epoch_pruned(None, rule)
+            }
+            (Some(s), None) => stream.next_epoch_with(s),
+            (Some(s), Some(rule)) => stream.next_epoch_pruned(Some(s), rule),
         };
-        self.step(&m, stream.network())
+        let truth = stream.network().mean_matrix();
+        let probes = self.config.spot_check_probes;
+        if probes == 0 {
+            self.step_core(&m, truth, None)
+        } else {
+            let mut spot = |src: u32, dst: u32| stream.spot_check(src, dst, probes);
+            self.step_core(&m, truth, Some(&mut spot))
+        }
     }
 
     /// Drives the loop for `epochs` epochs of a stream.
@@ -762,6 +1035,273 @@ mod tests {
             .iter()
             .any(|e| matches!(e, OnlineEvent::PoolResize { from, to, .. } if to < from)));
         assert!(advisor.escalation_rate().unwrap() < 0.15);
+    }
+
+    #[test]
+    fn pruned_uniform_loop_spends_less_after_the_first_epoch() {
+        let run = |prune: bool| {
+            let (graph, net, initial) = setup(4, 20, 21);
+            let mut config = fast_config();
+            config.candidates = Some(cloudia_solver::CandidateConfig::fixed(6));
+            config.prune_during_sweep = prune;
+            config.prune_refresh_every = 50; // beyond the horizon: staleness never protects
+            let mut advisor = OnlineAdvisor::new(graph, 20, initial, config);
+            let mut stream =
+                SimStream::new(net, Staged::new(3, 2), MeasureConfig::default(), 2.0, 9);
+            let summaries = advisor.run(&mut stream, 6);
+            (advisor, summaries)
+        };
+        let (plain, plain_summaries) = run(false);
+        let (pruned, summaries) = run(true);
+        // Epoch 0: no samples yet, nothing provable, full sweep.
+        assert_eq!(summaries[0].round_trips, plain_summaries[0].round_trips);
+        assert_eq!(summaries[0].saved_round_trips, 0);
+        // Later epochs prune the sweep down to (roughly) the pool clique.
+        for s in &summaries[1..] {
+            assert!(
+                s.round_trips < plain_summaries[0].round_trips / 2,
+                "epoch {}: pruned sweep spent {} of a full sweep's {}",
+                s.epoch,
+                s.round_trips,
+                plain_summaries[0].round_trips
+            );
+            assert!(s.saved_round_trips > 0, "epoch {}: nothing saved", s.epoch);
+        }
+        assert!(pruned.probe_round_trips() * 2 < plain.probe_round_trips());
+        assert_eq!(
+            pruned.sweep_saved_round_trips(),
+            summaries.iter().map(|s| s.saved_round_trips).sum::<u64>()
+        );
+        assert!(pruned
+            .events()
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::SweepPruned { saved_round_trips, .. } if *saved_round_trips > 0)));
+        // The unpruned loop never reports pruning.
+        assert_eq!(plain.sweep_saved_round_trips(), 0);
+    }
+
+    #[test]
+    fn pruning_never_starves_deployed_links() {
+        let (graph, net, initial) = setup(5, 16, 23);
+        let deployed: Vec<(u32, u32)> = graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| (initial[a as usize], initial[b as usize]))
+            .collect();
+        let mut config = fast_config();
+        config.candidates = Some(cloudia_solver::CandidateConfig::fixed(5));
+        config.prune_during_sweep = true;
+        let mut advisor = OnlineAdvisor::new(graph, 16, initial, config);
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 2.0, 3);
+        advisor.run(&mut stream, 5);
+        // Every deployed link kept getting samples on every epoch: each
+        // direction is covered once per epoch (one of the two sweeps) at
+        // ks 2, so 5 epochs x 2 = 10 per direction.
+        for &(a, b) in &deployed {
+            let forward = stream.cumulative().link(a as usize, b as usize).count();
+            let reverse = stream.cumulative().link(b as usize, a as usize).count();
+            assert_eq!(forward, 10, "deployed link ({a},{b}) was pruned");
+            assert_eq!(reverse, 10, "deployed link ({b},{a}) was pruned");
+        }
+    }
+
+    /// A scripted stream for the spot-check tests: epochs are handed in
+    /// verbatim, and single-link spot probes return a scripted value.
+    struct ScriptedStream {
+        net: Network,
+        cumulative: cloudia_measure::PairwiseStats,
+        epochs: std::collections::VecDeque<EpochMeasurement>,
+        spot_value: Option<f64>,
+        spot_calls: usize,
+    }
+
+    impl ScriptedStream {
+        fn new(net: Network, epochs: Vec<EpochMeasurement>, spot_value: Option<f64>) -> Self {
+            let n = net.len();
+            Self {
+                net,
+                cumulative: cloudia_measure::PairwiseStats::new(n),
+                epochs: epochs.into(),
+                spot_value,
+                spot_calls: 0,
+            }
+        }
+    }
+
+    impl MeasurementStream for ScriptedStream {
+        fn len(&self) -> usize {
+            self.net.len()
+        }
+        fn network(&self) -> &Network {
+            &self.net
+        }
+        fn cumulative(&self) -> &cloudia_measure::PairwiseStats {
+            &self.cumulative
+        }
+        fn next_epoch(&mut self) -> EpochMeasurement {
+            self.epochs.pop_front().expect("script exhausted")
+        }
+        fn next_epoch_with(&mut self, _: &dyn cloudia_measure::Scheme) -> EpochMeasurement {
+            self.next_epoch()
+        }
+        fn next_epoch_pruned(
+            &mut self,
+            _: Option<&dyn cloudia_measure::Scheme>,
+            _: &dyn cloudia_measure::PruneRule,
+        ) -> EpochMeasurement {
+            self.next_epoch()
+        }
+        fn spot_check(&mut self, _src: u32, _dst: u32, _probes: usize) -> Option<f64> {
+            self.spot_calls += 1;
+            self.spot_value
+        }
+    }
+
+    /// Stable full-coverage epochs; from epoch `epochs - 4` onward the
+    /// deployed link `0 → 1` sits 60% above its baseline (a persistent
+    /// regime change), and instances 4+ are uniformly expensive (so a
+    /// small candidate pool provably excludes them).
+    fn spike_script(m: usize, epochs: u64) -> Vec<EpochMeasurement> {
+        (0..epochs)
+            .map(|e| {
+                let deltas: Vec<crate::stream::LinkDelta> = (0..m as u32)
+                    .flat_map(|i| (0..m as u32).filter(move |&j| j != i).map(move |j| (i, j)))
+                    .map(|(i, j)| {
+                        let far = if i >= 4 || j >= 4 { 2.0 } else { 0.0 };
+                        let base = 1.0 + far + 0.05 * ((i + 2 * j) % 4) as f64;
+                        let level = if e + 4 >= epochs && i == 0 && j == 1 { 1.6 } else { 1.0 };
+                        crate::stream::LinkDelta { src: i, dst: j, mean: base * level, count: 5 }
+                    })
+                    .collect();
+                EpochMeasurement {
+                    epoch: e,
+                    at_hours: e as f64,
+                    elapsed_ms: 1.0,
+                    round_trips: deltas.iter().map(|d| d.count).sum(),
+                    deltas,
+                    pruned_pairs: 0,
+                    saved_round_trips: 0,
+                }
+            })
+            .collect()
+    }
+
+    fn spot_check_advisor(probes: usize) -> OnlineAdvisor {
+        let graph = CommGraph::ring(4);
+        let config = OnlineAdvisorConfig {
+            solve_seconds: 0.05,
+            spot_check_probes: probes,
+            policy: RedeployPolicy { min_gain: 0.0, migration_cost_per_node: 0.0 },
+            detector: DetectorConfig { warmup: 3, threshold: 4.0, ..Default::default() },
+            ..Default::default()
+        };
+        OnlineAdvisor::new(graph, 6, (0..4).collect(), config)
+    }
+
+    #[test]
+    fn refuted_spot_check_suppresses_the_repair() {
+        let epochs = 12;
+        let (_, net, _) = setup(4, 6, 31);
+        // Spot probes report the old baseline: the alarm was a glitch.
+        let mut stream = ScriptedStream::new(net, spike_script(6, epochs), Some(1.0));
+        let mut advisor = spot_check_advisor(8);
+        let probes_before_spots = (0..epochs).map(|_| advisor.step_stream(&mut stream)).count();
+        assert!(probes_before_spots > 0);
+        assert!(stream.spot_calls > 0, "the degradation alarm was never spot-checked");
+        let spot_events: Vec<bool> = advisor
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::SpotCheck { confirmed, .. } => Some(*confirmed),
+                _ => None,
+            })
+            .collect();
+        assert!(!spot_events.is_empty());
+        assert!(spot_events.iter().all(|&c| !c), "glitch alarms must be refuted");
+        assert!(
+            advisor.events().iter().all(|e| !matches!(e, OnlineEvent::Resolve { .. })),
+            "a refuted alarm still triggered a repair"
+        );
+    }
+
+    #[test]
+    fn confirmed_spot_check_lets_the_repair_through() {
+        let epochs = 12;
+        let (_, net, _) = setup(4, 6, 31);
+        // Spot probes agree with the alarm level: genuine degradation.
+        let mut stream = ScriptedStream::new(net, spike_script(6, epochs), Some(1.6));
+        let mut advisor = spot_check_advisor(8);
+        for _ in 0..epochs {
+            advisor.step_stream(&mut stream);
+        }
+        let confirmed = advisor
+            .events()
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::SpotCheck { confirmed: true, .. }));
+        assert!(confirmed, "a genuine shift must be confirmed");
+        assert!(
+            advisor.events().iter().any(|e| matches!(e, OnlineEvent::Resolve { .. })),
+            "a confirmed degradation must trigger a repair"
+        );
+        // Spot probes are charged to the probe budget.
+        let measured: u64 = (0..epochs).map(|_| 6u64 * 5 * 5).sum();
+        assert!(advisor.probe_round_trips() > measured);
+    }
+
+    #[test]
+    fn streams_without_spot_support_fall_back_to_trusting_the_detector() {
+        let epochs = 12;
+        let (_, net, _) = setup(4, 6, 31);
+        // spot_value None: the stream cannot probe single links.
+        let mut stream = ScriptedStream::new(net, spike_script(6, epochs), None);
+        let mut advisor = spot_check_advisor(8);
+        for _ in 0..epochs {
+            advisor.step_stream(&mut stream);
+        }
+        assert!(
+            advisor.events().iter().any(|e| matches!(e, OnlineEvent::Resolve { .. })),
+            "without spot support the alarm must trigger as before"
+        );
+        assert!(
+            advisor.events().iter().all(|e| !matches!(e, OnlineEvent::SpotCheck { .. })),
+            "no spot event without a spot result"
+        );
+    }
+
+    #[test]
+    fn pruning_savings_fund_deeper_flagged_sampling() {
+        // Scripted epochs with full coverage (so the plan is never full),
+        // reported savings, and a detector-flagging jump: the next
+        // focused round must deepen the flagged pair.
+        let m = 8;
+        let (_, net, _) = setup(4, m, 33);
+        let mut script = spike_script(m, 12);
+        for e in &mut script {
+            e.saved_round_trips = 60;
+            e.pruned_pairs = 4;
+        }
+        let mut stream = ScriptedStream::new(net, script, None);
+        let graph = CommGraph::ring(4);
+        let config = OnlineAdvisorConfig {
+            solve_seconds: 0.05,
+            candidates: Some(cloudia_solver::CandidateConfig::fixed(4)),
+            probe_policy: ProbePolicy::Focused { refresh_every: 40, max_flagged: 50 },
+            prune_during_sweep: true,
+            policy: RedeployPolicy { min_gain: 1e9, migration_cost_per_node: 1e9 },
+            detector: DetectorConfig { warmup: 3, threshold: 4.0, ..Default::default() },
+            ..Default::default()
+        };
+        let mut advisor = OnlineAdvisor::new(graph, m, (0..4).collect(), config);
+        for _ in 0..12 {
+            advisor.step_stream(&mut stream);
+        }
+        assert!(
+            advisor.deep_probe_round_trips() > 0,
+            "savings were banked instead of deepening flagged links"
+        );
+        assert!(advisor.events().iter().any(
+            |e| matches!(e, OnlineEvent::DeepProbe { pairs, ks, .. } if *pairs > 0 && *ks > 3)
+        ));
     }
 
     #[test]

@@ -28,7 +28,14 @@
 //!   escalating back to a full sweep when the detectors fire broadly.
 //!   With an adaptive candidates config
 //!   ([`cloudia_solver::PoolPolicy::Adaptive`]) the probe set and the
-//!   repair search domain shrink together on stationary stretches.
+//!   repair search domain shrink together on stationary stretches. With
+//!   `prune_during_sweep` epochs run on the stage-streaming measurement
+//!   driver ([`cloudia_measure::SweepDriver`]) and a
+//!   [`cloudia_solver::CandidatePruneRule`] drops pairs **mid-sweep**
+//!   once the measured quantiles prove them outside every node's
+//!   candidate pool; saved round trips fund deeper sampling of flagged
+//!   links, and `spot_check_probes` confirms degradation alarms with a
+//!   handful of fresh single-link probes before any repair runs.
 //!
 //! ```
 //! use cloudia_core::CommGraph;
@@ -67,7 +74,7 @@ pub use advisor::{
 };
 pub use detect::{ChangeDetector, DetectorConfig, DetectorKind, Drift};
 pub use repair::{incremental_resolve, select_free_nodes, RepairConfig, RepairOutcome};
-pub use scenario::{BuiltFocusScenario, FocusArm, FocusScenario};
+pub use scenario::{ArmOptions, BuiltFocusScenario, FocusArm, FocusScenario};
 pub use stats::{EwmaVar, LinkChange, LinkOnline, OnlineStore};
 pub use stream::{
     record_trajectory, EpochMeasurement, LinkDelta, MeasurementStream, ReplayStream, SimStream,

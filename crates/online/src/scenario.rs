@@ -55,6 +55,14 @@ pub struct FocusScenario {
     pub pool_alpha: f64,
     /// Focused staleness horizon (epochs).
     pub refresh_every: u64,
+    /// Staleness horizon protecting pairs from mid-sweep pruning under
+    /// uniform probing. Tighter than `refresh_every`: a pruned uniform
+    /// sweep is the only opportunity off-pool links ever get, so they
+    /// must rejoin more often for the detectors to keep seeing
+    /// off-pool opportunities — the refreshes are amortized across
+    /// epochs (1/horizon of the off-pool pairs per epoch), so the
+    /// savings stay far above the 30 % contract.
+    pub prune_refresh_every: u64,
 }
 
 impl Default for FocusScenario {
@@ -76,6 +84,7 @@ impl Default for FocusScenario {
             initial_k: 20,
             pool_alpha: 0.1,
             refresh_every: 10,
+            prune_refresh_every: 4,
         }
     }
 }
@@ -169,14 +178,40 @@ pub struct FocusArm {
     pub migrations: usize,
     /// Adaptive `k` after each epoch.
     pub k_trace: Vec<(u64, usize)>,
+    /// Round trips saved by mid-sweep pruning (0 without pruning).
+    pub saved_round_trips: u64,
+    /// Extra round trips re-invested into deeper flagged-link sampling.
+    pub deep_probe_round_trips: u64,
+}
+
+/// Per-arm switches of the comparison: the probe policy plus the
+/// stage-streaming knobs (mid-sweep pruning, spot-check confirmation).
+#[derive(Debug, Clone, Copy)]
+pub struct ArmOptions {
+    /// How the arm spends its per-epoch probe budget.
+    pub probe_policy: ProbePolicy,
+    /// Mid-sweep tournament pruning on the measurement sweeps.
+    pub prune_during_sweep: bool,
+    /// Spot-check probes confirming degradation alarms (0 = off).
+    pub spot_check_probes: usize,
 }
 
 impl BuiltFocusScenario {
-    /// Runs one arm over the recorded trajectory under `probe_policy`.
-    /// Both arms share the adaptive candidates config, the detector
-    /// settings, and the migration economics — only the probe policy
-    /// differs.
+    /// Runs one arm over the recorded trajectory under `probe_policy`
+    /// with pruning and spot checks off. All arms share the adaptive
+    /// candidates config, the detector settings, and the migration
+    /// economics — only the probe policy differs.
     pub fn run_arm(&self, probe_policy: ProbePolicy) -> FocusArm {
+        self.run_arm_with(ArmOptions {
+            probe_policy,
+            prune_during_sweep: false,
+            spot_check_probes: 0,
+        })
+    }
+
+    /// Runs one arm over the recorded trajectory under the full option
+    /// set.
+    pub fn run_arm_with(&self, opts: ArmOptions) -> FocusArm {
         let s = &self.scenario;
         let config = OnlineAdvisorConfig {
             objective: Objective::LongestLink,
@@ -190,9 +225,12 @@ impl BuiltFocusScenario {
                 alpha: s.pool_alpha,
                 ..AdaptivePoolConfig::default()
             })),
-            probe_policy,
+            probe_policy: opts.probe_policy,
             probe_ks: s.probe_ks,
             probe_sweeps: s.probe_sweeps,
+            prune_during_sweep: opts.prune_during_sweep,
+            prune_refresh_every: s.prune_refresh_every,
+            spot_check_probes: opts.spot_check_probes,
             ewma_alpha: 0.5,
             detector: DetectorConfig { warmup: 3, threshold: 6.0, ..Default::default() },
             ..Default::default()
@@ -222,6 +260,8 @@ impl BuiltFocusScenario {
             resolves,
             migrations,
             k_trace,
+            saved_round_trips: advisor.sweep_saved_round_trips(),
+            deep_probe_round_trips: advisor.deep_probe_round_trips(),
         }
     }
 }

@@ -10,6 +10,7 @@
 use crate::detect::{ChangeDetector, DetectorConfig, Drift};
 use crate::stream::EpochMeasurement;
 use cloudia_core::{CostMatrix, LinkHistory};
+use cloudia_measure::PairwiseStats;
 
 /// Exponentially weighted mean/variance of a scalar stream.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +88,10 @@ pub struct LinkChange {
     pub drift: Drift,
     /// The epoch mean that triggered the alarm (ms).
     pub mean: f64,
+    /// The link's EWMA mean *before* the alarming epoch was folded in
+    /// (ms) — the reference level a spot check confirms the shift
+    /// against.
+    pub baseline: f64,
 }
 
 /// Per-link online statistics over `n` instances.
@@ -134,6 +139,7 @@ impl OnlineStore {
             // floor keeps early near-zero variances from manufacturing
             // huge z-scores out of sampling noise.
             let sd_floor = (0.02 * link.ewma.mean()).max(1e-9);
+            let baseline = if link.ewma.count() > 0 { link.ewma.mean() } else { d.mean };
             let z = if link.ewma.count() > 0 {
                 (d.mean - link.ewma.mean()) / link.ewma.sd().max(sd_floor)
             } else {
@@ -144,7 +150,7 @@ impl OnlineStore {
             link.last_epoch = Some(m.epoch);
             let drift = link.detector.observe(z);
             if drift != Drift::None {
-                changes.push(LinkChange { src: d.src, dst: d.dst, drift, mean: d.mean });
+                changes.push(LinkChange { src: d.src, dst: d.dst, drift, mean: d.mean, baseline });
             }
         }
         changes
@@ -182,6 +188,28 @@ impl OnlineStore {
             }
         }
         out
+    }
+
+    /// Exports the store as partial [`PairwiseStats`]: one synthetic
+    /// sample per *observed* link carrying its EWMA mean, never-observed
+    /// links left empty. This is the shape
+    /// [`cloudia_solver::CandidateSet::build_partial`] consumes, so the
+    /// advisor can form candidate pools from measured quantiles even
+    /// while sweeps are being pruned and coverage is partial — without
+    /// the worst-case fill [`OnlineStore::cost_matrix`] applies.
+    pub fn partial_stats(&self) -> PairwiseStats {
+        let mut stats = PairwiseStats::new(self.n);
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    let l = self.link(i, j);
+                    if l.ewma.count() > 0 {
+                        stats.record(i, j, l.ewma.mean());
+                    }
+                }
+            }
+        }
+        stats
     }
 
     /// Current cost matrix of EWMA means (0 for never-observed links),
@@ -230,6 +258,8 @@ mod tests {
             elapsed_ms: 1.0,
             round_trips: deltas.iter().map(|d| d.count).sum(),
             deltas,
+            pruned_pairs: 0,
+            saved_round_trips: 0,
         }
     }
 
@@ -285,6 +315,41 @@ mod tests {
         // ages are tracked independently.
         store.observe_epoch(&epoch(vec![delta(2, 0, 2.0)], 4));
         assert!(store.stale_pairs(5, 3).contains(&(0, 2)));
+    }
+
+    #[test]
+    fn partial_stats_export_only_observed_links() {
+        let mut store = OnlineStore::new(3, 0.3, DetectorConfig::default());
+        for e in 0..4 {
+            store.observe_epoch(&epoch(vec![delta(0, 1, 2.0), delta(1, 0, 3.0)], e));
+        }
+        let stats = store.partial_stats();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats.covered_links(), 2);
+        assert_eq!(stats.link(0, 1).count(), 1, "one synthetic sample per observed link");
+        assert!((stats.link(0, 1).mean() - store.link(0, 1).ewma.mean()).abs() < 1e-12);
+        assert_eq!(stats.link(2, 0).count(), 0);
+    }
+
+    #[test]
+    fn changes_carry_the_pre_alarm_baseline() {
+        let cfg = DetectorConfig { warmup: 3, ..Default::default() };
+        let mut store = OnlineStore::new(2, 0.2, cfg);
+        let mut fired = Vec::new();
+        for e in 0..30 {
+            let level = if e < 15 { 1.0 } else { 1.5 };
+            let noise = if e % 2 == 0 { 0.01 } else { -0.01 };
+            fired.extend(store.observe_epoch(&epoch(vec![delta(0, 1, level + noise)], e)));
+        }
+        assert!(!fired.is_empty());
+        for c in &fired {
+            assert!(c.baseline < c.mean, "upward alarm baseline {} !< mean {}", c.baseline, c.mean);
+            assert!(
+                c.baseline > 0.9,
+                "baseline {} should sit near the pre-shift level",
+                c.baseline
+            );
+        }
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //!   can be compared on the *identical* drift trajectory and measurement
 //!   randomness.
 
-use cloudia_measure::{MeasureConfig, PairwiseStats, Scheme};
-use cloudia_netsim::{DriftingNetwork, Network};
+use rand::{rngs::StdRng, SeedableRng};
+
+use cloudia_measure::{run_pruned, MeasureConfig, PairwiseStats, PruneRule, Scheme};
+use cloudia_netsim::{DriftingNetwork, InstanceId, Network};
 
 use cloudia_core::LinkHistory;
 
@@ -51,6 +53,12 @@ pub struct EpochMeasurement {
     pub round_trips: u64,
     /// Per-link epoch means (only links that got samples this epoch).
     pub deltas: Vec<LinkDelta>,
+    /// Distinct pairs dropped by mid-sweep pruning (0 on unpruned
+    /// epochs).
+    pub pruned_pairs: usize,
+    /// Estimated round trips mid-sweep pruning saved this epoch (0 on
+    /// unpruned epochs).
+    pub saved_round_trips: u64,
 }
 
 /// A source of per-epoch latency measurements over a (possibly drifting)
@@ -83,6 +91,32 @@ pub trait MeasurementStream {
     /// as every uniform round.
     fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement;
 
+    /// Advances time and runs one epoch through the stage-streaming
+    /// driver with `rule` evaluated between stages (mid-sweep tournament
+    /// pruning; see [`cloudia_measure::run_pruned`]). `scheme` overrides
+    /// the stream's own scheme as in
+    /// [`MeasurementStream::next_epoch_with`]; `None` prunes the
+    /// stream's own sweep. The returned measurement carries the pruning
+    /// ledger in `pruned_pairs`/`saved_round_trips`.
+    fn next_epoch_pruned(
+        &mut self,
+        scheme: Option<&dyn Scheme>,
+        rule: &dyn PruneRule,
+    ) -> EpochMeasurement;
+
+    /// Draws `probes` fresh RTT samples of the directed link
+    /// `src → dst` from the stream's *current* ground truth and returns
+    /// their mean, made comparable to scheme-measured RTTs (the constant
+    /// endpoint-handling overhead is included; queueing never is, since
+    /// a spot check is one lone probe at a time). This is the
+    /// cheap single-link confirmation path for suspicious links —
+    /// no measurement round is scheduled. Returns `None` if the stream
+    /// cannot probe single links (the default) or `probes` is 0.
+    fn spot_check(&mut self, src: u32, dst: u32, probes: usize) -> Option<f64> {
+        let _ = (src, dst, probes);
+        None
+    }
+
     /// The cumulative statistics as re-deployment [`LinkHistory`]
     /// (mean + observation count per covered link).
     fn history(&self) -> LinkHistory {
@@ -104,10 +138,13 @@ pub trait MeasurementStream {
 }
 
 /// Runs one incremental measurement round and extracts the per-epoch
-/// deltas by differencing the cumulative statistics around it.
+/// deltas by differencing the cumulative statistics around it. With a
+/// prune rule the round runs through the stage-streaming driver and the
+/// rule is evaluated between stages.
 fn measure_epoch<S: Scheme + ?Sized>(
     net: &Network,
     scheme: &S,
+    rule: Option<&dyn PruneRule>,
     cfg: &MeasureConfig,
     epoch: u64,
     at_hours: f64,
@@ -126,8 +163,14 @@ fn measure_epoch<S: Scheme + ?Sized>(
     // caller's base seed.
     let mut epoch_cfg = cfg.clone();
     epoch_cfg.seed = cfg.seed ^ (epoch + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let report =
-        scheme.run_onto(net, &epoch_cfg, std::mem::replace(cumulative, PairwiseStats::new(n)));
+    let taken = std::mem::replace(cumulative, PairwiseStats::new(n));
+    let (report, pruned_pairs, saved_round_trips) = match rule {
+        None => (scheme.run_onto(net, &epoch_cfg, taken), 0, 0),
+        Some(rule) => {
+            let pruned = run_pruned(scheme, net, &epoch_cfg, taken, rule);
+            (pruned.report, pruned.dropped_pairs, pruned.saved_round_trips)
+        }
+    };
 
     let mut deltas = Vec::new();
     for i in 0..n {
@@ -156,7 +199,21 @@ fn measure_epoch<S: Scheme + ?Sized>(
         elapsed_ms: report.elapsed_ms,
         round_trips: report.round_trips,
         deltas,
+        pruned_pairs,
+        saved_round_trips,
     }
+}
+
+/// Mean of `probes` fresh single-link RTT samples plus the constant
+/// endpoint-handling overhead schemes add — shared by both streams'
+/// [`MeasurementStream::spot_check`] implementations.
+fn spot_mean(probes: usize, cfg: &MeasureConfig, mut draw: impl FnMut() -> f64) -> Option<f64> {
+    if probes == 0 {
+        return None;
+    }
+    let overhead = 4.0 * (cfg.nic.handle_ms + cfg.nic.serialize_ms_per_kb * cfg.probe_size_kb);
+    let sum: f64 = (0..probes).map(|_| draw()).sum();
+    Some(sum / probes as f64 + overhead)
 }
 
 /// A closed-loop stream: drifts a simulated network between epochs and
@@ -170,6 +227,11 @@ pub struct SimStream<S: Scheme> {
     epoch_hours: f64,
     cumulative: PairwiseStats,
     epoch: u64,
+    /// RNG of the spot-check probes. Deliberately separate from the
+    /// drifting network's own RNG: spot checks must not perturb the
+    /// drift trajectory, or arms with and without spot checking would
+    /// diverge onto different ground truths.
+    spot_rng: StdRng,
 }
 
 impl<S: Scheme> SimStream<S> {
@@ -184,6 +246,7 @@ impl<S: Scheme> SimStream<S> {
     ) -> Self {
         assert!(epoch_hours > 0.0, "epoch_hours must be positive");
         let n = net.len();
+        let spot_rng = StdRng::seed_from_u64(config.seed ^ drift_seed ^ 0x5b07_c4ec);
         Self {
             drifting: DriftingNetwork::new(net, drift_seed),
             scheme,
@@ -191,14 +254,20 @@ impl<S: Scheme> SimStream<S> {
             epoch_hours,
             cumulative: PairwiseStats::new(n),
             epoch: 0,
+            spot_rng,
         }
     }
 }
 
 impl<S: Scheme> SimStream<S> {
     /// One epoch: advance the drift, then measure with `external` (or the
-    /// stream's own scheme when `None`).
-    fn epoch_with(&mut self, external: Option<&dyn Scheme>) -> EpochMeasurement {
+    /// stream's own scheme when `None`), pruning mid-sweep when `rule`
+    /// is given.
+    fn epoch_with(
+        &mut self,
+        external: Option<&dyn Scheme>,
+        rule: Option<&dyn PruneRule>,
+    ) -> EpochMeasurement {
         self.drifting.step(self.epoch_hours);
         let epoch = self.epoch;
         self.epoch += 1;
@@ -207,7 +276,7 @@ impl<S: Scheme> SimStream<S> {
         // splitting the struct fields.
         let Self { drifting, scheme, config, cumulative, .. } = self;
         let chosen: &dyn Scheme = external.unwrap_or(scheme);
-        measure_epoch(drifting.network(), chosen, config, epoch, at_hours, cumulative)
+        measure_epoch(drifting.network(), chosen, rule, config, epoch, at_hours, cumulative)
     }
 }
 
@@ -225,11 +294,27 @@ impl<S: Scheme> MeasurementStream for SimStream<S> {
     }
 
     fn next_epoch(&mut self) -> EpochMeasurement {
-        self.epoch_with(None)
+        self.epoch_with(None, None)
     }
 
     fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement {
-        self.epoch_with(Some(scheme))
+        self.epoch_with(Some(scheme), None)
+    }
+
+    fn next_epoch_pruned(
+        &mut self,
+        scheme: Option<&dyn Scheme>,
+        rule: &dyn PruneRule,
+    ) -> EpochMeasurement {
+        self.epoch_with(scheme, Some(rule))
+    }
+
+    fn spot_check(&mut self, src: u32, dst: u32, probes: usize) -> Option<f64> {
+        let Self { drifting, config, spot_rng, .. } = self;
+        let net = drifting.network();
+        spot_mean(probes, config, || {
+            net.sample_rtt_sized(InstanceId(src), InstanceId(dst), config.probe_size_kb, spot_rng)
+        })
     }
 }
 
@@ -256,6 +341,9 @@ pub struct ReplayStream<S: Scheme> {
     config: MeasureConfig,
     cumulative: PairwiseStats,
     epoch: u64,
+    /// RNG of the spot-check probes (separate stream so spot checks never
+    /// perturb the recorded measurement randomness).
+    spot_rng: StdRng,
 }
 
 impl<S: Scheme> ReplayStream<S> {
@@ -271,7 +359,16 @@ impl<S: Scheme> ReplayStream<S> {
     ) -> Self {
         assert!(!snapshots.is_empty(), "replay needs at least one snapshot");
         let n = snapshots[0].len();
-        Self { snapshots, epoch_hours, scheme, config, cumulative: PairwiseStats::new(n), epoch: 0 }
+        let spot_rng = StdRng::seed_from_u64(config.seed ^ 0x5b07_c4ec);
+        Self {
+            snapshots,
+            epoch_hours,
+            scheme,
+            config,
+            cumulative: PairwiseStats::new(n),
+            epoch: 0,
+            spot_rng,
+        }
     }
 
     /// Total epochs available.
@@ -287,15 +384,20 @@ impl<S: Scheme> ReplayStream<S> {
 
 impl<S: Scheme> ReplayStream<S> {
     /// One epoch: consume the next snapshot, measuring with `external`
-    /// (or the stream's own scheme when `None`).
-    fn epoch_with(&mut self, external: Option<&dyn Scheme>) -> EpochMeasurement {
+    /// (or the stream's own scheme when `None`), pruning mid-sweep when
+    /// `rule` is given.
+    fn epoch_with(
+        &mut self,
+        external: Option<&dyn Scheme>,
+        rule: Option<&dyn PruneRule>,
+    ) -> EpochMeasurement {
         assert!(!self.exhausted(), "replay stream exhausted after {} epochs", self.epochs());
         let epoch = self.epoch;
         self.epoch += 1;
         let at_hours = self.epoch as f64 * self.epoch_hours;
         let Self { snapshots, scheme, config, cumulative, .. } = self;
         let chosen: &dyn Scheme = external.unwrap_or(scheme);
-        measure_epoch(&snapshots[epoch as usize], chosen, config, epoch, at_hours, cumulative)
+        measure_epoch(&snapshots[epoch as usize], chosen, rule, config, epoch, at_hours, cumulative)
     }
 }
 
@@ -314,11 +416,28 @@ impl<S: Scheme> MeasurementStream for ReplayStream<S> {
     }
 
     fn next_epoch(&mut self) -> EpochMeasurement {
-        self.epoch_with(None)
+        self.epoch_with(None, None)
     }
 
     fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement {
-        self.epoch_with(Some(scheme))
+        self.epoch_with(Some(scheme), None)
+    }
+
+    fn next_epoch_pruned(
+        &mut self,
+        scheme: Option<&dyn Scheme>,
+        rule: &dyn PruneRule,
+    ) -> EpochMeasurement {
+        self.epoch_with(scheme, Some(rule))
+    }
+
+    fn spot_check(&mut self, src: u32, dst: u32, probes: usize) -> Option<f64> {
+        let last = (self.epoch as usize).min(self.snapshots.len()).saturating_sub(1);
+        let Self { snapshots, config, spot_rng, .. } = self;
+        let net = &snapshots[last];
+        spot_mean(probes, config, || {
+            net.sample_rtt_sized(InstanceId(src), InstanceId(dst), config.probe_size_kb, spot_rng)
+        })
     }
 }
 
@@ -417,6 +536,47 @@ mod tests {
             means
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spot_checks_return_fresh_means_near_truth() {
+        use cloudia_netsim::NicParams;
+        let mut stream =
+            SimStream::new(network(5, 8), Staged::new(2, 2), MeasureConfig::default(), 2.0, 7);
+        stream.next_epoch();
+        let truth = stream.network().mean_rtt(InstanceId(0), InstanceId(1));
+        let nic = NicParams::default();
+        let overhead = 4.0 * (nic.handle_ms + nic.serialize_ms_per_kb);
+        let spot = stream.spot_check(0, 1, 400).expect("sim streams support spot checks");
+        assert!(
+            (spot - (truth + overhead)).abs() / (truth + overhead) < 0.2,
+            "spot {spot} vs truth + overhead {}",
+            truth + overhead
+        );
+        assert!(stream.spot_check(0, 1, 0).is_none(), "zero probes draw nothing");
+    }
+
+    #[test]
+    fn spot_checks_never_perturb_the_drift_trajectory() {
+        // Two arms from identical seeds, one spot-checking heavily: the
+        // measured epochs (and hence the drifted ground truth) must stay
+        // bit-identical — spot probes draw from a dedicated RNG.
+        let run = |spots: bool| {
+            let mut stream =
+                SimStream::new(network(5, 6), Staged::new(2, 2), MeasureConfig::default(), 4.0, 3);
+            let mut means = Vec::new();
+            for _ in 0..4 {
+                if spots {
+                    for _ in 0..50 {
+                        stream.spot_check(0, 1, 7);
+                    }
+                }
+                let m = stream.next_epoch();
+                means.extend(m.deltas.iter().map(|d| d.mean));
+            }
+            means
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -80,6 +80,8 @@ fn epoch_of(epoch: u64, links: &[(u32, u32, f64)]) -> EpochMeasurement {
             .iter()
             .map(|&(src, dst, mean)| LinkDelta { src, dst, mean, count: 5 })
             .collect(),
+        pruned_pairs: 0,
+        saved_round_trips: 0,
     }
 }
 

@@ -40,6 +40,10 @@
 //! sufficing — so a long stationary stretch converges to the cheapest pool
 //! that still answers correctly.
 
+use std::collections::HashSet;
+
+use cloudia_measure::{PairwiseStats, PruneRule};
+
 use crate::problem::{CostMatrix, NodeDeployment};
 
 /// How the candidate pool size `k` is chosen.
@@ -320,6 +324,99 @@ impl CandidateSet {
             pool
         };
 
+        Self::assemble(m, n, pool, incumbent, fixed)
+    }
+
+    /// Builds candidate lists from **partially measured** pairwise
+    /// statistics — the mid-sweep entry point: pools form *during* a
+    /// measurement sweep instead of after it. Instances are scored by the
+    /// configured quantile of their *measured* incident link costs (both
+    /// directions); an instance whose incident coverage is below
+    /// `min_coverage` (fraction of its `2(m−1)` directed links with at
+    /// least one sample) cannot be proven uncompetitive and is
+    /// force-included, so the pool is only ever too large, never wrongly
+    /// tight. With full coverage the pool converges to the configured
+    /// size; with no coverage it is every instance.
+    ///
+    /// Incumbent and pinned instances are force-included exactly as in
+    /// [`CandidateSet::build`].
+    ///
+    /// # Panics
+    /// Panics if `min_coverage`/quantile are outside `[0, 1]` or
+    /// `incumbent`/`fixed` are malformed.
+    pub fn build_partial(
+        num_nodes: usize,
+        stats: &PairwiseStats,
+        config: &CandidateConfig,
+        incumbent: Option<&[u32]>,
+        fixed: Option<&[Option<u32>]>,
+        min_coverage: f64,
+    ) -> Self {
+        let n = num_nodes;
+        let m = stats.len();
+        assert!(m >= 2, "need at least two instances");
+        assert!((0.0..=1.0).contains(&config.quantile), "quantile must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&min_coverage), "min_coverage must be in [0, 1]");
+        if let Some(inc) = incumbent {
+            assert_eq!(inc.len(), n, "incumbent must cover every node");
+            assert!(inc.iter().all(|&j| (j as usize) < m), "incumbent instance out of range");
+        }
+        if let Some(f) = fixed {
+            assert_eq!(f.len(), n, "fixed assignments must cover every node");
+            assert!(f.iter().flatten().all(|&j| (j as usize) < m), "fixed instance out of range");
+        }
+
+        let pool_size = config.pool_size(n, m);
+        let pool: Vec<u32> = if pool_size >= m {
+            (0..m as u32).collect()
+        } else {
+            let mut forced: Vec<u32> = Vec::new();
+            let mut scored: Vec<(f64, u32)> = Vec::new();
+            for j in 0..m {
+                let mut incident: Vec<f64> = Vec::with_capacity(2 * (m - 1));
+                for l in 0..m {
+                    if l != j {
+                        let out = stats.link(j, l);
+                        if out.count() > 0 {
+                            incident.push(out.mean());
+                        }
+                        let inward = stats.link(l, j);
+                        if inward.count() > 0 {
+                            incident.push(inward.mean());
+                        }
+                    }
+                }
+                let coverage = incident.len() as f64 / (2 * (m - 1)) as f64;
+                if incident.is_empty() || coverage < min_coverage {
+                    // Not enough evidence to exclude this instance.
+                    forced.push(j as u32);
+                } else {
+                    let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;
+                    let (_, q, _) =
+                        incident.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                    scored.push((*q, j as u32));
+                }
+            }
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let take = pool_size.min(scored.len());
+            let mut pool = forced;
+            pool.extend(scored[..take].iter().map(|&(_, j)| j));
+            pool.sort_unstable();
+            pool
+        };
+
+        Self::assemble(m, n, pool, incumbent, fixed)
+    }
+
+    /// Shared tail of the builders: per-node lists (pool + incumbent/pin
+    /// extras) and the sorted union.
+    fn assemble(
+        m: usize,
+        n: usize,
+        pool: Vec<u32>,
+        incumbent: Option<&[u32]>,
+        fixed: Option<&[Option<u32>]>,
+    ) -> Self {
         let in_pool = {
             let mut mask = vec![false; m];
             for &j in &pool {
@@ -437,6 +534,132 @@ impl PrunedProblem {
                     let a = self.to_sub[*j as usize];
                     (a != u32::MAX).then_some(Some(a))
                 }
+            })
+            .collect()
+    }
+}
+
+/// The mid-sweep tournament prune rule (implements
+/// [`cloudia_measure::PruneRule`]): between measurement stages it builds
+/// a [`CandidateSet`] from the **partial** statistics
+/// ([`CandidateSet::build_partial`]) and condemns every remaining pair
+/// with an endpoint already proven outside the candidate union — those
+/// links can never carry a deployment, so their remaining probes are
+/// wasted budget.
+///
+/// Safety rails, in line with the candidate layer's contract:
+///
+/// * **incumbent and pinned instances** are force-included in the union,
+///   so no pair among them (in particular no *deployed* link) is ever
+///   condemned;
+/// * **explicitly protected pairs** ([`CandidatePruneRule::protect_pair`]
+///   — detector-flagged links, links owed a staleness refresh) survive
+///   even when an endpoint leaves the union;
+/// * **under-covered instances** (incident coverage below
+///   `min_coverage`) cannot be proven out and stay in the union, so
+///   early sweeps prune nothing they might regret.
+#[derive(Debug, Clone)]
+pub struct CandidatePruneRule {
+    num_nodes: usize,
+    config: CandidateConfig,
+    min_coverage: f64,
+    incumbent: Option<Vec<u32>>,
+    fixed: Option<Vec<Option<u32>>>,
+    protected: HashSet<(u32, u32)>,
+}
+
+impl CandidatePruneRule {
+    /// Default incident-coverage fraction below which an instance cannot
+    /// be proven uncompetitive — shared by every caller that builds
+    /// partial pools (the rule itself, and the online advisor's
+    /// mid-sweep probe-plan cliques), so plan and prune agree on the
+    /// evidence threshold.
+    pub const DEFAULT_MIN_COVERAGE: f64 = 0.5;
+
+    /// A rule for problems with `num_nodes` application nodes, sizing
+    /// pools by `config` and requiring
+    /// [`CandidatePruneRule::DEFAULT_MIN_COVERAGE`] incident coverage
+    /// before an instance may be proven out.
+    pub fn new(num_nodes: usize, config: CandidateConfig) -> Self {
+        Self {
+            num_nodes,
+            config,
+            min_coverage: Self::DEFAULT_MIN_COVERAGE,
+            incumbent: None,
+            fixed: None,
+            protected: HashSet::new(),
+        }
+    }
+
+    /// Overrides the coverage threshold below which an instance cannot be
+    /// proven uncompetitive.
+    ///
+    /// # Panics
+    /// Panics if outside `[0, 1]`.
+    pub fn with_min_coverage(mut self, min_coverage: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_coverage), "min_coverage must be in [0, 1]");
+        self.min_coverage = min_coverage;
+        self
+    }
+
+    /// Registers the incumbent deployment: its instances are
+    /// force-included in every mid-sweep pool, so deployed links are
+    /// never condemned.
+    pub fn with_incumbent(mut self, incumbent: &[u32]) -> Self {
+        assert_eq!(incumbent.len(), self.num_nodes, "incumbent must cover every node");
+        self.incumbent = Some(incumbent.to_vec());
+        self
+    }
+
+    /// Registers pinned assignments; pinned instances are force-included
+    /// like incumbents.
+    pub fn with_fixed(mut self, fixed: &[Option<u32>]) -> Self {
+        assert_eq!(fixed.len(), self.num_nodes, "fixed assignments must cover every node");
+        self.fixed = Some(fixed.to_vec());
+        self
+    }
+
+    /// Marks the unordered pair `{a, b}` as never prunable (flagged
+    /// links, staleness refreshes, anything the caller still owes a
+    /// measurement).
+    pub fn protect_pair(&mut self, a: u32, b: u32) {
+        if a != b {
+            self.protected.insert((a.min(b), a.max(b)));
+        }
+    }
+
+    /// Number of explicitly protected pairs.
+    pub fn protected_pairs(&self) -> usize {
+        self.protected.len()
+    }
+}
+
+impl PruneRule for CandidatePruneRule {
+    fn prune(&self, stats: &PairwiseStats, remaining: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        if stats.total_samples() == 0 {
+            return Vec::new();
+        }
+        let set = CandidateSet::build_partial(
+            self.num_nodes,
+            stats,
+            &self.config,
+            self.incumbent.as_deref(),
+            self.fixed.as_deref(),
+            self.min_coverage,
+        );
+        if set.is_exact() {
+            return Vec::new();
+        }
+        let mut member = vec![false; stats.len()];
+        for &j in set.union() {
+            member[j as usize] = true;
+        }
+        remaining
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                !self.protected.contains(&(a.min(b), a.max(b)))
+                    && (!member[a as usize] || !member[b as usize])
             })
             .collect()
     }
@@ -614,6 +837,96 @@ mod tests {
             200,
         );
         assert!(tight.k() >= 6);
+    }
+
+    fn record_both(stats: &mut PairwiseStats, i: usize, j: usize, cost: f64) {
+        stats.record(i, j, cost);
+        stats.record(j, i, cost);
+    }
+
+    /// Fully measured stats where instance `bad` has uniformly huge
+    /// incident costs and everyone else is cheap.
+    fn full_stats(m: usize, bad: usize) -> PairwiseStats {
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                record_both(&mut stats, i, j, if i == bad || j == bad { 50.0 } else { 1.0 });
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn partial_pool_excludes_proven_congested_instances() {
+        let stats = full_stats(12, 7);
+        let cs =
+            CandidateSet::build_partial(4, &stats, &CandidateConfig::fixed(6), None, None, 0.5);
+        assert_eq!(cs.union().len(), 6);
+        assert!(!cs.union().contains(&7), "proven-congested instance kept: {:?}", cs.union());
+    }
+
+    #[test]
+    fn partial_pool_force_includes_under_covered_instances() {
+        // Instance 7 is terrible but only one of its 22 incident
+        // directions is measured: it cannot be proven out yet.
+        let m = 12;
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                if i != 7 && j != 7 {
+                    record_both(&mut stats, i, j, 1.0);
+                }
+            }
+        }
+        stats.record(7, 0, 50.0);
+        let cs =
+            CandidateSet::build_partial(4, &stats, &CandidateConfig::fixed(6), None, None, 0.5);
+        assert!(cs.union().contains(&7), "under-covered instance pruned: {:?}", cs.union());
+        assert_eq!(cs.union().len(), 7, "pool is target + the one unprovable instance");
+    }
+
+    #[test]
+    fn partial_pool_with_no_samples_keeps_everyone() {
+        let stats = PairwiseStats::new(10);
+        let cs =
+            CandidateSet::build_partial(3, &stats, &CandidateConfig::fixed(4), None, None, 0.5);
+        assert!(cs.is_exact(), "an unmeasured sweep must not prune anything");
+    }
+
+    #[test]
+    fn prune_rule_condemns_only_out_of_union_unprotected_pairs() {
+        // Pool of 11 over 12 instances: exactly the congested instance 7
+        // is proven out.
+        let stats = full_stats(12, 7);
+        let incumbent: Vec<u32> = vec![0, 1, 2, 3];
+        let mut rule =
+            CandidatePruneRule::new(4, CandidateConfig::fixed(11)).with_incumbent(&incumbent);
+        rule.protect_pair(7, 9); // flagged: survives despite 7 being out
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        let condemned = rule.prune(&stats, &remaining);
+        assert!(!condemned.is_empty());
+        for &(a, b) in &condemned {
+            assert!(a == 7 || b == 7, "({a},{b}) condemned but both endpoints are candidates");
+            assert!((a.min(b), a.max(b)) != (7, 9), "protected pair condemned");
+        }
+        // Deployed pairs (incumbent instances) never condemned.
+        for &(a, b) in &condemned {
+            assert!(
+                !(incumbent.contains(&a) && incumbent.contains(&b)),
+                "incumbent link ({a},{b}) condemned"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_rule_is_silent_without_samples_or_with_exact_union() {
+        let rule = CandidatePruneRule::new(3, CandidateConfig::fixed(6));
+        let remaining = vec![(0u32, 1u32), (1, 2)];
+        assert!(rule.prune(&PairwiseStats::new(8), &remaining).is_empty());
+        // Pool >= m: exact union, nothing prunable.
+        let exact = CandidatePruneRule::new(3, CandidateConfig::fixed(100));
+        assert!(exact.prune(&full_stats(8, 2), &remaining).is_empty());
     }
 
     #[test]

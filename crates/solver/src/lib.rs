@@ -62,7 +62,8 @@ pub mod problem;
 pub mod random;
 
 pub use candidates::{
-    AdaptivePool, AdaptivePoolConfig, CandidateConfig, CandidateSet, PoolPolicy, PrunedProblem,
+    AdaptivePool, AdaptivePoolConfig, CandidateConfig, CandidatePruneRule, CandidateSet,
+    PoolPolicy, PrunedProblem,
 };
 pub use cluster::CostClusters;
 pub use control::SearchControl;

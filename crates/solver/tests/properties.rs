@@ -260,3 +260,103 @@ proptest! {
         }
     }
 }
+
+// Satellite (PR 5): the mid-sweep prune rule's safety contract. Whatever
+// partial statistics a sweep has accumulated, the rule never condemns a
+// protected pair (deployed links, flagged links, staleness refreshes),
+// never condemns a pair among incumbent/pinned instances, and only
+// condemns pairs with an endpoint provably outside the candidate union.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prune_rule_never_condemns_incumbent_pinned_or_protected_pairs(
+        seed in 0u64..1000,
+        m in 8usize..24,
+        pool_k in 4usize..12,
+        coverage in 0.0f64..1.0,
+    ) {
+        use cloudia_measure::{PairwiseStats, PruneRule};
+        use cloudia_solver::{CandidateConfig, CandidatePruneRule, CandidateSet};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        let n = 5usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Arbitrary partial statistics: each directed link is measured
+        // with probability `coverage`, with a random mean and sample
+        // count.
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in 0..m {
+                if i != j && rng.random::<f64>() < coverage {
+                    let mean = rng.random_range(0.1..5.0);
+                    for _ in 0..rng.random_range(1..4usize) {
+                        stats.record(i, j, mean);
+                    }
+                }
+            }
+        }
+
+        // Random incumbent (distinct instances), random pins, a few
+        // random protected pairs.
+        let mut ids: Vec<u32> = (0..m as u32).collect();
+        for i in 0..n {
+            let pick = rng.random_range(i..m);
+            ids.swap(i, pick);
+        }
+        let incumbent: Vec<u32> = ids[..n].to_vec();
+        let fixed: Vec<Option<u32>> = incumbent
+            .iter()
+            .map(|&j| if rng.random::<bool>() { Some(j) } else { None })
+            .collect();
+        let mut rule = CandidatePruneRule::new(n, CandidateConfig::fixed(pool_k))
+            .with_incumbent(&incumbent)
+            .with_fixed(&fixed);
+        let mut protected = Vec::new();
+        for _ in 0..5 {
+            let a = rng.random_range(0..m as u32);
+            let b = rng.random_range(0..m as u32);
+            if a != b {
+                rule.protect_pair(a, b);
+                protected.push((a.min(b), a.max(b)));
+            }
+        }
+        // Deployed links of a ring over the incumbent.
+        for v in 0..n {
+            let (a, b) = (incumbent[v], incumbent[(v + 1) % n]);
+            rule.protect_pair(a, b);
+            protected.push((a.min(b), a.max(b)));
+        }
+
+        let remaining: Vec<(u32, u32)> =
+            (0..m as u32).flat_map(|a| (a + 1..m as u32).map(move |b| (a, b))).collect();
+        let condemned = rule.prune(&stats, &remaining);
+
+        // Recompute the union the rule must have used.
+        let cs = CandidateSet::build_partial(
+            n,
+            &stats,
+            &CandidateConfig::fixed(pool_k),
+            Some(&incumbent),
+            Some(&fixed),
+            0.5,
+        );
+        for &(a, b) in &condemned {
+            let key = (a.min(b), a.max(b));
+            prop_assert!(!protected.contains(&key), "protected pair {key:?} condemned");
+            prop_assert!(
+                !(incumbent.contains(&a) && incumbent.contains(&b)),
+                "incumbent pair ({a},{b}) condemned"
+            );
+            prop_assert!(
+                !cs.union().contains(&a) || !cs.union().contains(&b),
+                "pair ({a},{b}) condemned although both endpoints are candidates"
+            );
+        }
+        // Incumbents and pins are always candidates, whatever the stats.
+        for &j in &incumbent {
+            prop_assert!(cs.union().contains(&j), "incumbent {j} fell out of the union");
+        }
+    }
+}

@@ -34,7 +34,12 @@ fn usage() -> ! {
                [--epoch-hours H]              (simulated hours per epoch, default 4)
                [--migration-budget K]         (max nodes moved per re-solve, default 3)
                [--probe uniform|focused]      (online probe policy: full sweeps, or
-                                               trigger-driven focused rounds; default uniform)"
+                                               trigger-driven focused rounds; default uniform)
+               [--prune-during-sweep]         (online: stage-stream each measurement sweep and
+                                               drop pairs mid-sweep once their measured quantiles
+                                               prove them outside every candidate pool)
+               [--spot-check K]               (online: confirm a degradation alarm with K fresh
+                                               single-link probes before repairing; 0 = off)"
     );
     std::process::exit(2);
 }
@@ -94,6 +99,8 @@ fn main() {
     let mut epoch_hours = 4.0f64;
     let mut migration_budget = 3usize;
     let mut probe_focused = false;
+    let mut prune_during_sweep = false;
+    let mut spot_check = 0usize;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -195,6 +202,13 @@ fn main() {
                         usage();
                     }
                 }
+            }
+            "--prune-during-sweep" => prune_during_sweep = true,
+            "--spot-check" => {
+                spot_check = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad spot-check probe count");
+                    usage();
+                })
             }
             "--help" | "-h" => usage(),
             other => {
@@ -329,6 +343,8 @@ fn main() {
             epoch_hours,
             migration_budget,
             probe_focused,
+            prune_during_sweep,
+            spot_check,
             candidates,
             seed,
         );
@@ -348,6 +364,8 @@ fn run_online(
     epoch_hours: f64,
     migration_budget: usize,
     probe_focused: bool,
+    prune_during_sweep: bool,
+    spot_check: usize,
     candidates: Option<cloudia::solver::CandidateConfig>,
     seed: u64,
 ) {
@@ -359,9 +377,11 @@ fn run_online(
     println!();
     println!(
         "online advisor: {epochs} epochs x {epoch_hours} h, migration budget {migration_budget}, \
-         {} instances kept as spares, {} probing",
+         {} instances kept as spares, {} probing{}{}",
         outcome.network.len() - graph.num_nodes(),
         if probe_focused { "focused" } else { "uniform" },
+        if prune_during_sweep { ", mid-sweep pruning" } else { "" },
+        if spot_check > 0 { ", spot-check confirmation" } else { "" },
     );
     if probe_focused && candidates.is_none() {
         println!(
@@ -390,6 +410,8 @@ fn run_online(
         } else {
             ProbePolicy::Uniform
         },
+        prune_during_sweep,
+        spot_check_probes: spot_check,
         ..OnlineAdvisorConfig::default()
     };
     let mut advisor = OnlineAdvisor::new(
@@ -435,5 +457,20 @@ fn run_online(
             "adaptive candidate pool: final k = {k} (escalation rate {:.3})",
             advisor.escalation_rate().unwrap_or(0.0)
         );
+    }
+    if prune_during_sweep {
+        println!(
+            "mid-sweep pruning: {} round trips saved, {} re-invested into flagged links",
+            advisor.sweep_saved_round_trips(),
+            advisor.deep_probe_round_trips(),
+        );
+    }
+    if spot_check > 0 {
+        let (checks, confirmed) = advisor.events().iter().fold((0, 0), |(c, k), e| match e {
+            OnlineEvent::SpotCheck { confirmed: true, .. } => (c + 1, k + 1),
+            OnlineEvent::SpotCheck { .. } => (c + 1, k),
+            _ => (c, k),
+        });
+        println!("spot checks: {checks} run, {confirmed} confirmed");
     }
 }
