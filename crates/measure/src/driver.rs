@@ -190,9 +190,11 @@ impl<'n> StageDriver<'n> {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
         assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        engine.set_timeout_ms(cfg.timeout_ms);
         Self {
             name,
-            engine: net.engine(cfg.nic, cfg.seed),
+            engine,
             cfg: cfg.clone(),
             stats,
             tracker: SnapshotTracker::new(cfg),
@@ -264,7 +266,7 @@ impl SweepDriver for StageDriver<'_> {
             })
             .collect();
         let ks: Vec<usize> = pairs.iter().map(|&(_, _, k)| k).collect();
-        self.round_trips += crate::scheme::run_stage(
+        let outcome = crate::scheme::run_stage(
             &mut self.engine,
             &directed,
             &ks,
@@ -272,6 +274,23 @@ impl SweepDriver for StageDriver<'_> {
             &mut self.stats,
             &mut self.tracker,
         );
+        self.round_trips += outcome.round_trips;
+        // Pairs that went dark (retry budget exhausted without one
+        // success) are struck from every future stage: re-probing a dead
+        // link each sweep would burn the whole retry budget again for
+        // nothing, and `remaining_pairs`/`planned_remaining` must report
+        // only work that can still complete. A fresh driver (the next
+        // epoch) re-attempts them.
+        if !outcome.dark.is_empty() {
+            let dark: HashSet<(u32, u32)> = outcome
+                .dark
+                .iter()
+                .map(|&pid| norm_pair(directed[pid].0 as u32, directed[pid].1 as u32))
+                .collect();
+            for stage in &mut self.stages {
+                stage.retain(|&(a, b, _)| !dark.contains(&norm_pair(a, b)));
+            }
+        }
         // Coordinator round before the next stage.
         self.engine.advance_to(self.engine.now() + self.coord_overhead_ms);
         self.advance_position();

@@ -33,7 +33,19 @@ pub struct MeasureConfig {
     /// many simulated milliseconds (used by the Fig. 5 convergence study).
     pub snapshot_every_ms: Option<f64>,
     /// If set, stop issuing new probes after this much simulated time.
+    /// The contract (shared by every scheme, pinned by proptest): no
+    /// probe is *issued* at or after the deadline; probes already in
+    /// flight complete and are recorded.
     pub max_duration_ms: Option<f64>,
+    /// Sender timeout (ms) after which a lost probe or reply is
+    /// discovered and a retransmit may be issued.
+    pub timeout_ms: f64,
+    /// Retransmit budget per scheduled pair (per stage / circulation
+    /// visit / launch): after this many timeouts the pair's remaining
+    /// quota is forfeited and its coverage recorded as attempted. On a
+    /// lossless network the budget is never consulted, so loss-awareness
+    /// is free when the network is clean.
+    pub retries_per_pair: u32,
 }
 
 impl Default for MeasureConfig {
@@ -44,6 +56,8 @@ impl Default for MeasureConfig {
             seed: 0,
             snapshot_every_ms: None,
             max_duration_ms: None,
+            timeout_ms: cloudia_netsim::DEFAULT_TIMEOUT_MS,
+            retries_per_pair: 3,
         }
     }
 }
@@ -128,13 +142,32 @@ pub trait Scheme {
     }
 }
 
+/// What one stage execution produced: completed round trips plus the
+/// pairs that went dark (retry budget exhausted without a single
+/// success this stage) — the driver drops those from later stages so
+/// `remaining_pairs`/`planned_remaining` stay truthful under loss.
+#[derive(Debug, Default)]
+pub(crate) struct StageOutcome {
+    /// Round trips completed this stage.
+    pub(crate) round_trips: u64,
+    /// Pair ids (indices into the stage's `directed` slice) that
+    /// exhausted their retry budget with zero successes.
+    pub(crate) dark: Vec<usize>,
+}
+
 /// Executes one stage of endpoint-disjoint directed probe pairs: every
 /// pair gets one outstanding probe, a reply triggers the pair's next
 /// probe until its per-pair quota `ks[pid]` of round trips is done, and
 /// each round trip is recorded into `stats`. Shared by the staged and
 /// focused schemes — the stage protocol is identical, only the pair
-/// schedule (and per-pair sampling depth) differs. Returns the round
-/// trips completed.
+/// schedule (and per-pair sampling depth) differs.
+///
+/// Loss handling: every probe issuance is counted as an attempt; a lost
+/// probe or lost reply comes back as the sender's timeout event, is
+/// counted as a timeout, and triggers a retransmit while the pair's
+/// `cfg.retries_per_pair` budget lasts. A pair that exhausts the budget
+/// without one success is reported dark. No probe (initial, follow-up,
+/// or retransmit) is issued at or after `cfg.max_duration_ms`.
 pub(crate) fn run_stage(
     engine: &mut cloudia_netsim::Engine<'_>,
     directed: &[(usize, usize)],
@@ -142,29 +175,35 @@ pub(crate) fn run_stage(
     cfg: &MeasureConfig,
     stats: &mut PairwiseStats,
     tracker: &mut SnapshotTracker,
-) -> u64 {
+) -> StageOutcome {
     use cloudia_netsim::{InstanceId, MessageSpec};
     debug_assert_eq!(directed.len(), ks.len());
     debug_assert!(ks.iter().all(|&k| k > 0), "every scheduled pair needs a positive quota");
+    let limit = cfg.max_duration_ms.unwrap_or(f64::INFINITY);
     let mut remaining = ks.to_vec();
+    let mut budget = vec![cfg.retries_per_pair; directed.len()];
+    let mut successes = vec![0u64; directed.len()];
     let mut sent_at = vec![0.0f64; directed.len()];
-    let mut round_trips = 0u64;
+    let mut outcome = StageOutcome::default();
 
-    for (pid, &(src, dst)) in directed.iter().enumerate() {
-        sent_at[pid] = engine.send(MessageSpec {
-            src: InstanceId::from_index(src),
-            dst: InstanceId::from_index(dst),
-            size_kb: cfg.probe_size_kb,
-            kind: KIND_PROBE,
-            token: pid as u64,
-        });
+    let probe = |pid: usize, (src, dst): (usize, usize)| MessageSpec {
+        src: InstanceId::from_index(src),
+        dst: InstanceId::from_index(dst),
+        size_kb: cfg.probe_size_kb,
+        kind: KIND_PROBE,
+        token: pid as u64,
+    };
+
+    for (pid, &pair) in directed.iter().enumerate() {
+        stats.record_attempt(pair.0, pair.1);
+        sent_at[pid] = engine.send(probe(pid, pair));
         remaining[pid] -= 1;
     }
 
     while let Some(msg) = engine.next_delivery() {
         let pid = msg.spec.token as usize;
         match msg.spec.kind {
-            KIND_PROBE => {
+            KIND_PROBE if !msg.lost => {
                 engine.send(MessageSpec {
                     src: msg.spec.dst,
                     dst: msg.spec.src,
@@ -173,26 +212,36 @@ pub(crate) fn run_stage(
                     token: msg.spec.token,
                 });
             }
-            KIND_REPLY => {
-                let (src, dst) = directed[pid];
-                stats.record(src, dst, msg.delivered_at - sent_at[pid]);
-                round_trips += 1;
+            KIND_PROBE | KIND_REPLY => {
+                let pair = directed[pid];
+                if msg.lost {
+                    // The prober's timeout: the probe (or its reply)
+                    // was dropped. Retransmit within budget; otherwise
+                    // forfeit the pair's remaining quota.
+                    stats.record_timeout(pair.0, pair.1);
+                    if budget[pid] > 0 && engine.now() < limit {
+                        budget[pid] -= 1;
+                        stats.record_attempt(pair.0, pair.1);
+                        sent_at[pid] = engine.send(probe(pid, pair));
+                    } else if budget[pid] == 0 && successes[pid] == 0 {
+                        outcome.dark.push(pid);
+                    }
+                    continue;
+                }
+                stats.record(pair.0, pair.1, msg.delivered_at - sent_at[pid]);
+                successes[pid] += 1;
+                outcome.round_trips += 1;
                 tracker.maybe_snapshot(engine.now(), stats);
-                if remaining[pid] > 0 {
+                if remaining[pid] > 0 && engine.now() < limit {
                     remaining[pid] -= 1;
-                    sent_at[pid] = engine.send(MessageSpec {
-                        src: InstanceId::from_index(src),
-                        dst: InstanceId::from_index(dst),
-                        size_kb: cfg.probe_size_kb,
-                        kind: KIND_PROBE,
-                        token: pid as u64,
-                    });
+                    stats.record_attempt(pair.0, pair.1);
+                    sent_at[pid] = engine.send(probe(pid, pair));
                 }
             }
             other => unreachable!("unexpected message kind {other}"),
         }
     }
-    round_trips
+    outcome
 }
 
 /// Shared snapshot bookkeeping for scheme implementations.

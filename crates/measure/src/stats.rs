@@ -41,16 +41,20 @@ impl Welford {
         self.mean
     }
 
-    /// Population variance (0 with fewer than 2 observations).
+    /// Sample (Bessel-corrected) variance, `m2 / (count − 1)`; 0 with
+    /// fewer than 2 observations. Unbiased at the low counts a lossy
+    /// link is starved down to — the population divisor systematically
+    /// under-reported σ there, making prune rules and detectors
+    /// overconfident exactly where data is scarcest.
     pub fn variance(&self) -> f64 {
         if self.count < 2 {
             0.0
         } else {
-            self.m2 / self.count as f64
+            self.m2 / (self.count - 1) as f64
         }
     }
 
-    /// Population standard deviation.
+    /// Sample standard deviation.
     pub fn sd(&self) -> f64 {
         self.variance().sqrt()
     }
@@ -182,11 +186,15 @@ impl P2Quantile {
 pub struct LinkEstimate {
     welford: Welford,
     p99: P2Quantile,
+    /// Probes issued on this link (successful or not).
+    attempts: u64,
+    /// Probes that timed out (lost probe or lost reply).
+    timeouts: u64,
 }
 
 impl Default for LinkEstimate {
     fn default() -> Self {
-        Self { welford: Welford::new(), p99: P2Quantile::new(0.99) }
+        Self { welford: Welford::new(), p99: P2Quantile::new(0.99), attempts: 0, timeouts: 0 }
     }
 }
 
@@ -195,6 +203,36 @@ impl LinkEstimate {
     pub fn record(&mut self, rtt: f64) {
         self.welford.record(rtt);
         self.p99.record(rtt);
+    }
+
+    /// Counts one probe issued on this link.
+    pub fn record_attempt(&mut self) {
+        self.attempts += 1;
+    }
+
+    /// Counts one probe that timed out on this link.
+    pub fn record_timeout(&mut self) {
+        self.timeouts += 1;
+    }
+
+    /// Probes issued on this link (0 for schemes predating loss
+    /// awareness or synthetic stats that only called `record`).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Probes that timed out on this link.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Observed loss rate, `timeouts / attempts` (0 without attempts).
+    pub fn loss_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.timeouts as f64 / self.attempts as f64
+        }
     }
 
     /// Number of observations.
@@ -251,6 +289,38 @@ impl PairwiseStats {
     pub fn record(&mut self, src: usize, dst: usize, rtt: f64) {
         debug_assert_ne!(src, dst);
         self.links[src * self.n + dst].record(rtt);
+    }
+
+    /// Counts one probe issued on the directed link `src → dst`.
+    pub fn record_attempt(&mut self, src: usize, dst: usize) {
+        debug_assert_ne!(src, dst);
+        self.links[src * self.n + dst].record_attempt();
+    }
+
+    /// Counts one timed-out probe on the directed link `src → dst`.
+    pub fn record_timeout(&mut self, src: usize, dst: usize) {
+        debug_assert_ne!(src, dst);
+        self.links[src * self.n + dst].record_timeout();
+    }
+
+    /// Total probes issued across all links.
+    pub fn total_attempts(&self) -> u64 {
+        self.links.iter().map(|l| l.attempts()).sum()
+    }
+
+    /// Total timed-out probes across all links.
+    pub fn total_timeouts(&self) -> u64 {
+        self.links.iter().map(|l| l.timeouts()).sum()
+    }
+
+    /// Number of off-diagonal links probed at least once (successfully
+    /// or not) — under loss this can exceed
+    /// [`PairwiseStats::covered_links`].
+    pub fn attempted_links(&self) -> usize {
+        (0..self.n)
+            .flat_map(|i| (0..self.n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j && self.link(i, j).attempts() > 0)
+            .count()
     }
 
     /// The summary of one directed link.
@@ -324,10 +394,20 @@ mod tests {
             w.record(x);
         }
         let mean = xs.iter().sum::<f64>() / 5.0;
-        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 5.0;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / 4.0;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_variance_is_bessel_corrected() {
+        let mut w = Welford::new();
+        w.record(1.0);
+        w.record(3.0);
+        // Sample variance of {1, 3} is 2, not the population 1.
+        assert!((w.variance() - 2.0).abs() < 1e-12);
+        assert!((w.sd() - 2.0_f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
@@ -388,6 +468,73 @@ mod tests {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let exact = xs[(0.99 * xs.len() as f64) as usize];
         assert!((q.value() - exact).abs() / exact < 0.05, "p2 {} exact {exact}", q.value());
+    }
+
+    #[test]
+    fn p2_small_count_path_matches_sorted_ground_truth() {
+        // Property check over the exact path (count <= 5): for every
+        // count 1..=5 and q in {0.01, 0.5, 0.99}, the estimate equals
+        // the ceil(count·q)-th order statistic of the sorted samples.
+        let mut rng = StdRng::seed_from_u64(17);
+        for _case in 0..200 {
+            for count in 1..=5usize {
+                let xs: Vec<f64> = (0..count).map(|_| rng.random::<f64>() * 10.0).collect();
+                for q in [0.01, 0.5, 0.99] {
+                    let mut p2 = P2Quantile::new(q);
+                    for &x in &xs {
+                        p2.record(x);
+                    }
+                    let mut sorted = xs.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let idx = ((count as f64 * q).ceil() as usize).clamp(1, count) - 1;
+                    assert_eq!(p2.value(), sorted[idx], "count {count} q {q} samples {xs:?}");
+                    assert_eq!(p2.count(), count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p2_marker_path_agrees_with_exact_at_larger_counts() {
+        // Just past the exact/marker boundary the estimator must stay
+        // within tolerance of the true quantile.
+        let mut rng = StdRng::seed_from_u64(23);
+        for q in [0.5, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            let mut xs = Vec::new();
+            for _ in 0..5000 {
+                let x = rng.random::<f64>();
+                p2.record(x);
+                xs.push(x);
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let exact = xs[((xs.len() as f64 * q) as usize).min(xs.len() - 1)];
+            assert!(
+                (p2.value() - exact).abs() < 0.05,
+                "q {q}: marker {} vs exact {exact}",
+                p2.value()
+            );
+        }
+    }
+
+    #[test]
+    fn attempts_and_timeouts_track_loss() {
+        let mut s = PairwiseStats::new(3);
+        s.record_attempt(0, 1);
+        s.record_attempt(0, 1);
+        s.record_timeout(0, 1);
+        s.record(0, 1, 2.0);
+        assert_eq!(s.link(0, 1).attempts(), 2);
+        assert_eq!(s.link(0, 1).timeouts(), 1);
+        assert_eq!(s.link(0, 1).loss_rate(), 0.5);
+        assert_eq!(s.link(1, 0).loss_rate(), 0.0);
+        assert_eq!(s.total_attempts(), 2);
+        assert_eq!(s.total_timeouts(), 1);
+        // A fully dark link is attempted but never covered.
+        s.record_attempt(1, 2);
+        s.record_timeout(1, 2);
+        assert_eq!(s.attempted_links(), 2);
+        assert_eq!(s.covered_links(), 1);
     }
 
     #[test]

@@ -96,8 +96,10 @@ impl<'n> TokenDriver<'n> {
                 visits_left.insert((a, b), 2 * samples_per_pair as u64);
             }
         }
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        engine.set_timeout_ms(cfg.timeout_ms);
         Self {
-            engine: net.engine(cfg.nic, cfg.seed),
+            engine,
             cfg: cfg.clone(),
             stats,
             tracker: SnapshotTracker::new(cfg),
@@ -150,38 +152,77 @@ impl SweepDriver for TokenDriver<'_> {
                 continue;
             }
 
-            // Probe and wait for the reply — strictly serial.
-            let sent = self.engine.send(MessageSpec {
-                src: InstanceId::from_index(holder),
-                dst: InstanceId::from_index(dst),
-                size_kb: self.cfg.probe_size_kb,
-                kind: KIND_PROBE,
-                token: visit as u64,
-            });
-            let probe = self.engine.next_delivery().expect("probe in flight");
-            debug_assert_eq!(probe.spec.kind, KIND_PROBE);
-            self.engine.send(MessageSpec {
-                src: probe.spec.dst,
-                dst: probe.spec.src,
-                size_kb: self.cfg.probe_size_kb,
-                kind: KIND_REPLY,
-                token: probe.spec.token,
-            });
-            let reply = self.engine.next_delivery().expect("reply in flight");
-            self.stats.record(holder, dst, reply.delivered_at - sent);
-            self.round_trips += 1;
-            self.tracker.maybe_snapshot(self.engine.now(), &self.stats);
+            // Probe and wait for the reply — strictly serial, so the
+            // next delivery is always ours, lost or not. A timeout
+            // (lost probe or lost reply) burns one retry; when the
+            // visit's budget is gone the holder moves on with the
+            // round trip unrecorded.
+            let limit = self.cfg.max_duration_ms.unwrap_or(f64::INFINITY);
+            let mut budget = self.cfg.retries_per_pair;
+            loop {
+                self.stats.record_attempt(holder, dst);
+                let sent = self.engine.send(MessageSpec {
+                    src: InstanceId::from_index(holder),
+                    dst: InstanceId::from_index(dst),
+                    size_kb: self.cfg.probe_size_kb,
+                    kind: KIND_PROBE,
+                    token: visit as u64,
+                });
+                let probe = self.engine.next_delivery().expect("probe in flight");
+                debug_assert_eq!(probe.spec.kind, KIND_PROBE);
+                if probe.lost {
+                    self.stats.record_timeout(holder, dst);
+                    if budget > 0 && self.engine.now() < limit {
+                        budget -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                self.engine.send(MessageSpec {
+                    src: probe.spec.dst,
+                    dst: probe.spec.src,
+                    size_kb: self.cfg.probe_size_kb,
+                    kind: KIND_REPLY,
+                    token: probe.spec.token,
+                });
+                let reply = self.engine.next_delivery().expect("reply in flight");
+                debug_assert_eq!(reply.spec.kind, KIND_REPLY);
+                if reply.lost {
+                    self.stats.record_timeout(holder, dst);
+                    if budget > 0 && self.engine.now() < limit {
+                        budget -= 1;
+                        continue;
+                    }
+                    break;
+                }
+                self.stats.record(holder, dst, reply.delivered_at - sent);
+                self.round_trips += 1;
+                self.tracker.maybe_snapshot(self.engine.now(), &self.stats);
+                break;
+            }
 
             // Pass the token to the next holder (a real small message).
+            // A lost handoff is retransmitted a bounded number of times;
+            // past that the ring's timeout-based token regeneration is
+            // assumed to restore circulation (the lost events already
+            // charged the waits), so the schedule position is preserved.
             let next = (holder + 1) % self.n;
-            self.engine.send(MessageSpec {
-                src: InstanceId::from_index(holder),
-                dst: InstanceId::from_index(next),
-                size_kb: 0.1,
-                kind: KIND_TOKEN,
-                token: visit as u64,
-            });
-            self.engine.next_delivery();
+            let mut token_budget = self.cfg.retries_per_pair;
+            loop {
+                self.engine.send(MessageSpec {
+                    src: InstanceId::from_index(holder),
+                    dst: InstanceId::from_index(next),
+                    size_kb: 0.1,
+                    kind: KIND_TOKEN,
+                    token: visit as u64,
+                });
+                let handoff = self.engine.next_delivery().expect("token in flight");
+                if handoff.lost && token_budget > 0 {
+                    token_budget -= 1;
+                    continue;
+                }
+                break;
+            }
         }
         if self.visit >= self.total_visits {
             self.done = true;

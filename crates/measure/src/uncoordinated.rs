@@ -73,6 +73,10 @@ struct UncoordinatedDriver<'n> {
     probe_sent_at: Vec<f64>,
     probe_dst: Vec<usize>,
     issued: Vec<usize>,
+    /// Retransmit budget of the current launch: refilled from
+    /// `cfg.retries_per_pair` on every fresh destination draw, burned
+    /// by timeouts. When it runs out the launch is simply consumed.
+    retry_left: Vec<u32>,
     pruned: HashSet<(u32, u32)>,
     round_trips: u64,
 }
@@ -91,8 +95,10 @@ impl<'n> UncoordinatedDriver<'n> {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
         assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
+        let mut engine = net.engine(cfg.nic, cfg.seed);
+        engine.set_timeout_ms(cfg.timeout_ms);
         let mut driver = Self {
-            engine: net.engine(cfg.nic, cfg.seed),
+            engine,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9_7f4a_7c15),
             cfg: cfg.clone(),
             stats,
@@ -102,6 +108,7 @@ impl<'n> UncoordinatedDriver<'n> {
             probe_sent_at: vec![0.0f64; n],
             probe_dst: vec![0usize; n],
             issued: vec![0usize; n],
+            retry_left: vec![0u32; n],
             pruned: HashSet::new(),
             round_trips: 0,
         };
@@ -129,16 +136,24 @@ impl<'n> UncoordinatedDriver<'n> {
                 break d;
             }
         };
+        self.probe_dst[src] = dst;
+        self.issued[src] += 1;
+        self.retry_left[src] = self.cfg.retries_per_pair;
+        self.send_probe(src);
+    }
+
+    /// Issues (or re-issues) the probe of `src`'s current launch to the
+    /// already-drawn destination, counting the attempt.
+    fn send_probe(&mut self, src: usize) {
+        self.stats.record_attempt(src, self.probe_dst[src]);
         let sent = self.engine.send(MessageSpec {
             src: InstanceId::from_index(src),
-            dst: InstanceId::from_index(dst),
+            dst: InstanceId::from_index(self.probe_dst[src]),
             size_kb: self.cfg.probe_size_kb,
             kind: KIND_PROBE,
             token: src as u64,
         });
         self.probe_sent_at[src] = sent;
-        self.probe_dst[src] = dst;
-        self.issued[src] += 1;
     }
 }
 
@@ -156,7 +171,7 @@ impl SweepDriver for UncoordinatedDriver<'_> {
             };
             any = true;
             match msg.spec.kind {
-                KIND_PROBE => {
+                KIND_PROBE if !msg.lost => {
                     // Reply immediately (queues behind whatever the
                     // destination endpoint is doing).
                     self.engine.send(MessageSpec {
@@ -167,8 +182,24 @@ impl SweepDriver for UncoordinatedDriver<'_> {
                         token: msg.spec.token,
                     });
                 }
-                KIND_REPLY => {
+                KIND_PROBE | KIND_REPLY => {
                     let src = msg.spec.token as usize;
+                    let under_limit =
+                        self.cfg.max_duration_ms.is_none_or(|limit| self.engine.now() < limit);
+                    if msg.lost {
+                        // The prober's timeout (lost probe or lost
+                        // reply): retransmit to the same destination
+                        // while the launch's budget lasts, else the
+                        // launch is consumed and the next one starts.
+                        self.stats.record_timeout(src, self.probe_dst[src]);
+                        if self.retry_left[src] > 0 && under_limit {
+                            self.retry_left[src] -= 1;
+                            self.send_probe(src);
+                        } else if self.issued[src] < self.probes_per_instance && under_limit {
+                            self.launch(src);
+                        }
+                        continue;
+                    }
                     self.stats.record(
                         src,
                         self.probe_dst[src],
@@ -177,8 +208,6 @@ impl SweepDriver for UncoordinatedDriver<'_> {
                     self.round_trips += 1;
                     recorded += 1;
                     self.tracker.maybe_snapshot(self.engine.now(), &self.stats);
-                    let under_limit =
-                        self.cfg.max_duration_ms.is_none_or(|limit| self.engine.now() < limit);
                     if self.issued[src] < self.probes_per_instance && under_limit {
                         self.launch(src);
                     }

@@ -44,6 +44,10 @@ mod reference {
         cfg: &MeasureConfig,
         stats: &mut PairwiseStats,
     ) -> u64 {
+        // The shared deadline contract (see `MeasureConfig::max_duration_ms`):
+        // continuation probes are gated on the limit, like every other
+        // issuance site.
+        let limit = cfg.max_duration_ms.unwrap_or(f64::INFINITY);
         let mut remaining = vec![ks; directed.len()];
         let mut sent_at = vec![0.0f64; directed.len()];
         let mut round_trips = 0u64;
@@ -75,7 +79,7 @@ mod reference {
                     let (src, dst) = directed[pid];
                     stats.record(src, dst, msg.delivered_at - sent_at[pid]);
                     round_trips += 1;
-                    if remaining[pid] > 0 {
+                    if remaining[pid] > 0 && engine.now() < limit {
                         remaining[pid] -= 1;
                         sent_at[pid] = engine.send(MessageSpec {
                             src: InstanceId::from_index(src),
@@ -465,6 +469,102 @@ proptest! {
                 "{}: resumed means diverged", scheme.name()
             );
         }
+    }
+
+    #[test]
+    fn no_probe_is_issued_at_or_after_the_deadline(
+        n in 4usize..8,
+        seed in 0u64..50,
+        limit in 2.0f64..12.0,
+    ) {
+        // The shared duration-limit contract of `MeasureConfig::max_duration_ms`:
+        // no scheme issues a probe (initial, continuation, or retransmit)
+        // at or after the deadline. Only work already in flight may
+        // drain, so the overhang past the deadline is bounded by a few
+        // round-trip times — never by a stage's or sweep's remaining
+        // quota, which is what the pre-fix staged path would burn.
+        let net = quiet_network(n, seed);
+        let cfg = MeasureConfig { seed, max_duration_ms: Some(limit), ..MeasureConfig::default() };
+        let overhead = 4.0 * (cfg.nic.handle_ms + cfg.nic.serialize_ms_per_kb * cfg.probe_size_kb);
+        let max_rtt = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| net.mean_rtt(InstanceId::from_index(i), InstanceId::from_index(j)))
+            .fold(0.0f64, f64::max);
+        // At the cutoff each instance has at most one exchange in
+        // flight; replies may queue behind each other at an endpoint.
+        let overhang = (n as f64) * (max_rtt + overhead) + 1.0;
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(Staged::new(50, 50)),
+            Box::new(FocusedScheme::new(ProbePlan::full(n), 50, 50)),
+            Box::new(TokenPassing::new(200)),
+            Box::new(Uncoordinated::new(100_000)),
+        ];
+        for scheme in &schemes {
+            let report = scheme.run(&net, &cfg);
+            prop_assert!(
+                report.elapsed_ms < limit + overhang,
+                "{}: elapsed {} vs limit {} (overhang allowance {})",
+                scheme.name(), report.elapsed_ms, limit, overhang
+            );
+        }
+    }
+
+    #[test]
+    fn clear_loss_plane_is_bit_identical_to_no_plane(n in 4usize..9, seed in 0u64..100) {
+        // Loss-awareness is free on a clean network: an installed
+        // all-zero loss plane never consults the fault RNG, so every
+        // scheme reproduces its no-plane run bit for bit.
+        let net = ec2_network(n, seed);
+        let mut clear = net.clone();
+        clear.set_loss(cloudia_netsim::LossPlane::clear(n));
+        let cfg = MeasureConfig { seed, ..MeasureConfig::default() };
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(Staged::new(2, 2)),
+            Box::new(FocusedScheme::new(ProbePlan::full(n), 2, 2)),
+            Box::new(TokenPassing::new(2)),
+            Box::new(Uncoordinated::new(10 * (n - 1))),
+        ];
+        for scheme in &schemes {
+            let a = scheme.run(&net, &cfg);
+            let b = scheme.run(&clear, &cfg);
+            prop_assert_eq!(a.round_trips, b.round_trips, "{}: round trips", scheme.name());
+            prop_assert_eq!(a.elapsed_ms, b.elapsed_ms, "{}: elapsed", scheme.name());
+            prop_assert_eq!(a.mean_vector(), b.mean_vector(), "{}: means", scheme.name());
+        }
+    }
+
+    #[test]
+    fn schemes_converge_under_uniform_loss(n in 4usize..8, seed in 0u64..50) {
+        // Acceptance contract: under 5% per-link loss every scheme
+        // terminates with every planned pair either measured or recorded
+        // as attempted (retry budget exhausted), so coverage accounting
+        // stays truthful.
+        let mut net = ec2_network(n, seed);
+        net.set_loss(cloudia_netsim::LossPlane::uniform(n, 0.05));
+        let cfg = MeasureConfig { seed, ..MeasureConfig::default() };
+        let full_coverage: Vec<Box<dyn Scheme>> = vec![
+            Box::new(Staged::new(2, 2)),
+            Box::new(FocusedScheme::new(ProbePlan::full(n), 2, 2)),
+            Box::new(TokenPassing::new(2)),
+        ];
+        for scheme in &full_coverage {
+            let report = scheme.run(&net, &cfg);
+            prop_assert!(report.round_trips > 0, "{}: no round trips", scheme.name());
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        prop_assert!(
+                            report.stats.link(i, j).attempts() > 0,
+                            "{}: pair ({i},{j}) never attempted", scheme.name()
+                        );
+                    }
+                }
+            }
+        }
+        let unc = Uncoordinated::new(20 * (n - 1)).run(&net, &cfg);
+        prop_assert!(unc.round_trips > 0, "uncoordinated: no round trips");
+        prop_assert!(unc.stats.total_attempts() >= unc.round_trips, "attempts undercounted");
     }
 
     #[test]

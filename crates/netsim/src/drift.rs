@@ -12,6 +12,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::dist::standard_normal;
 use crate::latency::LinkProfile;
+use crate::loss::{FaultParams, LossPlane, DARK_DROP};
 use crate::network::Network;
 
 /// Parameters of the mean-drift process.
@@ -99,6 +100,25 @@ pub struct DriftingNetwork {
     processes: Vec<DriftProcess>,
     hours: f64,
     rng: StdRng,
+    /// Optional evolving fault process (per-link loss drift, blackouts,
+    /// dark instances). Drawn from its own RNG so a fault schedule never
+    /// perturbs the latency trajectory.
+    faults: Option<FaultState>,
+}
+
+/// Evolving fault state of a [`DriftingNetwork`].
+#[derive(Debug, Clone)]
+struct FaultState {
+    params: FaultParams,
+    /// One loss OU state per directed link (loss = base · exp(X_t)).
+    processes: Vec<DriftProcess>,
+    /// Simulated hour each link's blackout ends (row-major; 0 = none).
+    link_blackout_until: Vec<f64>,
+    /// Simulated hour each instance's unresponsive window ends.
+    instance_dark_until: Vec<f64>,
+    /// Dedicated fault RNG: the latency drift RNG stream is identical
+    /// with faults on or off.
+    rng: StdRng,
 }
 
 impl DriftingNetwork {
@@ -123,11 +143,57 @@ impl DriftingNetwork {
             }
         }
         let processes = (0..n * n).map(|_| DriftProcess::at_equilibrium(params)).collect();
-        Self { net, base, processes, hours: 0.0, rng: StdRng::seed_from_u64(seed) }
+        Self { net, base, processes, hours: 0.0, rng: StdRng::seed_from_u64(seed), faults: None }
+    }
+
+    /// Attaches an evolving fault process (builder style). The fault
+    /// schedule draws exclusively from `fault_seed`'s RNG, so two arms
+    /// sharing the drift seed walk the identical latency trajectory
+    /// whether or not either carries faults.
+    pub fn with_faults(mut self, params: FaultParams, fault_seed: u64) -> Self {
+        let n = self.net.len();
+        self.faults = Some(FaultState {
+            params,
+            processes: (0..n * n)
+                .map(|_| DriftProcess::at_equilibrium(params.loss_drift))
+                .collect(),
+            link_blackout_until: vec![0.0; n * n],
+            instance_dark_until: vec![0.0; n],
+            rng: StdRng::seed_from_u64(fault_seed ^ 0xfa_17_fa_17_fa_17_fa_17),
+        });
+        self.refresh_loss_plane();
+        self
+    }
+
+    /// Scripted fault injection: makes one instance unresponsive for
+    /// `hours` of simulated time starting now (all its links dark in
+    /// both directions). Used by scenarios that need a reproducible
+    /// blackout at a known epoch rather than a Poisson draw.
+    ///
+    /// # Panics
+    /// Panics if no fault process is attached.
+    pub fn force_instance_dark(&mut self, instance: crate::InstanceId, hours: f64) {
+        let now = self.hours;
+        let faults = self.faults.as_mut().expect("no fault process attached");
+        faults.instance_dark_until[instance.index()] = now + hours;
+        self.refresh_loss_plane();
+    }
+
+    /// True if the instance is currently inside an unresponsive window.
+    pub fn instance_dark(&self, instance: crate::InstanceId) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.instance_dark_until[instance.index()] > self.hours)
+    }
+
+    /// The current drop probability of one directed link (0 without
+    /// faults).
+    pub fn link_loss(&self, src: crate::InstanceId, dst: crate::InstanceId) -> f64 {
+        self.net.drop_prob(src, dst)
     }
 
     /// Advances every link's drift process by `dt_hours` and returns the
-    /// updated network view.
+    /// updated network view. With faults attached, the per-link loss OU
+    /// processes advance too, blackout/dark windows open by Poisson draw
+    /// and expire, and the network's loss plane is rewritten.
     pub fn step(&mut self, dt_hours: f64) -> &Network {
         let n = self.net.len();
         for i in 0..n {
@@ -146,7 +212,68 @@ impl DriftingNetwork {
             }
         }
         self.hours += dt_hours;
+        self.step_faults(dt_hours);
         &self.net
+    }
+
+    /// Advances the fault process by `dt_hours` (already reflected in
+    /// `self.hours`) and rewrites the network's loss plane.
+    fn step_faults(&mut self, dt_hours: f64) {
+        let n = self.net.len();
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        let params = faults.params;
+        let p_blackout = 1.0 - (-params.blackout_per_link_hour * dt_hours).exp();
+        let p_dark = 1.0 - (-params.dark_instance_per_hour * dt_hours).exp();
+        for idx in 0..n * n {
+            if idx / n == idx % n {
+                continue;
+            }
+            faults.processes[idx].step(dt_hours, &mut faults.rng);
+            if p_blackout > 0.0 && faults.rng.random::<f64>() < p_blackout {
+                faults.link_blackout_until[idx] = self.hours + params.blackout_hours;
+            }
+        }
+        for i in 0..n {
+            if p_dark > 0.0 && faults.rng.random::<f64>() < p_dark {
+                faults.instance_dark_until[i] = self.hours + params.dark_instance_hours;
+            }
+        }
+        self.refresh_loss_plane();
+    }
+
+    /// Rewrites the network's loss plane from the current fault state.
+    fn refresh_loss_plane(&mut self) {
+        let n = self.net.len();
+        let Some(faults) = self.faults.as_ref() else {
+            return;
+        };
+        let mut plane = LossPlane::clear(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let idx = i * n + j;
+                let dark = faults.instance_dark_until[i] > self.hours
+                    || faults.instance_dark_until[j] > self.hours
+                    || faults.link_blackout_until[idx] > self.hours;
+                let p = if dark {
+                    DARK_DROP
+                } else {
+                    (faults.params.base_loss * faults.processes[idx].multiplier()).clamp(0.0, 1.0)
+                };
+                if p > 0.0 {
+                    plane.set_drop_prob(
+                        crate::InstanceId::from_index(i),
+                        crate::InstanceId::from_index(j),
+                        p,
+                    );
+                }
+            }
+        }
+        self.net.set_loss(plane);
     }
 
     /// The current (drifted) network view.
@@ -380,6 +507,71 @@ mod tests {
             (p, d.network().mean_rtt(crate::InstanceId(0), crate::InstanceId(1)))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_schedule_never_perturbs_the_latency_trajectory() {
+        let mut cloud = crate::Cloud::boot(crate::Provider::ec2_like(), 8);
+        let alloc = cloud.allocate(5);
+        let net = cloud.network(&alloc);
+        let run = |faults: bool| {
+            let mut d = DriftingNetwork::new(net.clone(), 21);
+            if faults {
+                d = d.with_faults(FaultParams::default(), 99);
+            }
+            let mut means = Vec::new();
+            for _ in 0..6 {
+                d.step(2.0);
+                for i in 0..5u32 {
+                    for j in 0..5u32 {
+                        if i != j {
+                            means.push(
+                                d.network().mean_rtt(crate::InstanceId(i), crate::InstanceId(j)),
+                            );
+                        }
+                    }
+                }
+            }
+            means
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drifting_loss_wiggles_around_its_base() {
+        let mut d = drifting_setup().with_faults(FaultParams::drifting_loss(0.05), 7);
+        let (a, b) = (crate::InstanceId(0), crate::InstanceId(1));
+        let mut acc = 0.0;
+        let steps = 500;
+        for _ in 0..steps {
+            d.step(1.0);
+            let p = d.link_loss(a, b);
+            assert!(p > 0.0 && p < 0.5, "loss {p} out of band");
+            acc += p;
+        }
+        let avg = acc / steps as f64;
+        assert!((avg / 0.05 - 1.0).abs() < 0.2, "avg loss {avg} far from base");
+    }
+
+    #[test]
+    fn forced_dark_instance_blacks_out_its_links_then_recovers() {
+        let mut d = drifting_setup().with_faults(FaultParams::drifting_loss(0.01), 5);
+        d.step(1.0);
+        let victim = crate::InstanceId(2);
+        d.force_instance_dark(victim, 3.0);
+        assert!(d.instance_dark(victim));
+        for j in 0..6u32 {
+            if j != 2 {
+                assert_eq!(d.link_loss(victim, crate::InstanceId(j)), DARK_DROP);
+                assert_eq!(d.link_loss(crate::InstanceId(j), victim), DARK_DROP);
+            }
+        }
+        // Other links keep their drifting loss.
+        assert!(d.link_loss(crate::InstanceId(0), crate::InstanceId(1)) < 0.5);
+        // The window expires with time.
+        d.step(4.0);
+        assert!(!d.instance_dark(victim));
+        assert!(d.link_loss(victim, crate::InstanceId(0)) < 0.5);
     }
 
     #[test]

@@ -18,10 +18,16 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::ids::InstanceId;
 use crate::latency::LatencyModel;
+use crate::loss::LossPlane;
+
+/// Default sender timeout (ms) after which a dropped message is
+/// discovered. Far above any one-way latency the simulator produces, so
+/// a timeout is always a real loss, never a slow packet.
+pub const DEFAULT_TIMEOUT_MS: f64 = 50.0;
 
 /// Endpoint handling parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,15 +68,22 @@ pub struct MessageSpec {
     pub token: u64,
 }
 
-/// A message the engine has delivered to its destination.
+/// A message the engine has delivered to its destination — or, when
+/// `lost`, a timeout notification: the message was dropped in the wire,
+/// the destination never saw it, and `delivered_at` is the moment the
+/// *sender* gives up waiting.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeliveredMessage {
     /// The original message.
     pub spec: MessageSpec,
     /// Time the caller invoked [`Engine::send`].
     pub sent_at: f64,
-    /// Time the destination finished receiving the message.
+    /// Time the destination finished receiving the message (or, for a
+    /// lost message, the time the sender's timeout fires).
     pub delivered_at: f64,
+    /// True if the message was dropped: the destination was never
+    /// occupied and this event is the sender's timeout.
+    pub lost: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +125,15 @@ pub struct Engine<'a> {
     heap: BinaryHeap<Delivery>,
     seq: u64,
     rng: StdRng,
+    /// Optional per-link drop probabilities. `None` (or an all-zero
+    /// plane) reproduces the lossless engine bit-for-bit: the fault RNG
+    /// is only ever consulted for links with a positive drop
+    /// probability, so the latency RNG stream is untouched either way.
+    loss: Option<&'a LossPlane>,
+    /// Dedicated RNG of drop decisions, decoupled from the latency RNG.
+    fault_rng: StdRng,
+    /// Sender timeout for lost messages (ms).
+    timeout_ms: f64,
 }
 
 impl<'a> Engine<'a> {
@@ -125,7 +147,37 @@ impl<'a> Engine<'a> {
             heap: BinaryHeap::new(),
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
+            loss: None,
+            fault_rng: StdRng::seed_from_u64(seed ^ 0x10_55_10_55_10_55_10_55),
+            timeout_ms: DEFAULT_TIMEOUT_MS,
         }
+    }
+
+    /// Installs a per-link loss plane (builder style).
+    ///
+    /// # Panics
+    /// Panics if the plane's size disagrees with the model's.
+    pub fn with_loss(mut self, loss: Option<&'a LossPlane>) -> Self {
+        if let Some(plane) = loss {
+            assert_eq!(plane.len(), self.model.len(), "loss plane size mismatch");
+        }
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the sender timeout (ms) after which a lost message's
+    /// [`DeliveredMessage`] event fires.
+    ///
+    /// # Panics
+    /// Panics if `timeout_ms` is not positive.
+    pub fn set_timeout_ms(&mut self, timeout_ms: f64) {
+        assert!(timeout_ms > 0.0, "timeout must be positive, got {timeout_ms}");
+        self.timeout_ms = timeout_ms;
+    }
+
+    /// The sender timeout (ms) in use for lost messages.
+    pub fn timeout_ms(&self) -> f64 {
+        self.timeout_ms
     }
 
     /// Current simulation time (ms).
@@ -143,6 +195,11 @@ impl<'a> Engine<'a> {
     /// earlier work), travels one way with sampled latency, then occupies
     /// the destination endpoint before delivery.
     ///
+    /// With a loss plane installed the message may be dropped in the
+    /// wire: the source is still occupied (it did transmit), the
+    /// destination never is, no latency is drawn, and the delivery event
+    /// comes back `lost` at `tx_end + timeout_ms` — the sender's timeout.
+    ///
     /// # Panics
     /// Panics if `src == dst`.
     pub fn send(&mut self, spec: MessageSpec) -> f64 {
@@ -152,6 +209,18 @@ impl<'a> Engine<'a> {
 
         let tx_start = self.now.max(self.busy_until[spec.src.index()]);
         self.busy_until[spec.src.index()] = tx_start + busy;
+
+        let drop_p = self.loss.map_or(0.0, |plane| plane.drop_prob(spec.src, spec.dst));
+        if drop_p > 0.0 && self.fault_rng.random::<f64>() < drop_p {
+            let delivered_at = tx_start + busy + self.timeout_ms;
+            self.seq += 1;
+            self.heap.push(Delivery {
+                at: delivered_at,
+                seq: self.seq,
+                msg: DeliveredMessage { spec, sent_at, delivered_at, lost: true },
+            });
+            return sent_at;
+        }
 
         let one_way = self.model.sample_one_way(spec.src, spec.dst, spec.size_kb, &mut self.rng);
         let arrival = tx_start + busy + one_way;
@@ -164,7 +233,7 @@ impl<'a> Engine<'a> {
         self.heap.push(Delivery {
             at: delivered_at,
             seq: self.seq,
-            msg: DeliveredMessage { spec, sent_at, delivered_at },
+            msg: DeliveredMessage { spec, sent_at, delivered_at, lost: false },
         });
         sent_at
     }
@@ -340,5 +409,76 @@ mod tests {
         let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
         let mut e = Engine::new(&model, NicParams::default(), 1);
         e.send(spec(1, 1, 0, 0));
+    }
+
+    #[test]
+    fn certain_loss_times_out_without_touching_the_destination() {
+        use crate::loss::LossPlane;
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut plane = LossPlane::clear(3);
+        plane.set_drop_prob(InstanceId(0), InstanceId(1), 1.0);
+        let nic = NicParams { serialize_ms_per_kb: 0.01, handle_ms: 0.05 };
+        let mut e = Engine::new(&model, nic, 0).with_loss(Some(&plane));
+        e.set_timeout_ms(10.0);
+        e.send(spec(0, 1, 0, 0));
+        let d = e.next_delivery().unwrap();
+        assert!(d.lost);
+        // tx busy (0.06) + timeout; no one-way latency, no rx handling.
+        assert!((d.delivered_at - (0.06 + 10.0)).abs() < 1e-9, "{}", d.delivered_at);
+        // Destination was never occupied: a later send 2 -> 1 queues only
+        // behind its own transmission.
+        e.send(spec(2, 1, 0, 1));
+        let d2 = e.next_delivery().unwrap();
+        assert!(!d2.lost);
+        assert!((d2.delivered_at - (d.delivered_at + 0.06 + 0.15 + 0.06)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_plane_is_bit_identical_to_no_plane() {
+        use crate::loss::LossPlane;
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let plane = LossPlane::clear(3);
+        let run = |loss: Option<&LossPlane>| {
+            let mut e = Engine::new(&model, NicParams::default(), 9).with_loss(loss);
+            for k in 0..12 {
+                e.send(spec(k % 3, (k + 1) % 3, 0, k as u64));
+            }
+            let mut times = Vec::new();
+            while let Some(d) = e.next_delivery() {
+                assert!(!d.lost);
+                times.push(d.delivered_at);
+            }
+            times
+        };
+        assert_eq!(run(None), run(Some(&plane)));
+    }
+
+    #[test]
+    fn partial_loss_drops_the_expected_fraction() {
+        use crate::loss::LossPlane;
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut plane = LossPlane::clear(3);
+        plane.set_drop_prob(InstanceId(0), InstanceId(1), 0.3);
+        let mut e = Engine::new(&model, NicParams::default(), 2).with_loss(Some(&plane));
+        let mut lost = 0usize;
+        let mut ok = 0usize;
+        for k in 0..2000 {
+            e.send(spec(0, 1, 0, k));
+            // Drain immediately so the heap stays small.
+            let d = e.next_delivery().unwrap();
+            if d.lost {
+                lost += 1;
+            } else {
+                ok += 1;
+            }
+            // Untouched links are never dropped.
+            e.send(spec(1, 2, 0, k));
+            assert!(!e.next_delivery().unwrap().lost);
+        }
+        let rate = lost as f64 / (lost + ok) as f64;
+        assert!((rate - 0.3).abs() < 0.03, "observed drop rate {rate}");
     }
 }

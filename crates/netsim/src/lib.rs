@@ -52,6 +52,7 @@ pub mod drift;
 pub mod engine;
 pub mod ids;
 pub mod latency;
+pub mod loss;
 pub mod network;
 pub mod provider;
 pub mod tenancy;
@@ -59,9 +60,10 @@ pub mod topology;
 
 pub use cost::{CostBuilder, CostError, CostMatrix};
 pub use drift::{DriftParams, DriftProcess, DriftingNetwork, LinkTrace};
-pub use engine::{DeliveredMessage, Engine, MessageSpec, NicParams};
+pub use engine::{DeliveredMessage, Engine, MessageSpec, NicParams, DEFAULT_TIMEOUT_MS};
 pub use ids::{HostId, InstanceId, PodId, RackId};
 pub use latency::{LatencyModel, LinkProfile};
+pub use loss::{FaultParams, LossPlane, DARK_DROP};
 pub use network::{Cloud, Network};
 pub use provider::{Provider, ProviderKind};
 pub use tenancy::{Allocation, Occupancy};

@@ -1,0 +1,183 @@
+//! Per-link packet loss and failure injection.
+//!
+//! The paper's measurement tool assumes every probe comes back; real
+//! provider networks drop packets, suffer transient per-link blackouts,
+//! and occasionally host instances that stop responding entirely. This
+//! module models that failure surface as a [`LossPlane`]: one drop
+//! probability per directed link, consulted by the discrete-event
+//! [`crate::Engine`] on every send. A dropped message never reaches its
+//! destination; the sender discovers the loss only after a timeout,
+//! which is how the measurement schemes pay for retransmits in elapsed
+//! round-trip time.
+//!
+//! Fault *evolution* (loss drifting over hours, blackout and
+//! dark-instance windows opening and closing) lives on
+//! [`crate::DriftingNetwork`], driven by a dedicated fault RNG so a
+//! fault schedule never perturbs the latency trajectory two arms of an
+//! experiment are compared on.
+
+use crate::drift::DriftParams;
+use crate::ids::InstanceId;
+
+/// Drop probability written into a [`LossPlane`] for a blacked-out link
+/// or a dark instance: nothing gets through.
+pub const DARK_DROP: f64 = 1.0;
+
+/// One drop probability per directed link (row-major, diagonal unused).
+///
+/// A plane where every entry is zero is "clear": the engine draws
+/// nothing from its fault RNG and behaves bit-identically to a network
+/// with no plane installed at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossPlane {
+    n: usize,
+    drop: Vec<f64>,
+}
+
+impl LossPlane {
+    /// A clear plane (every link lossless) over `n` instances.
+    pub fn clear(n: usize) -> Self {
+        Self { n, drop: vec![0.0; n * n] }
+    }
+
+    /// A plane with the same drop probability on every directed link.
+    pub fn uniform(n: usize, p: f64) -> Self {
+        let mut plane = Self::clear(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    plane.set_drop_prob(InstanceId::from_index(i), InstanceId::from_index(j), p);
+                }
+            }
+        }
+        plane
+    }
+
+    /// Number of instances covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the plane covers no instances.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Drop probability of one directed link.
+    pub fn drop_prob(&self, src: InstanceId, dst: InstanceId) -> f64 {
+        self.drop[src.index() * self.n + dst.index()]
+    }
+
+    /// Sets the drop probability of one directed link.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]` or `src == dst`.
+    pub fn set_drop_prob(&mut self, src: InstanceId, dst: InstanceId, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} outside [0, 1]");
+        assert_ne!(src, dst, "diagonal entries are unused");
+        self.drop[src.index() * self.n + dst.index()] = p;
+    }
+
+    /// True when every entry is zero (the engine will never consult its
+    /// fault RNG).
+    pub fn is_clear(&self) -> bool {
+        self.drop.iter().all(|&p| p == 0.0)
+    }
+
+    /// The plane restricted to the first `n` instances.
+    pub fn prefix(&self, n: usize) -> LossPlane {
+        assert!(n <= self.n);
+        let mut out = LossPlane::clear(n);
+        for i in 0..n {
+            for j in 0..n {
+                out.drop[i * n + j] = self.drop[i * self.n + j];
+            }
+        }
+        out
+    }
+}
+
+/// Parameters of the evolving fault process a
+/// [`crate::DriftingNetwork`] can carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultParams {
+    /// Long-run per-link drop probability the loss OU process reverts
+    /// towards.
+    pub base_loss: f64,
+    /// OU drift of the per-link loss multiplier (same construction as
+    /// the latency drift: loss = `base_loss · exp(X_t)`).
+    pub loss_drift: DriftParams,
+    /// Poisson rate (per link per hour) of transient link blackouts.
+    pub blackout_per_link_hour: f64,
+    /// Duration (hours) of one link blackout.
+    pub blackout_hours: f64,
+    /// Poisson rate (per instance per hour) of an instance going
+    /// unresponsive (all its links dark in both directions).
+    pub dark_instance_per_hour: f64,
+    /// Duration (hours) of one unresponsive-instance window.
+    pub dark_instance_hours: f64,
+}
+
+impl FaultParams {
+    /// The ~5% drifting-loss preset the loss benches run under: loss
+    /// wiggles around 5% per link on the same hour timescale as the
+    /// latency drift, with no spontaneous blackouts (scenarios script
+    /// those explicitly for reproducible triage assertions).
+    pub fn drifting_loss(base_loss: f64) -> Self {
+        Self {
+            base_loss,
+            loss_drift: DriftParams::default(),
+            blackout_per_link_hour: 0.0,
+            blackout_hours: 0.0,
+            dark_instance_per_hour: 0.0,
+            dark_instance_hours: 0.0,
+        }
+    }
+}
+
+impl Default for FaultParams {
+    fn default() -> Self {
+        Self::drifting_loss(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_plane_is_clear() {
+        let plane = LossPlane::clear(4);
+        assert!(plane.is_clear());
+        assert_eq!(plane.drop_prob(InstanceId(0), InstanceId(3)), 0.0);
+    }
+
+    #[test]
+    fn uniform_plane_sets_off_diagonal() {
+        let plane = LossPlane::uniform(3, 0.05);
+        assert!(!plane.is_clear());
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                if i != j {
+                    assert_eq!(plane.drop_prob(InstanceId(i), InstanceId(j)), 0.05);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_restricts_entries() {
+        let mut plane = LossPlane::clear(4);
+        plane.set_drop_prob(InstanceId(0), InstanceId(1), 0.2);
+        plane.set_drop_prob(InstanceId(0), InstanceId(3), 0.9);
+        let sub = plane.prefix(2);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.drop_prob(InstanceId(0), InstanceId(1)), 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_probability_panics() {
+        LossPlane::clear(2).set_drop_prob(InstanceId(0), InstanceId(1), 1.5);
+    }
+}

@@ -12,6 +12,7 @@ use crate::drift::{DriftParams, LinkTrace};
 use crate::engine::{Engine, NicParams};
 use crate::ids::InstanceId;
 use crate::latency::{LatencyModel, LinkProfile};
+use crate::loss::LossPlane;
 use crate::provider::Provider;
 use crate::tenancy::{Allocation, Occupancy};
 use crate::topology::Topology;
@@ -96,6 +97,10 @@ pub struct Network {
     allocation: Allocation,
     model: LatencyModel,
     drift: DriftParams,
+    /// Per-link drop probabilities; `None` means a lossless network.
+    /// Rides along every clone/snapshot, so replayed trajectories carry
+    /// their loss state for free.
+    loss: Option<LossPlane>,
 }
 
 impl Network {
@@ -112,6 +117,7 @@ impl Network {
             allocation: allocation.clone(),
             model,
             drift: provider.drift,
+            loss: None,
         }
     }
 
@@ -191,9 +197,58 @@ impl Network {
         self.model.mean_matrix()
     }
 
-    /// A discrete-event engine over this network.
+    /// The installed loss plane, if any.
+    pub fn loss(&self) -> Option<&LossPlane> {
+        self.loss.as_ref()
+    }
+
+    /// Installs (or replaces) the per-link loss plane.
+    ///
+    /// # Panics
+    /// Panics if the plane's size disagrees with the network's.
+    pub fn set_loss(&mut self, plane: LossPlane) {
+        assert_eq!(plane.len(), self.len(), "loss plane size mismatch");
+        self.loss = Some(plane);
+    }
+
+    /// Removes the loss plane (back to a lossless network).
+    pub fn clear_loss(&mut self) {
+        self.loss = None;
+    }
+
+    /// Per-directed-link drop probability (0 without a loss plane).
+    pub fn drop_prob(&self, src: InstanceId, dst: InstanceId) -> f64 {
+        self.loss.as_ref().map_or(0.0, |plane| plane.drop_prob(src, dst))
+    }
+
+    /// Ground-truth *effective* mean RTT matrix under loss: the expected
+    /// completion time of one reliable request/reply exchange when every
+    /// failed attempt (probe or reply dropped) costs a `timeout_ms` wait
+    /// before the retransmit. With no loss plane (or a clear one) this
+    /// is exactly [`Network::mean_matrix`].
+    ///
+    /// The per-attempt success probability of the directed link `i → j`
+    /// is `(1 − p_fwd)(1 − p_rev)`, floored at 1% so a fully dark link
+    /// prices as ~99 timeouts rather than infinity.
+    pub fn effective_mean_matrix(&self, timeout_ms: f64) -> crate::cost::CostMatrix {
+        let means = self.model.mean_matrix();
+        let Some(plane) = self.loss.as_ref() else {
+            return means;
+        };
+        crate::cost::CostMatrix::from_fn(self.len(), |i, j| {
+            if i == j {
+                return 0.0;
+            }
+            let (a, b) = (InstanceId::from_index(i), InstanceId::from_index(j));
+            let success = ((1.0 - plane.drop_prob(a, b)) * (1.0 - plane.drop_prob(b, a))).max(0.01);
+            means.get(i, j) + (1.0 / success - 1.0) * timeout_ms
+        })
+    }
+
+    /// A discrete-event engine over this network, with the network's
+    /// loss plane (if any) installed.
     pub fn engine(&self, nic: NicParams, seed: u64) -> Engine<'_> {
-        Engine::new(&self.model, nic, seed)
+        Engine::new(&self.model, nic, seed).with_loss(self.loss.as_ref())
     }
 
     /// Switch-hop count between two instances (Appendix 2's hop-count
@@ -266,6 +321,7 @@ impl Network {
         let mut sub = self.clone();
         sub.allocation = sub_alloc;
         sub.model = self.model.clone_prefix(n);
+        sub.loss = self.loss.as_ref().map(|plane| plane.prefix(n));
         sub
     }
 }
@@ -365,6 +421,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn effective_matrix_prices_loss_as_timeouts() {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), 9);
+        let alloc = cloud.allocate(4);
+        let mut net = cloud.network(&alloc);
+        // Without a plane: identical to the mean matrix.
+        assert_eq!(net.effective_mean_matrix(50.0).values(), net.mean_matrix().values());
+        let mut plane = crate::loss::LossPlane::clear(4);
+        plane.set_drop_prob(InstanceId(0), InstanceId(1), 0.5);
+        net.set_loss(plane);
+        let eff = net.effective_mean_matrix(50.0);
+        let means = net.mean_matrix();
+        // p_fwd = 0.5, p_rev = 0 -> success 0.5 -> one expected timeout.
+        assert!((eff.get(0, 1) - (means.get(0, 1) + 50.0)).abs() < 1e-9);
+        assert!((eff.get(1, 0) - (means.get(1, 0) + 50.0)).abs() < 1e-9);
+        assert_eq!(eff.get(2, 3), means.get(2, 3));
+        // A fully dark link prices finitely (success floored at 1%).
+        let mut dark = crate::loss::LossPlane::clear(4);
+        dark.set_drop_prob(InstanceId(2), InstanceId(3), 1.0);
+        net.set_loss(dark);
+        let eff = net.effective_mean_matrix(50.0);
+        assert!((eff.get(2, 3) - (means.get(2, 3) + 99.0 * 50.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loss_plane_rides_prefix_and_clone() {
+        let mut cloud = Cloud::boot(Provider::test_quiet(), 10);
+        let alloc = cloud.allocate(6);
+        let mut net = cloud.network(&alloc);
+        let mut plane = crate::loss::LossPlane::clear(6);
+        plane.set_drop_prob(InstanceId(1), InstanceId(2), 0.3);
+        net.set_loss(plane);
+        assert_eq!(net.clone().drop_prob(InstanceId(1), InstanceId(2)), 0.3);
+        let sub = net.prefix(4);
+        assert_eq!(sub.drop_prob(InstanceId(1), InstanceId(2)), 0.3);
+        net.clear_loss();
+        assert!(net.loss().is_none());
     }
 
     #[test]

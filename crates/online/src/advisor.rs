@@ -19,7 +19,7 @@ use cloudia_netsim::Network;
 use cloudia_solver::{AdaptivePool, CandidateConfig, CandidatePruneRule, CandidateSet, PoolPolicy};
 
 use crate::detect::{DetectorConfig, Drift};
-use crate::repair::{incremental_resolve, RepairConfig};
+use crate::repair::{evacuate_resolve, incremental_resolve, RepairConfig};
 use crate::stats::{LinkChange, OnlineStore};
 use crate::stream::{EpochMeasurement, MeasurementStream};
 
@@ -138,6 +138,21 @@ pub struct OnlineAdvisorConfig {
     /// Record every trigger's (costs, incumbent) so a harness can replay
     /// the same instances against a cold solver (timing comparisons).
     pub record_triggers: bool,
+    /// Sender timeout (ms) used to price packet loss into costs: both
+    /// the ground-truth cost curve and the re-solve's search costs charge
+    /// a lossy link its *expected completion time* — mean plus expected
+    /// timeouts (see [`cloudia_netsim::Network::effective_mean_matrix`]).
+    /// On a loss-free network this changes nothing. Match the measurement
+    /// plane's [`cloudia_measure::MeasureConfig::timeout_ms`].
+    pub timeout_ms: f64,
+    /// Loss awareness of the control loop (default on). When off, the
+    /// advisor behaves like the pre-loss loop: darkness alarms are logged
+    /// as plain changes but never confirmed, never trigger an
+    /// evacuation, and the search costs ignore the loss EWMAs. Exists so
+    /// the `ext_loss` bench can run an honest loss-*blind* baseline arm
+    /// against the same lossy ground truth (the cost curve still prices
+    /// loss — the world is lossy whether or not the advisor believes it).
+    pub loss_aware: bool,
 }
 
 impl Default for OnlineAdvisorConfig {
@@ -160,6 +175,8 @@ impl Default for OnlineAdvisorConfig {
             prune_refresh_every: 8,
             spot_check_probes: 0,
             record_triggers: false,
+            timeout_ms: cloudia_netsim::DEFAULT_TIMEOUT_MS,
+            loss_aware: true,
         }
     }
 }
@@ -235,6 +252,33 @@ pub enum OnlineEvent {
         /// Estimated round trips saved.
         saved_round_trips: u64,
     },
+    /// A link went dark: its loss triage crossed the darkness level (all
+    /// probes swallowed), distinct from a latency shift — the repair for
+    /// darkness is evacuating the instance, not weighing a migration on
+    /// latency economics.
+    LinkDark {
+        /// Epoch index.
+        epoch: u64,
+        /// Source instance of the dark link.
+        src: u32,
+        /// Destination instance of the dark link.
+        dst: u32,
+        /// The link's smoothed loss rate at alarm time.
+        loss_rate: f64,
+        /// Whether fresh spot probes confirmed the darkness (always true
+        /// when the stream cannot spot-probe or spot checking is off).
+        confirmed: bool,
+    },
+    /// Dark-instance evacuation: every node hosted on the presumed-dark
+    /// instances was freed and re-placed elsewhere.
+    Evacuate {
+        /// Epoch index.
+        epoch: u64,
+        /// The instances presumed dark.
+        instances: Vec<u32>,
+        /// Nodes that moved off them.
+        moved: usize,
+    },
     /// A spot check confirmed or refuted a degradation alarm before any
     /// repair was considered.
     SpotCheck {
@@ -294,6 +338,34 @@ pub struct EpochSummary {
     /// Round trips mid-sweep pruning saved this epoch (0 without
     /// `prune_during_sweep`).
     pub saved_round_trips: u64,
+}
+
+/// The advisor's per-epoch spot-probe access to its stream: fresh
+/// single-link RTT samples (latency-alarm confirmation) and fresh loss
+/// trials (darkness confirmation). Bundled behind one trait object so
+/// [`OnlineAdvisor::step_stream`] hands `step_core` a *single* mutable
+/// borrow of the stream — two separate closures would each need one.
+trait SpotProber {
+    /// Mean of fresh RTT probes on `src → dst`, or `None` if the stream
+    /// cannot probe single links.
+    fn latency(&mut self, src: u32, dst: u32) -> Option<f64>;
+    /// `(successes, attempts)` of fresh loss trials on `src ⇄ dst`, or
+    /// `None` if the stream cannot probe single links.
+    fn loss(&mut self, src: u32, dst: u32) -> Option<(u64, u64)>;
+}
+
+struct StreamProber<'a, S: MeasurementStream> {
+    stream: &'a mut S,
+    probes: usize,
+}
+
+impl<S: MeasurementStream> SpotProber for StreamProber<'_, S> {
+    fn latency(&mut self, src: u32, dst: u32) -> Option<f64> {
+        self.stream.spot_check(src, dst, self.probes)
+    }
+    fn loss(&mut self, src: u32, dst: u32) -> Option<(u64, u64)> {
+        self.stream.spot_check_loss(src, dst, self.probes)
+    }
 }
 
 /// The continuous deployment advisor.
@@ -624,6 +696,16 @@ impl OnlineAdvisor {
     /// Search costs from the store, with never-observed links defaulting
     /// to the worst observed mean (pessimism keeps the solver away from
     /// links it knows nothing about).
+    ///
+    /// Packet loss is priced in as *expected completion time*: a link
+    /// with loss-rate EWMAs `p` (per direction) costs its mean plus the
+    /// expected timeouts, `mean + (1/success − 1)·timeout_ms` — the same
+    /// shape [`Network::effective_mean_matrix`] gives the ground truth,
+    /// but from the store's own estimates. A dark link (loss → 1, success
+    /// floored at 1%) prices at ~99 timeouts, so ranking-based consumers
+    /// ([`select_free_nodes`](crate::repair::select_free_nodes), candidate
+    /// pools, the evacuation re-solve) push away from dark instances on
+    /// cost alone. Loss-free links are priced exactly as before.
     fn search_costs(&self) -> CostMatrix {
         let n = self.store.len();
         let mut worst = 0.0f64;
@@ -639,29 +721,75 @@ impl OnlineAdvisor {
             for j in 0..n {
                 if i != j {
                     let link = self.store.link(i, j);
-                    b.set(i, j, if link.ewma.count() > 0 { link.ewma.mean() } else { worst });
+                    let base = if link.ewma.count() > 0 { link.ewma.mean() } else { worst };
+                    let (fwd, rev) = if self.config.loss_aware {
+                        (link.loss_rate(), self.store.link(j, i).loss_rate())
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    let cost = if fwd > 0.0 || rev > 0.0 {
+                        let success = ((1.0 - fwd) * (1.0 - rev)).max(0.01);
+                        base + (1.0 / success - 1.0) * self.config.timeout_ms
+                    } else {
+                        base
+                    };
+                    b.set(i, j, cost);
                 }
             }
         }
         b.freeze().expect("EWMA means are finite and non-negative")
     }
 
+    /// Instances presumed dark: unreachable (a dark link in either
+    /// direction) from **two or more distinct neighbours**, and from **a
+    /// majority of the neighbours ever attempted**. A single dark pair
+    /// only proves a link blackout — either endpoint could be at fault,
+    /// and evacuating on it would guess; two distinct unreachable
+    /// neighbours localize the fault to the shared instance. The majority
+    /// clause keeps a healthy instance that merely *borders* several dark
+    /// instances from being condemned by association.
+    fn dark_instances(&self) -> Vec<u32> {
+        let m = self.store.len();
+        let mut dark = Vec::new();
+        for i in 0..m {
+            let (mut attempted, mut unreachable) = (0usize, 0usize);
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                let (fwd, rev) = (self.store.link(i, j), self.store.link(j, i));
+                if fwd.attempts > 0 || rev.attempts > 0 {
+                    attempted += 1;
+                    if fwd.is_dark() || rev.is_dark() {
+                        unreachable += 1;
+                    }
+                }
+            }
+            if unreachable >= 2 && 2 * unreachable >= attempted {
+                dark.push(i as u32);
+            }
+        }
+        dark
+    }
+
     /// Ingests one epoch and runs the control loop. `net` is the current
-    /// ground-truth network, used only for the cost curve and event log.
-    /// Spot-check confirmation needs stream access and therefore only
-    /// runs through [`OnlineAdvisor::step_stream`].
+    /// ground-truth network, used only for the cost curve and event log —
+    /// priced as expected completion time under the configured timeout
+    /// ([`Network::effective_mean_matrix`]; plain means on a loss-free
+    /// network). Spot-check confirmation needs stream access and
+    /// therefore only runs through [`OnlineAdvisor::step_stream`].
     pub fn step(&mut self, m: &EpochMeasurement, net: &Network) -> EpochSummary {
-        self.step_core(m, net.mean_matrix(), None)
+        self.step_core(m, net.effective_mean_matrix(self.config.timeout_ms), None)
     }
 
     /// The control loop proper: `truth_costs` is the ground-truth cost
     /// matrix (cost curve and event log only), `spot` the optional
-    /// single-link confirmation probe.
+    /// single-link confirmation prober (RTT and loss trials).
     fn step_core(
         &mut self,
         m: &EpochMeasurement,
         truth_costs: CostMatrix,
-        mut spot: Option<&mut dyn FnMut(u32, u32) -> Option<f64>>,
+        mut spot: Option<&mut dyn SpotProber>,
     ) -> EpochSummary {
         let epoch = m.epoch;
         self.probe_round_trips += m.round_trips;
@@ -689,6 +817,55 @@ impl OnlineAdvisor {
         let mut opportunity = false;
         for c in &changes {
             let on_deployed = deployed.contains(&(c.src, c.dst));
+            if c.dark {
+                if !self.config.loss_aware {
+                    // Loss-blind baseline: the pre-loss loop had no
+                    // darkness concept — log the change and move on.
+                    self.events.push(OnlineEvent::Change {
+                        epoch,
+                        change: *c,
+                        on_deployed_link: on_deployed,
+                    });
+                    continue;
+                }
+                // Darkness triage: the link swallowed every probe, so the
+                // latency economics below do not apply — confirm the
+                // blackout with fresh loss trials (a transient may have
+                // lifted already) and leave the repair decision to the
+                // dark-instance evacuation pass after this loop. A
+                // refuted alarm clears the store's flag, re-arming the
+                // triage for the next sampleless epoch.
+                let confirmed = match spot.as_deref_mut() {
+                    Some(probe) if self.config.spot_check_probes > 0 => {
+                        match probe.loss(c.src, c.dst) {
+                            Some((successes, attempts)) => {
+                                self.probe_round_trips += attempts;
+                                successes * 2 <= attempts
+                            }
+                            // The stream cannot probe single links: trust
+                            // the store's triage.
+                            None => true,
+                        }
+                    }
+                    _ => true,
+                };
+                if !confirmed {
+                    self.store.clear_dark(c.src as usize, c.dst as usize);
+                }
+                self.events.push(OnlineEvent::LinkDark {
+                    epoch,
+                    src: c.src,
+                    dst: c.dst,
+                    loss_rate: c.loss_rate,
+                    confirmed,
+                });
+                self.events.push(OnlineEvent::Change {
+                    epoch,
+                    change: *c,
+                    on_deployed_link: on_deployed,
+                });
+                continue;
+            }
             match c.drift {
                 Drift::Up if on_deployed => {
                     // Spot-check path: confirm the suspicious link with a
@@ -701,7 +878,7 @@ impl OnlineAdvisor {
                     // budget on a question already answered.
                     let confirmed = match spot.as_deref_mut() {
                         Some(probe) if self.config.spot_check_probes > 0 && !degradation => {
-                            match probe(c.src, c.dst) {
+                            match probe.latency(c.src, c.dst) {
                                 Some(mean) => {
                                     self.probe_round_trips += self.config.spot_check_probes as u64;
                                     let confirmed = mean >= 0.5 * (c.baseline + c.mean);
@@ -743,7 +920,6 @@ impl OnlineAdvisor {
 
         let cooled =
             self.last_resolve.is_none_or(|last| epoch >= last + self.config.cooldown_epochs.max(1));
-        let triggered = (degradation || opportunity) && cooled;
 
         let problem = self.graph.problem(self.search_costs());
         // One ground-truth problem per epoch (one flat-arena build),
@@ -751,6 +927,64 @@ impl OnlineAdvisor {
         let truth_problem = self.graph.problem(truth_costs);
         let mut moved = 0usize;
         let mut repair_unanswered = false;
+
+        // Dark-instance evacuation: when the triage localizes a fault to
+        // an instance the plan occupies, free exactly its nodes and
+        // re-place them — no cooldown, no gain threshold. Darkness is an
+        // availability event: waiting an epoch or demanding a margin over
+        // a plan whose links already price at ~99 timeouts would be
+        // pretending the economics still apply. The ordinary latency
+        // repair is skipped this epoch (its trigger verdicts were formed
+        // on the same, now-evacuated plan).
+        let dark_instances =
+            if self.config.loss_aware { self.dark_instances() } else { Vec::new() };
+        let evacuating = !dark_instances.is_empty()
+            && self.deployment.iter().any(|j| dark_instances.contains(j));
+        if evacuating {
+            self.last_resolve = Some(epoch);
+            let repair_config = RepairConfig {
+                migration_budget: self.config.migration_budget,
+                solve_seconds: self.config.solve_seconds,
+                threads: self.config.threads,
+                seed: self.config.seed ^ epoch.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                candidates: self.effective_candidates(),
+            };
+            let repair = evacuate_resolve(
+                &problem,
+                self.config.objective,
+                &self.deployment,
+                &dark_instances,
+                &repair_config,
+            );
+            let accepted = repair.moved > 0;
+            repair_unanswered = repair.moved == 0;
+            self.events.push(OnlineEvent::Resolve {
+                epoch,
+                freed: repair.freed.clone(),
+                moved: repair.moved,
+                est_gain: repair.incumbent_cost - repair.cost,
+                solve_seconds: repair.solve_seconds,
+                accepted,
+            });
+            if accepted {
+                let before = truth_problem.cost(self.config.objective, &self.deployment);
+                let after = truth_problem.cost(self.config.objective, &repair.deployment);
+                self.deployment = repair.deployment;
+                moved = repair.moved;
+                self.moved_total += moved as u64;
+                self.migration_cost_paid +=
+                    self.config.policy.migration_cost_per_node * moved as f64;
+                self.events.push(OnlineEvent::Migrate {
+                    epoch,
+                    moved,
+                    true_cost_before: before,
+                    true_cost_after: after,
+                });
+            }
+            self.events.push(OnlineEvent::Evacuate { epoch, instances: dark_instances, moved });
+        }
+
+        let triggered = (degradation || opportunity) && cooled && !evacuating;
         if triggered {
             self.last_resolve = Some(epoch);
             if self.config.record_triggers {
@@ -849,7 +1083,7 @@ impl OnlineAdvisor {
             at_hours: m.at_hours,
             est_cost,
             true_cost,
-            triggered,
+            triggered: triggered || evacuating,
             moved,
             round_trips: m.round_trips,
             saved_round_trips: m.saved_round_trips,
@@ -891,13 +1125,13 @@ impl OnlineAdvisor {
             (Some(s), None) => stream.next_epoch_with(s),
             (Some(s), Some(rule)) => stream.next_epoch_pruned(Some(s), rule),
         };
-        let truth = stream.network().mean_matrix();
+        let truth = stream.network().effective_mean_matrix(self.config.timeout_ms);
         let probes = self.config.spot_check_probes;
         if probes == 0 {
             self.step_core(&m, truth, None)
         } else {
-            let mut spot = |src: u32, dst: u32| stream.spot_check(src, dst, probes);
-            self.step_core(&m, truth, Some(&mut spot))
+            let mut prober = StreamProber { stream, probes };
+            self.step_core(&m, truth, Some(&mut prober))
         }
     }
 
@@ -1113,6 +1347,10 @@ mod tests {
         epochs: std::collections::VecDeque<EpochMeasurement>,
         spot_value: Option<f64>,
         spot_calls: usize,
+        /// Scripted result of loss spot probes: `None` = the stream
+        /// cannot loss-probe, `Some((successes, attempts))` otherwise.
+        spot_loss_value: Option<(u64, u64)>,
+        spot_loss_calls: usize,
     }
 
     impl ScriptedStream {
@@ -1124,6 +1362,8 @@ mod tests {
                 epochs: epochs.into(),
                 spot_value,
                 spot_calls: 0,
+                spot_loss_value: None,
+                spot_loss_calls: 0,
             }
         }
     }
@@ -1155,6 +1395,10 @@ mod tests {
             self.spot_calls += 1;
             self.spot_value
         }
+        fn spot_check_loss(&mut self, _src: u32, _dst: u32, _probes: usize) -> Option<(u64, u64)> {
+            self.spot_loss_calls += 1;
+            self.spot_loss_value
+        }
     }
 
     /// Stable full-coverage epochs; from epoch `epochs - 4` onward the
@@ -1170,7 +1414,14 @@ mod tests {
                         let far = if i >= 4 || j >= 4 { 2.0 } else { 0.0 };
                         let base = 1.0 + far + 0.05 * ((i + 2 * j) % 4) as f64;
                         let level = if e + 4 >= epochs && i == 0 && j == 1 { 1.6 } else { 1.0 };
-                        crate::stream::LinkDelta { src: i, dst: j, mean: base * level, count: 5 }
+                        crate::stream::LinkDelta {
+                            src: i,
+                            dst: j,
+                            mean: base * level,
+                            count: 5,
+                            attempts: 5,
+                            timeouts: 0,
+                        }
                     })
                     .collect();
                 EpochMeasurement {
@@ -1302,6 +1553,149 @@ mod tests {
         assert!(advisor.events().iter().any(
             |e| matches!(e, OnlineEvent::DeepProbe { pairs, ks, .. } if *pairs > 0 && *ks > 3)
         ));
+    }
+
+    /// Full-coverage healthy epochs, then instance `dark` goes silent
+    /// from `dark_from` on: every link touching it keeps being attempted
+    /// but answers nothing.
+    fn blackout_script(m: usize, epochs: u64, dark_from: u64, dark: u32) -> Vec<EpochMeasurement> {
+        (0..epochs)
+            .map(|e| {
+                let deltas: Vec<crate::stream::LinkDelta> = (0..m as u32)
+                    .flat_map(|i| (0..m as u32).filter(move |&j| j != i).map(move |j| (i, j)))
+                    .map(|(i, j)| {
+                        let base = 1.0 + 0.05 * ((i + 2 * j) % 4) as f64;
+                        if e >= dark_from && (i == dark || j == dark) {
+                            crate::stream::LinkDelta {
+                                src: i,
+                                dst: j,
+                                mean: 0.0,
+                                count: 0,
+                                attempts: 5,
+                                timeouts: 5,
+                            }
+                        } else {
+                            crate::stream::LinkDelta {
+                                src: i,
+                                dst: j,
+                                mean: base,
+                                count: 5,
+                                attempts: 5,
+                                timeouts: 0,
+                            }
+                        }
+                    })
+                    .collect();
+                EpochMeasurement {
+                    epoch: e,
+                    at_hours: e as f64,
+                    elapsed_ms: 1.0,
+                    round_trips: deltas.iter().map(|d| d.count).sum(),
+                    deltas,
+                    pruned_pairs: 0,
+                    saved_round_trips: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Prohibitive latency economics: only a forced evacuation may move
+    /// the plan, which is exactly what the blackout tests must prove.
+    fn blackout_advisor(spot_probes: usize) -> OnlineAdvisor {
+        let graph = CommGraph::ring(4);
+        let config = OnlineAdvisorConfig {
+            solve_seconds: 0.1,
+            spot_check_probes: spot_probes,
+            policy: RedeployPolicy { min_gain: 1e9, migration_cost_per_node: 0.0 },
+            detector: DetectorConfig { warmup: 3, ..Default::default() },
+            ..Default::default()
+        };
+        OnlineAdvisor::new(graph, 6, (0..4).collect(), config)
+    }
+
+    #[test]
+    fn blackout_raises_link_dark_and_evacuates_the_instance() {
+        let (_, net, _) = setup(4, 6, 41);
+        let mut stream = ScriptedStream::new(net, blackout_script(6, 12, 6, 1), None);
+        let mut advisor = blackout_advisor(0);
+        for _ in 0..12 {
+            advisor.step_stream(&mut stream);
+        }
+        let darks: Vec<bool> = advisor
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::LinkDark { confirmed, .. } => Some(*confirmed),
+                _ => None,
+            })
+            .collect();
+        assert!(!darks.is_empty(), "the blackout never raised a LinkDark");
+        assert!(darks.iter().all(|&c| c), "without spot probing the triage is trusted");
+        assert!(
+            advisor.events().iter().any(|e| matches!(
+                e,
+                OnlineEvent::Evacuate { instances, moved, .. }
+                    if instances == &vec![1] && *moved >= 1
+            )),
+            "the dark instance was never evacuated"
+        );
+        assert!(
+            advisor.deployment().iter().all(|&j| j != 1),
+            "a node remained on the dark instance: {:?}",
+            advisor.deployment()
+        );
+        // Under min_gain 1e9 a latency alarm could never migrate: the
+        // move must have come from the triage path, not the economics.
+        assert!(advisor.events().iter().any(|e| matches!(e, OnlineEvent::Migrate { .. })));
+    }
+
+    #[test]
+    fn refuted_dark_spot_check_suppresses_evacuation_and_rearms() {
+        let (_, net, _) = setup(4, 6, 41);
+        let mut stream = ScriptedStream::new(net, blackout_script(6, 12, 6, 1), None);
+        // Every fresh loss trial gets through: the blackout (as far as
+        // spot probes can tell) already lifted.
+        stream.spot_loss_value = Some((8, 8));
+        let mut advisor = blackout_advisor(8);
+        for _ in 0..12 {
+            advisor.step_stream(&mut stream);
+        }
+        assert!(stream.spot_loss_calls > 0, "darkness was never spot-checked");
+        let darks: Vec<bool> = advisor
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::LinkDark { confirmed, .. } => Some(*confirmed),
+                _ => None,
+            })
+            .collect();
+        assert!(darks.iter().all(|&c| !c), "refuted alarms must not read as confirmed");
+        // Refutation clears the store flag, so the next sampleless epoch
+        // re-raises the alarm instead of going silent forever.
+        assert!(darks.len() > 10, "refuted darkness did not re-arm across epochs");
+        assert!(
+            advisor.events().iter().all(|e| !matches!(e, OnlineEvent::Evacuate { .. })),
+            "a refuted blackout still evacuated"
+        );
+        assert_eq!(advisor.deployment(), &(0..4).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn confirmed_dark_spot_check_lets_the_evacuation_through() {
+        let (_, net, _) = setup(4, 6, 41);
+        let mut stream = ScriptedStream::new(net, blackout_script(6, 12, 6, 1), None);
+        // Fresh loss trials agree: still swallowing everything.
+        stream.spot_loss_value = Some((0, 8));
+        let mut advisor = blackout_advisor(8);
+        for _ in 0..12 {
+            advisor.step_stream(&mut stream);
+        }
+        assert!(advisor
+            .events()
+            .iter()
+            .any(|e| matches!(e, OnlineEvent::LinkDark { confirmed: true, .. })));
+        assert!(advisor.events().iter().any(|e| matches!(e, OnlineEvent::Evacuate { .. })));
+        assert!(advisor.deployment().iter().all(|&j| j != 1));
     }
 
     #[test]

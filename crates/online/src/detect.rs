@@ -86,7 +86,15 @@ impl ChangeDetector {
     /// Feeds one standardized residual; returns the detection verdict.
     /// On an alarm the internal state resets, so a persistent shift fires
     /// once and then re-arms against the (re-baselined) stream.
+    ///
+    /// Non-finite residuals (a degenerate baseline dividing by zero
+    /// upstream) are dropped without touching any state: folding a NaN
+    /// into a CUSUM sum would silently wedge the detector forever, which
+    /// is strictly worse than missing one observation.
     pub fn observe(&mut self, z: f64) -> Drift {
+        if !z.is_finite() {
+            return Drift::None;
+        }
         self.seen += 1;
         if self.seen <= self.config.warmup {
             return Drift::None;
@@ -176,6 +184,24 @@ mod tests {
             let verdicts = feed(&mut d, (0..8).map(|_| 0.0).chain((0..20).map(|_| -2.0)));
             assert!(verdicts.contains(&Drift::Down), "{kind:?}");
             assert!(verdicts.iter().all(|&v| v != Drift::Up), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_residuals_never_wedge_the_detector() {
+        for kind in [DetectorKind::Cusum, DetectorKind::PageHinkley] {
+            let mut d = ChangeDetector::new(DetectorConfig { kind, ..Default::default() });
+            // A burst of degenerate residuals mid-stream (the z = x/0
+            // shape a zero-variance baseline used to produce) must not
+            // poison the sums: the genuine shift afterwards still fires.
+            let verdicts = feed(
+                &mut d,
+                (0..8)
+                    .map(|_| 0.0)
+                    .chain([f64::NAN, f64::INFINITY, f64::NEG_INFINITY])
+                    .chain((0..20).map(|_| 2.0)),
+            );
+            assert!(verdicts.contains(&Drift::Up), "{kind:?} wedged by non-finite residuals");
         }
     }
 

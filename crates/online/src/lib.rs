@@ -73,9 +73,17 @@ pub use advisor::{
     EpochSummary, OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy, TriggerInstance,
 };
 pub use detect::{ChangeDetector, DetectorConfig, DetectorKind, Drift};
-pub use repair::{incremental_resolve, select_free_nodes, RepairConfig, RepairOutcome};
-pub use scenario::{ArmOptions, BuiltFocusScenario, FocusArm, FocusScenario};
-pub use stats::{EwmaVar, LinkChange, LinkOnline, OnlineStore};
+pub use repair::{
+    evacuate_resolve, incremental_resolve, select_free_nodes, RepairConfig, RepairOutcome,
+};
+pub use scenario::{
+    ArmOptions, BuiltFocusScenario, BuiltLossScenario, FocusArm, FocusScenario, LossArm,
+    LossScenario,
+};
+pub use stats::{
+    standardized_residual, EwmaVar, LinkChange, LinkOnline, OnlineStore, DARK_LOSS_LEVEL,
+};
 pub use stream::{
-    record_trajectory, EpochMeasurement, LinkDelta, MeasurementStream, ReplayStream, SimStream,
+    record_trajectory, record_trajectory_with, EpochMeasurement, LinkDelta, MeasurementStream,
+    ReplayStream, SimStream,
 };

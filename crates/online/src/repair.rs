@@ -107,7 +107,47 @@ pub fn incremental_resolve(
     let n = problem.num_nodes;
     let k = config.migration_budget.min(n);
     let freed = select_free_nodes(problem, incumbent, k);
+    resolve_with_freed(problem, objective, incumbent, freed, config)
+}
 
+/// Dark-instance evacuation: frees *exactly* the nodes the incumbent
+/// hosts on `instances` (presumed unresponsive) and re-solves their
+/// placement, pinning everyone else. Unlike [`incremental_resolve`] the
+/// freed set is dictated by the fault, not ranked by cost, and
+/// `config.migration_budget` is ignored — an evacuation moves however
+/// many nodes the dark instances host. The gain-vs-cost economics are
+/// the caller's to waive: darkness is an availability event, and the
+/// dark links' costs (priced as expected completion time, timeouts
+/// included) make any off-instance placement an improvement.
+///
+/// # Panics
+/// Panics if the incumbent is not a valid deployment of `problem`.
+pub fn evacuate_resolve(
+    problem: &NodeDeployment,
+    objective: Objective,
+    incumbent: &[u32],
+    instances: &[u32],
+    config: &RepairConfig,
+) -> RepairOutcome {
+    assert!(problem.is_valid(incumbent), "evacuation incumbent is not a valid deployment");
+    let freed: Vec<u32> = incumbent
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| instances.contains(j))
+        .map(|(v, _)| v as u32)
+        .collect();
+    resolve_with_freed(problem, objective, incumbent, freed, config)
+}
+
+/// The shared repair core: pins everything outside `freed`, warm-starts
+/// the portfolio around the incumbent, and packages the outcome.
+fn resolve_with_freed(
+    problem: &NodeDeployment,
+    objective: Objective,
+    incumbent: &[u32],
+    freed: Vec<u32>,
+    config: &RepairConfig,
+) -> RepairOutcome {
     let mut fixed: Vec<Option<u32>> = incumbent.iter().map(|&j| Some(j)).collect();
     for &v in &freed {
         fixed[v as usize] = None;
@@ -235,6 +275,29 @@ mod tests {
         assert!(out.cost <= out.incumbent_cost + 1e-12);
         for v in 0..8u32 {
             if !out.freed.contains(&v) {
+                assert_eq!(out.deployment[v as usize], incumbent[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn evacuation_frees_exactly_the_hosted_nodes() {
+        let p = random_problem(6, 10, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let incumbent = p.random_deployment(&mut rng);
+        let dark = vec![incumbent[2], incumbent[4]];
+        let config = RepairConfig { solve_seconds: 0.5, threads: 1, seed: 9, ..Default::default() };
+        let out = evacuate_resolve(&p, Objective::LongestLink, &incumbent, &dark, &config);
+        assert!(p.is_valid(&out.deployment));
+        assert!(out.cost <= out.incumbent_cost + 1e-12);
+        for v in 0..6u32 {
+            let hosted = dark.contains(&incumbent[v as usize]);
+            assert_eq!(
+                out.freed.contains(&v),
+                hosted,
+                "node {v}: freed set must be exactly the hosted nodes"
+            );
+            if !hosted {
                 assert_eq!(out.deployment[v as usize], incumbent[v as usize]);
             }
         }

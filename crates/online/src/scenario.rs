@@ -15,12 +15,14 @@
 
 use cloudia_core::{CommGraph, LatencyMetric, Objective, RedeployPolicy, SearchStrategy};
 use cloudia_measure::{MeasureConfig, Scheme, Staged};
-use cloudia_netsim::{Cloud, DriftParams, Network, Provider};
+use cloudia_netsim::{
+    Cloud, DriftParams, DriftingNetwork, FaultParams, InstanceId, Network, Provider,
+};
 use cloudia_solver::{AdaptivePoolConfig, Budget, CandidateConfig, PortfolioConfig};
 
 use crate::advisor::{OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy};
 use crate::detect::DetectorConfig;
-use crate::stream::{record_trajectory, ReplayStream};
+use crate::stream::{record_trajectory, record_trajectory_with, ReplayStream};
 
 /// Parameters of the differential scenario. [`FocusScenario::default`]
 /// is the CI smoke configuration.
@@ -266,6 +268,208 @@ impl BuiltFocusScenario {
     }
 }
 
+/// The shared loss-aware-vs-loss-blind differential scenario: ~5%
+/// per-link drifting packet loss throughout, plus a scripted permanent
+/// blackout of one *deployed* instance partway through. Both arms replay
+/// the identical trajectory (latencies, loss planes, and the blackout);
+/// they differ only in whether the measurement plane retransmits and the
+/// advisor believes in loss ([`OnlineAdvisorConfig::loss_aware`]). The
+/// ground-truth cost curve prices loss for both — the world is lossy
+/// either way — so the comparison isolates what loss awareness buys.
+#[derive(Debug, Clone)]
+pub struct LossScenario {
+    /// Application graph rows × cols (2-D mesh).
+    pub mesh: (usize, usize),
+    /// Allocated instances (nodes + spares).
+    pub instances: usize,
+    /// Total epochs.
+    pub epochs: u64,
+    /// Simulated hours per epoch.
+    pub epoch_hours: f64,
+    /// Wall-clock budget per incremental re-solve (seconds).
+    pub solve_seconds: f64,
+    /// Base seed (cloud, probes, trajectory, faults).
+    pub seed: u64,
+    /// Staged Ks per pair per stage.
+    pub probe_ks: usize,
+    /// Sweeps per round (2 covers both directions).
+    pub probe_sweeps: usize,
+    /// Long-run per-link drop probability the loss OU reverts towards.
+    pub base_loss: f64,
+    /// Epoch at which one deployed instance goes permanently dark.
+    pub blackout_epoch: u64,
+    /// Retransmit budget of the loss-aware arm's measurement plane (the
+    /// blind arm always runs with 0).
+    pub retries_per_pair: u32,
+}
+
+impl Default for LossScenario {
+    fn default() -> Self {
+        Self {
+            mesh: (3, 4),
+            instances: 20,
+            epochs: 20,
+            epoch_hours: 2.0,
+            solve_seconds: 0.2,
+            seed: 42,
+            probe_ks: 2,
+            probe_sweeps: 2,
+            base_loss: 0.05,
+            blackout_epoch: 10,
+            retries_per_pair: 3,
+        }
+    }
+}
+
+impl LossScenario {
+    /// Boots the cloud, solves the hour-0 plan, picks a deployed
+    /// instance as the blackout victim, and records the lossy trajectory
+    /// (drifting loss plane + the scripted permanent blackout) every arm
+    /// replays.
+    pub fn build(&self) -> BuiltLossScenario {
+        let graph = CommGraph::mesh_2d(self.mesh.0, self.mesh.1);
+        let mut cloud = Cloud::boot(Provider::ec2_like(), self.seed);
+        let alloc = cloud.allocate(self.instances);
+        let net = cloud.network(&alloc);
+
+        let measure_cfg = MeasureConfig { seed: self.seed, ..MeasureConfig::default() };
+        let initial_report = Staged::new(self.probe_ks, self.probe_sweeps).run(&net, &measure_cfg);
+        let initial = SearchStrategy::Portfolio(PortfolioConfig {
+            budget: Budget::seconds(self.solve_seconds.max(1.0)),
+            threads: 1,
+            seed: self.seed,
+            ..PortfolioConfig::default()
+        })
+        .run(
+            &graph.problem(LatencyMetric::Mean.cost_matrix(&initial_report.stats)),
+            Objective::LongestLink,
+        )
+        .deployment;
+        let dark_instance = initial[0];
+
+        let faults = FaultParams::drifting_loss(self.base_loss);
+        let drifting =
+            DriftingNetwork::new(net, self.seed ^ 0x10f5).with_faults(faults, self.seed ^ 0xfa11);
+        // The blackout outlives the run: a died-for-good instance, whose
+        // only repair is evacuation.
+        let forever = (self.epochs - self.blackout_epoch + 1) as f64 * self.epoch_hours;
+        let blackout_epoch = self.blackout_epoch;
+        let snapshots =
+            record_trajectory_with(drifting, self.epoch_hours, self.epochs as usize, |e, d| {
+                if e as u64 == blackout_epoch {
+                    d.force_instance_dark(InstanceId(dark_instance), forever);
+                }
+            });
+
+        BuiltLossScenario {
+            scenario: self.clone(),
+            graph,
+            initial,
+            dark_instance,
+            snapshots,
+            measure_cfg,
+        }
+    }
+}
+
+/// A built loss scenario: the shared lossy trajectory plus everything an
+/// arm needs.
+#[derive(Debug, Clone)]
+pub struct BuiltLossScenario {
+    /// The parameters this scenario was built from.
+    pub scenario: LossScenario,
+    /// The application graph.
+    pub graph: CommGraph,
+    /// The hour-0 deployment both arms start from.
+    pub initial: Vec<u32>,
+    /// The deployed instance the script blacks out.
+    pub dark_instance: u32,
+    /// The recorded lossy trajectory (snapshots carry their loss planes).
+    pub snapshots: Vec<Network>,
+    /// Probe configuration shared by both arms (retries overridden
+    /// per-arm).
+    pub measure_cfg: MeasureConfig,
+}
+
+/// What one arm of the loss comparison produced.
+#[derive(Debug, Clone)]
+pub struct LossArm {
+    /// Time-averaged ground-truth *effective* cost (expected completion
+    /// time under loss, incl. amortized migrations).
+    pub avg_cost: f64,
+    /// Probe round trips spent across all epochs.
+    pub probes: u64,
+    /// Migrations applied.
+    pub migrations: usize,
+    /// `LinkDark` events raised.
+    pub link_dark_events: usize,
+    /// Dark-instance evacuations run.
+    pub evacuations: usize,
+    /// Epoch of the first `LinkDark` event, if any.
+    pub first_dark_epoch: Option<u64>,
+    /// Whether the final plan still occupies the blacked-out instance.
+    pub final_plan_on_dark: bool,
+}
+
+impl BuiltLossScenario {
+    /// Runs one arm over the recorded trajectory. `loss_aware` selects
+    /// the whole bundle: retransmit-budgeted sweeps, loss-priced search
+    /// costs, darkness triage, and evacuation — versus the zero-retry,
+    /// loss-blind baseline.
+    pub fn run_arm(&self, loss_aware: bool) -> LossArm {
+        let s = &self.scenario;
+        let mut measure_cfg = self.measure_cfg.clone();
+        measure_cfg.retries_per_pair = if loss_aware { s.retries_per_pair } else { 0 };
+        let config = OnlineAdvisorConfig {
+            objective: Objective::LongestLink,
+            policy: RedeployPolicy { min_gain: 0.02, migration_cost_per_node: 0.05 },
+            migration_budget: 3,
+            solve_seconds: s.solve_seconds,
+            threads: 1,
+            seed: s.seed,
+            spot_check_probes: 8,
+            loss_aware,
+            ewma_alpha: 0.5,
+            detector: DetectorConfig { warmup: 3, threshold: 6.0, ..Default::default() },
+            ..Default::default()
+        };
+        let mut advisor =
+            OnlineAdvisor::new(self.graph.clone(), s.instances, self.initial.clone(), config);
+        let mut stream = ReplayStream::new(
+            self.snapshots.clone(),
+            Staged::new(s.probe_ks, s.probe_sweeps),
+            measure_cfg,
+            s.epoch_hours,
+        );
+        for _ in 0..s.epochs {
+            advisor.step_stream(&mut stream);
+        }
+        let link_dark_events =
+            advisor.events().iter().filter(|e| matches!(e, OnlineEvent::LinkDark { .. })).count();
+        let first_dark_epoch = advisor
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                OnlineEvent::LinkDark { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .min();
+        let evacuations =
+            advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Evacuate { .. })).count();
+        let migrations =
+            advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Migrate { .. })).count();
+        LossArm {
+            avg_cost: advisor.time_averaged_cost(),
+            probes: advisor.probe_round_trips(),
+            migrations,
+            link_dark_events,
+            evacuations,
+            first_dark_epoch,
+            final_plan_on_dark: advisor.deployment().contains(&self.dark_instance),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +490,42 @@ mod tests {
         assert!(built.graph.num_nodes() == 4);
         assert_eq!(scenario.epochs(), 5);
         assert!(scenario.max_flagged() > 0);
+    }
+
+    #[test]
+    fn loss_arms_diverge_on_the_blackout() {
+        let scenario = LossScenario {
+            mesh: (2, 2),
+            instances: 8,
+            epochs: 8,
+            blackout_epoch: 4,
+            solve_seconds: 0.05,
+            ..Default::default()
+        };
+        let built = scenario.build();
+        assert!(built.initial.contains(&built.dark_instance), "victim must be deployed");
+        assert_eq!(built.snapshots.len(), 8);
+        let aware = built.run_arm(true);
+        let blind = built.run_arm(false);
+        // The aware arm triages the blackout within a couple of epochs
+        // and evacuates; the blind arm has no darkness concept at all.
+        assert!(aware.link_dark_events > 0, "blackout raised no LinkDark");
+        assert!(
+            aware.first_dark_epoch.unwrap() <= scenario.blackout_epoch + 2,
+            "darkness detected late: epoch {:?}",
+            aware.first_dark_epoch
+        );
+        assert!(aware.evacuations >= 1, "the dark instance was never evacuated");
+        assert!(!aware.final_plan_on_dark, "aware arm still deployed on the dark instance");
+        assert_eq!(blind.link_dark_events, 0, "the blind arm must not raise LinkDark");
+        assert_eq!(blind.evacuations, 0, "the blind arm must not evacuate");
+        // Both arms are judged on the same lossy ground truth; stranding
+        // the plan on a dead instance prices at ~99 timeouts per link.
+        assert!(
+            aware.avg_cost < blind.avg_cost,
+            "loss awareness did not pay: aware {} vs blind {}",
+            aware.avg_cost,
+            blind.avg_cost
+        );
     }
 }

@@ -64,17 +64,62 @@ impl EwmaVar {
     }
 }
 
+/// Loss-rate EWMA level above which an attempted-but-sampleless link is
+/// declared dark (see [`OnlineStore::observe_epoch`]). The flag clears
+/// once the level decays below half this.
+pub const DARK_LOSS_LEVEL: f64 = 0.5;
+
+/// Standardizes an observation against a pre-update EWMA baseline:
+/// `z = (x − μ̂)/σ̂`, with the divisor floored at
+/// `max(2% of |μ̂|, 1e-6)`. The relative floor keeps early near-zero
+/// variances from manufacturing huge z-scores out of sampling noise; the
+/// absolute epsilon keeps the division finite when the baseline mean
+/// itself sits at zero (a loss-rate stream on a clean link), where the
+/// relative floor collapses and `z = x/0` would feed ±inf/NaN into the
+/// detectors. Returns 0 for an unseeded baseline.
+pub fn standardized_residual(x: f64, baseline: &EwmaVar) -> f64 {
+    if baseline.count() == 0 {
+        return 0.0;
+    }
+    let floor = (0.02 * baseline.mean().abs()).max(1e-6);
+    (x - baseline.mean()) / baseline.sd().max(floor)
+}
+
 /// One link's online state.
 #[derive(Debug, Clone)]
 pub struct LinkOnline {
     /// EWMA of per-epoch means.
     pub ewma: EwmaVar,
     detector: ChangeDetector,
+    /// EWMA of per-epoch loss rates (timeouts / attempts); only epochs
+    /// that attempted the link contribute.
+    pub loss: EwmaVar,
+    /// Probes attempted on this link across all epochs.
+    pub attempts: u64,
+    /// Probes that timed out on this link across all epochs.
+    pub timeouts: u64,
     /// Raw samples accumulated across all epochs.
     pub samples: u64,
     /// The last epoch that contributed samples to this link (`None` until
     /// the first observation) — the staleness input of focused probing.
+    /// Deliberately *not* advanced by sampleless (dark) epochs, so a dark
+    /// link keeps re-entering focused plans and its recovery is noticed.
     pub last_epoch: Option<u64>,
+    dark_flagged: bool,
+}
+
+impl LinkOnline {
+    /// True while the link is flagged dark: its loss-rate EWMA crossed
+    /// [`DARK_LOSS_LEVEL`] on an epoch with attempts but no successes,
+    /// and has not yet decayed below half that level.
+    pub fn is_dark(&self) -> bool {
+        self.dark_flagged
+    }
+
+    /// Smoothed loss rate (0 until the link is first attempted).
+    pub fn loss_rate(&self) -> f64 {
+        self.loss.mean()
+    }
 }
 
 /// A change detected on one link during an epoch.
@@ -86,12 +131,20 @@ pub struct LinkChange {
     pub dst: u32,
     /// Direction of the shift.
     pub drift: Drift,
-    /// The epoch mean that triggered the alarm (ms).
+    /// The epoch mean that triggered the alarm (ms; 0 for a dark alarm —
+    /// a dark epoch produces no samples to average).
     pub mean: f64,
     /// The link's EWMA mean *before* the alarming epoch was folded in
     /// (ms) — the reference level a spot check confirms the shift
     /// against.
     pub baseline: f64,
+    /// True when the alarm is a *darkness* alarm (the link swallowed
+    /// every probe) rather than a latency shift — the triage bit: a dark
+    /// link wants its instance evacuated, a slow link wants a migration
+    /// weighed on economics.
+    pub dark: bool,
+    /// The link's smoothed loss rate at alarm time.
+    pub loss_rate: f64,
 }
 
 /// Per-link online statistics over `n` instances.
@@ -107,8 +160,12 @@ impl OnlineStore {
         let proto = LinkOnline {
             ewma: EwmaVar::new(alpha),
             detector: ChangeDetector::new(detector),
+            loss: EwmaVar::new(alpha),
+            attempts: 0,
+            timeouts: 0,
             samples: 0,
             last_epoch: None,
+            dark_flagged: false,
         };
         Self { n, links: vec![proto; n * n] }
     }
@@ -128,29 +185,62 @@ impl OnlineStore {
         &self.links[src * self.n + dst]
     }
 
-    /// Ingests one epoch's deltas: updates every observed link's EWMA and
-    /// runs its change detector on the standardized residual. Returns the
-    /// links whose detectors fired.
+    /// Ingests one epoch's deltas. Every attempted link updates its
+    /// loss-rate EWMA; a link whose epoch had attempts but no successes
+    /// and whose smoothed loss has crossed [`DARK_LOSS_LEVEL`] raises a
+    /// *dark* change (once — the flag re-arms after the loss decays).
+    /// Every sampled link updates its latency EWMA and runs its change
+    /// detector on the standardized residual
+    /// ([`standardized_residual`]). Returns the links whose detectors or
+    /// dark triage fired.
     pub fn observe_epoch(&mut self, m: &EpochMeasurement) -> Vec<LinkChange> {
         let mut changes = Vec::new();
         for d in &m.deltas {
             let link = &mut self.links[d.src as usize * self.n + d.dst as usize];
-            // Standardize against the *pre-update* baseline; a relative
-            // floor keeps early near-zero variances from manufacturing
-            // huge z-scores out of sampling noise.
-            let sd_floor = (0.02 * link.ewma.mean()).max(1e-9);
+            if d.attempts > 0 {
+                link.loss.observe(d.timeouts as f64 / d.attempts as f64);
+                link.attempts += d.attempts;
+                link.timeouts += d.timeouts;
+                if !link.dark_flagged && d.count == 0 && link.loss.mean() > DARK_LOSS_LEVEL {
+                    link.dark_flagged = true;
+                    changes.push(LinkChange {
+                        src: d.src,
+                        dst: d.dst,
+                        drift: Drift::Up,
+                        mean: 0.0,
+                        baseline: link.ewma.mean(),
+                        dark: true,
+                        loss_rate: link.loss.mean(),
+                    });
+                } else if link.dark_flagged && link.loss.mean() < DARK_LOSS_LEVEL / 2.0 {
+                    // Recovered: successes are flowing again and the
+                    // smoothed loss has decayed — re-arm the triage.
+                    link.dark_flagged = false;
+                }
+            }
+            if d.count == 0 {
+                // A sampleless delta carries no latency information:
+                // leave the EWMA, detector, and staleness age untouched
+                // (the link stays stale, so it keeps being re-attempted).
+                continue;
+            }
+            // Standardize against the *pre-update* baseline.
             let baseline = if link.ewma.count() > 0 { link.ewma.mean() } else { d.mean };
-            let z = if link.ewma.count() > 0 {
-                (d.mean - link.ewma.mean()) / link.ewma.sd().max(sd_floor)
-            } else {
-                0.0
-            };
+            let z = standardized_residual(d.mean, &link.ewma);
             link.ewma.observe(d.mean);
             link.samples += d.count;
             link.last_epoch = Some(m.epoch);
             let drift = link.detector.observe(z);
             if drift != Drift::None {
-                changes.push(LinkChange { src: d.src, dst: d.dst, drift, mean: d.mean, baseline });
+                changes.push(LinkChange {
+                    src: d.src,
+                    dst: d.dst,
+                    drift,
+                    mean: d.mean,
+                    baseline,
+                    dark: false,
+                    loss_rate: link.loss.mean(),
+                });
             }
         }
         changes
@@ -205,11 +295,41 @@ impl OnlineStore {
                     let l = self.link(i, j);
                     if l.ewma.count() > 0 {
                         stats.record(i, j, l.ewma.mean());
+                    } else if l.attempts > 0 {
+                        // Attempted but never answered (a dark link):
+                        // surface the attempt so coverage-based consumers
+                        // (candidate building) see "observed and dark",
+                        // not "never measured" — a dark link must not be
+                        // force-included into candidate pools out of
+                        // caution.
+                        stats.record_attempt(i, j);
                     }
                 }
             }
         }
         stats
+    }
+
+    /// Clears a link's dark flag without waiting for the loss EWMA to
+    /// decay — the advisor calls this when fresh spot probes *refute* a
+    /// darkness alarm (the blackout already lifted). The triage re-arms
+    /// immediately: another sampleless epoch above [`DARK_LOSS_LEVEL`]
+    /// fires again.
+    pub fn clear_dark(&mut self, src: usize, dst: usize) {
+        self.links[src * self.n + dst].dark_flagged = false;
+    }
+
+    /// Directed links currently flagged dark.
+    pub fn dark_links(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j && self.link(i, j).is_dark() {
+                    out.push((i as u32, j as u32));
+                }
+            }
+        }
+        out
     }
 
     /// Current cost matrix of EWMA means (0 for never-observed links),
@@ -264,7 +384,12 @@ mod tests {
     }
 
     fn delta(src: u32, dst: u32, mean: f64) -> LinkDelta {
-        LinkDelta { src, dst, mean, count: 10 }
+        LinkDelta { src, dst, mean, count: 10, attempts: 10, timeouts: 0 }
+    }
+
+    /// A fully-dark epoch delta: attempts, no successes.
+    fn dark_delta(src: u32, dst: u32, attempts: u64) -> LinkDelta {
+        LinkDelta { src, dst, mean: 0.0, count: 0, attempts, timeouts: attempts }
     }
 
     #[test]
@@ -366,6 +491,85 @@ mod tests {
         assert!(!fired.is_empty(), "step shift went undetected");
         assert!(fired.iter().all(|c| c.drift == Drift::Up));
         assert!(fired.iter().all(|c| c.src == 0 && c.dst == 1));
+    }
+
+    #[test]
+    fn dark_link_raises_one_dark_change_then_rearms_after_recovery() {
+        let mut store = OnlineStore::new(3, 0.3, DetectorConfig::default());
+        // Healthy epochs first, then the link goes fully dark.
+        for e in 0..5 {
+            store.observe_epoch(&epoch(vec![delta(0, 1, 2.0)], e));
+        }
+        let mut dark_changes = Vec::new();
+        for e in 5..12 {
+            dark_changes.extend(
+                store
+                    .observe_epoch(&epoch(vec![dark_delta(0, 1, 4)], e))
+                    .into_iter()
+                    .filter(|c| c.dark),
+            );
+        }
+        assert_eq!(dark_changes.len(), 1, "darkness must fire exactly once while flagged");
+        let c = dark_changes[0];
+        assert_eq!((c.src, c.dst), (0, 1));
+        assert!(c.loss_rate > DARK_LOSS_LEVEL);
+        assert!(c.baseline > 0.0, "baseline carries the pre-darkness latency level");
+        assert!(store.link(0, 1).is_dark());
+        assert_eq!(store.dark_links(), vec![(0, 1)]);
+        // The latency EWMA never ingested the dark epochs.
+        assert!((store.link(0, 1).ewma.mean() - 2.0).abs() < 1e-9);
+        // Recovery: clean epochs decay the loss EWMA and clear the flag.
+        for e in 12..30 {
+            store.observe_epoch(&epoch(vec![delta(0, 1, 2.0)], e));
+        }
+        assert!(!store.link(0, 1).is_dark(), "flag must clear after recovery");
+        assert!(store.dark_links().is_empty());
+        // Re-arm: going dark again fires again.
+        let mut refired = Vec::new();
+        for e in 30..40 {
+            refired.extend(store.observe_epoch(&epoch(vec![dark_delta(0, 1, 4)], e)));
+        }
+        assert!(refired.iter().any(|c| c.dark), "triage did not re-arm after recovery");
+    }
+
+    #[test]
+    fn zero_variance_stream_keeps_residuals_finite_and_detectors_alive() {
+        // Regression: a bit-identical stream has EWMA sd exactly 0. The
+        // standardized residual must stay finite (the old relative-only
+        // floor collapsed when the baseline mean was ~0), and a later
+        // genuine shift must still fire.
+        let mut e = EwmaVar::new(0.3);
+        for _ in 0..10 {
+            e.observe(0.0);
+        }
+        assert_eq!(e.sd(), 0.0);
+        let z = standardized_residual(1.0, &e);
+        assert!(z.is_finite(), "zero-mean zero-variance baseline produced z = {z}");
+
+        let cfg = DetectorConfig { warmup: 3, ..Default::default() };
+        let mut store = OnlineStore::new(2, 0.2, cfg);
+        // A perfectly constant stream, then a step: no NaN may wedge the
+        // detector before the step arrives.
+        let mut fired = Vec::new();
+        for ep in 0..40 {
+            let level = if ep < 20 { 1.0 } else { 1.6 };
+            fired.extend(store.observe_epoch(&epoch(vec![delta(0, 1, level)], ep)));
+        }
+        assert!(
+            fired.iter().any(|c| c.drift == Drift::Up && !c.dark),
+            "detector wedged by the zero-variance prefix"
+        );
+    }
+
+    #[test]
+    fn partial_stats_surface_attempted_dark_links() {
+        let mut store = OnlineStore::new(3, 0.3, DetectorConfig::default());
+        store.observe_epoch(&epoch(vec![delta(0, 1, 2.0), dark_delta(1, 2, 5)], 0));
+        let stats = store.partial_stats();
+        assert_eq!(stats.link(0, 1).count(), 1);
+        assert_eq!(stats.link(1, 2).count(), 0);
+        assert!(stats.link(1, 2).attempts() > 0, "dark link lost its attempted-ness");
+        assert_eq!(stats.link(2, 0).attempts(), 0, "untouched link stays unattempted");
     }
 
     #[test]

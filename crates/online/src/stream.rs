@@ -22,7 +22,7 @@
 use rand::{rngs::StdRng, SeedableRng};
 
 use cloudia_measure::{run_pruned, MeasureConfig, PairwiseStats, PruneRule, Scheme};
-use cloudia_netsim::{DriftingNetwork, InstanceId, Network};
+use cloudia_netsim::{DriftingNetwork, FaultParams, InstanceId, Network};
 
 use cloudia_core::LinkHistory;
 
@@ -34,10 +34,17 @@ pub struct LinkDelta {
     pub src: u32,
     /// Destination instance index.
     pub dst: u32,
-    /// Mean RTT over this epoch's samples (ms).
+    /// Mean RTT over this epoch's samples (ms). Meaningless (0) when
+    /// `count` is 0 — a delta whose every probe timed out still gets
+    /// emitted so the loss triage sees the attempts; latency consumers
+    /// must check `count > 0` first.
     pub mean: f64,
     /// Number of samples this epoch contributed.
     pub count: u64,
+    /// Probes issued on this link this epoch (successes + timeouts).
+    pub attempts: u64,
+    /// Probes that timed out on this link this epoch.
+    pub timeouts: u64,
 }
 
 /// What one measurement epoch produced.
@@ -117,6 +124,18 @@ pub trait MeasurementStream {
         None
     }
 
+    /// Loss-aware spot check: issues `probes` fresh single-probe
+    /// exchanges on the directed link `src → dst` against the current
+    /// ground truth and returns `(successes, attempts)` — the darkness
+    /// confirmation path. A link alarmed as dark is confirmed by
+    /// attempting it again *now*, not by asking how fast it was. Returns
+    /// `None` if the stream cannot probe single links (the default) or
+    /// `probes` is 0.
+    fn spot_check_loss(&mut self, src: u32, dst: u32, probes: usize) -> Option<(u64, u64)> {
+        let _ = (src, dst, probes);
+        None
+    }
+
     /// The cumulative statistics as re-deployment [`LinkHistory`]
     /// (mean + observation count per covered link).
     fn history(&self) -> LinkHistory {
@@ -151,11 +170,11 @@ fn measure_epoch<S: Scheme + ?Sized>(
     cumulative: &mut PairwiseStats,
 ) -> EpochMeasurement {
     let n = net.len();
-    // Snapshot (sum, count) per link before the round.
-    let before: Vec<(f64, u64)> = (0..n * n)
+    // Snapshot (sum, count, attempts, timeouts) per link before the round.
+    let before: Vec<(f64, u64, u64, u64)> = (0..n * n)
         .map(|idx| {
             let link = cumulative.link(idx / n, idx % n);
-            (link.mean() * link.count() as f64, link.count())
+            (link.mean() * link.count() as f64, link.count(), link.attempts(), link.timeouts())
         })
         .collect();
 
@@ -179,15 +198,23 @@ fn measure_epoch<S: Scheme + ?Sized>(
                 continue;
             }
             let link = report.stats.link(i, j);
-            let (sum0, count0) = before[i * n + j];
+            let (sum0, count0, attempts0, timeouts0) = before[i * n + j];
             let dcount = link.count() - count0;
-            if dcount > 0 {
+            let dattempts = link.attempts() - attempts0;
+            // Emit a delta whenever the link was touched: samples update
+            // the latency EWMAs, attempts/timeouts feed the loss triage.
+            // A fully-dark link (attempts, zero samples) must not vanish
+            // from the epoch, or darkness would be indistinguishable from
+            // "not scheduled".
+            if dcount > 0 || dattempts > 0 {
                 let dsum = link.mean() * link.count() as f64 - sum0;
                 deltas.push(LinkDelta {
                     src: i as u32,
                     dst: j as u32,
-                    mean: dsum / dcount as f64,
+                    mean: if dcount > 0 { dsum / dcount as f64 } else { 0.0 },
                     count: dcount,
+                    attempts: dattempts,
+                    timeouts: link.timeouts() - timeouts0,
                 });
             }
         }
@@ -214,6 +241,37 @@ fn spot_mean(probes: usize, cfg: &MeasureConfig, mut draw: impl FnMut() -> f64) 
     let overhead = 4.0 * (cfg.nic.handle_ms + cfg.nic.serialize_ms_per_kb * cfg.probe_size_kb);
     let sum: f64 = (0..probes).map(|_| draw()).sum();
     Some(sum / probes as f64 + overhead)
+}
+
+/// `(successes, attempts)` of `probes` single-probe exchanges on
+/// `src → dst` under `net`'s loss plane — shared by both streams'
+/// [`MeasurementStream::spot_check_loss`] implementations. An exchange
+/// succeeds when neither the probe (`src → dst`) nor the reply
+/// (`dst → src`) is dropped; the loss RNG is only consulted on links
+/// with nonzero drop probability, mirroring the engine's draw
+/// discipline.
+fn spot_loss(
+    probes: usize,
+    net: &Network,
+    src: u32,
+    dst: u32,
+    rng: &mut StdRng,
+) -> Option<(u64, u64)> {
+    use rand::Rng;
+    if probes == 0 {
+        return None;
+    }
+    let (src, dst) = (InstanceId(src), InstanceId(dst));
+    let (fwd, rev) = (net.drop_prob(src, dst), net.drop_prob(dst, src));
+    let mut successes = 0u64;
+    for _ in 0..probes {
+        let probe_lost = fwd > 0.0 && rng.random::<f64>() < fwd;
+        let reply_lost = !probe_lost && rev > 0.0 && rng.random::<f64>() < rev;
+        if !probe_lost && !reply_lost {
+            successes += 1;
+        }
+    }
+    Some((successes, probes as u64))
 }
 
 /// A closed-loop stream: drifts a simulated network between epochs and
@@ -256,6 +314,45 @@ impl<S: Scheme> SimStream<S> {
             epoch: 0,
             spot_rng,
         }
+    }
+
+    /// Like [`SimStream::new`], but the drifting network also carries a
+    /// fault process: per-link loss drifting around `faults.base_loss`,
+    /// plus whatever blackout/dark-instance rates the params specify.
+    /// The fault schedule runs on its own RNG (`fault_seed`), so two
+    /// streams differing only in faults share the latency trajectory.
+    pub fn with_faults(
+        net: Network,
+        scheme: S,
+        config: MeasureConfig,
+        epoch_hours: f64,
+        drift_seed: u64,
+        faults: FaultParams,
+        fault_seed: u64,
+    ) -> Self {
+        assert!(epoch_hours > 0.0, "epoch_hours must be positive");
+        let n = net.len();
+        let spot_rng = StdRng::seed_from_u64(config.seed ^ drift_seed ^ 0x5b07_c4ec);
+        Self {
+            drifting: DriftingNetwork::new(net, drift_seed).with_faults(faults, fault_seed),
+            scheme,
+            config,
+            epoch_hours,
+            cumulative: PairwiseStats::new(n),
+            epoch: 0,
+            spot_rng,
+        }
+    }
+
+    /// Scripted fault injection: blacks out every link of `instance` for
+    /// `hours` of simulated time starting now (see
+    /// [`DriftingNetwork::force_instance_dark`]).
+    ///
+    /// # Panics
+    /// Panics if the stream was built without faults
+    /// ([`SimStream::with_faults`]).
+    pub fn force_instance_dark(&mut self, instance: u32, hours: f64) {
+        self.drifting.force_instance_dark(InstanceId(instance), hours);
     }
 }
 
@@ -316,6 +413,11 @@ impl<S: Scheme> MeasurementStream for SimStream<S> {
             net.sample_rtt_sized(InstanceId(src), InstanceId(dst), config.probe_size_kb, spot_rng)
         })
     }
+
+    fn spot_check_loss(&mut self, src: u32, dst: u32, probes: usize) -> Option<(u64, u64)> {
+        let Self { drifting, spot_rng, .. } = self;
+        spot_loss(probes, drifting.network(), src, dst, spot_rng)
+    }
 }
 
 /// Records `epochs` snapshots of a drifting network — the shared
@@ -328,6 +430,26 @@ pub fn record_trajectory(
 ) -> Vec<Network> {
     let mut drifting = DriftingNetwork::new(net, drift_seed);
     (0..epochs).map(|_| drifting.step(epoch_hours).clone()).collect()
+}
+
+/// Records `epochs` snapshots of a caller-built [`DriftingNetwork`]
+/// (typically one carrying a fault process), invoking `on_epoch` before
+/// each step — the hook a scenario uses to script fault injection (e.g.
+/// [`DriftingNetwork::force_instance_dark`] at a known epoch). Snapshots
+/// carry the loss plane, so a [`ReplayStream`] over them replays losses
+/// and latencies alike.
+pub fn record_trajectory_with(
+    mut drifting: DriftingNetwork,
+    epoch_hours: f64,
+    epochs: usize,
+    mut on_epoch: impl FnMut(usize, &mut DriftingNetwork),
+) -> Vec<Network> {
+    (0..epochs)
+        .map(|e| {
+            on_epoch(e, &mut drifting);
+            drifting.step(epoch_hours).clone()
+        })
+        .collect()
 }
 
 /// A replayed stream over pre-recorded network snapshots: every arm of a
@@ -438,6 +560,12 @@ impl<S: Scheme> MeasurementStream for ReplayStream<S> {
         spot_mean(probes, config, || {
             net.sample_rtt_sized(InstanceId(src), InstanceId(dst), config.probe_size_kb, spot_rng)
         })
+    }
+
+    fn spot_check_loss(&mut self, src: u32, dst: u32, probes: usize) -> Option<(u64, u64)> {
+        let last = (self.epoch as usize).min(self.snapshots.len()).saturating_sub(1);
+        let Self { snapshots, spot_rng, .. } = self;
+        spot_loss(probes, &snapshots[last], src, dst, spot_rng)
     }
 }
 
@@ -577,6 +705,64 @@ mod tests {
             means
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn zero_loss_faulty_stream_is_bit_identical_to_the_plain_stream() {
+        use cloudia_netsim::FaultParams;
+        let run = |faulty: bool| {
+            let mut stream = if faulty {
+                SimStream::with_faults(
+                    network(5, 9),
+                    Staged::new(2, 2),
+                    MeasureConfig::default(),
+                    2.0,
+                    7,
+                    FaultParams::drifting_loss(0.0),
+                    0xfa11,
+                )
+            } else {
+                SimStream::new(network(5, 9), Staged::new(2, 2), MeasureConfig::default(), 2.0, 7)
+            };
+            let mut means = Vec::new();
+            for _ in 0..3 {
+                let m = stream.next_epoch();
+                assert!(m.deltas.iter().all(|d| d.timeouts == 0));
+                means.extend(m.deltas.iter().map(|d| d.mean));
+            }
+            means
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn lossy_epochs_charge_timeouts_and_dark_instances_answer_nothing() {
+        use cloudia_netsim::FaultParams;
+        let mut stream = SimStream::with_faults(
+            network(5, 9),
+            Staged::new(4, 2),
+            MeasureConfig::default(),
+            2.0,
+            7,
+            FaultParams::drifting_loss(0.3),
+            0xfa11,
+        );
+        let m = stream.next_epoch();
+        assert!(m.deltas.iter().any(|d| d.timeouts > 0), "30% loss produced no timeouts");
+        assert!(m.deltas.iter().all(|d| d.attempts >= d.count + d.timeouts));
+
+        stream.force_instance_dark(0, 1e6);
+        let m = stream.next_epoch();
+        for d in m.deltas.iter().filter(|d| d.src == 0 || d.dst == 0) {
+            assert_eq!(d.count, 0, "({}, {}) answered while dark", d.src, d.dst);
+            assert!(d.attempts > 0, "({}, {}) was never attempted", d.src, d.dst);
+        }
+        // Spot loss probes see the darkness (and a healthy pair's health).
+        let (ok, tries) = stream.spot_check_loss(1, 0, 8).unwrap();
+        assert_eq!((ok, tries), (0, 8));
+        let (ok, tries) = stream.spot_check_loss(1, 2, 8).unwrap();
+        assert_eq!(tries, 8);
+        assert!(ok > 0, "healthy pair lost all 8 probes at 30% loss");
     }
 
     #[test]

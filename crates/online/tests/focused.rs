@@ -78,7 +78,14 @@ fn epoch_of(epoch: u64, links: &[(u32, u32, f64)]) -> EpochMeasurement {
         round_trips: 5 * links.len() as u64,
         deltas: links
             .iter()
-            .map(|&(src, dst, mean)| LinkDelta { src, dst, mean, count: 5 })
+            .map(|&(src, dst, mean)| LinkDelta {
+                src,
+                dst,
+                mean,
+                count: 5,
+                attempts: 5,
+                timeouts: 0,
+            })
             .collect(),
         pruned_pairs: 0,
         saved_round_trips: 0,

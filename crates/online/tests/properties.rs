@@ -4,7 +4,8 @@
 use cloudia_core::Objective;
 use cloudia_netsim::{DriftParams, DriftProcess};
 use cloudia_online::{
-    incremental_resolve, ChangeDetector, DetectorConfig, Drift, EwmaVar, RepairConfig,
+    incremental_resolve, standardized_residual, ChangeDetector, DetectorConfig, Drift, EwmaVar,
+    RepairConfig,
 };
 use cloudia_solver::{Costs, NodeDeployment};
 use proptest::prelude::*;
@@ -23,8 +24,7 @@ fn stream_fires(means: &[f64], config: DetectorConfig) -> bool {
     let mut detector = ChangeDetector::new(config);
     let mut fired = false;
     for &x in means {
-        let sd_floor = (0.02 * ewma.mean()).max(1e-9);
-        let z = if ewma.count() > 0 { (x - ewma.mean()) / ewma.sd().max(sd_floor) } else { 0.0 };
+        let z = standardized_residual(x, &ewma);
         ewma.observe(x);
         if detector.observe(z) != Drift::None {
             fired = true;

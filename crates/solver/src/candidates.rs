@@ -333,10 +333,15 @@ impl CandidateSet {
     /// configured quantile of their *measured* incident link costs (both
     /// directions); an instance whose incident coverage is below
     /// `min_coverage` (fraction of its `2(m−1)` directed links with at
-    /// least one sample) cannot be proven uncompetitive and is
-    /// force-included, so the pool is only ever too large, never wrongly
-    /// tight. With full coverage the pool converges to the configured
-    /// size; with no coverage it is every instance.
+    /// least one sample **or one recorded attempt**) cannot be proven
+    /// uncompetitive and is force-included, so the pool is only ever too
+    /// large, never wrongly tight. An attempted-but-answerless direction
+    /// (a dark link under packet loss) counts as covered and scores as
+    /// unboundedly expensive: the solver must not condemn a pair it could
+    /// not observe to the *unmeasured* fallback, or dark instances would
+    /// ride into every pool on caution. With full coverage the pool
+    /// converges to the configured size; with no coverage it is every
+    /// instance.
     ///
     /// Incumbent and pinned instances are force-included exactly as in
     /// [`CandidateSet::build`].
@@ -376,13 +381,19 @@ impl CandidateSet {
                 let mut incident: Vec<f64> = Vec::with_capacity(2 * (m - 1));
                 for l in 0..m {
                     if l != j {
-                        let out = stats.link(j, l);
-                        if out.count() > 0 {
-                            incident.push(out.mean());
-                        }
-                        let inward = stats.link(l, j);
-                        if inward.count() > 0 {
-                            incident.push(inward.mean());
+                        for link in [stats.link(j, l), stats.link(l, j)] {
+                            if link.count() > 0 {
+                                incident.push(link.mean());
+                            } else if link.attempts() > 0 {
+                                // Attempted but never answered — a dark
+                                // link. That *is* evidence, not a
+                                // coverage gap: price the direction as
+                                // unboundedly expensive so a dark
+                                // instance is scored out of the pool
+                                // instead of force-included as
+                                // "unmeasured".
+                                incident.push(f64::INFINITY);
+                            }
                         }
                     }
                 }
@@ -883,6 +894,29 @@ mod tests {
             CandidateSet::build_partial(4, &stats, &CandidateConfig::fixed(6), None, None, 0.5);
         assert!(cs.union().contains(&7), "under-covered instance pruned: {:?}", cs.union());
         assert_eq!(cs.union().len(), 7, "pool is target + the one unprovable instance");
+    }
+
+    #[test]
+    fn partial_pool_scores_out_dark_instances_instead_of_forcing_them_in() {
+        // Instance 7 was attempted on every incident direction but never
+        // answered (fully dark): that is evidence of uncompetitiveness,
+        // not a coverage gap — it must rank worst, not be force-included.
+        let m = 12;
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                if i != 7 && j != 7 {
+                    record_both(&mut stats, i, j, 1.0);
+                } else {
+                    stats.record_attempt(i, j);
+                    stats.record_attempt(j, i);
+                }
+            }
+        }
+        let cs =
+            CandidateSet::build_partial(4, &stats, &CandidateConfig::fixed(6), None, None, 0.5);
+        assert_eq!(cs.union().len(), 6, "dark instance inflated the pool: {:?}", cs.union());
+        assert!(!cs.union().contains(&7), "dark instance force-included: {:?}", cs.union());
     }
 
     #[test]

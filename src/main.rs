@@ -39,7 +39,15 @@ fn usage() -> ! {
                                                drop pairs mid-sweep once their measured quantiles
                                                prove them outside every candidate pool)
                [--spot-check K]               (online: confirm a degradation alarm with K fresh
-                                               single-link probes before repairing; 0 = off)"
+                                               single-link probes before repairing; 0 = off)
+               [--loss P]                     (online: per-link per-direction drop probability,
+                                               drifting around P; 0 = lossless, default 0)
+               [--retries N]                  (online: retransmit budget per probe pair per
+                                               stage under loss, default 3)
+               [--blackout E]                 (online: force the first deployed instance dark
+                                               from epoch E onward)
+               [--loss-blind]                 (online: disable dark-link triage, evacuation and
+                                               loss-priced search costs — the baseline arm)"
     );
     std::process::exit(2);
 }
@@ -101,6 +109,10 @@ fn main() {
     let mut probe_focused = false;
     let mut prune_during_sweep = false;
     let mut spot_check = 0usize;
+    let mut loss = 0.0f64;
+    let mut retries = 3u32;
+    let mut blackout: Option<u64> = None;
+    let mut loss_blind = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -210,6 +222,29 @@ fn main() {
                     usage();
                 })
             }
+            "--loss" => {
+                loss = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad loss probability");
+                    usage();
+                });
+                if !(0.0..1.0).contains(&loss) {
+                    eprintln!("loss probability must be in [0, 1)");
+                    usage();
+                }
+            }
+            "--retries" => {
+                retries = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad retry budget");
+                    usage();
+                })
+            }
+            "--blackout" => {
+                blackout = Some(value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad blackout epoch");
+                    usage();
+                }))
+            }
+            "--loss-blind" => loss_blind = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -347,8 +382,18 @@ fn main() {
             spot_check,
             candidates,
             seed,
+            LossOptions { loss, retries, blackout, blind: loss_blind },
         );
     }
+}
+
+/// Loss-plane knobs for the online run; all inert at `loss == 0` with no
+/// blackout, where the stream is bit-identical to the lossless one.
+struct LossOptions {
+    loss: f64,
+    retries: u32,
+    blackout: Option<u64>,
+    blind: bool,
 }
 
 /// Drives the continuous advisor over the deployed plan: the
@@ -368,21 +413,37 @@ fn run_online(
     spot_check: usize,
     candidates: Option<cloudia::solver::CandidateConfig>,
     seed: u64,
+    loss_opts: LossOptions,
 ) {
     use cloudia::measure::{MeasureConfig, Staged};
+    use cloudia::netsim::FaultParams;
     use cloudia::online::{
         OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy, SimStream,
     };
 
+    let lossy = loss_opts.loss > 0.0 || loss_opts.blackout.is_some();
     println!();
     println!(
         "online advisor: {epochs} epochs x {epoch_hours} h, migration budget {migration_budget}, \
-         {} instances kept as spares, {} probing{}{}",
+         {} instances kept as spares, {} probing{}{}{}",
         outcome.network.len() - graph.num_nodes(),
         if probe_focused { "focused" } else { "uniform" },
         if prune_during_sweep { ", mid-sweep pruning" } else { "" },
         if spot_check > 0 { ", spot-check confirmation" } else { "" },
+        if lossy {
+            format!(
+                ", {:.1}% drifting loss ({} retries{})",
+                loss_opts.loss * 100.0,
+                loss_opts.retries,
+                if loss_opts.blind { ", loss-blind" } else { "" }
+            )
+        } else {
+            String::new()
+        },
     );
+    if let Some(e) = loss_opts.blackout {
+        println!("blackout: the first deployed instance goes dark from epoch {e} onward");
+    }
     if probe_focused && candidates.is_none() {
         println!(
             "note: no --candidates given; focused rounds probe a default pool of {} instances \
@@ -412,6 +473,7 @@ fn run_online(
         },
         prune_during_sweep,
         spot_check_probes: spot_check,
+        loss_aware: !loss_opts.blind,
         ..OnlineAdvisorConfig::default()
     };
     let mut advisor = OnlineAdvisor::new(
@@ -420,25 +482,53 @@ fn run_online(
         outcome.deployment.clone(),
         config,
     );
-    let mut stream = SimStream::new(
-        outcome.network.clone(),
-        Staged::new(3, 2),
-        MeasureConfig::default(),
-        epoch_hours,
-        seed ^ 0x011e,
-    );
+    let measure_cfg = MeasureConfig {
+        retries_per_pair: if loss_opts.blind { 0 } else { loss_opts.retries },
+        ..MeasureConfig::default()
+    };
+    let mut stream = if lossy {
+        SimStream::with_faults(
+            outcome.network.clone(),
+            Staged::new(3, 2),
+            measure_cfg,
+            epoch_hours,
+            seed ^ 0x011e,
+            FaultParams::drifting_loss(loss_opts.loss),
+            seed ^ 0xfa11,
+        )
+    } else {
+        SimStream::new(
+            outcome.network.clone(),
+            Staged::new(3, 2),
+            measure_cfg,
+            epoch_hours,
+            seed ^ 0x011e,
+        )
+    };
 
     println!("epoch\thours\test_cost\ttrue_cost\ttriggered\tmoved");
-    for s in advisor.run(&mut stream, epochs) {
-        println!(
-            "{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}",
-            s.epoch,
-            s.at_hours,
-            s.est_cost,
-            s.true_cost,
-            if s.triggered { "yes" } else { "-" },
-            s.moved
-        );
+    let report = |summaries: Vec<cloudia::online::EpochSummary>| {
+        for s in summaries {
+            println!(
+                "{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}",
+                s.epoch,
+                s.at_hours,
+                s.est_cost,
+                s.true_cost,
+                if s.triggered { "yes" } else { "-" },
+                s.moved
+            );
+        }
+    };
+    match loss_opts.blackout {
+        Some(at) if at < epochs => {
+            report(advisor.run(&mut stream, at));
+            let victim = advisor.deployment()[0];
+            stream.force_instance_dark(victim, (epochs - at + 1) as f64 * epoch_hours);
+            println!("# instance {victim} forced dark");
+            report(advisor.run(&mut stream, epochs - at));
+        }
+        _ => report(advisor.run(&mut stream, epochs)),
     }
     let migrations =
         advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Migrate { .. })).count();
@@ -472,5 +562,14 @@ fn run_online(
             _ => (c, k),
         });
         println!("spot checks: {checks} run, {confirmed} confirmed");
+    }
+    if lossy {
+        let (darks, evacs, moved) =
+            advisor.events().iter().fold((0, 0, 0), |(d, e, m), ev| match ev {
+                OnlineEvent::LinkDark { .. } => (d + 1, e, m),
+                OnlineEvent::Evacuate { moved, .. } => (d, e + 1, m + moved),
+                _ => (d, e, m),
+            });
+        println!("loss triage: {darks} LinkDark events, {evacs} evacuations ({moved} nodes moved)");
     }
 }

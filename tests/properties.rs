@@ -111,7 +111,13 @@ proptest! {
         }
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        // Bessel-corrected (sample) variance, matching `Welford::variance`;
+        // defined as 0 for a single observation.
+        let var = if values.len() < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0)
+        };
         prop_assert!((w.mean() - mean).abs() < 1e-9);
         prop_assert!((w.variance() - var).abs() < 1e-9);
     }
