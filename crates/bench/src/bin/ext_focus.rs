@@ -21,13 +21,18 @@
 //! time-averaged ground-truth cost stays within 2 % of uniform's, and the
 //! focused arm's adaptive `k` ends the quiet tail below its peak. Exits
 //! non-zero otherwise.
+//!
+//! `--trace PATH` streams the focused arm's full event history into a
+//! schema-versioned JSONL trace; the machine-readable arm comparison
+//! always lands in `BENCH_ext_focus.json`.
 
-use cloudia_bench::{header, row, Scale};
-use cloudia_online::{FocusScenario, ProbePolicy};
+use cloudia_bench::{header, row, write_bench_json, ExtArgs};
+use cloudia_obs::Json;
+use cloudia_online::{ArmOptions, FocusScenario, ProbePolicy};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    let args = ExtArgs::parse();
+    let (smoke, scale) = (args.smoke, args.scale);
     header("ext-focus", "focused (trigger-driven) vs uniform probing", scale);
 
     let mut scenario = FocusScenario::default();
@@ -52,7 +57,20 @@ fn main() {
 
     let built = scenario.build();
     let uniform = built.run_arm(ProbePolicy::Uniform);
-    let focused = built.run_arm(scenario.focused_policy());
+    // With `--trace` the focused arm streams its event history into the
+    // JSONL trace as it runs.
+    let focused_opts = ArmOptions {
+        probe_policy: scenario.focused_policy(),
+        prune_during_sweep: false,
+        spot_check_probes: 0,
+    };
+    let (focused, recorder) = match args.recorder("ext_focus") {
+        Some(rec) => {
+            let (arm, rec) = built.run_arm_traced(focused_opts, rec);
+            (arm, Some(rec))
+        }
+        None => (built.run_arm_with(focused_opts), None),
+    };
 
     println!("policy\tavg_cost_ms\tprobe_round_trips\tresolves\tmigrations");
     for (name, arm) in [("uniform", &uniform), ("focused", &focused)] {
@@ -85,6 +103,39 @@ fn main() {
     let peak_k = focused.k_trace.iter().map(|&(_, k)| k).max().unwrap_or(0);
     let final_k = focused.k_trace.last().map(|&(_, k)| k).unwrap_or(0);
     println!("# adaptive k: peak {peak_k} -> final {final_k} after the quiet tail");
+
+    let arm_json = |arm: &cloudia_online::FocusArm| {
+        Json::obj()
+            .field("avg_cost_ms", arm.avg_cost)
+            .field("probe_round_trips", arm.probes)
+            .field("resolves", arm.resolves)
+            .field("migrations", arm.migrations)
+    };
+    let payload = Json::obj()
+        .field("instances", scenario.instances)
+        .field("epochs", scenario.epochs())
+        .field("uniform", arm_json(&uniform))
+        .field("focused", arm_json(&focused))
+        .field("probe_ratio", probe_ratio)
+        .field("cost_ratio", cost_ratio)
+        .field("adaptive_k_peak", peak_k)
+        .field("adaptive_k_final", final_k);
+    match write_bench_json("ext_focus", payload.clone()) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: cannot write BENCH_ext_focus.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(mut rec) = recorder {
+        rec.record("bench", payload);
+        rec.record_metrics_snapshot(cloudia_obs::metrics());
+        rec.flush_global_spans();
+        if let Err(e) = rec.finish() {
+            eprintln!("FAIL: trace write failed: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if smoke {
         let mut failures = Vec::new();

@@ -20,13 +20,17 @@
 //! epochs of onset, the aware arm evacuates the dark instance while the
 //! blind arm never does, and the aware arm's time-averaged effective
 //! cost beats the blind arm's. Exits non-zero otherwise.
+//!
+//! The machine-readable arm comparison always lands in
+//! `BENCH_ext_loss.json`.
 
-use cloudia_bench::{header, row, Scale};
+use cloudia_bench::{header, row, write_bench_json, ExtArgs};
+use cloudia_obs::Json;
 use cloudia_online::LossScenario;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    let args = ExtArgs::parse();
+    let (smoke, scale) = (args.smoke, args.scale);
     header("ext-loss", "loss-aware vs loss-blind advisement", scale);
 
     let mut scenario = LossScenario::default();
@@ -76,6 +80,31 @@ fn main() {
         aware.first_dark_epoch,
         scenario.blackout_epoch,
     );
+
+    let arm_json = |arm: &cloudia_online::LossArm| {
+        Json::obj()
+            .field("avg_cost_ms", arm.avg_cost)
+            .field("probe_round_trips", arm.probes)
+            .field("migrations", arm.migrations)
+            .field("link_dark_events", arm.link_dark_events)
+            .field("evacuations", arm.evacuations)
+            .field("final_plan_on_dark", arm.final_plan_on_dark)
+            .field("first_dark_epoch", arm.first_dark_epoch.map_or(Json::Null, Json::from))
+    };
+    let payload = Json::obj()
+        .field("instances", scenario.instances)
+        .field("epochs", scenario.epochs)
+        .field("blackout_epoch", scenario.blackout_epoch)
+        .field("aware", arm_json(&aware))
+        .field("blind", arm_json(&blind))
+        .field("cost_ratio", cost_ratio);
+    match write_bench_json("ext_loss", payload) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: cannot write BENCH_ext_loss.json: {e}");
+            std::process::exit(1);
+        }
+    }
 
     if smoke {
         let mut failures = Vec::new();

@@ -18,13 +18,16 @@
 //! re-solve vs a cold full solve of the same instance.
 //!
 //! `--smoke` shrinks everything for CI; `CLOUDIA_SCALE=paper` grows it.
+//! `--trace PATH` streams the online arm's event history into a JSONL
+//! trace; the arm comparison always lands in `BENCH_ext_online.json`.
 
 use std::time::Instant;
 
-use cloudia_bench::{header, row, Scale};
+use cloudia_bench::{header, row, write_bench_json, ExtArgs};
 use cloudia_core::{CommGraph, CostMatrix, Objective, RedeployPolicy, SearchStrategy};
 use cloudia_measure::{MeasureConfig, Scheme, Staged};
 use cloudia_netsim::{Cloud, DriftParams, Provider};
+use cloudia_obs::Json;
 use cloudia_online::{
     incremental_resolve, record_trajectory, DetectorConfig, EpochMeasurement, MeasurementStream,
     OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, RepairConfig, ReplayStream,
@@ -66,8 +69,8 @@ fn report(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    let args = ExtArgs::parse();
+    let (smoke, scale) = (args.smoke, args.scale);
     header("ext-online", "online advisor vs batch re-deploy vs never-migrate", scale);
 
     let (rows, cols) = if smoke { (4, 4) } else { scale.pick((4, 4), (7, 7)) };
@@ -176,7 +179,13 @@ fn main() {
         ..Default::default()
     };
     let mut advisor = OnlineAdvisor::new(graph.clone(), m_instances, initial.clone(), config);
+    // With `--trace` the online arm streams its event history into the
+    // JSONL trace as it runs.
+    if let Some(rec) = args.recorder("ext_online") {
+        advisor.attach_recorder(rec);
+    }
     advisor.run(&mut stream, epochs);
+    let recorder = advisor.take_recorder();
     let online_migrations =
         advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Migrate { .. })).count();
     let online = ArmReport {
@@ -208,6 +217,38 @@ fn main() {
              migration economics — at this migration price the paper's batch loop degenerates \
              to never-migrate, while k-budgeted repairs still act profitably"
         );
+    }
+
+    let arm_json = |arm: &ArmReport| {
+        Json::obj()
+            .field("avg_cost_ms", arm.avg_cost)
+            .field("migrations", arm.migrations)
+            .field("nodes_moved", arm.nodes_moved)
+            .field("migration_paid", arm.migration_paid)
+    };
+    let payload = Json::obj()
+        .field("instances", m_instances)
+        .field("epochs", epochs)
+        .field("never", arm_json(&never))
+        .field("batch", arm_json(&batch))
+        .field("online", arm_json(&online))
+        .field("online_vs_never", online.avg_cost / never.avg_cost)
+        .field("online_vs_batch", online.avg_cost / batch.avg_cost);
+    match write_bench_json("ext_online", payload.clone()) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: cannot write BENCH_ext_online.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(mut rec) = recorder {
+        rec.record("bench", payload);
+        rec.record_metrics_snapshot(cloudia_obs::metrics());
+        rec.flush_global_spans();
+        if let Err(e) = rec.finish() {
+            eprintln!("FAIL: trace write failed: {e}");
+            std::process::exit(1);
+        }
     }
 
     // Timing: incremental vs cold on the online arm's trigger instances.

@@ -22,11 +22,15 @@
 //! m = 2000: the pruned solve completes ≥ 5× faster than the dense one
 //! while landing within 1 % of its deployment cost, and exits non-zero
 //! otherwise.
+//!
+//! The machine-readable race results always land in
+//! `BENCH_ext_scale.json`.
 
 use std::time::Instant;
 
-use cloudia_bench::{header, row, Scale};
+use cloudia_bench::{header, row, write_bench_json, ExtArgs};
 use cloudia_core::{CommGraph, CostMatrix, PrunedSolve, SearchStrategy, SolveHint};
+use cloudia_obs::Json;
 use cloudia_solver::{Budget, CandidateConfig, CpConfig, Objective, PortfolioConfig};
 
 struct Arm {
@@ -56,8 +60,8 @@ fn race(
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    let args = ExtArgs::parse();
+    let (smoke, scale) = (args.smoke, args.scale);
     header("ext-scale", "dense vs candidate-pruned solves at 10x paper scale", scale);
 
     let sizes: &[usize] = if smoke { &[200, 2000] } else { &[200, 500, 2000] };
@@ -66,6 +70,7 @@ fn main() {
 
     println!("m\tstrategy\tdense_s\tdense_cost\tpruned_s\tpruned_cost\tpool\tspeedup\tcost_ratio");
     let mut failures = Vec::new();
+    let mut races = Vec::new();
     for &m in sizes {
         // Clustered costs — the EC2 shape pruning exploits: ~25 % of the
         // pool is congested and never competitive.
@@ -114,6 +119,25 @@ fn main() {
                     ));
                 }
             }
+            races.push(
+                Json::obj()
+                    .field("m", m)
+                    .field("strategy", arm.name)
+                    .field("dense_s", arm.dense_s)
+                    .field("dense_cost", arm.dense_cost)
+                    .field("pruned_s", arm.pruned_s)
+                    .field("pruned_cost", arm.pruned.outcome.cost)
+                    .field("pool", arm.pruned.pool)
+                    .field("speedup", speedup)
+                    .field("cost_ratio", cost_ratio),
+            );
+        }
+    }
+    match write_bench_json("ext_scale", Json::obj().field("races", races)) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: cannot write BENCH_ext_scale.json: {e}");
+            std::process::exit(1);
         }
     }
 

@@ -22,14 +22,52 @@
 //! In `--smoke` mode the bin **asserts** the PR's acceptance criteria:
 //! the pruned arm saves ≥ 30 % of uniform's probe round trips while its
 //! time-averaged ground-truth deployment cost stays within 2 % of
-//! uniform's. Exits non-zero otherwise.
+//! uniform's, and the telemetry plane's overhead on the measurement hot
+//! path stays within 3 % of the `--no-metrics` baseline. Exits non-zero
+//! otherwise.
+//!
+//! `--trace PATH` streams the focused+pruned arm's full event history —
+//! plus the final metrics snapshot and span log — into a
+//! schema-versioned JSONL trace; the machine-readable arm comparison
+//! always lands in `BENCH_ext_sweep.json`.
 
-use cloudia_bench::{header, row, Scale};
+use cloudia_bench::{header, row, write_bench_json, ExtArgs};
+use cloudia_measure::{MeasureConfig, Scheme, Staged};
+use cloudia_obs::Json;
 use cloudia_online::{ArmOptions, FocusScenario, ProbePolicy};
 
+/// Telemetry-on vs telemetry-off wall-time ratio of identical staged
+/// sweeps over a scratch network. The two arms are *interleaved* rep by
+/// rep — each rep times both settings back to back under the same
+/// machine conditions — and each arm takes the minimum over all reps,
+/// so scheduler noise and frequency drift cannot inflate one side.
+fn telemetry_overhead_ratio() -> f64 {
+    let net = cloudia_bench::standard_network(cloudia_netsim::Provider::test_quiet(), 24, 7);
+    let cfg = MeasureConfig { seed: 7, ..MeasureConfig::default() };
+    let scheme = Staged::new(3, 2);
+    let time_runs = |enabled: bool, runs: usize| {
+        cloudia_obs::set_enabled(enabled);
+        let t0 = std::time::Instant::now();
+        for _ in 0..runs {
+            std::hint::black_box(scheme.run(std::hint::black_box(&net), &cfg));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    // Warm both arms (allocator, caches, branch predictors).
+    time_runs(true, 3);
+    time_runs(false, 3);
+    let (runs, reps) = (16, 5);
+    let (mut on, mut off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        on = on.min(time_runs(true, runs));
+        off = off.min(time_runs(false, runs));
+    }
+    on / off.max(f64::MIN_POSITIVE)
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { Scale::Quick } else { Scale::from_env() };
+    let args = ExtArgs::parse();
+    let (smoke, scale) = (args.smoke, args.scale);
     header("ext-sweep", "mid-sweep tournament pruning vs full batch sweeps", scale);
 
     let mut scenario = FocusScenario::default();
@@ -59,11 +97,20 @@ fn main() {
         prune_during_sweep: true,
         spot_check_probes: 0,
     });
-    let focused_pruned = built.run_arm_with(ArmOptions {
+    let focused_opts = ArmOptions {
         probe_policy: scenario.focused_policy(),
         prune_during_sweep: true,
         spot_check_probes: 0,
-    });
+    };
+    // With `--trace` the focused+pruned arm streams its full event
+    // history into the JSONL trace as it runs.
+    let (focused_pruned, recorder) = match args.recorder("ext_sweep") {
+        Some(rec) => {
+            let (arm, rec) = built.run_arm_traced(focused_opts, rec);
+            (arm, Some(rec))
+        }
+        None => (built.run_arm_with(focused_opts), None),
+    };
 
     println!("policy\tavg_cost_ms\tprobe_round_trips\tsaved\tdeep\tresolves\tmigrations");
     for (name, arm) in
@@ -92,6 +139,51 @@ fn main() {
         focused_pruned.deep_probe_round_trips,
     );
 
+    // Telemetry overhead on the measurement hot path: identical staged
+    // sweeps with the plane on vs off (`--no-metrics` equivalent).
+    // Asserted only under --smoke; reported always.
+    let overhead_ratio = telemetry_overhead_ratio();
+    cloudia_obs::set_enabled(args.metrics_enabled);
+    println!(
+        "# telemetry overhead on staged sweeps: {:+.2}% vs --no-metrics",
+        (overhead_ratio - 1.0) * 100.0
+    );
+
+    let arm_json = |arm: &cloudia_online::FocusArm| {
+        Json::obj()
+            .field("avg_cost_ms", arm.avg_cost)
+            .field("probe_round_trips", arm.probes)
+            .field("saved_round_trips", arm.saved_round_trips)
+            .field("deep_probe_round_trips", arm.deep_probe_round_trips)
+            .field("resolves", arm.resolves)
+            .field("migrations", arm.migrations)
+    };
+    let payload = Json::obj()
+        .field("instances", scenario.instances)
+        .field("epochs", scenario.epochs())
+        .field("uniform", arm_json(&uniform))
+        .field("pruned", arm_json(&pruned))
+        .field("focused_pruned", arm_json(&focused_pruned))
+        .field("savings", savings)
+        .field("cost_ratio", cost_ratio)
+        .field("telemetry_overhead_ratio", overhead_ratio);
+    match write_bench_json("ext_sweep", payload.clone()) {
+        Ok(path) => println!("# wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("FAIL: cannot write BENCH_ext_sweep.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(mut rec) = recorder {
+        rec.record("bench", payload);
+        rec.record_metrics_snapshot(cloudia_obs::metrics());
+        rec.flush_global_spans();
+        if let Err(e) = rec.finish() {
+            eprintln!("FAIL: trace write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
     if smoke {
         let mut failures = Vec::new();
         if savings < 0.30 {
@@ -111,12 +203,21 @@ fn main() {
         if pruned.saved_round_trips == 0 {
             failures.push("the pruned arm never reported mid-sweep savings".to_string());
         }
+        if overhead_ratio > 1.03 {
+            failures.push(format!(
+                "telemetry overhead {:.2}% on staged sweeps exceeds 3%",
+                (overhead_ratio - 1.0) * 100.0
+            ));
+        }
         if !failures.is_empty() {
             for f in &failures {
                 eprintln!("FAIL: {f}");
             }
             std::process::exit(1);
         }
-        println!("# smoke OK: >= 30% round trips saved, cost within 2% of full sweeps");
+        println!(
+            "# smoke OK: >= 30% round trips saved, cost within 2% of full sweeps, \
+             telemetry overhead within 3%"
+        );
     }
 }

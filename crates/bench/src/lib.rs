@@ -18,6 +18,91 @@
 use cloudia_core::{Advisor, AdvisorConfig, CommGraph, CostMatrix, LatencyMetric};
 use cloudia_measure::{MeasureConfig, Scheme, Staged};
 use cloudia_netsim::{Cloud, Network, Provider};
+use cloudia_obs::{Json, RunRecorder};
+
+/// The command-line surface shared by every `ext_*` harness binary,
+/// parsed once instead of copy-pasted per bin:
+///
+/// * `--smoke` — CI mode: quick scale, acceptance criteria asserted;
+/// * `--trace PATH` — write a schema-versioned JSONL run trace
+///   ([`ExtArgs::recorder`]);
+/// * `--no-metrics` — disable telemetry collection at runtime (the
+///   overhead baseline arm).
+///
+/// Unknown flags are left alone — bins with extra switches keep reading
+/// `std::env::args()` themselves.
+#[derive(Debug, Clone)]
+pub struct ExtArgs {
+    /// CI smoke mode (`--smoke`): quick scale plus asserted criteria.
+    pub smoke: bool,
+    /// Experiment scale: [`Scale::Quick`] under `--smoke`, else from
+    /// `CLOUDIA_SCALE`.
+    pub scale: Scale,
+    /// Trace file path (`--trace PATH`).
+    pub trace: Option<String>,
+    /// False when `--no-metrics` disabled telemetry for this run.
+    pub metrics_enabled: bool,
+}
+
+impl ExtArgs {
+    /// Parses the shared flags from `std::env::args()`. `--no-metrics`
+    /// takes effect immediately ([`cloudia_obs::set_enabled`]).
+    pub fn parse() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let no_metrics = args.iter().any(|a| a == "--no-metrics");
+        if no_metrics {
+            cloudia_obs::set_enabled(false);
+        }
+        let trace = args.iter().position(|a| a == "--trace").and_then(|i| args.get(i + 1)).cloned();
+        Self {
+            smoke,
+            scale: if smoke { Scale::Quick } else { Scale::from_env() },
+            trace,
+            metrics_enabled: !no_metrics,
+        }
+    }
+
+    /// Opens the JSONL trace recorder when `--trace` was given; the meta
+    /// line carries the bin name and the smoke/scale switches. Exits
+    /// non-zero if the file cannot be created.
+    pub fn recorder(&self, bin: &str) -> Option<RunRecorder> {
+        self.trace.as_ref().map(|path| {
+            let meta = Json::obj()
+                .field("bin", bin)
+                .field("smoke", self.smoke)
+                .field("scale", format!("{:?}", self.scale));
+            RunRecorder::to_file(std::path::Path::new(path), meta).unwrap_or_else(|e| {
+                eprintln!("cannot open trace file `{path}`: {e}");
+                std::process::exit(1);
+            })
+        })
+    }
+}
+
+/// The `BENCH_<name>.json` document shape: schema tag and bench name
+/// first, then the payload's own fields merged in (a non-object payload
+/// lands under a `payload` key).
+pub fn bench_json(name: &str, payload: Json) -> Json {
+    let mut out = Json::obj().field("schema", "cloudia.bench.v1").field("name", name);
+    if let Json::Obj(fields) = payload {
+        for (k, v) in fields {
+            out = out.field(&k, v);
+        }
+    } else {
+        out = out.field("payload", payload);
+    }
+    out
+}
+
+/// Writes a machine-readable bench result as `BENCH_<name>.json` in the
+/// current directory (shape per [`bench_json`]). Returns the path
+/// written.
+pub fn write_bench_json(name: &str, payload: Json) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, format!("{}\n", bench_json(name, payload).encode()))?;
+    Ok(path)
+}
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +229,20 @@ mod tests {
     fn scale_pick() {
         assert_eq!(Scale::Quick.pick(1, 2), 1);
         assert_eq!(Scale::Paper.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn bench_json_merges_payload_fields_under_the_schema_tag() {
+        let doc = bench_json("ext_demo", Json::obj().field("savings", 0.4).field("ok", true));
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some("cloudia.bench.v1"));
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("ext_demo"));
+        assert_eq!(doc.get("savings").and_then(Json::as_f64), Some(0.4));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        // Non-object payloads nest under "payload" instead of merging.
+        let doc = bench_json("ext_demo", Json::from(7u64));
+        assert_eq!(doc.get("payload").and_then(Json::as_u64), Some(7));
+        // The document round-trips through the parser.
+        assert!(Json::parse(&doc.encode()).is_ok());
     }
 
     #[test]

@@ -248,10 +248,19 @@ impl Advisor {
                 SearchStrategy::portfolio(self.config.search_time_s, self.config.search_threads)
             }
         });
+        let mut span = cloudia_obs::span!("advisor.search", nodes = n, instances = network.len());
         let search = match &self.config.candidates {
             Some(cand) => strategy.run_pruned(&problem, self.config.objective, hint, cand).outcome,
             None => strategy.run_with_hint(&problem, self.config.objective, hint),
         };
+        if cloudia_obs::enabled() {
+            span.attr("explored", search.explored);
+            span.attr("cost", search.cost);
+            span.attr("proven", u64::from(search.proven_optimal));
+            cloudia_obs::counter("advisor.searches", 1);
+            cloudia_obs::observe("advisor.search_explored", search.explored as f64);
+        }
+        drop(span);
 
         // Evaluate default vs optimized on ground truth. `mean_matrix`
         // builds one flat arena; everything downstream shares it.
@@ -278,7 +287,14 @@ impl Advisor {
         let plan = &self.config.measurement;
         let mut cfg = plan.config.clone();
         cfg.seed ^= seed;
-        Staged::new(plan.ks, plan.sweeps).run(network, &cfg)
+        let mut span = cloudia_obs::span!("advisor.measure", instances = network.len());
+        let report = Staged::new(plan.ks, plan.sweeps).run(network, &cfg);
+        if cloudia_obs::enabled() {
+            span.attr("round_trips", report.round_trips);
+            span.attr("sim_ms", report.elapsed_ms);
+            cloudia_obs::counter("advisor.measurements", 1);
+        }
+        report
     }
 }
 

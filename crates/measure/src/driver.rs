@@ -136,14 +136,19 @@ pub fn run_pruned<S: Scheme + ?Sized>(
                 if !condemned.is_empty() {
                     let drop: HashSet<(u32, u32)> =
                         condemned.into_iter().map(|(a, b)| norm_pair(a, b)).collect();
-                    saved_round_trips +=
-                        driver.retain_pairs(&mut |a, b| !drop.contains(&norm_pair(a, b)));
+                    let saved = driver.retain_pairs(&mut |a, b| !drop.contains(&norm_pair(a, b)));
+                    saved_round_trips += saved;
+                    let before = dropped.len();
                     dropped.extend(
                         remaining
                             .iter()
                             .map(|&(a, b)| norm_pair(a, b))
                             .filter(|key| drop.contains(key)),
                     );
+                    cloudia_obs::counters(&[
+                        ("sweep.prune.dropped_pairs", (dropped.len() - before) as u64),
+                        ("sweep.prune.saved_round_trips", saved),
+                    ]);
                 }
             }
         }
@@ -175,6 +180,49 @@ pub(crate) struct StageDriver<'n> {
     stage: usize,
     round_trips: u64,
     done: bool,
+    tally: StageTally,
+}
+
+/// Local telemetry accumulator for one driver run. Stages add plain
+/// integers here; the global plane is touched exactly once, when the
+/// tally drops with the driver — `sweeps × stages` lock acquisitions
+/// (and per-stage span allocations) collapse to one counter batch and
+/// one `sweep.run` span, keeping the instrumented hot path within the
+/// workspace's overhead budget even on small networks where a stage is
+/// only a few simulated round trips of work.
+#[derive(Debug, Default)]
+struct StageTally {
+    stages: u64,
+    round_trips: u64,
+    sent: u64,
+    delivered: u64,
+    lost: u64,
+    dark: u64,
+    /// Wall-time span from the first executed stage to driver drop;
+    /// `None` until a stage runs (or while telemetry is disabled).
+    span: Option<cloudia_obs::SpanGuard>,
+}
+
+impl Drop for StageTally {
+    fn drop(&mut self) {
+        if let Some(span) = &mut self.span {
+            span.attr("stages", self.stages);
+            span.attr("round_trips", self.round_trips);
+            span.attr("sent", self.sent);
+            span.attr("lost", self.lost);
+            span.attr("dark_pairs", self.dark);
+        }
+        if self.stages > 0 {
+            cloudia_obs::counters(&[
+                ("sweep.stages", self.stages),
+                ("sweep.round_trips", self.round_trips),
+                ("sweep.messages_sent", self.sent),
+                ("sweep.messages_delivered", self.delivered),
+                ("sweep.messages_lost", self.lost),
+                ("sweep.dark_pairs", self.dark),
+            ]);
+        }
+    }
 }
 
 impl<'n> StageDriver<'n> {
@@ -205,6 +253,7 @@ impl<'n> StageDriver<'n> {
             stage: 0,
             round_trips: 0,
             done: false,
+            tally: StageTally::default(),
         }
     }
 
@@ -254,6 +303,14 @@ impl SweepDriver for StageDriver<'_> {
         }
         // Directions alternate across sweeps so both directions of every
         // link get measured.
+        if cloudia_obs::enabled() && self.tally.span.is_none() {
+            self.tally.span = Some(cloudia_obs::span!("sweep.run", scheme = self.name));
+        }
+        let (sent0, delivered0, lost0) = (
+            self.engine.messages_sent(),
+            self.engine.messages_delivered(),
+            self.engine.messages_lost(),
+        );
         let pairs = &self.stages[self.stage];
         let directed: Vec<(usize, usize)> = pairs
             .iter()
@@ -275,6 +332,18 @@ impl SweepDriver for StageDriver<'_> {
             &mut self.tracker,
         );
         self.round_trips += outcome.round_trips;
+        // Telemetry stays local at stage grain: deltas of the engine's
+        // tallies accumulate in `self.tally` (plain integer adds — no
+        // locks, no allocations) and hit the global plane once, when
+        // the driver drops.
+        if cloudia_obs::enabled() {
+            self.tally.stages += 1;
+            self.tally.round_trips += outcome.round_trips;
+            self.tally.sent += self.engine.messages_sent() - sent0;
+            self.tally.delivered += self.engine.messages_delivered() - delivered0;
+            self.tally.lost += self.engine.messages_lost() - lost0;
+            self.tally.dark += outcome.dark.len() as u64;
+        }
         // Pairs that went dark (retry budget exhausted without one
         // success) are struck from every future stage: re-probing a dead
         // link each sweep would burn the whole retry budget again for

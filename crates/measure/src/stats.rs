@@ -9,177 +9,10 @@
 
 use cloudia_netsim::cost::{CostError, CostMatrix};
 
-/// Welford online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Welford {
-    count: u64,
-    mean: f64,
-    m2: f64,
-}
-
-impl Welford {
-    /// Creates an empty accumulator.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Adds one observation.
-    pub fn record(&mut self, x: f64) {
-        self.count += 1;
-        let delta = x - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (x - self.mean);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Sample mean (0 if empty).
-    pub fn mean(&self) -> f64 {
-        self.mean
-    }
-
-    /// Sample (Bessel-corrected) variance, `m2 / (count − 1)`; 0 with
-    /// fewer than 2 observations. Unbiased at the low counts a lossy
-    /// link is starved down to — the population divisor systematically
-    /// under-reported σ there, making prune rules and detectors
-    /// overconfident exactly where data is scarcest.
-    pub fn variance(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            self.m2 / (self.count - 1) as f64
-        }
-    }
-
-    /// Sample standard deviation.
-    pub fn sd(&self) -> f64 {
-        self.variance().sqrt()
-    }
-}
-
-/// P² single-quantile estimator with five markers.
-///
-/// Maintains an estimate of an arbitrary quantile in O(1) space without
-/// storing samples. Until five samples have arrived it falls back to exact
-/// order statistics.
-#[derive(Debug, Clone)]
-pub struct P2Quantile {
-    q: f64,
-    /// Marker heights.
-    heights: [f64; 5],
-    /// Marker positions (1-based counts).
-    pos: [f64; 5],
-    /// Desired marker positions.
-    desired: [f64; 5],
-    /// Desired position increments.
-    inc: [f64; 5],
-    count: usize,
-}
-
-impl P2Quantile {
-    /// Creates an estimator for quantile `q` in (0, 1).
-    pub fn new(q: f64) -> Self {
-        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
-        Self {
-            q,
-            heights: [0.0; 5],
-            pos: [1.0, 2.0, 3.0, 4.0, 5.0],
-            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
-            inc: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
-            count: 0,
-        }
-    }
-
-    /// Adds one observation.
-    pub fn record(&mut self, x: f64) {
-        if self.count < 5 {
-            self.heights[self.count] = x;
-            self.count += 1;
-            if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            }
-            return;
-        }
-        self.count += 1;
-
-        // Find the cell containing x and adjust extreme markers.
-        let k = if x < self.heights[0] {
-            self.heights[0] = x;
-            0
-        } else if x >= self.heights[4] {
-            self.heights[4] = x;
-            3
-        } else {
-            let mut k = 0;
-            for i in 0..4 {
-                if x >= self.heights[i] && x < self.heights[i + 1] {
-                    k = i;
-                    break;
-                }
-            }
-            k
-        };
-
-        for p in self.pos.iter_mut().skip(k + 1) {
-            *p += 1.0;
-        }
-        for i in 0..5 {
-            self.desired[i] += self.inc[i];
-        }
-
-        // Adjust interior markers with the parabolic (P²) formula.
-        for i in 1..4 {
-            let d = self.desired[i] - self.pos[i];
-            if (d >= 1.0 && self.pos[i + 1] - self.pos[i] > 1.0)
-                || (d <= -1.0 && self.pos[i - 1] - self.pos[i] < -1.0)
-            {
-                let d = d.signum();
-                let candidate = self.parabolic(i, d);
-                self.heights[i] =
-                    if candidate > self.heights[i - 1] && candidate < self.heights[i + 1] {
-                        candidate
-                    } else {
-                        self.linear(i, d)
-                    };
-                self.pos[i] += d;
-            }
-        }
-    }
-
-    fn parabolic(&self, i: usize, d: f64) -> f64 {
-        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
-        let (nm, n0, np) = (self.pos[i - 1], self.pos[i], self.pos[i + 1]);
-        q0 + d / (np - nm)
-            * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
-    }
-
-    fn linear(&self, i: usize, d: f64) -> f64 {
-        let j = (i as f64 + d) as usize;
-        self.heights[i] + d * (self.heights[j] - self.heights[i]) / (self.pos[j] - self.pos[i])
-    }
-
-    /// Current quantile estimate (exact for fewer than 5 samples).
-    pub fn value(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        if self.count <= 5 {
-            let mut v: Vec<f64> = self.heights[..self.count.min(5)].to_vec();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let idx = ((self.count as f64 * self.q).ceil() as usize).clamp(1, self.count) - 1;
-            return v[idx];
-        }
-        self.heights[2]
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> usize {
-        self.count
-    }
-}
+// The Welford and P² sketches moved to `cloudia-obs` (the telemetry
+// plane reuses them for histogram snapshots); re-exported here so the
+// measurement plane's original users keep their import paths.
+pub use cloudia_obs::{P2Quantile, Welford};
 
 /// Full online summary of one directed link.
 #[derive(Debug, Clone)]

@@ -134,6 +134,12 @@ pub struct Engine<'a> {
     fault_rng: StdRng,
     /// Sender timeout for lost messages (ms).
     timeout_ms: f64,
+    /// Messages submitted via [`Engine::send`].
+    sent: u64,
+    /// Deliveries popped that reached their destination.
+    delivered: u64,
+    /// Deliveries popped that were dropped in the wire (timeouts).
+    lost: u64,
 }
 
 impl<'a> Engine<'a> {
@@ -150,6 +156,9 @@ impl<'a> Engine<'a> {
             loss: None,
             fault_rng: StdRng::seed_from_u64(seed ^ 0x10_55_10_55_10_55_10_55),
             timeout_ms: DEFAULT_TIMEOUT_MS,
+            sent: 0,
+            delivered: 0,
+            lost: 0,
         }
     }
 
@@ -204,6 +213,7 @@ impl<'a> Engine<'a> {
     /// Panics if `src == dst`.
     pub fn send(&mut self, spec: MessageSpec) -> f64 {
         assert_ne!(spec.src, spec.dst, "instance cannot message itself");
+        self.sent += 1;
         let sent_at = self.now;
         let busy = self.nic.busy_time(spec.size_kb);
 
@@ -243,7 +253,29 @@ impl<'a> Engine<'a> {
     pub fn next_delivery(&mut self) -> Option<DeliveredMessage> {
         let d = self.heap.pop()?;
         self.now = d.at;
+        if d.msg.lost {
+            self.lost += 1;
+        } else {
+            self.delivered += 1;
+        }
         Some(d.msg)
+    }
+
+    /// Messages submitted so far. These tallies are plain local fields
+    /// — the telemetry plane reads them at stage boundaries rather than
+    /// hooking the per-message hot path.
+    pub fn messages_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Popped deliveries that reached their destination.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Popped deliveries that were dropped in the wire (sender timeouts).
+    pub fn messages_lost(&self) -> u64 {
+        self.lost
     }
 
     /// Advances simulation time without any message activity (models
@@ -480,5 +512,24 @@ mod tests {
         }
         let rate = lost as f64 / (lost + ok) as f64;
         assert!((rate - 0.3).abs() < 0.03, "observed drop rate {rate}");
+        // The engine's own tallies agree with what the caller observed.
+        assert_eq!(e.messages_sent(), 4000);
+        assert_eq!(e.messages_lost(), lost as u64);
+        assert_eq!(e.messages_delivered(), (ok + 2000) as u64);
+    }
+
+    #[test]
+    fn delivery_counters_start_at_zero_and_track_pops() {
+        let (t, a) = setup();
+        let model = LatencyModel::build(&t, &a, &quiet_params(), 0);
+        let mut e = Engine::new(&model, NicParams::default(), 0);
+        assert_eq!(e.messages_sent(), 0);
+        e.send(spec(0, 1, 0, 0));
+        assert_eq!(e.messages_sent(), 1);
+        // Counted as delivered only once the delivery event is popped.
+        assert_eq!(e.messages_delivered(), 0);
+        e.next_delivery().unwrap();
+        assert_eq!(e.messages_delivered(), 1);
+        assert_eq!(e.messages_lost(), 0);
     }
 }

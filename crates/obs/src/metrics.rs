@@ -1,0 +1,354 @@
+//! Named counters, gauges, and histograms.
+//!
+//! The registry is a mutex-guarded sorted map so snapshots iterate in a
+//! deterministic name order. Hot paths must not hit the mutex per event:
+//! the convention throughout the workspace is to accumulate *local*
+//! counters (e.g. the netsim engine's delivery tallies, the sweep
+//! driver's stage tally) and flush deltas at a coarse grain (per driver
+//! run, per epoch, per worker exit — [`MetricsRegistry::counter_add_many`]
+//! takes the whole batch under one lock), so registry traffic is
+//! thousands of times sparser than the events it summarizes.
+
+use crate::sketch::{P2Quantile, Welford};
+use crate::Json;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Histogram bucket upper bounds: half-decade log spacing covering
+/// microseconds-to-hours when values are in milliseconds (and equally
+/// serviceable for dimensionless counts). Values above the last bound
+/// land in an overflow bucket.
+pub const BUCKET_BOUNDS: [f64; 21] = [
+    1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0, 3.16, 1e1, 3.16e1, 1e2, 3.16e2, 1e3, 3.16e3,
+    1e4, 3.16e4, 1e5, 3.16e5, 1e6, 3.16e6, 1e7,
+];
+
+/// A fixed-bucket histogram with streaming moment/quantile sketches.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    welford: Welford,
+    min: f64,
+    max: f64,
+    p50: P2Quantile,
+    p99: P2Quantile,
+    /// `BUCKET_BOUNDS.len() + 1` cells; the last is overflow.
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            welford: Welford::new(),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            p50: P2Quantile::new(0.5),
+            p99: P2Quantile::new(0.99),
+            buckets: vec![0; BUCKET_BOUNDS.len() + 1],
+        }
+    }
+}
+
+impl Histogram {
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.welford.record(x);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.p50.record(x);
+        self.p99.record(x);
+        let idx = BUCKET_BOUNDS.partition_point(|&bound| bound < x);
+        self.buckets[idx] += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.welford.count()
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.welford.mean()
+    }
+
+    /// Smallest observation (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count() == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Median estimate (P² sketch; exact below 6 samples).
+    pub fn p50(&self) -> f64 {
+        self.p50.value()
+    }
+
+    /// 99th-percentile estimate (P² sketch; exact below 6 samples).
+    pub fn p99(&self) -> f64 {
+        self.p99.value()
+    }
+
+    /// Occupied buckets as `(upper_bound, count)`; the overflow bucket
+    /// reports `f64::INFINITY` as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (BUCKET_BOUNDS.get(i).copied().unwrap_or(f64::INFINITY), c))
+            .collect()
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .nonzero_buckets()
+            .into_iter()
+            .map(|(bound, count)| Json::Arr(vec![Json::Num(bound), Json::from(count)]))
+            .collect();
+        Json::obj()
+            .field("count", self.count())
+            .field("mean", self.mean())
+            .field("sd", self.welford.sd())
+            .field("min", self.min())
+            .field("max", self.max())
+            .field("p50", self.p50())
+            .field("p99", self.p99())
+            .field("buckets", Json::Arr(buckets))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Box<Histogram>),
+}
+
+/// A snapshot of one metric at a point in time.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last-set value.
+    Gauge(f64),
+    /// Distribution summary (boxed: a histogram is ~400 bytes of
+    /// buckets and sketches, far larger than the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+/// A registry of named metrics behind one mutex.
+///
+/// Names are dotted paths (`sweep.round_trips`, `solver.portfolio.restarts`);
+/// the README's Observability section is the authoritative taxonomy.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut m = self.metrics.lock().unwrap();
+        Self::counter_add_locked(&mut m, name, delta);
+    }
+
+    /// Adds several counter deltas under a single lock acquisition —
+    /// the flush half of the local-accumulation convention. Zero deltas
+    /// are skipped so absent events never materialize empty counters.
+    pub fn counter_add_many(&self, entries: &[(&str, u64)]) {
+        let mut m = self.metrics.lock().unwrap();
+        for &(name, delta) in entries {
+            if delta > 0 {
+                Self::counter_add_locked(&mut m, name, delta);
+            }
+        }
+    }
+
+    fn counter_add_locked(m: &mut BTreeMap<String, Metric>, name: &str, delta: u64) {
+        // Fast path avoids the `String` allocation `entry` would pay
+        // even when the key already exists.
+        if let Some(Metric::Counter(c)) = m.get_mut(name) {
+            *c += delta;
+            return;
+        }
+        m.insert(name.to_string(), Metric::Counter(delta));
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        m.insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, x: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Histogram(h)) = m.get_mut(name) {
+            h.observe(x);
+            return;
+        }
+        let mut h = Histogram::default();
+        h.observe(x);
+        m.insert(name.to_string(), Metric::Histogram(Box::new(h)));
+    }
+
+    /// Reads one counter's current value (0 if absent or another kind).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Reads one gauge's current value.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.metrics.lock().unwrap().get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.metrics
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(*c),
+                    Metric::Gauge(g) => MetricValue::Gauge(*g),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.clone()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+
+    /// The snapshot as one JSON object with `counters` / `gauges` /
+    /// `hists` sections (each sorted by name).
+    pub fn snapshot_json(&self) -> Json {
+        let mut counters = Json::obj();
+        let mut gauges = Json::obj();
+        let mut hists = Json::obj();
+        for (name, value) in self.snapshot() {
+            match value {
+                MetricValue::Counter(c) => counters = counters.field(&name, c),
+                MetricValue::Gauge(g) => gauges = gauges.field(&name, g),
+                MetricValue::Histogram(h) => hists = hists.field(&name, h.to_json()),
+            }
+        }
+        Json::obj().field("counters", counters).field("gauges", gauges).field("hists", hists)
+    }
+
+    /// Drops every metric.
+    pub fn reset(&self) {
+        self.metrics.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = MetricsRegistry::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.counter_value("a.b"), 5);
+        assert_eq!(r.gauge_value("g"), Some(2.5));
+        assert_eq!(r.counter_value("missing"), 0);
+    }
+
+    #[test]
+    fn batched_counter_flush_skips_zero_deltas() {
+        let r = MetricsRegistry::new();
+        r.counter_add_many(&[("x", 4), ("y", 0), ("z", 1)]);
+        r.counter_add_many(&[("x", 1), ("z", 0)]);
+        assert_eq!(r.counter_value("x"), 5);
+        assert_eq!(r.counter_value("z"), 1);
+        // The zero-delta name never materialized.
+        assert!(r.snapshot().iter().all(|(name, _)| name != "y"));
+    }
+
+    #[test]
+    fn histogram_quantiles_bracketed_by_min_max() {
+        // Quantile-bound property: for any sample set, min ≤ p50 ≤ p99
+        // estimates ≤ max, and the uniform case lands near truth.
+        let mut h = Histogram::default();
+        for i in 0..10_000u32 {
+            h.observe(f64::from(i % 1000));
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!(h.min() <= h.p50() && h.p50() <= h.p99() + 1e-9);
+        assert!(h.p99() <= h.max());
+        assert!((h.p50() - 500.0).abs() < 25.0, "p50 {}", h.p50());
+        assert!((h.p99() - 990.0).abs() < 25.0, "p99 {}", h.p99());
+        assert!((h.mean() - 499.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_samples() {
+        let mut h = Histogram::default();
+        for x in [0.5, 0.5, 5.0, 2e7] {
+            h.observe(x);
+        }
+        h.observe(f64::NAN); // ignored
+        let buckets = h.nonzero_buckets();
+        let total: u64 = buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        // 2e7 exceeds every bound → overflow bucket with infinite bound.
+        assert!(buckets.iter().any(|(b, c)| b.is_infinite() && *c == 1));
+    }
+
+    #[test]
+    fn histogram_exact_at_tiny_counts() {
+        let mut h = Histogram::default();
+        h.observe(3.0);
+        h.observe(1.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 3.0);
+        assert_eq!(h.p99(), 3.0);
+        let empty = Histogram::default();
+        assert_eq!(empty.min(), 0.0);
+        assert_eq!(empty.max(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_sectioned() {
+        let r = MetricsRegistry::new();
+        r.counter_add("z.count", 1);
+        r.counter_add("a.count", 2);
+        r.gauge_set("mid", 0.5);
+        r.observe("lat", 10.0);
+        let j = r.snapshot_json();
+        let text = j.encode();
+        // Counters sorted a before z; all three sections present.
+        assert!(text.find("a.count").unwrap() < text.find("z.count").unwrap());
+        assert!(j.get("gauges").unwrap().get("mid").is_some());
+        assert!(j.get("hists").unwrap().get("lat").unwrap().get("p99").is_some());
+        r.reset();
+        assert_eq!(r.snapshot().len(), 0);
+    }
+}

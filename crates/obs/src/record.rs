@@ -1,0 +1,299 @@
+//! Schema-versioned JSONL run logs.
+//!
+//! A [`RunRecorder`] streams one JSON object per line to a sink. The
+//! first line is a `meta` record carrying the schema tag; every later
+//! line is `{"t":"<kind>","seq":N,"p":{…}}` with a strictly increasing
+//! sequence number, so a truncated file is detectable and two runs can
+//! be diffed line-by-line. The sink latches I/O errors instead of
+//! panicking — telemetry must never take down the control loop it is
+//! observing — and surfaces them at [`RunRecorder::finish`].
+//!
+//! [`parse_trace`] is the in-repo validator: CI runs it over a real
+//! `--trace` output, and the round-trip proptest drives encoder and
+//! parser against each other.
+
+use crate::{Json, JsonError, MetricsRegistry, SpanRecord};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Trace schema tag written into every file's `meta` line. Bump only
+/// with a migration note in the README's Observability section.
+pub const TRACE_SCHEMA: &str = "cloudia.trace.v1";
+
+/// Record kinds a v1 trace may contain.
+pub const TRACE_KINDS: [&str; 7] = ["meta", "event", "epoch", "metrics", "span", "bench", "note"];
+
+/// Streaming JSONL sink for one run.
+pub struct RunRecorder {
+    out: Box<dyn Write + Send>,
+    seq: u64,
+    error: Option<io::Error>,
+}
+
+impl fmt::Debug for RunRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunRecorder")
+            .field("seq", &self.seq)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunRecorder {
+    /// Records to an arbitrary writer; immediately emits the `meta`
+    /// line with the schema tag plus any `extra` object fields.
+    pub fn to_writer(out: Box<dyn Write + Send>, extra: Json) -> RunRecorder {
+        let mut rec = RunRecorder { out, seq: 0, error: None };
+        let mut meta = Json::obj().field("schema", TRACE_SCHEMA);
+        if let Json::Obj(pairs) = extra {
+            for (k, v) in pairs {
+                meta = meta.field(&k, v);
+            }
+        }
+        rec.record("meta", meta);
+        rec
+    }
+
+    /// Records to a buffered file at `path` (created/truncated).
+    pub fn to_file(path: &Path, extra: Json) -> io::Result<RunRecorder> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file)), extra))
+    }
+
+    /// Records to an in-memory buffer shared with the caller (tests,
+    /// `BENCH_*.json` assembly). Returns the recorder and the buffer.
+    pub fn to_vec(extra: Json) -> (RunRecorder, std::sync::Arc<std::sync::Mutex<Vec<u8>>>) {
+        let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink = SharedVec(buf.clone());
+        (Self::to_writer(Box::new(sink), extra), buf)
+    }
+
+    /// Appends one record line. Unknown kinds are written as-is (the
+    /// validator is the gatekeeper); I/O failures latch silently.
+    pub fn record(&mut self, kind: &str, payload: Json) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = Json::obj().field("t", kind).field("seq", self.seq).field("p", payload);
+        self.seq += 1;
+        if let Err(e) = writeln!(self.out, "{}", line.encode()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// Appends a `metrics` record with the registry's full snapshot.
+    pub fn record_metrics_snapshot(&mut self, registry: &MetricsRegistry) {
+        self.record("metrics", registry.snapshot_json());
+    }
+
+    /// Appends one `span` record per completed span.
+    pub fn record_spans(&mut self, spans: &[SpanRecord]) {
+        for span in spans {
+            self.record("span", span.to_json());
+        }
+    }
+
+    /// Drains the global span ring into the trace.
+    pub fn flush_global_spans(&mut self) {
+        let spans = crate::take_spans();
+        self.record_spans(&spans);
+    }
+
+    /// Appends a free-form `note` record.
+    pub fn note(&mut self, message: &str) {
+        self.record("note", Json::obj().field("msg", message));
+    }
+
+    /// Records appended so far (including the meta line).
+    pub fn len(&self) -> u64 {
+        self.seq
+    }
+
+    /// True if only the meta line has been written (or nothing, after
+    /// an immediate I/O failure).
+    pub fn is_empty(&self) -> bool {
+        self.seq <= 1
+    }
+
+    /// The latched I/O error, if any write failed.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and closes the sink, surfacing any latched error.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+struct SharedVec(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedVec {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One validated trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Record kind (one of [`TRACE_KINDS`]).
+    pub kind: String,
+    /// Sequence number (line index from 0).
+    pub seq: u64,
+    /// The record payload.
+    pub payload: Json,
+}
+
+/// Why a trace failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line was not valid JSON.
+    Json {
+        /// 0-based line number.
+        line: usize,
+        /// The underlying parse error.
+        error: JsonError,
+    },
+    /// A line violated the v1 schema.
+    Schema {
+        /// 0-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json { line, error } => write!(f, "line {line}: {error}"),
+            TraceError::Schema { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses and validates a JSONL trace against schema v1: every line a
+/// JSON object with `t`/`seq`/`p`, a known kind, sequence numbers
+/// strictly increasing from 0, and line 0 a `meta` record tagged
+/// [`TRACE_SCHEMA`].
+pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = Json::parse(line).map_err(|error| TraceError::Json { line: line_no, error })?;
+        let schema = |message: &str| TraceError::Schema { line: line_no, message: message.into() };
+        let kind = value
+            .get("t")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema("missing string field 't'"))?
+            .to_string();
+        if !TRACE_KINDS.contains(&kind.as_str()) {
+            return Err(schema(&format!("unknown record kind {kind:?}")));
+        }
+        let seq = value.get("seq").and_then(Json::as_u64).ok_or_else(|| schema("missing 'seq'"))?;
+        if seq != records.len() as u64 {
+            return Err(schema(&format!("seq {seq} out of order (expected {})", records.len())));
+        }
+        let payload = value.get("p").cloned().ok_or_else(|| schema("missing payload 'p'"))?;
+        if records.is_empty() {
+            if kind != "meta" {
+                return Err(schema("first record must be 'meta'"));
+            }
+            match payload.get("schema").and_then(Json::as_str) {
+                Some(tag) if tag == TRACE_SCHEMA => {}
+                Some(tag) => return Err(schema(&format!("unsupported schema {tag:?}"))),
+                None => return Err(schema("meta record missing 'schema'")),
+            }
+        }
+        records.push(TraceRecord { kind, seq, payload });
+    }
+    if records.is_empty() {
+        return Err(TraceError::Schema { line: 0, message: "empty trace".into() });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_emits_validating_trace() {
+        let (mut rec, buf) = RunRecorder::to_vec(Json::obj().field("run", "unit"));
+        rec.record("event", Json::obj().field("kind", "Epoch").field("epoch", 0u64));
+        rec.note("hello");
+        let registry = MetricsRegistry::new();
+        registry.counter_add("x", 7);
+        rec.record_metrics_snapshot(&registry);
+        assert_eq!(rec.len(), 4);
+        rec.finish().unwrap();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let records = parse_trace(&text).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].kind, "meta");
+        assert_eq!(records[0].payload.get("run").unwrap().as_str(), Some("unit"));
+        assert_eq!(records[1].payload.get("kind").unwrap().as_str(), Some("Epoch"));
+        assert_eq!(records[3].payload.get("counters").unwrap().get("x").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        // Not JSON.
+        assert!(matches!(parse_trace("nope"), Err(TraceError::Json { line: 0, .. })));
+        // First record not meta.
+        let bad = r#"{"t":"note","seq":0,"p":{}}"#;
+        assert!(matches!(parse_trace(bad), Err(TraceError::Schema { .. })));
+        // Wrong schema tag.
+        let bad = r#"{"t":"meta","seq":0,"p":{"schema":"other.v9"}}"#;
+        assert!(matches!(parse_trace(bad), Err(TraceError::Schema { .. })));
+        // Out-of-order seq.
+        let bad = format!(
+            "{}\n{}",
+            r#"{"t":"meta","seq":0,"p":{"schema":"cloudia.trace.v1"}}"#,
+            r#"{"t":"note","seq":2,"p":{}}"#
+        );
+        assert!(matches!(parse_trace(&bad), Err(TraceError::Schema { line: 1, .. })));
+        // Unknown kind.
+        let bad = format!(
+            "{}\n{}",
+            r#"{"t":"meta","seq":0,"p":{"schema":"cloudia.trace.v1"}}"#,
+            r#"{"t":"mystery","seq":1,"p":{}}"#
+        );
+        assert!(matches!(parse_trace(&bad), Err(TraceError::Schema { line: 1, .. })));
+        // Empty input.
+        assert!(parse_trace("").is_err());
+    }
+
+    #[test]
+    fn io_errors_latch_instead_of_panicking() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut rec = RunRecorder::to_writer(Box::new(Failing), Json::obj());
+        assert!(rec.error().is_some());
+        rec.note("ignored"); // must not panic, must not clear the latch
+        assert!(rec.error().is_some());
+        assert!(rec.finish().is_err());
+    }
+}

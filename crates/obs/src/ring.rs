@@ -1,0 +1,133 @@
+//! A bounded, overwrite-oldest ring log.
+//!
+//! Telemetry must never grow without limit inside a long-running control
+//! loop: the span ring and the online advisor's in-memory event log both
+//! cap their footprint with this structure, dropping the *oldest*
+//! entries once full (the tail of a run is what a debugging session
+//! wants) while counting what was dropped so consumers can tell a
+//! complete log from a truncated one. The full history is preserved by
+//! streaming every entry to a [`crate::RunRecorder`] *before* it enters
+//! the ring.
+
+use std::collections::VecDeque;
+
+/// A bounded log: pushes beyond the capacity evict the oldest entry.
+#[derive(Debug, Clone)]
+pub struct RingLog<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingLog<T> {
+    /// A ring holding at most `capacity` entries. A capacity of 0 means
+    /// **unbounded** (a plain log that never evicts).
+    pub fn new(capacity: usize) -> Self {
+        Self { buf: VecDeque::new(), capacity, dropped: 0 }
+    }
+
+    /// An unbounded log (never evicts).
+    pub fn unbounded() -> Self {
+        Self::new(0)
+    }
+
+    /// Appends an entry, evicting the oldest if the ring is full.
+    pub fn push(&mut self, value: T) {
+        if self.capacity > 0 && self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Entries currently retained (≤ capacity when bounded).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted so far to stay within the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained entries oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// The most recently pushed entry, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.buf.back()
+    }
+
+    /// Drains all retained entries oldest → newest, leaving the ring
+    /// empty (the dropped counter is preserved).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Clears retained entries and the dropped counter.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.dropped = 0;
+    }
+}
+
+impl<'a, T> IntoIterator for &'a RingLog<T> {
+    type Item = &'a T;
+    type IntoIter = std::collections::vec_deque::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_evicts_oldest_and_counts_drops() {
+        let mut r = RingLog::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.last(), Some(&4));
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let mut r = RingLog::unbounded();
+        for i in 0..1000 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_preserves_order_and_drop_count() {
+        let mut r = RingLog::new(2);
+        r.push('a');
+        r.push('b');
+        r.push('c');
+        assert_eq!(r.drain(), vec!['b', 'c']);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+        r.clear();
+        assert_eq!(r.dropped(), 0);
+    }
+}

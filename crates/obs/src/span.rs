@@ -1,0 +1,169 @@
+//! Lightweight span tracing.
+//!
+//! A span is a named wall-time interval with a handful of numeric or
+//! static-string attributes, captured by an RAII guard from the
+//! [`crate::span!`] macro. Completed spans land in a bounded global ring
+//! (oldest evicted first) that a [`crate::RunRecorder`] can drain into
+//! the trace file. When telemetry is disabled — at runtime or by
+//! building without the `telemetry` feature — guards are inert: no
+//! clock read, no allocation, no ring traffic.
+
+use crate::Json;
+use std::time::Instant;
+
+/// An attribute value: a number or a static string (technique names,
+/// stage labels — anything hot paths can name without allocating).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttrValue {
+    /// Numeric attribute.
+    Num(f64),
+    /// Static-string attribute.
+    Text(&'static str),
+}
+
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Num(x)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(x: u64) -> Self {
+        AttrValue::Num(x as f64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(x: u32) -> Self {
+        AttrValue::Num(f64::from(x))
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(x: usize) -> Self {
+        AttrValue::Num(x as f64)
+    }
+}
+impl From<&'static str> for AttrValue {
+    fn from(s: &'static str) -> Self {
+        AttrValue::Text(s)
+    }
+}
+
+/// A completed span: name, wall time, attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name from the workspace taxonomy (`sweep.run`,
+    /// `portfolio.worker`, `online.step`, …).
+    pub name: &'static str,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+    /// Attribute key/value pairs in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanRecord {
+    /// The span as a JSON object (`{"name":…,"ms":…,"attrs":{…}}`).
+    pub fn to_json(&self) -> Json {
+        let mut attrs = Json::obj();
+        for (k, v) in &self.attrs {
+            attrs = match v {
+                AttrValue::Num(x) => attrs.field(k, *x),
+                AttrValue::Text(s) => attrs.field(k, *s),
+            };
+        }
+        Json::obj().field("name", self.name).field("ms", self.wall_ms).field("attrs", attrs)
+    }
+}
+
+/// RAII guard for an in-flight span; completes (and records) on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<Active>,
+}
+
+#[derive(Debug)]
+struct Active {
+    name: &'static str,
+    start: Instant,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl SpanGuard {
+    /// Starts a span if telemetry is enabled; otherwise returns an
+    /// inert guard. Prefer the [`crate::span!`] macro.
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if crate::enabled() {
+            SpanGuard { inner: Some(Active { name, start: Instant::now(), attrs: Vec::new() }) }
+        } else {
+            SpanGuard { inner: None }
+        }
+    }
+
+    /// Attaches (or appends) an attribute. No-op on an inert guard.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if let Some(active) = &mut self.inner {
+            active.attrs.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.inner.take() {
+            let wall_ms = active.start.elapsed().as_secs_f64() * 1e3;
+            crate::push_span(SpanRecord { name: active.name, wall_ms, attrs: active.attrs });
+        }
+    }
+}
+
+/// Opens a span guard: `let _s = span!("sweep.run", stage = 3usize);`
+/// Attributes may be numbers or `&'static str`; more can be attached
+/// later with [`SpanGuard::attr`]. The span records when the guard
+/// drops.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::SpanGuard::enter($name);
+        $(guard.attr(stringify!($key), $value);)+
+        guard
+    }};
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop_with_attrs() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::take_spans(); // discard anything from other tests
+        {
+            let mut g = crate::span!("test.span", items = 3usize, mode = "quick");
+            g.attr("late", 1.5f64);
+        }
+        let spans = crate::take_spans();
+        let s = spans.iter().rev().find(|s| s.name == "test.span").expect("span recorded");
+        assert!(s.wall_ms >= 0.0);
+        assert_eq!(s.attrs[0], ("items", AttrValue::Num(3.0)));
+        assert_eq!(s.attrs[1], ("mode", AttrValue::Text("quick")));
+        assert_eq!(s.attrs[2], ("late", AttrValue::Num(1.5)));
+        let j = s.to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("test.span"));
+        assert_eq!(j.get("attrs").unwrap().get("mode").unwrap().as_str(), Some("quick"));
+    }
+
+    #[test]
+    fn disabled_guard_is_inert() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::take_spans();
+        crate::set_enabled(false);
+        {
+            let _g = crate::span!("test.inert", x = 1u64);
+        }
+        crate::set_enabled(true);
+        assert!(crate::take_spans().iter().all(|s| s.name != "test.inert"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Round-trip property tests for the JSON plane and the trace format:
+//! random `Json` trees encode to text that parses back to an identical
+//! tree, and whole JSONL traces survive `RunRecorder` → `parse_trace`.
+
+use cloudia_obs::{parse_trace, Json, RunRecorder};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Builds a random JSON tree. The proptest shim has no recursive
+/// strategies, so the tree is grown imperatively from a drawn seed.
+fn random_json(rng: &mut StdRng, depth: usize) -> Json {
+    let pick = if depth == 0 { rng.random_range(0..4) } else { rng.random_range(0..6) };
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random::<bool>()),
+        2 => random_num(rng),
+        3 => Json::Str(random_string(rng)),
+        4 => {
+            let n = rng.random_range(0..4usize);
+            Json::Arr((0..n).map(|_| random_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let n = rng.random_range(0..4usize);
+            let mut obj = Json::obj();
+            for i in 0..n {
+                // Distinct keys: `field` replaces duplicates, which would
+                // make the round-trip comparison fail spuriously.
+                let key = format!("k{i}_{}", random_string(rng));
+                obj = obj.field(&key, random_json(rng, depth - 1));
+            }
+            obj
+        }
+    }
+}
+
+fn random_num(rng: &mut StdRng) -> Json {
+    match rng.random_range(0..4) {
+        0 => Json::Num(f64::from(rng.random_range(-1_000_000i32..1_000_000))),
+        1 => Json::Num(rng.random::<f64>() * 1e9 - 5e8),
+        2 => Json::Num(rng.random::<f64>() * 1e-6),
+        _ => Json::Num(f64::from_bits(rng.random::<u64>() >> 2)), // finite-biased bit soup
+    }
+}
+
+fn random_string(rng: &mut StdRng) -> String {
+    let n = rng.random_range(0..8usize);
+    (0..n)
+        .map(|_| {
+            let c = rng.random_range(0u32..0x250);
+            char::from_u32(c).unwrap_or('x')
+        })
+        .collect()
+}
+
+/// Non-finite numbers deliberately encode as `null`; replace them so
+/// equality holds on the rest of the tree.
+fn normalize(v: &Json) -> Json {
+    match v {
+        Json::Num(x) if !x.is_finite() => Json::Null,
+        Json::Arr(items) => Json::Arr(items.iter().map(normalize).collect()),
+        Json::Obj(pairs) => {
+            Json::Obj(pairs.iter().map(|(k, v)| (k.clone(), normalize(v))).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn json_encode_parse_is_identity(seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = random_json(&mut rng, 4);
+        let text = tree.encode();
+        let parsed = Json::parse(&text).expect("encoder output must parse");
+        prop_assert_eq!(parsed, normalize(&tree), "text: {}", text);
+    }
+
+    #[test]
+    fn jsonl_traces_round_trip(seed in 0u64..u64::MAX, records in 1usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut rec, buf) = RunRecorder::to_vec(Json::obj().field("run", "proptest"));
+        let kinds = ["event", "epoch", "metrics", "span", "bench", "note"];
+        let mut expected = Vec::new();
+        for _ in 0..records {
+            let kind = kinds[rng.random_range(0..kinds.len())];
+            let payload = normalize(&random_json(&mut rng, 3));
+            rec.record(kind, payload.clone());
+            expected.push((kind.to_string(), payload));
+        }
+        rec.finish().unwrap();
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let parsed = parse_trace(&text).expect("recorder output must validate");
+        prop_assert_eq!(parsed.len(), expected.len() + 1);
+        prop_assert_eq!(parsed[0].kind.as_str(), "meta");
+        for (i, (kind, payload)) in expected.iter().enumerate() {
+            prop_assert_eq!(&parsed[i + 1].kind, kind);
+            prop_assert_eq!(parsed[i + 1].seq, (i + 1) as u64);
+            prop_assert_eq!(&parsed[i + 1].payload, payload);
+        }
+    }
+}
+
+#[test]
+fn same_records_yield_byte_identical_traces() {
+    let build = || {
+        let (mut rec, buf) = RunRecorder::to_vec(Json::obj().field("run", "det"));
+        rec.record("event", Json::obj().field("kind", "Epoch").field("cost", 1.5));
+        rec.note("done");
+        rec.finish().unwrap();
+        let bytes = buf.lock().unwrap().clone();
+        bytes
+    };
+    assert_eq!(build(), build());
+}

@@ -16,12 +16,20 @@
 use cloudia_core::{CommGraph, CostMatrix, Deployment, Objective, RedeployPolicy};
 use cloudia_measure::{FocusedScheme, ProbePlan};
 use cloudia_netsim::Network;
+use cloudia_obs::{RingLog, RunRecorder};
 use cloudia_solver::{AdaptivePool, CandidateConfig, CandidatePruneRule, CandidateSet, PoolPolicy};
 
 use crate::detect::{DetectorConfig, Drift};
 use crate::repair::{evacuate_resolve, incremental_resolve, RepairConfig};
 use crate::stats::{LinkChange, OnlineStore};
 use crate::stream::{EpochMeasurement, MeasurementStream};
+use crate::trace;
+
+/// Default capacity of the advisor's in-memory event ring
+/// ([`OnlineAdvisorConfig::event_capacity`]): generous enough that every
+/// in-repo consumer sees its full history, small enough that a
+/// weeks-long loop cannot grow without bound.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
 
 /// How the advisor spends its per-epoch probe budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +161,14 @@ pub struct OnlineAdvisorConfig {
     /// against the same lossy ground truth (the cost curve still prices
     /// loss — the world is lossy whether or not the advisor believes it).
     pub loss_aware: bool,
+    /// Capacity of the in-memory event ring ([`OnlineAdvisor::events`]):
+    /// once full, the oldest events are evicted (the ring reports how
+    /// many). 0 keeps every event forever — the pre-telemetry behaviour,
+    /// unbounded on a long-running loop. Attach a
+    /// [`cloudia_obs::RunRecorder`] via
+    /// [`OnlineAdvisor::attach_recorder`] to stream the *full* history
+    /// to disk regardless of the cap.
+    pub event_capacity: usize,
 }
 
 impl Default for OnlineAdvisorConfig {
@@ -177,6 +193,7 @@ impl Default for OnlineAdvisorConfig {
             record_triggers: false,
             timeout_ms: cloudia_netsim::DEFAULT_TIMEOUT_MS,
             loss_aware: true,
+            event_capacity: DEFAULT_EVENT_CAPACITY,
         }
     }
 }
@@ -377,7 +394,11 @@ pub struct OnlineAdvisor {
     deployment: Deployment,
     epoch: u64,
     last_resolve: Option<u64>,
-    events: Vec<OnlineEvent>,
+    /// Bounded in-memory event ring; the full history survives only in
+    /// an attached recorder's trace file.
+    events: RingLog<OnlineEvent>,
+    /// Optional JSONL sink streaming every event and epoch summary.
+    recorder: Option<RunRecorder>,
     cost_curve: Vec<(f64, f64)>,
     total_true_cost: f64,
     migration_cost_paid: f64,
@@ -444,6 +465,7 @@ impl OnlineAdvisor {
             }
             _ => None,
         };
+        let events = RingLog::new(config.event_capacity);
         Self {
             graph,
             config,
@@ -451,7 +473,8 @@ impl OnlineAdvisor {
             deployment: initial,
             epoch: 0,
             last_resolve: None,
-            events: Vec::new(),
+            events,
+            recorder: None,
             cost_curve: Vec::new(),
             total_true_cost: 0.0,
             migration_cost_paid: 0.0,
@@ -477,9 +500,42 @@ impl OnlineAdvisor {
         &self.store
     }
 
-    /// The full event log.
-    pub fn events(&self) -> &[OnlineEvent] {
+    /// The in-memory event log: a ring bounded by
+    /// [`OnlineAdvisorConfig::event_capacity`] (its
+    /// [`dropped`](RingLog::dropped) count says how many older events
+    /// were evicted). Attach a recorder for the full history.
+    pub fn events(&self) -> &RingLog<OnlineEvent> {
         &self.events
+    }
+
+    /// Attaches a [`RunRecorder`]: from now on every [`OnlineEvent`] is
+    /// streamed to it as a `"event"` record and every
+    /// [`EpochSummary`] as an `"epoch"` record, the moment they happen —
+    /// the full history survives on disk even after the in-memory ring
+    /// evicts. Replaces (and returns) any previously attached recorder.
+    pub fn attach_recorder(&mut self, recorder: RunRecorder) -> Option<RunRecorder> {
+        self.recorder.replace(recorder)
+    }
+
+    /// Detaches the recorder, if any, so the caller can
+    /// [`finish`](RunRecorder::finish) it.
+    pub fn take_recorder(&mut self) -> Option<RunRecorder> {
+        self.recorder.take()
+    }
+
+    /// The attached recorder, if any — for interleaving extra records
+    /// (notes, metrics snapshots) with the advisor's own stream.
+    pub fn recorder_mut(&mut self) -> Option<&mut RunRecorder> {
+        self.recorder.as_mut()
+    }
+
+    /// Logs an event: stream to the attached recorder first (full
+    /// history), then into the bounded in-memory ring.
+    fn push_event(&mut self, event: OnlineEvent) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record("event", trace::event_to_json(&event));
+        }
+        self.events.push(event);
     }
 
     /// Ground-truth cost of the active plan over time: `(hours, cost)`.
@@ -672,7 +728,7 @@ impl OnlineAdvisor {
         let deep_ks = self.config.probe_ks + extra;
         scheme.deepen(&flagged, deep_ks);
         self.deep_probe_rounds += scheme.deep_extra_round_trips();
-        self.events.push(OnlineEvent::DeepProbe {
+        self.push_event(OnlineEvent::DeepProbe {
             epoch: self.planning_epoch,
             pairs: flagged.len(),
             ks: deep_ks,
@@ -792,12 +848,13 @@ impl OnlineAdvisor {
         mut spot: Option<&mut dyn SpotProber>,
     ) -> EpochSummary {
         let epoch = m.epoch;
+        let mut span = cloudia_obs::span!("online.step", epoch = epoch);
         self.probe_round_trips += m.round_trips;
         self.planning_epoch = epoch + 1;
         self.last_saved_round_trips = m.saved_round_trips;
         self.saved_round_trips_total += m.saved_round_trips;
         if m.pruned_pairs > 0 || m.saved_round_trips > 0 {
-            self.events.push(OnlineEvent::SweepPruned {
+            self.push_event(OnlineEvent::SweepPruned {
                 epoch,
                 dropped_pairs: m.pruned_pairs,
                 saved_round_trips: m.saved_round_trips,
@@ -821,7 +878,7 @@ impl OnlineAdvisor {
                 if !self.config.loss_aware {
                     // Loss-blind baseline: the pre-loss loop had no
                     // darkness concept — log the change and move on.
-                    self.events.push(OnlineEvent::Change {
+                    self.push_event(OnlineEvent::Change {
                         epoch,
                         change: *c,
                         on_deployed_link: on_deployed,
@@ -852,14 +909,14 @@ impl OnlineAdvisor {
                 if !confirmed {
                     self.store.clear_dark(c.src as usize, c.dst as usize);
                 }
-                self.events.push(OnlineEvent::LinkDark {
+                self.push_event(OnlineEvent::LinkDark {
                     epoch,
                     src: c.src,
                     dst: c.dst,
                     loss_rate: c.loss_rate,
                     confirmed,
                 });
-                self.events.push(OnlineEvent::Change {
+                self.push_event(OnlineEvent::Change {
                     epoch,
                     change: *c,
                     on_deployed_link: on_deployed,
@@ -882,7 +939,7 @@ impl OnlineAdvisor {
                                 Some(mean) => {
                                     self.probe_round_trips += self.config.spot_check_probes as u64;
                                     let confirmed = mean >= 0.5 * (c.baseline + c.mean);
-                                    self.events.push(OnlineEvent::SpotCheck {
+                                    self.push_event(OnlineEvent::SpotCheck {
                                         epoch,
                                         src: c.src,
                                         dst: c.dst,
@@ -905,7 +962,7 @@ impl OnlineAdvisor {
                 Drift::Down if !on_deployed => opportunity = true,
                 _ => {}
             }
-            self.events.push(OnlineEvent::Change {
+            self.push_event(OnlineEvent::Change {
                 epoch,
                 change: *c,
                 on_deployed_link: on_deployed,
@@ -956,9 +1013,10 @@ impl OnlineAdvisor {
                 &dark_instances,
                 &repair_config,
             );
+            cloudia_obs::observe("online.resolve_seconds", repair.solve_seconds);
             let accepted = repair.moved > 0;
             repair_unanswered = repair.moved == 0;
-            self.events.push(OnlineEvent::Resolve {
+            self.push_event(OnlineEvent::Resolve {
                 epoch,
                 freed: repair.freed.clone(),
                 moved: repair.moved,
@@ -974,14 +1032,14 @@ impl OnlineAdvisor {
                 self.moved_total += moved as u64;
                 self.migration_cost_paid +=
                     self.config.policy.migration_cost_per_node * moved as f64;
-                self.events.push(OnlineEvent::Migrate {
+                self.push_event(OnlineEvent::Migrate {
                     epoch,
                     moved,
                     true_cost_before: before,
                     true_cost_after: after,
                 });
             }
-            self.events.push(OnlineEvent::Evacuate { epoch, instances: dark_instances, moved });
+            self.push_event(OnlineEvent::Evacuate { epoch, instances: dark_instances, moved });
         }
 
         let triggered = (degradation || opportunity) && cooled && !evacuating;
@@ -1007,6 +1065,7 @@ impl OnlineAdvisor {
                 &self.deployment,
                 &repair_config,
             );
+            cloudia_obs::observe("online.resolve_seconds", repair.solve_seconds);
             let est_gain = repair.incumbent_cost - repair.cost;
             let amortized = self.config.policy.migration_cost_per_node * repair.moved as f64;
             let accepted = repair.moved > 0
@@ -1021,7 +1080,7 @@ impl OnlineAdvisor {
             // found a gain but were declined by the migration economics
             // are answered triggers: the pool did its job.
             repair_unanswered = repair.moved == 0;
-            self.events.push(OnlineEvent::Resolve {
+            self.push_event(OnlineEvent::Resolve {
                 epoch,
                 freed: repair.freed.clone(),
                 moved: repair.moved,
@@ -1036,7 +1095,7 @@ impl OnlineAdvisor {
                 moved = repair.moved;
                 self.moved_total += moved as u64;
                 self.migration_cost_paid += amortized;
-                self.events.push(OnlineEvent::Migrate {
+                self.push_event(OnlineEvent::Migrate {
                     epoch,
                     moved,
                     true_cost_before: before,
@@ -1053,13 +1112,9 @@ impl OnlineAdvisor {
         if let Some(pool) = &mut self.adaptive {
             let before = pool.k();
             let after = pool.observe(probe_escalated || repair_unanswered);
+            let rate = pool.escalation_rate();
             if after != before {
-                self.events.push(OnlineEvent::PoolResize {
-                    epoch,
-                    from: before,
-                    to: after,
-                    rate: pool.escalation_rate(),
-                });
+                self.push_event(OnlineEvent::PoolResize { epoch, from: before, to: after, rate });
             }
         }
 
@@ -1069,7 +1124,7 @@ impl OnlineAdvisor {
         let true_cost = truth_problem.cost(self.config.objective, &self.deployment);
         self.total_true_cost += true_cost;
         self.cost_curve.push((m.at_hours, true_cost));
-        self.events.push(OnlineEvent::Epoch {
+        self.push_event(OnlineEvent::Epoch {
             epoch,
             at_hours: m.at_hours,
             round_trips: m.round_trips,
@@ -1078,7 +1133,23 @@ impl OnlineAdvisor {
         });
         self.epoch += 1;
 
-        EpochSummary {
+        // Control-loop telemetry at epoch grain: one span plus a handful
+        // of counter bumps per step, nothing in the per-link loops above.
+        if cloudia_obs::enabled() {
+            cloudia_obs::counter("online.steps", 1);
+            cloudia_obs::counter("online.detector_fires", changes.len() as u64);
+            cloudia_obs::counter("online.resolves", u64::from(triggered || evacuating));
+            cloudia_obs::counter("online.migrations", u64::from(moved > 0));
+            cloudia_obs::counter("online.evacuations", u64::from(evacuating));
+            cloudia_obs::counter("online.nodes_moved", moved as u64);
+            span.attr("fires", changes.len());
+            span.attr("triggered", u64::from(triggered || evacuating));
+            span.attr("moved", moved);
+            span.attr("true_cost", true_cost);
+        }
+        drop(span);
+
+        let summary = EpochSummary {
             epoch,
             at_hours: m.at_hours,
             est_cost,
@@ -1087,7 +1158,11 @@ impl OnlineAdvisor {
             moved,
             round_trips: m.round_trips,
             saved_round_trips: m.saved_round_trips,
+        };
+        if let Some(rec) = &mut self.recorder {
+            rec.record("epoch", trace::epoch_summary_to_json(&summary));
         }
+        summary
     }
 
     /// Runs one epoch against a stream, measuring under the configured
@@ -1710,5 +1785,52 @@ mod tests {
         let resolves =
             advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Resolve { .. })).count();
         assert_eq!(advisor.trigger_instances().len(), resolves);
+    }
+
+    #[test]
+    fn event_ring_caps_memory_but_recorder_keeps_the_full_history() {
+        let (graph, net, initial) = setup(5, 7, 1);
+        let mut config = fast_config();
+        config.event_capacity = 3;
+        let mut advisor = OnlineAdvisor::new(graph, 7, initial, config);
+        let (recorder, buf) = cloudia_obs::RunRecorder::to_vec(cloudia_obs::Json::obj());
+        advisor.attach_recorder(recorder);
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 2.0, 9);
+        let epochs = 6;
+        advisor.run(&mut stream, epochs);
+        // The ring held on to only the 3 newest events...
+        assert_eq!(advisor.events().len(), 3);
+        assert!(advisor.events().dropped() > 0, "older events must have been evicted");
+        // ...while the recorder streamed every event and epoch summary.
+        advisor.take_recorder().expect("recorder attached").finish().unwrap();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let records = cloudia_obs::parse_trace(&text).expect("valid trace");
+        let events = records.iter().filter(|r| r.kind == "event").count();
+        let summaries = records.iter().filter(|r| r.kind == "epoch").count();
+        assert_eq!(summaries, epochs as usize);
+        assert!(
+            events as u64 >= epochs,
+            "at least one event per epoch must have been streamed, got {events}"
+        );
+        let epoch_events = records
+            .iter()
+            .filter(|r| {
+                r.kind == "event"
+                    && r.payload.get("kind").and_then(cloudia_obs::Json::as_str) == Some("epoch")
+            })
+            .count();
+        assert_eq!(epoch_events as u64, epochs, "one Epoch event per step in the stream");
+    }
+
+    #[test]
+    fn zero_event_capacity_keeps_every_event() {
+        let (graph, net, initial) = setup(5, 7, 1);
+        let mut config = fast_config();
+        config.event_capacity = 0;
+        let mut advisor = OnlineAdvisor::new(graph, 7, initial, config);
+        let mut stream = SimStream::new(net, Staged::new(2, 2), MeasureConfig::default(), 2.0, 9);
+        advisor.run(&mut stream, 6);
+        assert_eq!(advisor.events().dropped(), 0);
+        assert!(advisor.events().len() >= 6);
     }
 }

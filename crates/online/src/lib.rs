@@ -68,9 +68,11 @@ pub mod repair;
 pub mod scenario;
 pub mod stats;
 pub mod stream;
+pub mod trace;
 
 pub use advisor::{
     EpochSummary, OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy, TriggerInstance,
+    DEFAULT_EVENT_CAPACITY,
 };
 pub use detect::{ChangeDetector, DetectorConfig, DetectorKind, Drift};
 pub use repair::{
@@ -87,3 +89,4 @@ pub use stream::{
     record_trajectory, record_trajectory_with, EpochMeasurement, LinkDelta, MeasurementStream,
     ReplayStream, SimStream,
 };
+pub use trace::{drift_name, epoch_summary_to_json, event_to_json, link_change_to_json};

@@ -212,8 +212,29 @@ impl BuiltFocusScenario {
     }
 
     /// Runs one arm over the recorded trajectory under the full option
+    /// set, streaming every advisor event and epoch summary into
+    /// `recorder` (which is returned, un-finished, so the caller can
+    /// append metrics snapshots before closing the trace).
+    pub fn run_arm_traced(
+        &self,
+        opts: ArmOptions,
+        recorder: cloudia_obs::RunRecorder,
+    ) -> (FocusArm, cloudia_obs::RunRecorder) {
+        let (arm, rec) = self.run_arm_inner(opts, Some(recorder));
+        (arm, rec.expect("recorder attached above"))
+    }
+
+    /// Runs one arm over the recorded trajectory under the full option
     /// set.
     pub fn run_arm_with(&self, opts: ArmOptions) -> FocusArm {
+        self.run_arm_inner(opts, None).0
+    }
+
+    fn run_arm_inner(
+        &self,
+        opts: ArmOptions,
+        recorder: Option<cloudia_obs::RunRecorder>,
+    ) -> (FocusArm, Option<cloudia_obs::RunRecorder>) {
         let s = &self.scenario;
         let config = OnlineAdvisorConfig {
             objective: Objective::LongestLink,
@@ -239,6 +260,9 @@ impl BuiltFocusScenario {
         };
         let mut advisor =
             OnlineAdvisor::new(self.graph.clone(), s.instances, self.initial.clone(), config);
+        if let Some(rec) = recorder {
+            advisor.attach_recorder(rec);
+        }
         let mut stream = ReplayStream::new(
             self.snapshots.clone(),
             Staged::new(s.probe_ks, s.probe_sweeps),
@@ -256,7 +280,7 @@ impl BuiltFocusScenario {
             advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Resolve { .. })).count();
         let migrations =
             advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Migrate { .. })).count();
-        FocusArm {
+        let arm = FocusArm {
             avg_cost: advisor.time_averaged_cost(),
             probes: advisor.probe_round_trips(),
             resolves,
@@ -264,7 +288,8 @@ impl BuiltFocusScenario {
             k_trace,
             saved_round_trips: advisor.sweep_saved_round_trips(),
             deep_probe_round_trips: advisor.deep_probe_round_trips(),
-        }
+        };
+        (arm, advisor.take_recorder())
     }
 }
 

@@ -101,6 +101,10 @@ impl SearchControl {
             s.best = Some(deployment.to_vec());
             let t = self.elapsed();
             s.curve.push((t, cost));
+            // Telemetry only on the rare improvement path — the lock-free
+            // reject path above stays untouched.
+            cloudia_obs::counter("solver.control.improvements", 1);
+            cloudia_obs::gauge("solver.control.bound", cost);
             true
         } else {
             false

@@ -306,6 +306,14 @@ fn run_worker(
     // Each technique stamps its curve from its own start instant; record
     // the offset so the merged curve reads in portfolio time.
     let worker_t0 = start.elapsed().as_secs_f64();
+    let technique_name = match technique {
+        Technique::GreedyG2 => "greedy_g2",
+        Technique::GreedyG1 => "greedy_g1",
+        Technique::Prover => "prover",
+        Technique::Random => "random",
+    };
+    let is_restart = job >= TECHNIQUES.len() as u64;
+    let mut span = cloudia_obs::span!("portfolio.worker", technique = technique_name, job = job);
 
     let mut out = match technique {
         Technique::Prover => match objective {
@@ -353,6 +361,15 @@ fn run_worker(
     };
     for point in &mut out.curve {
         point.0 += worker_t0;
+    }
+    if cloudia_obs::enabled() {
+        cloudia_obs::counter("solver.portfolio.workers", 1);
+        cloudia_obs::counter("solver.portfolio.nodes_explored", out.explored);
+        cloudia_obs::counter("solver.portfolio.restarts", u64::from(is_restart));
+        cloudia_obs::counter("solver.portfolio.proofs", u64::from(out.proven_optimal));
+        span.attr("explored", out.explored);
+        span.attr("cost", out.cost);
+        span.attr("restart", u64::from(is_restart));
     }
     Some(out)
 }

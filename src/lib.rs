@@ -57,6 +57,7 @@
 pub use cloudia_core as core;
 pub use cloudia_measure as measure;
 pub use cloudia_netsim as netsim;
+pub use cloudia_obs as obs;
 pub use cloudia_online as online;
 pub use cloudia_solver as solver;
 pub use cloudia_workloads as workloads;

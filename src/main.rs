@@ -47,7 +47,14 @@ fn usage() -> ! {
                [--blackout E]                 (online: force the first deployed instance dark
                                                from epoch E onward)
                [--loss-blind]                 (online: disable dark-link triage, evacuation and
-                                               loss-priced search costs — the baseline arm)"
+                                               loss-priced search costs — the baseline arm)
+               [--trace PATH]                 (write a schema-versioned JSONL run trace: every
+                                               online event and epoch summary as it happens,
+                                               plus a final metrics snapshot and span log)
+               [--metrics]                    (print the final metrics-registry snapshot)
+               [--no-metrics]                 (disable telemetry collection at runtime)
+               [--json]                       (suppress human output; print one JSON summary
+                                               object on stdout instead)"
     );
     std::process::exit(2);
 }
@@ -113,6 +120,9 @@ fn main() {
     let mut retries = 3u32;
     let mut blackout: Option<u64> = None;
     let mut loss_blind = false;
+    let mut trace_path: Option<String> = None;
+    let mut print_metrics = false;
+    let mut json = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -245,6 +255,10 @@ fn main() {
                 }))
             }
             "--loss-blind" => loss_blind = true,
+            "--trace" => trace_path = Some(value()),
+            "--metrics" => print_metrics = true,
+            "--no-metrics" => cloudia::obs::set_enabled(false),
+            "--json" => json = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -304,22 +318,41 @@ fn main() {
         }
     };
 
-    println!(
-        "ClouDiA: {} nodes, {} edges | objective {} | {} | metric {} | +{:.0}% instances | search {}",
-        graph.num_nodes(),
-        graph.num_edges(),
-        objective.name(),
-        provider.kind.name(),
-        metric.name(),
-        over_allocation * 100.0,
-        match &strategy {
-            Some(s) => s.name(),
-            // `--threads N` silently upgrades the recommended strategy to
-            // the portfolio inside the advisor; reflect that here.
-            None if threads.is_some_and(|t| t != 1) => "recommended (portfolio)",
-            None => "recommended",
-        },
-    );
+    let provider_label = provider.kind.name();
+    // One JSONL trace per run: the meta line pins the schema and the
+    // run's identity; online events stream into it as they happen, and
+    // the final metrics snapshot + span log land before it closes.
+    let mut recorder = trace_path.as_ref().map(|path| {
+        let meta = cloudia::obs::Json::obj()
+            .field("bin", "cloudia")
+            .field("graph", graph_spec.as_str())
+            .field("objective", objective.name())
+            .field("provider", provider_label)
+            .field("seed", seed);
+        cloudia::obs::RunRecorder::to_file(std::path::Path::new(path), meta).unwrap_or_else(|e| {
+            eprintln!("cannot open trace file `{path}`: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    if !json {
+        println!(
+            "ClouDiA: {} nodes, {} edges | objective {} | {} | metric {} | +{:.0}% instances | search {}",
+            graph.num_nodes(),
+            graph.num_edges(),
+            objective.name(),
+            provider_label,
+            metric.name(),
+            over_allocation * 100.0,
+            match &strategy {
+                Some(s) => s.name(),
+                // `--threads N` silently upgrades the recommended strategy to
+                // the portfolio inside the advisor; reflect that here.
+                None if threads.is_some_and(|t| t != 1) => "recommended (portfolio)",
+                None => "recommended",
+            },
+        );
+    }
 
     let advisor = Advisor::new(cloudia::core::AdvisorConfig {
         objective,
@@ -342,35 +375,61 @@ fn main() {
         }
     };
 
-    println!(
-        "measured {} round trips in {:.0} simulated ms",
-        outcome.measurement_round_trips, outcome.measurement_ms
-    );
-    println!(
-        "search: {} improvements, {} nodes explored, optimal proven: {}",
-        outcome.search.curve.len(),
-        outcome.search.explored,
-        outcome.search.proven_optimal
-    );
-    println!("deployment plan (node -> instance):");
-    for (node, inst) in outcome.deployment.iter().enumerate() {
-        print!("  {node}->{inst}");
-        if (node + 1) % 8 == 0 {
-            println!();
+    if !json {
+        println!(
+            "measured {} round trips in {:.0} simulated ms",
+            outcome.measurement_round_trips, outcome.measurement_ms
+        );
+        println!(
+            "search: {} improvements, {} nodes explored, optimal proven: {}",
+            outcome.search.curve.len(),
+            outcome.search.explored,
+            outcome.search.proven_optimal
+        );
+        println!("deployment plan (node -> instance):");
+        for (node, inst) in outcome.deployment.iter().enumerate() {
+            print!("  {node}->{inst}");
+            if (node + 1) % 8 == 0 {
+                println!();
+            }
         }
+        println!();
+        println!("terminated {} extra instances", outcome.terminated.len());
+        println!(
+            "{}: default {:.3} ms -> optimized {:.3} ms ({:.1}% reduction)",
+            objective.name(),
+            outcome.default_cost,
+            outcome.optimized_cost,
+            outcome.improvement() * 100.0
+        );
     }
-    println!();
-    println!("terminated {} extra instances", outcome.terminated.len());
-    println!(
-        "{}: default {:.3} ms -> optimized {:.3} ms ({:.1}% reduction)",
-        objective.name(),
-        outcome.default_cost,
-        outcome.optimized_cost,
-        outcome.improvement() * 100.0
-    );
+
+    // The machine-readable run summary `--json` prints and `--trace`
+    // embeds as the trace's `bench` record.
+    let deployment: Vec<cloudia::obs::Json> =
+        outcome.deployment.iter().map(|&i| cloudia::obs::Json::from(i)).collect();
+    let mut summary = cloudia::obs::Json::obj()
+        .field("schema", "cloudia.summary.v1")
+        .field("graph", graph_spec.as_str())
+        .field("objective", objective.name())
+        .field("provider", provider_label)
+        .field("metric", metric.name())
+        .field("seed", seed)
+        .field("nodes", graph.num_nodes())
+        .field("instances", outcome.network.len())
+        .field("measurement_round_trips", outcome.measurement_round_trips)
+        .field("measurement_ms", outcome.measurement_ms)
+        .field("search_explored", outcome.search.explored)
+        .field("search_improvements", outcome.search.curve.len())
+        .field("proven_optimal", outcome.search.proven_optimal)
+        .field("terminated", outcome.terminated.len())
+        .field("default_cost", outcome.default_cost)
+        .field("optimized_cost", outcome.optimized_cost)
+        .field("improvement", outcome.improvement())
+        .field("deployment", deployment);
 
     if online {
-        run_online(
+        let (online_summary, rec) = run_online(
             &graph,
             &outcome,
             objective,
@@ -383,7 +442,30 @@ fn main() {
             candidates,
             seed,
             LossOptions { loss, retries, blackout, blind: loss_blind },
+            json,
+            recorder,
         );
+        recorder = rec;
+        summary = summary.field("online", online_summary);
+    }
+
+    let metrics_snapshot = cloudia::obs::metrics().snapshot_json();
+    if let Some(mut rec) = recorder {
+        rec.record("bench", summary.clone());
+        rec.record_metrics_snapshot(cloudia::obs::metrics());
+        rec.flush_global_spans();
+        if let Err(e) = rec.finish() {
+            eprintln!("trace write failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    if json {
+        if print_metrics {
+            summary = summary.field("metrics", metrics_snapshot);
+        }
+        println!("{}", summary.encode());
+    } else if print_metrics {
+        println!("metrics: {}", metrics_snapshot.encode());
     }
 }
 
@@ -399,7 +481,9 @@ struct LossOptions {
 /// Drives the continuous advisor over the deployed plan: the
 /// over-allocated pool is kept as warm spares, the network drifts
 /// `epoch_hours` between measurement epochs, and every trigger runs a
-/// budgeted incremental re-solve.
+/// budgeted incremental re-solve. Returns the machine-readable run
+/// summary and hands back the trace recorder (if one was attached) so
+/// the caller can close it.
 #[allow(clippy::too_many_arguments)]
 fn run_online(
     graph: &CommGraph,
@@ -414,16 +498,24 @@ fn run_online(
     candidates: Option<cloudia::solver::CandidateConfig>,
     seed: u64,
     loss_opts: LossOptions,
-) {
+    json: bool,
+    recorder: Option<cloudia::obs::RunRecorder>,
+) -> (cloudia::obs::Json, Option<cloudia::obs::RunRecorder>) {
     use cloudia::measure::{MeasureConfig, Staged};
     use cloudia::netsim::FaultParams;
     use cloudia::online::{
         OnlineAdvisor, OnlineAdvisorConfig, OnlineEvent, ProbePolicy, SimStream,
     };
 
+    // Human narration is silenced under `--json`; the returned summary
+    // object carries the same facts instead.
+    macro_rules! human {
+        ($($t:tt)*) => { if !json { println!($($t)*) } };
+    }
+
     let lossy = loss_opts.loss > 0.0 || loss_opts.blackout.is_some();
-    println!();
-    println!(
+    human!();
+    human!(
         "online advisor: {epochs} epochs x {epoch_hours} h, migration budget {migration_budget}, \
          {} instances kept as spares, {} probing{}{}{}",
         outcome.network.len() - graph.num_nodes(),
@@ -442,10 +534,10 @@ fn run_online(
         },
     );
     if let Some(e) = loss_opts.blackout {
-        println!("blackout: the first deployed instance goes dark from epoch {e} onward");
+        human!("blackout: the first deployed instance goes dark from epoch {e} onward");
     }
     if probe_focused && candidates.is_none() {
-        println!(
+        human!(
             "note: no --candidates given; focused rounds probe a default pool of {} instances \
              (2x nodes) — pass --candidates K or adaptive to control it",
             2 * graph.num_nodes()
@@ -482,6 +574,9 @@ fn run_online(
         outcome.deployment.clone(),
         config,
     );
+    if let Some(rec) = recorder {
+        advisor.attach_recorder(rec);
+    }
     let measure_cfg = MeasureConfig {
         retries_per_pair: if loss_opts.blind { 0 } else { loss_opts.retries },
         ..MeasureConfig::default()
@@ -506,10 +601,10 @@ fn run_online(
         )
     };
 
-    println!("epoch\thours\test_cost\ttrue_cost\ttriggered\tmoved");
+    human!("epoch\thours\test_cost\ttrue_cost\ttriggered\tmoved");
     let report = |summaries: Vec<cloudia::online::EpochSummary>| {
         for s in summaries {
-            println!(
+            human!(
                 "{}\t{:.1}\t{:.3}\t{:.3}\t{}\t{}",
                 s.epoch,
                 s.at_hours,
@@ -525,7 +620,10 @@ fn run_online(
             report(advisor.run(&mut stream, at));
             let victim = advisor.deployment()[0];
             stream.force_instance_dark(victim, (epochs - at + 1) as f64 * epoch_hours);
-            println!("# instance {victim} forced dark");
+            human!("# instance {victim} forced dark");
+            if let Some(rec) = advisor.recorder_mut() {
+                rec.note(&format!("instance {victim} forced dark at epoch {at}"));
+            }
             report(advisor.run(&mut stream, epochs - at));
         }
         _ => report(advisor.run(&mut stream, epochs)),
@@ -534,7 +632,7 @@ fn run_online(
         advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Migrate { .. })).count();
     let resolves =
         advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Resolve { .. })).count();
-    println!(
+    human!(
         "online summary: {resolves} re-solves, {migrations} migrations ({} nodes moved), \
          time-averaged cost {:.3} ms (incl. migration cost {:.3}), {} probe round trips",
         advisor.moved_total(),
@@ -542,34 +640,55 @@ fn run_online(
         advisor.migration_cost_paid(),
         advisor.probe_round_trips(),
     );
+    let mut summary = cloudia::obs::Json::obj()
+        .field("epochs", epochs)
+        .field("resolves", resolves)
+        .field("migrations", migrations)
+        .field("nodes_moved", advisor.moved_total())
+        .field("time_averaged_cost", advisor.time_averaged_cost())
+        .field("migration_cost_paid", advisor.migration_cost_paid())
+        .field("probe_round_trips", advisor.probe_round_trips());
     if let Some(k) = advisor.adaptive_k() {
-        println!(
+        human!(
             "adaptive candidate pool: final k = {k} (escalation rate {:.3})",
             advisor.escalation_rate().unwrap_or(0.0)
         );
+        summary = summary
+            .field("adaptive_k", k)
+            .field("escalation_rate", advisor.escalation_rate().unwrap_or(0.0));
     }
     if prune_during_sweep {
-        println!(
+        human!(
             "mid-sweep pruning: {} round trips saved, {} re-invested into flagged links",
             advisor.sweep_saved_round_trips(),
             advisor.deep_probe_round_trips(),
         );
+        summary = summary
+            .field("saved_round_trips", advisor.sweep_saved_round_trips())
+            .field("deep_probe_round_trips", advisor.deep_probe_round_trips());
     }
     if spot_check > 0 {
-        let (checks, confirmed) = advisor.events().iter().fold((0, 0), |(c, k), e| match e {
-            OnlineEvent::SpotCheck { confirmed: true, .. } => (c + 1, k + 1),
-            OnlineEvent::SpotCheck { .. } => (c + 1, k),
-            _ => (c, k),
-        });
-        println!("spot checks: {checks} run, {confirmed} confirmed");
+        let (checks, confirmed) =
+            advisor.events().iter().fold((0usize, 0usize), |(c, k), e| match e {
+                OnlineEvent::SpotCheck { confirmed: true, .. } => (c + 1, k + 1),
+                OnlineEvent::SpotCheck { .. } => (c + 1, k),
+                _ => (c, k),
+            });
+        human!("spot checks: {checks} run, {confirmed} confirmed");
+        summary = summary.field("spot_checks", checks).field("spot_confirmed", confirmed);
     }
     if lossy {
         let (darks, evacs, moved) =
-            advisor.events().iter().fold((0, 0, 0), |(d, e, m), ev| match ev {
+            advisor.events().iter().fold((0usize, 0usize, 0usize), |(d, e, m), ev| match ev {
                 OnlineEvent::LinkDark { .. } => (d + 1, e, m),
                 OnlineEvent::Evacuate { moved, .. } => (d, e + 1, m + moved),
                 _ => (d, e, m),
             });
-        println!("loss triage: {darks} LinkDark events, {evacs} evacuations ({moved} nodes moved)");
+        human!("loss triage: {darks} LinkDark events, {evacs} evacuations ({moved} nodes moved)");
+        summary = summary
+            .field("link_dark_events", darks)
+            .field("evacuations", evacs)
+            .field("evacuated_nodes", moved);
     }
+    (summary, advisor.take_recorder())
 }
