@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use cloudia_measure::stats::{LinkEstimate, PairwiseStats};
+use cloudia_measure::stats::{P2Quantile, PairwiseStats, Welford};
 use cloudia_measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
 use cloudia_netsim::{Cloud, Provider};
 
@@ -32,13 +32,16 @@ fn bench_schemes(c: &mut Criterion) {
 }
 
 fn bench_estimators(c: &mut Criterion) {
-    c.bench_function("link_estimate_10k_records", |b| {
+    c.bench_function("link_sketches_10k_records", |b| {
         b.iter(|| {
-            let mut l = LinkEstimate::default();
+            let mut w = Welford::new();
+            let mut p99 = P2Quantile::new(0.99);
             for i in 0..10_000 {
-                l.record(0.5 + (i % 17) as f64 * 0.01);
+                let x = 0.5 + (i % 17) as f64 * 0.01;
+                w.record(x);
+                p99.record(x);
             }
-            (l.mean(), l.p99())
+            (w.mean(), p99.value())
         })
     });
     c.bench_function("pairwise_stats_mean_vector_100", |b| {

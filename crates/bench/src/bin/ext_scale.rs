@@ -23,6 +23,18 @@
 //! while landing within 1 % of its deployment cost, and exits non-zero
 //! otherwise.
 //!
+//! A second section exercises the **columnar stats plane** at
+//! m ∈ {5000, 10000, 20000} (`--smoke`: {5000, 10000}): synthetic
+//! partial coverage is streamed into a [`PairwiseStats`] and the
+//! mid-sweep pool builder (`CandidateSet::build_partial`) runs over the
+//! flat columns. Smoke asserts two more acceptance gates:
+//!
+//! * at m = 10000 the stats plane's logical footprint
+//!   ([`PairwiseStats::memory_bytes`]) stays ≤ 6 GB;
+//! * at m = 5000 the columnar `build_partial` beats the retained
+//!   array-of-structs walk (`build_partial_reference`) by ≥ 5× while
+//!   producing the identical candidate pool.
+//!
 //! The machine-readable race results always land in
 //! `BENCH_ext_scale.json`.
 
@@ -30,8 +42,10 @@ use std::time::Instant;
 
 use cloudia_bench::{header, row, write_bench_json, ExtArgs};
 use cloudia_core::{CommGraph, CostMatrix, PrunedSolve, SearchStrategy, SolveHint};
+use cloudia_measure::stats::aos;
+use cloudia_measure::PairwiseStats;
 use cloudia_obs::Json;
-use cloudia_solver::{Budget, CandidateConfig, CpConfig, Objective, PortfolioConfig};
+use cloudia_solver::{Budget, CandidateConfig, CandidateSet, CpConfig, Objective, PortfolioConfig};
 
 struct Arm {
     name: &'static str,
@@ -133,7 +147,114 @@ fn main() {
             );
         }
     }
-    match write_bench_json("ext_scale", Json::obj().field("races", races)) {
+    // --- Columnar stats plane at m >= 5k -------------------------------
+    //
+    // A full netsim `Network` is O(m²) latency profiles and infeasible at
+    // this scale, so the arms synthesize partial coverage directly: every
+    // instance measures a ring of 8 neighbours (plus a sprinkling of
+    // dark, attempted-but-answerless directions), the realistic shape of
+    // an early mid-sweep pool build.
+    let stat_sizes: &[usize] = if smoke { &[5_000, 10_000] } else { &[5_000, 10_000, 20_000] };
+    let nodes = 30; // matches the 5x6 mesh above
+    let pool_cfg = CandidateConfig::fixed(64);
+    println!();
+    println!("m\tpopulate_s\tmem_gb\tB_per_link\tbuild_partial_s\taos_s\tspeedup\tpool");
+    let mut stat_arms = Vec::new();
+    for &m in stat_sizes {
+        let t0 = Instant::now();
+        let mut stats = PairwiseStats::new(m);
+        for j in 0..m {
+            for d in 1..=8usize {
+                let dst = (j + d) % m;
+                stats.record_attempt(j, dst);
+                if (j + d) % 23 == 0 {
+                    stats.record_timeout(j, dst);
+                }
+                stats.record(j, dst, 0.3 + ((j + d) % 17) as f64 * 0.05);
+            }
+            if j % 97 == 0 {
+                // Dark direction: attempted, never answered.
+                stats.record_attempt(j, (j + 11) % m);
+            }
+        }
+        let populate_s = t0.elapsed().as_secs_f64();
+        let mem = stats.memory_bytes();
+        let bytes_per_link = mem as f64 / (m * m) as f64;
+
+        let t0 = Instant::now();
+        let pruned = CandidateSet::build_partial(nodes, &stats, &pool_cfg, None, None, 0.0);
+        let columnar_s = t0.elapsed().as_secs_f64();
+
+        // The AoS race only runs at m = 5000: the retained estimator is
+        // ~4.5 GB there, which is the point of the refactor.
+        let (mut aos_s, mut speedup) = (f64::NAN, f64::NAN);
+        if m == 5_000 {
+            let mut mirror = aos::PairwiseStats::new(m);
+            for j in 0..m {
+                for d in 1..=8usize {
+                    let dst = (j + d) % m;
+                    mirror.record_attempt(j, dst);
+                    if (j + d) % 23 == 0 {
+                        mirror.record_timeout(j, dst);
+                    }
+                    mirror.record(j, dst, 0.3 + ((j + d) % 17) as f64 * 0.05);
+                }
+                if j % 97 == 0 {
+                    mirror.record_attempt(j, (j + 11) % m);
+                }
+            }
+            let t0 = Instant::now();
+            let reference =
+                CandidateSet::build_partial_reference(nodes, &mirror, &pool_cfg, None, None, 0.0);
+            aos_s = t0.elapsed().as_secs_f64();
+            speedup = aos_s / columnar_s.max(1e-9);
+            if pruned.union() != reference.union() {
+                failures.push(format!(
+                    "stats@m={m}: columnar pool ({} ids) != aos reference pool ({} ids)",
+                    pruned.union().len(),
+                    reference.union().len()
+                ));
+            }
+            if smoke && speedup < 5.0 {
+                failures.push(format!(
+                    "stats@m={m}: columnar build_partial speedup {speedup:.1}x < 5x \
+                     (aos {aos_s:.3}s, columnar {columnar_s:.3}s)"
+                ));
+            }
+        }
+        if m == 10_000 && smoke && mem > 6_000_000_000 {
+            failures.push(format!(
+                "stats@m={m}: PairwiseStats footprint {:.2} GB exceeds the 6 GB gate",
+                mem as f64 / 1e9
+            ));
+        }
+        row(&[
+            format!("{m}"),
+            format!("{populate_s:.3}"),
+            format!("{:.2}", mem as f64 / 1e9),
+            format!("{bytes_per_link:.1}"),
+            format!("{columnar_s:.3}"),
+            format!("{aos_s:.3}"),
+            format!("{speedup:.1}x"),
+            format!("{}", pruned.union().len()),
+        ]);
+        stat_arms.push(
+            Json::obj()
+                .field("m", m)
+                .field("populate_s", populate_s)
+                .field("memory_bytes", mem)
+                .field("bytes_per_link", bytes_per_link)
+                .field("build_partial_s", columnar_s)
+                .field("aos_build_partial_s", aos_s)
+                .field("speedup", speedup)
+                .field("pool", pruned.union().len()),
+        );
+    }
+
+    match write_bench_json(
+        "ext_scale",
+        Json::obj().field("races", races).field("stats_plane", stat_arms),
+    ) {
         Ok(path) => println!("# wrote {}", path.display()),
         Err(e) => {
             eprintln!("FAIL: cannot write BENCH_ext_scale.json: {e}");
@@ -149,5 +270,8 @@ fn main() {
     }
     if smoke {
         println!("# smoke OK: pruned path >= 5x faster within 1% of dense cost at m = 2000");
+        println!(
+            "# smoke OK: stats plane <= 6 GB at m = 10000, columnar build_partial >= 5x at m = 5000"
+        );
     }
 }

@@ -4,26 +4,28 @@
 //! Paper shape: ~10 % of pairs above 0.7 ms, bottom ~10 % below 0.4 ms,
 //! range ~0.2–1.4 ms.
 
-use cloudia_bench::{header, print_cdf, row, standard_network, true_mean_vector, Scale};
+use cloudia_bench::{standard_network, true_mean_vector, Fig, Scale};
 use cloudia_measure::error::quantile;
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 1", "latency heterogeneity in EC2-like region", scale);
+    let mut fig = Fig::new("fig01", "Figure 1", "latency heterogeneity in EC2-like region", scale);
     let n = 100;
     let net = standard_network(Provider::ec2_like(), n, 42);
     let means = true_mean_vector(&net);
 
-    print_cdf("ec2", &means, 40);
+    fig.cdf("ec2", &means, 40);
 
     println!();
     println!("# summary (paper: p10 < 0.4 ms, p90 > 0.7 ms, max ~1.4 ms)");
     for q in [0.05, 0.10, 0.50, 0.90, 0.95, 1.0] {
-        row(&[format!("p{:.0}", q * 100.0), format!("{:.3} ms", quantile(&means, q))]);
+        fig.row(&[format!("p{:.0}", q * 100.0), format!("{:.3} ms", quantile(&means, q))]);
     }
     let above = means.iter().filter(|&&m| m > 0.7).count() as f64 / means.len() as f64;
     let below = means.iter().filter(|&&m| m < 0.4).count() as f64 / means.len() as f64;
-    row(&["frac > 0.7 ms".into(), format!("{:.1} %", above * 100.0)]);
-    row(&["frac < 0.4 ms".into(), format!("{:.1} %", below * 100.0)]);
+    fig.row(&["frac > 0.7 ms".into(), format!("{:.1} %", above * 100.0)]);
+    fig.row(&["frac < 0.4 ms".into(), format!("{:.1} %", below * 100.0)]);
+
+    fig.finish();
 }

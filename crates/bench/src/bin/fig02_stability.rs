@@ -3,13 +3,18 @@
 //!
 //! Paper shape: flat, well-separated lines — mean latency is stable.
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_netsim::{InstanceId, Provider};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 2", "mean latency stability over 200 h (2 h buckets), EC2-like", scale);
+    let mut fig = Fig::new(
+        "fig02",
+        "Figure 2",
+        "mean latency stability over 200 h (2 h buckets), EC2-like",
+        scale,
+    );
     let net = standard_network(Provider::ec2_like(), 100, 42);
     let mut rng = StdRng::seed_from_u64(7);
 
@@ -39,21 +44,23 @@ fn main() {
         })
         .collect();
 
-    row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);
+    fig.row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);
     for t in 0..buckets {
         let mut cells = vec![format!("{:.0}", traces[0].hours[t])];
         for trace in &traces {
             cells.push(format!("{:.3}", trace.mean_rtt[t]));
         }
-        row(&cells);
+        fig.row(&cells);
     }
 
     println!();
     println!("# stability: coefficient of variation per link (paper: small)");
     for (k, trace) in traces.iter().enumerate() {
-        row(&[
+        fig.row(&[
             format!("link{} (mean {:.3} ms)", k + 1, picks[k].2),
             format!("cv {:.1} %", trace.coefficient_of_variation() * 100.0),
         ]);
     }
+
+    fig.finish();
 }

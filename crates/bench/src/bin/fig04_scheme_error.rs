@@ -5,14 +5,19 @@
 //! Paper shape: staged — 90 % of links under 10 % error, max < 30 %;
 //! uncoordinated — 10 % of links above 50 % error.
 
-use cloudia_bench::{header, print_cdf, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_measure::error::{cdf_at, normalized_relative_errors, quantile};
 use cloudia_measure::{MeasureConfig, Scheme, Staged, TokenPassing, Uncoordinated};
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 4", "normalized relative error vs token passing, 50 instances", scale);
+    let mut fig = Fig::new(
+        "fig04",
+        "Figure 4",
+        "normalized relative error vs token passing, 50 instances",
+        scale,
+    );
     let n = 50;
     let net = standard_network(Provider::ec2_like(), n, 42);
     let cfg = MeasureConfig::default();
@@ -30,14 +35,14 @@ fn main() {
 
     // The paper plots error in percent.
     let pct = |v: &[f64]| v.iter().map(|e| e * 100.0).collect::<Vec<_>>();
-    print_cdf("staged", &pct(&err_staged), 40);
+    fig.cdf("staged", &pct(&err_staged), 40);
     println!();
-    print_cdf("uncoordinated", &pct(&err_uncoord), 40);
+    fig.cdf("uncoordinated", &pct(&err_uncoord), 40);
 
     println!();
     println!("# summary (paper: staged p90 < 10 %, staged max < 30 %; uncoordinated p90 > 50 %)");
     for (name, errs) in [("staged", &err_staged), ("uncoordinated", &err_uncoord)] {
-        row(&[
+        fig.row(&[
             name.into(),
             format!("p50 {:.1} %", quantile(errs, 0.5) * 100.0),
             format!("p90 {:.1} %", quantile(errs, 0.9) * 100.0),
@@ -45,10 +50,12 @@ fn main() {
             format!("frac<10% {:.2}", cdf_at(errs, 0.10)),
         ]);
     }
-    row(&[
+    fig.row(&[
         "elapsed_ms".into(),
         format!("token {:.0}", token.elapsed_ms),
         format!("staged {:.0}", staged.elapsed_ms),
         format!("uncoordinated {:.0}", uncoord.elapsed_ms),
     ]);
+
+    fig.finish();
 }

@@ -5,14 +5,19 @@
 //! smooths out afterwards (100 instances over 30 min in the paper; the
 //! quick scale uses a smaller fleet and horizon, same shape).
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_measure::error::rmse;
 use cloudia_measure::{MeasureConfig, Scheme, Staged};
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 5", "staged measurement convergence (RMSE vs final estimate)", scale);
+    let mut fig = Fig::new(
+        "fig05",
+        "Figure 5",
+        "staged measurement convergence (RMSE vs final estimate)",
+        scale,
+    );
     let n = scale.pick(40, 100);
     let horizon_min = scale.pick(8.0, 30.0);
     let net = standard_network(Provider::ec2_like(), n, 42);
@@ -28,13 +33,13 @@ fn main() {
     let ground_truth = report.mean_vector();
 
     println!("# instances: {n}, horizon: {horizon_min} min, Ks = 10");
-    row(&["minutes".into(), "rmse".into()]);
+    fig.row(&["minutes".into(), "rmse".into()]);
     for snap in &report.snapshots {
         // Skip snapshots with unmeasured links (mean 0 would skew RMSE).
         if snap.mean_vector.contains(&0.0) {
             continue;
         }
-        row(&[
+        fig.row(&[
             format!("{:.1}", snap.at_ms / 60_000.0),
             format!("{:.4}", rmse(&snap.mean_vector, &ground_truth)),
         ]);
@@ -45,4 +50,6 @@ fn main() {
         report.round_trips,
         report.elapsed_ms / 60_000.0
     );
+
+    fig.finish();
 }

@@ -5,14 +5,15 @@
 //! worse cost (clusters too coarse to discriminate); no clustering reaches
 //! the same quality as k = 20 but takes much longer.
 
-use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_bench::{measured_costs, standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, LatencyMetric};
 use cloudia_netsim::Provider;
 use cloudia_solver::{solve_llndp_cp, Budget, CpConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 6", "CP convergence on LLNDP by cost clusters (2D mesh)", scale);
+    let mut fig =
+        Fig::new("fig06", "Figure 6", "CP convergence on LLNDP by cost clusters (2D mesh)", scale);
     // 90 % of instances carry application nodes (paper §6.3.1).
     let (rows, cols, m) = scale.pick((6, 6, 40), (9, 10, 100));
     let budget_s = scale.pick(10.0, 120.0);
@@ -34,9 +35,9 @@ fn main() {
             },
         );
         for &(t, c) in &out.curve {
-            row(&[label.into(), format!("{t:.2}"), format!("{c:.3}")]);
+            fig.row(&[label.into(), format!("{t:.2}"), format!("{c:.3}")]);
         }
-        row(&[
+        fig.row(&[
             label.into(),
             "final".into(),
             format!(
@@ -45,4 +46,6 @@ fn main() {
             ),
         ]);
     }
+
+    fig.finish();
 }

@@ -6,14 +6,14 @@
 //! exceed 1 before the constraint bites) is reproduced by our
 //! branch-and-bound exactly.
 
-use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_bench::{measured_costs, standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, LatencyMetric};
 use cloudia_netsim::Provider;
 use cloudia_solver::{solve_llndp_cp, solve_llndp_mip, Budget, CpConfig, MipConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 7", "CP vs MIP convergence on LLNDP (k = 20)", scale);
+    let mut fig = Fig::new("fig07", "Figure 7", "CP vs MIP convergence on LLNDP (k = 20)", scale);
     let (rows, cols, m) = scale.pick((5, 6, 34), (9, 10, 100));
     let budget_s = scale.pick(15.0, 300.0);
     let net = standard_network(Provider::ec2_like(), m, 42);
@@ -34,9 +34,9 @@ fn main() {
         },
     );
     for &(t, c) in &cp.curve {
-        row(&["cp".into(), format!("{t:.2}"), format!("{c:.3}")]);
+        fig.row(&["cp".into(), format!("{t:.2}"), format!("{c:.3}")]);
     }
-    row(&["cp".into(), "final".into(), format!("{:.3}", cp.cost)]);
+    fig.row(&["cp".into(), "final".into(), format!("{:.3}", cp.cost)]);
 
     let mip = solve_llndp_mip(
         &problem,
@@ -48,9 +48,9 @@ fn main() {
         },
     );
     for &(t, c) in &mip.curve {
-        row(&["mip".into(), format!("{t:.2}"), format!("{c:.3}")]);
+        fig.row(&["mip".into(), format!("{t:.2}"), format!("{c:.3}")]);
     }
-    row(&["mip".into(), "final".into(), format!("{:.3}", mip.cost)]);
+    fig.row(&["mip".into(), "final".into(), format!("{:.3}", mip.cost)]);
 
     println!();
     println!(
@@ -59,4 +59,6 @@ fn main() {
         mip.cost,
         (mip.cost / cp.cost * 10.0).round() / 10.0
     );
+
+    fig.finish();
 }

@@ -6,7 +6,7 @@
 //! improve the best solution within the search budget. Paper shape:
 //! convergence time increases acceptably with problem size.
 
-use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_bench::{measured_costs, standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, CostMatrix, LatencyMetric};
 use cloudia_netsim::Provider;
 use cloudia_solver::{solve_llndp_cp, Budget, CpConfig};
@@ -15,7 +15,8 @@ use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 8", "CP convergence time vs number of instances", scale);
+    let mut fig =
+        Fig::new("fig08", "Figure 8", "CP convergence time vs number of instances", scale);
     let full = 100;
     let subsets_per_size = scale.pick(5, 50);
     let budget_s = scale.pick(5.0, 60.0);
@@ -52,12 +53,14 @@ fn main() {
             conv_total += out.curve.last().map(|&(t, _)| t).unwrap_or(0.0);
             cost_total += out.cost;
         }
-        row(&[
+        fig.row(&[
             format!("{m}"),
             format!("{:.2}", conv_total / subsets_per_size as f64),
             format!("{:.3}", cost_total / subsets_per_size as f64),
         ]);
     }
+
+    fig.finish();
 }
 
 fn mesh_dims(nodes: usize) -> (usize, usize) {

@@ -5,14 +5,19 @@
 //! LPNDP performance because path costs are sums, so the solver cannot
 //! exploit fewer distinct values.
 
-use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_bench::{measured_costs, standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, LatencyMetric};
 use cloudia_netsim::Provider;
 use cloudia_solver::{solve_lpndp_mip, Budget, MipConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 9", "MIP convergence on LPNDP by cost clusters (aggregation tree)", scale);
+    let mut fig = Fig::new(
+        "fig09",
+        "Figure 9",
+        "MIP convergence on LPNDP by cost clusters (aggregation tree)",
+        scale,
+    );
     // Aggregation tree with depth <= 4 (paper §6.3.3); 45 nodes / 50
     // instances at paper scale.
     let (fanout, levels, m) = scale.pick((3, 2, 15), (2, 4, 50));
@@ -38,9 +43,9 @@ fn main() {
             },
         );
         for &(t, c) in &out.curve {
-            row(&[label.into(), format!("{t:.2}"), format!("{c:.3}")]);
+            fig.row(&[label.into(), format!("{t:.2}"), format!("{c:.3}")]);
         }
-        row(&[
+        fig.row(&[
             label.into(),
             "final".into(),
             format!(
@@ -51,4 +56,6 @@ fn main() {
     }
     println!();
     println!("# paper: clustering does not improve LPNDP (costs aggregate by summation)");
+
+    fig.finish();
 }

@@ -4,14 +4,15 @@
 //! Paper shape: larger means tend to have larger mean+SD / p99, but the
 //! metrics are *not* perfectly correlated.
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_measure::error::pearson;
 use cloudia_measure::{MeasureConfig, Scheme, Staged};
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 10", "correlation between latency metrics, 110 instances", scale);
+    let mut fig =
+        Fig::new("fig10", "Figure 10", "correlation between latency metrics, 110 instances", scale);
     let n = scale.pick(60, 110);
     let sweeps = scale.pick(20, 60);
     let net = standard_network(Provider::ec2_like(), n, 42);
@@ -35,11 +36,17 @@ fn main() {
     println!("# scatter sample (every 50th link): mean vs mean+SD vs p99 [ms]");
     println!("mean\tmean_plus_sd\tp99");
     for k in (0..mean.len()).step_by(50) {
-        row(&[format!("{:.3}", mean[k]), format!("{:.3}", mean_sd[k]), format!("{:.3}", p99[k])]);
+        fig.row(&[
+            format!("{:.3}", mean[k]),
+            format!("{:.3}", mean_sd[k]),
+            format!("{:.3}", p99[k]),
+        ]);
     }
 
     println!();
     println!("# Pearson correlation with mean (paper: positive but imperfect)");
-    row(&["mean+SD".into(), format!("{:.3}", pearson(&mean, &mean_sd))]);
-    row(&["p99".into(), format!("{:.3}", pearson(&mean, &p99))]);
+    fig.row(&["mean+SD".into(), format!("{:.3}", pearson(&mean, &mean_sd))]);
+    fig.row(&["p99".into(), format!("{:.3}", pearson(&mean, &p99))]);
+
+    fig.finish();
 }

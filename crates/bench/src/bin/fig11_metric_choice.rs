@@ -7,7 +7,7 @@
 //! query but hurts the key-value store; all differences are modest — mean
 //! latency is a robust metric.
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, LatencyMetric, Objective, SearchStrategy};
 use cloudia_measure::{MeasureConfig, Scheme, Staged};
 use cloudia_netsim::{Network, Provider};
@@ -15,7 +15,8 @@ use cloudia_workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 11", "relative improvement of Mean+SD and p99 vs Mean", scale);
+    let mut fig =
+        Fig::new("fig11", "Figure 11", "relative improvement of Mean+SD and p99 vs Mean", scale);
     let search_s = scale.pick(3.0, 60.0);
     let sweeps = scale.pick(20, 60);
 
@@ -60,7 +61,7 @@ fn main() {
                 }
                 Some(base) => (base - perf) / base * 100.0,
             };
-            row(&[
+            fig.row(&[
                 w.name().into(),
                 metric.name().into(),
                 format!("{perf:.1}"),
@@ -72,4 +73,6 @@ fn main() {
     println!(
         "# paper: p99 hurts all three; Mean+SD mildly helps sim/agg, hurts kv; mean is robust"
     );
+
+    fig.finish();
 }

@@ -6,7 +6,7 @@
 //! combinations; aggregation query benefits most on average, key-value
 //! store least (its cost function is an imperfect match).
 
-use cloudia_bench::{header, row, Scale};
+use cloudia_bench::{Fig, Scale};
 use cloudia_core::{Advisor, AdvisorConfig, LatencyMetric, MeasurementPlan, Objective};
 use cloudia_measure::MeasureConfig;
 use cloudia_netsim::{Cloud, Provider};
@@ -14,7 +14,8 @@ use cloudia_workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 12", "time reduction over 5 allocations, 3 workloads", scale);
+    let mut fig =
+        Fig::new("fig12", "Figure 12", "time reduction over 5 allocations, 3 workloads", scale);
     let search_s = scale.pick(8.0, 120.0);
 
     let workloads: Vec<(Box<dyn Workload>, Objective)> = match scale {
@@ -69,7 +70,7 @@ fn main() {
             let t_cloudia = w.run(&net, &outcome.deployment, alloc_id).value_ms;
             let reduction = (t_default - t_cloudia) / t_default * 100.0;
             reductions.push(reduction);
-            row(&[
+            fig.row(&[
                 format!("{alloc_id}"),
                 w.name().into(),
                 format!("{t_default:.1}"),
@@ -83,4 +84,6 @@ fn main() {
         .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| (lo.min(r), hi.max(r)));
     println!();
     println!("# observed reduction range: {lo:.1} % .. {hi:.1} % (paper: 15–55 %)");
+
+    fig.finish();
 }

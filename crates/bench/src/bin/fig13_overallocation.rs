@@ -8,7 +8,7 @@
 //! at 10 %, 38 % at 50 % — the first 10 % of extra instances buys the
 //! biggest step.
 
-use cloudia_bench::{header, row, Scale};
+use cloudia_bench::{Fig, Scale};
 use cloudia_core::{Advisor, AdvisorConfig, LatencyMetric, MeasurementPlan, Objective};
 use cloudia_measure::MeasureConfig;
 use cloudia_netsim::{Cloud, Provider};
@@ -16,7 +16,8 @@ use cloudia_workloads::{BehavioralSim, Workload};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 13", "over-allocation sweep, behavioral simulation", scale);
+    let mut fig =
+        Fig::new("fig13", "Figure 13", "over-allocation sweep, behavioral simulation", scale);
     let (rows, cols) = scale.pick((6, 6), (10, 10));
     let n = rows * cols;
     let search_s = scale.pick(8.0, 120.0);
@@ -48,7 +49,7 @@ fn main() {
         });
         let outcome = advisor.run_on_network(&net, &sim.graph(), 9);
         let t_cloudia = sim.run(&net, &outcome.deployment, 9).value_ms;
-        row(&[
+        fig.row(&[
             format!("{pct}"),
             format!("{:.1}", t_default / 1000.0),
             format!("{:.1}", t_cloudia / 1000.0),
@@ -57,4 +58,6 @@ fn main() {
     }
     println!();
     println!("# paper: 16 % at 0 %, 28 % at 10 %, 38 % at 50 % over-allocation");
+
+    fig.finish();
 }

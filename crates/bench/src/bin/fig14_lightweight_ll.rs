@@ -5,7 +5,7 @@
 //! Paper shape: G1 worst (~66.7 % above CP); G2 much better; R1 slightly
 //! better than G2; R2 within ~8.65 % of CP.
 
-use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_bench::{measured_costs, standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, LatencyMetric};
 use cloudia_netsim::Provider;
 use cloudia_solver::{
@@ -15,7 +15,7 @@ use cloudia_solver::{
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 14", "lightweight approaches vs CP on LLNDP", scale);
+    let mut fig = Fig::new("fig14", "Figure 14", "lightweight approaches vs CP on LLNDP", scale);
     // Paper: 20 allocations of 50 instances, 10 % over-allocation
     // (45 nodes); CP and R2 run for 2 minutes.
     let allocations = scale.pick(8, 20);
@@ -63,8 +63,10 @@ fn main() {
         ("CP", totals[4]),
     ] {
         let avg = total / allocations as f64;
-        row(&[name.into(), format!("{avg:.3}"), format!("{:+.1} %", (avg / cp - 1.0) * 100.0)]);
+        fig.row(&[name.into(), format!("{avg:.3}"), format!("{:+.1} %", (avg / cp - 1.0) * 100.0)]);
     }
     println!();
     println!("# paper: G1 +66.7 %, R2 +8.65 % vs CP; R1 slightly better than G2");
+
+    fig.finish();
 }

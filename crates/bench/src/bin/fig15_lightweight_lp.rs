@@ -6,7 +6,7 @@
 //! (random search explores more of this solution space per second than
 //! the weak MIP relaxation).
 
-use cloudia_bench::{header, measured_costs, row, standard_network, Scale};
+use cloudia_bench::{measured_costs, standard_network, Fig, Scale};
 use cloudia_core::{CommGraph, LatencyMetric, SearchStrategy};
 use cloudia_netsim::Provider;
 use cloudia_solver::{
@@ -16,7 +16,7 @@ use cloudia_solver::{
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 15", "lightweight approaches vs MIP on LPNDP", scale);
+    let mut fig = Fig::new("fig15", "Figure 15", "lightweight approaches vs MIP on LPNDP", scale);
     let allocations = scale.pick(8, 20);
     let budget_s = scale.pick(3.0, 900.0);
     let m = scale.pick(24, 50);
@@ -67,8 +67,14 @@ fn main() {
         ("MIP", totals[4]),
     ] {
         let avg = total / allocations as f64;
-        row(&[name.into(), format!("{avg:.3}"), format!("{:+.1} %", (avg / mip - 1.0) * 100.0)]);
+        fig.row(&[
+            name.into(),
+            format!("{avg:.3}"),
+            format!("{:+.1} %", (avg / mip - 1.0) * 100.0),
+        ]);
     }
     println!();
     println!("# paper: R2 ~5.1 % below MIP; G1/G2 comparable to R1");
+
+    fig.finish();
 }

@@ -1,13 +1,13 @@
 //! Figure 16: links ordered by latency within IP-distance groups
 //! (Appendix 2 negative result: IP distance does not predict latency).
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_measure::approx::{inversion_rate, links_by_ip_distance};
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 16", "latency ordered by IP distance (g = 8)", scale);
+    let mut fig = Fig::new("fig16", "Figure 16", "latency ordered by IP distance (g = 8)", scale);
     let net = standard_network(Provider::ec2_like(), 100, 42);
     let links = links_by_ip_distance(&net, 8);
 
@@ -18,7 +18,7 @@ fn main() {
         let vals: Vec<f64> = links.iter().filter(|l| l.group == *g).map(|l| l.mean_rtt).collect();
         let mut sorted = vals.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        row(&[
+        fig.row(&[
             format!("ip-distance {g}"),
             format!("{}", vals.len()),
             format!("{:.3}", sorted[0]),
@@ -32,7 +32,7 @@ fn main() {
     println!("link\tgroup\tmean_ms");
     for (i, l) in links.iter().enumerate() {
         if i % 100 == 0 {
-            row(&[format!("{i}"), format!("{}", l.group), format!("{:.3}", l.mean_rtt)]);
+            fig.row(&[format!("{i}"), format!("{}", l.group), format!("{:.3}", l.mean_rtt)]);
         }
     }
 
@@ -42,4 +42,6 @@ fn main() {
         inversion_rate(&links)
     );
     println!("# paper conclusion: monotonicity does not hold -> IP distance is a poor proxy");
+
+    fig.finish();
 }

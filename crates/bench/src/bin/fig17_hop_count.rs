@@ -1,13 +1,13 @@
 //! Figure 17: links ordered by latency within hop-count groups
 //! (Appendix 2 negative result: hop count does not predict latency).
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_measure::approx::{inversion_rate, links_by_hop_count};
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 17", "latency ordered by hop count", scale);
+    let mut fig = Fig::new("fig17", "Figure 17", "latency ordered by hop count", scale);
     let net = standard_network(Provider::ec2_like(), 100, 42);
     let links = links_by_hop_count(&net);
 
@@ -17,7 +17,7 @@ fn main() {
         let vals: Vec<f64> = links.iter().filter(|l| l.group == *g).map(|l| l.mean_rtt).collect();
         let mut sorted = vals.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        row(&[
+        fig.row(&[
             format!("hops {g}"),
             format!("{}", vals.len()),
             format!("{:.3}", sorted[0]),
@@ -31,7 +31,7 @@ fn main() {
     println!("link\tgroup\tmean_ms");
     for (i, l) in links.iter().enumerate() {
         if i % 100 == 0 {
-            row(&[format!("{i}"), format!("{}", l.group), format!("{:.3}", l.mean_rtt)]);
+            fig.row(&[format!("{i}"), format!("{}", l.group), format!("{:.3}", l.mean_rtt)]);
         }
     }
 
@@ -41,4 +41,6 @@ fn main() {
         inversion_rate(&links)
     );
     println!("# paper conclusion: hop count, though easy to obtain, does not predict latency");
+
+    fig.finish();
 }

@@ -4,20 +4,22 @@
 //! Paper shape: ~5 % of pairs below 0.32 ms, top 5 % above 0.5 ms —
 //! narrower than EC2 but still heterogeneous.
 
-use cloudia_bench::{header, print_cdf, row, standard_network, true_mean_vector, Scale};
+use cloudia_bench::{standard_network, true_mean_vector, Fig, Scale};
 use cloudia_measure::error::quantile;
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 18", "latency heterogeneity in GCE-like region", scale);
+    let mut fig = Fig::new("fig18", "Figure 18", "latency heterogeneity in GCE-like region", scale);
     let net = standard_network(Provider::gce_like(), 50, 42);
     let means = true_mean_vector(&net);
-    print_cdf("gce", &means, 40);
+    fig.cdf("gce", &means, 40);
 
     println!();
     println!("# summary (paper: p5 < 0.32 ms, p95 > 0.5 ms)");
     for q in [0.05, 0.50, 0.95] {
-        row(&[format!("p{:.0}", q * 100.0), format!("{:.3} ms", quantile(&means, q))]);
+        fig.row(&[format!("p{:.0}", q * 100.0), format!("{:.3} ms", quantile(&means, q))]);
     }
+
+    fig.finish();
 }

@@ -3,20 +3,23 @@
 //!
 //! Paper shape: ~5 % of pairs below 0.24 ms, top 5 % above 0.38 ms.
 
-use cloudia_bench::{header, print_cdf, row, standard_network, true_mean_vector, Scale};
+use cloudia_bench::{standard_network, true_mean_vector, Fig, Scale};
 use cloudia_measure::error::quantile;
 use cloudia_netsim::Provider;
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 20", "latency heterogeneity in Rackspace-like region", scale);
+    let mut fig =
+        Fig::new("fig20", "Figure 20", "latency heterogeneity in Rackspace-like region", scale);
     let net = standard_network(Provider::rackspace_like(), 50, 42);
     let means = true_mean_vector(&net);
-    print_cdf("rackspace", &means, 40);
+    fig.cdf("rackspace", &means, 40);
 
     println!();
     println!("# summary (paper: p5 < 0.24 ms, p95 > 0.38 ms)");
     for q in [0.05, 0.50, 0.95] {
-        row(&[format!("p{:.0}", q * 100.0), format!("{:.3} ms", quantile(&means, q))]);
+        fig.row(&[format!("p{:.0}", q * 100.0), format!("{:.3} ms", quantile(&means, q))]);
     }
+
+    fig.finish();
 }

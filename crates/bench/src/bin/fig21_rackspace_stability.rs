@@ -1,13 +1,14 @@
 //! Figure 21: mean latency stability of four Rackspace-like links over
 //! 60 h (1 h buckets; paper Appendix 3).
 
-use cloudia_bench::{header, row, standard_network, Scale};
+use cloudia_bench::{standard_network, Fig, Scale};
 use cloudia_netsim::{InstanceId, Provider};
 use rand::{rngs::StdRng, SeedableRng};
 
 fn main() {
     let scale = Scale::from_env();
-    header("Figure 21", "mean latency stability over 60 h, Rackspace-like", scale);
+    let mut fig =
+        Fig::new("fig21", "Figure 21", "mean latency stability over 60 h, Rackspace-like", scale);
     let net = standard_network(Provider::rackspace_like(), 50, 42);
     let mut rng = StdRng::seed_from_u64(7);
 
@@ -35,12 +36,14 @@ fn main() {
         })
         .collect();
 
-    row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);
+    fig.row(&["hours".into(), "link1".into(), "link2".into(), "link3".into(), "link4".into()]);
     for t in 0..buckets {
         let mut cells = vec![format!("{:.0}", traces[0].hours[t])];
         for trace in &traces {
             cells.push(format!("{:.3}", trace.mean_rtt[t]));
         }
-        row(&cells);
+        fig.row(&cells);
     }
+
+    fig.finish();
 }

@@ -137,6 +137,101 @@ pub fn header(fig: &str, caption: &str, scale: Scale) {
     println!("# scale: {scale:?} (set CLOUDIA_SCALE=paper for paper sizes)");
 }
 
+/// Buffering figure reporter: prints exactly what the free-standing
+/// [`header`]/[`row`]/[`print_cdf`] helpers print while accumulating the
+/// same tables and CDFs, then writes them as `BENCH_<name>.json` on
+/// [`Fig::finish`] — so every figure bin leaves a machine-readable
+/// artifact next to its stdout table (the telemetry plane's sink for
+/// cross-run comparisons).
+pub struct Fig {
+    name: String,
+    caption: String,
+    scale: Scale,
+    columns: Vec<String>,
+    rows: Vec<Json>,
+    cdfs: Vec<Json>,
+    notes: Vec<(String, Json)>,
+}
+
+impl Fig {
+    /// Prints the figure header (with the human-facing `title`, e.g.
+    /// "Figure 4") and opens the recorder; `name` is the artifact slug
+    /// (`BENCH_<name>.json`).
+    pub fn new(name: &str, title: &str, caption: &str, scale: Scale) -> Self {
+        header(title, caption, scale);
+        Self {
+            name: name.replace('-', "_"),
+            caption: caption.to_string(),
+            scale,
+            columns: Vec::new(),
+            rows: Vec::new(),
+            cdfs: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Prints (and records) the table's column names.
+    pub fn columns(&mut self, cols: &[&str]) {
+        println!("{}", cols.join("\t"));
+        self.columns = cols.iter().map(|c| c.to_string()).collect();
+    }
+
+    /// Prints (and records) one tab-separated table row.
+    pub fn row(&mut self, cells: &[String]) {
+        row(cells);
+        self.rows.push(Json::Arr(cells.iter().map(|c| Json::from(c.as_str())).collect()));
+    }
+
+    /// Prints (and records) an empirical CDF, downsampled to at most
+    /// `points` rows — the recorded points are exactly the printed ones.
+    pub fn cdf(&mut self, label: &str, values: &[f64], points: usize) {
+        let cdf = cloudia_measure::error::empirical_cdf(values);
+        let step = (cdf.len() / points.max(1)).max(1);
+        println!("{label}\tvalue\tcdf");
+        let mut sampled = Vec::new();
+        for (i, &(v, p)) in cdf.iter().enumerate() {
+            if i % step == 0 || i == cdf.len() - 1 {
+                row(&[label.to_string(), format!("{v:.4}"), format!("{p:.4}")]);
+                sampled.push(Json::Arr(vec![Json::from(v), Json::from(p)]));
+            }
+        }
+        self.cdfs.push(Json::obj().field("label", label).field("points", Json::Arr(sampled)));
+    }
+
+    /// Attaches an arbitrary extra field to the JSON artifact (headline
+    /// numbers, assertions, fitted slopes — whatever the figure's
+    /// punchline is).
+    pub fn note(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        self.notes.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Writes `BENCH_<name>.json` and reports the path; exits non-zero
+    /// if the artifact cannot be written (CI treats a missing artifact
+    /// as a failed run, same as the ext bins).
+    pub fn finish(self) {
+        let mut payload = Json::obj()
+            .field("caption", self.caption.as_str())
+            .field("scale", format!("{:?}", self.scale).as_str())
+            .field(
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::from(c.as_str())).collect()),
+            )
+            .field("rows", Json::Arr(self.rows))
+            .field("cdfs", Json::Arr(self.cdfs));
+        for (key, value) in self.notes {
+            payload = payload.field(&key, value);
+        }
+        match write_bench_json(&self.name, payload) {
+            Ok(path) => println!("# wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("FAIL: cannot write BENCH_{}.json: {e}", self.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Prints a tab-separated row.
 pub fn row(cells: &[String]) {
     println!("{}", cells.join("\t"));

@@ -62,8 +62,9 @@ impl LatencyMetric {
         self.cost_matrix(stats).off_diagonal()
     }
 
-    /// This metric's value for a single link estimate.
-    pub fn link_value(self, link: &cloudia_measure::LinkEstimate) -> f64 {
+    /// This metric's value for a single link estimate (a copyable view
+    /// into the columnar stats plane).
+    pub fn link_value(self, link: cloudia_measure::LinkEstimate<'_>) -> f64 {
         match self {
             LatencyMetric::Mean => link.mean(),
             LatencyMetric::MeanPlusSd => link.mean_plus_sd(),

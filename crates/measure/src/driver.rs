@@ -168,7 +168,7 @@ pub fn run_pruned<S: Scheme + ?Sized>(
 /// two schemes used to duplicate.
 pub(crate) struct StageDriver<'n> {
     name: &'static str,
-    engine: cloudia_netsim::Engine<'n>,
+    net: &'n Network,
     cfg: MeasureConfig,
     stats: PairwiseStats,
     tracker: SnapshotTracker,
@@ -179,6 +179,11 @@ pub(crate) struct StageDriver<'n> {
     sweep: usize,
     stage: usize,
     round_trips: u64,
+    /// Simulated clock (ms); stages start here and leave it at their end
+    /// plus the coordination round.
+    now: f64,
+    /// Resolved stage fan-out width (1 = serial).
+    workers: usize,
     done: bool,
     tally: StageTally,
 }
@@ -198,6 +203,12 @@ struct StageTally {
     delivered: u64,
     lost: u64,
     dark: u64,
+    /// Stages that fanned out over more than one worker thread.
+    parallel_stages: u64,
+    /// Widest per-stage fan-out seen this run.
+    fanout_width_max: u64,
+    /// Wall nanoseconds spent merging per-pair outcomes into the stats.
+    merge_ns: u64,
     /// Wall-time span from the first executed stage to driver drop;
     /// `None` until a stage runs (or while telemetry is disabled).
     span: Option<cloudia_obs::SpanGuard>,
@@ -211,6 +222,8 @@ impl Drop for StageTally {
             span.attr("sent", self.sent);
             span.attr("lost", self.lost);
             span.attr("dark_pairs", self.dark);
+            span.attr("fanout_width_max", self.fanout_width_max);
+            span.attr("merge_ns", self.merge_ns);
         }
         if self.stages > 0 {
             cloudia_obs::counters(&[
@@ -220,6 +233,8 @@ impl Drop for StageTally {
                 ("sweep.messages_delivered", self.delivered),
                 ("sweep.messages_lost", self.lost),
                 ("sweep.dark_pairs", self.dark),
+                ("sweep.parallel.stages", self.parallel_stages),
+                ("sweep.parallel.merge_ns", self.merge_ns),
             ]);
         }
     }
@@ -238,11 +253,24 @@ impl<'n> StageDriver<'n> {
         let n = net.len();
         assert!(n >= 2, "need at least two instances to measure");
         assert_eq!(stats.len(), n, "stats sized for {} instances, network has {n}", stats.len());
-        let mut engine = net.engine(cfg.nic, cfg.seed);
-        engine.set_timeout_ms(cfg.timeout_ms);
+        // Auto mode (stage_workers = 0) only fans out when a stage is
+        // wide enough to amortize thread spawns; an explicit width is
+        // honoured as given (the determinism contract makes any width
+        // safe, so tests pin small-stage parallel runs explicitly).
+        let workers = match cfg.stage_workers {
+            0 => {
+                let widest = stages.iter().map(Vec::len).max().unwrap_or(0);
+                if widest < 64 {
+                    1
+                } else {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                }
+            }
+            w => w,
+        };
         Self {
             name,
-            engine,
+            net,
             cfg: cfg.clone(),
             stats,
             tracker: SnapshotTracker::new(cfg),
@@ -252,6 +280,8 @@ impl<'n> StageDriver<'n> {
             sweep: 0,
             stage: 0,
             round_trips: 0,
+            now: 0.0,
+            workers,
             done: false,
             tally: StageTally::default(),
         }
@@ -296,7 +326,7 @@ impl SweepDriver for StageDriver<'_> {
             return false;
         }
         if let Some(limit) = self.cfg.max_duration_ms {
-            if self.engine.now() >= limit {
+            if self.now >= limit {
                 self.done = true;
                 return false;
             }
@@ -306,11 +336,6 @@ impl SweepDriver for StageDriver<'_> {
         if cloudia_obs::enabled() && self.tally.span.is_none() {
             self.tally.span = Some(cloudia_obs::span!("sweep.run", scheme = self.name));
         }
-        let (sent0, delivered0, lost0) = (
-            self.engine.messages_sent(),
-            self.engine.messages_delivered(),
-            self.engine.messages_lost(),
-        );
         let pairs = &self.stages[self.stage];
         let directed: Vec<(usize, usize)> = pairs
             .iter()
@@ -323,26 +348,46 @@ impl SweepDriver for StageDriver<'_> {
             })
             .collect();
         let ks: Vec<usize> = pairs.iter().map(|&(_, _, k)| k).collect();
+        // One substream seed per pair, derived from the pair's schedule
+        // identity rather than drawn from a shared stream: a surviving
+        // pair's timeline is the same no matter which *other* pairs a
+        // prune rule or dark strike removed from the stage — common
+        // random numbers across pruned and unpruned arms, and
+        // byte-identical seeded traces at every worker count.
+        let (sweep, stage) = (self.sweep, self.stage);
+        let seeds: Vec<u64> = directed
+            .iter()
+            .map(|&(src, dst)| crate::scheme::substream_seed(self.cfg.seed, sweep, stage, src, dst))
+            .collect();
         let outcome = crate::scheme::run_stage(
-            &mut self.engine,
+            self.net,
+            &self.cfg,
+            self.now,
             &directed,
             &ks,
-            &self.cfg,
+            &seeds,
+            self.workers,
             &mut self.stats,
             &mut self.tracker,
         );
         self.round_trips += outcome.round_trips;
-        // Telemetry stays local at stage grain: deltas of the engine's
+        self.now = outcome.end;
+        // Telemetry stays local at stage grain: the stage outcome's
         // tallies accumulate in `self.tally` (plain integer adds — no
         // locks, no allocations) and hit the global plane once, when
         // the driver drops.
         if cloudia_obs::enabled() {
             self.tally.stages += 1;
             self.tally.round_trips += outcome.round_trips;
-            self.tally.sent += self.engine.messages_sent() - sent0;
-            self.tally.delivered += self.engine.messages_delivered() - delivered0;
-            self.tally.lost += self.engine.messages_lost() - lost0;
+            self.tally.sent += outcome.sent;
+            self.tally.delivered += outcome.delivered;
+            self.tally.lost += outcome.lost;
             self.tally.dark += outcome.dark.len() as u64;
+            self.tally.fanout_width_max = self.tally.fanout_width_max.max(outcome.workers as u64);
+            self.tally.merge_ns += outcome.merge_ns;
+            if outcome.workers > 1 {
+                self.tally.parallel_stages += 1;
+            }
         }
         // Pairs that went dark (retry budget exhausted without one
         // success) are struck from every future stage: re-probing a dead
@@ -361,7 +406,7 @@ impl SweepDriver for StageDriver<'_> {
             }
         }
         // Coordinator round before the next stage.
-        self.engine.advance_to(self.engine.now() + self.coord_overhead_ms);
+        self.now += self.coord_overhead_ms;
         self.advance_position();
         true
     }
@@ -375,7 +420,7 @@ impl SweepDriver for StageDriver<'_> {
     }
 
     fn elapsed_ms(&self) -> f64 {
-        self.engine.now()
+        self.now
     }
 
     fn remaining_pairs(&self) -> Vec<(u32, u32)> {
@@ -406,7 +451,7 @@ impl SweepDriver for StageDriver<'_> {
     fn finish(self: Box<Self>) -> MeasurementReport {
         MeasurementReport {
             scheme: self.name,
-            elapsed_ms: self.engine.now(),
+            elapsed_ms: self.now,
             round_trips: self.round_trips,
             snapshots: self.tracker.snapshots,
             stats: self.stats,

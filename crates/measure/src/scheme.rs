@@ -29,6 +29,14 @@ pub struct MeasureConfig {
     pub nic: NicParams,
     /// RNG seed (probe jitter, destination choice).
     pub seed: u64,
+    /// Worker threads for stage execution in the staged/focused schemes.
+    /// The pairs of a stage are endpoint-disjoint by construction, so
+    /// their probe timelines are independent and fan out across threads;
+    /// results are merged deterministically, making every worker count
+    /// (including 1) byte-identical. `0` (the default) auto-sizes from
+    /// the machine and stays serial for small stages; an explicit
+    /// value > 1 always fans out.
+    pub stage_workers: usize,
     /// If set, record a snapshot of the mean-estimate vector every this
     /// many simulated milliseconds (used by the Fig. 5 convergence study).
     pub snapshot_every_ms: Option<f64>,
@@ -58,6 +66,7 @@ impl Default for MeasureConfig {
             max_duration_ms: None,
             timeout_ms: cloudia_netsim::DEFAULT_TIMEOUT_MS,
             retries_per_pair: 3,
+            stage_workers: 0,
         }
     }
 }
@@ -142,6 +151,32 @@ pub trait Scheme {
     }
 }
 
+/// Derives one scheduled pair's RNG substream seed from its schedule
+/// identity `(run seed, sweep, stage, src, dst)` — a SplitMix64
+/// finalizer folded over the components.
+///
+/// Keying on identity instead of drawing sequentially from a master
+/// stream means a pair's seed does not depend on which *other* pairs the
+/// stage still holds: mid-sweep pruning, dark-pair strikes, and thread
+/// fan-out all leave a surviving pair's measured timeline untouched
+/// (common random numbers across pruned and unpruned arms — cost
+/// differentials measure the probes actually forgone, not a noise
+/// re-roll), and seeded traces are byte-identical at every worker count.
+/// The property suite pins the derivation via a transcribed copy.
+pub(crate) fn substream_seed(seed: u64, sweep: usize, stage: usize, src: usize, dst: usize) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut z = mix(seed);
+    for v in [sweep as u64, stage as u64, src as u64, dst as u64] {
+        z = mix(z ^ v);
+    }
+    z
+}
+
 /// What one stage execution produced: completed round trips plus the
 /// pairs that went dark (retry budget exhausted without a single
 /// success this stage) — the driver drops those from later stages so
@@ -153,6 +188,190 @@ pub(crate) struct StageOutcome {
     /// Pair ids (indices into the stage's `directed` slice) that
     /// exhausted their retry budget with zero successes.
     pub(crate) dark: Vec<usize>,
+    /// Simulated time the stage finished (the latest pair's last event;
+    /// `t0` if the stage issued nothing).
+    pub(crate) end: f64,
+    /// Messages sent / delivered / dropped across all pairs.
+    pub(crate) sent: u64,
+    pub(crate) delivered: u64,
+    pub(crate) lost: u64,
+    /// Worker threads the stage actually fanned out over (1 = serial).
+    pub(crate) workers: usize,
+    /// Wall nanoseconds spent merging per-pair outcomes into the stats.
+    pub(crate) merge_ns: u64,
+}
+
+/// One pair's complete probe timeline within a stage, simulated in
+/// isolation (see [`simulate_pair`]).
+#[derive(Debug, Default)]
+struct PairOutcome {
+    /// `(completion_time, rtt)` per successful round trip, time-ordered.
+    samples: Vec<(f64, f64)>,
+    attempts: u64,
+    timeouts: u64,
+    sent: u64,
+    delivered: u64,
+    lost: u64,
+    dark: bool,
+    /// Simulated time of the pair's last event.
+    end: f64,
+}
+
+/// Simulates one directed pair's whole stage timeline analytically.
+///
+/// Within a stage the pairs are endpoint-disjoint, so a pair's endpoints
+/// are provably idle at each of its send moments and the discrete-event
+/// engine's behaviour collapses to closed form: a message sent at `s`
+/// either drops (the sender's timeout fires at `s + busy + timeout`) or
+/// is delivered at `s + 2·busy + one_way` (serialize at the source,
+/// propagate, handle at the destination). Each pair draws jitter and
+/// fault decisions from its own seeded substreams, which is what makes
+/// stage execution order — and thus thread fan-out — irrelevant to the
+/// result.
+///
+/// Loss handling matches the engine protocol: every probe issuance is an
+/// attempt; a lost probe or reply counts a timeout and triggers a
+/// retransmit while the `cfg.retries_per_pair` budget lasts; a pair that
+/// exhausts the budget without one success is dark. No probe (initial,
+/// follow-up, or retransmit) is issued at or after `limit`.
+fn simulate_pair(
+    net: &Network,
+    cfg: &MeasureConfig,
+    limit: f64,
+    t0: f64,
+    (src, dst): (usize, usize),
+    k: usize,
+    seed: u64,
+) -> PairOutcome {
+    use cloudia_netsim::InstanceId;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    debug_assert!(k > 0, "every scheduled pair needs a positive quota");
+    let (src_id, dst_id) = (InstanceId::from_index(src), InstanceId::from_index(dst));
+    let busy = cfg.nic.handle_ms + cfg.nic.serialize_ms_per_kb * cfg.probe_size_kb;
+    let (drop_fwd, drop_rev) = (net.drop_prob(src_id, dst_id), net.drop_prob(dst_id, src_id));
+    // The same latency/fault RNG split an `Engine` seeded with `seed`
+    // would use — a pair's timeline here is bit-identical to running it
+    // alone on a fresh engine (the property suite pins exactly that).
+    let mut lat = StdRng::seed_from_u64(seed);
+    let mut fault = StdRng::seed_from_u64(seed ^ 0x10_55_10_55_10_55_10_55);
+
+    let mut out = PairOutcome { end: t0, ..PairOutcome::default() };
+    let mut remaining = k - 1;
+    let mut budget = cfg.retries_per_pair;
+    let mut successes = 0u64;
+    let mut send = t0;
+    out.attempts += 1;
+    loop {
+        // Probe leg. The fault RNG is only consulted on links with a
+        // positive drop probability (zero-loss runs never touch it).
+        out.sent += 1;
+        if drop_fwd > 0.0 && fault.random::<f64>() < drop_fwd {
+            out.lost += 1;
+            out.timeouts += 1;
+            out.end = send + busy + cfg.timeout_ms;
+            if budget > 0 && out.end < limit {
+                budget -= 1;
+                out.attempts += 1;
+                send = out.end;
+                continue;
+            }
+            if budget == 0 && successes == 0 {
+                out.dark = true;
+            }
+            break;
+        }
+        // Summed in the engine's exact association order (serialize,
+        // propagate, then handle) so the timeline is bit-identical, not
+        // merely equal to rounding: `send + 2·busy + ow` differs from
+        // `((send + busy) + ow) + busy` in the last ULP.
+        let probe_delivered = send
+            + busy
+            + net.model().sample_one_way(src_id, dst_id, cfg.probe_size_kb, &mut lat)
+            + busy;
+        out.delivered += 1;
+        // Reply leg, issued by the destination the moment the probe
+        // lands.
+        out.sent += 1;
+        if drop_rev > 0.0 && fault.random::<f64>() < drop_rev {
+            out.lost += 1;
+            out.timeouts += 1;
+            out.end = probe_delivered + busy + cfg.timeout_ms;
+            if budget > 0 && out.end < limit {
+                budget -= 1;
+                out.attempts += 1;
+                send = out.end;
+                continue;
+            }
+            if budget == 0 && successes == 0 {
+                out.dark = true;
+            }
+            break;
+        }
+        let reply_delivered = probe_delivered
+            + busy
+            + net.model().sample_one_way(dst_id, src_id, cfg.probe_size_kb, &mut lat)
+            + busy;
+        out.delivered += 1;
+        out.end = reply_delivered;
+        out.samples.push((reply_delivered, reply_delivered - send));
+        successes += 1;
+        if remaining > 0 && reply_delivered < limit {
+            remaining -= 1;
+            out.attempts += 1;
+            send = reply_delivered;
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Simulates every pair of a stage, fanning out across `workers` threads
+/// when asked to (each worker owns a contiguous chunk of the pair list;
+/// per-pair RNG substreams make the split invisible in the results).
+#[allow(clippy::too_many_arguments)]
+fn simulate_stage(
+    net: &Network,
+    cfg: &MeasureConfig,
+    limit: f64,
+    t0: f64,
+    directed: &[(usize, usize)],
+    ks: &[usize],
+    seeds: &[u64],
+    workers: usize,
+) -> Vec<PairOutcome> {
+    let workers = workers.clamp(1, directed.len());
+    if workers == 1 {
+        return directed
+            .iter()
+            .zip(ks)
+            .zip(seeds)
+            .map(|((&pair, &k), &seed)| simulate_pair(net, cfg, limit, t0, pair, k, seed))
+            .collect();
+    }
+    let mut out: Vec<PairOutcome> = Vec::new();
+    out.resize_with(directed.len(), PairOutcome::default);
+    let chunk = directed.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut slots = out.as_mut_slice();
+        let (mut directed, mut ks, mut seeds) = (directed, ks, seeds);
+        while !slots.is_empty() {
+            let take = chunk.min(slots.len());
+            let (slot_chunk, slot_rest) = slots.split_at_mut(take);
+            let (pair_chunk, pair_rest) = directed.split_at(take);
+            let (ks_chunk, ks_rest) = ks.split_at(take);
+            let (seed_chunk, seed_rest) = seeds.split_at(take);
+            (slots, directed, ks, seeds) = (slot_rest, pair_rest, ks_rest, seed_rest);
+            scope.spawn(move || {
+                for (slot, ((&pair, &k), &seed)) in
+                    slot_chunk.iter_mut().zip(pair_chunk.iter().zip(ks_chunk).zip(seed_chunk))
+                {
+                    *slot = simulate_pair(net, cfg, limit, t0, pair, k, seed);
+                }
+            });
+        }
+    });
+    out
 }
 
 /// Executes one stage of endpoint-disjoint directed probe pairs: every
@@ -162,85 +381,61 @@ pub(crate) struct StageOutcome {
 /// focused schemes — the stage protocol is identical, only the pair
 /// schedule (and per-pair sampling depth) differs.
 ///
-/// Loss handling: every probe issuance is counted as an attempt; a lost
-/// probe or lost reply comes back as the sender's timeout event, is
-/// counted as a timeout, and triggers a retransmit while the pair's
-/// `cfg.retries_per_pair` budget lasts. A pair that exhausts the budget
-/// without one success is reported dark. No probe (initial, follow-up,
-/// or retransmit) is issued at or after `cfg.max_duration_ms`.
+/// `seeds` carries one pre-drawn RNG substream seed per pair — the
+/// driver draws them sequentially in pair order up front, so seeded
+/// traces are byte-identical for every `workers` value: the pairs
+/// simulate independently (possibly across threads, see
+/// [`simulate_stage`]) and their outcomes merge in deterministic
+/// `(completion_time, pair_id)` order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_stage(
-    engine: &mut cloudia_netsim::Engine<'_>,
+    net: &Network,
+    cfg: &MeasureConfig,
+    t0: f64,
     directed: &[(usize, usize)],
     ks: &[usize],
-    cfg: &MeasureConfig,
+    seeds: &[u64],
+    workers: usize,
     stats: &mut PairwiseStats,
     tracker: &mut SnapshotTracker,
 ) -> StageOutcome {
-    use cloudia_netsim::{InstanceId, MessageSpec};
     debug_assert_eq!(directed.len(), ks.len());
-    debug_assert!(ks.iter().all(|&k| k > 0), "every scheduled pair needs a positive quota");
+    debug_assert_eq!(directed.len(), seeds.len());
     let limit = cfg.max_duration_ms.unwrap_or(f64::INFINITY);
-    let mut remaining = ks.to_vec();
-    let mut budget = vec![cfg.retries_per_pair; directed.len()];
-    let mut successes = vec![0u64; directed.len()];
-    let mut sent_at = vec![0.0f64; directed.len()];
-    let mut outcome = StageOutcome::default();
+    let workers = workers.clamp(1, directed.len().max(1));
+    let outcomes = simulate_stage(net, cfg, limit, t0, directed, ks, seeds, workers);
 
-    let probe = |pid: usize, (src, dst): (usize, usize)| MessageSpec {
-        src: InstanceId::from_index(src),
-        dst: InstanceId::from_index(dst),
-        size_kb: cfg.probe_size_kb,
-        kind: KIND_PROBE,
-        token: pid as u64,
-    };
-
-    for (pid, &pair) in directed.iter().enumerate() {
-        stats.record_attempt(pair.0, pair.1);
-        sent_at[pid] = engine.send(probe(pid, pair));
-        remaining[pid] -= 1;
-    }
-
-    while let Some(msg) = engine.next_delivery() {
-        let pid = msg.spec.token as usize;
-        match msg.spec.kind {
-            KIND_PROBE if !msg.lost => {
-                engine.send(MessageSpec {
-                    src: msg.spec.dst,
-                    dst: msg.spec.src,
-                    size_kb: cfg.probe_size_kb,
-                    kind: KIND_REPLY,
-                    token: msg.spec.token,
-                });
-            }
-            KIND_PROBE | KIND_REPLY => {
-                let pair = directed[pid];
-                if msg.lost {
-                    // The prober's timeout: the probe (or its reply)
-                    // was dropped. Retransmit within budget; otherwise
-                    // forfeit the pair's remaining quota.
-                    stats.record_timeout(pair.0, pair.1);
-                    if budget[pid] > 0 && engine.now() < limit {
-                        budget[pid] -= 1;
-                        stats.record_attempt(pair.0, pair.1);
-                        sent_at[pid] = engine.send(probe(pid, pair));
-                    } else if budget[pid] == 0 && successes[pid] == 0 {
-                        outcome.dark.push(pid);
-                    }
-                    continue;
-                }
-                stats.record(pair.0, pair.1, msg.delivered_at - sent_at[pid]);
-                successes[pid] += 1;
-                outcome.round_trips += 1;
-                tracker.maybe_snapshot(engine.now(), stats);
-                if remaining[pid] > 0 && engine.now() < limit {
-                    remaining[pid] -= 1;
-                    stats.record_attempt(pair.0, pair.1);
-                    sent_at[pid] = engine.send(probe(pid, pair));
-                }
-            }
-            other => unreachable!("unexpected message kind {other}"),
+    let merge_start = std::time::Instant::now();
+    let mut outcome = StageOutcome { end: t0, workers, ..StageOutcome::default() };
+    let mut events: Vec<(f64, usize, f64)> = Vec::new();
+    for (pid, o) in outcomes.iter().enumerate() {
+        let (src, dst) = directed[pid];
+        for _ in 0..o.attempts {
+            stats.record_attempt(src, dst);
         }
+        for _ in 0..o.timeouts {
+            stats.record_timeout(src, dst);
+        }
+        outcome.round_trips += o.samples.len() as u64;
+        outcome.sent += o.sent;
+        outcome.delivered += o.delivered;
+        outcome.lost += o.lost;
+        outcome.end = outcome.end.max(o.end);
+        if o.dark {
+            outcome.dark.push(pid);
+        }
+        events.extend(o.samples.iter().map(|&(at, rtt)| (at, pid, rtt)));
     }
+    // Replay the round trips in global completion order, exactly as the
+    // single event loop would have interleaved them; ties (identical
+    // completion times on quiet networks) break by pair id.
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+    for (at, pid, rtt) in events {
+        let (src, dst) = directed[pid];
+        stats.record(src, dst, rtt);
+        tracker.maybe_snapshot(at, stats);
+    }
+    outcome.merge_ns = merge_start.elapsed().as_nanos() as u64;
     outcome
 }
 

@@ -6,6 +6,22 @@
 //! estimator (Jain & Chlamtac, CACM 1985) for the 99th percentile — the
 //! three latency metrics the paper studies in §3.2/§6.4 (mean, mean+SD,
 //! p99) all come out of one pass.
+//!
+//! ## Columnar layout
+//!
+//! [`PairwiseStats`] is struct-of-arrays: one flat column per statistic
+//! (count/mean/M2/attempts/timeouts), indexed `src * n + dst`, plus a P²
+//! sketch side table allocated lazily only for links that ever record a
+//! sample. An empty link costs 44 bytes (five 8-byte columns plus a 4-byte
+//! sketch slot) instead of the ~200 of the old array-of-`LinkEstimate`
+//! layout, the hot score/matrix loops stream over contiguous slices, and
+//! the zero-initialised columns stay in untouched (lazily mapped) pages
+//! until a link is actually probed — at m = 10k the plane budgets ~4.4 GB
+//! logical instead of ~20 GB resident. [`LinkEstimate`] survives as a
+//! lightweight copyable view so per-link callers don't churn.
+//!
+//! The pre-refactor array-of-structs implementation is retained verbatim
+//! in [`aos`] as a differential-test oracle and bench baseline.
 
 use cloudia_netsim::cost::{CostError, CostMatrix};
 
@@ -14,40 +30,19 @@ use cloudia_netsim::cost::{CostError, CostMatrix};
 // measurement plane's original users keep their import paths.
 pub use cloudia_obs::{P2Quantile, Welford};
 
-/// Full online summary of one directed link.
-#[derive(Debug, Clone)]
-pub struct LinkEstimate {
-    welford: Welford,
-    p99: P2Quantile,
-    /// Probes issued on this link (successful or not).
+/// Copyable read-only view of one directed link's online summary,
+/// materialised from the columnar [`PairwiseStats`] store on access.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkEstimate<'a> {
+    count: u64,
+    mean: f64,
+    m2: f64,
     attempts: u64,
-    /// Probes that timed out (lost probe or lost reply).
     timeouts: u64,
+    p99: Option<&'a P2Quantile>,
 }
 
-impl Default for LinkEstimate {
-    fn default() -> Self {
-        Self { welford: Welford::new(), p99: P2Quantile::new(0.99), attempts: 0, timeouts: 0 }
-    }
-}
-
-impl LinkEstimate {
-    /// Adds one RTT observation.
-    pub fn record(&mut self, rtt: f64) {
-        self.welford.record(rtt);
-        self.p99.record(rtt);
-    }
-
-    /// Counts one probe issued on this link.
-    pub fn record_attempt(&mut self) {
-        self.attempts += 1;
-    }
-
-    /// Counts one probe that timed out on this link.
-    pub fn record_timeout(&mut self) {
-        self.timeouts += 1;
-    }
-
+impl LinkEstimate<'_> {
     /// Probes issued on this link (0 for schemes predating loss
     /// awareness or synthetic stats that only called `record`).
     pub fn attempts(&self) -> u64 {
@@ -70,17 +65,17 @@ impl LinkEstimate {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.welford.count()
+        self.count
     }
 
     /// Mean RTT estimate.
     pub fn mean(&self) -> f64 {
-        self.welford.mean()
+        self.mean
     }
 
     /// RTT standard deviation estimate.
     pub fn sd(&self) -> f64 {
-        self.welford.sd()
+        Welford::from_parts(self.count, self.mean, self.m2).sd()
     }
 
     /// Mean plus one standard deviation (paper's "Mean+SD" metric).
@@ -88,23 +83,56 @@ impl LinkEstimate {
         self.mean() + self.sd()
     }
 
-    /// 99th-percentile estimate (paper's "99%" metric).
+    /// 99th-percentile estimate (paper's "99%" metric); 0 before the
+    /// first sample, like an empty sketch.
     pub fn p99(&self) -> f64 {
-        self.p99.value()
+        self.p99.map_or(0.0, P2Quantile::value)
     }
 }
 
-/// Pairwise link summaries for `n` instances (diagonal unused).
+/// Pairwise link summaries for `n` instances (diagonal unused), stored
+/// as flat per-statistic columns indexed `src * n + dst`.
 #[derive(Debug, Clone)]
 pub struct PairwiseStats {
     n: usize,
-    links: Vec<LinkEstimate>,
+    count: Vec<u64>,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    attempts: Vec<u64>,
+    timeouts: Vec<u64>,
+    /// `slot + 1` into `sketches`, 0 = no sketch yet. The +1 bias keeps
+    /// the column all-zeroes at construction, so the allocator's lazily
+    /// mapped pages stay untouched until a link records.
+    sketch_slot: Vec<u32>,
+    /// Lazily allocated P² p99 sketches, one per link that ever recorded.
+    sketches: Vec<P2Quantile>,
+    // Running aggregates, maintained on record so the totals below are
+    // O(1) instead of an O(n²) column scan per call.
+    samples_total: u64,
+    attempts_total: u64,
+    timeouts_total: u64,
+    covered: usize,
+    attempted: usize,
 }
 
 impl PairwiseStats {
     /// Creates empty statistics for `n` instances.
     pub fn new(n: usize) -> Self {
-        Self { n, links: vec![LinkEstimate::default(); n * n] }
+        Self {
+            n,
+            count: vec![0; n * n],
+            mean: vec![0.0; n * n],
+            m2: vec![0.0; n * n],
+            attempts: vec![0; n * n],
+            timeouts: vec![0; n * n],
+            sketch_slot: vec![0; n * n],
+            sketches: Vec::new(),
+            samples_total: 0,
+            attempts_total: 0,
+            timeouts_total: 0,
+            covered: 0,
+            attempted: 0,
+        }
     }
 
     /// Number of instances.
@@ -117,100 +145,306 @@ impl PairwiseStats {
         self.n == 0
     }
 
+    #[inline]
+    fn idx(&self, src: usize, dst: usize) -> usize {
+        debug_assert_ne!(src, dst);
+        src * self.n + dst
+    }
+
     /// Records one RTT observation for the directed link `src → dst`
     /// (raw indices).
     pub fn record(&mut self, src: usize, dst: usize, rtt: f64) {
-        debug_assert_ne!(src, dst);
-        self.links[src * self.n + dst].record(rtt);
+        let idx = self.idx(src, dst);
+        if self.count[idx] == 0 {
+            self.covered += 1;
+        }
+        // Same update arithmetic as the struct form, bit for bit.
+        let mut w = Welford::from_parts(self.count[idx], self.mean[idx], self.m2[idx]);
+        w.record(rtt);
+        (self.count[idx], self.mean[idx], self.m2[idx]) = w.parts();
+        self.samples_total += 1;
+        let slot = self.sketch_slot[idx];
+        let sketch = if slot == 0 {
+            self.sketches.push(P2Quantile::new(0.99));
+            self.sketch_slot[idx] =
+                u32::try_from(self.sketches.len()).expect("more than u32::MAX - 1 covered links");
+            self.sketches.last_mut().expect("just pushed")
+        } else {
+            &mut self.sketches[slot as usize - 1]
+        };
+        sketch.record(rtt);
     }
 
     /// Counts one probe issued on the directed link `src → dst`.
     pub fn record_attempt(&mut self, src: usize, dst: usize) {
-        debug_assert_ne!(src, dst);
-        self.links[src * self.n + dst].record_attempt();
+        let idx = self.idx(src, dst);
+        if self.attempts[idx] == 0 {
+            self.attempted += 1;
+        }
+        self.attempts[idx] += 1;
+        self.attempts_total += 1;
     }
 
     /// Counts one timed-out probe on the directed link `src → dst`.
     pub fn record_timeout(&mut self, src: usize, dst: usize) {
-        debug_assert_ne!(src, dst);
-        self.links[src * self.n + dst].record_timeout();
+        let idx = self.idx(src, dst);
+        self.timeouts[idx] += 1;
+        self.timeouts_total += 1;
     }
 
     /// Total probes issued across all links.
     pub fn total_attempts(&self) -> u64 {
-        self.links.iter().map(|l| l.attempts()).sum()
+        debug_assert_eq!(self.attempts_total, self.attempts.iter().sum::<u64>());
+        self.attempts_total
     }
 
     /// Total timed-out probes across all links.
     pub fn total_timeouts(&self) -> u64 {
-        self.links.iter().map(|l| l.timeouts()).sum()
+        debug_assert_eq!(self.timeouts_total, self.timeouts.iter().sum::<u64>());
+        self.timeouts_total
     }
 
     /// Number of off-diagonal links probed at least once (successfully
     /// or not) — under loss this can exceed
     /// [`PairwiseStats::covered_links`].
     pub fn attempted_links(&self) -> usize {
-        (0..self.n)
-            .flat_map(|i| (0..self.n).map(move |j| (i, j)))
-            .filter(|&(i, j)| i != j && self.link(i, j).attempts() > 0)
-            .count()
+        debug_assert_eq!(self.attempted, self.attempts.iter().filter(|&&a| a > 0).count());
+        self.attempted
     }
 
-    /// The summary of one directed link.
-    pub fn link(&self, src: usize, dst: usize) -> &LinkEstimate {
-        &self.links[src * self.n + dst]
+    /// The summary of one directed link, as a copyable view.
+    pub fn link(&self, src: usize, dst: usize) -> LinkEstimate<'_> {
+        let idx = src * self.n + dst;
+        let slot = self.sketch_slot[idx];
+        LinkEstimate {
+            count: self.count[idx],
+            mean: self.mean[idx],
+            m2: self.m2[idx],
+            attempts: self.attempts[idx],
+            timeouts: self.timeouts[idx],
+            p99: (slot != 0).then(|| &self.sketches[slot as usize - 1]),
+        }
     }
 
     /// Total number of recorded samples.
     pub fn total_samples(&self) -> u64 {
-        self.links.iter().map(|l| l.count()).sum()
+        debug_assert_eq!(self.samples_total, self.count.iter().sum::<u64>());
+        self.samples_total
     }
 
     /// Number of off-diagonal links with at least one sample.
     pub fn covered_links(&self) -> usize {
-        (0..self.n)
-            .flat_map(|i| (0..self.n).map(move |j| (i, j)))
-            .filter(|&(i, j)| i != j && self.link(i, j).count() > 0)
-            .count()
+        debug_assert_eq!(self.covered, self.count.iter().filter(|&&c| c > 0).count());
+        self.covered
+    }
+
+    /// The per-link sample-count column, indexed `src * n + dst`
+    /// (diagonal entries always 0).
+    pub fn count_column(&self) -> &[u64] {
+        &self.count
+    }
+
+    /// The per-link mean-RTT column, indexed `src * n + dst`.
+    pub fn mean_column(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The per-link probe-attempt column, indexed `src * n + dst`.
+    pub fn attempts_column(&self) -> &[u64] {
+        &self.attempts
+    }
+
+    /// Bytes of heap + inline memory held by this store (capacity
+    /// accounting, i.e. the logical footprint; zero-filled pages the OS
+    /// has not materialised count too). The `ext_scale` smoke gate
+    /// asserts this stays within budget at m = 10k.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.count.capacity() * size_of::<u64>()
+            + self.mean.capacity() * size_of::<f64>()
+            + self.m2.capacity() * size_of::<f64>()
+            + self.attempts.capacity() * size_of::<u64>()
+            + self.timeouts.capacity() * size_of::<u64>()
+            + self.sketch_slot.capacity() * size_of::<u32>()
+            + self.sketches.capacity() * size_of::<P2Quantile>()
     }
 
     /// Flattened vector of mean estimates over all ordered pairs (i ≠ j),
     /// in row-major order — the "latency vector" of paper §6.2.
     pub fn mean_vector(&self) -> Vec<f64> {
-        self.ordered_pairs().map(|(i, j)| self.link(i, j).mean()).collect()
+        let mut out = Vec::with_capacity(self.n * self.n.saturating_sub(1));
+        for i in 0..self.n {
+            let row = &self.mean[i * self.n..(i + 1) * self.n];
+            for (j, &v) in row.iter().enumerate() {
+                if j != i {
+                    out.push(v);
+                }
+            }
+        }
+        out
     }
 
-    /// Matrix of mean estimates (diagonal 0), written straight into the
-    /// shared flat [`CostMatrix`] arena. Returns an error if any estimate
-    /// is not a finite non-negative latency (corrupt measurement data).
+    /// Matrix of mean estimates (diagonal 0), streamed straight from the
+    /// mean column into the shared flat [`CostMatrix`] arena. Returns an
+    /// error if any estimate is not a finite non-negative latency
+    /// (corrupt measurement data).
     pub fn mean_matrix(&self) -> Result<CostMatrix, CostError> {
-        self.matrix(|l| l.mean())
+        self.matrix_from(|idx| self.mean[idx])
     }
 
     /// Matrix of mean+SD estimates (diagonal 0).
     pub fn mean_plus_sd_matrix(&self) -> Result<CostMatrix, CostError> {
-        self.matrix(|l| l.mean_plus_sd())
+        self.matrix_from(|idx| {
+            self.mean[idx] + Welford::from_parts(self.count[idx], self.mean[idx], self.m2[idx]).sd()
+        })
     }
 
     /// Matrix of p99 estimates (diagonal 0).
     pub fn p99_matrix(&self) -> Result<CostMatrix, CostError> {
-        self.matrix(|l| l.p99())
+        self.matrix_from(|idx| {
+            let slot = self.sketch_slot[idx];
+            if slot == 0 {
+                0.0
+            } else {
+                self.sketches[slot as usize - 1].value()
+            }
+        })
     }
 
-    fn matrix(&self, f: impl Fn(&LinkEstimate) -> f64) -> Result<CostMatrix, CostError> {
+    /// Builds a cost matrix by streaming a per-link-index function over
+    /// the columns row by row — no `LinkEstimate` view per cell.
+    fn matrix_from(&self, f: impl Fn(usize) -> f64) -> Result<CostMatrix, CostError> {
         let mut b = CostMatrix::builder(self.n);
         for i in 0..self.n {
+            let row = i * self.n;
             for j in 0..self.n {
                 if i != j {
-                    b.set(i, j, f(self.link(i, j)));
+                    b.set(i, j, f(row + j));
                 }
             }
         }
         b.freeze()
     }
+}
 
-    fn ordered_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |i| (0..self.n).filter(move |&j| j != i).map(move |j| (i, j)))
+/// The pre-refactor array-of-structs stats plane, retained as the
+/// differential-test oracle for the columnar [`PairwiseStats`] and as the
+/// bench baseline `ext_scale` races `build_partial` against. Not for
+/// production use: an empty link costs ~200 bytes here.
+#[doc(hidden)]
+pub mod aos {
+    use super::{P2Quantile, Welford};
+
+    /// Full online summary of one directed link (owning form).
+    #[derive(Debug, Clone)]
+    pub struct LinkEstimate {
+        welford: Welford,
+        p99: P2Quantile,
+        attempts: u64,
+        timeouts: u64,
+    }
+
+    impl Default for LinkEstimate {
+        fn default() -> Self {
+            Self { welford: Welford::new(), p99: P2Quantile::new(0.99), attempts: 0, timeouts: 0 }
+        }
+    }
+
+    impl LinkEstimate {
+        /// Adds one RTT observation.
+        pub fn record(&mut self, rtt: f64) {
+            self.welford.record(rtt);
+            self.p99.record(rtt);
+        }
+
+        /// Counts one probe issued on this link.
+        pub fn record_attempt(&mut self) {
+            self.attempts += 1;
+        }
+
+        /// Counts one probe that timed out on this link.
+        pub fn record_timeout(&mut self) {
+            self.timeouts += 1;
+        }
+
+        /// Probes issued on this link.
+        pub fn attempts(&self) -> u64 {
+            self.attempts
+        }
+
+        /// Probes that timed out on this link.
+        pub fn timeouts(&self) -> u64 {
+            self.timeouts
+        }
+
+        /// Number of observations.
+        pub fn count(&self) -> u64 {
+            self.welford.count()
+        }
+
+        /// Mean RTT estimate.
+        pub fn mean(&self) -> f64 {
+            self.welford.mean()
+        }
+
+        /// RTT standard deviation estimate.
+        pub fn sd(&self) -> f64 {
+            self.welford.sd()
+        }
+
+        /// Mean plus one standard deviation.
+        pub fn mean_plus_sd(&self) -> f64 {
+            self.mean() + self.sd()
+        }
+
+        /// 99th-percentile estimate.
+        pub fn p99(&self) -> f64 {
+            self.p99.value()
+        }
+    }
+
+    /// Array-of-structs pairwise summaries (oracle form).
+    #[derive(Debug, Clone)]
+    pub struct PairwiseStats {
+        n: usize,
+        links: Vec<LinkEstimate>,
+    }
+
+    impl PairwiseStats {
+        /// Creates empty statistics for `n` instances.
+        pub fn new(n: usize) -> Self {
+            Self { n, links: vec![LinkEstimate::default(); n * n] }
+        }
+
+        /// Number of instances.
+        #[allow(clippy::len_without_is_empty)]
+        pub fn len(&self) -> usize {
+            self.n
+        }
+
+        /// Records one RTT observation for `src → dst`.
+        pub fn record(&mut self, src: usize, dst: usize, rtt: f64) {
+            debug_assert_ne!(src, dst);
+            self.links[src * self.n + dst].record(rtt);
+        }
+
+        /// Counts one probe issued on `src → dst`.
+        pub fn record_attempt(&mut self, src: usize, dst: usize) {
+            debug_assert_ne!(src, dst);
+            self.links[src * self.n + dst].record_attempt();
+        }
+
+        /// Counts one timed-out probe on `src → dst`.
+        pub fn record_timeout(&mut self, src: usize, dst: usize) {
+            debug_assert_ne!(src, dst);
+            self.links[src * self.n + dst].record_timeout();
+        }
+
+        /// The summary of one directed link.
+        pub fn link(&self, src: usize, dst: usize) -> &LinkEstimate {
+            &self.links[src * self.n + dst]
+        }
     }
 }
 
@@ -372,10 +606,11 @@ mod tests {
 
     #[test]
     fn link_estimate_combines_metrics() {
-        let mut l = LinkEstimate::default();
+        let mut s = PairwiseStats::new(2);
         for i in 0..1000 {
-            l.record(if i % 100 == 0 { 10.0 } else { 1.0 });
+            s.record(0, 1, if i % 100 == 0 { 10.0 } else { 1.0 });
         }
+        let l = s.link(0, 1);
         assert!(l.mean() > 1.0 && l.mean() < 1.2);
         assert!(l.mean_plus_sd() > l.mean());
         assert!(l.p99() >= 1.0);
@@ -407,5 +642,71 @@ mod tests {
         let m = s.mean_matrix().unwrap();
         assert_eq!(m.get(0, 0), 0.0);
         assert_eq!(m.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn empty_link_view_reads_like_an_empty_estimate() {
+        let s = PairwiseStats::new(4);
+        let l = s.link(2, 3);
+        assert_eq!(l.count(), 0);
+        assert_eq!(l.mean(), 0.0);
+        assert_eq!(l.sd(), 0.0);
+        assert_eq!(l.p99(), 0.0);
+        assert_eq!(l.attempts(), 0);
+        assert_eq!(l.loss_rate(), 0.0);
+        // No sketch has been allocated for any link yet.
+        assert_eq!(s.sketches.len(), 0);
+    }
+
+    #[test]
+    fn sketches_allocate_lazily_per_covered_link() {
+        let mut s = PairwiseStats::new(10);
+        assert_eq!(s.sketches.len(), 0);
+        s.record(0, 1, 1.0);
+        s.record(0, 1, 2.0);
+        s.record(3, 4, 5.0);
+        // One sketch per covered link, not per sample or per link slot.
+        assert_eq!(s.sketches.len(), 2);
+        assert_eq!(s.covered_links(), 2);
+        // Attempts alone never allocate a sketch.
+        s.record_attempt(5, 6);
+        s.record_timeout(5, 6);
+        assert_eq!(s.sketches.len(), 2);
+    }
+
+    #[test]
+    fn running_counters_match_a_full_scan() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 12;
+        let mut s = PairwiseStats::new(n);
+        for _ in 0..2000 {
+            let i = rng.random_range(0..n);
+            let j = (i + 1 + rng.random_range(0..n - 1)) % n;
+            match rng.random_range(0..3u32) {
+                0 => s.record(i, j, rng.random::<f64>() * 10.0),
+                1 => s.record_attempt(i, j),
+                _ => s.record_timeout(i, j),
+            }
+        }
+        // The getters carry debug assertions against the scan; cross-check
+        // explicitly so the release profile is covered too.
+        assert_eq!(s.total_samples(), s.count.iter().sum::<u64>());
+        assert_eq!(s.total_attempts(), s.attempts.iter().sum::<u64>());
+        assert_eq!(s.total_timeouts(), s.timeouts.iter().sum::<u64>());
+        assert_eq!(s.covered_links(), s.count.iter().filter(|&&c| c > 0).count());
+        assert_eq!(s.attempted_links(), s.attempts.iter().filter(|&&a| a > 0).count());
+    }
+
+    #[test]
+    fn memory_accounting_stays_within_the_per_link_budget() {
+        let n = 64;
+        let s = PairwiseStats::new(n);
+        // 5 × 8-byte columns + the 4-byte sketch slot = 44 bytes per link.
+        let per_link = 44;
+        assert!(s.memory_bytes() >= n * n * per_link);
+        assert!(s.memory_bytes() < n * n * per_link + 512, "unexpected overhead");
+        // The old AoS layout pays ~4x more for the same empty plane.
+        let aos_per_link = std::mem::size_of::<aos::LinkEstimate>();
+        assert!(aos_per_link > 3 * per_link, "aos link is {aos_per_link} bytes");
     }
 }

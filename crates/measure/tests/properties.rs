@@ -24,81 +24,120 @@ fn ec2_network(n: usize, seed: u64) -> cloudia_netsim::Network {
     cloud.network(&alloc)
 }
 
-/// The pre-refactor batch measurement loops, transcribed verbatim from
-/// the sweep code that `SweepDriver` replaced (PR 5) — the oracle the
-/// driver-based `run_onto` is differentially pinned against. Uses only
-/// public engine APIs; message kinds are the schemes' wire constants
-/// (0 = probe, 1 = reply, 2 = token).
+/// The batch measurement loops the drivers are differentially pinned
+/// against, transcribed from the pre-driver sweep code (PR 5) and — for
+/// the stage-scheduled schemes — re-anchored on the per-pair substream
+/// discipline the parallel stage executor introduced: each scheduled
+/// pair runs its whole stage timeline alone on a **fresh real
+/// discrete-event engine** seeded with the pair's substream seed, which
+/// pins the production path's closed-form pair simulation (including
+/// loss, retransmits, and dark-pair handling) against the actual engine
+/// arithmetic. Uses only public engine APIs; message kinds are the
+/// schemes' wire constants (0 = probe, 1 = reply, 2 = token).
 mod reference {
     use cloudia_measure::{MeasureConfig, PairwiseStats};
     use cloudia_netsim::{InstanceId, MessageSpec, Network};
     use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::HashSet;
 
     /// (stats, round_trips, elapsed_ms) of one batch run.
     pub type BatchResult = (PairwiseStats, u64, f64);
 
-    fn run_stage(
-        engine: &mut cloudia_netsim::Engine<'_>,
-        directed: &[(usize, usize)],
-        ks: usize,
+    /// One pair's stage timeline, replayed on its own engine: the old
+    /// stage event loop (probe out, reply back, retransmit on timeout
+    /// within budget) specialised to a single in-flight pair, starting
+    /// at simulated time `t0`. Returns (round_trips, went_dark,
+    /// end_time).
+    #[allow(clippy::too_many_arguments)]
+    fn run_pair_on_engine(
+        net: &Network,
         cfg: &MeasureConfig,
+        seed: u64,
+        t0: f64,
+        src: usize,
+        dst: usize,
+        k: usize,
         stats: &mut PairwiseStats,
-    ) -> u64 {
-        // The shared deadline contract (see `MeasureConfig::max_duration_ms`):
-        // continuation probes are gated on the limit, like every other
-        // issuance site.
+    ) -> (u64, bool, f64) {
         let limit = cfg.max_duration_ms.unwrap_or(f64::INFINITY);
-        let mut remaining = vec![ks; directed.len()];
-        let mut sent_at = vec![0.0f64; directed.len()];
-        let mut round_trips = 0u64;
-
-        for (pid, &(src, dst)) in directed.iter().enumerate() {
-            sent_at[pid] = engine.send(MessageSpec {
-                src: InstanceId::from_index(src),
-                dst: InstanceId::from_index(dst),
-                size_kb: cfg.probe_size_kb,
-                kind: 0,
-                token: pid as u64,
-            });
-            remaining[pid] -= 1;
-        }
-
+        let mut engine = net.engine(cfg.nic, seed);
+        engine.set_timeout_ms(cfg.timeout_ms);
+        engine.advance_to(t0);
+        let probe = MessageSpec {
+            src: InstanceId::from_index(src),
+            dst: InstanceId::from_index(dst),
+            size_kb: cfg.probe_size_kb,
+            kind: 0,
+            token: 0,
+        };
+        let mut remaining = k;
+        let mut budget = cfg.retries_per_pair;
+        let mut successes = 0u64;
+        let mut dark = false;
+        stats.record_attempt(src, dst);
+        let mut sent_at = engine.send(probe);
+        remaining -= 1;
         while let Some(msg) = engine.next_delivery() {
-            let pid = msg.spec.token as usize;
             match msg.spec.kind {
-                0 => {
+                0 if !msg.lost => {
                     engine.send(MessageSpec {
                         src: msg.spec.dst,
                         dst: msg.spec.src,
                         size_kb: cfg.probe_size_kb,
                         kind: 1,
-                        token: msg.spec.token,
+                        token: 0,
                     });
                 }
-                1 => {
-                    let (src, dst) = directed[pid];
-                    stats.record(src, dst, msg.delivered_at - sent_at[pid]);
-                    round_trips += 1;
-                    if remaining[pid] > 0 && engine.now() < limit {
-                        remaining[pid] -= 1;
-                        sent_at[pid] = engine.send(MessageSpec {
-                            src: InstanceId::from_index(src),
-                            dst: InstanceId::from_index(dst),
-                            size_kb: cfg.probe_size_kb,
-                            kind: 0,
-                            token: pid as u64,
-                        });
+                0 | 1 => {
+                    if msg.lost {
+                        stats.record_timeout(src, dst);
+                        if budget > 0 && engine.now() < limit {
+                            budget -= 1;
+                            stats.record_attempt(src, dst);
+                            sent_at = engine.send(probe);
+                        } else if budget == 0 && successes == 0 {
+                            dark = true;
+                        }
+                        continue;
+                    }
+                    stats.record(src, dst, msg.delivered_at - sent_at);
+                    successes += 1;
+                    if remaining > 0 && engine.now() < limit {
+                        remaining -= 1;
+                        stats.record_attempt(src, dst);
+                        sent_at = engine.send(probe);
                     }
                 }
                 other => unreachable!("unexpected message kind {other}"),
             }
         }
-        round_trips
+        (successes, dark, engine.now())
+    }
+
+    /// The per-pair substream seed derivation, transcribed from
+    /// `cloudia_measure`'s schedule-identity keying (SplitMix64 folded
+    /// over `(run seed, sweep, stage, src, dst)`) — duplicated here so a
+    /// silent change to the production derivation breaks the pin.
+    fn substream_seed(seed: u64, sweep: usize, stage: usize, src: usize, dst: usize) -> u64 {
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut z = mix(seed);
+        for v in [sweep as u64, stage as u64, src as u64, dst as u64] {
+            z = mix(z ^ v);
+        }
+        z
     }
 
     /// Executes a per-sweep stage schedule of unordered pairs with the
-    /// staged discipline — the shared shape of the old `Staged` and
-    /// `FocusedScheme` loops.
+    /// staged discipline — the shared shape of the `Staged` and
+    /// `FocusedScheme` drivers: per-pair substream seeds keyed on each
+    /// pair's schedule identity, each pair's timeline independent,
+    /// stage end = latest pair end, one coordination round after every
+    /// executed stage, dark pairs struck from all future stages.
     fn run_stage_schedule(
         net: &Network,
         cfg: &MeasureConfig,
@@ -108,30 +147,46 @@ mod reference {
         sweeps: usize,
         coord_overhead_ms: f64,
     ) -> BatchResult {
-        let mut engine = net.engine(cfg.nic, cfg.seed);
+        let mut now = 0.0f64;
         let mut round_trips = 0u64;
+        let mut struck: HashSet<(u32, u32)> = HashSet::new();
         'outer: for sweep in 0..sweeps {
-            for pairs in stages {
+            for (stage, pairs) in stages.iter().enumerate() {
+                let pairs: Vec<(u32, u32)> = pairs
+                    .iter()
+                    .copied()
+                    .filter(|&(a, b)| !struck.contains(&(a.min(b), a.max(b))))
+                    .collect();
+                // A stage emptied by dark strikes is skipped without a
+                // coordination round.
+                if pairs.is_empty() {
+                    continue;
+                }
                 if let Some(limit) = cfg.max_duration_ms {
-                    if engine.now() >= limit {
+                    if now >= limit {
                         break 'outer;
                     }
                 }
-                let directed: Vec<(usize, usize)> = pairs
-                    .iter()
-                    .map(|&(a, b)| {
-                        if sweep % 2 == 0 {
-                            (a as usize, b as usize)
-                        } else {
-                            (b as usize, a as usize)
-                        }
-                    })
-                    .collect();
-                round_trips += run_stage(&mut engine, &directed, ks, cfg, &mut stats);
-                engine.advance_to(engine.now() + coord_overhead_ms);
+                let mut stage_end = now;
+                for &(a, b) in &pairs {
+                    let (src, dst) = if sweep % 2 == 0 {
+                        (a as usize, b as usize)
+                    } else {
+                        (b as usize, a as usize)
+                    };
+                    let pair_seed = substream_seed(cfg.seed, sweep, stage, src, dst);
+                    let (successes, dark, end) =
+                        run_pair_on_engine(net, cfg, pair_seed, now, src, dst, ks, &mut stats);
+                    round_trips += successes;
+                    stage_end = stage_end.max(end);
+                    if dark {
+                        struck.insert((a.min(b), a.max(b)));
+                    }
+                }
+                now = stage_end + coord_overhead_ms;
             }
         }
-        (stats, round_trips, engine.now())
+        (stats, round_trips, now)
     }
 
     pub fn staged(
@@ -586,6 +641,122 @@ proptest! {
             for b in &pairs {
                 if a.1 < b.1 - 1e-9 {
                     prop_assert!(a.2 < b.2 + 1e-9, "order violated: {:?} vs {:?}", a.0, b.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_stats_match_the_aos_oracle_bit_for_bit(
+        n in 2usize..7,
+        ops in proptest::collection::vec(
+            (0usize..6, 0usize..6, 0u8..3, 0.1f64..50.0),
+            1..400,
+        ),
+    ) {
+        // The SoA refactor contract: the columnar stats plane is an
+        // exact drop-in for the retained array-of-structs estimator —
+        // every per-link statistic and every aggregate is bit-identical
+        // under an arbitrary interleaving of records, attempts, and
+        // timeouts.
+        use cloudia_measure::stats::aos;
+        let mut soa = PairwiseStats::new(n);
+        let mut oracle = aos::PairwiseStats::new(n);
+        for &(src, dst, kind, rtt) in &ops {
+            let (src, dst) = (src % n, dst % n);
+            if src == dst {
+                continue;
+            }
+            match kind {
+                0 => {
+                    soa.record(src, dst, rtt);
+                    oracle.record(src, dst, rtt);
+                }
+                1 => {
+                    soa.record_attempt(src, dst);
+                    oracle.record_attempt(src, dst);
+                }
+                _ => {
+                    soa.record_timeout(src, dst);
+                    oracle.record_timeout(src, dst);
+                }
+            }
+        }
+        let (mut samples, mut attempts, mut timeouts) = (0u64, 0u64, 0u64);
+        let (mut covered, mut attempted) = (0usize, 0usize);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (a, b) = (soa.link(i, j), oracle.link(i, j));
+                prop_assert_eq!(a.count(), b.count(), "({},{}) count", i, j);
+                prop_assert_eq!(a.mean(), b.mean(), "({},{}) mean", i, j);
+                prop_assert_eq!(a.sd(), b.sd(), "({},{}) sd", i, j);
+                prop_assert_eq!(a.mean_plus_sd(), b.mean_plus_sd(), "({},{}) mean+sd", i, j);
+                prop_assert_eq!(a.p99(), b.p99(), "({},{}) p99", i, j);
+                prop_assert_eq!(a.attempts(), b.attempts(), "({},{}) attempts", i, j);
+                prop_assert_eq!(a.timeouts(), b.timeouts(), "({},{}) timeouts", i, j);
+                samples += b.count();
+                attempts += b.attempts();
+                timeouts += b.timeouts();
+                covered += usize::from(b.count() > 0);
+                attempted += usize::from(b.attempts() > 0);
+            }
+        }
+        // The running aggregates (satellite of the same refactor) agree
+        // with a full scan of the oracle.
+        prop_assert_eq!(soa.total_samples(), samples);
+        prop_assert_eq!(soa.total_attempts(), attempts);
+        prop_assert_eq!(soa.total_timeouts(), timeouts);
+        prop_assert_eq!(soa.covered_links(), covered);
+        prop_assert_eq!(soa.attempted_links(), attempted);
+    }
+
+    #[test]
+    fn parallel_stage_execution_is_bit_identical_to_serial(
+        n in 4usize..10,
+        seed in 0u64..100,
+        workers in 2usize..5,
+    ) {
+        // The fan-out contract: per-pair RNG substreams plus the
+        // deterministic completion-order merge make the worker count
+        // invisible in the results — a seeded run is byte-identical at
+        // every `stage_workers` value, including under loss (dark-pair
+        // strikes must replay identically too).
+        let mut net = ec2_network(n, seed);
+        net.set_loss(cloudia_netsim::LossPlane::uniform(n, 0.02));
+        let serial = MeasureConfig { seed, stage_workers: 1, ..MeasureConfig::default() };
+        let fanned = MeasureConfig { seed, stage_workers: workers, ..MeasureConfig::default() };
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(Staged::new(2, 2)),
+            Box::new(FocusedScheme::new(ProbePlan::full(n), 2, 2)),
+            Box::new(TokenPassing::new(2)),
+            Box::new(Uncoordinated::new(10 * (n - 1))),
+        ];
+        for scheme in &schemes {
+            let a = scheme.run(&net, &serial);
+            let b = scheme.run(&net, &fanned);
+            prop_assert_eq!(a.round_trips, b.round_trips, "{}: round trips", scheme.name());
+            prop_assert_eq!(a.elapsed_ms, b.elapsed_ms, "{}: elapsed", scheme.name());
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let (x, y) = (a.stats.link(i, j), b.stats.link(i, j));
+                    prop_assert_eq!(x.count(), y.count(), "{}: ({},{}) count", scheme.name(), i, j);
+                    prop_assert_eq!(x.mean(), y.mean(), "{}: ({},{}) mean", scheme.name(), i, j);
+                    prop_assert_eq!(x.sd(), y.sd(), "{}: ({},{}) sd", scheme.name(), i, j);
+                    prop_assert_eq!(x.p99(), y.p99(), "{}: ({},{}) p99", scheme.name(), i, j);
+                    prop_assert_eq!(
+                        x.attempts(), y.attempts(),
+                        "{}: ({},{}) attempts", scheme.name(), i, j
+                    );
+                    prop_assert_eq!(
+                        x.timeouts(), y.timeouts(),
+                        "{}: ({},{}) timeouts", scheme.name(), i, j
+                    );
                 }
             }
         }

@@ -21,6 +21,19 @@ impl Welford {
         Self::default()
     }
 
+    /// Rebuilds an accumulator from raw `(count, mean, m2)` parts — the
+    /// inverse of [`Welford::parts`]. Columnar stores (one flat array per
+    /// statistic) use this to run the exact same update arithmetic as the
+    /// struct form without holding `Welford` values.
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Self {
+        Self { count, mean, m2 }
+    }
+
+    /// Raw `(count, mean, m2)` parts of the accumulator state.
+    pub fn parts(&self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
     /// Adds one observation.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
@@ -196,6 +209,22 @@ mod tests {
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn welford_parts_round_trip_bit_exactly() {
+        let mut w = Welford::new();
+        let mut r = Welford::from_parts(0, 0.0, 0.0);
+        for x in [1.0, 2.5, 9.0, 0.25, 7.5] {
+            w.record(x);
+            let (c, m, m2) = r.parts();
+            let mut step = Welford::from_parts(c, m, m2);
+            step.record(x);
+            r = step;
+        }
+        assert_eq!(w.parts(), r.parts());
+        assert_eq!(w.mean().to_bits(), r.mean().to_bits());
+        assert_eq!(w.variance().to_bits(), r.variance().to_bits());
     }
 
     #[test]

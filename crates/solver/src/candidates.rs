@@ -375,6 +375,103 @@ impl CandidateSet {
         let pool: Vec<u32> = if pool_size >= m {
             (0..m as u32).collect()
         } else {
+            // The m ≥ 10k hot loop: one contiguous row-major sweep over
+            // the flat count/mean/attempt columns collects every
+            // observed directed link exactly once — no LinkEstimate
+            // views, and crucially no strided per-instance column walk
+            // (a stride-m pass over three 100M-entry columns is
+            // cache-hostile enough to eat the whole refactor). Each hit
+            // prices its link — an attempted-but-answerless direction (a
+            // dark link under packet loss) *is* evidence, not a coverage
+            // gap, and prices as unboundedly expensive so a dark
+            // instance is scored out of the pool instead of
+            // force-included as "unmeasured" — and feeds both endpoints'
+            // incident lists, laid out CSR-style in one flat scratch
+            // buffer. Incident order differs from the per-link view walk
+            // (which the retained `build_partial_reference` still does),
+            // which is invisible: the quantile and the coverage fraction
+            // are order-independent.
+            let count = stats.count_column();
+            let mean = stats.mean_column();
+            let attempts = stats.attempts_column();
+            let mut deg = vec![0u32; m];
+            let mut hits: Vec<(u32, u32, f64)> = Vec::new();
+            for src in 0..m {
+                let row = src * m;
+                let (row_count, row_mean, row_att) =
+                    (&count[row..row + m], &mean[row..row + m], &attempts[row..row + m]);
+                for dst in 0..m {
+                    if dst != src && (row_count[dst] > 0 || row_att[dst] > 0) {
+                        let price = if row_count[dst] > 0 { row_mean[dst] } else { f64::INFINITY };
+                        hits.push((src as u32, dst as u32, price));
+                        deg[src] += 1;
+                        deg[dst] += 1;
+                    }
+                }
+            }
+            let mut off = vec![0usize; m + 1];
+            for j in 0..m {
+                off[j + 1] = off[j] + deg[j] as usize;
+            }
+            let mut cursor = off.clone();
+            let mut flat = vec![0.0f64; off[m]];
+            for &(src, dst, price) in &hits {
+                let (src, dst) = (src as usize, dst as usize);
+                flat[cursor[src]] = price;
+                cursor[src] += 1;
+                flat[cursor[dst]] = price;
+                cursor[dst] += 1;
+            }
+            let mut forced: Vec<u32> = Vec::new();
+            let mut scored: Vec<(f64, u32)> = Vec::new();
+            for j in 0..m {
+                let incident = &mut flat[off[j]..off[j + 1]];
+                let coverage = incident.len() as f64 / (2 * (m - 1)) as f64;
+                if incident.is_empty() || coverage < min_coverage {
+                    // Not enough evidence to exclude this instance.
+                    forced.push(j as u32);
+                } else {
+                    let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;
+                    let (_, q, _) =
+                        incident.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                    scored.push((*q, j as u32));
+                }
+            }
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            let take = pool_size.min(scored.len());
+            let mut pool = forced;
+            pool.extend(scored[..take].iter().map(|&(_, j)| j));
+            pool.sort_unstable();
+            pool
+        };
+
+        Self::assemble(m, n, pool, incumbent, fixed)
+    }
+
+    /// [`CandidateSet::build_partial`] transcribed onto the retained
+    /// array-of-structs estimator, link-view walk and all — the
+    /// pre-refactor hot loop, kept as the differential/perf oracle the
+    /// columnar path races against (`ext_scale`) and is pinned to
+    /// (property tests). Not part of the public API.
+    #[doc(hidden)]
+    pub fn build_partial_reference(
+        num_nodes: usize,
+        stats: &cloudia_measure::stats::aos::PairwiseStats,
+        config: &CandidateConfig,
+        incumbent: Option<&[u32]>,
+        fixed: Option<&[Option<u32>]>,
+        min_coverage: f64,
+    ) -> Self {
+        let n = num_nodes;
+        let m = stats.len();
+        assert!(m >= 2, "need at least two instances");
+        assert!((0.0..=1.0).contains(&config.quantile), "quantile must be in [0, 1]");
+        assert!((0.0..=1.0).contains(&min_coverage), "min_coverage must be in [0, 1]");
+
+        let pool_size = config.pool_size(n, m);
+        let pool: Vec<u32> = if pool_size >= m {
+            (0..m as u32).collect()
+        } else {
             let mut forced: Vec<u32> = Vec::new();
             let mut scored: Vec<(f64, u32)> = Vec::new();
             for j in 0..m {
@@ -385,13 +482,6 @@ impl CandidateSet {
                             if link.count() > 0 {
                                 incident.push(link.mean());
                             } else if link.attempts() > 0 {
-                                // Attempted but never answered — a dark
-                                // link. That *is* evidence, not a
-                                // coverage gap: price the direction as
-                                // unboundedly expensive so a dark
-                                // instance is scored out of the pool
-                                // instead of force-included as
-                                // "unmeasured".
                                 incident.push(f64::INFINITY);
                             }
                         }
@@ -399,7 +489,6 @@ impl CandidateSet {
                 }
                 let coverage = incident.len() as f64 / (2 * (m - 1)) as f64;
                 if incident.is_empty() || coverage < min_coverage {
-                    // Not enough evidence to exclude this instance.
                     forced.push(j as u32);
                 } else {
                     let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;

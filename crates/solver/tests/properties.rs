@@ -359,4 +359,68 @@ proptest! {
             prop_assert!(cs.union().contains(&j), "incumbent {j} fell out of the union");
         }
     }
+
+    #[test]
+    fn columnar_build_partial_matches_the_aos_reference(
+        seed in 0u64..1000,
+        m in 4usize..28,
+        pool_k in 2usize..10,
+        coverage in 0.0f64..1.0,
+        dark in 0.0f64..0.3,
+        min_coverage in 0.0f64..1.0,
+    ) {
+        use cloudia_measure::stats::aos;
+        use cloudia_measure::PairwiseStats;
+        use cloudia_solver::{CandidateConfig, CandidateSet};
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        // The column-streaming pool builder must pick the exact same
+        // pool as the retained array-of-structs walk — including dark
+        // links (attempted, never answered) and coverage-forced
+        // instances — for any partial measurement state.
+        let n = 4usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut soa = PairwiseStats::new(m);
+        let mut oracle = aos::PairwiseStats::new(m);
+        for i in 0..m {
+            for j in 0..m {
+                if i == j {
+                    continue;
+                }
+                let roll = rng.random::<f64>();
+                if roll < dark {
+                    // Dark direction: attempts and timeouts, no sample.
+                    for _ in 0..rng.random_range(1..4usize) {
+                        soa.record_attempt(i, j);
+                        oracle.record_attempt(i, j);
+                        soa.record_timeout(i, j);
+                        oracle.record_timeout(i, j);
+                    }
+                } else if roll < dark + coverage * (1.0 - dark) {
+                    let mean = rng.random_range(0.1..5.0);
+                    for _ in 0..rng.random_range(1..4usize) {
+                        soa.record_attempt(i, j);
+                        oracle.record_attempt(i, j);
+                        soa.record(i, j, mean);
+                        oracle.record(i, j, mean);
+                    }
+                }
+            }
+        }
+        let incumbent: Vec<u32> = (0..n as u32).collect();
+        let config = CandidateConfig::fixed(pool_k);
+        let a = CandidateSet::build_partial(
+            n, &soa, &config, Some(&incumbent), None, min_coverage,
+        );
+        let b = CandidateSet::build_partial_reference(
+            n, &oracle, &config, Some(&incumbent), None, min_coverage,
+        );
+        prop_assert_eq!(a.union(), b.union(), "candidate unions diverged");
+        for v in 0..n {
+            prop_assert_eq!(
+                a.node_candidates(v), b.node_candidates(v),
+                "node {} candidate list diverged", v
+            );
+        }
+    }
 }

@@ -2,6 +2,8 @@
 //! crates: netsim allocation -> staged measurement -> solver search ->
 //! deployment evaluation -> workload execution.
 
+use cloudia::core::advisor::MeasurementPlan;
+use cloudia::measure::MeasureConfig;
 use cloudia::netsim::{Cloud, Provider};
 use cloudia::prelude::*;
 use cloudia::workloads::{AggregationQuery, BehavioralSim, KvStore, Workload};
@@ -97,7 +99,10 @@ fn measured_costs_track_ground_truth_ordering() {
     let mut cloud = Cloud::boot(Provider::ec2_like(), 6);
     let alloc = cloud.allocate(15);
     let net = cloud.network(&alloc);
-    let advisor = Advisor::new(AdvisorConfig::fast());
+    // Half the paper's per-pair depth (Ks = 10): enough samples that the
+    // rank correlation reflects the estimator, not one jitter roll.
+    let measurement = MeasurementPlan { ks: 5, sweeps: 4, config: MeasureConfig::default() };
+    let advisor = Advisor::new(AdvisorConfig { measurement, ..AdvisorConfig::fast() });
     let report = advisor.measure(&net, 0);
 
     let mut truth = Vec::new();
