@@ -63,6 +63,8 @@ fn main() {
         probe_policy: scenario.focused_policy(),
         prune_during_sweep: false,
         spot_check_probes: 0,
+        confidence: None,
+        anytime: false,
     };
     let (focused, recorder) = match args.recorder("ext_focus") {
         Some(rec) => {

@@ -10,6 +10,11 @@
 //!   between stages: pairs whose measured quantiles already prove both
 //!   endpoints outside every node's candidate pool are dropped while the
 //!   sweep is still in flight (deployed/flagged/stale pairs never are);
+//! * **anytime** — the pruned sweeps with the error-bounded layer on: a
+//!   CI-backed prune rule (condemnation requires interval separation,
+//!   not point-estimate separation) plus the anytime early stop that
+//!   ends a stage once every remaining prune/pool decision is CI-stable
+//!   at 95% confidence;
 //! * **focused+pruned** — trigger-driven focused rounds with pruning on
 //!   top, the saved round trips re-invested into deeper sampling of
 //!   flagged links (`probe_ks` escalation).
@@ -22,9 +27,11 @@
 //! In `--smoke` mode the bin **asserts** the PR's acceptance criteria:
 //! the pruned arm saves ≥ 30 % of uniform's probe round trips while its
 //! time-averaged ground-truth deployment cost stays within 2 % of
-//! uniform's, and the telemetry plane's overhead on the measurement hot
-//! path stays within 3 % of the `--no-metrics` baseline. Exits non-zero
-//! otherwise.
+//! uniform's; the anytime arm saves ≥ 20 % *additional* round trips over
+//! the pruned arm while its realized ground-truth cost stays within the
+//! stated error bound (`1 + (1 − confidence)` of uniform's); and the
+//! telemetry plane's overhead on the measurement hot path stays within
+//! 3 % of the `--no-metrics` baseline. Exits non-zero otherwise.
 //!
 //! `--trace PATH` streams the focused+pruned arm's full event history —
 //! plus the final metrics snapshot and span log — into a
@@ -96,11 +103,26 @@ fn main() {
         probe_policy: ProbePolicy::Uniform,
         prune_during_sweep: true,
         spot_check_probes: 0,
+        confidence: None,
+        anytime: false,
+    });
+    // The error-bounded arm: CI-backed pruning plus the anytime early
+    // stop, at this confidence level. Its realized cost bound is
+    // asserted against `1 + (1 - confidence)` under --smoke.
+    let confidence = 0.95;
+    let anytime = built.run_arm_with(ArmOptions {
+        probe_policy: ProbePolicy::Uniform,
+        prune_during_sweep: true,
+        spot_check_probes: 0,
+        confidence: Some(confidence),
+        anytime: true,
     });
     let focused_opts = ArmOptions {
         probe_policy: scenario.focused_policy(),
         prune_during_sweep: true,
         spot_check_probes: 0,
+        confidence: None,
+        anytime: false,
     };
     // With `--trace` the focused+pruned arm streams its full event
     // history into the JSONL trace as it runs.
@@ -113,9 +135,12 @@ fn main() {
     };
 
     println!("policy\tavg_cost_ms\tprobe_round_trips\tsaved\tdeep\tresolves\tmigrations");
-    for (name, arm) in
-        [("uniform", &uniform), ("pruned", &pruned), ("focused+pruned", &focused_pruned)]
-    {
+    for (name, arm) in [
+        ("uniform", &uniform),
+        ("pruned", &pruned),
+        ("anytime", &anytime),
+        ("focused+pruned", &focused_pruned),
+    ] {
         row(&[
             name.to_string(),
             format!("{:.4}", arm.avg_cost),
@@ -132,6 +157,16 @@ fn main() {
         "# pruned sweeps save {:.1}% of uniform's round trips at {:+.2}% cost",
         savings * 100.0,
         (cost_ratio - 1.0) * 100.0
+    );
+    let anytime_extra = 1.0 - anytime.probes as f64 / pruned.probes.max(1) as f64;
+    let anytime_cost_ratio = anytime.avg_cost / uniform.avg_cost.max(f64::MIN_POSITIVE);
+    let error_bound = 1.0 + (1.0 - confidence);
+    println!(
+        "# anytime sweeps save a further {:.1}% of pruned's round trips at {:+.2}% cost \
+         (bound {:+.2}%)",
+        anytime_extra * 100.0,
+        (anytime_cost_ratio - 1.0) * 100.0,
+        (error_bound - 1.0) * 100.0
     );
     println!(
         "# focused+pruned spends {:.1}% of uniform's budget, {} round trips re-invested deep",
@@ -163,9 +198,13 @@ fn main() {
         .field("epochs", scenario.epochs())
         .field("uniform", arm_json(&uniform))
         .field("pruned", arm_json(&pruned))
+        .field("anytime", arm_json(&anytime))
         .field("focused_pruned", arm_json(&focused_pruned))
         .field("savings", savings)
         .field("cost_ratio", cost_ratio)
+        .field("confidence", confidence)
+        .field("anytime_savings_vs_pruned", anytime_extra)
+        .field("anytime_cost_ratio", anytime_cost_ratio)
         .field("telemetry_overhead_ratio", overhead_ratio);
     match write_bench_json("ext_sweep", payload.clone()) {
         Ok(path) => println!("# wrote {}", path.display()),
@@ -203,6 +242,22 @@ fn main() {
         if pruned.saved_round_trips == 0 {
             failures.push("the pruned arm never reported mid-sweep savings".to_string());
         }
+        if anytime_extra < 0.20 {
+            failures.push(format!(
+                "anytime sweeps saved only {:.1}% additional round trips over pruned (< 20%)",
+                anytime_extra * 100.0
+            ));
+        }
+        if anytime_cost_ratio > error_bound {
+            failures.push(format!(
+                "anytime time-averaged cost {:.4} is {:.2}% above uniform's {:.4}, outside the \
+                 {:.0}% error bound",
+                anytime.avg_cost,
+                (anytime_cost_ratio - 1.0) * 100.0,
+                uniform.avg_cost,
+                (error_bound - 1.0) * 100.0
+            ));
+        }
         if overhead_ratio > 1.03 {
             failures.push(format!(
                 "telemetry overhead {:.2}% on staged sweeps exceeds 3%",
@@ -216,8 +271,8 @@ fn main() {
             std::process::exit(1);
         }
         println!(
-            "# smoke OK: >= 30% round trips saved, cost within 2% of full sweeps, \
-             telemetry overhead within 3%"
+            "# smoke OK: >= 30% round trips saved, cost within 2% of full sweeps, anytime \
+             saves >= 20% more within its error bound, telemetry overhead within 3%"
         );
     }
 }

@@ -39,7 +39,10 @@ impl LatencyMetric {
 
     /// Extracts the cost matrix under this metric from measurement
     /// statistics, reporting corrupt estimates (NaN/negative) as an error
-    /// instead of aborting.
+    /// instead of aborting. An attempted-but-never-answered link prices
+    /// as `+∞` (a legal cost every ranking pushes away from); a link that
+    /// was never even attempted has no honest price at all and surfaces
+    /// as [`CostError::Unmeasured`].
     pub fn try_cost_matrix(self, stats: &PairwiseStats) -> Result<CostMatrix, CostError> {
         match self {
             LatencyMetric::Mean => stats.mean_matrix(),
@@ -48,10 +51,13 @@ impl LatencyMetric {
         }
     }
 
-    /// [`LatencyMetric::try_cost_matrix`] for trusted statistics.
+    /// [`LatencyMetric::try_cost_matrix`] for trusted statistics —
+    /// i.e. a sweep known to have attempted every pair, so
+    /// [`CostError::Unmeasured`] cannot legitimately occur.
     ///
     /// # Panics
-    /// Panics if an estimate is not a finite non-negative latency.
+    /// Panics if an estimate is NaN or negative, or if a link was never
+    /// attempted.
     pub fn cost_matrix(self, stats: &PairwiseStats) -> CostMatrix {
         self.try_cost_matrix(stats).expect("measurement produced an invalid cost matrix")
     }

@@ -9,8 +9,10 @@
 //! scales the candidate-pruned solvers open up, that difference is the
 //! whole memory budget.
 //!
-//! Construction validates once (square, finite, non-negative off the
-//! diagonal; the diagonal is forced to zero) and the result is immutable;
+//! Construction validates once (square, non-NaN, non-negative off the
+//! diagonal — `+∞` is legal and means "measurably unreachable", the
+//! price a dark link carries; the diagonal is forced to zero) and the
+//! result is immutable;
 //! mutation happens through [`CostBuilder`] before freezing or through
 //! [`CostMatrix::map`], which allocates a fresh arena.
 //!
@@ -36,7 +38,7 @@ pub enum CostError {
         /// Entries supplied.
         got: usize,
     },
-    /// An off-diagonal cost is negative, NaN, or infinite.
+    /// An off-diagonal cost is negative or NaN.
     Value {
         /// Row (source instance).
         i: usize,
@@ -44,6 +46,17 @@ pub enum CostError {
         j: usize,
         /// The offending value.
         value: f64,
+    },
+    /// A link was never attempted, so no cost — not even `+∞` — can
+    /// honestly be assigned to it. Raised by partial-statistics
+    /// extractors (`LatencyMetric::try_cost_matrix` over focused or
+    /// pruned sweeps), never by the builder itself: the builder cannot
+    /// distinguish "never attempted" from "measured at zero".
+    Unmeasured {
+        /// Row (source instance).
+        i: usize,
+        /// Column (destination instance).
+        j: usize,
     },
 }
 
@@ -54,7 +67,10 @@ impl std::fmt::Display for CostError {
                 write!(f, "cost matrix needs {expected} entries, got {got}")
             }
             CostError::Value { i, j, value } => {
-                write!(f, "cost[{i}][{j}] = {value} is not a finite non-negative latency")
+                write!(f, "cost[{i}][{j}] = {value} is not a non-negative latency")
+            }
+            CostError::Unmeasured { i, j } => {
+                write!(f, "cost[{i}][{j}] was never attempted; no estimate exists")
             }
         }
     }
@@ -78,7 +94,9 @@ pub struct CostMatrix {
 impl CostMatrix {
     /// Validates and freezes a flat row-major buffer of `m × m` entries.
     /// Diagonal entries are forced to zero; off-diagonal entries must be
-    /// finite and non-negative.
+    /// non-NaN and non-negative. `+∞` is accepted: it prices a link that
+    /// was attempted and never answered (the dark-link rule), which every
+    /// ranking consumer naturally pushes away from.
     pub fn try_from_flat(m: usize, mut data: Vec<f64>) -> Result<Self, CostError> {
         if data.len() != m * m {
             return Err(CostError::Size { expected: m * m, got: data.len() });
@@ -87,7 +105,7 @@ impl CostMatrix {
             data[i * m + i] = 0.0;
             for j in 0..m {
                 let c = data[i * m + j];
-                if i != j && !(c.is_finite() && c >= 0.0) {
+                if i != j && (c.is_nan() || c < 0.0) {
                     return Err(CostError::Value { i, j, value: c });
                 }
             }
@@ -107,7 +125,7 @@ impl CostMatrix {
     /// pair (`f` is never called on the diagonal, which stays zero).
     ///
     /// # Panics
-    /// Panics if `f` produces a negative or non-finite cost.
+    /// Panics if `f` produces a negative or NaN cost.
     pub fn from_fn(m: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
         let mut data = vec![0.0; m * m];
         for i in 0..m {
@@ -351,8 +369,25 @@ mod tests {
     #[test]
     fn builder_freeze_reports_bad_values() {
         let mut b = CostMatrix::builder(2);
-        b.set(0, 1, f64::INFINITY);
+        b.set(0, 1, f64::NAN);
         assert!(matches!(b.freeze(), Err(CostError::Value { i: 0, j: 1, .. })));
+    }
+
+    #[test]
+    fn infinite_costs_are_legal_dark_link_prices() {
+        // +∞ prices an attempted-but-unanswered link; the plane must
+        // carry it so partial extractors can push solvers away from
+        // darkness instead of rejecting the whole matrix.
+        let mut b = CostMatrix::builder(3);
+        b.set(0, 1, f64::INFINITY);
+        b.set(1, 0, 2.0);
+        let c = b.freeze().expect("+inf must validate");
+        assert_eq!(c.get(0, 1), f64::INFINITY);
+        assert_eq!(c.get(1, 0), 2.0);
+        // Negative infinity stays rejected.
+        let mut b = CostMatrix::builder(2);
+        b.set(1, 0, f64::NEG_INFINITY);
+        assert!(matches!(b.freeze(), Err(CostError::Value { i: 1, j: 0, .. })));
     }
 
     #[test]

@@ -159,6 +159,123 @@ pub fn run_pruned<S: Scheme + ?Sized>(
     PrunedReport { report: driver.finish(), dropped_pairs: dropped.len(), saved_round_trips }
 }
 
+/// An anytime stopping policy, evaluated between stages by
+/// [`run_anytime`].
+///
+/// Where a [`PruneRule`] condemns individual pairs, a `StopRule` ends the
+/// *whole stage schedule* early: once the partial statistics prove that
+/// every remaining prune/pool decision is already settled — every
+/// candidate confidence interval separated from every non-candidate's —
+/// further probing cannot change any downstream verdict, so the sweep may
+/// stop and bank the remaining round trips. The concrete rule in
+/// `cloudia-solver` (`CiStopRule`) demands CI separation at a stated
+/// confidence, which is what bounds the realized error of acting on the
+/// truncated measurement.
+pub trait StopRule {
+    /// True once the partial statistics make every remaining decision
+    /// stable — additional samples can no longer flip a verdict at the
+    /// rule's confidence level.
+    fn stable(&self, stats: &PairwiseStats, remaining: &[(u32, u32)]) -> bool;
+
+    /// Pairs that must keep probing even after stability fires (e.g.
+    /// deployed links that feed change detectors). Default: none.
+    fn must_keep(&self, a: u32, b: u32) -> bool {
+        let _ = (a, b);
+        false
+    }
+}
+
+/// What [`run_anytime`] produced: the pruning ledger plus whether the
+/// stop rule fired before the schedule ran dry.
+#[derive(Debug, Clone)]
+pub struct AnytimeReport {
+    /// The measurement report (identical in shape to a batch run's).
+    pub report: MeasurementReport,
+    /// Distinct unordered pairs dropped mid-sweep (pruned or stopped).
+    pub dropped_pairs: usize,
+    /// Estimated round trips saved by pruning plus the early stop.
+    pub saved_round_trips: u64,
+    /// True if the stop rule declared stability before the schedule was
+    /// exhausted.
+    pub stopped_early: bool,
+}
+
+/// Drives `scheme` like [`run_pruned`], additionally ending the sweep as
+/// soon as `stop` declares every remaining decision stable. On stop, all
+/// remaining pairs except [`StopRule::must_keep`] ones are dropped and
+/// the driver runs out the (now skeletal) schedule. With a stop rule that
+/// never fires this is bit-identical to [`run_pruned`]; with a rule that
+/// never fires *and* a prune rule that never condemns, bit-identical to
+/// [`crate::Scheme::run_onto`].
+pub fn run_anytime<S: Scheme + ?Sized>(
+    scheme: &S,
+    net: &Network,
+    cfg: &MeasureConfig,
+    stats: PairwiseStats,
+    rule: &dyn PruneRule,
+    stop: &dyn StopRule,
+) -> AnytimeReport {
+    let mut driver = scheme.driver(net, cfg, stats);
+    let mut dropped: HashSet<(u32, u32)> = HashSet::new();
+    let mut saved_round_trips = 0u64;
+    let mut stopped_early = false;
+    loop {
+        if !stopped_early && driver.stats().total_samples() > 0 {
+            let remaining = driver.remaining_pairs();
+            if !remaining.is_empty() {
+                if stop.stable(driver.stats(), &remaining) {
+                    // Stability: every verdict is settled. Drop all
+                    // non-essential probing and run out the skeleton.
+                    stopped_early = true;
+                    let saved = driver.retain_pairs(&mut |a, b| stop.must_keep(a, b));
+                    saved_round_trips += saved;
+                    let before = dropped.len();
+                    dropped.extend(
+                        remaining
+                            .iter()
+                            .map(|&(a, b)| norm_pair(a, b))
+                            .filter(|&(a, b)| !stop.must_keep(a, b)),
+                    );
+                    cloudia_obs::counters(&[
+                        ("sweep.anytime.stopped_early", 1),
+                        ("sweep.anytime.dropped_pairs", (dropped.len() - before) as u64),
+                        ("sweep.anytime.saved_round_trips", saved),
+                    ]);
+                } else {
+                    let condemned = rule.prune(driver.stats(), &remaining);
+                    if !condemned.is_empty() {
+                        let drop: HashSet<(u32, u32)> =
+                            condemned.into_iter().map(|(a, b)| norm_pair(a, b)).collect();
+                        let saved =
+                            driver.retain_pairs(&mut |a, b| !drop.contains(&norm_pair(a, b)));
+                        saved_round_trips += saved;
+                        let before = dropped.len();
+                        dropped.extend(
+                            remaining
+                                .iter()
+                                .map(|&(a, b)| norm_pair(a, b))
+                                .filter(|key| drop.contains(key)),
+                        );
+                        cloudia_obs::counters(&[
+                            ("sweep.prune.dropped_pairs", (dropped.len() - before) as u64),
+                            ("sweep.prune.saved_round_trips", saved),
+                        ]);
+                    }
+                }
+            }
+        }
+        if !driver.step() {
+            break;
+        }
+    }
+    AnytimeReport {
+        report: driver.finish(),
+        dropped_pairs: dropped.len(),
+        saved_round_trips,
+        stopped_early,
+    }
+}
+
 /// The shared driver of the stage-scheduled schemes ([`crate::Staged`]
 /// and [`crate::FocusedScheme`]): a fixed per-sweep schedule of
 /// endpoint-disjoint stages, executed with the common stage protocol
@@ -553,6 +670,60 @@ mod tests {
         let report = driver.finish();
         assert_eq!(report.stats.link(0, 1).count() + report.stats.link(1, 0).count(), 0);
         assert!(report.stats.link(0, 2).count() > 0);
+    }
+
+    struct NeverStable;
+    impl StopRule for NeverStable {
+        fn stable(&self, _: &PairwiseStats, _: &[(u32, u32)]) -> bool {
+            false
+        }
+    }
+
+    /// Declares stability as soon as any samples exist, keeping one pair.
+    struct StopKeeping(u32, u32);
+    impl StopRule for StopKeeping {
+        fn stable(&self, _: &PairwiseStats, _: &[(u32, u32)]) -> bool {
+            true
+        }
+        fn must_keep(&self, a: u32, b: u32) -> bool {
+            norm_pair(a, b) == norm_pair(self.0, self.1)
+        }
+    }
+
+    #[test]
+    fn anytime_with_inert_rules_is_bit_identical_to_run_onto() {
+        let net = network(7, 2);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(2, 2);
+        let batch = scheme.run(&net, &cfg);
+        let anytime =
+            run_anytime(&scheme, &net, &cfg, PairwiseStats::new(7), &KeepAll, &NeverStable);
+        assert!(!anytime.stopped_early);
+        assert_eq!(anytime.dropped_pairs, 0);
+        assert_eq!(anytime.saved_round_trips, 0);
+        assert_eq!(anytime.report.round_trips, batch.round_trips);
+        assert_eq!(anytime.report.elapsed_ms, batch.elapsed_ms);
+        assert_eq!(anytime.report.stats.mean_vector(), batch.stats.mean_vector());
+    }
+
+    #[test]
+    fn anytime_stop_drops_everything_but_must_keep_pairs() {
+        let net = network(6, 3);
+        let cfg = MeasureConfig::default();
+        let scheme = Staged::new(3, 2);
+        let full = scheme.run(&net, &cfg);
+        let anytime =
+            run_anytime(&scheme, &net, &cfg, PairwiseStats::new(6), &KeepAll, &StopKeeping(0, 1));
+        assert!(anytime.stopped_early);
+        assert!(anytime.saved_round_trips > 0);
+        assert!(anytime.report.round_trips < full.round_trips);
+        // The kept pair still completed its full probe quota: 3 round
+        // trips per sweep over 2 sweeps (minus any that ran before the
+        // stop fired — so at least the post-stop sweeps' worth).
+        let kept =
+            anytime.report.stats.link(0, 1).count() + anytime.report.stats.link(1, 0).count();
+        assert!(kept > 0, "must_keep pair was dropped");
+        assert_eq!(kept, full.stats.link(0, 1).count() + full.stats.link(1, 0).count());
     }
 
     #[test]

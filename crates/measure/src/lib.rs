@@ -47,6 +47,7 @@
 #![deny(unsafe_code)]
 
 pub mod approx;
+pub mod ci;
 pub mod driver;
 pub mod error;
 pub mod focused;
@@ -56,7 +57,10 @@ pub mod stats;
 pub mod token;
 pub mod uncoordinated;
 
-pub use driver::{run_pruned, PruneRule, PrunedReport, SweepDriver};
+pub use ci::{t_critical, LinkCi};
+pub use driver::{
+    run_anytime, run_pruned, AnytimeReport, PruneRule, PrunedReport, StopRule, SweepDriver,
+};
 pub use focused::{FocusedScheme, ProbePlan};
 pub use scheme::{MeasureConfig, MeasurementReport, Scheme, Snapshot};
 pub use staged::Staged;

@@ -25,6 +25,8 @@
 
 use cloudia_netsim::cost::{CostError, CostMatrix};
 
+use crate::ci::LinkCi;
+
 // The Welford and P² sketches moved to `cloudia-obs` (the telemetry
 // plane reuses them for histogram snapshots); re-exported here so the
 // measurement plane's original users keep their import paths.
@@ -286,9 +288,15 @@ impl PairwiseStats {
     }
 
     /// Matrix of mean estimates (diagonal 0), streamed straight from the
-    /// mean column into the shared flat [`CostMatrix`] arena. Returns an
-    /// error if any estimate is not a finite non-negative latency
-    /// (corrupt measurement data).
+    /// mean column into the shared flat [`CostMatrix`] arena.
+    ///
+    /// Unmeasured links never price as free: a link probed but never
+    /// answered (`attempts > 0`, `count == 0`) prices as `+∞` — the same
+    /// dark-link rule `build_partial` applies — and a link never even
+    /// attempted surfaces as [`CostError::Unmeasured`] instead of a
+    /// silent `0.0` the solver would actively prefer. Full-sweep callers
+    /// (every link covered) are unaffected. Also errors if any estimate
+    /// is NaN or negative (corrupt measurement data).
     pub fn mean_matrix(&self) -> Result<CostMatrix, CostError> {
         self.matrix_from(|idx| self.mean[idx])
     }
@@ -312,15 +320,69 @@ impl PairwiseStats {
         })
     }
 
+    /// The t-interval confidence bound on the mean of the directed link
+    /// `src → dst`, built from the Welford columns with censored-data
+    /// widening from the probe ledger. Fewer than two samples yield an
+    /// unbounded interval — see [`LinkCi`].
+    pub fn ci(&self, src: usize, dst: usize, confidence: f64) -> LinkCi {
+        let idx = self.idx(src, dst);
+        LinkCi::from_parts(
+            self.count[idx],
+            self.mean[idx],
+            self.m2[idx],
+            self.attempts[idx],
+            self.timeouts[idx],
+            confidence,
+        )
+    }
+
+    /// Read-time CI matrix: one [`LinkCi`] per ordered pair, row-major
+    /// (`src * n + dst`), streamed straight from the columns. Diagonal
+    /// entries are the exact zero interval (a node's latency to itself
+    /// is 0 by definition, not by measurement).
+    pub fn ci_matrix(&self, confidence: f64) -> Vec<LinkCi> {
+        let mut out = Vec::with_capacity(self.n * self.n);
+        for i in 0..self.n {
+            let row = i * self.n;
+            for j in 0..self.n {
+                if i == j {
+                    out.push(LinkCi::exact(0.0, confidence));
+                } else {
+                    let idx = row + j;
+                    out.push(LinkCi::from_parts(
+                        self.count[idx],
+                        self.mean[idx],
+                        self.m2[idx],
+                        self.attempts[idx],
+                        self.timeouts[idx],
+                        confidence,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// Builds a cost matrix by streaming a per-link-index function over
-    /// the columns row by row — no `LinkEstimate` view per cell.
+    /// the columns row by row — no `LinkEstimate` view per cell. The
+    /// estimate function is only consulted for links with at least one
+    /// sample; unmeasured links take the dark-link price (`+∞`) when
+    /// probed and error out when never attempted.
     fn matrix_from(&self, f: impl Fn(usize) -> f64) -> Result<CostMatrix, CostError> {
         let mut b = CostMatrix::builder(self.n);
         for i in 0..self.n {
             let row = i * self.n;
             for j in 0..self.n {
                 if i != j {
-                    b.set(i, j, f(row + j));
+                    let idx = row + j;
+                    let cost = if self.count[idx] > 0 {
+                        f(idx)
+                    } else if self.attempts[idx] > 0 {
+                        f64::INFINITY
+                    } else {
+                        return Err(CostError::Unmeasured { i, j });
+                    };
+                    b.set(i, j, cost);
                 }
             }
         }
@@ -642,6 +704,58 @@ mod tests {
         let m = s.mean_matrix().unwrap();
         assert_eq!(m.get(0, 0), 0.0);
         assert_eq!(m.get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn unmeasured_links_never_price_cheaper_than_measured_ones() {
+        // Focused/partial stats: links (0,1) and (1,0) measured, link
+        // (0,2)/(2,0) probed but dark, everything else never attempted.
+        let mut s = PairwiseStats::new(3);
+        s.record(0, 1, 7.5);
+        s.record(0, 1, 8.5);
+        s.record(1, 0, 9.0);
+        s.record_attempt(0, 2);
+        s.record_timeout(0, 2);
+        s.record_attempt(2, 0);
+        s.record_timeout(2, 0);
+        // A never-attempted link is an error, not a silent 0.0.
+        assert!(matches!(s.mean_matrix(), Err(CostError::Unmeasured { i: 1, j: 2 })));
+        // Complete the probe ledger: every remaining link attempted-dark.
+        s.record_attempt(1, 2);
+        s.record_attempt(2, 1);
+        let m = s.mean_matrix().unwrap();
+        let cheapest_measured = m.get(0, 1).min(m.get(1, 0));
+        for (i, j) in [(0, 2), (2, 0), (1, 2), (2, 1)] {
+            assert_eq!(m.get(i, j), f64::INFINITY);
+            assert!(m.get(i, j) > cheapest_measured, "unmeasured ({i},{j}) priced cheaper");
+        }
+        // Same rule under the other metrics.
+        assert_eq!(s.mean_plus_sd_matrix().unwrap().get(0, 2), f64::INFINITY);
+        assert_eq!(s.p99_matrix().unwrap().get(2, 1), f64::INFINITY);
+    }
+
+    #[test]
+    fn ci_accessor_matches_columns_and_matrix() {
+        let mut s = PairwiseStats::new(3);
+        for x in [4.0, 5.0, 6.0, 5.0, 4.5, 5.5] {
+            s.record(0, 1, x);
+            s.record_attempt(0, 1);
+        }
+        s.record(1, 0, 3.0);
+        let ci = s.ci(0, 1, 0.95);
+        assert_eq!(ci.count(), 6);
+        assert!(ci.bounded());
+        assert!(ci.covers(5.0));
+        assert!(ci.lower() > 0.0 && ci.upper() < 50.0);
+        // One sample: unbounded, per the count < 2 rule.
+        assert!(!s.ci(1, 0, 0.95).bounded());
+        // Unprobed: unbounded with zero mean.
+        assert!(!s.ci(2, 1, 0.95).bounded());
+        // The flat matrix agrees cell-for-cell and pins the diagonal.
+        let m = s.ci_matrix(0.95);
+        assert_eq!(m.len(), 9);
+        assert_eq!(m[1], ci);
+        assert_eq!(m[0], crate::ci::LinkCi::exact(0.0, 0.95));
     }
 
     #[test]

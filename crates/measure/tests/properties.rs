@@ -395,6 +395,58 @@ proptest! {
     }
 
     #[test]
+    fn t_intervals_cover_the_true_mean_on_at_least_90pct_of_links(
+        m in 10usize..13,
+        seed in 0u64..1000,
+        samples in 8usize..40,
+    ) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+
+        // Every directed link gets `samples` Gaussian observations
+        // around its own true mean; the 95% t-interval must cover that
+        // frozen truth on at least 90% of links (the exact rate is 95%,
+        // so 90% leaves room for sampling noise across 100+ links).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut truth = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    truth[i * m + j] = rng.random_range(0.5..3.0);
+                }
+            }
+        }
+        let mut stats = PairwiseStats::new(m);
+        for _ in 0..samples {
+            for i in 0..m {
+                for j in 0..m {
+                    if i != j {
+                        let (u1, u2): (f64, f64) = (rng.random::<f64>().max(1e-12), rng.random());
+                        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                        stats.record(i, j, truth[i * m + j] + 0.1 * z);
+                    }
+                }
+            }
+        }
+        let links = m * (m - 1);
+        let mut covered = 0usize;
+        for i in 0..m {
+            for j in 0..m {
+                if i != j {
+                    let ci = stats.ci(i, j, 0.95);
+                    prop_assert!(ci.bounded());
+                    if ci.covers(truth[i * m + j]) {
+                        covered += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            covered as f64 >= 0.90 * links as f64,
+            "95% intervals covered the frozen truth on only {covered}/{links} links"
+        );
+    }
+
+    #[test]
     fn all_schemes_cover_links_and_stay_positive(n in 3usize..8, seed in 0u64..100) {
         let net = quiet_network(n, seed);
         let cfg = MeasureConfig { seed, ..MeasureConfig::default() };

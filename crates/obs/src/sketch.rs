@@ -104,13 +104,19 @@ impl P2Quantile {
         }
     }
 
-    /// Adds one observation.
+    /// Adds one observation. Non-finite samples are rejected (dropped):
+    /// a NaN folded into the marker heights would poison every later
+    /// comparison, and an infinity would wedge the extreme markers.
     pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "P2Quantile::record fed a non-finite sample: {x}");
+        if !x.is_finite() {
+            return;
+        }
         if self.count < 5 {
             self.heights[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.heights.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.heights.sort_by(f64::total_cmp);
             }
             return;
         }
@@ -179,7 +185,7 @@ impl P2Quantile {
         }
         if self.count <= 5 {
             let mut v: Vec<f64> = self.heights[..self.count.min(5)].to_vec();
-            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v.sort_by(f64::total_cmp);
             let idx = ((self.count as f64 * self.q).ceil() as usize).clamp(1, self.count) - 1;
             return v[idx];
         }

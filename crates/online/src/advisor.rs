@@ -14,10 +14,13 @@
 //! curve.
 
 use cloudia_core::{CommGraph, CostMatrix, Deployment, Objective, RedeployPolicy};
-use cloudia_measure::{FocusedScheme, ProbePlan};
+use cloudia_measure::{FocusedScheme, ProbePlan, PruneRule, Scheme};
 use cloudia_netsim::Network;
 use cloudia_obs::{RingLog, RunRecorder};
-use cloudia_solver::{AdaptivePool, CandidateConfig, CandidatePruneRule, CandidateSet, PoolPolicy};
+use cloudia_solver::{
+    AdaptivePool, CandidateConfig, CandidatePruneRule, CandidateSet, CiPruneRule, CiStopRule,
+    PoolPolicy,
+};
 
 use crate::detect::{DetectorConfig, Drift};
 use crate::repair::{evacuate_resolve, incremental_resolve, RepairConfig};
@@ -161,6 +164,29 @@ pub struct OnlineAdvisorConfig {
     /// against the same lossy ground truth (the cost curve still prices
     /// loss — the world is lossy whether or not the advisor believes it).
     pub loss_aware: bool,
+    /// Confidence level in (0, 1) for the error-bounded decision layer
+    /// (`None` disables it — the default, preserving the point-estimate
+    /// loop bit for bit). When set, three decision sites start consuming
+    /// confidence intervals instead of point estimates:
+    /// mid-sweep pruning swaps the quantile-threshold
+    /// [`CandidatePruneRule`] for a [`cloudia_solver::CiPruneRule`] that
+    /// condemns a pair only when its CI *lower* bound sits provably
+    /// outside every candidate pool; detector alarms must clear the
+    /// link's CI half-width ([`OnlineStore::mean_half_width`]) before
+    /// they count as degradations/opportunities (unseparated alarms are
+    /// still logged and still focus probes — they just cannot trigger
+    /// redeployment economics); and a repair must clear the min-gain bar
+    /// *plus* the widest deployed-link half-width, so a migration is
+    /// never bought with a gain the measurement error could explain.
+    pub confidence: Option<f64>,
+    /// Anytime sweeps (requires `confidence` and `prune_during_sweep`):
+    /// epoch sweeps stop a stage early once every remaining prune/pool
+    /// decision is CI-stable — each instance provably in or provably out
+    /// of every pool at the configured confidence (see
+    /// [`cloudia_solver::CiStopRule`] and
+    /// [`cloudia_measure::run_anytime`]). Rounds saved land in the same
+    /// `saved_round_trips` ledger pruning uses. Off by default.
+    pub anytime: bool,
     /// Capacity of the in-memory event ring ([`OnlineAdvisor::events`]):
     /// once full, the oldest events are evicted (the ring reports how
     /// many). 0 keeps every event forever — the pre-telemetry behaviour,
@@ -193,6 +219,8 @@ impl Default for OnlineAdvisorConfig {
             record_triggers: false,
             timeout_ms: cloudia_netsim::DEFAULT_TIMEOUT_MS,
             loss_aware: true,
+            confidence: None,
+            anytime: false,
             event_capacity: DEFAULT_EVENT_CAPACITY,
         }
     }
@@ -697,6 +725,96 @@ impl OnlineAdvisor {
         Some(rule)
     }
 
+    /// The CI-backed prune rule for the next epoch, or `None` unless
+    /// both `prune_during_sweep` and `confidence` are set. Same
+    /// protections as [`OnlineAdvisor::sweep_prune_rule`] (deployed
+    /// links, fresh detector flags, staleness refreshes), but condemns
+    /// only pairs whose CI *upper/lower bounds* — not point quantiles —
+    /// prove both endpoints outside every candidate pool. A one-sample
+    /// or dark link has an unbounded interval and can never be
+    /// condemned.
+    pub fn sweep_ci_prune_rule(&self) -> Option<CiPruneRule> {
+        if !self.config.prune_during_sweep {
+            return None;
+        }
+        let confidence = self.config.confidence?;
+        let pool_config = self
+            .effective_candidates()
+            .unwrap_or_else(|| CandidateConfig::fixed(2 * self.graph.num_nodes()));
+        // The indifference margin mirrors the anytime error bound: an
+        // ε-tie at the pool boundary costs at most what the contract
+        // already concedes, so it may be settled rather than probed
+        // forever.
+        let mut rule = CiPruneRule::new(self.graph.num_nodes(), pool_config, confidence)
+            .with_tolerance(1.0 - confidence)
+            .with_incumbent(&self.deployment);
+        for &(a, b) in self.graph.edges() {
+            rule.protect_pair(self.deployment[a as usize], self.deployment[b as usize]);
+        }
+        for &(src, dst) in &self.recent_flags {
+            rule.protect_pair(src, dst);
+        }
+        let horizon = match self.config.probe_policy {
+            ProbePolicy::Focused { refresh_every, .. } => refresh_every,
+            ProbePolicy::Uniform => self.config.prune_refresh_every.max(1),
+        };
+        for (a, b) in self.store.stale_pairs(self.planning_epoch, horizon) {
+            rule.protect_pair(a, b);
+        }
+        Some(rule)
+    }
+
+    /// The anytime stop rule for the next epoch, or `None` unless
+    /// `anytime`, `confidence`, and `prune_during_sweep` are all set:
+    /// the sweep may end a stage early only once every instance is
+    /// provably inside or outside every candidate pool at the configured
+    /// confidence — or a sweep-equivalent of fresh samples moved no
+    /// verdict ([`CiStopRule`]). After the stop fires, only deployed and
+    /// recently flagged links keep probing (they feed the change
+    /// detectors every epoch); pairs protected merely for *staleness*
+    /// are not kept at depth, because the plateau cannot fire before a
+    /// sweep-equivalent of fresh samples — their refresh included — has
+    /// already landed.
+    pub fn sweep_stop_rule(&self) -> Option<CiStopRule> {
+        if !self.config.anytime {
+            return None;
+        }
+        let rule = self.sweep_ci_prune_rule()?;
+        let mut keep: Vec<(u32, u32)> = self
+            .graph
+            .edges()
+            .iter()
+            .map(|&(a, b)| (self.deployment[a as usize], self.deployment[b as usize]))
+            .collect();
+        keep.extend(self.recent_flags.iter().copied());
+        Some(CiStopRule::new(rule).with_must_keep(keep))
+    }
+
+    /// The widest *finite* CI half-width across the links the current
+    /// deployment actually uses (both directions), at the configured
+    /// confidence — the uncertainty floor a repair's estimated gain must
+    /// clear on top of the relative min-gain bar. 0 when `confidence` is
+    /// unset (the legacy point-estimate economics) or when no deployed
+    /// link has a bounded interval yet (nothing quantified, nothing to
+    /// charge: the existing cooldown and min-gain bars still apply).
+    fn deployed_ci_margin(&self) -> f64 {
+        let Some(conf) = self.config.confidence else {
+            return 0.0;
+        };
+        let mut margin: f64 = 0.0;
+        for &(a, b) in self.graph.edges() {
+            let i = self.deployment[a as usize] as usize;
+            let j = self.deployment[b as usize] as usize;
+            for (s, d) in [(i, j), (j, i)] {
+                let hw = self.store.mean_half_width(s, d, conf);
+                if hw.is_finite() {
+                    margin = margin.max(hw);
+                }
+            }
+        }
+        margin
+    }
+
     /// `probe_ks` escalation: raises the flagged links' per-pair quota in
     /// `scheme` so the extra round trips consume (up to) what the last
     /// epoch's pruning saved, instead of banking the savings. Skipped
@@ -923,8 +1041,19 @@ impl OnlineAdvisor {
                 });
                 continue;
             }
+            // CI gating: with a confidence level set, an alarm whose
+            // shift sits inside the link's own interval is
+            // indistinguishable from sampling noise — log it (and let it
+            // focus next epoch's probes via `recent_flags`), but do not
+            // let it reach the redeployment economics. More data either
+            // separates the shift (a later alarm fires gated-through) or
+            // the EWMA absorbs it.
+            let separated = self.config.confidence.is_none_or(|conf| {
+                (c.mean - c.baseline).abs()
+                    > self.store.mean_half_width(c.src as usize, c.dst as usize, conf)
+            });
             match c.drift {
-                Drift::Up if on_deployed => {
+                Drift::Up if on_deployed && separated => {
                     // Spot-check path: confirm the suspicious link with a
                     // handful of fresh probes before letting it trigger a
                     // repair. The shift is confirmed when the fresh mean
@@ -959,7 +1088,7 @@ impl OnlineAdvisor {
                         degradation = true;
                     }
                 }
-                Drift::Down if !on_deployed => opportunity = true,
+                Drift::Down if !on_deployed && separated => opportunity = true,
                 _ => {}
             }
             self.push_event(OnlineEvent::Change {
@@ -1068,9 +1197,15 @@ impl OnlineAdvisor {
             cloudia_obs::observe("online.resolve_seconds", repair.solve_seconds);
             let est_gain = repair.incumbent_cost - repair.cost;
             let amortized = self.config.policy.migration_cost_per_node * repair.moved as f64;
+            // With a confidence level set, the estimated gain must also
+            // clear the widest deployed-link CI half-width: a migration
+            // is never bought with a gain the measurement error on the
+            // links being abandoned could explain. 0 when disabled.
+            let margin = self.deployed_ci_margin();
             let accepted = repair.moved > 0
                 && est_gain
                     >= self.config.policy.min_gain * repair.incumbent_cost.max(f64::MIN_POSITIVE)
+                        + margin
                 && est_gain > amortized;
             // A trigger the pool-restricted repair could not answer with
             // any improving move: either the incumbent is genuinely
@@ -1175,30 +1310,41 @@ impl OnlineAdvisor {
     ///
     /// With `prune_during_sweep` the epoch executes on the streaming
     /// driver with [`OnlineAdvisor::sweep_prune_rule`] evaluated between
-    /// stages; with `spot_check_probes > 0` degradation alarms are
-    /// confirmed against fresh single-link probes before they may
+    /// stages — or [`OnlineAdvisor::sweep_ci_prune_rule`] when a
+    /// confidence level is configured, plus
+    /// [`OnlineAdvisor::sweep_stop_rule`]'s anytime early stop when
+    /// `anytime` is on; with `spot_check_probes > 0` degradation alarms
+    /// are confirmed against fresh single-link probes before they may
     /// trigger.
     pub fn step_stream<S: MeasurementStream>(&mut self, stream: &mut S) -> EpochSummary {
-        let rule = self.sweep_prune_rule();
+        // With a confidence level the CI rule replaces the quantile
+        // rule wholesale: same protections, but condemnation requires
+        // interval separation, not point-estimate separation.
+        let rule: Option<Box<dyn PruneRule>> = if self.config.confidence.is_some() {
+            self.sweep_ci_prune_rule().map(|r| Box::new(r) as Box<dyn PruneRule>)
+        } else {
+            self.sweep_prune_rule().map(|r| Box::new(r) as Box<dyn PruneRule>)
+        };
+        let stop = self.sweep_stop_rule();
         let mut scheme = self.next_probe_scheme();
         if let (Some(s), true) = (scheme.as_mut(), self.config.prune_during_sweep) {
             if !s.plan.is_full() {
                 self.deepen_flagged(s);
             }
         }
-        let m = match (&scheme, &rule) {
-            (None, None) => stream.next_epoch(),
-            (None, Some(rule)) => stream.next_epoch_pruned(None, rule),
-            // A full plan without deepened pairs measures exactly what
-            // the stream's own sweep measures.
-            (Some(s), None) if s.plan.is_full() && s.deep_extra_round_trips() == 0 => {
-                stream.next_epoch()
-            }
-            (Some(s), Some(rule)) if s.plan.is_full() && s.deep_extra_round_trips() == 0 => {
-                stream.next_epoch_pruned(None, rule)
-            }
-            (Some(s), None) => stream.next_epoch_with(s),
-            (Some(s), Some(rule)) => stream.next_epoch_pruned(Some(s), rule),
+        // A full plan without deepened pairs measures exactly what the
+        // stream's own sweep measures.
+        let scheme_ref: Option<&dyn Scheme> = match &scheme {
+            Some(s) if s.plan.is_full() && s.deep_extra_round_trips() == 0 => None,
+            other => other.as_ref().map(|s| s as &dyn Scheme),
+        };
+        let m = match (&rule, &stop) {
+            (None, _) => match scheme_ref {
+                None => stream.next_epoch(),
+                Some(s) => stream.next_epoch_with(s),
+            },
+            (Some(rule), None) => stream.next_epoch_pruned(scheme_ref, rule.as_ref()),
+            (Some(rule), Some(stop)) => stream.next_epoch_anytime(scheme_ref, rule.as_ref(), stop),
         };
         let truth = stream.network().effective_mean_matrix(self.config.timeout_ms);
         let probes = self.config.spot_check_probes;
@@ -1412,6 +1558,106 @@ mod tests {
             assert_eq!(forward, 10, "deployed link ({a},{b}) was pruned");
             assert_eq!(reverse, 10, "deployed link ({b},{a}) was pruned");
         }
+    }
+
+    #[test]
+    fn ci_rules_require_confidence_pruning_and_anytime() {
+        let (graph, _, initial) = setup(4, 10, 31);
+        let mut config = fast_config();
+        config.prune_during_sweep = true;
+        let advisor = OnlineAdvisor::new(graph.clone(), 10, initial.clone(), config.clone());
+        assert!(advisor.sweep_prune_rule().is_some());
+        assert!(advisor.sweep_ci_prune_rule().is_none(), "no confidence: quantile rule only");
+        assert!(advisor.sweep_stop_rule().is_none());
+
+        config.confidence = Some(0.95);
+        let advisor = OnlineAdvisor::new(graph.clone(), 10, initial.clone(), config.clone());
+        let rule = advisor.sweep_ci_prune_rule().expect("confidence + pruning yields the CI rule");
+        assert_eq!(rule.confidence(), 0.95);
+        // The CI rule inherits the quantile rule's protections verbatim
+        // (deployed links, flags, staleness refreshes).
+        let quantile = advisor.sweep_prune_rule().expect("pruning is on");
+        assert_eq!(rule.protected_pairs(), quantile.protected_pairs());
+        assert!(rule.protected_pairs() >= graph.edges().len());
+        assert!(advisor.sweep_stop_rule().is_none(), "anytime off: no stop rule");
+
+        config.anytime = true;
+        let advisor = OnlineAdvisor::new(graph, 10, initial, config);
+        assert!(advisor.sweep_stop_rule().is_some());
+    }
+
+    #[test]
+    fn ci_anytime_loop_stays_green_and_never_spends_more_than_ci_pruning() {
+        let run = |confidence: Option<f64>, anytime: bool| {
+            let (graph, net, initial) = setup(4, 20, 21);
+            let mut config = fast_config();
+            config.candidates = Some(cloudia_solver::CandidateConfig::fixed(6));
+            config.prune_during_sweep = true;
+            config.prune_refresh_every = 50;
+            config.confidence = confidence;
+            config.anytime = anytime;
+            let mut advisor = OnlineAdvisor::new(graph, 20, initial, config);
+            let mut stream =
+                SimStream::new(net, Staged::new(3, 2), MeasureConfig::default(), 2.0, 9);
+            let summaries = advisor.run(&mut stream, 8);
+            (advisor, summaries)
+        };
+        let (ci, ci_summaries) = run(Some(0.95), false);
+        let (any, any_summaries) = run(Some(0.95), true);
+        for s in ci_summaries.iter().chain(&any_summaries) {
+            assert!(s.true_cost > 0.0);
+        }
+        // CI pruning condemns pairs once their intervals separate.
+        assert!(ci.sweep_saved_round_trips() > 0, "CI pruning never condemned anything");
+        // The anytime stop can only drop *more* of a sweep than the CI
+        // rule alone: same rule between stages, plus the early stop.
+        assert!(any.probe_round_trips() <= ci.probe_round_trips());
+        assert!(any.sweep_saved_round_trips() >= ci.sweep_saved_round_trips());
+    }
+
+    fn gated_advisor(confidence: Option<f64>) -> OnlineAdvisor {
+        let graph = CommGraph::ring(4);
+        let config = OnlineAdvisorConfig {
+            solve_seconds: 0.05,
+            policy: RedeployPolicy { min_gain: 0.0, migration_cost_per_node: 0.0 },
+            detector: DetectorConfig { warmup: 3, threshold: 4.0, ..Default::default() },
+            confidence,
+            ..Default::default()
+        };
+        OnlineAdvisor::new(graph, 6, (0..4).collect(), config)
+    }
+
+    #[test]
+    fn ci_gate_passes_separated_shifts_and_blocks_unseparated_ones() {
+        let epochs = 12;
+        let run = |confidence: Option<f64>| {
+            let (_, net, _) = setup(4, 6, 31);
+            let mut stream = ScriptedStream::new(net, spike_script(6, epochs), None);
+            let mut advisor = gated_advisor(confidence);
+            for _ in 0..epochs {
+                advisor.step_stream(&mut stream);
+            }
+            let resolves = advisor
+                .events()
+                .iter()
+                .filter(|e| matches!(e, OnlineEvent::Resolve { .. }))
+                .count();
+            let changes =
+                advisor.events().iter().filter(|e| matches!(e, OnlineEvent::Change { .. })).count();
+            (resolves, changes)
+        };
+        let (plain, _) = run(None);
+        assert!(plain > 0, "the baseline spike scenario must trigger");
+        // A 60% regime change on a near-zero-variance link is separated
+        // at 95%: the gate must not swallow genuine shifts.
+        let (gated, _) = run(Some(0.95));
+        assert!(gated > 0, "a clearly separated shift must still trigger at 95% confidence");
+        // At near-certainty confidence every interval out-widens the
+        // shift: alarms are logged (and keep focusing probes) but can
+        // never reach the redeployment economics.
+        let (strict, strict_changes) = run(Some(0.999_999));
+        assert_eq!(strict, 0, "an unseparated alarm triggered a repair");
+        assert!(strict_changes > 0, "gated alarms must still be logged");
     }
 
     /// A scripted stream for the spot-check tests: epochs are handed in

@@ -196,6 +196,13 @@ pub struct ArmOptions {
     pub prune_during_sweep: bool,
     /// Spot-check probes confirming degradation alarms (0 = off).
     pub spot_check_probes: usize,
+    /// Confidence level for the error-bounded decision layer (`None` =
+    /// the point-estimate loop; see
+    /// [`OnlineAdvisorConfig::confidence`]).
+    pub confidence: Option<f64>,
+    /// Anytime sweeps: stop a stage early once every prune/pool decision
+    /// is CI-stable (requires `confidence` and `prune_during_sweep`).
+    pub anytime: bool,
 }
 
 impl BuiltFocusScenario {
@@ -208,6 +215,8 @@ impl BuiltFocusScenario {
             probe_policy,
             prune_during_sweep: false,
             spot_check_probes: 0,
+            confidence: None,
+            anytime: false,
         })
     }
 
@@ -254,6 +263,8 @@ impl BuiltFocusScenario {
             prune_during_sweep: opts.prune_during_sweep,
             prune_refresh_every: s.prune_refresh_every,
             spot_check_probes: opts.spot_check_probes,
+            confidence: opts.confidence,
+            anytime: opts.anytime,
             ewma_alpha: 0.5,
             detector: DetectorConfig { warmup: 3, threshold: 6.0, ..Default::default() },
             ..Default::default()

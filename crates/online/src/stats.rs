@@ -10,7 +10,7 @@
 use crate::detect::{ChangeDetector, DetectorConfig, Drift};
 use crate::stream::EpochMeasurement;
 use cloudia_core::{CostMatrix, LinkHistory};
-use cloudia_measure::PairwiseStats;
+use cloudia_measure::{t_critical, PairwiseStats};
 
 /// Exponentially weighted mean/variance of a scalar stream.
 #[derive(Debug, Clone, Copy)]
@@ -61,6 +61,24 @@ impl EwmaVar {
     /// Current smoothed standard deviation.
     pub fn sd(&self) -> f64 {
         self.var.sqrt()
+    }
+
+    /// Half-width of a two-sided `confidence` t-interval around the
+    /// smoothed mean. An EWMA weights observations geometrically, so its
+    /// mean carries variance `σ² · α/(2 − α)` in steady state — the
+    /// standard error is `sd · sqrt(α/(2 − α))`, not `sd/√n`. Degrees of
+    /// freedom come from the observation count (a conservative choice:
+    /// the effective sample size `(2 − α)/α` is usually smaller, but the
+    /// extra width from fewer df only makes decisions more cautious).
+    /// Unbounded ([`f64::INFINITY`]) below two observations: a
+    /// single-sample estimate carries no dispersion information and must
+    /// never win a separation argument.
+    pub fn half_width(&self, confidence: f64) -> f64 {
+        if self.count < 2 {
+            return f64::INFINITY;
+        }
+        let se = self.sd() * (self.alpha / (2.0 - self.alpha)).sqrt();
+        t_critical(confidence, self.count - 1) * se
     }
 }
 
@@ -310,6 +328,16 @@ impl OnlineStore {
         stats
     }
 
+    /// Half-width of the `confidence` CI around the link's smoothed
+    /// mean (see [`EwmaVar::half_width`]) — [`f64::INFINITY`] until the
+    /// link has two observations. The advisor's CI-gated detector path
+    /// compares an alarm's `mean − baseline` shift against this: a shift
+    /// inside the interval is indistinguishable from sampling noise and
+    /// must not trigger redeployment economics.
+    pub fn mean_half_width(&self, src: usize, dst: usize, confidence: f64) -> f64 {
+        self.link(src, dst).ewma.half_width(confidence)
+    }
+
     /// Clears a link's dark flag without waiting for the loss EWMA to
     /// decay — the advisor calls this when fresh spot probes *refute* a
     /// darkness alarm (the blackout already lifted). The triage re-arms
@@ -404,6 +432,41 @@ mod tests {
             e.observe(2.0);
         }
         assert!((e.mean() - 2.0).abs() < 1e-3, "mean {}", e.mean());
+    }
+
+    #[test]
+    fn ewma_half_width_is_unbounded_then_tightens() {
+        let mut e = EwmaVar::new(0.3);
+        assert_eq!(e.half_width(0.95), f64::INFINITY, "no observations: unbounded");
+        e.observe(1.0);
+        assert_eq!(e.half_width(0.95), f64::INFINITY, "one observation: unbounded");
+        e.observe(1.2);
+        let wide = e.half_width(0.95);
+        assert!(wide.is_finite() && wide > 0.0);
+        for k in 0..100 {
+            e.observe(if k % 2 == 0 { 1.0 } else { 1.2 });
+        }
+        let narrow = e.half_width(0.95);
+        assert!(narrow < wide, "interval must tighten with data: {narrow} !< {wide}");
+        // A constant stream collapses the interval entirely.
+        let mut c = EwmaVar::new(0.3);
+        for _ in 0..20 {
+            c.observe(2.0);
+        }
+        assert!(c.half_width(0.95) < 1e-9);
+    }
+
+    #[test]
+    fn store_half_width_gates_on_observation_count() {
+        let mut store = OnlineStore::new(3, 0.3, DetectorConfig::default());
+        store.observe_epoch(&epoch(vec![delta(0, 1, 2.0)], 0));
+        assert_eq!(store.mean_half_width(0, 1, 0.95), f64::INFINITY);
+        assert_eq!(store.mean_half_width(1, 2, 0.95), f64::INFINITY, "never observed");
+        for e in 1..10 {
+            store.observe_epoch(&epoch(vec![delta(0, 1, 2.0)], e));
+        }
+        assert!(store.mean_half_width(0, 1, 0.95).is_finite());
+        assert!(store.mean_half_width(0, 1, 0.99) >= store.mean_half_width(0, 1, 0.9));
     }
 
     #[test]

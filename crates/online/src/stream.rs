@@ -21,7 +21,9 @@
 
 use rand::{rngs::StdRng, SeedableRng};
 
-use cloudia_measure::{run_pruned, MeasureConfig, PairwiseStats, PruneRule, Scheme};
+use cloudia_measure::{
+    run_anytime, run_pruned, MeasureConfig, PairwiseStats, PruneRule, Scheme, StopRule,
+};
 use cloudia_netsim::{DriftingNetwork, FaultParams, InstanceId, Network};
 
 use cloudia_core::LinkHistory;
@@ -111,6 +113,24 @@ pub trait MeasurementStream {
         rule: &dyn PruneRule,
     ) -> EpochMeasurement;
 
+    /// Like [`MeasurementStream::next_epoch_pruned`], additionally
+    /// ending the epoch's sweep early once `stop` declares every
+    /// remaining prune/pool decision CI-stable (the anytime mode; see
+    /// [`cloudia_measure::run_anytime`]). Round trips saved by the stop
+    /// are folded into `saved_round_trips` alongside pruning's. The
+    /// default implementation ignores `stop` and measures the full
+    /// pruned epoch — a stream without stage streaming loses only the
+    /// savings, never correctness.
+    fn next_epoch_anytime(
+        &mut self,
+        scheme: Option<&dyn Scheme>,
+        rule: &dyn PruneRule,
+        stop: &dyn StopRule,
+    ) -> EpochMeasurement {
+        let _ = stop;
+        self.next_epoch_pruned(scheme, rule)
+    }
+
     /// Draws `probes` fresh RTT samples of the directed link
     /// `src → dst` from the stream's *current* ground truth and returns
     /// their mean, made comparable to scheme-measured RTTs (the constant
@@ -160,10 +180,12 @@ pub trait MeasurementStream {
 /// deltas by differencing the cumulative statistics around it. With a
 /// prune rule the round runs through the stage-streaming driver and the
 /// rule is evaluated between stages.
+#[allow(clippy::too_many_arguments)]
 fn measure_epoch<S: Scheme + ?Sized>(
     net: &Network,
     scheme: &S,
     rule: Option<&dyn PruneRule>,
+    stop: Option<&dyn StopRule>,
     cfg: &MeasureConfig,
     epoch: u64,
     at_hours: f64,
@@ -183,11 +205,15 @@ fn measure_epoch<S: Scheme + ?Sized>(
     let mut epoch_cfg = cfg.clone();
     epoch_cfg.seed = cfg.seed ^ (epoch + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
     let taken = std::mem::replace(cumulative, PairwiseStats::new(n));
-    let (report, pruned_pairs, saved_round_trips) = match rule {
-        None => (scheme.run_onto(net, &epoch_cfg, taken), 0, 0),
-        Some(rule) => {
+    let (report, pruned_pairs, saved_round_trips) = match (rule, stop) {
+        (None, _) => (scheme.run_onto(net, &epoch_cfg, taken), 0, 0),
+        (Some(rule), None) => {
             let pruned = run_pruned(scheme, net, &epoch_cfg, taken, rule);
             (pruned.report, pruned.dropped_pairs, pruned.saved_round_trips)
+        }
+        (Some(rule), Some(stop)) => {
+            let anytime = run_anytime(scheme, net, &epoch_cfg, taken, rule, stop);
+            (anytime.report, anytime.dropped_pairs, anytime.saved_round_trips)
         }
     };
 
@@ -359,11 +385,13 @@ impl<S: Scheme> SimStream<S> {
 impl<S: Scheme> SimStream<S> {
     /// One epoch: advance the drift, then measure with `external` (or the
     /// stream's own scheme when `None`), pruning mid-sweep when `rule`
-    /// is given.
+    /// is given and stopping early when `stop` additionally declares
+    /// the sweep CI-stable.
     fn epoch_with(
         &mut self,
         external: Option<&dyn Scheme>,
         rule: Option<&dyn PruneRule>,
+        stop: Option<&dyn StopRule>,
     ) -> EpochMeasurement {
         self.drifting.step(self.epoch_hours);
         let epoch = self.epoch;
@@ -373,7 +401,7 @@ impl<S: Scheme> SimStream<S> {
         // splitting the struct fields.
         let Self { drifting, scheme, config, cumulative, .. } = self;
         let chosen: &dyn Scheme = external.unwrap_or(scheme);
-        measure_epoch(drifting.network(), chosen, rule, config, epoch, at_hours, cumulative)
+        measure_epoch(drifting.network(), chosen, rule, stop, config, epoch, at_hours, cumulative)
     }
 }
 
@@ -391,11 +419,11 @@ impl<S: Scheme> MeasurementStream for SimStream<S> {
     }
 
     fn next_epoch(&mut self) -> EpochMeasurement {
-        self.epoch_with(None, None)
+        self.epoch_with(None, None, None)
     }
 
     fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement {
-        self.epoch_with(Some(scheme), None)
+        self.epoch_with(Some(scheme), None, None)
     }
 
     fn next_epoch_pruned(
@@ -403,7 +431,16 @@ impl<S: Scheme> MeasurementStream for SimStream<S> {
         scheme: Option<&dyn Scheme>,
         rule: &dyn PruneRule,
     ) -> EpochMeasurement {
-        self.epoch_with(scheme, Some(rule))
+        self.epoch_with(scheme, Some(rule), None)
+    }
+
+    fn next_epoch_anytime(
+        &mut self,
+        scheme: Option<&dyn Scheme>,
+        rule: &dyn PruneRule,
+        stop: &dyn StopRule,
+    ) -> EpochMeasurement {
+        self.epoch_with(scheme, Some(rule), Some(stop))
     }
 
     fn spot_check(&mut self, src: u32, dst: u32, probes: usize) -> Option<f64> {
@@ -507,11 +544,13 @@ impl<S: Scheme> ReplayStream<S> {
 impl<S: Scheme> ReplayStream<S> {
     /// One epoch: consume the next snapshot, measuring with `external`
     /// (or the stream's own scheme when `None`), pruning mid-sweep when
-    /// `rule` is given.
+    /// `rule` is given and stopping early when `stop` additionally
+    /// declares the sweep CI-stable.
     fn epoch_with(
         &mut self,
         external: Option<&dyn Scheme>,
         rule: Option<&dyn PruneRule>,
+        stop: Option<&dyn StopRule>,
     ) -> EpochMeasurement {
         assert!(!self.exhausted(), "replay stream exhausted after {} epochs", self.epochs());
         let epoch = self.epoch;
@@ -519,7 +558,16 @@ impl<S: Scheme> ReplayStream<S> {
         let at_hours = self.epoch as f64 * self.epoch_hours;
         let Self { snapshots, scheme, config, cumulative, .. } = self;
         let chosen: &dyn Scheme = external.unwrap_or(scheme);
-        measure_epoch(&snapshots[epoch as usize], chosen, rule, config, epoch, at_hours, cumulative)
+        measure_epoch(
+            &snapshots[epoch as usize],
+            chosen,
+            rule,
+            stop,
+            config,
+            epoch,
+            at_hours,
+            cumulative,
+        )
     }
 }
 
@@ -538,11 +586,11 @@ impl<S: Scheme> MeasurementStream for ReplayStream<S> {
     }
 
     fn next_epoch(&mut self) -> EpochMeasurement {
-        self.epoch_with(None, None)
+        self.epoch_with(None, None, None)
     }
 
     fn next_epoch_with(&mut self, scheme: &dyn Scheme) -> EpochMeasurement {
-        self.epoch_with(Some(scheme), None)
+        self.epoch_with(Some(scheme), None, None)
     }
 
     fn next_epoch_pruned(
@@ -550,7 +598,16 @@ impl<S: Scheme> MeasurementStream for ReplayStream<S> {
         scheme: Option<&dyn Scheme>,
         rule: &dyn PruneRule,
     ) -> EpochMeasurement {
-        self.epoch_with(scheme, Some(rule))
+        self.epoch_with(scheme, Some(rule), None)
+    }
+
+    fn next_epoch_anytime(
+        &mut self,
+        scheme: Option<&dyn Scheme>,
+        rule: &dyn PruneRule,
+        stop: &dyn StopRule,
+    ) -> EpochMeasurement {
+        self.epoch_with(scheme, Some(rule), Some(stop))
     }
 
     fn spot_check(&mut self, src: u32, dst: u32, probes: usize) -> Option<f64> {

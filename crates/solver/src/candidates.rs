@@ -313,12 +313,11 @@ impl CandidateSet {
                         }
                     }
                     let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;
-                    let (_, q, _) =
-                        incident.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                    let (_, q, _) = incident.select_nth_unstable_by(idx, f64::total_cmp);
                     (*q, j as u32)
                 })
                 .collect();
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let mut pool: Vec<u32> = scored[..pool_size].iter().map(|&(_, j)| j).collect();
             pool.sort_unstable();
             pool
@@ -432,12 +431,11 @@ impl CandidateSet {
                     forced.push(j as u32);
                 } else {
                     let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;
-                    let (_, q, _) =
-                        incident.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                    let (_, q, _) = incident.select_nth_unstable_by(idx, f64::total_cmp);
                     scored.push((*q, j as u32));
                 }
             }
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let take = pool_size.min(scored.len());
             let mut pool = forced;
             pool.extend(scored[..take].iter().map(|&(_, j)| j));
@@ -492,12 +490,11 @@ impl CandidateSet {
                     forced.push(j as u32);
                 } else {
                     let idx = ((incident.len() - 1) as f64 * config.quantile).round() as usize;
-                    let (_, q, _) =
-                        incident.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                    let (_, q, _) = incident.select_nth_unstable_by(idx, f64::total_cmp);
                     scored.push((*q, j as u32));
                 }
             }
-            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             let take = pool_size.min(scored.len());
             let mut pool = forced;
             pool.extend(scored[..take].iter().map(|&(_, j)| j));
@@ -762,6 +759,461 @@ impl PruneRule for CandidatePruneRule {
                     && (!member[a as usize] || !member[b as usize])
             })
             .collect()
+    }
+}
+
+/// Per-instance candidate-pool score *intervals*, derived from the
+/// per-link confidence intervals of the partial statistics — the shared
+/// evidence engine behind [`CiPruneRule`] and [`CiStopRule`].
+///
+/// Where the point-estimate pool scores an instance by the quantile of
+/// its incident mean costs, this scores it twice: once from the incident
+/// CI *lower* bounds (the best competitive score the instance could still
+/// achieve) and once from the *upper* bounds (the worst it could be). An
+/// instance is **provably out** of every pool only when even its
+/// optimistic score is beaten by `pool_size` instances' pessimistic
+/// scores; **provably in** when even its pessimistic score beats all but
+/// fewer than `pool_size` optimistic rivals. Everything in between is
+/// still undecided and must keep measuring.
+///
+/// A nonzero `tolerance` relaxes both verdicts by a *relative
+/// indifference margin*: scores within `tolerance` of the pool boundary
+/// are treated as ties, because swapping two ε-tied instances perturbs
+/// any pool-restricted deployment cost by at most that relative margin —
+/// exactly the slack the anytime error contract already concedes. With
+/// clustered topologies whole racks share near-identical scores, so
+/// without the margin the rank test at the boundary can never settle and
+/// the anytime stop would never fire.
+#[derive(Debug)]
+struct CiScores {
+    /// Optimistic per-instance pool score (quantile of incident CI lower
+    /// bounds); 0 for under-covered or force-included instances.
+    lo: Vec<f64>,
+    /// Pessimistic per-instance pool score (quantile of incident CI
+    /// upper bounds); `+∞` for under-covered instances.
+    hi: Vec<f64>,
+    /// Instances that can never be proven out (incumbent, pinned,
+    /// under-covered).
+    forced: Vec<bool>,
+    /// Instances with incident coverage below the evidence threshold.
+    undercovered: Vec<bool>,
+    pool_size: usize,
+    /// `pool_size`-th smallest pessimistic score: an instance whose
+    /// optimistic score exceeds this is provably out.
+    out_threshold: f64,
+    /// All optimistic scores, ascending, for the provably-in rank test.
+    lo_sorted: Vec<f64>,
+    /// Relative indifference margin; 0 demands strict interval
+    /// separation.
+    tolerance: f64,
+}
+
+impl CiScores {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        num_nodes: usize,
+        stats: &PairwiseStats,
+        config: &CandidateConfig,
+        confidence: f64,
+        min_coverage: f64,
+        tolerance: f64,
+        incumbent: Option<&[u32]>,
+        fixed: Option<&[Option<u32>]>,
+    ) -> Self {
+        let m = stats.len();
+        let pool_size = config.pool_size(num_nodes, m);
+        let mut forced = vec![false; m];
+        for &j in incumbent.into_iter().flatten() {
+            forced[j as usize] = true;
+        }
+        for &j in fixed.into_iter().flatten().flatten() {
+            forced[j as usize] = true;
+        }
+
+        // Incident CI bounds per instance, CSR-style like
+        // `build_partial`: one row-major pass over the columns, each
+        // observed (or attempted) directed link contributing its interval
+        // to both endpoints. A dark direction (attempted, never answered)
+        // is certain evidence of unreachability: `[+∞, +∞]`.
+        let count = stats.count_column();
+        let attempts = stats.attempts_column();
+        let mut deg = vec![0u32; m];
+        let mut hits: Vec<(u32, u32, f64, f64)> = Vec::new();
+        for src in 0..m {
+            let row = src * m;
+            for dst in 0..m {
+                if dst != src && (count[row + dst] > 0 || attempts[row + dst] > 0) {
+                    let (lo, hi) = if count[row + dst] > 0 {
+                        let ci = stats.ci(src, dst, confidence);
+                        (ci.lower(), ci.upper())
+                    } else {
+                        (f64::INFINITY, f64::INFINITY)
+                    };
+                    hits.push((src as u32, dst as u32, lo, hi));
+                    deg[src] += 1;
+                    deg[dst] += 1;
+                }
+            }
+        }
+        let mut off = vec![0usize; m + 1];
+        for j in 0..m {
+            off[j + 1] = off[j] + deg[j] as usize;
+        }
+        let mut cursor = off.clone();
+        let mut flat_lo = vec![0.0f64; off[m]];
+        let mut flat_hi = vec![0.0f64; off[m]];
+        for &(src, dst, lo, hi) in &hits {
+            for end in [src as usize, dst as usize] {
+                flat_lo[cursor[end]] = lo;
+                flat_hi[cursor[end]] = hi;
+                cursor[end] += 1;
+            }
+        }
+
+        let mut lo = vec![0.0f64; m];
+        let mut hi = vec![f64::INFINITY; m];
+        let mut undercovered = vec![false; m];
+        for j in 0..m {
+            let incident_lo = &mut flat_lo[off[j]..off[j + 1]];
+            let coverage = incident_lo.len() as f64 / (2 * (m - 1)) as f64;
+            if incident_lo.is_empty() || coverage < min_coverage {
+                // Not enough evidence either way: optimistic 0 (never
+                // provably out), pessimistic ∞ (displaces nobody).
+                undercovered[j] = true;
+                continue;
+            }
+            let idx = ((incident_lo.len() - 1) as f64 * config.quantile).round() as usize;
+            let (_, q_lo, _) = incident_lo.select_nth_unstable_by(idx, f64::total_cmp);
+            lo[j] = *q_lo;
+            let incident_hi = &mut flat_hi[off[j]..off[j + 1]];
+            let (_, q_hi, _) = incident_hi.select_nth_unstable_by(idx, f64::total_cmp);
+            hi[j] = *q_hi;
+        }
+
+        let mut hi_sorted = hi.clone();
+        hi_sorted.sort_by(f64::total_cmp);
+        let out_threshold =
+            if pool_size == 0 || pool_size > m { f64::INFINITY } else { hi_sorted[pool_size - 1] };
+        let mut lo_sorted = lo.clone();
+        lo_sorted.sort_by(f64::total_cmp);
+        Self { lo, hi, forced, undercovered, pool_size, out_threshold, lo_sorted, tolerance }
+    }
+
+    /// True when instance `j` provably sits outside every candidate
+    /// pool: its *optimistic* score is beaten by `pool_size` instances'
+    /// *pessimistic* scores — or, with a nonzero tolerance, fails to
+    /// undercut the pool boundary by more than the indifference margin,
+    /// making it at best an ε-tie for the last pool slot. Forced or
+    /// under-covered instances are never provably out.
+    fn provably_out(&self, j: usize) -> bool {
+        !self.forced[j]
+            && !self.undercovered[j]
+            && self.lo[j] > self.out_threshold * (1.0 - self.tolerance)
+    }
+
+    /// True when instance `j` provably belongs to the pool: fewer than
+    /// `pool_size` *other* instances could even optimistically beat its
+    /// pessimistic score — with a nonzero tolerance, beat it by more
+    /// than the indifference margin, so ε-tied rivals don't displace it.
+    /// Forced instances are in by fiat; under-covered ones are never
+    /// provably anything.
+    fn provably_in(&self, j: usize) -> bool {
+        if self.forced[j] {
+            return true;
+        }
+        if self.undercovered[j] || !self.hi[j].is_finite() {
+            return false;
+        }
+        let bar = self.hi[j] * (1.0 - self.tolerance);
+        let below = self.lo_sorted.partition_point(|&x| x < bar);
+        let others = below - usize::from(self.lo[j] < bar);
+        others < self.pool_size
+    }
+}
+
+/// The CI-evidence mid-sweep prune rule (implements
+/// [`cloudia_measure::PruneRule`]) — the error-bounded replacement for
+/// [`CandidatePruneRule`]'s point-quantile condemnation. A pair is
+/// condemned only when one of its endpoints is **provably** outside every
+/// candidate pool at the rule's confidence level: even the quantile of
+/// its incident CI *lower* bounds exceeds the `pool_size`-th smallest
+/// quantile of rival CI *upper* bounds. A link with fewer than two
+/// samples has an unbounded interval, so a 1-sample endpoint can never be
+/// proven out — exactly the overconfidence the zero-variance
+/// `Welford::variance()` would otherwise smuggle in.
+///
+/// [`CiPruneRule::with_tolerance`] additionally treats scores within a
+/// relative margin of the pool boundary as ties, so clustered topologies
+/// (where whole racks score near-identically) can still be resolved: an
+/// ε-tie for the last pool slot is condemnable because keeping either
+/// side changes the achievable cost by at most the margin.
+///
+/// The same safety rails as [`CandidatePruneRule`] apply: incumbent and
+/// pinned instances are never condemned, explicitly protected pairs
+/// survive regardless of evidence, and under-covered instances stay.
+#[derive(Debug, Clone)]
+pub struct CiPruneRule {
+    num_nodes: usize,
+    config: CandidateConfig,
+    confidence: f64,
+    min_coverage: f64,
+    tolerance: f64,
+    incumbent: Option<Vec<u32>>,
+    fixed: Option<Vec<Option<u32>>>,
+    protected: HashSet<(u32, u32)>,
+}
+
+impl CiPruneRule {
+    /// A rule for problems with `num_nodes` application nodes, sizing
+    /// pools by `config` and demanding CI separation at `confidence`
+    /// (strictly in `(0, 1)`) before condemning anything.
+    ///
+    /// # Panics
+    /// Panics if `confidence` is outside `(0, 1)`.
+    pub fn new(num_nodes: usize, config: CandidateConfig, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0,1), got {confidence}"
+        );
+        Self {
+            num_nodes,
+            config,
+            confidence,
+            min_coverage: CandidatePruneRule::DEFAULT_MIN_COVERAGE,
+            tolerance: 0.0,
+            incumbent: None,
+            fixed: None,
+            protected: HashSet::new(),
+        }
+    }
+
+    /// Sets the relative indifference margin (default 0): scores within
+    /// `tolerance` of the pool boundary count as ties, so ε-tied
+    /// instances can be settled (in *or* out) instead of blocking every
+    /// decision forever. Choosing among ε-tied instances changes a
+    /// pool-restricted deployment cost by at most `tolerance` relative —
+    /// the anytime contract sets this to `1 - confidence`, the same
+    /// slack its realized-error bound concedes. 0 demands strict
+    /// interval separation.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is outside `[0, 1)`.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        assert!((0.0..1.0).contains(&tolerance), "tolerance must be in [0, 1)");
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Overrides the coverage threshold below which an instance cannot
+    /// be proven uncompetitive.
+    ///
+    /// # Panics
+    /// Panics if outside `[0, 1]`.
+    pub fn with_min_coverage(mut self, min_coverage: f64) -> Self {
+        assert!((0.0..=1.0).contains(&min_coverage), "min_coverage must be in [0, 1]");
+        self.min_coverage = min_coverage;
+        self
+    }
+
+    /// Registers the incumbent deployment; its instances are never
+    /// proven out, so deployed links are never condemned.
+    pub fn with_incumbent(mut self, incumbent: &[u32]) -> Self {
+        assert_eq!(incumbent.len(), self.num_nodes, "incumbent must cover every node");
+        self.incumbent = Some(incumbent.to_vec());
+        self
+    }
+
+    /// Registers pinned assignments; pinned instances are protected like
+    /// incumbents.
+    pub fn with_fixed(mut self, fixed: &[Option<u32>]) -> Self {
+        assert_eq!(fixed.len(), self.num_nodes, "fixed assignments must cover every node");
+        self.fixed = Some(fixed.to_vec());
+        self
+    }
+
+    /// Marks the unordered pair `{a, b}` as never prunable.
+    pub fn protect_pair(&mut self, a: u32, b: u32) {
+        if a != b {
+            self.protected.insert((a.min(b), a.max(b)));
+        }
+    }
+
+    /// Number of explicitly protected pairs.
+    pub fn protected_pairs(&self) -> usize {
+        self.protected.len()
+    }
+
+    /// The confidence level separations are demanded at.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The relative indifference margin (0 unless overridden).
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    fn scores(&self, stats: &PairwiseStats) -> CiScores {
+        CiScores::build(
+            self.num_nodes,
+            stats,
+            &self.config,
+            self.confidence,
+            self.min_coverage,
+            self.tolerance,
+            self.incumbent.as_deref(),
+            self.fixed.as_deref(),
+        )
+    }
+}
+
+impl PruneRule for CiPruneRule {
+    fn prune(&self, stats: &PairwiseStats, remaining: &[(u32, u32)]) -> Vec<(u32, u32)> {
+        if stats.total_samples() == 0 {
+            return Vec::new();
+        }
+        let scores = self.scores(stats);
+        remaining
+            .iter()
+            .copied()
+            .filter(|&(a, b)| {
+                !self.protected.contains(&(a.min(b), a.max(b)))
+                    && (scores.provably_out(a as usize) || scores.provably_out(b as usize))
+            })
+            .collect()
+    }
+}
+
+/// The anytime stopping rule (implements [`cloudia_measure::StopRule`]):
+/// declares a sweep stable once every remaining prune/pool decision is
+/// CI-stable, on either of two criteria:
+///
+/// * **settled** — *every* instance's pool membership is decided at the
+///   configured confidence (provably in, provably out, or
+///   force-included), so further probing cannot change any downstream
+///   verdict beyond the wrapped rule's indifference margin; or
+/// * **plateau** — at least one membership has been earned on evidence
+///   and a full re-measurement's worth of fresh samples (at least one
+///   per remaining pair) moved *no* verdict: the sweep's marginal
+///   samples have stopped moving decisions, so the rest of this
+///   schedule is spent information-free. Undecided instances keep
+///   accumulating evidence on later sweeps (and their stale pairs are
+///   re-protected on the refresh horizon), so the verdicts they still
+///   owe are deferred, not lost.
+///
+/// Under-covered instances veto both criteria, so an early sweep can
+/// never stop before the evidence threshold is met.
+///
+/// The plateau criterion makes a rule instance **stateful across
+/// consecutive [`cloudia_measure::StopRule::stable`] calls**: it
+/// fingerprints the per-instance verdict vector and compares it with the
+/// previous evaluation's. Build a fresh rule per sweep (as
+/// `OnlineAdvisor` does each epoch) so one sweep's trajectory never
+/// leaks into the next.
+///
+/// Wraps a [`CiPruneRule`], sharing its pool sizing, confidence,
+/// indifference margin, and protections; by default the rule's
+/// protected pairs are reported via
+/// [`cloudia_measure::StopRule::must_keep`] so deployed/flagged links
+/// keep probing even after the stop fires.
+/// [`CiStopRule::with_must_keep`] narrows that set — e.g. pairs
+/// protected only because they are *stale* don't need the remaining
+/// schedule's full depth, since the plateau cannot fire before a
+/// sweep-equivalent of fresh samples (their refresh included) has
+/// landed.
+#[derive(Debug, Clone)]
+pub struct CiStopRule {
+    rule: CiPruneRule,
+    /// Unordered pairs that keep probing after the stop fires.
+    keep: HashSet<(u32, u32)>,
+    /// `(verdict fingerprint, total samples)` at the last plateau
+    /// checkpoint; `None` before the first evaluation (or after an
+    /// under-covered veto reset). A new checkpoint is only compared
+    /// once at least one fresh sample per remaining pair has landed
+    /// since it was recorded.
+    checkpoint: std::cell::Cell<Option<(u64, u64)>>,
+}
+
+impl CiStopRule {
+    /// Wraps `rule`; stability is judged with the rule's own pool
+    /// configuration, confidence, and indifference margin, and the
+    /// rule's protected pairs keep probing after the stop fires.
+    pub fn new(rule: CiPruneRule) -> Self {
+        let keep = rule.protected.clone();
+        Self { rule, keep, checkpoint: std::cell::Cell::new(None) }
+    }
+
+    /// Replaces the set of pairs that keep probing after the stop fires
+    /// (normalized unordered). Use this to exempt pairs that are
+    /// protected from *pruning* but don't need post-stop depth — stale
+    /// refreshes are already served before the plateau can fire, while
+    /// deployed/flagged links feed change detectors every epoch and must
+    /// keep their full sample stream.
+    pub fn with_must_keep<I: IntoIterator<Item = (u32, u32)>>(mut self, pairs: I) -> Self {
+        self.keep =
+            pairs.into_iter().filter(|&(a, b)| a != b).map(|(a, b)| (a.min(b), a.max(b))).collect();
+        self
+    }
+}
+
+impl cloudia_measure::StopRule for CiStopRule {
+    fn stable(&self, stats: &PairwiseStats, remaining: &[(u32, u32)]) -> bool {
+        if stats.total_samples() == 0 || remaining.is_empty() {
+            return false;
+        }
+        let scores = self.rule.scores(stats);
+        let mut all_settled = true;
+        let mut any_earned = false;
+        let mut undercovered = false;
+        // FNV-1a over the per-instance verdict vector: 1 in, 2 out,
+        // 0 undecided (ε-ties canonicalize to "in").
+        let mut fingerprint: u64 = 0xcbf2_9ce4_8422_2325;
+        for j in 0..stats.len() {
+            undercovered |= scores.undercovered[j];
+            let verdict: u8 = if scores.provably_in(j) {
+                1
+            } else if scores.provably_out(j) {
+                2
+            } else {
+                0
+            };
+            if verdict == 0 {
+                all_settled = false;
+            } else if !scores.forced[j] {
+                any_earned = true;
+            }
+            fingerprint = (fingerprint ^ u64::from(verdict)).wrapping_mul(0x0100_0000_01b3);
+        }
+        if all_settled {
+            return true;
+        }
+        if undercovered {
+            self.checkpoint.set(None);
+            return false;
+        }
+        let samples = stats.total_samples();
+        match self.checkpoint.get() {
+            None => {
+                self.checkpoint.set(Some((fingerprint, samples)));
+                false
+            }
+            // Too little fresh evidence since the checkpoint to judge a
+            // plateau — keep measuring, keep the checkpoint.
+            Some((_, at)) if samples.saturating_sub(at) < remaining.len() as u64 => false,
+            // A sweep-equivalent of fresh samples moved no verdict and at
+            // least one verdict was earned (not forced): plateau — stop.
+            Some((recorded, _)) if recorded == fingerprint && any_earned => true,
+            // The evidence moved something (or nothing is earned yet):
+            // re-arm the checkpoint at the current state.
+            Some(_) => {
+                self.checkpoint.set(Some((fingerprint, samples)));
+                false
+            }
+        }
+    }
+
+    fn must_keep(&self, a: u32, b: u32) -> bool {
+        self.keep.contains(&(a.min(b), a.max(b)))
     }
 }
 
@@ -1050,6 +1502,213 @@ mod tests {
         // Pool >= m: exact union, nothing prunable.
         let exact = CandidatePruneRule::new(3, CandidateConfig::fixed(100));
         assert!(exact.prune(&full_stats(8, 2), &remaining).is_empty());
+    }
+
+    /// Fully measured stats with `samples` zero-jitter observations per
+    /// direction: every CI is bounded (and zero-width), so separations
+    /// are exact and deterministic.
+    fn full_stats_ci(m: usize, bad: usize, samples: usize) -> PairwiseStats {
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                for _ in 0..samples {
+                    record_both(&mut stats, i, j, if i == bad || j == bad { 50.0 } else { 1.0 });
+                }
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn ci_rule_condemns_only_provably_out_unprotected_pairs() {
+        let stats = full_stats_ci(12, 7, 5);
+        let incumbent: Vec<u32> = vec![0, 1, 2, 3];
+        let mut rule =
+            CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95).with_incumbent(&incumbent);
+        rule.protect_pair(7, 9);
+        assert_eq!(rule.protected_pairs(), 1);
+        assert_eq!(rule.confidence(), 0.95);
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        let condemned = rule.prune(&stats, &remaining);
+        assert!(!condemned.is_empty(), "separated intervals must allow condemnation");
+        for &(a, b) in &condemned {
+            assert!(a == 7 || b == 7, "({a},{b}) condemned but both endpoints are candidates");
+            assert!((a.min(b), a.max(b)) != (7, 9), "protected pair condemned");
+            assert!(
+                !(incumbent.contains(&a) && incumbent.contains(&b)),
+                "incumbent link ({a},{b}) condemned"
+            );
+        }
+    }
+
+    #[test]
+    fn one_sample_links_are_never_condemned_by_ci_rule() {
+        // Instance 7 looks terrible (50.0 on every incident direction)
+        // but each of those directions carries exactly ONE sample:
+        // `Welford::variance()` is 0 below two observations, so a naive
+        // zero-width interval would condemn it with false certainty. The
+        // CI rule must treat those intervals as unbounded and keep it.
+        let m = 12;
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                if i != 7 && j != 7 {
+                    for _ in 0..5 {
+                        record_both(&mut stats, i, j, 1.0);
+                    }
+                } else {
+                    record_both(&mut stats, i, j, 50.0);
+                }
+            }
+        }
+        let rule = CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95);
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        assert!(
+            rule.prune(&stats, &remaining).is_empty(),
+            "a 1-sample link was condemned on zero-variance false certainty"
+        );
+        // With real evidence (5 samples per direction) the same instance
+        // IS provably out — the guard is about sample count, not cost.
+        let evidenced = full_stats_ci(m, 7, 5);
+        assert!(!rule.prune(&evidenced, &remaining).is_empty());
+    }
+
+    #[test]
+    fn ci_rule_is_silent_without_samples() {
+        let rule = CiPruneRule::new(3, CandidateConfig::fixed(6), 0.95);
+        assert!(rule.prune(&PairwiseStats::new(8), &[(0, 1), (1, 2)]).is_empty());
+    }
+
+    #[test]
+    fn ci_stop_rule_stabilizes_only_on_bounded_separated_intervals() {
+        use cloudia_measure::StopRule as _;
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        let mut inner = CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95);
+        inner.protect_pair(2, 3);
+        let stop = CiStopRule::new(inner);
+        // No samples: never stable.
+        assert!(!stop.stable(&PairwiseStats::new(12), &remaining));
+        // One sample per direction: every interval unbounded, unstable.
+        assert!(!stop.stable(&full_stats(12, 7), &remaining));
+        // Five zero-jitter samples per direction: every membership
+        // verdict settled, stable.
+        assert!(stop.stable(&full_stats_ci(12, 7, 5), &remaining));
+        // Protected pairs survive the stop.
+        assert!(stop.must_keep(2, 3) && stop.must_keep(3, 2));
+        assert!(!stop.must_keep(0, 1));
+    }
+
+    #[test]
+    fn under_covered_instances_block_ci_stability() {
+        use cloudia_measure::StopRule as _;
+        // Everyone well measured except instance 7, which has a single
+        // covered direction: its pool membership cannot be settled yet.
+        let m = 12;
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                if i != 7 && j != 7 {
+                    for _ in 0..5 {
+                        record_both(&mut stats, i, j, 1.0);
+                    }
+                }
+            }
+        }
+        for _ in 0..5 {
+            stats.record(7, 0, 50.0);
+        }
+        let stop = CiStopRule::new(CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95));
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        assert!(!stop.stable(&stats, &remaining), "under-covered instance declared settled");
+    }
+
+    /// Fully measured stats where instances 0–3 are cheap, 4–11 form a
+    /// near-tied cluster straddling the pool boundary, and every
+    /// direction carries `2 * reps` samples jittered ±0.01 around its
+    /// pair cost — the intervals are bounded but overlap across the
+    /// cluster, so strict separation at the boundary is impossible.
+    fn tied_boundary_stats(reps: usize) -> PairwiseStats {
+        let m = 12;
+        let v = |i: usize| if i < 4 { 1.0 } else { 2.0 + 0.001 * (i - 4) as f64 };
+        let mut stats = PairwiseStats::new(m);
+        for i in 0..m {
+            for j in i + 1..m {
+                let c = (v(i) + v(j)) / 2.0;
+                for _ in 0..reps {
+                    record_both(&mut stats, i, j, c - 0.01);
+                    record_both(&mut stats, i, j, c + 0.01);
+                }
+            }
+        }
+        stats
+    }
+
+    #[test]
+    fn indifference_margin_settles_boundary_ties_strictness_cannot() {
+        use cloudia_measure::StopRule as _;
+        let stats = tied_boundary_stats(2);
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        // Strict separation: the tied cluster's intervals overlap the
+        // pool boundary, so nothing is condemnable and the membership
+        // question never settles.
+        let strict = CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95);
+        assert_eq!(strict.tolerance(), 0.0);
+        assert!(strict.prune(&stats, &remaining).is_empty(), "strict rule condemned a near-tie");
+        // With the 5% indifference margin the whole cluster is at best
+        // an ε-tie for the last pool slot: provably out, condemnable,
+        // and every membership verdict settles on the first evaluation.
+        let tolerant = strict.clone().with_tolerance(0.05);
+        assert_eq!(tolerant.tolerance(), 0.05);
+        let condemned = tolerant.prune(&stats, &remaining);
+        assert!(!condemned.is_empty(), "ε-ties at the boundary were not condemned");
+        for &(a, b) in &condemned {
+            assert!(a >= 4 || b >= 4, "cheap pair ({a},{b}) condemned");
+        }
+        let stop = CiStopRule::new(tolerant);
+        assert!(stop.stable(&stats, &remaining), "settled verdicts not recognized as stable");
+    }
+
+    #[test]
+    fn plateau_fires_only_after_a_fresh_sweep_moves_no_verdict() {
+        use cloudia_measure::StopRule as _;
+        let remaining: Vec<(u32, u32)> =
+            (0..12u32).flat_map(|a| (a + 1..12).map(move |b| (a, b))).collect();
+        // Strict rule: cheap instances are provably in (earned
+        // verdicts), the tied cluster stays undecided forever — only the
+        // plateau criterion can ever fire.
+        let stop = CiStopRule::new(CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95));
+        let stats = tied_boundary_stats(2);
+        assert!(!stop.stable(&stats, &remaining), "stable with no checkpoint to compare against");
+        assert!(!stop.stable(&stats, &remaining), "stable without any fresh evidence");
+        // A sweep-equivalent of fresh samples that moves no verdict is a
+        // plateau: the rest of the schedule is information-free.
+        let more = tied_boundary_stats(3);
+        assert!(stop.stable(&more, &remaining), "plateau after an unchanged sweep missed");
+
+        // A verdict flip between checkpoints re-arms the rule instead.
+        let stop = CiStopRule::new(CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95));
+        assert!(!stop.stable(&stats, &remaining));
+        let mut flipped = tied_boundary_stats(3);
+        for j in 0..11usize {
+            for _ in 0..6 {
+                record_both(&mut flipped, j, 11, 50.0);
+            }
+        }
+        assert!(!stop.stable(&flipped, &remaining), "changed verdicts accepted as a plateau");
+
+        // `with_must_keep` narrows the post-stop survivors away from the
+        // prune protections.
+        let mut rule = CiPruneRule::new(4, CandidateConfig::fixed(6), 0.95);
+        rule.protect_pair(0, 1);
+        let stop = CiStopRule::new(rule.clone()).with_must_keep([(2u32, 3u32)]);
+        assert!(stop.must_keep(2, 3) && stop.must_keep(3, 2));
+        assert!(!stop.must_keep(0, 1), "prune protection leaked into the stop keeps");
+        assert!(CiStopRule::new(rule).must_keep(0, 1), "default keeps lost the protections");
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod random;
 
 pub use candidates::{
     AdaptivePool, AdaptivePoolConfig, CandidateConfig, CandidatePruneRule, CandidateSet,
-    PoolPolicy, PrunedProblem,
+    CiPruneRule, CiStopRule, PoolPolicy, PrunedProblem,
 };
 pub use cluster::CostClusters;
 pub use control::SearchControl;

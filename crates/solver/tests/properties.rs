@@ -277,7 +277,7 @@ proptest! {
         coverage in 0.0f64..1.0,
     ) {
         use cloudia_measure::{PairwiseStats, PruneRule};
-        use cloudia_solver::{CandidateConfig, CandidatePruneRule, CandidateSet};
+        use cloudia_solver::{CandidateConfig, CandidatePruneRule, CandidateSet, CiPruneRule};
         use rand::{rngs::StdRng, Rng, SeedableRng};
 
         let n = 5usize;
@@ -358,6 +358,79 @@ proptest! {
         for &j in &incumbent {
             prop_assert!(cs.union().contains(&j), "incumbent {j} fell out of the union");
         }
+
+        // The CI-evidence rule under the same protections — at any
+        // confidence, with or without the indifference margin — obeys
+        // the identical contract: protected pairs and incumbent/pinned
+        // endpoints are never condemned, whatever the partial evidence.
+        let tolerance = if rng.random::<bool>() { 0.05 } else { 0.0 };
+        let mut ci_rule = CiPruneRule::new(n, CandidateConfig::fixed(pool_k), 0.95)
+            .with_tolerance(tolerance)
+            .with_incumbent(&incumbent)
+            .with_fixed(&fixed);
+        for &(a, b) in &protected {
+            ci_rule.protect_pair(a, b);
+        }
+        for &(a, b) in &ci_rule.prune(&stats, &remaining) {
+            let key = (a.min(b), a.max(b));
+            prop_assert!(!protected.contains(&key), "protected pair {key:?} CI-condemned");
+            prop_assert!(
+                !(incumbent.contains(&a) && incumbent.contains(&b)),
+                "incumbent pair ({a},{b}) CI-condemned"
+            );
+        }
+    }
+
+    #[test]
+    fn anytime_early_stop_preserves_subsequent_condemnation(
+        m in 8usize..14,
+        seed in 0u64..200,
+    ) {
+        use cloudia_measure::{run_anytime, MeasureConfig, PairwiseStats, PruneRule, Scheme, Staged};
+        use cloudia_netsim::{Cloud, Provider};
+        use cloudia_solver::{CandidateConfig, CandidatePruneRule, CiPruneRule, CiStopRule};
+
+        // Isolate the *early stop*: pruning is disabled, so the only way
+        // the anytime run differs from the full run is the stop cutting
+        // the tail of the schedule.
+        struct KeepAll;
+        impl PruneRule for KeepAll {
+            fn prune(&self, _: &PairwiseStats, _: &[(u32, u32)]) -> Vec<(u32, u32)> {
+                Vec::new()
+            }
+        }
+
+        let mut cloud = Cloud::boot(Provider::test_quiet(), seed);
+        let alloc = cloud.allocate(m);
+        let net = cloud.network(&alloc);
+        let cfg = MeasureConfig { seed, ..MeasureConfig::default() };
+        let scheme = Staged::new(2, 3);
+        let nodes = 4usize;
+        let pool = CandidateConfig::fixed((m / 2).max(nodes + 1));
+
+        let full = scheme.run_onto(&net, &cfg, PairwiseStats::new(m));
+        // min_coverage 1.0: the stop may not fire until every incident
+        // direction of every instance is measured; the indifference
+        // margin lets near-tied clusters settle so it can actually fire.
+        let ci = CiPruneRule::new(nodes, pool, 0.95)
+            .with_min_coverage(1.0)
+            .with_tolerance(0.05);
+        let stop = CiStopRule::new(ci);
+        let any = run_anytime(&scheme, &net, &cfg, PairwiseStats::new(m), &KeepAll, &stop);
+        prop_assert!(any.report.round_trips <= full.round_trips);
+
+        // On a jitter-free network every sample equals the link's exact
+        // cost and the stop cannot fire before full coverage, so however
+        // early it truncated the schedule, the point-quantile rule must
+        // reach identical condemnation verdicts afterwards.
+        let post = CandidatePruneRule::new(nodes, pool);
+        let remaining: Vec<(u32, u32)> =
+            (0..m as u32).flat_map(|a| (a + 1..m as u32).map(move |b| (a, b))).collect();
+        let mut from_full = post.prune(&full.stats, &remaining);
+        let mut from_any = post.prune(&any.report.stats, &remaining);
+        from_full.sort_unstable();
+        from_any.sort_unstable();
+        prop_assert_eq!(from_full, from_any);
     }
 
     #[test]

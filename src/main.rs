@@ -38,6 +38,13 @@ fn usage() -> ! {
                [--prune-during-sweep]         (online: stage-stream each measurement sweep and
                                                drop pairs mid-sweep once their measured quantiles
                                                prove them outside every candidate pool)
+               [--confidence C]               (online: error-bounded mode — per-link confidence
+                                               intervals at level C; pruning, drift alarms and
+                                               repair acceptance demand interval separation
+                                               instead of point estimates)
+               [--anytime]                    (online: with --confidence and --prune-during-sweep,
+                                               end each sweep early once every remaining
+                                               prune/pool decision is CI-stable)
                [--spot-check K]               (online: confirm a degradation alarm with K fresh
                                                single-link probes before repairing; 0 = off)
                [--loss P]                     (online: per-link per-direction drop probability,
@@ -115,6 +122,8 @@ fn main() {
     let mut migration_budget = 3usize;
     let mut probe_focused = false;
     let mut prune_during_sweep = false;
+    let mut confidence: Option<f64> = None;
+    let mut anytime = false;
     let mut spot_check = 0usize;
     let mut loss = 0.0f64;
     let mut retries = 3u32;
@@ -226,6 +235,18 @@ fn main() {
                 }
             }
             "--prune-during-sweep" => prune_during_sweep = true,
+            "--confidence" => {
+                let c: f64 = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad confidence level");
+                    usage();
+                });
+                if c <= 0.0 || c >= 1.0 {
+                    eprintln!("confidence must be in (0, 1)");
+                    usage();
+                }
+                confidence = Some(c);
+            }
+            "--anytime" => anytime = true,
             "--spot-check" => {
                 spot_check = value().parse().unwrap_or_else(|_| {
                     eprintln!("bad spot-check probe count");
@@ -438,6 +459,8 @@ fn main() {
             migration_budget,
             probe_focused,
             prune_during_sweep,
+            confidence,
+            anytime,
             spot_check,
             candidates,
             seed,
@@ -494,6 +517,8 @@ fn run_online(
     migration_budget: usize,
     probe_focused: bool,
     prune_during_sweep: bool,
+    confidence: Option<f64>,
+    anytime: bool,
     spot_check: usize,
     candidates: Option<cloudia::solver::CandidateConfig>,
     seed: u64,
@@ -517,10 +542,15 @@ fn run_online(
     human!();
     human!(
         "online advisor: {epochs} epochs x {epoch_hours} h, migration budget {migration_budget}, \
-         {} instances kept as spares, {} probing{}{}{}",
+         {} instances kept as spares, {} probing{}{}{}{}",
         outcome.network.len() - graph.num_nodes(),
         if probe_focused { "focused" } else { "uniform" },
         if prune_during_sweep { ", mid-sweep pruning" } else { "" },
+        match confidence {
+            Some(c) =>
+                format!(", {:.0}% CIs{}", c * 100.0, if anytime { " + anytime stop" } else { "" }),
+            None => String::new(),
+        },
         if spot_check > 0 { ", spot-check confirmation" } else { "" },
         if lossy {
             format!(
@@ -564,10 +594,18 @@ fn run_online(
             ProbePolicy::Uniform
         },
         prune_during_sweep,
+        confidence,
+        anytime,
         spot_check_probes: spot_check,
         loss_aware: !loss_opts.blind,
         ..OnlineAdvisorConfig::default()
     };
+    if anytime && (confidence.is_none() || !prune_during_sweep) {
+        human!(
+            "note: --anytime needs both --confidence and --prune-during-sweep; the early stop \
+             stays off"
+        );
+    }
     let mut advisor = OnlineAdvisor::new(
         graph.clone(),
         outcome.network.len(),

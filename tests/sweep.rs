@@ -146,6 +146,8 @@ fn pruned_vs_uniform_differential_through_the_facade() {
         probe_policy: ProbePolicy::Uniform,
         prune_during_sweep: true,
         spot_check_probes: 0,
+        confidence: None,
+        anytime: false,
     });
 
     assert!(
