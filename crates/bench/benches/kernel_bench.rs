@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks for the pinned solver hot kernels, plus a
+//! self-checking race: with `--bench` the run also asserts that the
+//! branch-reduced [`cloudia_solver::kernels::scan_row_evidence`] sweep
+//! beats the scalar per-element walk it replaced on a realistic sparse
+//! row shape (m = 10000, ~8 hits per row). The assertion keeps the
+//! kernel honest across PRs — a refactor that quietly re-introduces the
+//! per-element branches fails the bench run, not just a profile.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use cloudia_solver::kernels::scan_row_evidence;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// The pre-kernel scalar walk, transcribed from the old `build_partial`
+/// inner loop: one bounds-checked branch chain per element, including
+/// the `dst != src` diagonal test the kernel dropped (the stats plane
+/// guarantees a structurally-zero diagonal).
+fn scalar_walk(
+    src: usize,
+    row_count: &[u64],
+    row_att: &[u64],
+    mut on_hit: impl FnMut(usize, bool),
+) {
+    for dst in 0..row_count.len() {
+        if dst != src && (row_count[dst] > 0 || row_att[dst] > 0) {
+            on_hit(dst, row_count[dst] > 0);
+        }
+    }
+}
+
+/// Sparse evidence rows: `hits` observed links and `hits / 4` dark
+/// (attempted-only) links scattered uniformly over `m` columns.
+fn sparse_rows(m: usize, rows: usize, hits: usize, seed: u64) -> Vec<(Vec<u64>, Vec<u64>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows)
+        .map(|_| {
+            let mut count = vec![0u64; m];
+            let mut att = vec![0u64; m];
+            for _ in 0..hits {
+                let dst = rng.random_range(0..m);
+                count[dst] += 1;
+                att[dst] += 1;
+            }
+            for _ in 0..hits / 4 {
+                att[rng.random_range(0..m)] += 1;
+            }
+            (count, att)
+        })
+        .collect()
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_row_evidence");
+    for &m in &[1_000usize, 10_000] {
+        let rows = sparse_rows(m, 16, 8, 7);
+        group.bench_with_input(BenchmarkId::new("kernel", m), &rows, |b, rows| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (count, att) in rows {
+                    scan_row_evidence(count, att, |dst, observed| {
+                        acc += dst + observed as usize;
+                    });
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", m), &rows, |b, rows| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (count, att) in rows {
+                    scalar_walk(0, count, att, |dst, observed| {
+                        acc += dst + observed as usize;
+                    });
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(kernels, bench_scan);
+
+/// Timed assertion arm: the kernel must beat the scalar walk. Uses a
+/// plain `Instant` race (not criterion statistics) so it can fail the
+/// process with a clear message.
+fn assert_kernel_wins() {
+    let m = 10_000usize;
+    let rows = sparse_rows(m, 64, 8, 11);
+    let reps = 200usize;
+    let race = |f: &dyn Fn(&[u64], &[u64]) -> usize| {
+        // Warm the cache once, then time.
+        let mut acc = 0usize;
+        for (count, att) in &rows {
+            acc += f(count, att);
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for (count, att) in &rows {
+                acc += f(count, att);
+            }
+        }
+        (t0.elapsed().as_secs_f64(), black_box(acc))
+    };
+    let (kernel_s, kernel_acc) = race(&|count, att| {
+        let mut acc = 0usize;
+        scan_row_evidence(count, att, |dst, observed| acc += dst + observed as usize);
+        acc
+    });
+    let (scalar_s, scalar_acc) = race(&|count, att| {
+        let mut acc = 0usize;
+        scalar_walk(m, count, att, |dst, observed| acc += dst + observed as usize);
+        acc
+    });
+    assert_eq!(kernel_acc, scalar_acc, "kernel visited different evidence than the scalar walk");
+    let speedup = scalar_s / kernel_s.max(1e-12);
+    println!("# kernel race: scalar {scalar_s:.4}s, kernel {kernel_s:.4}s, speedup {speedup:.2}x");
+    assert!(
+        kernel_s < scalar_s,
+        "scan_row_evidence ({kernel_s:.4}s) must beat the scalar walk ({scalar_s:.4}s)"
+    );
+}
+
+fn main() {
+    // `cargo bench` passes `--bench`; `cargo test` passes `--test` (the
+    // criterion shim then runs each body exactly once). The timed
+    // assertion only runs under a real bench invocation — a single-shot
+    // test-mode sample is too noisy to gate on.
+    kernels();
+    if std::env::args().any(|a| a == "--bench") {
+        assert_kernel_wins();
+    }
+}

@@ -326,6 +326,16 @@ struct StageTally {
     fanout_width_max: u64,
     /// Wall nanoseconds spent merging per-pair outcomes into the stats.
     merge_ns: u64,
+    /// Per-stage merge latencies (ms) of stages that fanned out over
+    /// more than one worker, flushed into the `sweep.stage_merge_ms`
+    /// histogram in one batch at drop — unlike the summed `merge_ns`
+    /// counter, the histogram keeps the shape of the sharded merge.
+    /// Serial stages are excluded: small sweeps run thousands of them
+    /// and per-stage samples would dominate the telemetry budget, while
+    /// the histogram exists to watch the parallel merge specifically.
+    merge_ms: Vec<f64>,
+    /// P² sketches spilled by the quiet-link horizon this run.
+    spilled: u64,
     /// Wall-time span from the first executed stage to driver drop;
     /// `None` until a stage runs (or while telemetry is disabled).
     span: Option<cloudia_obs::SpanGuard>,
@@ -352,7 +362,9 @@ impl Drop for StageTally {
                 ("sweep.dark_pairs", self.dark),
                 ("sweep.parallel.stages", self.parallel_stages),
                 ("sweep.parallel.merge_ns", self.merge_ns),
+                ("sweep.sketch_spills", self.spilled),
             ]);
+            cloudia_obs::observe_many("sweep.stage_merge_ms", &self.merge_ms);
         }
     }
 }
@@ -504,6 +516,16 @@ impl SweepDriver for StageDriver<'_> {
             self.tally.merge_ns += outcome.merge_ns;
             if outcome.workers > 1 {
                 self.tally.parallel_stages += 1;
+                self.tally.merge_ms.push(outcome.merge_ns as f64 / 1e6);
+            }
+        }
+        // Age the stats plane's quiet-time clock — one tick per completed
+        // stage — and spill idle sketches if a horizon is configured.
+        self.stats.advance_tick();
+        if let Some(horizon) = self.cfg.sketch_spill_horizon {
+            let spilled = self.stats.spill_quiet(horizon);
+            if cloudia_obs::enabled() {
+                self.tally.spilled += spilled as u64;
             }
         }
         // Pairs that went dark (retry budget exhausted without one

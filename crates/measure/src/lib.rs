@@ -51,6 +51,7 @@ pub mod ci;
 pub mod driver;
 pub mod error;
 pub mod focused;
+pub mod pool;
 pub mod scheme;
 pub mod staged;
 pub mod stats;
@@ -62,8 +63,9 @@ pub use driver::{
     run_anytime, run_pruned, AnytimeReport, PruneRule, PrunedReport, StopRule, SweepDriver,
 };
 pub use focused::{FocusedScheme, ProbePlan};
+pub use pool::{PoolStats, SweepPool};
 pub use scheme::{MeasureConfig, MeasurementReport, Scheme, Snapshot};
 pub use staged::Staged;
-pub use stats::{LinkEstimate, P2Quantile, PairwiseStats, Welford};
+pub use stats::{LinkBatch, LinkEstimate, P2Quantile, PairwiseStats, Welford};
 pub use token::TokenPassing;
 pub use uncoordinated::Uncoordinated;

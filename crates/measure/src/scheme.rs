@@ -11,7 +11,8 @@
 use cloudia_netsim::{Network, NicParams};
 
 use crate::driver::SweepDriver;
-use crate::stats::PairwiseStats;
+use crate::pool::SweepPool;
+use crate::stats::{LinkBatch, PairwiseStats};
 
 /// Message kinds used by all schemes.
 pub(crate) const KIND_PROBE: u32 = 0;
@@ -54,6 +55,14 @@ pub struct MeasureConfig {
     /// lossless network the budget is never consulted, so loss-awareness
     /// is free when the network is clean.
     pub retries_per_pair: u32,
+    /// If set, spill the P² sketch of any link that has gone this many
+    /// completed stages without a fresh sample
+    /// ([`crate::PairwiseStats::spill_quiet`]); spilled sketches
+    /// re-allocate on the link's next sample. Bounds the stats plane's
+    /// resident footprint on huge sparse sweeps, at the cost of a
+    /// temporary mean+SD p99 proxy on quiet links. `None` (default)
+    /// keeps every sketch forever.
+    pub sketch_spill_horizon: Option<u64>,
 }
 
 impl Default for MeasureConfig {
@@ -67,6 +76,7 @@ impl Default for MeasureConfig {
             timeout_ms: cloudia_netsim::DEFAULT_TIMEOUT_MS,
             retries_per_pair: 3,
             stage_workers: 0,
+            sketch_spill_horizon: None,
         }
     }
 }
@@ -326,9 +336,12 @@ fn simulate_pair(
     out
 }
 
-/// Simulates every pair of a stage, fanning out across `workers` threads
-/// when asked to (each worker owns a contiguous chunk of the pair list;
-/// per-pair RNG substreams make the split invisible in the results).
+/// Simulates every pair of a stage, fanning out across `workers` tasks
+/// on the persistent [`SweepPool`] when asked to (each task owns a
+/// contiguous chunk of the pair list; per-pair RNG substreams make the
+/// split invisible in the results). The pool's threads are long-lived —
+/// stages and epochs reuse them instead of paying a spawn/join barrier
+/// per stage.
 #[allow(clippy::too_many_arguments)]
 fn simulate_stage(
     net: &Network,
@@ -352,25 +365,25 @@ fn simulate_stage(
     let mut out: Vec<PairOutcome> = Vec::new();
     out.resize_with(directed.len(), PairOutcome::default);
     let chunk = directed.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let mut slots = out.as_mut_slice();
-        let (mut directed, mut ks, mut seeds) = (directed, ks, seeds);
-        while !slots.is_empty() {
-            let take = chunk.min(slots.len());
-            let (slot_chunk, slot_rest) = slots.split_at_mut(take);
-            let (pair_chunk, pair_rest) = directed.split_at(take);
-            let (ks_chunk, ks_rest) = ks.split_at(take);
-            let (seed_chunk, seed_rest) = seeds.split_at(take);
-            (slots, directed, ks, seeds) = (slot_rest, pair_rest, ks_rest, seed_rest);
-            scope.spawn(move || {
-                for (slot, ((&pair, &k), &seed)) in
-                    slot_chunk.iter_mut().zip(pair_chunk.iter().zip(ks_chunk).zip(seed_chunk))
-                {
-                    *slot = simulate_pair(net, cfg, limit, t0, pair, k, seed);
-                }
-            });
-        }
-    });
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
+    let mut slots = out.as_mut_slice();
+    let (mut directed, mut ks, mut seeds) = (directed, ks, seeds);
+    while !slots.is_empty() {
+        let take = chunk.min(slots.len());
+        let (slot_chunk, slot_rest) = slots.split_at_mut(take);
+        let (pair_chunk, pair_rest) = directed.split_at(take);
+        let (ks_chunk, ks_rest) = ks.split_at(take);
+        let (seed_chunk, seed_rest) = seeds.split_at(take);
+        (slots, directed, ks, seeds) = (slot_rest, pair_rest, ks_rest, seed_rest);
+        tasks.push(Box::new(move || {
+            for (slot, ((&pair, &k), &seed)) in
+                slot_chunk.iter_mut().zip(pair_chunk.iter().zip(ks_chunk).zip(seed_chunk))
+            {
+                *slot = simulate_pair(net, cfg, limit, t0, pair, k, seed);
+            }
+        }));
+    }
+    SweepPool::global().run(tasks);
     out
 }
 
@@ -407,15 +420,7 @@ pub(crate) fn run_stage(
 
     let merge_start = std::time::Instant::now();
     let mut outcome = StageOutcome { end: t0, workers, ..StageOutcome::default() };
-    let mut events: Vec<(f64, usize, f64)> = Vec::new();
     for (pid, o) in outcomes.iter().enumerate() {
-        let (src, dst) = directed[pid];
-        for _ in 0..o.attempts {
-            stats.record_attempt(src, dst);
-        }
-        for _ in 0..o.timeouts {
-            stats.record_timeout(src, dst);
-        }
         outcome.round_trips += o.samples.len() as u64;
         outcome.sent += o.sent;
         outcome.delivered += o.delivered;
@@ -424,16 +429,42 @@ pub(crate) fn run_stage(
         if o.dark {
             outcome.dark.push(pid);
         }
-        events.extend(o.samples.iter().map(|&(at, rtt)| (at, pid, rtt)));
     }
-    // Replay the round trips in global completion order, exactly as the
-    // single event loop would have interleaved them; ties (identical
-    // completion times on quiet networks) break by pair id.
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
-    for (at, pid, rtt) in events {
-        let (src, dst) = directed[pid];
-        stats.record(src, dst, rtt);
-        tracker.maybe_snapshot(at, stats);
+    if tracker.active() {
+        // Snapshotting replays the round trips in global completion
+        // order, exactly as the single event loop would have interleaved
+        // them (ties break by pair id), consulting the tracker after
+        // every sample. Per-link results are identical to the batch path
+        // below — each link only ever sees its own time-ordered samples.
+        let mut events: Vec<(f64, usize, f64)> = Vec::new();
+        for (pid, o) in outcomes.iter().enumerate() {
+            let (src, dst) = directed[pid];
+            stats.record_attempts(src, dst, o.attempts);
+            stats.record_timeouts(src, dst, o.timeouts);
+            events.extend(o.samples.iter().map(|&(at, rtt)| (at, pid, rtt)));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+        for (at, pid, rtt) in events {
+            let (src, dst) = directed[pid];
+            stats.record(src, dst, rtt);
+            tracker.maybe_snapshot(at, stats);
+        }
+    } else {
+        // Hot path: one batch per directed link (a stage's pairs are
+        // endpoint-disjoint, so links are unique), sharded across the
+        // pool by `merge_batches` — no serial per-sample loop.
+        let batches: Vec<LinkBatch> = outcomes
+            .into_iter()
+            .zip(directed)
+            .map(|(o, &(src, dst))| LinkBatch {
+                src,
+                dst,
+                attempts: o.attempts,
+                timeouts: o.timeouts,
+                rtts: o.samples.into_iter().map(|(_, rtt)| rtt).collect(),
+            })
+            .collect();
+        stats.merge_batches(batches, workers);
     }
     outcome.merge_ns = merge_start.elapsed().as_nanos() as u64;
     outcome
@@ -453,6 +484,13 @@ impl SnapshotTracker {
             next_at: cfg.snapshot_every_ms.unwrap_or(0.0),
             snapshots: Vec::new(),
         }
+    }
+
+    /// True when snapshotting was requested — i.e. `run_stage` must
+    /// replay samples serially in global completion order instead of
+    /// taking the batched merge path.
+    pub(crate) fn active(&self) -> bool {
+        self.every.is_some()
     }
 
     /// Called after each recorded sample with the current simulated time.

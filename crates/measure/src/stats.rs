@@ -22,10 +22,39 @@
 //!
 //! The pre-refactor array-of-structs implementation is retained verbatim
 //! in [`aos`] as a differential-test oracle and bench baseline.
+//!
+//! ## Sharded parallel merge
+//!
+//! A stage's per-pair outcomes land here through
+//! [`PairwiseStats::merge_batches`]: one [`LinkBatch`] per directed link,
+//! replayed into the columns by disjoint link-index shards across the
+//! sweep worker pool. Because the columns are per-link accumulators and
+//! a batch carries its link's samples already time-ordered, the sharded
+//! replay is **bit-identical** to calling
+//! `record`/`record_attempt`/`record_timeout` serially, at any worker
+//! count — the property suite pins every column (count/mean/M2/attempts/
+//! timeouts) and the P² sketches.
+//!
+//! ## Adaptive sketch spilling
+//!
+//! The Welford columns are dense and cheap; the P² sketches are the
+//! expensive part of a covered link (176 bytes each). Links often go
+//! quiet mid-run — pruned pairs, converged candidates, cold corners of a
+//! focused plan — so the store keeps a per-sketch last-seen tick and
+//! [`PairwiseStats::spill_quiet`] drops sketches idle past a horizon,
+//! recycling their slots through a free list (the side table stops
+//! growing once the working set stabilises). A spilled link's Welford
+//! columns are untouched — mean/SD/CI answers are exact forever — and
+//! its p99 falls back to the mean+SD proxy until a fresh sample
+//! re-allocates a sketch. [`PairwiseStats::resident_bytes`] reports the
+//! materialised footprint (touched column pages + live sketch table)
+//! that spilling actually bounds; `memory_bytes` stays the logical
+//! capacity view.
 
 use cloudia_netsim::cost::{CostError, CostMatrix};
 
 use crate::ci::LinkCi;
+use crate::pool::SweepPool;
 
 // The Welford and P² sketches moved to `cloudia-obs` (the telemetry
 // plane reuses them for histogram snapshots); re-exported here so the
@@ -86,9 +115,116 @@ impl LinkEstimate<'_> {
     }
 
     /// 99th-percentile estimate (paper's "99%" metric); 0 before the
-    /// first sample, like an empty sketch.
+    /// first sample, like an empty sketch. A covered link whose sketch
+    /// was spilled ([`PairwiseStats::spill_quiet`]) reports the mean+SD
+    /// proxy until a fresh sample re-allocates its sketch.
     pub fn p99(&self) -> f64 {
-        self.p99.map_or(0.0, P2Quantile::value)
+        match self.p99 {
+            Some(sketch) => sketch.value(),
+            None if self.count > 0 => self.mean_plus_sd(),
+            None => 0.0,
+        }
+    }
+}
+
+/// One directed link's complete outcome batch from a measurement stage:
+/// the probe ledger plus the link's round-trip samples in completion
+/// order. The unit of the sharded parallel merge
+/// ([`PairwiseStats::merge_batches`]).
+#[derive(Debug, Clone, Default)]
+pub struct LinkBatch {
+    /// Source instance index.
+    pub src: usize,
+    /// Destination instance index (`!= src`).
+    pub dst: usize,
+    /// Probes issued on the link this stage.
+    pub attempts: u64,
+    /// Probes that timed out this stage.
+    pub timeouts: u64,
+    /// Completed round-trip times, time-ordered.
+    pub rtts: Vec<f64>,
+}
+
+/// Links per 4 KB page of an 8-byte column — the granularity of the
+/// touched-page ledger behind [`PairwiseStats::resident_bytes`].
+const LINKS_PER_PAGE: usize = 512;
+
+/// Replays one batch into one link's column cells and (optional) sketch
+/// — the exact arithmetic sequence of the serial
+/// `record_attempt`/`record_timeout`/`record` loops, which is what makes
+/// the sharded merge bit-identical to the serial one.
+fn apply_batch(
+    batch: &LinkBatch,
+    count: &mut u64,
+    mean: &mut f64,
+    m2: &mut f64,
+    attempts: &mut u64,
+    timeouts: &mut u64,
+    sketch: Option<&mut P2Quantile>,
+) {
+    *attempts += batch.attempts;
+    *timeouts += batch.timeouts;
+    if batch.rtts.is_empty() {
+        return;
+    }
+    let mut w = Welford::from_parts(*count, *mean, *m2);
+    let sketch = sketch.expect("a batch with samples always has a sketch slot");
+    for &rtt in &batch.rtts {
+        w.record(rtt);
+        sketch.record(rtt);
+    }
+    (*count, *mean, *m2) = w.parts();
+}
+
+/// Splits `rest` — the suffix of a column starting at absolute link
+/// index `consumed` — into the cells `[lo, hi)` (returned) and the tail
+/// after `hi` (written back to `rest`).
+fn carve<'a, T>(rest: &mut &'a mut [T], consumed: usize, lo: usize, hi: usize) -> &'a mut [T] {
+    let tail = std::mem::take(rest);
+    let (_, tail) = tail.split_at_mut(lo - consumed);
+    let (head, tail) = tail.split_at_mut(hi - lo);
+    *rest = tail;
+    head
+}
+
+/// One worker's share of a sharded merge: a contiguous link-index
+/// interval's column slices, the batches that fall in it, and the moved
+/// sketches of those batches' links.
+struct MergeShard<'a> {
+    /// Link index of the first cell in the slices.
+    base: usize,
+    count: &'a mut [u64],
+    mean: &'a mut [f64],
+    m2: &'a mut [f64],
+    attempts: &'a mut [u64],
+    timeouts: &'a mut [u64],
+    batches: &'a [LinkBatch],
+    /// `(position in batches, slot id, sketch moved out of the store)`,
+    /// ascending by position; at most one entry per batch.
+    sketches: Vec<(usize, u32, P2Quantile)>,
+}
+
+impl MergeShard<'_> {
+    fn run(&mut self, n: usize) {
+        let mut sk = 0;
+        for (bi, batch) in self.batches.iter().enumerate() {
+            let off = batch.src * n + batch.dst - self.base;
+            let sketch = if sk < self.sketches.len() && self.sketches[sk].0 == bi {
+                sk += 1;
+                Some(&mut self.sketches[sk - 1].2)
+            } else {
+                None
+            };
+            apply_batch(
+                batch,
+                &mut self.count[off],
+                &mut self.mean[off],
+                &mut self.m2[off],
+                &mut self.attempts[off],
+                &mut self.timeouts[off],
+                sketch,
+            );
+        }
     }
 }
 
@@ -102,12 +238,29 @@ pub struct PairwiseStats {
     m2: Vec<f64>,
     attempts: Vec<u64>,
     timeouts: Vec<u64>,
-    /// `slot + 1` into `sketches`, 0 = no sketch yet. The +1 bias keeps
-    /// the column all-zeroes at construction, so the allocator's lazily
-    /// mapped pages stay untouched until a link records.
+    /// `slot + 1` into `sketches`, 0 = no sketch (never sampled, or
+    /// spilled). The +1 bias keeps the column all-zeroes at
+    /// construction, so the allocator's lazily mapped pages stay
+    /// untouched until a link records.
     sketch_slot: Vec<u32>,
-    /// Lazily allocated P² p99 sketches, one per link that ever recorded.
+    /// Lazily allocated P² p99 sketches, one per link that recorded a
+    /// sample since its last spill.
     sketches: Vec<P2Quantile>,
+    /// Link index that owns each sketch slot (`u64::MAX` = freed by
+    /// spilling, awaiting reuse through `free_slots`).
+    sketch_link: Vec<u64>,
+    /// Quiet-time tick at which each slot last recorded a sample.
+    sketch_seen: Vec<u64>,
+    /// Spilled slots available for reuse, LIFO.
+    free_slots: Vec<u32>,
+    /// Quiet-time clock for spilling, advanced by `advance_tick` (one
+    /// tick per measurement stage when driven by `StageDriver`).
+    tick: u64,
+    /// Bitmap over [`LINKS_PER_PAGE`]-link column pages: a set bit means
+    /// some link in that page was probed or sampled, i.e. its column
+    /// pages are materialised. Feeds `resident_bytes`.
+    touched_pages: Vec<u64>,
+    touched_page_count: usize,
     // Running aggregates, maintained on record so the totals below are
     // O(1) instead of an O(n²) column scan per call.
     samples_total: u64,
@@ -129,6 +282,12 @@ impl PairwiseStats {
             timeouts: vec![0; n * n],
             sketch_slot: vec![0; n * n],
             sketches: Vec::new(),
+            sketch_link: Vec::new(),
+            sketch_seen: Vec::new(),
+            free_slots: Vec::new(),
+            tick: 0,
+            touched_pages: vec![0; (n * n).div_ceil(LINKS_PER_PAGE).div_ceil(64)],
+            touched_page_count: 0,
             samples_total: 0,
             attempts_total: 0,
             timeouts_total: 0,
@@ -153,10 +312,44 @@ impl PairwiseStats {
         src * self.n + dst
     }
 
+    /// Marks the column page holding `idx` as materialised.
+    #[inline]
+    fn touch_page(&mut self, idx: usize) {
+        let page = idx / LINKS_PER_PAGE;
+        let mask = 1u64 << (page % 64);
+        let word = &mut self.touched_pages[page / 64];
+        if *word & mask == 0 {
+            *word |= mask;
+            self.touched_page_count += 1;
+        }
+    }
+
+    /// Allocates (or reuses, via the spill free list) a sketch slot for
+    /// `idx`, records its ownership and last-seen tick, and writes the
+    /// `+1`-biased id into the slot column. Returns the unbiased slot.
+    fn alloc_sketch(&mut self, idx: usize) -> usize {
+        let slot = if let Some(free) = self.free_slots.pop() {
+            let slot = free as usize;
+            self.sketches[slot] = P2Quantile::new(0.99);
+            slot
+        } else {
+            self.sketches.push(P2Quantile::new(0.99));
+            self.sketch_link.push(0);
+            self.sketch_seen.push(0);
+            self.sketches.len() - 1
+        };
+        self.sketch_link[slot] = idx as u64;
+        self.sketch_seen[slot] = self.tick;
+        self.sketch_slot[idx] =
+            u32::try_from(slot + 1).expect("more than u32::MAX - 1 covered links");
+        slot
+    }
+
     /// Records one RTT observation for the directed link `src → dst`
     /// (raw indices).
     pub fn record(&mut self, src: usize, dst: usize, rtt: f64) {
         let idx = self.idx(src, dst);
+        self.touch_page(idx);
         if self.count[idx] == 0 {
             self.covered += 1;
         }
@@ -165,33 +358,230 @@ impl PairwiseStats {
         w.record(rtt);
         (self.count[idx], self.mean[idx], self.m2[idx]) = w.parts();
         self.samples_total += 1;
-        let slot = self.sketch_slot[idx];
-        let sketch = if slot == 0 {
-            self.sketches.push(P2Quantile::new(0.99));
-            self.sketch_slot[idx] =
-                u32::try_from(self.sketches.len()).expect("more than u32::MAX - 1 covered links");
-            self.sketches.last_mut().expect("just pushed")
-        } else {
-            &mut self.sketches[slot as usize - 1]
+        let slot = match self.sketch_slot[idx] {
+            0 => self.alloc_sketch(idx),
+            s => s as usize - 1,
         };
-        sketch.record(rtt);
+        self.sketch_seen[slot] = self.tick;
+        self.sketches[slot].record(rtt);
     }
 
     /// Counts one probe issued on the directed link `src → dst`.
     pub fn record_attempt(&mut self, src: usize, dst: usize) {
-        let idx = self.idx(src, dst);
-        if self.attempts[idx] == 0 {
-            self.attempted += 1;
-        }
-        self.attempts[idx] += 1;
-        self.attempts_total += 1;
+        self.record_attempts(src, dst, 1);
     }
 
     /// Counts one timed-out probe on the directed link `src → dst`.
     pub fn record_timeout(&mut self, src: usize, dst: usize) {
+        self.record_timeouts(src, dst, 1);
+    }
+
+    /// Counts `k` probes issued on the directed link `src → dst` in one
+    /// call — the bulk form of [`PairwiseStats::record_attempt`] the
+    /// stage merge uses instead of a per-probe loop. `k = 0` is a no-op
+    /// (in particular it does not mark the link attempted).
+    pub fn record_attempts(&mut self, src: usize, dst: usize, k: u64) {
+        if k == 0 {
+            return;
+        }
         let idx = self.idx(src, dst);
-        self.timeouts[idx] += 1;
-        self.timeouts_total += 1;
+        self.touch_page(idx);
+        if self.attempts[idx] == 0 {
+            self.attempted += 1;
+        }
+        self.attempts[idx] += k;
+        self.attempts_total += k;
+    }
+
+    /// Counts `k` timed-out probes on the directed link `src → dst`.
+    pub fn record_timeouts(&mut self, src: usize, dst: usize, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let idx = self.idx(src, dst);
+        self.touch_page(idx);
+        self.timeouts[idx] += k;
+        self.timeouts_total += k;
+    }
+
+    /// Merges one stage's per-link outcome batches, sharding the column
+    /// replay across the global [`SweepPool`] when `workers > 1`.
+    ///
+    /// Requirements: each directed link appears in at most one batch
+    /// (stage schedules are endpoint-disjoint, so this is free for sweep
+    /// callers) and each batch's `rtts` are in completion order. Under
+    /// those, the result is **bit-identical** to replaying every batch
+    /// serially through `record_attempts`/`record_timeouts`/`record`:
+    /// each worker owns a disjoint contiguous `src * n + dst` interval
+    /// of every column, per-link arithmetic only ever sees its own
+    /// link's samples in order, and the running aggregates plus sketch
+    /// slot numbering are assigned in a main-thread pre-pass over the
+    /// index-sorted batches that does not depend on the worker count.
+    pub fn merge_batches(&mut self, mut batches: Vec<LinkBatch>, workers: usize) {
+        let n = self.n;
+        batches.retain(|b| b.attempts > 0 || b.timeouts > 0 || !b.rtts.is_empty());
+        if batches.is_empty() {
+            return;
+        }
+        // Deterministic shard layout: batches sort by link index and the
+        // shard cuts fall on batch boundaries.
+        batches.sort_by_key(|b| b.src * n + b.dst);
+        // Main-thread pre-pass, in link-index order: aggregates, page
+        // tracking, and sketch slot allocation.
+        let mut slots: Vec<Option<u32>> = Vec::with_capacity(batches.len());
+        let mut prev = usize::MAX;
+        for b in &batches {
+            assert!(b.src < n && b.dst < n && b.src != b.dst, "bad link {}→{}", b.src, b.dst);
+            let idx = b.src * n + b.dst;
+            assert_ne!(idx, prev, "link {}→{} appears in two batches", b.src, b.dst);
+            prev = idx;
+            self.touch_page(idx);
+            if !b.rtts.is_empty() && self.count[idx] == 0 {
+                self.covered += 1;
+            }
+            if b.attempts > 0 && self.attempts[idx] == 0 {
+                self.attempted += 1;
+            }
+            self.samples_total += b.rtts.len() as u64;
+            self.attempts_total += b.attempts;
+            self.timeouts_total += b.timeouts;
+            slots.push(if b.rtts.is_empty() {
+                None
+            } else {
+                let slot = match self.sketch_slot[idx] {
+                    0 => self.alloc_sketch(idx),
+                    s => s as usize - 1,
+                };
+                self.sketch_seen[slot] = self.tick;
+                Some(slot as u32)
+            });
+        }
+        let workers = workers.clamp(1, batches.len());
+        if workers == 1 {
+            for (b, slot) in batches.iter().zip(&slots) {
+                let idx = b.src * n + b.dst;
+                let sketch = match slot {
+                    Some(s) => Some(&mut self.sketches[*s as usize]),
+                    None => None,
+                };
+                apply_batch(
+                    b,
+                    &mut self.count[idx],
+                    &mut self.mean[idx],
+                    &mut self.m2[idx],
+                    &mut self.attempts[idx],
+                    &mut self.timeouts[idx],
+                    sketch,
+                );
+            }
+            return;
+        }
+        // Weighted cuts: balance shards by replay work (samples dominate;
+        // the +1 keeps sample-free batches from collapsing into one shard).
+        let total: u64 = batches.iter().map(|b| b.rtts.len() as u64 + 1).sum();
+        let target = total.div_ceil(workers as u64);
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::with_capacity(workers);
+        let (mut start, mut acc) = (0usize, 0u64);
+        for (i, b) in batches.iter().enumerate() {
+            acc += b.rtts.len() as u64 + 1;
+            if acc >= target {
+                ranges.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < batches.len() {
+            ranges.push(start..batches.len());
+        }
+        // Progressively split the five columns at the shard boundaries —
+        // each worker gets exclusive slices of its link-index interval —
+        // and move the touched sketches out beside them.
+        let mut shards: Vec<MergeShard<'_>> = Vec::with_capacity(ranges.len());
+        let mut count_rest = self.count.as_mut_slice();
+        let mut mean_rest = self.mean.as_mut_slice();
+        let mut m2_rest = self.m2.as_mut_slice();
+        let mut att_rest = self.attempts.as_mut_slice();
+        let mut to_rest = self.timeouts.as_mut_slice();
+        let mut consumed = 0usize;
+        for r in ranges {
+            let lo = batches[r.start].src * n + batches[r.start].dst;
+            let hi = batches[r.end - 1].src * n + batches[r.end - 1].dst + 1;
+            let mut moved: Vec<(usize, u32, P2Quantile)> = Vec::new();
+            for (bi, slot) in slots[r.clone()].iter().enumerate() {
+                if let Some(s) = slot {
+                    moved.push((
+                        bi,
+                        *s,
+                        std::mem::replace(&mut self.sketches[*s as usize], P2Quantile::new(0.99)),
+                    ));
+                }
+            }
+            shards.push(MergeShard {
+                base: lo,
+                count: carve(&mut count_rest, consumed, lo, hi),
+                mean: carve(&mut mean_rest, consumed, lo, hi),
+                m2: carve(&mut m2_rest, consumed, lo, hi),
+                attempts: carve(&mut att_rest, consumed, lo, hi),
+                timeouts: carve(&mut to_rest, consumed, lo, hi),
+                batches: &batches[r],
+                sketches: moved,
+            });
+            consumed = hi;
+        }
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = shards
+            .iter_mut()
+            .map(|shard| Box::new(move || shard.run(n)) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        SweepPool::global().run(tasks);
+        // Shuttle the replayed sketches back into their slots.
+        for shard in shards {
+            for (_, slot, sketch) in shard.sketches {
+                self.sketches[slot as usize] = sketch;
+            }
+        }
+    }
+
+    /// Current quiet-time tick (the stage counter spilling ages against).
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances the quiet-time clock by one tick. Drivers call this once
+    /// per completed stage so sketch idleness is measured in stages.
+    pub fn advance_tick(&mut self) {
+        self.tick += 1;
+    }
+
+    /// Spills every P² sketch whose link has not recorded a sample for
+    /// at least `horizon` ticks (clamped to ≥ 1, so a sketch touched
+    /// this tick never spills), returning the number spilled. Spilled
+    /// slots go on a free list for reuse, which is what bounds the
+    /// sketch table: it stops growing once the per-tick working set
+    /// stabilises, instead of accumulating one 176-byte sketch per link
+    /// ever covered. The Welford columns are untouched — mean/SD/CI
+    /// answers stay exact — and only the link's p99 degrades, to the
+    /// mean+SD proxy, until a fresh sample re-allocates a sketch.
+    pub fn spill_quiet(&mut self, horizon: u64) -> usize {
+        let horizon = horizon.max(1);
+        let mut spilled = 0;
+        for slot in 0..self.sketches.len() {
+            let link = self.sketch_link[slot];
+            if link == u64::MAX {
+                continue; // already on the free list
+            }
+            if self.tick.saturating_sub(self.sketch_seen[slot]) >= horizon {
+                self.sketch_slot[link as usize] = 0;
+                self.sketch_link[slot] = u64::MAX;
+                self.free_slots.push(slot as u32);
+                spilled += 1;
+            }
+        }
+        spilled
+    }
+
+    /// Number of live (unspilled) P² sketches.
+    pub fn live_sketches(&self) -> usize {
+        self.sketches.len() - self.free_slots.len()
     }
 
     /// Total probes issued across all links.
@@ -270,6 +660,31 @@ impl PairwiseStats {
             + self.timeouts.capacity() * size_of::<u64>()
             + self.sketch_slot.capacity() * size_of::<u32>()
             + self.sketches.capacity() * size_of::<P2Quantile>()
+            + self.sketch_link.capacity() * size_of::<u64>()
+            + self.sketch_seen.capacity() * size_of::<u64>()
+            + self.free_slots.capacity() * size_of::<u32>()
+            + self.touched_pages.capacity() * size_of::<u64>()
+    }
+
+    /// Estimated bytes actually *materialised* by this store: column
+    /// pages holding at least one touched link (five 8-byte columns — a
+    /// full 4 KB page each — plus half a page for the 4-byte sketch-slot
+    /// column) plus the sketch side tables. Untouched links cost nothing
+    /// because the zero-filled columns stay in lazily-mapped pages, so
+    /// this — unlike the capacity view of
+    /// [`PairwiseStats::memory_bytes`] — is the footprint that sketch
+    /// spilling bounds: the `ext_scale` m = 20k arm asserts it stays
+    /// under 5 GB with spilling on.
+    pub fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let page = 4096;
+        size_of::<Self>()
+            + self.touched_page_count * (5 * page + page / 2)
+            + self.sketches.len() * size_of::<P2Quantile>()
+            + self.sketch_link.len() * size_of::<u64>()
+            + self.sketch_seen.len() * size_of::<u64>()
+            + self.free_slots.capacity() * size_of::<u32>()
+            + self.touched_pages.capacity() * size_of::<u64>()
     }
 
     /// Flattened vector of mean estimates over all ordered pairs (i ≠ j),
@@ -308,12 +723,16 @@ impl PairwiseStats {
         })
     }
 
-    /// Matrix of p99 estimates (diagonal 0).
+    /// Matrix of p99 estimates (diagonal 0). A covered link whose sketch
+    /// was spilled prices as the mean+SD proxy, never a free `0.0`.
     pub fn p99_matrix(&self) -> Result<CostMatrix, CostError> {
         self.matrix_from(|idx| {
             let slot = self.sketch_slot[idx];
             if slot == 0 {
-                0.0
+                // Only reachable for a covered link whose sketch was
+                // spilled: matrix_from consults us only when count > 0.
+                self.mean[idx]
+                    + Welford::from_parts(self.count[idx], self.mean[idx], self.m2[idx]).sd()
             } else {
                 self.sketches[slot as usize - 1].value()
             }
@@ -809,6 +1228,139 @@ mod tests {
         assert_eq!(s.total_timeouts(), s.timeouts.iter().sum::<u64>());
         assert_eq!(s.covered_links(), s.count.iter().filter(|&&c| c > 0).count());
         assert_eq!(s.attempted_links(), s.attempts.iter().filter(|&&a| a > 0).count());
+    }
+
+    #[test]
+    fn bulk_attempt_and_timeout_match_the_loop_forms() {
+        let mut bulk = PairwiseStats::new(4);
+        let mut looped = PairwiseStats::new(4);
+        bulk.record_attempts(0, 1, 5);
+        bulk.record_timeouts(0, 1, 2);
+        // k = 0 is a no-op and must not mark the link attempted.
+        bulk.record_attempts(2, 3, 0);
+        bulk.record_timeouts(2, 3, 0);
+        for _ in 0..5 {
+            looped.record_attempt(0, 1);
+        }
+        for _ in 0..2 {
+            looped.record_timeout(0, 1);
+        }
+        assert_eq!(bulk.link(0, 1).attempts(), looped.link(0, 1).attempts());
+        assert_eq!(bulk.link(0, 1).timeouts(), looped.link(0, 1).timeouts());
+        assert_eq!(bulk.total_attempts(), 5);
+        assert_eq!(bulk.total_timeouts(), 2);
+        assert_eq!(bulk.attempted_links(), 1);
+    }
+
+    #[test]
+    fn merge_batches_matches_serial_replay_at_any_worker_count() {
+        let n = 8;
+        for workers in [1usize, 2, 3, 5, 8] {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut serial = PairwiseStats::new(n);
+            let mut batches = Vec::new();
+            for src in 0..n {
+                for dst in 0..n {
+                    if src == dst || rng.random::<f64>() < 0.3 {
+                        continue;
+                    }
+                    let attempts = rng.random_range(0..6u64);
+                    let timeouts = rng.random_range(0..=attempts.min(2));
+                    let rtts: Vec<f64> = (0..rng.random_range(0..20usize))
+                        .map(|_| rng.random::<f64>() * 10.0)
+                        .collect();
+                    // Serial oracle replays in the same per-link order the
+                    // merge contract promises: attempts, timeouts, samples.
+                    for _ in 0..attempts {
+                        serial.record_attempt(src, dst);
+                    }
+                    for _ in 0..timeouts {
+                        serial.record_timeout(src, dst);
+                    }
+                    for &r in &rtts {
+                        serial.record(src, dst, r);
+                    }
+                    batches.push(LinkBatch { src, dst, attempts, timeouts, rtts });
+                }
+            }
+            let mut merged = PairwiseStats::new(n);
+            merged.merge_batches(batches, workers);
+            // Every column bit-for-bit, plus the running aggregates
+            // (whose getters debug-assert against a full column scan).
+            assert_eq!(merged.count, serial.count, "workers {workers}");
+            assert_eq!(merged.attempts, serial.attempts);
+            assert_eq!(merged.timeouts, serial.timeouts);
+            for idx in 0..n * n {
+                assert_eq!(merged.mean[idx].to_bits(), serial.mean[idx].to_bits());
+                assert_eq!(merged.m2[idx].to_bits(), serial.m2[idx].to_bits());
+            }
+            assert_eq!(merged.total_samples(), serial.total_samples());
+            assert_eq!(merged.total_attempts(), serial.total_attempts());
+            assert_eq!(merged.total_timeouts(), serial.total_timeouts());
+            assert_eq!(merged.covered_links(), serial.covered_links());
+            assert_eq!(merged.attempted_links(), serial.attempted_links());
+            for src in 0..n {
+                for dst in 0..n {
+                    if src != dst {
+                        assert_eq!(
+                            merged.link(src, dst).p99().to_bits(),
+                            serial.link(src, dst).p99().to_bits(),
+                            "p99 {src}→{dst} workers {workers}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spilling_frees_slots_and_preserves_welford_columns() {
+        let mut s = PairwiseStats::new(6);
+        for i in 0..200 {
+            s.record(0, 1, 1.0 + (i % 7) as f64);
+        }
+        s.record(2, 3, 5.0);
+        let mean_before = s.link(0, 1).mean();
+        let count_before = s.link(0, 1).count();
+        assert_eq!(s.live_sketches(), 2);
+        s.advance_tick();
+        // Horizon 2: one tick of quiet is not old enough yet.
+        assert_eq!(s.spill_quiet(2), 0);
+        s.advance_tick();
+        assert_eq!(s.spill_quiet(2), 2);
+        assert_eq!(s.live_sketches(), 0);
+        // Welford answers unchanged; p99 degrades to the mean+SD proxy.
+        assert_eq!(s.link(0, 1).mean(), mean_before);
+        assert_eq!(s.link(0, 1).count(), count_before);
+        assert_eq!(s.link(0, 1).p99(), s.link(0, 1).mean_plus_sd());
+        assert!(s.link(0, 1).p99() > 0.0);
+        let m = s.p99_matrix();
+        // (0,1) is covered, so the matrix prices it as the proxy — the
+        // other links were never attempted, hence the Unmeasured error.
+        assert!(m.is_err());
+        // A fresh sample re-allocates through the free list: the table
+        // does not grow, and the new sketch starts from scratch.
+        let table = s.sketches.len();
+        s.record(0, 1, 3.0);
+        assert_eq!(s.sketches.len(), table);
+        assert_eq!(s.live_sketches(), 1);
+        assert_eq!(s.link(0, 1).p99(), 3.0);
+        assert_eq!(s.link(0, 1).count(), count_before + 1);
+    }
+
+    #[test]
+    fn resident_bytes_counts_touched_pages_not_capacity() {
+        let mut s = PairwiseStats::new(64);
+        let empty = s.resident_bytes();
+        assert!(empty < 4096, "empty plane should be near-free, got {empty}");
+        // The logical view is the full columns regardless.
+        assert!(s.memory_bytes() >= 64 * 64 * 44);
+        s.record(0, 1, 1.0);
+        let one = s.resident_bytes();
+        assert!(one >= empty + 5 * 4096 + 2048, "first touch materialises the page");
+        // A second link in the same 512-link page costs only its sketch.
+        s.record(0, 2, 1.0);
+        assert!(s.resident_bytes() - one < 1024);
     }
 
     #[test]

@@ -133,6 +133,17 @@ pub fn observe(name: &str, x: f64) {
     }
 }
 
+/// Records a batch into a global histogram under one registry lock
+/// (no-op while disabled or empty) — the histogram counterpart of
+/// [`counters`]: hot loops buffer observations locally and flush the
+/// batch here once.
+#[inline]
+pub fn observe_many(name: &str, xs: &[f64]) {
+    if enabled() && !xs.is_empty() {
+        metrics().observe_many(name, xs);
+    }
+}
+
 /// Drains the global span ring, returning spans oldest → newest.
 pub fn take_spans() -> Vec<SpanRecord> {
     telemetry().spans.lock().unwrap().drain()

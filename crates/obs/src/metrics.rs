@@ -210,6 +210,29 @@ impl MetricsRegistry {
         m.insert(name.to_string(), Metric::Histogram(Box::new(h)));
     }
 
+    /// Records a batch of observations into the named histogram under a
+    /// single lock acquisition and name lookup — the flush half of the
+    /// local-accumulation convention for histogram sources that fire
+    /// once per hot-path iteration. An empty batch never materializes
+    /// the histogram.
+    pub fn observe_many(&self, name: &str, xs: &[f64]) {
+        if xs.is_empty() {
+            return;
+        }
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Histogram(h)) = m.get_mut(name) {
+            for &x in xs {
+                h.observe(x);
+            }
+            return;
+        }
+        let mut h = Histogram::default();
+        for &x in xs {
+            h.observe(x);
+        }
+        m.insert(name.to_string(), Metric::Histogram(Box::new(h)));
+    }
+
     /// Reads one counter's current value (0 if absent or another kind).
     pub fn counter_value(&self, name: &str) -> u64 {
         match self.metrics.lock().unwrap().get(name) {
@@ -290,6 +313,29 @@ mod tests {
         assert_eq!(r.counter_value("z"), 1);
         // The zero-delta name never materialized.
         assert!(r.snapshot().iter().all(|(name, _)| name != "y"));
+    }
+
+    #[test]
+    fn batched_observe_matches_the_loop_form() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.5).collect();
+        let batched = MetricsRegistry::new();
+        batched.observe_many("h", &xs);
+        batched.observe_many("h", &xs[..7]);
+        let looped = MetricsRegistry::new();
+        for &x in xs.iter().chain(&xs[..7]) {
+            looped.observe("h", x);
+        }
+        let value = |r: &MetricsRegistry| match &r.snapshot()[..] {
+            [(name, MetricValue::Histogram(h))] if name == "h" => {
+                (h.count(), h.mean(), h.p50(), h.p99())
+            }
+            other => panic!("expected one histogram, got {other:?}"),
+        };
+        assert_eq!(value(&batched), value(&looped));
+        // An empty batch never materializes the histogram.
+        let empty = MetricsRegistry::new();
+        empty.observe_many("h", &[]);
+        assert!(empty.snapshot().is_empty());
     }
 
     #[test]

@@ -657,6 +657,29 @@ mod tests {
     }
 
     #[test]
+    fn epoch_drivers_reuse_the_global_sweep_pool() {
+        // The pool-reuse contract across the online layer: every epoch
+        // builds a fresh driver, but the sweep worker threads are
+        // process-global — a second epoch dispatches more stage tasks
+        // without spawning a single new thread.
+        use cloudia_measure::SweepPool;
+        let cfg = MeasureConfig { stage_workers: 2, ..MeasureConfig::default() };
+        let mut stream = SimStream::new(network(6, 3), Staged::new(2, 2), cfg, 2.0, 7);
+        stream.next_epoch();
+        let warm = SweepPool::global().stats();
+        assert!(warm.threads >= 2, "first epoch should have spawned the pool");
+        assert!(warm.tasks > 0);
+        stream.next_epoch();
+        let after = SweepPool::global().stats();
+        assert_eq!(after.threads, warm.threads, "second epoch grew the pool");
+        assert_eq!(
+            after.threads_spawned, warm.threads_spawned,
+            "second epoch spawned fresh threads instead of reusing"
+        );
+        assert!(after.tasks > warm.tasks, "second epoch dispatched no pool tasks");
+    }
+
+    #[test]
     fn planned_epochs_accumulate_into_the_same_cumulative_store() {
         use cloudia_measure::{FocusedScheme, ProbePlan};
         let mut stream =

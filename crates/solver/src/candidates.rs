@@ -399,14 +399,12 @@ impl CandidateSet {
                 let row = src * m;
                 let (row_count, row_mean, row_att) =
                     (&count[row..row + m], &mean[row..row + m], &attempts[row..row + m]);
-                for dst in 0..m {
-                    if dst != src && (row_count[dst] > 0 || row_att[dst] > 0) {
-                        let price = if row_count[dst] > 0 { row_mean[dst] } else { f64::INFINITY };
-                        hits.push((src as u32, dst as u32, price));
-                        deg[src] += 1;
-                        deg[dst] += 1;
-                    }
-                }
+                crate::kernels::scan_row_evidence(row_count, row_att, |dst, observed| {
+                    let price = if observed { row_mean[dst] } else { f64::INFINITY };
+                    hits.push((src as u32, dst as u32, price));
+                    deg[src] += 1;
+                    deg[dst] += 1;
+                });
             }
             let mut off = vec![0usize; m + 1];
             for j in 0..m {
@@ -841,9 +839,11 @@ impl CiScores {
         let mut hits: Vec<(u32, u32, f64, f64)> = Vec::new();
         for src in 0..m {
             let row = src * m;
-            for dst in 0..m {
-                if dst != src && (count[row + dst] > 0 || attempts[row + dst] > 0) {
-                    let (lo, hi) = if count[row + dst] > 0 {
+            crate::kernels::scan_row_evidence(
+                &count[row..row + m],
+                &attempts[row..row + m],
+                |dst, observed| {
+                    let (lo, hi) = if observed {
                         let ci = stats.ci(src, dst, confidence);
                         (ci.lower(), ci.upper())
                     } else {
@@ -852,8 +852,8 @@ impl CiScores {
                     hits.push((src as u32, dst as u32, lo, hi));
                     deg[src] += 1;
                     deg[dst] += 1;
-                }
-            }
+                },
+            );
         }
         let mut off = vec![0usize; m + 1];
         for j in 0..m {

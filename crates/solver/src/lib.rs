@@ -54,6 +54,7 @@ pub mod control;
 pub mod cp;
 pub mod encodings;
 pub mod greedy;
+pub mod kernels;
 pub mod lp;
 pub mod mip;
 pub mod outcome;

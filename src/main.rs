@@ -28,6 +28,14 @@ fn usage() -> ! {
                                                auto = max(4n, 48); adaptive = escalation-driven
                                                pool sizing; omit for the dense search)
                [--search-seconds S]           (default 5)
+               [--stage-workers N]            (worker threads per measurement stage; 0 = auto:
+                                               serial for small stages, all cores for wide ones.
+                                               Deterministic — every value gives byte-identical
+                                               sweeps)
+               [--sketch-spill H]             (drop per-link p99 sketches on links quiet for H
+                                               consecutive stages; freed slots are recycled, so
+                                               long sweeps stop growing the sketch table.
+                                               0 = keep every sketch forever, the default)
                [--seed N]                     (default 42)
                [--online]                     (run the continuous advisor after deploying)
                [--epochs N]                   (online epochs, default 24)
@@ -132,6 +140,8 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut print_metrics = false;
     let mut json = false;
+    let mut stage_workers = 0usize;
+    let mut sketch_spill: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -204,6 +214,19 @@ fn main() {
                     eprintln!("bad seed");
                     usage();
                 })
+            }
+            "--stage-workers" => {
+                stage_workers = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad stage worker count");
+                    usage();
+                })
+            }
+            "--sketch-spill" => {
+                let h: u64 = value().parse().unwrap_or_else(|_| {
+                    eprintln!("bad sketch-spill horizon");
+                    usage();
+                });
+                sketch_spill = (h > 0).then_some(h);
             }
             "--online" => online = true,
             "--epochs" => {
@@ -375,7 +398,7 @@ fn main() {
         );
     }
 
-    let advisor = Advisor::new(cloudia::core::AdvisorConfig {
+    let mut advisor_cfg = cloudia::core::AdvisorConfig {
         objective,
         metric,
         over_allocation,
@@ -387,7 +410,10 @@ fn main() {
         search_threads: threads.unwrap_or(1),
         candidates,
         ..cloudia::core::AdvisorConfig::fast()
-    });
+    };
+    advisor_cfg.measurement.config.stage_workers = stage_workers;
+    advisor_cfg.measurement.config.sketch_spill_horizon = sketch_spill;
+    let advisor = Advisor::new(advisor_cfg);
     let outcome = match advisor.try_run(provider, &graph, seed) {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -465,6 +491,7 @@ fn main() {
             candidates,
             seed,
             LossOptions { loss, retries, blackout, blind: loss_blind },
+            SweepOptions { stage_workers, sketch_spill },
             json,
             recorder,
         );
@@ -501,6 +528,14 @@ struct LossOptions {
     blind: bool,
 }
 
+/// Sweep execution knobs shared by every measurement epoch: worker
+/// fan-out per stage (deterministic at any value) and the sketch-spill
+/// horizon (`None` keeps every per-link p99 sketch forever).
+struct SweepOptions {
+    stage_workers: usize,
+    sketch_spill: Option<u64>,
+}
+
 /// Drives the continuous advisor over the deployed plan: the
 /// over-allocated pool is kept as warm spares, the network drifts
 /// `epoch_hours` between measurement epochs, and every trigger runs a
@@ -523,6 +558,7 @@ fn run_online(
     candidates: Option<cloudia::solver::CandidateConfig>,
     seed: u64,
     loss_opts: LossOptions,
+    sweep_opts: SweepOptions,
     json: bool,
     recorder: Option<cloudia::obs::RunRecorder>,
 ) -> (cloudia::obs::Json, Option<cloudia::obs::RunRecorder>) {
@@ -617,6 +653,8 @@ fn run_online(
     }
     let measure_cfg = MeasureConfig {
         retries_per_pair: if loss_opts.blind { 0 } else { loss_opts.retries },
+        stage_workers: sweep_opts.stage_workers,
+        sketch_spill_horizon: sweep_opts.sketch_spill,
         ..MeasureConfig::default()
     };
     let mut stream = if lossy {
